@@ -1,0 +1,191 @@
+#include "common/figure_harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+#include "sched/dmda.hpp"
+#include "sched/eager.hpp"
+#include "sched/hfp.hpp"
+#include "sched/hmetis_r.hpp"
+#include "sim/engine.hpp"
+#include "util/csv.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mg::bench {
+
+SchedulerSpec eager_spec() {
+  return {"EAGER", [] { return std::make_unique<sched::EagerScheduler>(); }};
+}
+
+SchedulerSpec dmdar_spec() {
+  return {"DMDAR", [] { return std::make_unique<sched::DmdaScheduler>(); }};
+}
+
+SchedulerSpec hmetis_spec(bool with_partition_time,
+                          double max_working_set_mb) {
+  SchedulerSpec spec;
+  spec.label = with_partition_time ? "hMETIS+R" : "hMETIS+R no part. time";
+  spec.factory = [] { return std::make_unique<sched::HmetisScheduler>(); };
+  spec.account_sched_cost = with_partition_time;
+  spec.max_working_set_mb = max_working_set_mb;
+  return spec;
+}
+
+SchedulerSpec mhfp_spec(bool with_sched_time, double max_working_set_mb) {
+  SchedulerSpec spec;
+  spec.label = with_sched_time ? "mHFP" : "mHFP no sched. time";
+  spec.factory = [] { return std::make_unique<sched::HfpScheduler>(); };
+  spec.account_sched_cost = with_sched_time;
+  spec.max_working_set_mb = max_working_set_mb;
+  return spec;
+}
+
+SchedulerSpec darts_spec(const core::DartsOptions& options,
+                         bool with_sched_time) {
+  SchedulerSpec spec;
+  spec.label = core::darts_variant_name(options);
+  spec.factory = [options] {
+    return std::make_unique<core::DartsScheduler>(options);
+  };
+  spec.account_sched_cost = with_sched_time;
+  return spec;
+}
+
+void run_figure(const FigureConfig& config,
+                const std::vector<WorkloadPoint>& points,
+                const std::vector<SchedulerSpec>& schedulers) {
+  util::CsvWriter csv(
+      {"working_set_mb", "scheduler", "gflops", "transfers_mb", "loads",
+       "evictions", "makespan_ms", "sched_prepare_ms", "sched_pop_ms"},
+      config.output_path);
+  csv.comment(config.figure + ": " + config.title);
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "platform: %u GPUs x %.0f MB, %.0f GFlop/s each, %.1f GB/s bus",
+                config.platform.num_gpus,
+                static_cast<double>(config.platform.gpu_memory_bytes) / 1e6,
+                config.platform.gpu_gflops,
+                config.platform.bus_bandwidth_bytes_per_s / 1e9);
+  csv.comment(line);
+  std::snprintf(line, sizeof line, "gflops_max: %.0f",
+                analysis::gflops_max(config.platform));
+  csv.comment(line);
+  std::snprintf(line, sizeof line,
+                "threshold_both_fit_mb: %.0f threshold_one_fits_mb: %.0f",
+                static_cast<double>(
+                    analysis::threshold_both_matrices_fit(config.platform)) /
+                    1e6,
+                static_cast<double>(
+                    analysis::threshold_one_matrix_fits(config.platform)) /
+                    1e6);
+  csv.comment(line);
+
+  // Per-point results, computed possibly in parallel, emitted in order.
+  struct PointResult {
+    std::string comment;
+    std::vector<std::vector<util::CsvCell>> rows;
+  };
+  std::vector<PointResult> results(points.size());
+
+  auto run_point = [&](std::size_t index) {
+    const WorkloadPoint& point = points[index];
+    PointResult& result = results[index];
+    const core::TaskGraph graph = point.make();
+    char point_line[160];
+    std::snprintf(point_line, sizeof point_line,
+                  "point ws=%.0fMB tasks=%u data=%u pci_limit_mb=%.0f",
+                  point.working_set_mb, graph.num_tasks(), graph.num_data(),
+                  analysis::pci_limit_bytes(graph, config.platform) / 1e6);
+    result.comment = point_line;
+
+    for (const SchedulerSpec& spec : schedulers) {
+      if (point.working_set_mb > spec.max_working_set_mb ||
+          point.working_set_mb < spec.min_working_set_mb) {
+        continue;
+      }
+
+      double gflops = 0.0;
+      double transfers_mb = 0.0;
+      double loads = 0.0;
+      double evictions = 0.0;
+      double makespan_ms = 0.0;
+      double prepare_ms = 0.0;
+      double pop_ms = 0.0;
+      const std::uint32_t reps = std::max(1u, config.repetitions);
+      for (std::uint32_t rep = 0; rep < reps; ++rep) {
+        auto scheduler = spec.factory();
+        sim::EngineConfig engine_config;
+        engine_config.seed = config.seed + rep;
+        engine_config.account_scheduler_cost = spec.account_sched_cost;
+        engine_config.hints_may_evict = spec.hints_may_evict;
+        sim::RuntimeEngine engine(graph, config.platform, *scheduler,
+                                  engine_config);
+        const core::RunMetrics metrics = engine.run();
+        gflops += metrics.achieved_gflops();
+        transfers_mb += metrics.transfers_mb();
+        loads += static_cast<double>(metrics.total_loads());
+        evictions += static_cast<double>(metrics.total_evictions());
+        makespan_ms += metrics.wall_makespan_us() / 1e3;
+        prepare_ms += metrics.scheduler_prepare_us / 1e3;
+        pop_ms += metrics.scheduler_pop_us / 1e3;
+      }
+      const double inv = 1.0 / static_cast<double>(reps);
+      result.rows.push_back({point.working_set_mb, spec.label, gflops * inv,
+                             transfers_mb * inv, loads * inv, evictions * inv,
+                             makespan_ms * inv, prepare_ms * inv,
+                             pop_ms * inv});
+    }
+  };
+
+  // Wall-clock scheduler-cost measurements need an unloaded machine: only
+  // parallelize the sweep when no curve charges scheduler time.
+  const bool any_cost_accounted =
+      std::any_of(schedulers.begin(), schedulers.end(),
+                  [](const SchedulerSpec& spec) {
+                    return spec.account_sched_cost;
+                  });
+  if (config.jobs > 1 && !any_cost_accounted) {
+    util::ThreadPool pool(config.jobs);
+    pool.parallel_for(points.size(), run_point);
+  } else {
+    for (std::size_t i = 0; i < points.size(); ++i) run_point(i);
+  }
+
+  for (const PointResult& result : results) {
+    csv.comment(result.comment);
+    for (const auto& row : result.rows) csv.row(row);
+  }
+}
+
+void add_standard_flags(util::Flags& flags, std::uint32_t default_gpus,
+                        std::int64_t default_mem_mb) {
+  flags.define_int("gpus", default_gpus, "number of GPUs (K)")
+      .define_int("mem-mb", default_mem_mb, "usable GPU memory in MB")
+      .define_int("reps", 1, "repetitions averaged per point")
+      .define_int("seed", 42, "base RNG seed")
+      .define_string("out", "", "CSV output path (default: stdout)")
+      .define_bool("full", false,
+                   "sweep the paper's full working-set range (slower)")
+      .define_int("jobs", 1,
+                  "worker threads for the sweep (only used when no curve "
+                  "charges scheduler wall time)");
+}
+
+FigureConfig config_from_flags(const util::Flags& flags, std::string figure,
+                               std::string title) {
+  FigureConfig config;
+  config.figure = std::move(figure);
+  config.title = std::move(title);
+  config.platform = core::make_v100_platform(
+      static_cast<std::uint32_t>(flags.get_int("gpus")),
+      static_cast<std::uint64_t>(flags.get_int("mem-mb")) * core::kMB);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.repetitions = static_cast<std::uint32_t>(flags.get_int("reps"));
+  config.output_path = flags.get_string("out");
+  config.jobs = static_cast<std::uint32_t>(flags.get_int("jobs"));
+  return config;
+}
+
+}  // namespace mg::bench

@@ -1,0 +1,91 @@
+// Shared driver for the figure-reproduction harnesses (bench/fig*.cpp).
+//
+// A figure is a sweep: for each working-set point, generate the workload,
+// run every scheduler spec through the simulator, and emit one CSV row per
+// (point, scheduler) with the quantities the paper plots — GFlop/s and MB
+// transferred — plus diagnostics and the figure's reference lines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/darts.hpp"
+#include "core/platform.hpp"
+#include "core/scheduler.hpp"
+#include "core/task_graph.hpp"
+#include "util/flags.hpp"
+
+namespace mg::bench {
+
+struct SchedulerSpec {
+  std::string label;  ///< curve name, matching the paper's legend
+  std::function<std::unique_ptr<core::Scheduler>()> factory;
+
+  /// Charge measured scheduler wall time into the timeline ("real" curves;
+  /// the paper's "no sched. time" / "no part. time" variants set false).
+  bool account_sched_cost = false;
+
+  /// Skip working sets larger than this (mHFP's packing time is deliberately
+  /// faithful to the paper and becomes prohibitive at scale, exactly as in
+  /// Figures 3/5).
+  double max_working_set_mb = std::numeric_limits<double>::infinity();
+
+  /// Skip working sets smaller than this (the paper enables the DARTS scan
+  /// threshold only beyond 3500 MB, Figure 8).
+  double min_working_set_mb = 0.0;
+
+  /// Let this curve's push-time prefetch hints evict (StarPU's eager
+  /// prefetch allocation; see EngineConfig::hints_may_evict).
+  bool hints_may_evict = false;
+};
+
+// Standard curve factories.
+SchedulerSpec eager_spec();
+SchedulerSpec dmdar_spec();
+SchedulerSpec hmetis_spec(bool with_partition_time,
+                          double max_working_set_mb =
+                              std::numeric_limits<double>::infinity());
+SchedulerSpec mhfp_spec(bool with_sched_time, double max_working_set_mb);
+SchedulerSpec darts_spec(const core::DartsOptions& options,
+                         bool with_sched_time = false);
+
+struct WorkloadPoint {
+  double working_set_mb;                      ///< x axis
+  std::function<core::TaskGraph()> make;      ///< lazy workload generation
+};
+
+struct FigureConfig {
+  std::string figure;  ///< e.g. "fig03"
+  std::string title;   ///< printed as a CSV comment
+  core::Platform platform;
+  std::uint64_t seed = 42;
+  std::uint32_t repetitions = 1;  ///< averaged (seeds vary per repetition)
+  std::string output_path;        ///< empty = stdout
+
+  /// Worker threads for the sweep (rows stay in deterministic order).
+  /// Parallel execution is only used when no scheduler spec charges
+  /// wall-clock cost — timing measurements need an unloaded machine.
+  std::uint32_t jobs = 1;
+};
+
+/// Runs the sweep and writes the CSV. Columns:
+///   working_set_mb, scheduler, gflops, transfers_mb, loads, evictions,
+///   makespan_ms, sched_prepare_ms, sched_pop_ms
+void run_figure(const FigureConfig& config,
+                const std::vector<WorkloadPoint>& points,
+                const std::vector<SchedulerSpec>& schedulers);
+
+/// Registers the standard figure flags (--gpus, --mem-mb, --reps, --seed,
+/// --out, --full) on `flags`.
+void add_standard_flags(util::Flags& flags, std::uint32_t default_gpus,
+                        std::int64_t default_mem_mb = 500);
+
+/// Builds a FigureConfig from parsed standard flags.
+FigureConfig config_from_flags(const util::Flags& flags, std::string figure,
+                               std::string title);
+
+}  // namespace mg::bench

@@ -1,0 +1,48 @@
+// Figure 13: the sparse 2D matmul of Figure 12 *without* memory limitation
+// (32 GB per GPU): eviction is out of the picture, so what remains is each
+// scheduler's ability to spread transfers over time.
+#include "common/figure_harness.hpp"
+#include "workloads/matmul2d.hpp"
+#include "workloads/sparse_matmul.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mg;
+  util::Flags flags("Figure 13: sparse 2D matmul, 4 GPUs, 32 GB memories");
+  bench::add_standard_flags(flags, /*default_gpus=*/4,
+                            /*default_mem_mb=*/32000);
+  flags.define_double("keep", 0.02, "fraction of tasks kept");
+  flags.define_int("sparse-seed", 3, "task-dropping seed");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const auto config = bench::config_from_flags(
+      flags, "fig13", "sparse 2D matmul on 4 V100s, no memory limit");
+  const bool full = flags.get_bool("full");
+  const double keep = flags.get_double("keep");
+  const auto sparse_seed =
+      static_cast<std::uint64_t>(flags.get_int("sparse-seed"));
+
+  std::vector<std::uint32_t> ns =
+      full ? std::vector<std::uint32_t>{36, 71, 107, 142, 214, 285, 357, 500,
+                                        607, 714}
+           : std::vector<std::uint32_t>{36, 71, 142, 214, 285, 357};
+  std::vector<bench::WorkloadPoint> points;
+  for (std::uint32_t n : ns) {
+    points.push_back(bench::WorkloadPoint{
+        static_cast<double>(work::matmul_2d_working_set(n)) / 1e6,
+        [n, keep, sparse_seed] {
+          return work::make_sparse_matmul(
+              {.n = n, .keep_fraction = keep, .seed = sparse_seed});
+        }});
+  }
+
+  bench::run_figure(
+      config, points,
+      {bench::eager_spec(),
+       bench::dmdar_spec(),
+       bench::darts_spec({.use_luf = true}, /*with_sched_time=*/true),
+       bench::darts_spec({.use_luf = true, .opti = true},
+                         /*with_sched_time=*/true),
+       bench::hmetis_spec(/*with_partition_time=*/true),
+       bench::hmetis_spec(/*with_partition_time=*/false)});
+  return 0;
+}

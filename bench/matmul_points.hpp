@@ -1,0 +1,40 @@
+// Shared working-set sweeps for the 2D-matmul figures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/figure_harness.hpp"
+#include "workloads/matmul2d.hpp"
+
+namespace mg::bench {
+
+/// 2D-matmul points for N in `ns` (working set = 2 * N * 14 MB).
+inline std::vector<WorkloadPoint> matmul2d_points(
+    const std::vector<std::uint32_t>& ns, bool randomize = false,
+    std::uint64_t order_seed = 0) {
+  std::vector<WorkloadPoint> points;
+  for (std::uint32_t n : ns) {
+    points.push_back(WorkloadPoint{
+        static_cast<double>(work::matmul_2d_working_set(n)) / 1e6,
+        [n, randomize, order_seed] {
+          return work::make_matmul_2d({.n = n,
+                                       .randomize_order = randomize,
+                                       .seed = order_seed});
+        }});
+  }
+  return points;
+}
+
+/// N values reaching `max_ws_mb`, either a quick sweep or the paper's finer
+/// one.
+inline std::vector<std::uint32_t> matmul2d_ns(double max_ws_mb, bool full) {
+  std::vector<std::uint32_t> ns;
+  const auto max_n = static_cast<std::uint32_t>(max_ws_mb / 28.0);
+  const std::uint32_t step = full ? 5 : std::max(5u, max_n / 10);
+  for (std::uint32_t n = 5; n <= max_n; n += step) ns.push_back(n);
+  if (ns.empty() || ns.back() != max_n) ns.push_back(max_n);
+  return ns;
+}
+
+}  // namespace mg::bench

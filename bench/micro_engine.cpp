@@ -1,0 +1,60 @@
+// Microbenchmark: end-to-end simulator throughput (simulated tasks per
+// wall second) and per-scheduler decision cost, via full engine runs.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/darts.hpp"
+#include "sched/dmda.hpp"
+#include "sched/eager.hpp"
+#include "sim/engine.hpp"
+#include "workloads/matmul2d.hpp"
+
+namespace {
+
+using namespace mg;
+
+enum class Kind { kEager, kDmdar, kDarts, kDartsOpti };
+
+std::unique_ptr<core::Scheduler> make(Kind kind) {
+  switch (kind) {
+    case Kind::kEager:
+      return std::make_unique<sched::EagerScheduler>();
+    case Kind::kDmdar:
+      return std::make_unique<sched::DmdaScheduler>();
+    case Kind::kDarts:
+      return std::make_unique<core::DartsScheduler>();
+    case Kind::kDartsOpti:
+      return std::make_unique<core::DartsScheduler>(
+          core::DartsOptions{.use_luf = true, .opti = true});
+  }
+  return nullptr;
+}
+
+void BM_EngineRun(benchmark::State& state) {
+  const auto kind = static_cast<Kind>(state.range(0));
+  const auto n = static_cast<std::uint32_t>(state.range(1));
+  const core::TaskGraph graph = work::make_matmul_2d({.n = n});
+  const core::Platform platform = core::make_v100_platform(2);
+
+  double pop_us = 0.0;
+  for (auto _ : state) {
+    auto scheduler = make(kind);
+    sim::RuntimeEngine engine(graph, platform, *scheduler);
+    const core::RunMetrics metrics = engine.run();
+    benchmark::DoNotOptimize(metrics.makespan_us);
+    pop_us = metrics.scheduler_pop_us;
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_tasks());
+  state.counters["sched_pop_ms"] = pop_us / 1e3;
+}
+BENCHMARK(BM_EngineRun)
+    ->Args({static_cast<long>(Kind::kEager), 32})
+    ->Args({static_cast<long>(Kind::kDmdar), 32})
+    ->Args({static_cast<long>(Kind::kDarts), 32})
+    ->Args({static_cast<long>(Kind::kDartsOpti), 32})
+    ->Args({static_cast<long>(Kind::kDarts), 64})
+    ->Args({static_cast<long>(Kind::kDartsOpti), 64})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,37 @@
+// Microbenchmark: HFP packing cost scaling — the reason the paper drops
+// mHFP from the "real" multi-GPU figures (its static phase grows rapidly
+// with the task count, Section V-B/V-C).
+#include <benchmark/benchmark.h>
+
+#include "sched/hfp_packing.hpp"
+#include "workloads/matmul2d.hpp"
+
+namespace {
+
+using namespace mg;
+
+void BM_HfpPartition(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const core::TaskGraph graph = work::make_matmul_2d({.n = n});
+  for (auto _ : state) {
+    const auto parts = sched::hfp_partition(graph, 4, 500 * core::kMB);
+    benchmark::DoNotOptimize(parts.data());
+  }
+  state.counters["tasks"] = static_cast<double>(graph.num_tasks());
+}
+BENCHMARK(BM_HfpPartition)->Arg(8)->Arg(16)->Arg(32)->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HfpBalanceOnly(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const core::TaskGraph graph = work::make_matmul_2d({.n = n});
+  const auto packages = sched::hfp_build_packages(graph, 4, 500 * core::kMB);
+  for (auto _ : state) {
+    auto copy = packages;
+    sched::hfp_balance_loads(graph, copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_HfpBalanceOnly)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace

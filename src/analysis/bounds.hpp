@@ -1,0 +1,46 @@
+// Reference lines drawn in the paper's figures: peak GFlop/s, the PCI-bus
+// transfer budget, and the "matrix fits in (cumulated) memory" thresholds.
+#pragma once
+
+#include <cstdint>
+
+#include "core/platform.hpp"
+#include "core/task_graph.hpp"
+
+namespace mg::analysis {
+
+/// "GFlop/s max" horizontal line: aggregate peak of the platform.
+[[nodiscard]] inline double gflops_max(const core::Platform& platform) {
+  return platform.peak_gflops();
+}
+
+/// Time to process the whole graph at peak with zero transfer stalls (us).
+[[nodiscard]] inline double optimal_compute_time_us(
+    const core::TaskGraph& graph, const core::Platform& platform) {
+  return graph.total_flops() / (platform.peak_gflops() * 1e9) * 1e6;
+}
+
+/// "PCI bus limit" curve of Figures 4 and 7: the bytes that can cross the
+/// shared bus within the optimal compute time. A strategy transferring more
+/// than this is necessarily transfer-bound.
+[[nodiscard]] inline double pci_limit_bytes(const core::TaskGraph& graph,
+                                            const core::Platform& platform) {
+  return optimal_compute_time_us(graph, platform) / 1e6 *
+         platform.bus_bandwidth_bytes_per_s;
+}
+
+/// Largest 2D-matmul working set (bytes) such that one input matrix fits in
+/// the cumulated GPU memory (the red dashed threshold): matrix B occupies
+/// half the working set.
+[[nodiscard]] inline std::uint64_t threshold_one_matrix_fits(
+    const core::Platform& platform) {
+  return 2 * platform.cumulated_memory_bytes();
+}
+
+/// Largest working set such that both input matrices fit (orange threshold).
+[[nodiscard]] inline std::uint64_t threshold_both_matrices_fit(
+    const core::Platform& platform) {
+  return platform.cumulated_memory_bytes();
+}
+
+}  // namespace mg::analysis

@@ -1,0 +1,203 @@
+#include "analysis/offline_model.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <span>
+
+#include "util/check.hpp"
+
+namespace mg::analysis {
+
+namespace {
+
+/// Single-GPU replay of one ordered task list.
+void replay_gpu(const core::TaskGraph& graph,
+                const std::vector<core::TaskId>& order,
+                std::uint64_t memory_bytes, ReplayEviction eviction,
+                std::uint64_t& loads, std::uint64_t& bytes) {
+  const std::uint32_t num_data = graph.num_data();
+  std::vector<bool> resident(num_data, false);
+  std::vector<std::uint64_t> lru_stamp(num_data, 0);
+  std::uint64_t clock = 0;
+  std::uint64_t used = 0;
+  std::vector<core::DataId> resident_list;
+
+  // Belady: next-use positions per data, consumed front to back.
+  std::vector<std::vector<std::uint32_t>> uses;
+  if (eviction == ReplayEviction::kBelady) {
+    uses.resize(num_data);
+    for (std::uint32_t pos = 0; pos < order.size(); ++pos) {
+      for (core::DataId data : graph.inputs(order[pos])) {
+        uses[data].push_back(pos);
+      }
+    }
+  }
+
+  for (std::uint32_t pos = 0; pos < order.size(); ++pos) {
+    const core::TaskId task = order[pos];
+    const auto inputs = graph.inputs(task);
+    MG_CHECK_MSG(graph.input_bytes(task) <= memory_bytes,
+                 "task footprint exceeds memory bound");
+
+    const auto previous_inputs =
+        (eviction == ReplayEviction::kLruPipelined && pos > 0)
+            ? graph.inputs(order[pos - 1])
+            : std::span<const core::DataId>{};
+    auto is_input = [&inputs, &previous_inputs](core::DataId data) {
+      if (std::find(inputs.begin(), inputs.end(), data) != inputs.end()) {
+        return true;
+      }
+      return std::find(previous_inputs.begin(), previous_inputs.end(),
+                       data) != previous_inputs.end();
+    };
+
+    for (core::DataId data : inputs) {
+      if (resident[data]) continue;
+      const std::uint64_t size = graph.data_size(data);
+      // Evict until the new data fits; never evict inputs of this task
+      // (the natural assumption V(k,i) ∩ D(T_σ(k,i)) = ∅ of Section III).
+      while (used + size > memory_bytes) {
+        core::DataId victim = core::kInvalidData;
+        if (eviction != ReplayEviction::kBelady) {
+          std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+          for (core::DataId candidate : resident_list) {
+            if (is_input(candidate)) continue;
+            if (lru_stamp[candidate] < oldest) {
+              oldest = lru_stamp[candidate];
+              victim = candidate;
+            }
+          }
+          // Pipelined mode protects the previous task's inputs; if that
+          // leaves no victim (everything resident belongs to the two
+          // pipelined tasks), fall back to protecting only the current
+          // inputs — the engine analog is waiting for the previous task to
+          // complete and unpin.
+          if (victim == core::kInvalidData &&
+              eviction == ReplayEviction::kLruPipelined) {
+            for (core::DataId candidate : resident_list) {
+              if (std::find(inputs.begin(), inputs.end(), candidate) !=
+                  inputs.end()) {
+                continue;
+              }
+              if (lru_stamp[candidate] < oldest) {
+                oldest = lru_stamp[candidate];
+                victim = candidate;
+              }
+            }
+          }
+        } else {
+          std::uint64_t furthest = 0;
+          for (core::DataId candidate : resident_list) {
+            if (is_input(candidate)) continue;
+            // Next use strictly after the current position.
+            const auto& candidate_uses = uses[candidate];
+            const auto next = std::upper_bound(candidate_uses.begin(),
+                                               candidate_uses.end(), pos);
+            const std::uint64_t next_use =
+                next == candidate_uses.end()
+                    ? std::numeric_limits<std::uint64_t>::max()
+                    : *next;
+            if (victim == core::kInvalidData || next_use > furthest) {
+              furthest = next_use;
+              victim = candidate;
+            }
+          }
+        }
+        MG_CHECK_MSG(victim != core::kInvalidData,
+                     "cannot make room: all resident data are task inputs");
+        resident[victim] = false;
+        used -= graph.data_size(victim);
+        resident_list.erase(
+            std::find(resident_list.begin(), resident_list.end(), victim));
+      }
+      resident[data] = true;
+      used += size;
+      resident_list.push_back(data);
+      ++loads;
+      bytes += size;
+    }
+    for (core::DataId data : inputs) lru_stamp[data] = ++clock;
+  }
+}
+
+}  // namespace
+
+ReplayResult replay_schedule(const core::TaskGraph& graph,
+                             const Schedule& schedule,
+                             std::uint64_t memory_bytes,
+                             ReplayEviction eviction) {
+  // σ must be a permutation of the task set.
+  std::vector<bool> seen(graph.num_tasks(), false);
+  std::size_t total = 0;
+  for (const auto& order : schedule) {
+    for (core::TaskId task : order) {
+      MG_CHECK_MSG(task < graph.num_tasks(), "unknown task in schedule");
+      MG_CHECK_MSG(!seen[task], "task scheduled twice");
+      seen[task] = true;
+      ++total;
+    }
+  }
+  MG_CHECK_MSG(total == graph.num_tasks(), "schedule misses tasks");
+
+  ReplayResult result;
+  result.per_gpu_loads.resize(schedule.size(), 0);
+  result.per_gpu_bytes.resize(schedule.size(), 0);
+  for (std::size_t gpu = 0; gpu < schedule.size(); ++gpu) {
+    replay_gpu(graph, schedule[gpu], memory_bytes, eviction,
+               result.per_gpu_loads[gpu], result.per_gpu_bytes[gpu]);
+    result.total_loads += result.per_gpu_loads[gpu];
+    result.total_bytes += result.per_gpu_bytes[gpu];
+    result.max_tasks_on_any_gpu =
+        std::max<std::uint64_t>(result.max_tasks_on_any_gpu,
+                                schedule[gpu].size());
+  }
+  return result;
+}
+
+std::uint64_t loads_lower_bound(const core::TaskGraph& graph) {
+  std::uint64_t needed = 0;
+  for (core::DataId data = 0; data < graph.num_data(); ++data) {
+    if (!graph.consumers(data).empty()) ++needed;
+  }
+  return needed;
+}
+
+std::uint64_t bytes_lower_bound(const core::TaskGraph& graph) {
+  std::uint64_t bytes = 0;
+  for (core::DataId data = 0; data < graph.num_data(); ++data) {
+    if (!graph.consumers(data).empty()) bytes += graph.data_size(data);
+  }
+  return bytes;
+}
+
+std::uint64_t max_live_footprint(const core::TaskGraph& graph,
+                                 const std::vector<core::TaskId>& order) {
+  // Live interval of each data item: positions of its first and last use.
+  constexpr std::uint32_t kNever = 0xffffffffu;
+  std::vector<std::uint32_t> first_use(graph.num_data(), kNever);
+  std::vector<std::uint32_t> last_use(graph.num_data(), 0);
+  for (std::uint32_t pos = 0; pos < order.size(); ++pos) {
+    for (core::DataId data : graph.inputs(order[pos])) {
+      if (first_use[data] == kNever) first_use[data] = pos;
+      last_use[data] = pos;
+    }
+  }
+
+  // Sweep positions accumulating +size at first use, -size after last use.
+  std::vector<std::int64_t> delta(order.size() + 1, 0);
+  for (core::DataId data = 0; data < graph.num_data(); ++data) {
+    if (first_use[data] == kNever) continue;
+    const auto size = static_cast<std::int64_t>(graph.data_size(data));
+    delta[first_use[data]] += size;
+    delta[last_use[data] + 1] -= size;
+  }
+  std::int64_t live = 0;
+  std::int64_t peak = 0;
+  for (std::int64_t d : delta) {
+    live += d;
+    peak = std::max(peak, live);
+  }
+  return static_cast<std::uint64_t>(peak);
+}
+
+}  // namespace mg::analysis

@@ -1,0 +1,66 @@
+// Offline evaluation of the formal model of Section III.
+//
+// Given a complete schedule σ (per-GPU ordered task lists), replays the
+// load/evict sequence of each GPU under a chosen eviction policy and counts
+// loads — the quantity Obj.2 minimizes. Belady's rule gives the optimal
+// eviction scheme for a fixed σ (the paper's observation, after [14]);
+// comparing a policy against it isolates eviction quality from schedule
+// quality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/task_graph.hpp"
+
+namespace mg::analysis {
+
+/// σ: execution order per GPU. Every task appears exactly once overall.
+using Schedule = std::vector<std::vector<core::TaskId>>;
+
+enum class ReplayEviction {
+  kLru,
+  kBelady,
+  /// LRU, but inputs of the immediately preceding task are not evictable —
+  /// this mirrors the runtime engine's pipeline, where the next task's
+  /// inputs are fetched while the previous task still runs (and pins its
+  /// own inputs). Since the previous task's inputs carry the newest LRU
+  /// stamps anyway, this only diverges from kLru when *everything* resident
+  /// belongs to the two pipelined tasks (then it falls back to kLru rather
+  /// than deadlock); it exists to mirror the engine's feasibility
+  /// constraints in cross-validation.
+  kLruPipelined,
+};
+
+struct ReplayResult {
+  std::uint64_t total_loads = 0;        ///< count of load operations
+  std::uint64_t total_bytes = 0;        ///< bytes loaded
+  std::vector<std::uint64_t> per_gpu_loads;
+  std::vector<std::uint64_t> per_gpu_bytes;
+  std::uint64_t max_tasks_on_any_gpu = 0;  ///< Obj.1 value of σ
+};
+
+/// Replays σ against per-GPU memories of `memory_bytes` bytes. Aborts (via
+/// MG_CHECK) if σ is not a permutation of the task set or if some task's
+/// inputs exceed the memory bound.
+ReplayResult replay_schedule(const core::TaskGraph& graph,
+                             const Schedule& schedule,
+                             std::uint64_t memory_bytes,
+                             ReplayEviction eviction);
+
+/// Lower bound on total loads for *any* schedule on any number of GPUs:
+/// every data item with at least one consumer must be loaded at least once.
+std::uint64_t loads_lower_bound(const core::TaskGraph& graph);
+
+/// Same in bytes.
+std::uint64_t bytes_lower_bound(const core::TaskGraph& graph);
+
+/// Minimum memory (bytes) under which a single-GPU execution of `order`
+/// can still achieve exactly one load per data: the peak total size of
+/// data whose [first use, last use] intervals overlap. Below this, reloads
+/// are unavoidable for that order; at or above it, Belady needs no reload.
+std::uint64_t max_live_footprint(const core::TaskGraph& graph,
+                                 const std::vector<core::TaskId>& order);
+
+}  // namespace mg::analysis

@@ -1,0 +1,72 @@
+#include "analysis/schedule_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mg::analysis {
+
+namespace {
+constexpr const char* kMagic = "memsched-schedule v1";
+}  // namespace
+
+bool save_schedule(const Schedule& schedule, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << kMagic << "\n";
+  out << "gpus " << schedule.size() << "\n";
+  for (std::size_t gpu = 0; gpu < schedule.size(); ++gpu) {
+    out << "gpu " << gpu << " " << schedule[gpu].size() << "\n";
+    for (std::size_t i = 0; i < schedule[gpu].size(); ++i) {
+      out << schedule[gpu][i]
+          << ((i + 1) % 16 == 0 || i + 1 == schedule[gpu].size() ? "\n" : " ");
+    }
+  }
+  return out.good();
+}
+
+std::optional<Schedule> load_schedule(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return std::nullopt;
+
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kMagic) return std::nullopt;
+
+  std::string keyword;
+  std::size_t num_gpus = 0;
+  if (!(in >> keyword >> num_gpus) || keyword != "gpus") return std::nullopt;
+
+  Schedule schedule(num_gpus);
+  for (std::size_t expected = 0; expected < num_gpus; ++expected) {
+    std::size_t gpu = 0;
+    std::size_t count = 0;
+    if (!(in >> keyword >> gpu >> count) || keyword != "gpu" ||
+        gpu >= num_gpus) {
+      return std::nullopt;
+    }
+    schedule[gpu].reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      core::TaskId task = 0;
+      if (!(in >> task)) return std::nullopt;
+      schedule[gpu].push_back(task);
+    }
+  }
+  return schedule;
+}
+
+bool schedule_matches_graph(const Schedule& schedule,
+                            const core::TaskGraph& graph) {
+  std::vector<std::uint32_t> seen(graph.num_tasks(), 0);
+  std::size_t total = 0;
+  for (const auto& order : schedule) {
+    for (core::TaskId task : order) {
+      if (task >= graph.num_tasks()) return false;
+      if (++seen[task] > 1) return false;
+      ++total;
+    }
+  }
+  return total == graph.num_tasks();
+}
+
+}  // namespace mg::analysis

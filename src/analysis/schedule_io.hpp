@@ -1,0 +1,35 @@
+// Schedule persistence: save a realized schedule (σ — per-GPU ordered task
+// lists, e.g. extracted from a simulation trace) to a small text format and
+// load it back, so expensive static schedules can be archived and replayed
+// (via sched::FixedOrderScheduler) across runs and machines.
+//
+// Format ("memsched-schedule v1"):
+//   memsched-schedule v1
+//   gpus <K>
+//   gpu <k> <count>
+//   <task ids, whitespace separated, possibly over several lines>
+//   ...
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/task_graph.hpp"
+
+namespace mg::analysis {
+
+using Schedule = std::vector<std::vector<core::TaskId>>;
+
+/// Writes σ to `path`. Returns false on I/O error.
+bool save_schedule(const Schedule& schedule, const std::string& path);
+
+/// Loads a schedule; std::nullopt on I/O or format error.
+std::optional<Schedule> load_schedule(const std::string& path);
+
+/// Checks that σ covers every task of `graph` exactly once.
+bool schedule_matches_graph(const Schedule& schedule,
+                            const core::TaskGraph& graph);
+
+}  // namespace mg::analysis

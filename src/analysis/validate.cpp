@@ -1,0 +1,119 @@
+#include "analysis/validate.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace mg::analysis {
+
+namespace {
+
+std::string format_error(const char* what, core::GpuId gpu, std::uint32_t id,
+                         double time_us) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof buffer, "%s (gpu=%u id=%u t=%.3fus)", what, gpu,
+                id, time_us);
+  return buffer;
+}
+
+}  // namespace
+
+ValidationResult validate_trace(const core::TaskGraph& graph,
+                                const core::Platform& platform,
+                                const sim::Trace& trace) {
+  const std::uint32_t num_gpus = platform.num_gpus;
+  std::vector<std::vector<bool>> resident(
+      num_gpus, std::vector<bool>(graph.num_data(), false));
+  std::vector<std::uint64_t> used(num_gpus, 0);
+  std::vector<std::uint32_t> executions(graph.num_tasks(), 0);
+  std::vector<std::int32_t> running(num_gpus, -1);
+  double last_time = 0.0;
+
+  auto fail = [](std::string message) {
+    return ValidationResult{false, std::move(message)};
+  };
+
+  for (const sim::TraceEvent& event : trace.events) {
+    if (event.time_us + 1e-9 < last_time) {
+      return fail(format_error("time went backwards", event.gpu, event.id,
+                               event.time_us));
+    }
+    last_time = event.time_us;
+    if (event.gpu >= num_gpus) {
+      return fail(format_error("unknown gpu", event.gpu, event.id,
+                               event.time_us));
+    }
+    switch (event.kind) {
+      case sim::TraceKind::kLoad:
+      case sim::TraceKind::kPeerLoad: {
+        if (event.id >= graph.num_data()) {
+          return fail(format_error("load of unknown data", event.gpu, event.id,
+                                   event.time_us));
+        }
+        if (resident[event.gpu][event.id]) {
+          return fail(format_error("load of already-resident data", event.gpu,
+                                   event.id, event.time_us));
+        }
+        resident[event.gpu][event.id] = true;
+        used[event.gpu] += graph.data_size(event.id);
+        if (used[event.gpu] > platform.gpu_memory_bytes) {
+          return fail(format_error("memory bound exceeded", event.gpu,
+                                   event.id, event.time_us));
+        }
+        break;
+      }
+      case sim::TraceKind::kEvict: {
+        if (event.id >= graph.num_data() || !resident[event.gpu][event.id]) {
+          return fail(format_error("evict of non-resident data", event.gpu,
+                                   event.id, event.time_us));
+        }
+        resident[event.gpu][event.id] = false;
+        used[event.gpu] -= graph.data_size(event.id);
+        break;
+      }
+      case sim::TraceKind::kTaskStart: {
+        if (event.id >= graph.num_tasks()) {
+          return fail(format_error("start of unknown task", event.gpu,
+                                   event.id, event.time_us));
+        }
+        if (running[event.gpu] != -1) {
+          return fail(format_error("two tasks running on one gpu", event.gpu,
+                                   event.id, event.time_us));
+        }
+        for (core::DataId data : graph.inputs(event.id)) {
+          if (!resident[event.gpu][data]) {
+            return fail(format_error("task started with missing input",
+                                     event.gpu, event.id, event.time_us));
+          }
+        }
+        running[event.gpu] = static_cast<std::int32_t>(event.id);
+        break;
+      }
+      case sim::TraceKind::kWriteBack:
+        // No residency effect; scratch accounting is internal to the
+        // simulator and not visible in the trace.
+        break;
+      case sim::TraceKind::kTaskEnd: {
+        if (running[event.gpu] != static_cast<std::int32_t>(event.id)) {
+          return fail(format_error("end of task that was not running",
+                                   event.gpu, event.id, event.time_us));
+        }
+        running[event.gpu] = -1;
+        ++executions[event.id];
+        break;
+      }
+    }
+  }
+
+  for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
+    if (executions[task] != 1) {
+      char buffer[96];
+      std::snprintf(buffer, sizeof buffer,
+                    "task %u executed %u times (expected once)", task,
+                    executions[task]);
+      return fail(buffer);
+    }
+  }
+  return {};
+}
+
+}  // namespace mg::analysis

@@ -1,0 +1,24 @@
+// Trace validation: checks that a simulation trace respects the execution
+// model of Section III — residency at task start, the per-GPU memory bound,
+// exactly-once execution — and that the trace's load/evict structure is
+// internally consistent.
+#pragma once
+
+#include <string>
+
+#include "core/platform.hpp"
+#include "core/task_graph.hpp"
+#include "sim/trace.hpp"
+
+namespace mg::analysis {
+
+struct ValidationResult {
+  bool ok = true;
+  std::string error;  ///< first violation found, empty when ok
+};
+
+ValidationResult validate_trace(const core::TaskGraph& graph,
+                                const core::Platform& platform,
+                                const sim::Trace& trace);
+
+}  // namespace mg::analysis

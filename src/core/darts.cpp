@@ -1,0 +1,553 @@
+#include "core/darts.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mg::core {
+
+std::string darts_variant_name(const DartsOptions& options) {
+  std::string name = "DARTS";
+  if (options.use_luf) name += "+LUF";
+  if (options.opti) name += "+OPTI";
+  if (options.scan_threshold > 0) name += "+threshold";
+  if (options.three_inputs) name += "-3inputs";
+  if (options.incremental) name += "+incr";
+  return name;
+}
+
+DartsScheduler::DartsScheduler(DartsOptions options)
+    : options_(options), name_(darts_variant_name(options)) {}
+
+void DartsScheduler::ScanList::init(std::uint32_t num_data) {
+  next.resize(num_data + 1);
+  prev.resize(num_data + 1);
+  present.assign(num_data, 1);
+  count = num_data;
+  // Chain 0,1,...,n-1 with slot n as the sentinel.
+  for (std::uint32_t data = 0; data <= num_data; ++data) {
+    next[data] = data + 1 <= num_data ? data + 1 : 0;
+    prev[data] = data > 0 ? data - 1 : num_data;
+  }
+  next[num_data] = num_data == 0 ? num_data : 0;
+  prev[0] = num_data;
+  next[num_data == 0 ? 0 : num_data - 1] = num_data;
+  prev[num_data] = num_data == 0 ? num_data : num_data - 1;
+}
+
+void DartsScheduler::ScanList::remove(DataId data) {
+  if (present[data] == 0) return;
+  present[data] = 0;
+  next[prev[data]] = next[data];
+  prev[next[data]] = prev[data];
+  --count;
+}
+
+void DartsScheduler::ScanList::push_back(DataId data) {
+  if (present[data] != 0) return;
+  present[data] = 1;
+  const DataId tail = prev[sentinel()];
+  next[tail] = data;
+  prev[data] = tail;
+  next[data] = sentinel();
+  prev[sentinel()] = data;
+  ++count;
+}
+
+void DartsScheduler::prepare(const TaskGraph& graph, const Platform& platform,
+                             std::uint64_t seed) {
+  MG_CHECK_MSG(!options_.incremental ||
+                   (!options_.three_inputs && !options_.opti &&
+                    options_.scan_threshold == 0),
+               "incremental DARTS does not compose with the scan variants");
+  graph_ = &graph;
+  rng_.reseed(seed);
+
+  const std::uint32_t num_tasks = graph.num_tasks();
+  const std::uint32_t num_data = graph.num_data();
+  state_.assign(num_tasks, TaskState::kAvailable);
+  available_.resize(num_tasks);
+  available_pos_.resize(num_tasks);
+  for (TaskId task = 0; task < num_tasks; ++task) {
+    available_[task] = task;
+    available_pos_[task] = task;
+  }
+
+  per_gpu_.assign(platform.num_gpus, PerGpu{});
+  for (PerGpu& gpu_state : per_gpu_) {
+    gpu_state.data_not_in_mem.init(num_data);
+    gpu_state.use_stamp.assign(num_data, 0);
+    if (options_.incremental) {
+      gpu_state.in_mem.assign(num_data, 0);
+      gpu_state.missing.resize(num_tasks);
+      gpu_state.free_count.assign(num_data, 0);
+      for (TaskId task = 0; task < num_tasks; ++task) {
+        const auto degree =
+            static_cast<std::uint32_t>(graph.inputs(task).size());
+        gpu_state.missing[task] = degree;
+        if (degree == 1) ++gpu_state.free_count[graph.inputs(task)[0]];
+      }
+    }
+  }
+  use_clock_ = 0;
+}
+
+bool DartsScheduler::rest_in_memory(TaskId task, const MemoryView& memory,
+                                    DataId extra, DataId extra2) const {
+  for (DataId data : graph_->inputs(task)) {
+    if (data == extra || data == extra2) continue;
+    if (!memory.is_present_or_fetching(data)) return false;
+  }
+  return true;
+}
+
+std::uint32_t DartsScheduler::count_unprocessed_consumers(DataId data) const {
+  std::uint32_t count = 0;
+  for (TaskId task : graph_->consumers(data)) {
+    if (state_[task] != TaskState::kDone) ++count;
+  }
+  return count;
+}
+
+TaskId DartsScheduler::pop_task(GpuId gpu, const MemoryView& memory) {
+  PerGpu& gpu_state = per_gpu_[gpu];
+  if (!gpu_state.planned.empty()) return pop_planned(gpu);
+  if (available_.empty()) return kInvalidTask;
+  if (options_.incremental) return pop_task_incremental(gpu);
+
+  // Line 4-6 of Algorithm 5: find the data whose load frees the most tasks.
+  // The list is scanned in submission order; the threshold variant caps how
+  // many entries one decision may visit and rotates the start so successive
+  // decisions cover the whole list rather than re-inspecting a stale prefix.
+  const ScanList& list = gpu_state.data_not_in_mem;
+  const std::size_t scan_limit =
+      options_.scan_threshold > 0
+          ? std::min<std::size_t>(options_.scan_threshold, list.count)
+          : list.count;
+  DataId scan_start = list.first();
+  if (options_.scan_threshold > 0 && gpu_state.scan_cursor != kInvalidData &&
+      list.contains(gpu_state.scan_cursor)) {
+    scan_start = gpu_state.scan_cursor;
+  }
+  std::uint32_t n_max = 0;
+  candidates_.clear();
+  DataId data = scan_start;
+  for (std::size_t i = 0; i < scan_limit; ++i) {
+    if (data == list.sentinel()) data = list.first();  // wrap
+    const DataId current = data;
+    data = list.after(data);
+    std::uint32_t n = 0;
+    for (TaskId task : graph_->consumers(current)) {
+      if (state_[task] == TaskState::kAvailable &&
+          rest_in_memory(task, memory, current)) {
+        ++n;
+      }
+    }
+    if (n == 0) continue;
+    if (options_.opti) {
+      gpu_state.scan_cursor = data == list.sentinel() ? kInvalidData : data;
+      return plan_and_pop(gpu, memory, current);
+    }
+    if (n > n_max) {
+      n_max = n;
+      candidates_.clear();
+      candidates_.push_back(current);
+    } else if (n == n_max) {
+      candidates_.push_back(current);
+    }
+  }
+  if (options_.scan_threshold > 0) {
+    gpu_state.scan_cursor = data == list.sentinel() ? kInvalidData : data;
+  }
+
+  if (n_max > 0) {
+    // Lines 8-9: among data freeing n_max tasks, prefer the one useful to
+    // the most unprocessed tasks overall; break remaining ties at random.
+    std::uint32_t best_consumers = 0;
+    std::size_t tie_count = 0;
+    DataId chosen = kInvalidData;
+    for (DataId data : candidates_) {
+      const std::uint32_t consumers = count_unprocessed_consumers(data);
+      if (consumers > best_consumers) {
+        best_consumers = consumers;
+        chosen = data;
+        tie_count = 1;
+      } else if (consumers == best_consumers) {
+        // Reservoir-style uniform choice among ties.
+        ++tie_count;
+        if (rng_.below(tie_count) == 0) chosen = data;
+      }
+    }
+    return plan_and_pop(gpu, memory, chosen);
+  }
+
+  // Line 13: no data frees a task.
+  if (options_.three_inputs) {
+    const TaskId task = take_three_inputs(gpu, memory);
+    if (task != kInvalidTask) return task;
+  }
+  return take_random_available(gpu);
+}
+
+TaskId DartsScheduler::pop_task_incremental(GpuId gpu) {
+  PerGpu& gpu_state = per_gpu_[gpu];
+  // Max n(D) over dataNotInMem; ties by unprocessed consumers, then random.
+  const ScanList& list = gpu_state.data_not_in_mem;
+  std::uint32_t n_max = 0;
+  candidates_.clear();
+  for (DataId data = list.first(); data != list.sentinel();
+       data = list.after(data)) {
+    const std::uint32_t n = gpu_state.free_count[data];
+    if (n == 0) continue;
+    if (n > n_max) {
+      n_max = n;
+      candidates_.clear();
+      candidates_.push_back(data);
+    } else if (n == n_max) {
+      candidates_.push_back(data);
+    }
+  }
+  if (n_max > 0) {
+    std::uint32_t best_consumers = 0;
+    std::size_t tie_count = 0;
+    DataId chosen = kInvalidData;
+    for (DataId data : candidates_) {
+      const std::uint32_t consumers = count_unprocessed_consumers(data);
+      if (consumers > best_consumers) {
+        best_consumers = consumers;
+        chosen = data;
+        tie_count = 1;
+      } else if (consumers == best_consumers) {
+        ++tie_count;
+        if (rng_.below(tie_count) == 0) chosen = data;
+      }
+    }
+    return plan_and_pop_incremental(gpu, chosen);
+  }
+  return take_random_available(gpu);
+}
+
+TaskId DartsScheduler::plan_and_pop_incremental(GpuId gpu, DataId data) {
+  PerGpu& gpu_state = per_gpu_[gpu];
+  free_tasks_.clear();
+  for (TaskId task : graph_->consumers(data)) {
+    // missing == 1 and the task consumes the absent `data`, so `data` is
+    // exactly its one absent input.
+    if (state_[task] == TaskState::kAvailable &&
+        gpu_state.missing[task] == 1) {
+      free_tasks_.push_back(task);
+    }
+  }
+  MG_DCHECK(free_tasks_.size() == gpu_state.free_count[data]);
+  MG_CHECK_MSG(!free_tasks_.empty(), "incremental n(D) counter desync");
+  for (TaskId task : free_tasks_) {
+    state_[task] = TaskState::kPlanned;
+    incremental_availability_change(task, -1);
+    remove_from_available(task);
+    gpu_state.planned.push_back(task);
+  }
+  remove_data_from_scan(gpu, data);
+  return pop_planned(gpu);
+}
+
+DataId DartsScheduler::sole_missing_input(GpuId gpu, TaskId task) const {
+  const PerGpu& gpu_state = per_gpu_[gpu];
+  MG_DCHECK(gpu_state.missing[task] == 1);
+  for (DataId data : graph_->inputs(task)) {
+    if (gpu_state.in_mem[data] == 0) return data;
+  }
+  MG_CHECK_MSG(false, "missing-count desync in incremental DARTS");
+  return kInvalidData;
+}
+
+void DartsScheduler::incremental_availability_change(TaskId task, int delta) {
+  if (!options_.incremental) return;
+  for (GpuId gpu = 0; gpu < per_gpu_.size(); ++gpu) {
+    PerGpu& gpu_state = per_gpu_[gpu];
+    if (gpu_state.missing[task] != 1) continue;
+    const DataId missing = sole_missing_input(gpu, task);
+    if (delta > 0) {
+      ++gpu_state.free_count[missing];
+    } else {
+      MG_DCHECK(gpu_state.free_count[missing] > 0);
+      --gpu_state.free_count[missing];
+    }
+  }
+}
+
+TaskId DartsScheduler::plan_and_pop(GpuId gpu, const MemoryView& memory,
+                                    DataId data) {
+  PerGpu& gpu_state = per_gpu_[gpu];
+  free_tasks_.clear();
+  for (TaskId task : graph_->consumers(data)) {
+    if (state_[task] == TaskState::kAvailable &&
+        rest_in_memory(task, memory, data)) {
+      free_tasks_.push_back(task);
+    }
+  }
+  MG_DCHECK(!free_tasks_.empty());
+  for (TaskId task : free_tasks_) {
+    state_[task] = TaskState::kPlanned;
+    remove_from_available(task);
+    gpu_state.planned.push_back(task);
+  }
+  remove_data_from_scan(gpu, data);
+  return pop_planned(gpu);
+}
+
+TaskId DartsScheduler::pop_planned(GpuId gpu) {
+  PerGpu& gpu_state = per_gpu_[gpu];
+  MG_DCHECK(!gpu_state.planned.empty());
+  const TaskId task = gpu_state.planned.front();
+  gpu_state.planned.pop_front();
+  mark_buffered(gpu, task);
+  return task;
+}
+
+TaskId DartsScheduler::take_random_available(GpuId gpu) {
+  if (available_.empty()) return kInvalidTask;
+  const TaskId task = available_[rng_.pick_index(available_)];
+  for (DataId data : graph_->inputs(task)) remove_data_from_scan(gpu, data);
+  incremental_availability_change(task, -1);
+  remove_from_available(task);
+  mark_buffered(gpu, task);
+  return task;
+}
+
+TaskId DartsScheduler::take_three_inputs(GpuId gpu, const MemoryView& memory) {
+  PerGpu& gpu_state = per_gpu_[gpu];
+  const ScanList& list = gpu_state.data_not_in_mem;
+  const std::size_t scan_limit =
+      options_.scan_threshold > 0
+          ? std::min<std::size_t>(options_.scan_threshold, list.count)
+          : list.count;
+  DataId cursor = list.first();
+  if (options_.scan_threshold > 0 && gpu_state.scan_cursor != kInvalidData &&
+      list.contains(gpu_state.scan_cursor)) {
+    cursor = gpu_state.scan_cursor;
+  }
+  // Find the data enabling the most tasks that need exactly one further
+  // load; return one of those tasks (Section V-E).
+  std::uint32_t best_n = 0;
+  DataId best_data = kInvalidData;
+  for (std::size_t i = 0; i < scan_limit; ++i) {
+    if (cursor == list.sentinel()) cursor = list.first();  // wrap
+    const DataId data = cursor;
+    cursor = list.after(cursor);
+    std::uint32_t n = 0;
+    for (TaskId task : graph_->consumers(data)) {
+      if (state_[task] != TaskState::kAvailable) continue;
+      std::uint32_t missing_others = 0;
+      for (DataId input : graph_->inputs(task)) {
+        if (input != data && !memory.is_present_or_fetching(input)) {
+          ++missing_others;
+          if (missing_others > 1) break;
+        }
+      }
+      if (missing_others == 1) ++n;
+    }
+    if (n > best_n) {
+      best_n = n;
+      best_data = data;
+    }
+  }
+  if (best_data == kInvalidData) return kInvalidTask;
+
+  // Pick one qualifying task of best_data uniformly at random.
+  free_tasks_.clear();
+  for (TaskId task : graph_->consumers(best_data)) {
+    if (state_[task] != TaskState::kAvailable) continue;
+    std::uint32_t missing_others = 0;
+    for (DataId input : graph_->inputs(task)) {
+      if (input != best_data && !memory.is_present_or_fetching(input)) {
+        ++missing_others;
+      }
+    }
+    if (missing_others == 1) free_tasks_.push_back(task);
+  }
+  MG_DCHECK(!free_tasks_.empty());
+  const TaskId task = free_tasks_[rng_.pick_index(free_tasks_)];
+  for (DataId data : graph_->inputs(task)) remove_data_from_scan(gpu, data);
+  remove_from_available(task);
+  mark_buffered(gpu, task);
+  return task;
+}
+
+void DartsScheduler::mark_buffered(GpuId gpu, TaskId task) {
+  state_[task] = TaskState::kBuffered;
+  per_gpu_[gpu].buffered.push_back(task);
+}
+
+void DartsScheduler::notify_task_complete(GpuId gpu, TaskId task) {
+  MG_DCHECK(state_[task] == TaskState::kBuffered);
+  state_[task] = TaskState::kDone;
+  auto& buffered = per_gpu_[gpu].buffered;
+  auto it = std::find(buffered.begin(), buffered.end(), task);
+  MG_DCHECK(it != buffered.end());
+  buffered.erase(it);
+}
+
+void DartsScheduler::notify_data_loaded(GpuId gpu, DataId data) {
+  // Normally the data was removed from the scan list when selected; this
+  // covers loads triggered outside a planning decision.
+  remove_data_from_scan(gpu, data);
+
+  if (options_.incremental) {
+    PerGpu& gpu_state = per_gpu_[gpu];
+    if (gpu_state.in_mem[data] == 0) {
+      gpu_state.in_mem[data] = 1;
+      for (TaskId task : graph_->consumers(data)) {
+        MG_DCHECK(gpu_state.missing[task] > 0);
+        if (state_[task] == TaskState::kAvailable) {
+          if (gpu_state.missing[task] == 1) {
+            // Was free via `data`; now it needs no load at all.
+            MG_DCHECK(gpu_state.free_count[data] > 0);
+            --gpu_state.free_count[data];
+          } else if (gpu_state.missing[task] == 2) {
+            --gpu_state.missing[task];
+            ++gpu_state.free_count[sole_missing_input(gpu, task)];
+            continue;
+          }
+        }
+        --gpu_state.missing[task];
+      }
+    }
+  }
+}
+
+void DartsScheduler::notify_data_evicted(GpuId gpu, DataId data) {
+  push_data_to_scan(gpu, data);
+
+  if (options_.incremental) {
+    PerGpu& gpu_state = per_gpu_[gpu];
+    if (gpu_state.in_mem[data] != 0) {
+      for (TaskId task : graph_->consumers(data)) {
+        if (state_[task] == TaskState::kAvailable) {
+          if (gpu_state.missing[task] == 0) {
+            ++gpu_state.free_count[data];  // `data` becomes its sole miss
+          } else if (gpu_state.missing[task] == 1) {
+            const DataId other = sole_missing_input(gpu, task);
+            MG_DCHECK(gpu_state.free_count[other] > 0);
+            --gpu_state.free_count[other];
+          }
+        }
+        ++gpu_state.missing[task];
+      }
+      gpu_state.in_mem[data] = 0;
+    }
+  }
+}
+
+void DartsScheduler::on_load(GpuId gpu, DataId data) {
+  per_gpu_[gpu].use_stamp[data] = ++use_clock_;
+}
+
+void DartsScheduler::on_use(GpuId gpu, DataId data) {
+  per_gpu_[gpu].use_stamp[data] = ++use_clock_;
+}
+
+void DartsScheduler::on_evict(GpuId gpu, DataId data) {
+  // Algorithm 6 line 8: planned tasks depending on the victim go back to the
+  // shared pool (their placement is reconsidered later).
+  auto& planned = per_gpu_[gpu].planned;
+  for (auto it = planned.begin(); it != planned.end();) {
+    const auto inputs = graph_->inputs(*it);
+    if (std::find(inputs.begin(), inputs.end(), data) != inputs.end()) {
+      state_[*it] = TaskState::kAvailable;
+      push_to_available(*it);
+      incremental_availability_change(*it, +1);
+      it = planned.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+DataId DartsScheduler::choose_victim(GpuId gpu,
+                                     std::span<const DataId> candidates) {
+  const PerGpu& gpu_state = per_gpu_[gpu];
+
+  // nb(D): uses by taskBuffer; np(D): uses by plannedTasks. Both computed on
+  // the candidate set only, via the (small) task lists.
+  auto count_uses = [this](const auto& tasks, DataId data) {
+    std::uint32_t uses = 0;
+    for (TaskId task : tasks) {
+      const auto inputs = graph_->inputs(task);
+      if (std::find(inputs.begin(), inputs.end(), data) != inputs.end()) {
+        ++uses;
+      }
+    }
+    return uses;
+  };
+
+  // Line 5 of Algorithm 6: among data unused by the pipeline, evict the one
+  // with the fewest planned uses. The paper leaves ties unspecified; we
+  // break them by recency (least recently used first), so that "spent" data
+  // go before data that current planning is still clustered around.
+  DataId victim = kInvalidData;
+  std::uint32_t best_np = ~std::uint32_t{0};
+  std::uint64_t best_stamp = ~std::uint64_t{0};
+  for (DataId data : candidates) {
+    if (count_uses(gpu_state.buffered, data) != 0) continue;
+    const std::uint32_t np = count_uses(gpu_state.planned, data);
+    const std::uint64_t stamp = gpu_state.use_stamp[data];
+    if (np < best_np || (np == best_np && stamp < best_stamp)) {
+      best_np = np;
+      best_stamp = stamp;
+      victim = data;
+    }
+  }
+  if (victim != kInvalidData) return victim;
+
+  // Fallback (line 7): Belady's rule on the taskBuffer — evict the data
+  // whose next use in pipeline order is the furthest away.
+  std::size_t furthest = 0;
+  for (DataId data : candidates) {
+    std::size_t next_use = gpu_state.buffered.size();  // "never" sentinel
+    for (std::size_t i = 0; i < gpu_state.buffered.size(); ++i) {
+      const auto inputs = graph_->inputs(gpu_state.buffered[i]);
+      if (std::find(inputs.begin(), inputs.end(), data) != inputs.end()) {
+        next_use = i;
+        break;
+      }
+    }
+    if (victim == kInvalidData || next_use > furthest) {
+      victim = data;
+      furthest = next_use;
+    }
+  }
+  return victim;
+}
+
+void DartsScheduler::remove_from_available(TaskId task) {
+  const std::uint32_t pos = available_pos_[task];
+  MG_DCHECK(pos != kNoPos);
+  const TaskId moved = available_.back();
+  available_[pos] = moved;
+  available_pos_[moved] = pos;
+  available_.pop_back();
+  available_pos_[task] = kNoPos;
+}
+
+void DartsScheduler::push_to_available(TaskId task) {
+  MG_DCHECK(available_pos_[task] == kNoPos);
+  available_pos_[task] = static_cast<std::uint32_t>(available_.size());
+  available_.push_back(task);
+}
+
+void DartsScheduler::remove_data_from_scan(GpuId gpu, DataId data) {
+  PerGpu& gpu_state = per_gpu_[gpu];
+  if (!gpu_state.data_not_in_mem.contains(data)) return;
+  if (gpu_state.scan_cursor == data) {
+    const DataId next = gpu_state.data_not_in_mem.after(data);
+    gpu_state.scan_cursor =
+        next == gpu_state.data_not_in_mem.sentinel() ? kInvalidData : next;
+  }
+  gpu_state.data_not_in_mem.remove(data);
+}
+
+void DartsScheduler::push_data_to_scan(GpuId gpu, DataId data) {
+  per_gpu_[gpu].data_not_in_mem.push_back(data);
+}
+
+}  // namespace mg::core

@@ -1,0 +1,192 @@
+// DARTS — Data-Aware Reactive Task Scheduling (Algorithm 5) with the LUF
+// ("Least Used in the Future") eviction policy (Algorithm 6). This is the
+// paper's primary contribution.
+//
+// Scheduling side, per GPU request:
+//   * if plannedTasks_k is non-empty, pop it;
+//   * otherwise scan dataNotInMem_k for the data D maximizing n(D), the
+//     number of available tasks that would need no further load if D were
+//     brought in ("free" tasks). Ties are broken by total unprocessed
+//     consumers, then uniformly at random. All free tasks of the chosen data
+//     are planned on this GPU;
+//   * if no data frees any task: the 3inputs variant looks for the data
+//     enabling the most tasks that are exactly one further load away and
+//     returns one of those tasks; otherwise a random available task is
+//     returned.
+// The OPTI variant stops the scan at the first data with n(D) >= 1; the
+// threshold variant caps how many data the scan may visit. Both trade
+// schedule quality for decision time (Sections V-E/V-F of the paper).
+//
+// Eviction side (LUF): prefer a victim used by no task of the GPU's pipeline
+// (taskBuffer), minimizing uses by plannedTasks; otherwise apply Belady's
+// rule over the pipeline. Planned tasks that depended on the evicted data
+// return to the available pool.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/eviction.hpp"
+#include "core/ids.hpp"
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace mg::core {
+
+struct DartsOptions {
+  /// Use the LUF eviction policy (otherwise the engine default, LRU).
+  bool use_luf = true;
+
+  /// "3inputs": when no data enables a free task, pick the data enabling the
+  /// most tasks that are a single additional load away (Section V-E).
+  bool three_inputs = false;
+
+  /// "OPTI": stop the data scan at the first data enabling >= 1 free task
+  /// (Section V-F).
+  bool opti = false;
+
+  /// Cap on the number of candidate data scanned per planning round;
+  /// 0 = unlimited ("threshold" variant, Section V-C).
+  std::uint32_t scan_threshold = 0;
+
+  /// Incremental free-task counting (the paper's first future-work item:
+  /// "improve the computational complexity of DARTS"). Maintains n(D) per
+  /// GPU under load/evict/plan events, so a planning round costs
+  /// O(|dataNotInMem|) instead of O(sum of consumer degrees). Semantics
+  /// differ slightly from the scan: only *fully loaded* data count as in
+  /// memory (the runtime does not announce fetch starts), so decisions can
+  /// diverge from the scan variant while remaining DARTS-shaped.
+  /// Incompatible with three_inputs / opti / scan_threshold.
+  bool incremental = false;
+};
+
+class DartsScheduler final : public Scheduler, public EvictionPolicy {
+ public:
+  explicit DartsScheduler(DartsOptions options = {});
+
+  // Scheduler
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  void prepare(const TaskGraph& graph, const Platform& platform,
+               std::uint64_t seed) override;
+  [[nodiscard]] TaskId pop_task(GpuId gpu, const MemoryView& memory) override;
+  void notify_task_complete(GpuId gpu, TaskId task) override;
+  void notify_data_loaded(GpuId gpu, DataId data) override;
+  void notify_data_evicted(GpuId gpu, DataId data) override;
+  [[nodiscard]] EvictionPolicy* eviction_policy(GpuId gpu) override {
+    (void)gpu;
+    return options_.use_luf ? this : nullptr;
+  }
+
+  // EvictionPolicy (LUF) — only wired when options_.use_luf.
+  void on_load(GpuId gpu, DataId data) override;
+  void on_use(GpuId gpu, DataId data) override;
+  void on_evict(GpuId gpu, DataId data) override;
+  [[nodiscard]] DataId choose_victim(
+      GpuId gpu, std::span<const DataId> candidates) override;
+
+  [[nodiscard]] const DartsOptions& options() const { return options_; }
+
+  /// Planned-but-not-popped tasks currently reserved for `gpu` (test hook).
+  [[nodiscard]] const std::deque<TaskId>& planned_tasks(GpuId gpu) const {
+    return per_gpu_[gpu].planned;
+  }
+
+ private:
+  enum class TaskState : std::uint8_t {
+    kAvailable,  ///< in the shared pool
+    kPlanned,    ///< reserved in some GPU's plannedTasks
+    kBuffered,   ///< popped into a GPU pipeline (the paper's taskBuffer)
+    kDone,
+  };
+
+  /// dataNotInMem_k as an intrusive doubly-linked list over data ids, in
+  /// *submission order* (removals do not scramble it): the order the scan,
+  /// OPTI and threshold variants visit candidates in is part of their
+  /// behaviour — a first-enabling-data rule only works when "first" means
+  /// something (nearby in the natural task order).
+  struct ScanList {
+    std::vector<DataId> next;  ///< size num_data+1; last slot = sentinel
+    std::vector<DataId> prev;
+    std::vector<std::uint8_t> present;
+    std::uint32_t count = 0;
+
+    void init(std::uint32_t num_data);
+    void remove(DataId data);
+    void push_back(DataId data);
+    [[nodiscard]] DataId sentinel() const {
+      return static_cast<DataId>(present.size());
+    }
+    [[nodiscard]] DataId first() const { return next[sentinel()]; }
+    [[nodiscard]] DataId after(DataId data) const { return next[data]; }
+    [[nodiscard]] bool contains(DataId data) const {
+      return present[data] != 0;
+    }
+  };
+
+  struct PerGpu {
+    std::deque<TaskId> planned;           ///< plannedTasks_k
+    std::vector<TaskId> buffered;         ///< taskBuffer_k, in pop order
+    ScanList data_not_in_mem;             ///< scan list, submission order
+    std::vector<std::uint64_t> use_stamp; ///< LRU tie-break for LUF
+    DataId scan_cursor = kInvalidData;    ///< rotating threshold-scan start
+
+    // Incremental mode state (empty otherwise):
+    std::vector<std::uint8_t> in_mem;        ///< loaded-data mirror
+    std::vector<std::uint32_t> missing;      ///< per-task absent-input count
+    std::vector<std::uint32_t> free_count;   ///< n(D) over available tasks
+  };
+
+  /// True if every input of `task` other than `extra` (and optionally
+  /// `extra2`) is already loaded or loading on the GPU behind `memory`.
+  [[nodiscard]] bool rest_in_memory(TaskId task, const MemoryView& memory,
+                                    DataId extra,
+                                    DataId extra2 = kInvalidData) const;
+
+  [[nodiscard]] std::uint32_t count_unprocessed_consumers(DataId data) const;
+
+  void remove_from_available(TaskId task);
+  void push_to_available(TaskId task);
+  void remove_data_from_scan(GpuId gpu, DataId data);
+  void push_data_to_scan(GpuId gpu, DataId data);
+
+  /// Plans on `gpu` every available task freed by loading `data`, and pops
+  /// the first of them.
+  TaskId plan_and_pop(GpuId gpu, const MemoryView& memory, DataId data);
+
+  TaskId pop_planned(GpuId gpu);
+  TaskId take_random_available(GpuId gpu);
+  TaskId take_three_inputs(GpuId gpu, const MemoryView& memory);
+  void mark_buffered(GpuId gpu, TaskId task);
+
+  // Incremental-mode maintenance.
+  TaskId pop_task_incremental(GpuId gpu);
+  TaskId plan_and_pop_incremental(GpuId gpu, DataId data);
+  /// The single absent input of `task` on `gpu` (incremental state).
+  [[nodiscard]] DataId sole_missing_input(GpuId gpu, TaskId task) const;
+  /// Adjusts n(D) when `task` enters/leaves the available pool.
+  void incremental_availability_change(TaskId task, int delta);
+
+  DartsOptions options_;
+  std::string name_;
+  const TaskGraph* graph_ = nullptr;
+  util::Rng rng_;
+
+  std::vector<TaskState> state_;
+  std::vector<TaskId> available_;            ///< shared pool
+  std::vector<std::uint32_t> available_pos_; ///< task -> index, or npos
+  std::vector<PerGpu> per_gpu_;
+  std::uint64_t use_clock_ = 0;
+
+  // Scratch buffers reused across pops to avoid per-call allocation.
+  std::vector<DataId> candidates_;
+  std::vector<TaskId> free_tasks_;
+
+  static constexpr std::uint32_t kNoPos = 0xffffffffu;
+};
+
+/// Human-readable variant name, e.g. "DARTS+LUF+OPTI-3inputs".
+std::string darts_variant_name(const DartsOptions& options);
+
+}  // namespace mg::core

@@ -1,0 +1,41 @@
+// Eviction policy interface.
+//
+// When a GPU's memory manager must make room for an incoming data, it
+// collects the set of evictable candidates (resident, not pinned by a running
+// task, not mid-transfer) and asks the policy for a victim. Policies get
+// notified of loads / task-start uses / evictions to maintain their state
+// (recency lists for LRU, planning info for the paper's LUF).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "core/ids.hpp"
+
+namespace mg::core {
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Called when `data` becomes resident on `gpu`.
+  virtual void on_load(GpuId gpu, DataId data) { (void)gpu; (void)data; }
+
+  /// Called when a task starting on `gpu` reads `data`.
+  virtual void on_use(GpuId gpu, DataId data) { (void)gpu; (void)data; }
+
+  /// Called after `data` has been evicted from `gpu`.
+  virtual void on_evict(GpuId gpu, DataId data) { (void)gpu; (void)data; }
+
+  /// Picks a victim among `candidates` (non-empty, all evictable right now).
+  /// Returning kInvalidData refuses the eviction; the pending allocation then
+  /// waits until memory pressure changes (a policy should only refuse when it
+  /// knows pressure will change, otherwise the run stalls and the engine
+  /// aborts on deadlock).
+  [[nodiscard]] virtual DataId choose_victim(
+      GpuId gpu, std::span<const DataId> candidates) = 0;
+};
+
+}  // namespace mg::core

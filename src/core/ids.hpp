@@ -1,0 +1,21 @@
+// Strongly-conventioned index types for tasks, data and GPUs.
+//
+// Plain 32-bit indices (not wrapped structs) keep the hot scheduler loops
+// allocation-free and branch-predictable; the `kInvalid*` sentinels mark
+// "no task available" / "no victim" answers across the scheduler API.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mg::core {
+
+using TaskId = std::uint32_t;
+using DataId = std::uint32_t;
+using GpuId = std::uint32_t;
+
+inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
+inline constexpr DataId kInvalidData = std::numeric_limits<DataId>::max();
+inline constexpr GpuId kInvalidGpu = std::numeric_limits<GpuId>::max();
+
+}  // namespace mg::core

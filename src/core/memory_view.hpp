@@ -1,0 +1,34 @@
+// Read-only view of one GPU's memory state, handed to schedulers when they
+// are asked for a task. This is the scheduler-visible subset of what StarPU
+// exposes (starpu_data_is_on_node & friends): residency and occupancy, but no
+// ability to mutate — all loads/evictions are decided by the runtime engine
+// and its eviction policy.
+#pragma once
+
+#include <cstdint>
+
+#include "core/ids.hpp"
+
+namespace mg::core {
+
+class MemoryView {
+ public:
+  virtual ~MemoryView() = default;
+
+  /// Data is fully resident (a task could start on it right now).
+  [[nodiscard]] virtual bool is_present(DataId data) const = 0;
+
+  /// Data is resident or its transfer is already in flight: using it costs no
+  /// *additional* load. This is the notion of "already loaded" that the
+  /// Ready heuristic and DARTS free-task counting use.
+  [[nodiscard]] virtual bool is_present_or_fetching(DataId data) const = 0;
+
+  [[nodiscard]] virtual std::uint64_t capacity_bytes() const = 0;
+  [[nodiscard]] virtual std::uint64_t used_bytes() const = 0;
+
+  [[nodiscard]] std::uint64_t free_bytes() const {
+    return capacity_bytes() - used_bytes();
+  }
+};
+
+}  // namespace mg::core

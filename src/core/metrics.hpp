@@ -1,0 +1,105 @@
+// Run metrics reported by the simulator — the quantities plotted in the
+// paper's figures (GFlop/s, MB transferred) plus diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/platform.hpp"
+
+namespace mg::core {
+
+struct GpuMetrics {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t loads = 0;              ///< host->GPU transfers (count)
+  std::uint64_t bytes_loaded = 0;       ///< host->GPU transfers (bytes)
+  std::uint64_t peer_loads = 0;         ///< GPU->GPU transfers (count)
+  std::uint64_t bytes_from_peers = 0;   ///< GPU->GPU transfers (bytes)
+  std::uint64_t bytes_written_back = 0; ///< GPU->host output write-backs
+  std::uint64_t evictions = 0;
+  double busy_time_us = 0.0;            ///< time spent computing
+  double stall_time_us = 0.0;           ///< idle while tasks remained
+};
+
+struct RunMetrics {
+  std::vector<GpuMetrics> per_gpu;
+
+  /// Simulated completion time of the last task. When scheduler cost was
+  /// accounted, per-pop decision time is already charged inside (it gates
+  /// task starts); prepare() time is not and is added by wall_makespan_us().
+  double makespan_us = 0.0;
+  double scheduler_prepare_us = 0.0;  ///< measured wall time of prepare()
+  double scheduler_pop_us = 0.0;      ///< cumulated wall time of pop_task()
+  double total_flops = 0.0;
+
+  /// True when the run charged scheduler wall time into the timeline.
+  bool scheduler_cost_accounted = false;
+
+  [[nodiscard]] std::uint64_t total_loads() const {
+    std::uint64_t loads = 0;
+    for (const auto& gpu : per_gpu) loads += gpu.loads;
+    return loads;
+  }
+
+  [[nodiscard]] std::uint64_t total_bytes_loaded() const {
+    std::uint64_t bytes = 0;
+    for (const auto& gpu : per_gpu) bytes += gpu.bytes_loaded;
+    return bytes;
+  }
+
+  [[nodiscard]] std::uint64_t total_peer_loads() const {
+    std::uint64_t loads = 0;
+    for (const auto& gpu : per_gpu) loads += gpu.peer_loads;
+    return loads;
+  }
+
+  [[nodiscard]] std::uint64_t total_bytes_from_peers() const {
+    std::uint64_t bytes = 0;
+    for (const auto& gpu : per_gpu) bytes += gpu.bytes_from_peers;
+    return bytes;
+  }
+
+  [[nodiscard]] std::uint64_t total_bytes_written_back() const {
+    std::uint64_t bytes = 0;
+    for (const auto& gpu : per_gpu) bytes += gpu.bytes_written_back;
+    return bytes;
+  }
+
+  [[nodiscard]] std::uint64_t total_evictions() const {
+    std::uint64_t evictions = 0;
+    for (const auto& gpu : per_gpu) evictions += gpu.evictions;
+    return evictions;
+  }
+
+  [[nodiscard]] std::uint64_t max_tasks_on_any_gpu() const {
+    std::uint64_t worst = 0;
+    for (const auto& gpu : per_gpu)
+      if (gpu.tasks_executed > worst) worst = gpu.tasks_executed;
+    return worst;
+  }
+
+  /// Makespan including the blocking static-phase (prepare) cost when
+  /// scheduler cost was accounted.
+  [[nodiscard]] double wall_makespan_us() const {
+    if (!scheduler_cost_accounted) return makespan_us;
+    return makespan_us + scheduler_prepare_us;
+  }
+
+  /// Achieved throughput in GFlop/s, the y axis of the performance figures.
+  [[nodiscard]] double achieved_gflops() const {
+    const double us = wall_makespan_us();
+    return us > 0.0 ? total_flops / (us * 1e3) : 0.0;
+  }
+
+  /// Host-bus traffic in MB (the y axis of the transfer figures). Peer
+  /// traffic is reported separately by peer_transfers_mb().
+  [[nodiscard]] double transfers_mb() const {
+    return static_cast<double>(total_bytes_loaded()) / 1e6;
+  }
+
+  [[nodiscard]] double peer_transfers_mb() const {
+    return static_cast<double>(total_bytes_from_peers()) / 1e6;
+  }
+};
+
+}  // namespace mg::core

@@ -1,0 +1,115 @@
+// Platform description (Figure 2 of the paper): K identical GPUs, each with
+// its own bounded memory, all attached to host memory through one shared PCI
+// bus. The default constants are the paper's experimental setup: Tesla V100
+// GEMM throughput of 13 253 GFlop/s (the "GFlop/s max" line of the figures),
+// a 16 GB/s PCI express bus, and GPU memory restricted to 500 MB.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace mg::core {
+
+/// The paper expresses sizes in MB = 1e6 bytes (140 MB working set for
+/// 2x5 data of one 14 MB block-row each).
+inline constexpr std::uint64_t kMB = 1'000'000;
+inline constexpr std::uint64_t kGB = 1'000'000'000;
+
+struct Platform {
+  /// Number of GPUs (K).
+  std::uint32_t num_gpus = 1;
+
+  /// Usable bytes of each GPU memory (M, uniform across GPUs).
+  std::uint64_t gpu_memory_bytes = 500 * kMB;
+
+  /// Effective GEMM throughput per GPU, in GFlop/s (uniform platforms, as
+  /// in the paper's evaluation).
+  double gpu_gflops = 13'253.0;
+
+  /// Optional per-device throughput override for *heterogeneous* platforms
+  /// (the general StarPU setting). When non-empty it must have one entry
+  /// per GPU and takes precedence over gpu_gflops.
+  std::vector<double> gpu_gflops_per_device;
+
+  /// Aggregate bandwidth of the shared host<->GPU bus, bytes per second.
+  double bus_bandwidth_bytes_per_s = 16.0e9;
+
+  /// Fixed per-transfer latency (DMA setup, driver), microseconds.
+  double bus_latency_us = 15.0;
+
+  /// Enable direct GPU-to-GPU transfers (the paper's Section VI future
+  /// work): when a requested data is already resident on a peer GPU, it is
+  /// pulled over that peer's NVLink egress port instead of the host bus.
+  bool nvlink_enabled = false;
+
+  /// Bandwidth of each GPU's NVLink egress port, bytes per second
+  /// (V100-generation NVLink2: ~50 GB/s per direction).
+  double nvlink_bandwidth_bytes_per_s = 50.0e9;
+
+  /// Fixed per-transfer latency on a peer link, microseconds.
+  double nvlink_latency_us = 5.0;
+
+  /// Predicted transfer time for `bytes`, in microseconds. Used both by the
+  /// simulator and by model-based schedulers (DMDA's comm_k term).
+  [[nodiscard]] double transfer_time_us(std::uint64_t bytes) const {
+    return bus_latency_us +
+           static_cast<double>(bytes) / bus_bandwidth_bytes_per_s * 1e6;
+  }
+
+  /// Predicted transfer time over a peer link, in microseconds.
+  [[nodiscard]] double nvlink_transfer_time_us(std::uint64_t bytes) const {
+    return nvlink_latency_us +
+           static_cast<double>(bytes) / nvlink_bandwidth_bytes_per_s * 1e6;
+  }
+
+  /// Throughput of one device in GFlop/s.
+  [[nodiscard]] double gflops_of(GpuId gpu) const {
+    return gpu_gflops_per_device.empty() ? gpu_gflops
+                                         : gpu_gflops_per_device[gpu];
+  }
+
+  /// Predicted execution time of a task of `flops` flops, microseconds
+  /// (uniform-speed view; prefer the per-GPU overload on heterogeneous
+  /// platforms).
+  [[nodiscard]] double compute_time_us(double flops) const {
+    return flops / (gpu_gflops * 1e9) * 1e6;
+  }
+
+  /// Predicted execution time of `flops` on a specific device.
+  [[nodiscard]] double compute_time_us(double flops, GpuId gpu) const {
+    return flops / (gflops_of(gpu) * 1e9) * 1e6;
+  }
+
+  [[nodiscard]] bool is_heterogeneous() const {
+    return !gpu_gflops_per_device.empty();
+  }
+
+  /// Cumulated GPU memory across the platform; the figures' "fits in
+  /// cumulated memory" thresholds compare working sets against this.
+  [[nodiscard]] std::uint64_t cumulated_memory_bytes() const {
+    return static_cast<std::uint64_t>(num_gpus) * gpu_memory_bytes;
+  }
+
+  /// Aggregate peak compute of the platform in GFlop/s.
+  [[nodiscard]] double peak_gflops() const {
+    if (gpu_gflops_per_device.empty()) {
+      return gpu_gflops * static_cast<double>(num_gpus);
+    }
+    double total = 0.0;
+    for (double gflops : gpu_gflops_per_device) total += gflops;
+    return total;
+  }
+};
+
+/// Convenience factory for the paper's Tesla V100 testbed.
+inline Platform make_v100_platform(std::uint32_t num_gpus,
+                                   std::uint64_t gpu_memory_bytes = 500 * kMB) {
+  Platform platform;
+  platform.num_gpus = num_gpus;
+  platform.gpu_memory_bytes = gpu_memory_bytes;
+  return platform;
+}
+
+}  // namespace mg::core

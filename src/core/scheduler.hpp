@@ -1,0 +1,76 @@
+// Scheduler interface — the pull API a StarPU scheduling policy sees.
+//
+// Lifecycle, per run:
+//   1. prepare(graph, platform, seed)   — static phase (HFP packing, hMETIS
+//      partitioning, DMDA push-side allocation...). The engine measures its
+//      wall-clock time; the paper's "with / without scheduling time" curves
+//      toggle whether it is charged to the simulated makespan.
+//   2. pop_task(gpu, memory)            — called whenever a GPU worker has
+//      room in its task pipeline. Returning kInvalidTask means "nothing for
+//      this GPU right now"; the engine will ask again when global state
+//      changes (a task completes or a data lands somewhere).
+//   3. notify_* hooks                   — runtime feedback used by dynamic
+//      policies (DARTS's dataNotInMem bookkeeping, Ready's residency view).
+//
+// Schedulers are single-run objects: create a fresh instance per simulation.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/eviction.hpp"
+#include "core/ids.hpp"
+#include "core/memory_view.hpp"
+#include "core/platform.hpp"
+#include "core/task_graph.hpp"
+
+namespace mg::core {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// One-time static phase. `seed` drives every random choice the policy
+  /// makes (tie breaking, stealing order) for reproducibility.
+  virtual void prepare(const TaskGraph& graph, const Platform& platform,
+                       std::uint64_t seed) = 0;
+
+  /// Next task for `gpu`, or kInvalidTask if none available for it now.
+  /// Each task must be returned exactly once across all GPUs.
+  [[nodiscard]] virtual TaskId pop_task(GpuId gpu, const MemoryView& memory) = 0;
+
+  virtual void notify_task_complete(GpuId gpu, TaskId task) {
+    (void)gpu;
+    (void)task;
+  }
+  virtual void notify_data_loaded(GpuId gpu, DataId data) {
+    (void)gpu;
+    (void)data;
+  }
+  virtual void notify_data_evicted(GpuId gpu, DataId data) {
+    (void)gpu;
+    (void)data;
+  }
+
+  /// Ordered push-time prefetch hints for `gpu` (StarPU's Algorithm 1 lines
+  /// 7-9: "Request data prefetch for D_j on GPU_k"). Queried once after
+  /// prepare(); the runtime issues them as *low-priority* transfers whenever
+  /// the GPU has free memory, never evicting for them. Default: none.
+  [[nodiscard]] virtual std::vector<DataId> prefetch_hints(GpuId gpu) {
+    (void)gpu;
+    return {};
+  }
+
+  /// Custom eviction policy for `gpu`, or nullptr to use the engine default
+  /// (LRU, as for all schedulers in the paper except DARTS+LUF). The pointer
+  /// must stay valid for the scheduler's lifetime.
+  [[nodiscard]] virtual EvictionPolicy* eviction_policy(GpuId gpu) {
+    (void)gpu;
+    return nullptr;
+  }
+};
+
+}  // namespace mg::core

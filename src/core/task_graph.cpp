@@ -1,0 +1,133 @@
+#include "core/task_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace mg::core {
+
+namespace {
+const std::string kEmptyLabel;
+}  // namespace
+
+std::uint64_t TaskGraph::input_bytes(TaskId task) const {
+  std::uint64_t bytes = 0;
+  for (DataId data : inputs(task)) bytes += data_sizes_[data];
+  return bytes;
+}
+
+std::uint64_t TaskGraph::max_task_footprint() const {
+  std::uint64_t best = 0;
+  for (TaskId task = 0; task < num_tasks(); ++task) {
+    best = std::max(best, input_bytes(task) + task_output_bytes(task));
+  }
+  return best;
+}
+
+const std::string& TaskGraph::task_label(TaskId task) const {
+  if (task_labels_.empty()) return kEmptyLabel;
+  return task_labels_[task];
+}
+
+const std::string& TaskGraph::data_label(DataId data) const {
+  if (data_labels_.empty()) return kEmptyLabel;
+  return data_labels_[data];
+}
+
+DataId TaskGraphBuilder::add_data(std::uint64_t size_bytes, std::string label) {
+  MG_CHECK_MSG(size_bytes > 0, "data must have non-zero size");
+  data_sizes_.push_back(size_bytes);
+  data_labels_.push_back(std::move(label));
+  return static_cast<DataId>(data_sizes_.size() - 1);
+}
+
+TaskId TaskGraphBuilder::add_task(double flops, std::span<const DataId> inputs,
+                                  std::string label) {
+  MG_CHECK_MSG(flops > 0.0, "task must have positive flops");
+  MG_CHECK_MSG(!inputs.empty(), "task must read at least one data");
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    MG_CHECK_MSG(inputs[i] < data_sizes_.size(), "input data not registered");
+    for (std::size_t j = i + 1; j < inputs.size(); ++j) {
+      MG_CHECK_MSG(inputs[i] != inputs[j], "duplicate input data in task");
+    }
+  }
+  task_inputs_.insert(task_inputs_.end(), inputs.begin(), inputs.end());
+  task_offsets_.push_back(static_cast<std::uint32_t>(task_inputs_.size()));
+  task_flops_.push_back(flops);
+  task_outputs_.push_back(0);
+  task_labels_.push_back(std::move(label));
+  return static_cast<TaskId>(task_flops_.size() - 1);
+}
+
+void TaskGraphBuilder::set_task_output(TaskId task, std::uint64_t bytes) {
+  MG_CHECK_MSG(task < task_flops_.size(), "unknown task");
+  task_outputs_[task] = bytes;
+}
+
+TaskId TaskGraphBuilder::add_task(double flops,
+                                  std::initializer_list<DataId> inputs,
+                                  std::string label) {
+  return add_task(flops, std::span<const DataId>(inputs.begin(), inputs.size()),
+                  std::move(label));
+}
+
+TaskGraph TaskGraphBuilder::build() const {
+  TaskGraph graph;
+  graph.task_offsets_ = task_offsets_;
+  graph.task_inputs_ = task_inputs_;
+  graph.data_sizes_ = data_sizes_;
+  graph.task_flops_ = task_flops_;
+  // Store outputs only when some task declares them (keeps has_outputs()
+  // cheap and the common no-output case lean).
+  if (std::any_of(task_outputs_.begin(), task_outputs_.end(),
+                  [](std::uint64_t bytes) { return bytes > 0; })) {
+    graph.task_outputs_ = task_outputs_;
+  }
+
+  // Drop labels entirely when none were provided, to keep big graphs lean.
+  const bool any_task_label = std::any_of(
+      task_labels_.begin(), task_labels_.end(),
+      [](const std::string& label) { return !label.empty(); });
+  const bool any_data_label = std::any_of(
+      data_labels_.begin(), data_labels_.end(),
+      [](const std::string& label) { return !label.empty(); });
+  if (any_task_label) graph.task_labels_ = task_labels_;
+  if (any_data_label) graph.data_labels_ = data_labels_;
+
+  // Reverse CSR: data -> consumers, stable in task order.
+  const auto num_data = static_cast<std::uint32_t>(data_sizes_.size());
+  std::vector<std::uint32_t> degree(num_data, 0);
+  for (DataId data : task_inputs_) ++degree[data];
+  graph.data_offsets_.assign(num_data + 1, 0);
+  std::partial_sum(degree.begin(), degree.end(),
+                   graph.data_offsets_.begin() + 1);
+  graph.data_consumers_.resize(task_inputs_.size());
+  std::vector<std::uint32_t> cursor(graph.data_offsets_.begin(),
+                                    graph.data_offsets_.end() - 1);
+  const auto num_tasks = static_cast<TaskId>(task_flops_.size());
+  for (TaskId task = 0; task < num_tasks; ++task) {
+    for (std::uint32_t e = task_offsets_[task]; e < task_offsets_[task + 1];
+         ++e) {
+      graph.data_consumers_[cursor[task_inputs_[e]]++] = task;
+    }
+  }
+
+  graph.total_flops_ =
+      std::accumulate(task_flops_.begin(), task_flops_.end(), 0.0);
+  graph.working_set_bytes_ = std::accumulate(
+      data_sizes_.begin(), data_sizes_.end(), std::uint64_t{0});
+  return graph;
+}
+
+void TaskGraphBuilder::clear() {
+  task_offsets_.assign(1, 0);
+  task_inputs_.clear();
+  data_sizes_.clear();
+  task_flops_.clear();
+  task_outputs_.clear();
+  task_labels_.clear();
+  data_labels_.clear();
+}
+
+}  // namespace mg::core

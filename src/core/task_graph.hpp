@@ -1,0 +1,134 @@
+// Bipartite task/data graph of Section III of the paper.
+//
+// Tasks T = {T_1..T_m} and data D = {D_1..D_n}; an edge (T_i, D_j) means T_i
+// reads D_j. Tasks are independent (no task-task dependencies) and data are
+// read-only inputs; outputs are excluded from the model, as in the paper.
+//
+// Storage is CSR in both directions (task -> inputs, data -> consumers) so
+// every scheduler query is a contiguous span scan. The graph is immutable
+// after TaskGraphBuilder::build().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace mg::core {
+
+class TaskGraph {
+ public:
+  [[nodiscard]] std::uint32_t num_tasks() const {
+    return static_cast<std::uint32_t>(task_offsets_.size() - 1);
+  }
+  [[nodiscard]] std::uint32_t num_data() const {
+    return static_cast<std::uint32_t>(data_offsets_.size() - 1);
+  }
+
+  /// Input data of a task, i.e. D(T_i) in the paper.
+  [[nodiscard]] std::span<const DataId> inputs(TaskId task) const {
+    return {task_inputs_.data() + task_offsets_[task],
+            task_offsets_[task + 1] - task_offsets_[task]};
+  }
+
+  /// Tasks consuming a data item.
+  [[nodiscard]] std::span<const TaskId> consumers(DataId data) const {
+    return {data_consumers_.data() + data_offsets_[data],
+            data_offsets_[data + 1] - data_offsets_[data]};
+  }
+
+  [[nodiscard]] std::uint64_t data_size(DataId data) const {
+    return data_sizes_[data];
+  }
+  [[nodiscard]] double task_flops(TaskId task) const {
+    return task_flops_[task];
+  }
+
+  /// Bytes of output the task produces (0 = outputs not modeled, the
+  /// paper's default). Outputs are task-private scratch: they occupy GPU
+  /// memory from task start until their write-back to the host completes.
+  [[nodiscard]] std::uint64_t task_output_bytes(TaskId task) const {
+    return task_outputs_.empty() ? 0 : task_outputs_[task];
+  }
+
+  /// True if any task declares output bytes.
+  [[nodiscard]] bool has_outputs() const { return !task_outputs_.empty(); }
+
+  /// Total bytes of the inputs of `task` (duplicates impossible: builder
+  /// rejects repeated inputs).
+  [[nodiscard]] std::uint64_t input_bytes(TaskId task) const;
+
+  /// Sum of all task flops; the numerator of achieved GFlop/s.
+  [[nodiscard]] double total_flops() const { return total_flops_; }
+
+  /// Sum of all data sizes — the paper's "working set" (x axis of every
+  /// figure).
+  [[nodiscard]] std::uint64_t working_set_bytes() const {
+    return working_set_bytes_;
+  }
+
+  /// Largest single-task footprint (inputs + output scratch); must fit in
+  /// GPU memory for any schedule to exist.
+  [[nodiscard]] std::uint64_t max_task_footprint() const;
+
+  /// Optional human-readable label (kernel name, tile coordinates).
+  [[nodiscard]] const std::string& task_label(TaskId task) const;
+  [[nodiscard]] const std::string& data_label(DataId data) const;
+
+ private:
+  friend class TaskGraphBuilder;
+
+  std::vector<std::uint32_t> task_offsets_;   // size m+1
+  std::vector<DataId> task_inputs_;           // CSR task -> data
+  std::vector<std::uint32_t> data_offsets_;   // size n+1
+  std::vector<TaskId> data_consumers_;        // CSR data -> task
+  std::vector<std::uint64_t> data_sizes_;     // bytes
+  std::vector<double> task_flops_;
+  std::vector<std::uint64_t> task_outputs_;   // empty when no outputs
+  std::vector<std::string> task_labels_;      // may be empty (no labels)
+  std::vector<std::string> data_labels_;
+  double total_flops_ = 0.0;
+  std::uint64_t working_set_bytes_ = 0;
+};
+
+class TaskGraphBuilder {
+ public:
+  /// Registers a data item of `size_bytes`; returns its id (dense, 0-based).
+  DataId add_data(std::uint64_t size_bytes, std::string label = "");
+
+  /// Registers a task reading `inputs` (all previously added, no duplicates).
+  TaskId add_task(double flops, std::span<const DataId> inputs,
+                  std::string label = "");
+  TaskId add_task(double flops, std::initializer_list<DataId> inputs,
+                  std::string label = "");
+
+  /// Declares that the most recently added task writes `bytes` of output
+  /// (held in GPU memory from start until write-back completes).
+  void set_task_output(TaskId task, std::uint64_t bytes);
+
+  [[nodiscard]] std::uint32_t num_tasks() const {
+    return static_cast<std::uint32_t>(task_flops_.size());
+  }
+  [[nodiscard]] std::uint32_t num_data() const {
+    return static_cast<std::uint32_t>(data_sizes_.size());
+  }
+
+  /// Finalizes the CSR structure. The builder can be reused afterwards only
+  /// after clear().
+  [[nodiscard]] TaskGraph build() const;
+
+  void clear();
+
+ private:
+  std::vector<std::uint32_t> task_offsets_{0};
+  std::vector<DataId> task_inputs_;
+  std::vector<std::uint64_t> data_sizes_;
+  std::vector<double> task_flops_;
+  std::vector<std::uint64_t> task_outputs_;
+  std::vector<std::string> task_labels_;
+  std::vector<std::string> data_labels_;
+};
+
+}  // namespace mg::core

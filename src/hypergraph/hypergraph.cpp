@@ -1,0 +1,81 @@
+#include "hypergraph/hypergraph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace mg::hyper {
+
+Hypergraph::Hypergraph(std::vector<std::uint64_t> vertex_weights,
+                       const std::vector<std::vector<VertexId>>& net_pins,
+                       std::vector<std::uint64_t> net_weights)
+    : vertex_weights_(std::move(vertex_weights)),
+      net_weights_(std::move(net_weights)) {
+  MG_CHECK_MSG(net_pins.size() == net_weights_.size(),
+               "one weight per net required");
+  const auto num_vertices = static_cast<std::uint32_t>(vertex_weights_.size());
+
+  net_offsets_.assign(net_pins.size() + 1, 0);
+  std::size_t total_pins = 0;
+  for (std::size_t e = 0; e < net_pins.size(); ++e) {
+    total_pins += net_pins[e].size();
+    net_offsets_[e + 1] = static_cast<std::uint32_t>(total_pins);
+  }
+  pins_.reserve(total_pins);
+  for (const auto& net : net_pins) {
+    for (VertexId vertex : net) {
+      MG_CHECK_MSG(vertex < num_vertices, "pin references unknown vertex");
+      pins_.push_back(vertex);
+    }
+  }
+
+  // Reverse CSR.
+  std::vector<std::uint32_t> degree(num_vertices, 0);
+  for (VertexId vertex : pins_) ++degree[vertex];
+  vertex_offsets_.assign(num_vertices + 1, 0);
+  std::partial_sum(degree.begin(), degree.end(), vertex_offsets_.begin() + 1);
+  memberships_.resize(total_pins);
+  std::vector<std::uint32_t> cursor(vertex_offsets_.begin(),
+                                    vertex_offsets_.end() - 1);
+  for (NetId net = 0; net < net_pins.size(); ++net) {
+    for (VertexId vertex : net_pins[net]) {
+      memberships_[cursor[vertex]++] = net;
+    }
+  }
+
+  total_vertex_weight_ = std::accumulate(vertex_weights_.begin(),
+                                         vertex_weights_.end(),
+                                         std::uint64_t{0});
+}
+
+Hypergraph hypergraph_from_task_graph(const core::TaskGraph& graph) {
+  // Vertex weights: flops scaled so the lightest task weighs 1 — keeps the
+  // balance constraint meaningful for heterogeneous kernels (Cholesky).
+  double min_flops = 0.0;
+  for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
+    if (min_flops == 0.0 || graph.task_flops(task) < min_flops) {
+      min_flops = graph.task_flops(task);
+    }
+  }
+  std::vector<std::uint64_t> vertex_weights(graph.num_tasks(), 1);
+  if (min_flops > 0.0) {
+    for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
+      vertex_weights[task] = static_cast<std::uint64_t>(
+          std::llround(graph.task_flops(task) / min_flops));
+    }
+  }
+
+  std::vector<std::vector<VertexId>> net_pins(graph.num_data());
+  std::vector<std::uint64_t> net_weights(graph.num_data());
+  for (core::DataId data = 0; data < graph.num_data(); ++data) {
+    const auto consumers = graph.consumers(data);
+    net_pins[data].assign(consumers.begin(), consumers.end());
+    net_weights[data] = graph.data_size(data);
+  }
+  return Hypergraph(std::move(vertex_weights), net_pins,
+                    std::move(net_weights));
+}
+
+}  // namespace mg::hyper

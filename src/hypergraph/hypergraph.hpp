@@ -1,0 +1,73 @@
+// Hypergraph type used by the hMETIS+R strategy (Algorithm 3).
+//
+// Vertices model tasks (weighted by work), nets model data (weighted by
+// size): a net connects every task consuming one data item, so a balanced
+// partition with small net cut is a task partition where few data are needed
+// by several GPUs — exactly the formulation of Kaya & Aykanat adopted by the
+// paper. Storage is CSR in both directions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/task_graph.hpp"
+
+namespace mg::hyper {
+
+using VertexId = std::uint32_t;
+using NetId = std::uint32_t;
+
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  /// Builds from explicit pin lists: `net_pins[e]` lists the vertices of net
+  /// e. Vertices with no nets are allowed. Nets with fewer than 2 pins are
+  /// kept (they can never be cut and are skipped by the algorithms).
+  Hypergraph(std::vector<std::uint64_t> vertex_weights,
+             const std::vector<std::vector<VertexId>>& net_pins,
+             std::vector<std::uint64_t> net_weights);
+
+  [[nodiscard]] std::uint32_t num_vertices() const {
+    return static_cast<std::uint32_t>(vertex_weights_.size());
+  }
+  [[nodiscard]] std::uint32_t num_nets() const {
+    return static_cast<std::uint32_t>(net_weights_.size());
+  }
+
+  [[nodiscard]] std::span<const VertexId> pins(NetId net) const {
+    return {pins_.data() + net_offsets_[net],
+            net_offsets_[net + 1] - net_offsets_[net]};
+  }
+  [[nodiscard]] std::span<const NetId> nets_of(VertexId vertex) const {
+    return {memberships_.data() + vertex_offsets_[vertex],
+            vertex_offsets_[vertex + 1] - vertex_offsets_[vertex]};
+  }
+
+  [[nodiscard]] std::uint64_t vertex_weight(VertexId vertex) const {
+    return vertex_weights_[vertex];
+  }
+  [[nodiscard]] std::uint64_t net_weight(NetId net) const {
+    return net_weights_[net];
+  }
+  [[nodiscard]] std::uint64_t total_vertex_weight() const {
+    return total_vertex_weight_;
+  }
+  [[nodiscard]] std::size_t num_pins() const { return pins_.size(); }
+
+ private:
+  std::vector<std::uint64_t> vertex_weights_;
+  std::vector<std::uint64_t> net_weights_;
+  std::vector<std::uint32_t> net_offsets_;     // size nets+1
+  std::vector<VertexId> pins_;                 // CSR net -> vertices
+  std::vector<std::uint32_t> vertex_offsets_;  // size vertices+1
+  std::vector<NetId> memberships_;             // CSR vertex -> nets
+  std::uint64_t total_vertex_weight_ = 0;
+};
+
+/// The paper's model: one vertex per task (weight proportional to its
+/// flops), one net per data item (weight = its size in bytes).
+Hypergraph hypergraph_from_task_graph(const core::TaskGraph& graph);
+
+}  // namespace mg::hyper

@@ -1,0 +1,46 @@
+#include "hypergraph/quality.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mg::hyper {
+
+PartitionQuality evaluate_partition(const Hypergraph& hypergraph,
+                                    std::span<const std::uint32_t> part,
+                                    std::uint32_t num_parts) {
+  MG_CHECK(part.size() == hypergraph.num_vertices());
+  PartitionQuality quality;
+
+  std::vector<bool> seen(num_parts, false);
+  for (NetId net = 0; net < hypergraph.num_nets(); ++net) {
+    std::fill(seen.begin(), seen.end(), false);
+    std::uint32_t lambda = 0;
+    for (VertexId vertex : hypergraph.pins(net)) {
+      MG_DCHECK(part[vertex] < num_parts);
+      if (!seen[part[vertex]]) {
+        seen[part[vertex]] = true;
+        ++lambda;
+      }
+    }
+    if (lambda > 1) {
+      quality.cut_nets_weight += hypergraph.net_weight(net);
+      quality.connectivity_minus_1 +=
+          static_cast<std::uint64_t>(lambda - 1) * hypergraph.net_weight(net);
+    }
+  }
+
+  std::vector<std::uint64_t> weights(num_parts, 0);
+  for (VertexId vertex = 0; vertex < hypergraph.num_vertices(); ++vertex) {
+    weights[part[vertex]] += hypergraph.vertex_weight(vertex);
+  }
+  const double ideal = static_cast<double>(hypergraph.total_vertex_weight()) /
+                       static_cast<double>(num_parts);
+  const auto heaviest = *std::max_element(weights.begin(), weights.end());
+  quality.imbalance =
+      ideal > 0.0 ? static_cast<double>(heaviest) / ideal - 1.0 : 0.0;
+  return quality;
+}
+
+}  // namespace mg::hyper

@@ -1,0 +1,23 @@
+// Partition quality metrics: hyperedge cut, connectivity-1 (the (λ-1)
+// metric, which for the task/data model counts exactly the extra copies of
+// each data that a partition forces), and load imbalance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace mg::hyper {
+
+struct PartitionQuality {
+  std::uint64_t cut_nets_weight = 0;       ///< sum of w_e over nets with λ>1
+  std::uint64_t connectivity_minus_1 = 0;  ///< sum of (λ_e - 1) * w_e
+  double imbalance = 0.0;  ///< max_part_weight / ideal_weight - 1
+};
+
+PartitionQuality evaluate_partition(const Hypergraph& hypergraph,
+                                    std::span<const std::uint32_t> part,
+                                    std::uint32_t num_parts);
+
+}  // namespace mg::hyper

@@ -1,0 +1,66 @@
+// DMDA / DMDAR — StarPU's "Deque Model Data Aware" scheduler (Algorithm 1)
+// and its Ready variant (Algorithm 2).
+//
+// Push side (prepare): tasks are allocated in submission order to the GPU
+// with the earliest predicted completion time
+//     C_k(T_i) = finish_k + sum_{D_j in D(T_i), D_j not in InMem(k)}
+//                comm_k(D_j) + comp_k(T_i)
+// where InMem(k) is the *predicted* content of GPU_k's memory: data are
+// added when a task is allocated and never removed — the model is unaware of
+// the memory bound, which is precisely the weakness the paper exploits
+// (DMDAR "does not have a global view ... cannot make a balance between
+// prefetching and eviction").
+//
+// Pop side: DMDA serves each GPU's deque FIFO; DMDAR applies Ready
+// reordering over a bounded lookahead window.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "sched/ready.hpp"
+
+namespace mg::sched {
+
+class DmdaScheduler : public core::Scheduler {
+ public:
+  /// `ready` selects DMDAR (Ready reordering at pop time); `push_prefetch`
+  /// enables Algorithm 1's push-time prefetch requests (StarPU behaviour),
+  /// issued by the runtime as low-priority transfers.
+  explicit DmdaScheduler(bool ready = true,
+                         std::size_t ready_window = kDefaultReadyWindow,
+                         bool push_prefetch = true)
+      : ready_(ready),
+        ready_window_(ready_window),
+        push_prefetch_(push_prefetch) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return ready_ ? "DMDAR" : "DMDA";
+  }
+
+  void prepare(const core::TaskGraph& graph, const core::Platform& platform,
+               std::uint64_t seed) override;
+
+  [[nodiscard]] core::TaskId pop_task(core::GpuId gpu,
+                                      const core::MemoryView& memory) override;
+
+  /// Algorithm 1 lines 7-9: the inputs of every task allocated to `gpu`,
+  /// in first-need order (deduplicated).
+  [[nodiscard]] std::vector<core::DataId> prefetch_hints(
+      core::GpuId gpu) override;
+
+  /// Predicted task allocation (push phase result), for tests.
+  [[nodiscard]] const std::deque<core::TaskId>& queue(core::GpuId gpu) const {
+    return queues_[gpu];
+  }
+
+ private:
+  bool ready_;
+  std::size_t ready_window_;
+  bool push_prefetch_;
+  const core::TaskGraph* graph_ = nullptr;
+  std::vector<std::deque<core::TaskId>> queues_;
+};
+
+}  // namespace mg::sched

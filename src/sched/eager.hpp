@@ -1,0 +1,41 @@
+// EAGER baseline: a single shared FIFO queue in submission order; GPUs pick
+// up the next task on demand. No locality awareness at all — the paper's
+// reference point (and the victim of the LRU pathological case of Section
+// V-B).
+#pragma once
+
+#include <deque>
+
+#include "core/scheduler.hpp"
+
+namespace mg::sched {
+
+class EagerScheduler final : public core::Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "EAGER"; }
+
+  void prepare(const core::TaskGraph& graph, const core::Platform& platform,
+               std::uint64_t seed) override {
+    (void)platform;
+    (void)seed;
+    queue_.clear();
+    for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
+      queue_.push_back(task);
+    }
+  }
+
+  [[nodiscard]] core::TaskId pop_task(core::GpuId gpu,
+                                      const core::MemoryView& memory) override {
+    (void)gpu;
+    (void)memory;
+    if (queue_.empty()) return core::kInvalidTask;
+    const core::TaskId task = queue_.front();
+    queue_.pop_front();
+    return task;
+  }
+
+ private:
+  std::deque<core::TaskId> queue_;
+};
+
+}  // namespace mg::sched

@@ -1,0 +1,72 @@
+#include "sched/fixed_order.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mg::sched {
+
+BeladyReplayEviction::BeladyReplayEviction(
+    const core::TaskGraph& graph,
+    const std::vector<std::vector<core::TaskId>>& orders)
+    : graph_(graph), done_(orders.size(), 0) {
+  positions_.resize(orders.size());
+  for (std::size_t gpu = 0; gpu < orders.size(); ++gpu) {
+    positions_[gpu].resize(graph.num_data());
+    for (std::uint32_t pos = 0; pos < orders[gpu].size(); ++pos) {
+      for (core::DataId data : graph.inputs(orders[gpu][pos])) {
+        positions_[gpu][data].push_back(pos);
+      }
+    }
+  }
+}
+
+core::DataId BeladyReplayEviction::choose_victim(
+    core::GpuId gpu, std::span<const core::DataId> candidates) {
+  // Next use = first position at or after the completed prefix (tasks still
+  // in flight keep their inputs pinned, so they are never candidates).
+  core::DataId victim = core::kInvalidData;
+  std::uint64_t furthest = 0;
+  for (core::DataId data : candidates) {
+    const auto& uses = positions_[gpu][data];
+    const auto next = std::lower_bound(uses.begin(), uses.end(), done_[gpu]);
+    const std::uint64_t next_use =
+        next == uses.end() ? ~std::uint64_t{0} : *next;
+    if (victim == core::kInvalidData || next_use > furthest) {
+      furthest = next_use;
+      victim = data;
+    }
+  }
+  return victim;
+}
+
+void FixedOrderScheduler::prepare(const core::TaskGraph& graph,
+                                  const core::Platform& platform,
+                                  std::uint64_t seed) {
+  (void)seed;
+  MG_CHECK_MSG(orders_.size() == platform.num_gpus,
+               "fixed order must cover exactly the platform GPUs");
+  std::size_t total = 0;
+  for (const auto& order : orders_) total += order.size();
+  MG_CHECK_MSG(total == graph.num_tasks(),
+               "fixed order must schedule every task exactly once");
+  cursor_.assign(orders_.size(), 0);
+  if (eviction_ == Eviction::kBelady) {
+    belady_ = std::make_unique<BeladyReplayEviction>(graph, orders_);
+  }
+}
+
+core::TaskId FixedOrderScheduler::pop_task(core::GpuId gpu,
+                                           const core::MemoryView& memory) {
+  (void)memory;
+  if (cursor_[gpu] >= orders_[gpu].size()) return core::kInvalidTask;
+  return orders_[gpu][cursor_[gpu]++];
+}
+
+void FixedOrderScheduler::notify_task_complete(core::GpuId gpu,
+                                               core::TaskId task) {
+  (void)task;
+  if (belady_) belady_->advance(gpu);
+}
+
+}  // namespace mg::sched

@@ -1,0 +1,72 @@
+// Fixed-order replay scheduler: executes a prescribed σ (per-GPU ordered
+// task lists) with no reordering and no stealing. Used by the eviction
+// ablation (replay a DARTS-produced order under LRU / Belady / LUF-free
+// policies) and by engine unit tests that need full control of the schedule.
+//
+// The optional Belady eviction policy implements the offline-optimal rule of
+// Section III for the fixed σ: evict the data whose next use on this GPU is
+// the furthest in the future (never-used-again data first).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/eviction.hpp"
+#include "core/scheduler.hpp"
+
+namespace mg::sched {
+
+class BeladyReplayEviction final : public core::EvictionPolicy {
+ public:
+  BeladyReplayEviction(const core::TaskGraph& graph,
+                       const std::vector<std::vector<core::TaskId>>& orders);
+
+  [[nodiscard]] std::string_view name() const override { return "Belady"; }
+
+  [[nodiscard]] core::DataId choose_victim(
+      core::GpuId gpu, std::span<const core::DataId> candidates) override;
+
+  /// Must be called as tasks of the fixed order complete, in order.
+  void advance(core::GpuId gpu) { ++done_[gpu]; }
+
+ private:
+  const core::TaskGraph& graph_;
+  /// positions_[gpu][data]: sorted positions in the gpu's order using data.
+  std::vector<std::vector<std::vector<std::uint32_t>>> positions_;
+  std::vector<std::uint32_t> done_;
+};
+
+class FixedOrderScheduler final : public core::Scheduler {
+ public:
+  enum class Eviction { kEngineDefault, kBelady };
+
+  FixedOrderScheduler(std::vector<std::vector<core::TaskId>> orders,
+                      Eviction eviction = Eviction::kEngineDefault)
+      : orders_(std::move(orders)), eviction_(eviction) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return eviction_ == Eviction::kBelady ? "FixedOrder+Belady" : "FixedOrder";
+  }
+
+  void prepare(const core::TaskGraph& graph, const core::Platform& platform,
+               std::uint64_t seed) override;
+
+  [[nodiscard]] core::TaskId pop_task(core::GpuId gpu,
+                                      const core::MemoryView& memory) override;
+
+  void notify_task_complete(core::GpuId gpu, core::TaskId task) override;
+
+  [[nodiscard]] core::EvictionPolicy* eviction_policy(core::GpuId gpu) override {
+    (void)gpu;
+    return belady_.get();
+  }
+
+ private:
+  std::vector<std::vector<core::TaskId>> orders_;
+  Eviction eviction_;
+  std::vector<std::size_t> cursor_;
+  std::unique_ptr<BeladyReplayEviction> belady_;
+};
+
+}  // namespace mg::sched

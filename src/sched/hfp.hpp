@@ -1,0 +1,47 @@
+// mHFP — multi-GPU Hierarchical Fair Packing scheduler (Algorithm 4):
+// static HFP packing + load balancing in prepare(), then Ready reordering
+// and task stealing at runtime. The packing wall time is what the engine
+// charges as scheduling cost ("mHFP" vs "mHFP no sched. time" in Figures
+// 3/5).
+#pragma once
+
+#include "sched/hfp_packing.hpp"
+#include "sched/work_queue_scheduler.hpp"
+
+namespace mg::sched {
+
+class HfpScheduler final : public WorkQueueScheduler {
+ public:
+  explicit HfpScheduler(bool stealing = true, bool ready = true,
+                        std::size_t ready_window = kDefaultReadyWindow)
+      : WorkQueueScheduler(stealing, ready, ready_window) {}
+
+  [[nodiscard]] std::string_view name() const override { return "mHFP"; }
+
+  [[nodiscard]] const HfpStats& stats() const { return stats_; }
+
+ protected:
+  void partition(const core::TaskGraph& graph, const core::Platform& platform,
+                 std::uint64_t seed,
+                 std::vector<std::deque<core::TaskId>>& queues) override {
+    (void)seed;  // HFP is deterministic
+    stats_ = HfpStats{};
+    std::vector<double> speeds;
+    if (platform.is_heterogeneous()) {
+      for (core::GpuId gpu = 0; gpu < platform.num_gpus; ++gpu) {
+        speeds.push_back(platform.gflops_of(gpu));
+      }
+    }
+    const auto packages = hfp_partition(graph, platform.num_gpus,
+                                        platform.gpu_memory_bytes, &stats_,
+                                        speeds);
+    for (core::GpuId gpu = 0; gpu < platform.num_gpus; ++gpu) {
+      queues[gpu].assign(packages[gpu].begin(), packages[gpu].end());
+    }
+  }
+
+ private:
+  HfpStats stats_;
+};
+
+}  // namespace mg::sched

@@ -1,0 +1,255 @@
+#include "sched/hfp_packing.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace mg::sched {
+namespace {
+
+using core::DataId;
+using core::TaskId;
+
+struct Package {
+  std::vector<TaskId> tasks;   // execution order, preserved across merges
+  std::vector<DataId> inputs;  // sorted unique
+  std::uint64_t footprint = 0;
+  double load = 0.0;
+  bool alive = true;
+};
+
+/// Bytes of input data shared by two packages (sorted-merge intersection).
+std::uint64_t shared_bytes(const core::TaskGraph& graph, const Package& a,
+                           const Package& b) {
+  std::uint64_t shared = 0;
+  auto ia = a.inputs.begin();
+  auto ib = b.inputs.begin();
+  while (ia != a.inputs.end() && ib != b.inputs.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      shared += graph.data_size(*ia);
+      ++ia;
+      ++ib;
+    }
+  }
+  return shared;
+}
+
+/// Merges `donor` into `receiver`: concatenated task order, united inputs.
+void merge_into(Package& receiver, Package& donor) {
+  receiver.tasks.insert(receiver.tasks.end(), donor.tasks.begin(),
+                        donor.tasks.end());
+  std::vector<DataId> united;
+  united.reserve(receiver.inputs.size() + donor.inputs.size());
+  std::set_union(receiver.inputs.begin(), receiver.inputs.end(),
+                 donor.inputs.begin(), donor.inputs.end(),
+                 std::back_inserter(united));
+  receiver.inputs = std::move(united);
+  receiver.load += donor.load;
+  donor.alive = false;
+  donor.tasks.clear();
+  donor.tasks.shrink_to_fit();
+  donor.inputs.clear();
+  donor.inputs.shrink_to_fit();
+}
+
+std::uint64_t footprint_of(const core::TaskGraph& graph,
+                           const std::vector<DataId>& inputs) {
+  std::uint64_t bytes = 0;
+  for (DataId data : inputs) bytes += graph.data_size(data);
+  return bytes;
+}
+
+/// One merge pass. Packages are visited from fewest tasks upward; each picks
+/// its best-affinity partner among packages sharing at least one input (and
+/// satisfying the footprint bound when `bound_memory`). Returns the number
+/// of merges performed; stops early once `min_packages` remain.
+std::uint32_t merge_pass(const core::TaskGraph& graph,
+                         std::vector<Package>& packages, bool bound_memory,
+                         std::uint64_t memory_bytes,
+                         std::uint32_t min_packages, std::uint32_t& alive) {
+  // data -> packages currently containing it, rebuilt each pass.
+  std::vector<std::vector<std::uint32_t>> holders(graph.num_data());
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t p = 0; p < packages.size(); ++p) {
+    if (!packages[p].alive) continue;
+    order.push_back(p);
+    for (DataId data : packages[p].inputs) holders[data].push_back(p);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&packages](std::uint32_t a, std::uint32_t b) {
+                     return packages[a].tasks.size() < packages[b].tasks.size();
+                   });
+
+  std::vector<bool> merged_this_pass(packages.size(), false);
+  std::vector<std::uint32_t> last_seen(packages.size(), ~0u);
+  std::uint32_t merges = 0;
+
+  for (std::uint32_t p : order) {
+    if (alive <= min_packages) break;
+    Package& package = packages[p];
+    if (!package.alive || merged_this_pass[p]) continue;
+
+    // Candidate partners: packages sharing at least one input.
+    std::uint32_t best_partner = ~0u;
+    std::uint64_t best_shared = 0;
+    std::size_t best_size = 0;
+    for (DataId data : package.inputs) {
+      for (std::uint32_t q : holders[data]) {
+        if (q == p || !packages[q].alive || merged_this_pass[q]) continue;
+        if (last_seen[q] == p) continue;  // already evaluated for this p
+        last_seen[q] = p;
+        const std::uint64_t shared = shared_bytes(graph, package, packages[q]);
+        if (bound_memory &&
+            package.footprint + packages[q].footprint - shared > memory_bytes) {
+          continue;
+        }
+        // Prefer max shared bytes; tie-break toward the smaller partner to
+        // keep the packing "fair" (balanced merge tree).
+        if (shared > best_shared ||
+            (shared == best_shared && best_partner != ~0u &&
+             packages[q].tasks.size() < best_size)) {
+          best_shared = shared;
+          best_partner = q;
+          best_size = packages[q].tasks.size();
+        }
+      }
+    }
+    if (best_partner == ~0u || best_shared == 0) continue;
+
+    Package& partner = packages[best_partner];
+    merge_into(package, partner);
+    package.footprint = footprint_of(graph, package.inputs);
+    merged_this_pass[p] = true;
+    merged_this_pass[best_partner] = true;
+    --alive;
+    ++merges;
+  }
+  return merges;
+}
+
+/// Fallback merge for phase 2 when no two remaining packages share any data
+/// (e.g. fully disjoint components): merge the two smallest.
+void merge_smallest_pair(const core::TaskGraph& graph,
+                         std::vector<Package>& packages,
+                         std::uint32_t& alive) {
+  std::uint32_t first = ~0u;
+  std::uint32_t second = ~0u;
+  for (std::uint32_t p = 0; p < packages.size(); ++p) {
+    if (!packages[p].alive) continue;
+    if (first == ~0u || packages[p].tasks.size() < packages[first].tasks.size()) {
+      second = first;
+      first = p;
+    } else if (second == ~0u ||
+               packages[p].tasks.size() < packages[second].tasks.size()) {
+      second = p;
+    }
+  }
+  MG_CHECK(first != ~0u && second != ~0u);
+  merge_into(packages[first], packages[second]);
+  packages[first].footprint = footprint_of(graph, packages[first].inputs);
+  --alive;
+}
+
+}  // namespace
+
+std::vector<std::vector<TaskId>> hfp_build_packages(
+    const core::TaskGraph& graph, std::uint32_t num_parts,
+    std::uint64_t memory_bytes, HfpStats* stats) {
+  MG_CHECK(num_parts >= 1);
+  std::vector<Package> packages(graph.num_tasks());
+  for (TaskId task = 0; task < graph.num_tasks(); ++task) {
+    Package& package = packages[task];
+    package.tasks = {task};
+    const auto inputs = graph.inputs(task);
+    package.inputs.assign(inputs.begin(), inputs.end());
+    std::sort(package.inputs.begin(), package.inputs.end());
+    package.footprint = footprint_of(graph, package.inputs);
+    package.load = graph.task_flops(task);
+  }
+  std::uint32_t alive = graph.num_tasks();
+
+  // Phase 1: affinity merging under the memory bound.
+  while (alive > num_parts) {
+    if (merge_pass(graph, packages, /*bound_memory=*/true, memory_bytes,
+                   num_parts, alive) == 0) {
+      break;
+    }
+    if (stats != nullptr) ++stats->phase1_merges;
+  }
+  if (stats != nullptr) stats->phase1_packages = alive;
+
+  // Phase 2: bind packages with high affinity until K remain. The memory
+  // bound no longer applies: packages execute one after the other.
+  while (alive > num_parts) {
+    if (merge_pass(graph, packages, /*bound_memory=*/false, 0, num_parts,
+                   alive) == 0) {
+      merge_smallest_pair(graph, packages, alive);
+    }
+    if (stats != nullptr) ++stats->phase2_merges;
+  }
+
+  std::vector<std::vector<TaskId>> result;
+  result.reserve(num_parts);
+  for (Package& package : packages) {
+    if (package.alive) result.push_back(std::move(package.tasks));
+  }
+  while (result.size() < num_parts) result.emplace_back();
+  return result;
+}
+
+void hfp_balance_loads(const core::TaskGraph& graph,
+                       std::vector<std::vector<TaskId>>& packages,
+                       HfpStats* stats, std::span<const double> speeds) {
+  const std::uint32_t num_parts = static_cast<std::uint32_t>(packages.size());
+  if (num_parts <= 1) return;
+  MG_CHECK_MSG(speeds.empty() || speeds.size() == packages.size(),
+               "one speed per package required");
+
+  auto speed = [&speeds](std::uint32_t p) {
+    return speeds.empty() ? 1.0 : speeds[p];
+  };
+
+  // Normalized load = predicted duration (flops / speed).
+  std::vector<double> loads(num_parts, 0.0);
+  for (std::uint32_t p = 0; p < num_parts; ++p) {
+    for (TaskId task : packages[p]) loads[p] += graph.task_flops(task);
+    loads[p] /= speed(p);
+  }
+
+  // Move tail tasks from the longest-running to the shortest-running
+  // package while the move strictly reduces the pair's makespan (each move
+  // shrinks it, so this terminates within one task of balance).
+  for (;;) {
+    const auto max_it = std::max_element(loads.begin(), loads.end());
+    const auto min_it = std::min_element(loads.begin(), loads.end());
+    const auto p_max = static_cast<std::uint32_t>(max_it - loads.begin());
+    const auto p_min = static_cast<std::uint32_t>(min_it - loads.begin());
+    if (packages[p_max].empty()) break;
+    const TaskId task = packages[p_max].back();
+    const double flops = graph.task_flops(task);
+    // After the move the receiver must still finish before the donor did.
+    if (loads[p_min] + flops / speed(p_min) >= loads[p_max]) break;
+    packages[p_max].pop_back();
+    packages[p_min].push_back(task);
+    loads[p_max] -= flops / speed(p_max);
+    loads[p_min] += flops / speed(p_min);
+    if (stats != nullptr) ++stats->balance_moves;
+  }
+}
+
+std::vector<std::vector<TaskId>> hfp_partition(const core::TaskGraph& graph,
+                                               std::uint32_t num_parts,
+                                               std::uint64_t memory_bytes,
+                                               HfpStats* stats,
+                                               std::span<const double> speeds) {
+  auto packages = hfp_build_packages(graph, num_parts, memory_bytes, stats);
+  hfp_balance_loads(graph, packages, stats, speeds);
+  return packages;
+}
+
+}  // namespace mg::sched

@@ -1,0 +1,60 @@
+// Hierarchical Fair Packing (HFP) — the static packing algorithm of the
+// authors' earlier single-GPU work, extended to multi-GPU as in Algorithm 4.
+//
+// Phase 1 packs tasks into packages whose cumulated input footprint fits in
+// GPU memory, by repeatedly merging, among the currently smallest packages,
+// the pair sharing the most input bytes. Phase 2 keeps merging by affinity —
+// ignoring the memory bound, since packages are *sequenced*, not co-resident
+// — until exactly K packages remain. Task order inside a package is
+// preserved across merges (concatenation), which is what keeps the temporal
+// locality achieved by earlier merges.
+//
+// The multi-GPU load balancing step then equalizes package loads: tasks are
+// taken from the tail of the most loaded package and appended to the least
+// loaded one until every package is within one task of the average load
+// (tails have the most communication slack, per the paper).
+//
+// Deliberately faithful to the paper's cost profile: packing is quadratic-ish
+// in the number of packages per pass, which is why mHFP's scheduling time
+// dominates at large working sets (Figures 3 and 5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/task_graph.hpp"
+
+namespace mg::sched {
+
+struct HfpStats {
+  std::uint32_t phase1_merges = 0;
+  std::uint32_t phase2_merges = 0;
+  std::uint32_t balance_moves = 0;
+  std::uint32_t phase1_packages = 0;  ///< packages when phase 1 stopped
+};
+
+/// Runs HFP phases 1 and 2: returns exactly `num_parts` ordered task lists
+/// (some possibly empty if the graph has fewer tasks than parts). The memory
+/// bound only constrains phase-1 merges.
+std::vector<std::vector<core::TaskId>> hfp_build_packages(
+    const core::TaskGraph& graph, std::uint32_t num_parts,
+    std::uint64_t memory_bytes, HfpStats* stats = nullptr);
+
+/// Algorithm 4 lines 2-6: balances package loads (task flops) by moving
+/// tasks from the tail of the most loaded package to the least loaded one.
+/// On heterogeneous platforms pass per-GPU speeds (`speeds[p]`, arbitrary
+/// units): loads are then balanced as predicted *durations* (flops/speed).
+void hfp_balance_loads(const core::TaskGraph& graph,
+                       std::vector<std::vector<core::TaskId>>& packages,
+                       HfpStats* stats = nullptr,
+                       std::span<const double> speeds = {});
+
+/// Complete mHFP static phase: packages + balancing.
+std::vector<std::vector<core::TaskId>> hfp_partition(
+    const core::TaskGraph& graph, std::uint32_t num_parts,
+    std::uint64_t memory_bytes, HfpStats* stats = nullptr,
+    std::span<const double> speeds = {});
+
+}  // namespace mg::sched

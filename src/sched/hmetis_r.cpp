@@ -1,0 +1,30 @@
+#include "sched/hmetis_r.hpp"
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace mg::sched {
+
+void HmetisScheduler::partition(const core::TaskGraph& graph,
+                                const core::Platform& platform,
+                                std::uint64_t seed,
+                                std::vector<std::deque<core::TaskId>>& queues) {
+  hyper::PartitionerConfig config = partitioner_config_;
+  config.num_parts = platform.num_gpus;
+  config.seed = seed;
+  if (platform.is_heterogeneous() && config.target_share.empty()) {
+    // Faster GPUs take proportionally more work.
+    for (core::GpuId gpu = 0; gpu < platform.num_gpus; ++gpu) {
+      config.target_share.push_back(platform.gflops_of(gpu));
+    }
+  }
+
+  const hyper::Hypergraph hypergraph = hyper::hypergraph_from_task_graph(graph);
+  parts_ = hyper::partition_hypergraph(hypergraph, config);
+
+  // Tasks keep submission order within their part.
+  for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
+    queues[parts_[task]].push_back(task);
+  }
+}
+
+}  // namespace mg::sched

@@ -1,0 +1,43 @@
+// hMETIS+R (Algorithm 3): hypergraph partitioning of the task set — one net
+// per data item — into K balanced parts with few shared data, followed at
+// runtime by Ready reordering and task stealing.
+//
+// The paper calls the closed-source hMETIS binary with UBfactor=1,
+// V-cycles=2 and Nruns=20; we call our own multilevel partitioner with the
+// equivalent configuration (see hypergraph/partitioner.hpp). Within a part,
+// tasks keep their submission order — the paper notes the resulting lack of
+// intra-partition temporal ordering as hMETIS+R's key weakness under memory
+// pressure (Section V-C).
+#pragma once
+
+#include "hypergraph/partitioner.hpp"
+#include "sched/work_queue_scheduler.hpp"
+
+namespace mg::sched {
+
+class HmetisScheduler final : public WorkQueueScheduler {
+ public:
+  explicit HmetisScheduler(bool stealing = true, bool ready = true,
+                           std::size_t ready_window = kDefaultReadyWindow,
+                           hyper::PartitionerConfig partitioner_config = {})
+      : WorkQueueScheduler(stealing, ready, ready_window),
+        partitioner_config_(partitioner_config) {}
+
+  [[nodiscard]] std::string_view name() const override { return "hMETIS+R"; }
+
+  /// Partition produced by the static phase (test hook).
+  [[nodiscard]] const std::vector<std::uint32_t>& parts() const {
+    return parts_;
+  }
+
+ protected:
+  void partition(const core::TaskGraph& graph, const core::Platform& platform,
+                 std::uint64_t seed,
+                 std::vector<std::deque<core::TaskId>>& queues) override;
+
+ private:
+  hyper::PartitionerConfig partitioner_config_;
+  std::vector<std::uint32_t> parts_;
+};
+
+}  // namespace mg::sched

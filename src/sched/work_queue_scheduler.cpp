@@ -1,0 +1,58 @@
+#include "sched/work_queue_scheduler.hpp"
+
+#include "util/check.hpp"
+
+namespace mg::sched {
+
+void WorkQueueScheduler::prepare(const core::TaskGraph& graph,
+                                 const core::Platform& platform,
+                                 std::uint64_t seed) {
+  graph_ = &graph;
+  queues_.assign(platform.num_gpus, {});
+  steal_events_ = 0;
+  partition(graph, platform, seed, queues_);
+
+  std::size_t total = 0;
+  for (const auto& queue : queues_) total += queue.size();
+  MG_CHECK_MSG(total == graph.num_tasks(),
+               "partition() must distribute every task exactly once");
+}
+
+core::TaskId WorkQueueScheduler::pop_task(core::GpuId gpu,
+                                          const core::MemoryView& memory) {
+  std::deque<core::TaskId>& queue = queues_[gpu];
+  if (queue.empty() && stealing_) steal(gpu);
+  if (queue.empty()) return core::kInvalidTask;
+  if (!ready_) {
+    const core::TaskId task = queue.front();
+    queue.pop_front();
+    return task;
+  }
+  return pop_ready(queue, *graph_, memory, ready_window_);
+}
+
+void WorkQueueScheduler::steal(core::GpuId thief) {
+  // Victim: the GPU with the most unprocessed tasks.
+  core::GpuId victim = core::kInvalidGpu;
+  std::size_t most = 0;
+  for (core::GpuId gpu = 0; gpu < queues_.size(); ++gpu) {
+    if (gpu == thief) continue;
+    if (queues_[gpu].size() > most) {
+      most = queues_[gpu].size();
+      victim = gpu;
+    }
+  }
+  if (victim == core::kInvalidGpu || most < 2) return;
+
+  // Take the tail half as a block, preserving its internal order (the tail
+  // is where mHFP parks its balancing slack — see Algorithm 4).
+  const std::size_t take = most / 2;
+  std::deque<core::TaskId>& from = queues_[victim];
+  std::deque<core::TaskId>& to = queues_[thief];
+  to.insert(to.end(), from.end() - static_cast<std::ptrdiff_t>(take),
+            from.end());
+  from.erase(from.end() - static_cast<std::ptrdiff_t>(take), from.end());
+  ++steal_events_;
+}
+
+}  // namespace mg::sched

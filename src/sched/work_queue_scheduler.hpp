@@ -1,0 +1,52 @@
+// Base class for schedulers that statically partition tasks into per-GPU
+// ordered queues (mHFP, hMETIS+R) and then, at runtime, serve each queue
+// with Ready reordering and rebalance with task stealing: an idle GPU steals
+// half of the remaining tasks of the most loaded GPU, taken from the tail of
+// its list (Algorithms 3 and 4, steps 5/8).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "sched/ready.hpp"
+
+namespace mg::sched {
+
+class WorkQueueScheduler : public core::Scheduler {
+ public:
+  void prepare(const core::TaskGraph& graph, const core::Platform& platform,
+               std::uint64_t seed) final;
+
+  [[nodiscard]] core::TaskId pop_task(core::GpuId gpu,
+                                      const core::MemoryView& memory) final;
+
+  [[nodiscard]] const std::deque<core::TaskId>& queue(core::GpuId gpu) const {
+    return queues_[gpu];
+  }
+  [[nodiscard]] std::uint64_t steal_events() const { return steal_events_; }
+
+ protected:
+  explicit WorkQueueScheduler(bool stealing, bool ready,
+                              std::size_t ready_window = kDefaultReadyWindow)
+      : stealing_(stealing), ready_(ready), ready_window_(ready_window) {}
+
+  /// Fills `queues` (one ordered task list per GPU) — the static phase whose
+  /// wall time the engine charges as scheduler cost.
+  virtual void partition(const core::TaskGraph& graph,
+                         const core::Platform& platform, std::uint64_t seed,
+                         std::vector<std::deque<core::TaskId>>& queues) = 0;
+
+ private:
+  /// Moves the tail half of the most loaded queue into `thief`'s queue.
+  void steal(core::GpuId thief);
+
+  bool stealing_;
+  bool ready_;
+  std::size_t ready_window_;
+  const core::TaskGraph* graph_ = nullptr;
+  std::vector<std::deque<core::TaskId>> queues_;
+  std::uint64_t steal_events_ = 0;
+};
+
+}  // namespace mg::sched

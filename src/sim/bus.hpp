@@ -1,0 +1,125 @@
+// Shared host<->GPU transfer bus (Figure 2 of the paper).
+//
+// All GPUs load data from host memory through one channel of fixed
+// bandwidth. Requests are served in FIFO order, one at a time: for aggregate
+// throughput this is equivalent to PCIe fair sharing, and it preserves the
+// property the paper relies on — GPUs contend for the same bytes/second, so
+// reducing total transferred volume directly shortens the transfer-bound
+// phases.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "core/ids.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/transfer_router.hpp"
+
+namespace mg::sim {
+
+/// A Bus is itself a TransferRouter that routes everything through its own
+/// channel — the host-only topology, and the building block of the NVLink
+/// topology (one extra Bus per GPU egress port).
+class Bus : public TransferRouter {
+ public:
+  using OnComplete = std::function<void()>;
+
+  /// Called when a queued request is about to be served. Returning true
+  /// means the filter took the request over (e.g. rerouted it to a peer
+  /// link because a replica appeared while it was queued); the bus then
+  /// skips it. The callback is moved out by a filter that takes over.
+  using StartFilter = std::function<bool(core::GpuId dst, core::DataId data,
+                                         std::uint64_t bytes,
+                                         OnComplete& on_complete)>;
+
+  Bus(EventQueue& events, double bandwidth_bytes_per_s, double latency_us)
+      : events_(events),
+        bandwidth_(bandwidth_bytes_per_s),
+        latency_us_(latency_us) {}
+
+  /// Enqueues a host->GPU transfer; `on_complete` runs when the data has
+  /// fully landed on the GPU. Low-priority requests wait until the high
+  /// queue is empty.
+  void request(core::GpuId gpu, core::DataId data, std::uint64_t bytes,
+               OnComplete on_complete,
+               TransferPriority priority = TransferPriority::kHigh) {
+    auto& queue =
+        priority == TransferPriority::kHigh ? queue_ : low_queue_;
+    queue.push_back(Request{gpu, data, bytes, std::move(on_complete)});
+    if (!busy_) start_next();
+  }
+
+  void request_transfer(core::GpuId dst, core::DataId data,
+                        std::uint64_t bytes, std::function<void()> on_complete,
+                        TransferPriority priority) override {
+    request(dst, data, bytes, std::move(on_complete), priority);
+  }
+
+  /// Moves a queued low-priority request for (dst, data) to the high queue.
+  void promote(core::GpuId dst, core::DataId data) override {
+    for (auto it = low_queue_.begin(); it != low_queue_.end(); ++it) {
+      if (it->gpu == dst && it->data == data) {
+        queue_.push_back(std::move(*it));
+        low_queue_.erase(it);
+        return;
+      }
+    }
+  }
+
+  void set_start_filter(StartFilter filter) { filter_ = std::move(filter); }
+
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] std::size_t pending() const {
+    return queue_.size() + low_queue_.size();
+  }
+  [[nodiscard]] double busy_time_us() const { return busy_time_us_; }
+
+ private:
+  struct Request {
+    core::GpuId gpu;
+    core::DataId data;
+    std::uint64_t bytes;
+    OnComplete on_complete;
+  };
+
+  void start_next() {
+    for (;;) {
+      std::deque<Request>* queue =
+          !queue_.empty() ? &queue_ : (!low_queue_.empty() ? &low_queue_ : nullptr);
+      if (queue == nullptr) {
+        busy_ = false;
+        return;
+      }
+      Request& front = queue->front();
+      if (filter_ &&
+          filter_(front.gpu, front.data, front.bytes, front.on_complete)) {
+        queue->pop_front();  // the filter took the request over
+        continue;
+      }
+      busy_ = true;
+      Request request = std::move(front);
+      queue->pop_front();
+      const double duration =
+          latency_us_ + static_cast<double>(request.bytes) / bandwidth_ * 1e6;
+      busy_time_us_ += duration;
+      events_.schedule_after(
+          duration, [this, request = std::move(request)]() mutable {
+            request.on_complete();
+            start_next();
+          });
+      return;
+    }
+  }
+
+  EventQueue& events_;
+  double bandwidth_;
+  double latency_us_;
+  std::deque<Request> queue_;
+  std::deque<Request> low_queue_;
+  StartFilter filter_;
+  bool busy_ = false;
+  double busy_time_us_ = 0.0;
+};
+
+}  // namespace mg::sim

@@ -1,0 +1,409 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mg::sim {
+
+using core::DataId;
+using core::GpuId;
+using core::kInvalidTask;
+using core::TaskId;
+
+RuntimeEngine::RuntimeEngine(const core::TaskGraph& graph,
+                             const core::Platform& platform,
+                             core::Scheduler& scheduler, EngineConfig config)
+    : graph_(graph),
+      platform_(platform),
+      scheduler_(scheduler),
+      config_(config),
+      bus_(events_, platform.bus_bandwidth_bytes_per_s, platform.bus_latency_us),
+      popped_(graph.num_tasks(), false) {
+  MG_CHECK_MSG(config_.pipeline_depth >= 1, "pipeline depth must be >= 1");
+  MG_CHECK_MSG(platform_.num_gpus >= 1, "need at least one GPU");
+  MG_CHECK_MSG(platform_.gpu_gflops_per_device.empty() ||
+                   platform_.gpu_gflops_per_device.size() ==
+                       platform_.num_gpus,
+               "per-device speeds must cover every GPU");
+  MG_CHECK_MSG(graph_.max_task_footprint() <= platform_.gpu_memory_bytes,
+               "a task's inputs do not fit in GPU memory: no schedule exists");
+  gpus_.resize(platform_.num_gpus);
+  for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+    gpus_[gpu].memory = std::make_unique<MemoryManager>(
+        gpu, graph_, platform_.gpu_memory_bytes,
+        static_cast<TransferRouter&>(*this));
+    gpus_[gpu].memory->set_observer(this);
+  }
+  if (graph_.has_outputs()) {
+    writeback_bus_ = std::make_unique<Bus>(
+        events_, platform_.bus_bandwidth_bytes_per_s, platform_.bus_latency_us);
+  }
+  if (platform_.nvlink_enabled) {
+    for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+      nvlink_egress_.push_back(std::make_unique<Bus>(
+          events_, platform_.nvlink_bandwidth_bytes_per_s,
+          platform_.nvlink_latency_us));
+    }
+    fetch_from_peer_.assign(platform_.num_gpus,
+                            std::vector<std::uint8_t>(graph_.num_data(), 0));
+    // Requests queued behind other host transfers get a second routing
+    // chance when they reach the head of the bus: a replica may have landed
+    // on a peer in the meantime.
+    bus_.set_start_filter([this](GpuId dst, DataId data, std::uint64_t bytes,
+                                 Bus::OnComplete& on_complete) {
+      const GpuId source = find_peer_holding(dst, data);
+      if (source == core::kInvalidGpu) return false;
+      start_peer_copy(source, dst, data, bytes, std::move(on_complete));
+      return true;
+    });
+  }
+}
+
+core::GpuId RuntimeEngine::find_peer_holding(GpuId dst, DataId data) const {
+  for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+    if (gpu != dst && gpus_[gpu].memory->is_present(data)) return gpu;
+  }
+  return core::kInvalidGpu;
+}
+
+void RuntimeEngine::start_peer_copy(GpuId source, GpuId dst, DataId data,
+                                    std::uint64_t bytes,
+                                    std::function<void()> on_complete) {
+  // Pin the replica on the source so it cannot be evicted mid-copy.
+  gpus_[source].memory->pin(data);
+  fetch_from_peer_[dst][data] = 1;
+  nvlink_egress_[source]->request(
+      dst, data, bytes, [this, source, data, cb = std::move(on_complete)] {
+        gpus_[source].memory->unpin(data);
+        cb();
+      });
+}
+
+void RuntimeEngine::request_transfer(GpuId dst, DataId data,
+                                     std::uint64_t bytes,
+                                     std::function<void()> on_complete,
+                                     TransferPriority priority) {
+  if (platform_.nvlink_enabled) {
+    const GpuId source = find_peer_holding(dst, data);
+    if (source != core::kInvalidGpu) {
+      start_peer_copy(source, dst, data, bytes, std::move(on_complete));
+      return;
+    }
+    fetch_from_peer_[dst][data] = 0;
+  }
+  bus_.request(dst, data, bytes, std::move(on_complete), priority);
+}
+
+void RuntimeEngine::promote(GpuId dst, DataId data) {
+  bus_.promote(dst, data);
+}
+
+core::RunMetrics RuntimeEngine::run() {
+  MG_CHECK_MSG(!ran_, "RuntimeEngine::run is single-shot");
+  ran_ = true;
+
+  util::Stopwatch prepare_watch;
+  scheduler_.prepare(graph_, platform_, config_.seed);
+  prepare_wall_us_ = prepare_watch.elapsed_us();
+
+  // Wire eviction policies (scheduler-provided, or shared LRU default).
+  bool need_default = false;
+  for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+    if (scheduler_.eviction_policy(gpu) == nullptr) need_default = true;
+  }
+  if (need_default) {
+    default_policy_ =
+        std::make_unique<LruEviction>(platform_.num_gpus, graph_.num_data());
+  }
+  for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+    core::EvictionPolicy* policy = scheduler_.eviction_policy(gpu);
+    gpus_[gpu].memory->set_eviction_policy(policy != nullptr
+                                               ? policy
+                                               : default_policy_.get());
+  }
+
+  for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+    const std::vector<DataId> hints = scheduler_.prefetch_hints(gpu);
+    gpus_[gpu].hint_queue.assign(hints.begin(), hints.end());
+  }
+  for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+    fill_buffer(gpu);
+    pump_hints(gpu);
+  }
+
+  while (completed_ < graph_.num_tasks()) {
+    if (!events_.run_one()) report_deadlock_and_abort();
+  }
+
+  core::RunMetrics metrics;
+  metrics.per_gpu.resize(platform_.num_gpus);
+  for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+    const GpuState& state = gpus_[gpu];
+    core::GpuMetrics& out = metrics.per_gpu[gpu];
+    out.tasks_executed = state.tasks_executed;
+    out.loads = state.loads;
+    out.bytes_loaded = state.bytes_loaded;
+    out.peer_loads = state.peer_loads;
+    out.bytes_from_peers = state.bytes_from_peers;
+    out.bytes_written_back = state.bytes_written_back;
+    out.evictions = state.evictions;
+    out.busy_time_us = state.busy_us;
+    out.stall_time_us = std::max(0.0, last_completion_us_ - state.busy_us);
+  }
+  metrics.makespan_us = last_completion_us_;
+  metrics.scheduler_prepare_us = prepare_wall_us_;
+  metrics.scheduler_pop_us = pop_wall_us_;
+  metrics.total_flops = graph_.total_flops();
+  metrics.scheduler_cost_accounted = config_.account_scheduler_cost;
+  return metrics;
+}
+
+void RuntimeEngine::fill_buffer(GpuId gpu) {
+  GpuState& state = gpus_[gpu];
+  while (state.buffer.size() < config_.pipeline_depth) {
+    util::Stopwatch pop_watch;
+    const TaskId task = scheduler_.pop_task(gpu, *state.memory);
+    const double pop_us = pop_watch.elapsed_us();
+    pop_wall_us_ += pop_us;
+    if (config_.account_scheduler_cost) {
+      state.sched_busy_until_us =
+          std::max(events_.now(), state.sched_busy_until_us) + pop_us;
+    }
+    if (task == kInvalidTask) {
+      state.starved = true;
+      return;
+    }
+    MG_CHECK_MSG(task < graph_.num_tasks(), "scheduler returned bad task id");
+    MG_CHECK_MSG(!popped_[task], "scheduler returned a task twice");
+    popped_[task] = true;
+    state.starved = false;
+    state.buffer.push_back(task);
+    if (state.buffer.size() == 1 && !state.assembly_active) {
+      begin_assembly(gpu);
+    } else {
+      // Prefetch inputs of deeper pipeline entries through the shared bus.
+      for (DataId data : graph_.inputs(task)) {
+        state.memory->fetch(data, /*demand=*/false);
+      }
+    }
+  }
+}
+
+void RuntimeEngine::begin_assembly(GpuId gpu) {
+  GpuState& state = gpus_[gpu];
+  MG_DCHECK(!state.buffer.empty());
+  MG_DCHECK(!state.assembly_active);
+  state.assembly_active = true;
+  state.assembly_pins.clear();
+  const TaskId head = state.buffer.front();
+  for (DataId data : graph_.inputs(head)) {
+    if (state.memory->is_present(data)) {
+      state.memory->pin(data);
+      state.assembly_pins.push_back(data);
+    } else {
+      state.memory->fetch(data, /*demand=*/true);
+    }
+  }
+  try_start(gpu);
+}
+
+void RuntimeEngine::try_start(GpuId gpu) {
+  GpuState& state = gpus_[gpu];
+  if (state.running != kInvalidTask || !state.assembly_active) return;
+  const TaskId head = state.buffer.front();
+  bool ready = true;
+  for (DataId data : graph_.inputs(head)) {
+    if (!state.memory->is_present(data)) {
+      ready = false;
+      // Self-healing: if the input is neither in flight nor parked on the
+      // stalled list, (re-)issue the demand fetch. fetch() deduplicates, so
+      // this is a no-op in the common case.
+      state.memory->fetch(data, /*demand=*/true);
+    }
+  }
+  if (!ready) return;
+  // Reserve the output scratch buffer last (inputs first maximizes reuse of
+  // the residency the prefetches built up).
+  const std::uint64_t output_bytes = graph_.task_output_bytes(head);
+  if (output_bytes > 0 && !state.scratch_reserved) {
+    if (!state.memory->try_reserve_scratch(output_bytes)) return;
+    state.scratch_reserved = true;
+  }
+  if (config_.account_scheduler_cost &&
+      events_.now() < state.sched_busy_until_us) {
+    // The scheduler is still "thinking" (charged pop cost); re-check then.
+    events_.schedule_at(state.sched_busy_until_us,
+                        [this, gpu] { try_start(gpu); });
+    return;
+  }
+  start_task(gpu, head);
+}
+
+void RuntimeEngine::start_task(GpuId gpu, TaskId task) {
+  GpuState& state = gpus_[gpu];
+  MG_DCHECK(state.buffer.front() == task);
+  state.buffer.pop_front();
+  state.assembly_active = false;
+  state.scratch_reserved = false;  // ownership moves to the running task
+  // All inputs carry exactly one assembly pin by now (pinned either at
+  // begin_assembly or when they landed); those pins become the run pins.
+  MG_DCHECK(state.assembly_pins.size() == graph_.inputs(task).size());
+  state.assembly_pins.clear();
+  for (DataId data : graph_.inputs(task)) state.memory->touch(data);
+
+  state.running = task;
+  if (config_.record_trace) {
+    trace_.events.push_back(
+        {events_.now(), TraceKind::kTaskStart, gpu, task});
+  }
+  const double duration =
+      platform_.compute_time_us(graph_.task_flops(task), gpu);
+  state.busy_us += duration;
+  events_.schedule_after(duration, [this, gpu, task] { finish_task(gpu, task); });
+
+  if (!state.buffer.empty()) begin_assembly(gpu);
+  fill_buffer(gpu);
+}
+
+void RuntimeEngine::finish_task(GpuId gpu, TaskId task) {
+  GpuState& state = gpus_[gpu];
+  MG_DCHECK(state.running == task);
+  state.running = kInvalidTask;
+  ++state.tasks_executed;
+  ++completed_;
+  last_completion_us_ = events_.now();
+  if (config_.record_trace) {
+    trace_.events.push_back({events_.now(), TraceKind::kTaskEnd, gpu, task});
+  }
+  for (DataId data : graph_.inputs(task)) state.memory->unpin(data);
+  // Output write-back: travels host-bound on the dedicated channel; its
+  // scratch stays allocated until the transfer completes. The task itself
+  // is done — write-back only delays memory reuse, not the completion.
+  const std::uint64_t output_bytes = graph_.task_output_bytes(task);
+  if (output_bytes > 0) {
+    writeback_bus_->request(gpu, 0, output_bytes, [this, gpu, task,
+                                                   output_bytes] {
+      GpuState& wb_state = gpus_[gpu];
+      wb_state.bytes_written_back += output_bytes;
+      if (config_.record_trace) {
+        trace_.events.push_back(
+            {events_.now(), TraceKind::kWriteBack, gpu, task});
+      }
+      wb_state.memory->release_scratch(output_bytes);
+      // Freed scratch may unblock this GPU's next task or admit a hint.
+      try_start(gpu);
+      pump_hints(gpu);
+    });
+  }
+  scheduler_.notify_task_complete(gpu, task);
+  fill_buffer(gpu);
+  try_start(gpu);
+  retry_starved();
+}
+
+void RuntimeEngine::pump_hints(GpuId gpu) {
+  GpuState& state = gpus_[gpu];
+  while (!state.hint_queue.empty()) {
+    const DataId data = state.hint_queue.front();
+    if (!state.memory->fetch_hint(data, config_.hints_may_evict)) {
+      break;  // no room right now: retry when memory is freed
+    }
+    state.hint_queue.pop_front();
+  }
+}
+
+void RuntimeEngine::retry_starved() {
+  for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+    if (gpus_[gpu].starved) fill_buffer(gpu);
+  }
+}
+
+void RuntimeEngine::on_data_loaded(GpuId gpu, DataId data) {
+  GpuState& state = gpus_[gpu];
+  const bool from_peer =
+      platform_.nvlink_enabled && fetch_from_peer_[gpu][data] != 0;
+  if (from_peer) {
+    ++state.peer_loads;
+    state.bytes_from_peers += graph_.data_size(data);
+  } else {
+    ++state.loads;
+    state.bytes_loaded += graph_.data_size(data);
+  }
+  if (config_.record_trace) {
+    trace_.events.push_back(
+        {events_.now(), from_peer ? TraceKind::kPeerLoad : TraceKind::kLoad,
+         gpu, data});
+  }
+  scheduler_.notify_data_loaded(gpu, data);
+  // If the landed data is an input of the task being assembled, pin it so a
+  // later prefetch's eviction cannot take it back before the task starts.
+  if (state.assembly_active) {
+    const TaskId head = state.buffer.front();
+    const auto inputs = graph_.inputs(head);
+    if (std::find(inputs.begin(), inputs.end(), data) != inputs.end() &&
+        std::find(state.assembly_pins.begin(), state.assembly_pins.end(),
+                  data) == state.assembly_pins.end()) {
+      state.memory->pin(data);
+      state.assembly_pins.push_back(data);
+    }
+  }
+  try_start(gpu);
+  retry_starved();
+}
+
+void RuntimeEngine::on_data_evicted(GpuId gpu, DataId data) {
+  GpuState& state = gpus_[gpu];
+  ++state.evictions;
+  if (config_.record_trace) {
+    trace_.events.push_back({events_.now(), TraceKind::kEvict, gpu, data});
+  }
+  scheduler_.notify_data_evicted(gpu, data);
+  // The freed space may admit the next push-time prefetch hint — but this
+  // callback runs from inside make_room(), whose caller still needs the
+  // space it is freeing. Defer the pump until the current operation is done.
+  if (!state.hint_queue.empty()) {
+    events_.schedule_after(0.0, [this, gpu] { pump_hints(gpu); });
+  }
+}
+
+void RuntimeEngine::report_deadlock_and_abort() const {
+  std::fprintf(stderr,
+               "RuntimeEngine deadlock: %u/%u tasks completed, event queue "
+               "empty at t=%.1fus\n",
+               completed_, graph_.num_tasks(), events_.now());
+  for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+    const GpuState& state = gpus_[gpu];
+    std::fprintf(stderr,
+                 "  gpu%u: running=%d buffered=%zu starved=%d stalled=%zu "
+                 "used=%llu/%llu assembly=%d\n",
+                 gpu, state.running == kInvalidTask ? -1 : static_cast<int>(state.running),
+                 state.buffer.size(), state.starved ? 1 : 0,
+                 state.memory->stalled_fetches(),
+                 static_cast<unsigned long long>(state.memory->used_bytes()),
+                 static_cast<unsigned long long>(state.memory->capacity_bytes()),
+                 state.assembly_active ? 1 : 0);
+    if (!state.buffer.empty()) {
+      const TaskId head = state.buffer.front();
+      std::fprintf(stderr, "    head task %u inputs:", head);
+      for (DataId data : graph_.inputs(head)) {
+        std::fprintf(stderr, " d%u(res=%d pins=%u)", data,
+                     static_cast<int>(state.memory->residency(data)),
+                     state.memory->pin_count(data));
+      }
+      std::fprintf(stderr, "\n");
+    }
+    std::fprintf(stderr, "    resident:");
+    for (DataId data : state.memory->resident()) {
+      std::fprintf(stderr, " d%u(pins=%u)", data,
+                   state.memory->pin_count(data));
+    }
+    std::fprintf(stderr, "\n");
+  }
+  MG_CHECK_MSG(false, "simulation deadlock — scheduler or policy bug");
+}
+
+}  // namespace mg::sim

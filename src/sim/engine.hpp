@@ -1,0 +1,155 @@
+// StarPU-like runtime engine on top of the discrete-event simulator.
+//
+// Each GPU runs a worker pipeline of up to `pipeline_depth` tasks pulled from
+// the scheduler (the paper's taskBuffer): the head task is *assembled*
+// (demand-fetch its missing inputs, pin the present ones so they cannot be
+// evicted from under it), deeper tasks get their inputs prefetched through
+// the shared bus. A task starts when the GPU is idle and all its inputs are
+// resident; inputs stay pinned for the duration of the task.
+//
+// Eviction is delegated to the scheduler's core::EvictionPolicy (default
+// LRU). Inputs of *buffered but not yet assembling* tasks are evictable —
+// this is deliberate: the paper's analysis of DARTS-without-LUF hinges on
+// exactly this "domino" effect, and LUF exists to avoid it.
+//
+// Scheduler cost accounting (`account_scheduler_cost`) reproduces the
+// paper's "with / without scheduling time" curves: the measured wall time of
+// each pop_task() call delays subsequent task starts on that GPU, and
+// prepare() time is added to the reported makespan.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/metrics.hpp"
+#include "core/platform.hpp"
+#include "core/scheduler.hpp"
+#include "core/task_graph.hpp"
+#include "sim/bus.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/lru_eviction.hpp"
+#include "sim/memory_manager.hpp"
+#include "sim/trace.hpp"
+
+namespace mg::sim {
+
+struct EngineConfig {
+  /// Max tasks popped ahead per GPU (running task excluded) — the worker
+  /// pipeline / taskBuffer depth.
+  std::uint32_t pipeline_depth = 4;
+
+  /// Charge measured scheduler wall time into the timeline (see above).
+  bool account_scheduler_cost = false;
+
+  /// Push-time prefetch hints may evict (StarPU's eager prefetch
+  /// allocation). Off by default: hints then only fill free space. Turning
+  /// this on reproduces the paper's DMDAR prefetch/eviction conflict in
+  /// full strength (see abl_push_prefetch).
+  bool hints_may_evict = false;
+
+  /// Record a Trace of loads/evictions/task starts/ends.
+  bool record_trace = false;
+
+  /// Seed forwarded to Scheduler::prepare.
+  std::uint64_t seed = 42;
+};
+
+class RuntimeEngine final : private MemoryManager::Observer,
+                            private TransferRouter {
+ public:
+  RuntimeEngine(const core::TaskGraph& graph, const core::Platform& platform,
+                core::Scheduler& scheduler, EngineConfig config = {});
+
+  RuntimeEngine(const RuntimeEngine&) = delete;
+  RuntimeEngine& operator=(const RuntimeEngine&) = delete;
+
+  /// Runs the whole workload to completion and returns the metrics.
+  /// Single-shot: a second call is an error.
+  core::RunMetrics run();
+
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+
+ private:
+  struct GpuState {
+    std::deque<core::TaskId> buffer;             ///< popped, not yet started
+    std::deque<core::DataId> hint_queue;         ///< push-time prefetch hints
+    core::TaskId running = core::kInvalidTask;
+    bool starved = false;        ///< scheduler had nothing for us last time
+    bool assembly_active = false;
+    bool scratch_reserved = false;  ///< output buffer of the head task
+    std::vector<core::DataId> assembly_pins;
+    double sched_busy_until_us = 0.0;
+    double busy_us = 0.0;
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t bytes_loaded = 0;
+    std::uint64_t peer_loads = 0;
+    std::uint64_t bytes_from_peers = 0;
+    std::uint64_t bytes_written_back = 0;
+    std::uint64_t evictions = 0;
+    std::unique_ptr<MemoryManager> memory;
+  };
+
+  void fill_buffer(core::GpuId gpu);
+  void begin_assembly(core::GpuId gpu);
+
+  /// Issues queued push-time prefetch hints while the GPU has free memory
+  /// (hints never evict); called whenever memory is freed.
+  void pump_hints(core::GpuId gpu);
+  void try_start(core::GpuId gpu);
+  void start_task(core::GpuId gpu, core::TaskId task);
+  void finish_task(core::GpuId gpu, core::TaskId task);
+  void retry_starved();
+  void report_deadlock_and_abort() const;
+
+  // MemoryManager::Observer
+  void on_data_loaded(core::GpuId gpu, core::DataId data) override;
+  void on_data_evicted(core::GpuId gpu, core::DataId data) override;
+
+  // TransferRouter: route a miss over the host bus, or — with NVLink
+  // enabled — over the egress port of a peer GPU already holding the data
+  // (the replica stays pinned on the source for the duration of the copy).
+  void request_transfer(core::GpuId dst, core::DataId data,
+                        std::uint64_t bytes, std::function<void()> on_complete,
+                        TransferPriority priority) override;
+  void promote(core::GpuId dst, core::DataId data) override;
+
+  /// Peer currently holding `data` (lowest id), or kInvalidGpu.
+  [[nodiscard]] core::GpuId find_peer_holding(core::GpuId dst,
+                                              core::DataId data) const;
+
+  /// Copies `data` from `source` to `dst` over the source's NVLink egress
+  /// port, keeping the source replica pinned for the duration.
+  void start_peer_copy(core::GpuId source, core::GpuId dst, core::DataId data,
+                       std::uint64_t bytes,
+                       std::function<void()> on_complete);
+
+  const core::TaskGraph& graph_;
+  core::Platform platform_;
+  core::Scheduler& scheduler_;
+  EngineConfig config_;
+
+  EventQueue events_;
+  Bus bus_;
+  /// Output write-backs travel host-bound on their own channel: PCIe is
+  /// full duplex, and the paper notes output "can be transferred
+  /// concurrently with data input". Only created when the graph has outputs.
+  std::unique_ptr<Bus> writeback_bus_;
+  std::vector<std::unique_ptr<Bus>> nvlink_egress_;  ///< one per GPU
+  /// Origin of the in-flight fetch of (gpu, data): host or peer.
+  std::vector<std::vector<std::uint8_t>> fetch_from_peer_;
+  std::unique_ptr<LruEviction> default_policy_;
+  std::vector<GpuState> gpus_;
+  std::vector<bool> popped_;
+  std::uint32_t completed_ = 0;
+  double last_completion_us_ = 0.0;
+  double pop_wall_us_ = 0.0;
+  double prepare_wall_us_ = 0.0;
+  Trace trace_;
+  bool ran_ = false;
+};
+
+}  // namespace mg::sim

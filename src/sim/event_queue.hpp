@@ -1,0 +1,73 @@
+// Discrete-event simulation core.
+//
+// A single monotonically-advancing clock (microseconds) and a priority queue
+// of (time, sequence, callback). Ties are broken by insertion sequence, so a
+// run is fully deterministic regardless of heap implementation details.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mg::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  void schedule_at(double time, Callback callback) {
+    MG_DCHECK(time >= now_);
+    heap_.push(Event{time, next_sequence_++, std::move(callback)});
+  }
+
+  void schedule_after(double delay, Callback callback) {
+    MG_DCHECK(delay >= 0.0);
+    schedule_at(now_ + delay, std::move(callback));
+  }
+
+  /// Pops and runs the earliest event. Returns false when the queue is empty.
+  bool run_one() {
+    if (heap_.empty()) return false;
+    // Moving out of the priority queue top requires a const_cast; the element
+    // is popped immediately after, so ordering is unaffected.
+    Event event = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    MG_DCHECK(event.time >= now_);
+    now_ = event.time;
+    ++processed_;
+    event.callback();
+    return true;
+  }
+
+  void run_until_empty() {
+    while (run_one()) {
+    }
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t sequence;
+    Callback callback;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return sequence > other.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace mg::sim

@@ -1,0 +1,50 @@
+// Least-Recently-Used eviction — the default policy of every scheduler in
+// the paper except DARTS+LUF. Recency is advanced on load and on task-start
+// use; the victim is the candidate with the oldest stamp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/eviction.hpp"
+#include "core/ids.hpp"
+
+namespace mg::sim {
+
+class LruEviction final : public core::EvictionPolicy {
+ public:
+  LruEviction(std::uint32_t num_gpus, std::uint32_t num_data)
+      : stamps_(num_gpus, std::vector<std::uint64_t>(num_data, 0)) {}
+
+  [[nodiscard]] std::string_view name() const override { return "LRU"; }
+
+  void on_load(core::GpuId gpu, core::DataId data) override {
+    stamps_[gpu][data] = ++clock_;
+  }
+
+  void on_use(core::GpuId gpu, core::DataId data) override {
+    stamps_[gpu][data] = ++clock_;
+  }
+
+  [[nodiscard]] core::DataId choose_victim(
+      core::GpuId gpu, std::span<const core::DataId> candidates) override {
+    core::DataId victim = core::kInvalidData;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (core::DataId data : candidates) {
+      const std::uint64_t stamp = stamps_[gpu][data];
+      if (stamp < oldest) {
+        oldest = stamp;
+        victim = data;
+      }
+    }
+    return victim;
+  }
+
+ private:
+  std::vector<std::vector<std::uint64_t>> stamps_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace mg::sim

@@ -1,0 +1,197 @@
+#include "sim/memory_manager.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace mg::sim {
+
+using core::DataId;
+using core::kInvalidData;
+
+MemoryManager::MemoryManager(core::GpuId gpu, const core::TaskGraph& graph,
+                             std::uint64_t capacity_bytes,
+                             TransferRouter& router)
+    : gpu_(gpu),
+      graph_(graph),
+      capacity_(capacity_bytes),
+      router_(router),
+      residency_(graph.num_data(), Residency::kAbsent),
+      pins_(graph.num_data(), 0),
+      resident_pos_(graph.num_data(), kNoPos) {}
+
+void MemoryManager::fetch(DataId data, bool demand) {
+  MG_DCHECK(policy_ != nullptr && observer_ != nullptr);
+  if (residency_[data] != Residency::kAbsent) {
+    // A hint transfer may still be sitting in the low-priority queue; a
+    // demand for the same data makes it urgent.
+    if (demand && residency_[data] == Residency::kFetching) {
+      router_.promote(gpu_, data);
+    }
+    return;
+  }
+  const std::uint64_t size = graph_.data_size(data);
+  MG_CHECK_MSG(size <= capacity_, "data larger than GPU memory");
+  if (!make_room(size)) {
+    // Deduplicate: an entry for this data may already be parked; keep a
+    // single entry and upgrade it to demand priority if needed.
+    for (auto& stalled : stalled_) {
+      if (stalled.data == data) {
+        stalled.demand = stalled.demand || demand;
+        return;
+      }
+    }
+    stalled_.push_back(StalledFetch{data, demand});
+    MG_TRACE("gpu%u fetch of data %u stalled (%zu stalled)", gpu_, data,
+             stalled_.size());
+    return;
+  }
+  start_transfer(data);
+}
+
+bool MemoryManager::fetch_hint(DataId data, bool may_evict) {
+  MG_DCHECK(policy_ != nullptr && observer_ != nullptr);
+  if (residency_[data] != Residency::kAbsent) return true;
+  const std::uint64_t size = graph_.data_size(data);
+  if (capacity_ - committed_ < size) {
+    if (!may_evict) return false;
+    if (!make_room(size)) return false;
+  }
+  start_transfer(data, TransferPriority::kLow);
+  return true;
+}
+
+void MemoryManager::start_transfer(DataId data, TransferPriority priority) {
+  committed_ += graph_.data_size(data);
+  MG_DCHECK(committed_ <= capacity_);
+  residency_[data] = Residency::kFetching;
+  router_.request_transfer(gpu_, data, graph_.data_size(data),
+                           [this, data] { on_transfer_complete(data); },
+                           priority);
+}
+
+void MemoryManager::on_transfer_complete(DataId data) {
+  MG_DCHECK(residency_[data] == Residency::kFetching);
+  residency_[data] = Residency::kPresent;
+  resident_pos_[data] = static_cast<std::uint32_t>(resident_.size());
+  resident_.push_back(data);
+  policy_->on_load(gpu_, data);
+  // Observer first: the engine pins head-of-pipeline inputs the moment they
+  // land, so that the stalled-fetch retry below cannot evict the data this
+  // very transfer delivered (it becomes an eviction candidate the moment it
+  // is resident and unpinned).
+  observer_->on_data_loaded(gpu_, data);
+  retry_stalled();
+}
+
+bool MemoryManager::make_room(std::uint64_t bytes) {
+  MG_DCHECK(bytes <= capacity_);
+  while (capacity_ - committed_ < bytes) {
+    // Candidates: resident and unpinned. In-flight data are absent from
+    // resident_ by construction.
+    std::vector<DataId> candidates;
+    candidates.reserve(resident_.size());
+    for (DataId data : resident_) {
+      if (pins_[data] == 0) candidates.push_back(data);
+    }
+    if (candidates.empty()) return false;
+    const DataId victim = policy_->choose_victim(gpu_, candidates);
+    if (victim == kInvalidData) return false;
+    MG_DCHECK(std::find(candidates.begin(), candidates.end(), victim) !=
+              candidates.end());
+    evict(victim);
+  }
+  return true;
+}
+
+void MemoryManager::evict(DataId victim) {
+  MG_DCHECK(residency_[victim] == Residency::kPresent);
+  MG_DCHECK(pins_[victim] == 0);
+  residency_[victim] = Residency::kAbsent;
+  remove_resident(victim);
+  committed_ -= graph_.data_size(victim);
+  ++evictions_;
+  policy_->on_evict(gpu_, victim);
+  observer_->on_data_evicted(gpu_, victim);
+}
+
+void MemoryManager::remove_resident(DataId data) {
+  const std::uint32_t pos = resident_pos_[data];
+  MG_DCHECK(pos != kNoPos);
+  const DataId moved = resident_.back();
+  resident_[pos] = moved;
+  resident_pos_[moved] = pos;
+  resident_.pop_back();
+  resident_pos_[data] = kNoPos;
+}
+
+void MemoryManager::pin(DataId data) {
+  // Always-on check: pinning absent data would silently wedge the pipeline
+  // (the engine would believe the input is protected and never re-fetch it).
+  MG_CHECK_MSG(residency_[data] == Residency::kPresent,
+               "pin of non-resident data");
+  ++pins_[data];
+}
+
+void MemoryManager::unpin(DataId data) {
+  MG_DCHECK(pins_[data] > 0);
+  --pins_[data];
+  if (pins_[data] == 0 && !stalled_.empty()) retry_stalled();
+}
+
+void MemoryManager::touch(DataId data) { policy_->on_use(gpu_, data); }
+
+bool MemoryManager::try_reserve_scratch(std::uint64_t bytes) {
+  if (bytes == 0) return true;
+  MG_CHECK_MSG(bytes <= capacity_, "scratch larger than GPU memory");
+  if (!make_room(bytes)) return false;
+  committed_ += bytes;
+  MG_DCHECK(committed_ <= capacity_);
+  return true;
+}
+
+void MemoryManager::release_scratch(std::uint64_t bytes) {
+  MG_DCHECK(bytes <= committed_);
+  committed_ -= bytes;
+  if (!stalled_.empty()) retry_stalled();
+}
+
+void MemoryManager::retry_stalled() {
+  if (in_retry_ || stalled_.empty()) return;
+  in_retry_ = true;
+  // Work on a local snapshot: eviction callbacks can re-enter fetch() and
+  // park new entries on stalled_ while we iterate.
+  std::deque<StalledFetch> work = std::move(stalled_);
+  stalled_.clear();
+  std::deque<StalledFetch> remaining;
+  // Demand fetches first, then prefetches, each in FIFO order. Entries whose
+  // data is no longer absent are stale (a later fetch succeeded) and dropped.
+  for (int demand_pass = 1; demand_pass >= 0; --demand_pass) {
+    for (const StalledFetch& stalled : work) {
+      if (stalled.demand != (demand_pass == 1)) continue;
+      if (residency_[stalled.data] != Residency::kAbsent) continue;  // stale
+      if (make_room(graph_.data_size(stalled.data))) {
+        start_transfer(stalled.data);
+      } else {
+        remaining.push_back(stalled);
+      }
+    }
+  }
+  // Merge entries that still could not be served with any entries parked by
+  // re-entrant fetches, deduplicating by data id.
+  for (const StalledFetch& stalled : remaining) {
+    bool merged = false;
+    for (auto& existing : stalled_) {
+      if (existing.data == stalled.data) {
+        existing.demand = existing.demand || stalled.demand;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) stalled_.push_back(stalled);
+  }
+  in_retry_ = false;
+}
+
+}  // namespace mg::sim

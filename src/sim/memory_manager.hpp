@@ -1,0 +1,143 @@
+// Per-GPU memory manager.
+//
+// Tracks residency of every data item on one GPU (Absent / Fetching /
+// Present), accounts *committed* bytes (resident + in-flight reservations)
+// against the capacity M, and makes room by querying the active
+// core::EvictionPolicy. Pinned data (inputs of the running task, plus the
+// inputs of the task currently being assembled at the head of the worker's
+// pipeline) and in-flight transfers are never eviction candidates.
+//
+// A fetch that cannot make room is parked on a stalled list and retried when
+// evictability can have changed (a pin released, a transfer completed).
+// Demand fetches (head-of-pipeline) are retried before prefetches.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/eviction.hpp"
+#include "core/ids.hpp"
+#include "core/memory_view.hpp"
+#include "core/task_graph.hpp"
+#include "sim/transfer_router.hpp"
+
+namespace mg::sim {
+
+class MemoryManager final : public core::MemoryView {
+ public:
+  /// Engine-side notifications, fired after the manager's own state and the
+  /// eviction policy have been updated.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    virtual void on_data_loaded(core::GpuId gpu, core::DataId data) = 0;
+    virtual void on_data_evicted(core::GpuId gpu, core::DataId data) = 0;
+  };
+
+  enum class Residency : std::uint8_t { kAbsent, kFetching, kPresent };
+
+  MemoryManager(core::GpuId gpu, const core::TaskGraph& graph,
+                std::uint64_t capacity_bytes, TransferRouter& router);
+
+  MemoryManager(const MemoryManager&) = delete;
+  MemoryManager& operator=(const MemoryManager&) = delete;
+
+  /// Both must be set before the first fetch; not owned.
+  void set_eviction_policy(core::EvictionPolicy* policy) { policy_ = policy; }
+  void set_observer(Observer* observer) { observer_ = observer; }
+
+  // MemoryView
+  [[nodiscard]] bool is_present(core::DataId data) const override {
+    return residency_[data] == Residency::kPresent;
+  }
+  [[nodiscard]] bool is_present_or_fetching(core::DataId data) const override {
+    return residency_[data] != Residency::kAbsent;
+  }
+  [[nodiscard]] std::uint64_t capacity_bytes() const override {
+    return capacity_;
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const override {
+    return committed_;
+  }
+
+  [[nodiscard]] Residency residency(core::DataId data) const {
+    return residency_[data];
+  }
+
+  /// Requests `data` on this GPU. No-op if already resident or in flight
+  /// (but a demand fetch promotes a still-queued low-priority transfer).
+  /// `demand` marks head-of-pipeline fetches that take retry priority.
+  void fetch(core::DataId data, bool demand);
+
+  /// Opportunistic prefetch (push-time hint): starts a low-priority
+  /// transfer. By default hints never evict and never stall — they only
+  /// proceed into free space. With `may_evict` (StarPU's eager prefetch
+  /// allocation) the hint makes room like a normal fetch, which is exactly
+  /// the prefetch/eviction conflict of the paper's DMDAR discussion.
+  /// Returns false when there is no room (the caller should retry when
+  /// memory is freed), true otherwise (including when the data is already
+  /// resident or in flight).
+  bool fetch_hint(core::DataId data, bool may_evict = false);
+
+  void pin(core::DataId data);
+  void unpin(core::DataId data);
+  [[nodiscard]] std::uint32_t pin_count(core::DataId data) const {
+    return pins_[data];
+  }
+
+  /// Forwards a task-start use of `data` to the eviction policy.
+  void touch(core::DataId data);
+
+  /// Reserves `bytes` of task-private scratch (output buffers), evicting if
+  /// needed. Returns false when no room can be made right now; the caller
+  /// retries on its own progress events.
+  [[nodiscard]] bool try_reserve_scratch(std::uint64_t bytes);
+
+  /// Releases scratch previously reserved (e.g. after write-back).
+  void release_scratch(std::uint64_t bytes);
+
+  /// Currently resident data, in load order (eviction candidate universe).
+  [[nodiscard]] const std::vector<core::DataId>& resident() const {
+    return resident_;
+  }
+
+  [[nodiscard]] std::size_t stalled_fetches() const { return stalled_.size(); }
+  [[nodiscard]] core::GpuId gpu() const { return gpu_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct StalledFetch {
+    core::DataId data;
+    bool demand;
+  };
+
+  /// Evicts until `bytes` fit; false if no victim can be found now.
+  bool make_room(std::uint64_t bytes);
+  void evict(core::DataId victim);
+  void start_transfer(core::DataId data,
+                      TransferPriority priority = TransferPriority::kHigh);
+  void on_transfer_complete(core::DataId data);
+  void retry_stalled();
+  void remove_resident(core::DataId data);
+
+  core::GpuId gpu_;
+  const core::TaskGraph& graph_;
+  std::uint64_t capacity_;
+  TransferRouter& router_;
+  core::EvictionPolicy* policy_ = nullptr;
+  Observer* observer_ = nullptr;
+
+  std::vector<Residency> residency_;
+  std::vector<std::uint32_t> pins_;
+  std::vector<std::uint32_t> resident_pos_;  // index into resident_, or npos
+  std::vector<core::DataId> resident_;
+  std::deque<StalledFetch> stalled_;
+  std::uint64_t committed_ = 0;
+  std::uint64_t evictions_ = 0;
+  bool in_retry_ = false;
+
+  static constexpr std::uint32_t kNoPos = 0xffffffffu;
+};
+
+}  // namespace mg::sim

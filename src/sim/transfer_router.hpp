@@ -1,0 +1,40 @@
+// Transfer routing abstraction between the per-GPU memory managers and the
+// interconnect. The basic platform routes every miss over the shared host
+// PCI bus; with NVLink enabled (the paper's Section VI future work), the
+// router may instead pull a replica from a peer GPU that currently holds
+// the data, over a faster dedicated peer link.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/ids.hpp"
+
+namespace mg::sim {
+
+/// kLow transfers (push-time prefetch hints) are served only when no kHigh
+/// transfer (demand fetch or pipeline prefetch) is waiting — StarPU's
+/// prefetch-below-fetch priority.
+enum class TransferPriority : std::uint8_t { kHigh, kLow };
+
+class TransferRouter {
+ public:
+  virtual ~TransferRouter() = default;
+
+  /// Transfers `data` (of `bytes` bytes) to `dst` from wherever the router
+  /// decides; `on_complete` fires when the data has fully landed on `dst`.
+  virtual void request_transfer(
+      core::GpuId dst, core::DataId data, std::uint64_t bytes,
+      std::function<void()> on_complete,
+      TransferPriority priority = TransferPriority::kHigh) = 0;
+
+  /// Raises a still-queued low-priority transfer of (dst, data) to high
+  /// priority (a prefetch hint that became a demand). No-op if the transfer
+  /// already started or does not exist.
+  virtual void promote(core::GpuId dst, core::DataId data) {
+    (void)dst;
+    (void)data;
+  }
+};
+
+}  // namespace mg::sim

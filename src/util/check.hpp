@@ -1,0 +1,40 @@
+// Lightweight runtime checks.
+//
+// MG_CHECK is always on (cheap invariants on cold paths); MG_DCHECK compiles
+// out in release builds and is meant for hot loops. Both print the failing
+// expression with source location and abort, so simulator state is never
+// silently corrupted.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mg::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "MG_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace mg::util
+
+#define MG_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) ::mg::util::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MG_CHECK_MSG(expr, msg)                                      \
+  do {                                                               \
+    if (!(expr)) ::mg::util::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define MG_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define MG_DCHECK(expr) MG_CHECK(expr)
+#endif

@@ -1,0 +1,71 @@
+#include "util/csv.hpp"
+
+#include <cinttypes>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace mg::util {
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header, std::string path)
+    : columns_(header.size()) {
+  if (path.empty()) {
+    file_ = stdout;
+    owns_file_ = false;
+  } else {
+    file_ = std::fopen(path.c_str(), "w");
+    MG_CHECK_MSG(file_ != nullptr, "cannot open CSV output file");
+    owns_file_ = true;
+  }
+  std::string line;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i != 0) line += ',';
+    line += header[i];
+  }
+  write_line(line);
+}
+
+CsvWriter::~CsvWriter() {
+  if (owns_file_) std::fclose(file_);
+}
+
+void CsvWriter::row(const std::vector<CsvCell>& cells) {
+  MG_CHECK_MSG(cells.size() == columns_, "CSV row width mismatch");
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) line += ',';
+    std::visit(
+        [&line](const auto& cell) {
+          using T = std::decay_t<decltype(cell)>;
+          if constexpr (std::is_same_v<T, std::string>) {
+            line += cell;
+          } else if constexpr (std::is_same_v<T, std::int64_t>) {
+            char buffer[32];
+            std::snprintf(buffer, sizeof buffer, "%" PRId64, cell);
+            line += buffer;
+          } else {
+            line += format_double(cell);
+          }
+        },
+        cells[i]);
+  }
+  write_line(line);
+}
+
+void CsvWriter::comment(const std::string& text) {
+  write_line("# " + text);
+}
+
+void CsvWriter::write_line(const std::string& line) {
+  std::fputs(line.c_str(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+}  // namespace mg::util

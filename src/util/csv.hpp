@@ -1,0 +1,43 @@
+// Tiny CSV table emitter used by the figure-reproduction harnesses.
+//
+// Writes a header once and then rows of mixed string/numeric cells, either to
+// stdout or to a file. Numeric formatting is locale-independent.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mg::util {
+
+using CsvCell = std::variant<std::string, std::int64_t, double>;
+
+class CsvWriter {
+ public:
+  /// Writes to `path`, or to stdout when `path` is empty.
+  explicit CsvWriter(std::vector<std::string> header, std::string path = "");
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void row(const std::vector<CsvCell>& cells);
+
+  /// Emits a `# key: value` comment line (reference constants, bounds).
+  void comment(const std::string& text);
+
+ private:
+  void write_line(const std::string& line);
+
+  std::size_t columns_;
+  std::FILE* file_;
+  bool owns_file_;
+};
+
+/// Formats a double compactly (up to 6 significant digits, no trailing
+/// zeros), for CSV cells and log lines.
+std::string format_double(double value);
+
+}  // namespace mg::util

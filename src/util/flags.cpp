@@ -1,0 +1,194 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace mg::util {
+
+Flags::Flags(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+Flags& Flags::define_int(const std::string& name, std::int64_t default_value,
+                         const std::string& help) {
+  Entry entry{Kind::kInt, help, 0, 0.0, false, {}};
+  entry.int_value = default_value;
+  MG_CHECK_MSG(entries_.emplace(name, std::move(entry)).second,
+               "duplicate flag definition");
+  return *this;
+}
+
+Flags& Flags::define_double(const std::string& name, double default_value,
+                            const std::string& help) {
+  Entry entry{Kind::kDouble, help, 0, 0.0, false, {}};
+  entry.double_value = default_value;
+  MG_CHECK_MSG(entries_.emplace(name, std::move(entry)).second,
+               "duplicate flag definition");
+  return *this;
+}
+
+Flags& Flags::define_bool(const std::string& name, bool default_value,
+                          const std::string& help) {
+  Entry entry{Kind::kBool, help, 0, 0.0, false, {}};
+  entry.bool_value = default_value;
+  MG_CHECK_MSG(entries_.emplace(name, std::move(entry)).second,
+               "duplicate flag definition");
+  return *this;
+}
+
+Flags& Flags::define_string(const std::string& name,
+                            const std::string& default_value,
+                            const std::string& help) {
+  Entry entry{Kind::kString, help, 0, 0.0, false, {}};
+  entry.string_value = default_value;
+  MG_CHECK_MSG(entries_.emplace(name, std::move(entry)).second,
+               "duplicate flag definition");
+  return *this;
+}
+
+bool Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    if (auto eq = body.find('='); eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+
+    auto it = entries_.find(name);
+    // `--no-foo` negates boolean flag `foo`.
+    if (it == entries_.end() && name.rfind("no-", 0) == 0) {
+      auto neg = entries_.find(name.substr(3));
+      if (neg != entries_.end() && neg->second.kind == Kind::kBool) {
+        neg->second.bool_value = false;
+        continue;
+      }
+    }
+    if (it == entries_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s (see --help)\n", name.c_str());
+      return false;
+    }
+
+    if (!has_value) {
+      if (it->second.kind == Kind::kBool) {
+        it->second.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s expects a value\n", name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!assign(name, value)) return false;
+  }
+  return true;
+}
+
+bool Flags::assign(const std::string& name, const std::string& value) {
+  Entry& entry = entries_.at(name);
+  try {
+    switch (entry.kind) {
+      case Kind::kInt:
+        entry.int_value = std::stoll(value);
+        break;
+      case Kind::kDouble:
+        entry.double_value = std::stod(value);
+        break;
+      case Kind::kBool:
+        if (value == "true" || value == "1") {
+          entry.bool_value = true;
+        } else if (value == "false" || value == "0") {
+          entry.bool_value = false;
+        } else {
+          throw std::invalid_argument("not a bool");
+        }
+        break;
+      case Kind::kString:
+        entry.string_value = value;
+        break;
+    }
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "bad value for --%s: '%s'\n", name.c_str(),
+                 value.c_str());
+    return false;
+  }
+  return true;
+}
+
+void Flags::print_usage(const char* argv0) const {
+  std::printf("%s\n", description_.c_str());
+  std::printf("usage: %s [flags]\n", argv0);
+  for (const auto& [name, entry] : entries_) {
+    const char* type = "";
+    std::string def;
+    switch (entry.kind) {
+      case Kind::kInt:
+        type = "int";
+        def = std::to_string(entry.int_value);
+        break;
+      case Kind::kDouble:
+        type = "double";
+        def = std::to_string(entry.double_value);
+        break;
+      case Kind::kBool:
+        type = "bool";
+        def = entry.bool_value ? "true" : "false";
+        break;
+      case Kind::kString:
+        type = "string";
+        def = entry.string_value;
+        break;
+    }
+    std::printf("  --%-24s %-7s (default: %s)\n      %s\n", name.c_str(), type,
+                def.c_str(), entry.help.c_str());
+  }
+}
+
+Flags::Entry& Flags::require(const std::string& name, Kind kind) {
+  auto it = entries_.find(name);
+  MG_CHECK_MSG(it != entries_.end(), "flag not defined");
+  MG_CHECK_MSG(it->second.kind == kind, "flag accessed with wrong type");
+  return it->second;
+}
+
+const Flags::Entry& Flags::require(const std::string& name, Kind kind) const {
+  auto it = entries_.find(name);
+  MG_CHECK_MSG(it != entries_.end(), "flag not defined");
+  MG_CHECK_MSG(it->second.kind == kind, "flag accessed with wrong type");
+  return it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name) const {
+  return require(name, Kind::kInt).int_value;
+}
+
+double Flags::get_double(const std::string& name) const {
+  return require(name, Kind::kDouble).double_value;
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  return require(name, Kind::kBool).bool_value;
+}
+
+const std::string& Flags::get_string(const std::string& name) const {
+  return require(name, Kind::kString).string_value;
+}
+
+}  // namespace mg::util

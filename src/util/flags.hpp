@@ -1,0 +1,65 @@
+// Minimal command-line flag parser for the bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name`. Unknown flags are an error (to catch typos in experiment
+// scripts); positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mg::util {
+
+class Flags {
+ public:
+  Flags(std::string program_description = "");
+
+  // Registration. `help` is printed by --help. Returns *this for chaining.
+  Flags& define_int(const std::string& name, std::int64_t default_value,
+                    const std::string& help);
+  Flags& define_double(const std::string& name, double default_value,
+                       const std::string& help);
+  Flags& define_bool(const std::string& name, bool default_value,
+                     const std::string& help);
+  Flags& define_string(const std::string& name,
+                       const std::string& default_value,
+                       const std::string& help);
+
+  /// Parses argv. On `--help`, prints usage and returns false (caller should
+  /// exit 0). On malformed input, prints the problem and returns false.
+  [[nodiscard]] bool parse(int argc, char** argv);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  void print_usage(const char* argv0) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+
+  Entry& require(const std::string& name, Kind kind);
+  const Entry& require(const std::string& name, Kind kind) const;
+  [[nodiscard]] bool assign(const std::string& name, const std::string& value);
+
+  std::string description_;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mg::util

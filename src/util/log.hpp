@@ -1,0 +1,25 @@
+// Minimal leveled logger. Off by default except warnings/errors; the
+// simulator's event-level tracing uses Level::kTrace and is enabled with
+// MG_LOG_LEVEL=trace in the environment or set_level() in code.
+#pragma once
+
+#include <cstdarg>
+
+namespace mg::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging; no-op when `level` is below the active level.
+void logf(LogLevel level, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace mg::util
+
+#define MG_TRACE(...) ::mg::util::logf(::mg::util::LogLevel::kTrace, __VA_ARGS__)
+#define MG_DEBUG(...) ::mg::util::logf(::mg::util::LogLevel::kDebug, __VA_ARGS__)
+#define MG_INFO(...) ::mg::util::logf(::mg::util::LogLevel::kInfo, __VA_ARGS__)
+#define MG_WARN(...) ::mg::util::logf(::mg::util::LogLevel::kWarn, __VA_ARGS__)
+#define MG_ERROR(...) ::mg::util::logf(::mg::util::LogLevel::kError, __VA_ARGS__)

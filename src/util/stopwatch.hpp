@@ -1,0 +1,28 @@
+// Wall-clock stopwatch used to charge real scheduler decision time into the
+// simulated timeline (the paper's "with/without scheduling time" curves).
+#pragma once
+
+#include <chrono>
+
+namespace mg::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / restart, in microseconds.
+  [[nodiscard]] double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_us() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mg::util

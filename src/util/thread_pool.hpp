@@ -1,0 +1,96 @@
+// Minimal fixed-size thread pool for embarrassingly parallel sweeps (the
+// figure harnesses run independent simulations per point). Submitted jobs
+// are indexed so callers can emit results in deterministic order regardless
+// of completion order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mg::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; it may start immediately on another thread.
+  void submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      jobs_.push(std::move(job));
+    }
+    wake_.notify_one();
+  }
+
+  /// Blocks until every submitted job has finished.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return jobs_.empty() && active_ == 0; });
+  }
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Runs `count` indexed jobs across the pool and waits for all of them.
+  /// `fn(i)` must be safe to call concurrently for distinct i.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn) {
+    for (std::size_t i = 0; i < count; ++i) {
+      submit([&fn, i] { fn(i); });
+    }
+    wait_idle();
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+        if (stopping_ && jobs_.empty()) return;
+        job = std::move(jobs_.front());
+        jobs_.pop();
+        ++active_;
+      }
+      job();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --active_;
+        if (jobs_.empty() && active_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace mg::util

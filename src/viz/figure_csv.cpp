@@ -1,0 +1,88 @@
+#include "viz/figure_csv.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace mg::viz {
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream stream(line);
+  while (std::getline(stream, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+/// Extracts "key: value" or "key=value" numbers from a comment line.
+bool scan_comment_number(const std::string& comment, const char* key,
+                         double& out) {
+  const std::size_t pos = comment.find(key);
+  if (pos == std::string::npos) return false;
+  const char* cursor = comment.c_str() + pos + std::strlen(key);
+  while (*cursor == ':' || *cursor == '=' || *cursor == ' ') ++cursor;
+  return std::sscanf(cursor, "%lf", &out) == 1;
+}
+
+}  // namespace
+
+FigureData parse_figure_csv(const std::string& path) {
+  FigureData data;
+  std::ifstream input(path);
+  if (!input.good()) return data;
+
+  std::string line;
+  while (std::getline(input, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      double value = 0.0;
+      if (scan_comment_number(line, "gflops_max", value)) {
+        data.gflops_max = value;
+      }
+      if (scan_comment_number(line, "threshold_both_fit_mb", value)) {
+        data.threshold_both_fit_mb = value;
+      }
+      if (scan_comment_number(line, "threshold_one_fits_mb", value)) {
+        data.threshold_one_fits_mb = value;
+      }
+      double ws = 0.0;
+      if (scan_comment_number(line, "ws", ws) &&
+          scan_comment_number(line, "pci_limit_mb", value)) {
+        data.pci_limit.emplace_back(ws, value);
+      }
+      continue;
+    }
+    const std::vector<std::string> cells = split_csv_line(line);
+    if (data.columns.empty()) {
+      data.columns = cells;  // header row
+      continue;
+    }
+    if (cells.size() != data.columns.size() || cells.size() < 3) continue;
+
+    FigureData::Row row;
+    std::string scheduler;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (data.columns[i] == "scheduler") {
+        scheduler = cells[i];
+      } else {
+        char* end = nullptr;
+        const double value = std::strtod(cells[i].c_str(), &end);
+        if (end != cells[i].c_str()) {
+          if (data.columns[i] == "working_set_mb") {
+            row.working_set_mb = value;
+          } else {
+            row.values[data.columns[i]] = value;
+          }
+        }
+      }
+    }
+    if (!scheduler.empty()) {
+      data.by_scheduler[scheduler].push_back(std::move(row));
+    }
+  }
+  return data;
+}
+
+}  // namespace mg::viz

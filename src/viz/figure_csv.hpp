@@ -1,0 +1,36 @@
+// Parser for the CSV files produced by the figure harness (bench/fig*),
+// including the `#` comment lines carrying the reference constants
+// (gflops_max, fits-in-memory thresholds, per-point PCI limits).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mg::viz {
+
+struct FigureData {
+  std::vector<std::string> columns;
+
+  /// Rows keyed by scheduler label, each a map column -> value for the
+  /// numeric columns (the scheduler column is the key).
+  struct Row {
+    double working_set_mb = 0.0;
+    std::map<std::string, double> values;
+  };
+  std::map<std::string, std::vector<Row>> by_scheduler;
+
+  double gflops_max = 0.0;            ///< 0 when absent
+  double threshold_both_fit_mb = 0.0;
+  double threshold_one_fits_mb = 0.0;
+
+  /// (working_set_mb, pci_limit_mb) pairs from the per-point comments.
+  std::vector<std::pair<double, double>> pci_limit;
+
+  [[nodiscard]] bool empty() const { return by_scheduler.empty(); }
+};
+
+/// Parses a harness CSV file. Returns an empty FigureData on I/O error.
+FigureData parse_figure_csv(const std::string& path);
+
+}  // namespace mg::viz

@@ -1,0 +1,281 @@
+#include "viz/svg_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace mg::viz {
+namespace {
+
+// Color-blind-safe qualitative palette (Okabe-Ito).
+constexpr const char* kPalette[] = {
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7",
+    "#E69F00", "#56B4E9", "#F0E442", "#000000",
+};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+constexpr double kMarginLeft = 78.0;
+constexpr double kMarginRight = 220.0;  // legend space
+constexpr double kMarginTop = 46.0;
+constexpr double kMarginBottom = 58.0;
+
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void append_format(std::string& out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_format(std::string& out, const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof buffer, format, args);
+  va_end(args);
+  out += buffer;
+}
+
+/// "Nice" tick step covering `span` with ~`target` intervals.
+double nice_step(double span, int target) {
+  if (span <= 0.0) return 1.0;
+  const double raw = span / target;
+  const double magnitude = std::pow(10.0, std::floor(std::log10(raw)));
+  const double normalized = raw / magnitude;
+  double factor = 10.0;
+  if (normalized <= 1.0) factor = 1.0;
+  else if (normalized <= 2.0) factor = 2.0;
+  else if (normalized <= 5.0) factor = 5.0;
+  return factor * magnitude;
+}
+
+std::string compact_number(double value) {
+  char buffer[32];
+  if (std::fabs(value) >= 1e6) {
+    std::snprintf(buffer, sizeof buffer, "%.3gM", value / 1e6);
+  } else if (std::fabs(value) >= 1e3) {
+    std::snprintf(buffer, sizeof buffer, "%.3gk", value / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.4g", value);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string render_line_chart(const ChartConfig& config,
+                              const std::vector<Series>& series,
+                              const std::vector<ReferenceLine>& references) {
+  // Data ranges.
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -y_min;
+  for (const Series& s : series) {
+    for (const auto& [x, y] : s.points) {
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  for (const ReferenceLine& ref : references) {
+    if (ref.horizontal) {
+      y_max = std::max(y_max, ref.value);
+    } else {
+      x_min = std::min(x_min, ref.value);
+      x_max = std::max(x_max, ref.value);
+    }
+  }
+  if (!std::isfinite(x_min)) {  // empty chart
+    x_min = 0.0; x_max = 1.0; y_min = 0.0; y_max = 1.0;
+  }
+  if (config.y_from_zero && !config.logarithmic_y) y_min = 0.0;
+  if (config.logarithmic_y) y_min = std::max(y_min, 1e-9);
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+  y_max *= 1.04;  // headroom
+
+  const double plot_w =
+      static_cast<double>(config.width) - kMarginLeft - kMarginRight;
+  const double plot_h =
+      static_cast<double>(config.height) - kMarginTop - kMarginBottom;
+
+  auto sx = [&](double x) {
+    return kMarginLeft + (x - x_min) / (x_max - x_min) * plot_w;
+  };
+  auto sy = [&](double y) {
+    if (config.logarithmic_y) {
+      const double t = (std::log10(y) - std::log10(y_min)) /
+                       (std::log10(y_max) - std::log10(y_min));
+      return kMarginTop + (1.0 - t) * plot_h;
+    }
+    return kMarginTop + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+  };
+
+  std::string svg;
+  append_format(svg,
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%u\" "
+                "height=\"%u\" font-family=\"sans-serif\">\n",
+                config.width, config.height);
+  svg += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  append_format(svg,
+                "<text x=\"%.0f\" y=\"24\" font-size=\"16\" "
+                "font-weight=\"bold\">%s</text>\n",
+                kMarginLeft, escape_xml(config.title).c_str());
+
+  // Axes box.
+  append_format(svg,
+                "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+                "fill=\"none\" stroke=\"#444\"/>\n",
+                kMarginLeft, kMarginTop, plot_w, plot_h);
+
+  // Ticks and grid.
+  const double x_step = nice_step(x_max - x_min, 6);
+  for (double x = std::ceil(x_min / x_step) * x_step; x <= x_max + 1e-9;
+       x += x_step) {
+    append_format(svg,
+                  "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                  "stroke=\"#ddd\"/>\n",
+                  sx(x), kMarginTop, sx(x), kMarginTop + plot_h);
+    append_format(svg,
+                  "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" "
+                  "text-anchor=\"middle\">%s</text>\n",
+                  sx(x), kMarginTop + plot_h + 16.0,
+                  compact_number(x).c_str());
+  }
+  if (!config.logarithmic_y) {
+    const double y_step = nice_step(y_max - y_min, 6);
+    for (double y = std::ceil(y_min / y_step) * y_step; y <= y_max + 1e-9;
+         y += y_step) {
+      append_format(svg,
+                    "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                    "stroke=\"#ddd\"/>\n",
+                    kMarginLeft, sy(y), kMarginLeft + plot_w, sy(y));
+      append_format(svg,
+                    "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" "
+                    "text-anchor=\"end\">%s</text>\n",
+                    kMarginLeft - 6.0, sy(y) + 4.0,
+                    compact_number(y).c_str());
+    }
+  } else {
+    for (double y = std::pow(10.0, std::floor(std::log10(y_min)));
+         y <= y_max; y *= 10.0) {
+      if (y < y_min) continue;
+      append_format(svg,
+                    "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                    "stroke=\"#ddd\"/>\n",
+                    kMarginLeft, sy(y), kMarginLeft + plot_w, sy(y));
+      append_format(svg,
+                    "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" "
+                    "text-anchor=\"end\">%s</text>\n",
+                    kMarginLeft - 6.0, sy(y) + 4.0,
+                    compact_number(y).c_str());
+    }
+  }
+
+  // Axis labels.
+  append_format(svg,
+                "<text x=\"%.1f\" y=\"%.1f\" font-size=\"13\" "
+                "text-anchor=\"middle\">%s</text>\n",
+                kMarginLeft + plot_w / 2.0,
+                static_cast<double>(config.height) - 14.0,
+                escape_xml(config.x_label).c_str());
+  append_format(svg,
+                "<text x=\"18\" y=\"%.1f\" font-size=\"13\" "
+                "text-anchor=\"middle\" transform=\"rotate(-90 18 %.1f)\">"
+                "%s</text>\n",
+                kMarginTop + plot_h / 2.0, kMarginTop + plot_h / 2.0,
+                escape_xml(config.y_label).c_str());
+
+  // Reference lines.
+  for (const ReferenceLine& ref : references) {
+    if (ref.horizontal) {
+      if (ref.value < y_min || ref.value > y_max) continue;
+      append_format(svg,
+                    "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                    "stroke=\"#888\" stroke-dasharray=\"6 4\"/>\n",
+                    kMarginLeft, sy(ref.value), kMarginLeft + plot_w,
+                    sy(ref.value));
+      append_format(svg,
+                    "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" "
+                    "fill=\"#666\">%s</text>\n",
+                    kMarginLeft + 6.0, sy(ref.value) - 4.0,
+                    escape_xml(ref.label).c_str());
+    } else {
+      if (ref.value < x_min || ref.value > x_max) continue;
+      append_format(svg,
+                    "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                    "stroke=\"#888\" stroke-dasharray=\"6 4\"/>\n",
+                    sx(ref.value), kMarginTop, sx(ref.value),
+                    kMarginTop + plot_h);
+      append_format(svg,
+                    "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" "
+                    "fill=\"#666\" transform=\"rotate(-90 %.1f %.1f)\">%s"
+                    "</text>\n",
+                    sx(ref.value) - 4.0, kMarginTop + 12.0,
+                    sx(ref.value) - 4.0, kMarginTop + 12.0,
+                    escape_xml(ref.label).c_str());
+    }
+  }
+
+  // Series polylines + markers + legend.
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const char* color = kPalette[i % kPaletteSize];
+    std::string path_points;
+    for (const auto& [x, y] : series[i].points) {
+      append_format(path_points, "%.1f,%.1f ", sx(x), sy(y));
+    }
+    append_format(svg,
+                  "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" "
+                  "stroke-width=\"2\"/>\n",
+                  path_points.c_str(), color);
+    for (const auto& [x, y] : series[i].points) {
+      append_format(svg,
+                    "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"3\" fill=\"%s\"/>\n",
+                    sx(x), sy(y), color);
+    }
+    const double legend_y = kMarginTop + 12.0 + 20.0 * static_cast<double>(i);
+    append_format(svg,
+                  "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                  "stroke=\"%s\" stroke-width=\"3\"/>\n",
+                  kMarginLeft + plot_w + 14.0, legend_y,
+                  kMarginLeft + plot_w + 40.0, legend_y, color);
+    append_format(svg,
+                  "<text x=\"%.1f\" y=\"%.1f\" font-size=\"12\">%s</text>\n",
+                  kMarginLeft + plot_w + 46.0, legend_y + 4.0,
+                  escape_xml(series[i].label).c_str());
+  }
+
+  svg += "</svg>\n";
+  return svg;
+}
+
+bool write_line_chart(const ChartConfig& config,
+                      const std::vector<Series>& series,
+                      const std::vector<ReferenceLine>& references,
+                      const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string svg = render_line_chart(config, series, references);
+  const bool ok =
+      std::fwrite(svg.data(), 1, svg.size(), file) == svg.size();
+  std::fclose(file);
+  return ok;
+}
+
+}  // namespace mg::viz

@@ -1,0 +1,45 @@
+// Dependency-free SVG line-chart renderer for the figure harness output:
+// the paper's figures are GFlop/s-vs-working-set and MB-vs-working-set line
+// charts with reference lines, which is exactly (and only) what this
+// renders. No external plotting stack required to look at results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mg::viz {
+
+struct Series {
+  std::string label;
+  std::vector<std::pair<double, double>> points;  ///< (x, y), sorted by x
+};
+
+struct ReferenceLine {
+  std::string label;
+  double value = 0.0;
+  bool horizontal = true;  ///< horizontal at y=value, else vertical at x=value
+};
+
+struct ChartConfig {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::uint32_t width = 860;
+  std::uint32_t height = 520;
+  bool y_from_zero = true;
+  bool logarithmic_y = false;
+};
+
+/// Renders the chart as a standalone SVG document.
+std::string render_line_chart(const ChartConfig& config,
+                              const std::vector<Series>& series,
+                              const std::vector<ReferenceLine>& references = {});
+
+/// Convenience: render and write to `path`. Returns false on I/O error.
+bool write_line_chart(const ChartConfig& config,
+                      const std::vector<Series>& series,
+                      const std::vector<ReferenceLine>& references,
+                      const std::string& path);
+
+}  // namespace mg::viz

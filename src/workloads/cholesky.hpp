@@ -1,0 +1,45 @@
+// Tasks from the tiled Cholesky decomposition with the dependencies removed
+// (Figure 11): the task *set* of a right-looking tiled Cholesky of an NxN
+// tile matrix — POTRF / TRSM / SYRK / GEMM — each reading its natural input
+// tiles, treated as independent tasks. GEMM reads three tiles, which is what
+// exercises the paper's "3inputs" DARTS variant; the sheer task count
+// (O(N^3/6)) is what motivates the OPTI variant.
+#pragma once
+
+#include <cstdint>
+
+#include "core/task_graph.hpp"
+
+namespace mg::work {
+
+struct CholeskyParams {
+  std::uint32_t n = 8;  ///< tile matrix dimension (N)
+
+  /// Tile side in (single-precision) elements; the paper uses 960x960 tiles,
+  /// i.e. 3.6864 MB per tile.
+  std::uint32_t tile_elems = 960;
+
+  /// Model each kernel's written tile as output traffic (the paper excludes
+  /// outputs; enable for the write-back extension).
+  bool with_outputs = false;
+};
+
+core::TaskGraph make_cholesky_tasks(const CholeskyParams& params);
+
+/// Lower-triangular tile count times tile size.
+[[nodiscard]] constexpr std::uint64_t cholesky_working_set(
+    std::uint32_t n, std::uint32_t tile_elems = 960) {
+  const std::uint64_t tile_bytes =
+      static_cast<std::uint64_t>(tile_elems) * tile_elems * 4;
+  return static_cast<std::uint64_t>(n) * (n + 1) / 2 * tile_bytes;
+}
+
+/// Total task count: N potrf + N(N-1)/2 trsm + N(N-1)/2 syrk +
+/// N(N-1)(N-2)/6 gemm.
+[[nodiscard]] constexpr std::uint64_t cholesky_task_count(std::uint32_t n) {
+  const std::uint64_t big_n = n;
+  return big_n + big_n * (big_n - 1) / 2 * 2 +
+         big_n * (big_n - 1) * (big_n - 2) / 6;
+}
+
+}  // namespace mg::work

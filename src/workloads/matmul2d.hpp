@@ -1,0 +1,46 @@
+// 2D-blocked matrix multiplication — the paper's main application scenario.
+//
+// C = A x B is decomposed into tasks T_ij multiplying block-row i of A with
+// block-column j of B; the input data are the N block-rows and N
+// block-columns (2N data of equal size), and task T_ij reads exactly
+// {rowA_i, colB_j}. Tasks are submitted row-major ("row per row"), or in a
+// uniformly random order for the randomized variant (Figure 9).
+//
+// Default constants reproduce the paper's calibration: each data item is a
+// 14 MB slab (the paper's 5x5 task grid = 140 MB working set, 300x300 =
+// 8400 MB), and a task multiplying a 960-row slab by a 960-column slab
+// performs 2*960^2*L flops with L = bytes/(4*960), i.e. 480 flops per input
+// byte — 6.72 GFlop per task, about 507 us on a V100.
+#pragma once
+
+#include <cstdint>
+
+#include "core/platform.hpp"
+#include "core/task_graph.hpp"
+
+namespace mg::work {
+
+struct Matmul2DParams {
+  std::uint32_t n = 10;                          ///< N: N^2 tasks, 2N data
+  std::uint64_t data_bytes = 14 * core::kMB;     ///< block-row/column size
+  bool randomize_order = false;                  ///< Figure 9 variant
+  std::uint64_t seed = 0;                        ///< order shuffle seed
+
+  /// flops of one task = flops_per_byte * data_bytes (2D GEMM geometry).
+  double flops_per_byte = 480.0;
+
+  /// Output bytes per task (one C tile written back to the host); 0 keeps
+  /// the paper's input-only model. A 960x960 single-precision tile is
+  /// 3.6864 MB.
+  std::uint64_t output_bytes = 0;
+};
+
+core::TaskGraph make_matmul_2d(const Matmul2DParams& params);
+
+/// Working set in bytes for a given N (x axis of Figures 3-9).
+[[nodiscard]] constexpr std::uint64_t matmul_2d_working_set(
+    std::uint32_t n, std::uint64_t data_bytes = 14 * core::kMB) {
+  return static_cast<std::uint64_t>(2) * n * data_bytes;
+}
+
+}  // namespace mg::work

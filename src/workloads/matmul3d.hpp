@@ -1,0 +1,26 @@
+// 3D matrix multiplication (Figure 10): C = A x B decomposed into block
+// products. Task T_ijk multiplies block A_ik by block B_kj (the final
+// summation is not modeled, as in the paper): N^3 tasks over 2N^2 data, so
+// each data is shared by N tasks and the reuse pattern is three-dimensional.
+#pragma once
+
+#include <cstdint>
+
+#include "core/platform.hpp"
+#include "core/task_graph.hpp"
+
+namespace mg::work {
+
+struct Matmul3DParams {
+  std::uint32_t n = 4;                        ///< N: N^3 tasks, 2N^2 data
+  std::uint64_t data_bytes = 14 * core::kMB;  ///< square block size
+};
+
+core::TaskGraph make_matmul_3d(const Matmul3DParams& params);
+
+[[nodiscard]] constexpr std::uint64_t matmul_3d_working_set(
+    std::uint32_t n, std::uint64_t data_bytes = 14 * core::kMB) {
+  return static_cast<std::uint64_t>(2) * n * n * data_bytes;
+}
+
+}  // namespace mg::work

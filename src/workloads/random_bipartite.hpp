@@ -1,0 +1,26 @@
+// Random bipartite workload generator for tests and fuzz-style sweeps: m
+// tasks over n data, each task reading a uniform random subset of
+// min..max inputs. Not part of the paper's evaluation; exists to exercise
+// schedulers on irregular structure.
+#pragma once
+
+#include <cstdint>
+
+#include "core/platform.hpp"
+#include "core/task_graph.hpp"
+
+namespace mg::work {
+
+struct RandomBipartiteParams {
+  std::uint32_t num_tasks = 64;
+  std::uint32_t num_data = 32;
+  std::uint32_t min_inputs = 1;
+  std::uint32_t max_inputs = 3;
+  std::uint64_t data_bytes = 14 * core::kMB;
+  double task_flops = 6.72e9;
+  std::uint64_t seed = 0;
+};
+
+core::TaskGraph make_random_bipartite(const RandomBipartiteParams& params);
+
+}  // namespace mg::work

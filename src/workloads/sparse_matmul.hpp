@@ -1,0 +1,25 @@
+// Sparse 2D matrix multiplication (Figures 12-13): the 2D-blocked matmul
+// with a fraction of the tasks removed at random (the paper removes 98%),
+// yielding a much higher communication-to-computation ratio. Data items with
+// no remaining consumer are kept in the graph (they contribute to the
+// working-set x axis but are never loaded).
+#pragma once
+
+#include <cstdint>
+
+#include "core/platform.hpp"
+#include "core/task_graph.hpp"
+
+namespace mg::work {
+
+struct SparseMatmulParams {
+  std::uint32_t n = 32;                       ///< N of the dense 2D matmul
+  std::uint64_t data_bytes = 14 * core::kMB;
+  double keep_fraction = 0.02;                ///< paper: 2% of tasks survive
+  std::uint64_t seed = 0;
+  double flops_per_byte = 480.0;
+};
+
+core::TaskGraph make_sparse_matmul(const SparseMatmulParams& params);
+
+}  // namespace mg::work

@@ -1,0 +1,8 @@
+// Umbrella header for all workload generators.
+#pragma once
+
+#include "workloads/cholesky.hpp"       // IWYU pragma: export
+#include "workloads/matmul2d.hpp"       // IWYU pragma: export
+#include "workloads/matmul3d.hpp"       // IWYU pragma: export
+#include "workloads/random_bipartite.hpp"  // IWYU pragma: export
+#include "workloads/sparse_matmul.hpp"  // IWYU pragma: export

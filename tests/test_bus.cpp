@@ -1,0 +1,141 @@
+#include "sim/bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mg::sim {
+namespace {
+
+constexpr double kBandwidth = 16.0e9;  // bytes/s
+constexpr double kLatency = 15.0;      // us
+
+double transfer_us(std::uint64_t bytes) {
+  return kLatency + static_cast<double>(bytes) / kBandwidth * 1e6;
+}
+
+TEST(Bus, SingleTransferTiming) {
+  EventQueue events;
+  Bus bus(events, kBandwidth, kLatency);
+  double completion = -1.0;
+  bus.request(0, 0, 14'000'000, [&] { completion = events.now(); });
+  events.run_until_empty();
+  EXPECT_NEAR(completion, transfer_us(14'000'000), 1e-9);
+}
+
+TEST(Bus, FifoOrderAcrossGpus) {
+  EventQueue events;
+  Bus bus(events, kBandwidth, kLatency);
+  std::vector<int> order;
+  bus.request(0, 0, 1000, [&order] { order.push_back(0); });
+  bus.request(1, 1, 1000, [&order] { order.push_back(1); });
+  bus.request(2, 2, 1000, [&order] { order.push_back(2); });
+  events.run_until_empty();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Bus, TransfersSerialize) {
+  EventQueue events;
+  Bus bus(events, kBandwidth, kLatency);
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i) {
+    bus.request(0, static_cast<core::DataId>(i), 14'000'000,
+                [&completions, &events] { completions.push_back(events.now()); });
+  }
+  events.run_until_empty();
+  ASSERT_EQ(completions.size(), 3u);
+  const double one = transfer_us(14'000'000);
+  EXPECT_NEAR(completions[0], one, 1e-9);
+  EXPECT_NEAR(completions[1], 2 * one, 1e-9);
+  EXPECT_NEAR(completions[2], 3 * one, 1e-9);
+}
+
+TEST(Bus, RequestsDuringTransferQueueUp) {
+  EventQueue events;
+  Bus bus(events, kBandwidth, kLatency);
+  double late_completion = -1.0;
+  bus.request(0, 0, 16'000'000, [&] {
+    // Enqueue a second transfer from within the first one's completion.
+    bus.request(0, 1, 16'000'000, [&] { late_completion = events.now(); });
+  });
+  events.run_until_empty();
+  EXPECT_NEAR(late_completion, 2 * transfer_us(16'000'000), 1e-9);
+}
+
+TEST(Bus, BusyTimeAccumulates) {
+  EventQueue events;
+  Bus bus(events, kBandwidth, kLatency);
+  bus.request(0, 0, 8'000'000, [] {});
+  bus.request(1, 1, 8'000'000, [] {});
+  events.run_until_empty();
+  EXPECT_NEAR(bus.busy_time_us(), 2 * transfer_us(8'000'000), 1e-9);
+  EXPECT_FALSE(bus.busy());
+  EXPECT_EQ(bus.pending(), 0u);
+}
+
+TEST(Bus, LowPriorityWaitsForHighQueue) {
+  EventQueue events;
+  Bus bus(events, kBandwidth, 0.0);
+  std::vector<int> order;
+  bus.request(0, 0, 1000, [&order] { order.push_back(0); });
+  bus.request(0, 1, 1000, [&order] { order.push_back(1); },
+              TransferPriority::kLow);
+  bus.request(0, 2, 1000, [&order] { order.push_back(2); });
+  events.run_until_empty();
+  // The low-priority request (1) yields to the later high-priority one (2).
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(Bus, HighArrivingDuringLowTransferDoesNotPreempt) {
+  EventQueue events;
+  Bus bus(events, kBandwidth, 0.0);
+  std::vector<int> order;
+  bus.request(0, 0, 1000, [&] {
+    // Queue a high-priority request while the low one below is next.
+    bus.request(0, 2, 1000, [&order] { order.push_back(2); });
+    order.push_back(0);
+  });
+  bus.request(0, 1, 1000, [&order] { order.push_back(1); },
+              TransferPriority::kLow);
+  events.run_until_empty();
+  // The high request was enqueued before the bus picked its next transfer,
+  // so it still wins over the parked low one.
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(Bus, PromoteMovesLowRequestToHighQueue) {
+  EventQueue events;
+  Bus bus(events, kBandwidth, 0.0);
+  std::vector<int> order;
+  bus.request(0, 0, 1000, [&order] { order.push_back(0); });
+  bus.request(0, 1, 1000, [&order] { order.push_back(1); },
+              TransferPriority::kLow);
+  bus.request(0, 2, 1000, [&order] { order.push_back(2); },
+              TransferPriority::kLow);
+  bus.request(0, 3, 1000, [&order] { order.push_back(3); });
+  bus.promote(0, 2);  // the second low request becomes urgent
+  events.run_until_empty();
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 2, 1}));
+}
+
+TEST(Bus, PromoteOfUnknownRequestIsNoOp) {
+  EventQueue events;
+  Bus bus(events, kBandwidth, 0.0);
+  bus.promote(0, 42);  // nothing queued: must not crash
+  int completed = 0;
+  bus.request(0, 0, 1000, [&completed] { ++completed; });
+  events.run_until_empty();
+  EXPECT_EQ(completed, 1);
+}
+
+TEST(Bus, ZeroByteTransferCostsLatencyOnly) {
+  EventQueue events;
+  Bus bus(events, kBandwidth, kLatency);
+  double completion = -1.0;
+  bus.request(0, 0, 0, [&] { completion = events.now(); });
+  events.run_until_empty();
+  EXPECT_NEAR(completion, kLatency, 1e-12);
+}
+
+}  // namespace
+}  // namespace mg::sim

@@ -1,0 +1,356 @@
+#include "core/darts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "workloads/matmul2d.hpp"
+
+namespace mg::core {
+namespace {
+
+core::Platform one_gpu_platform() {
+  core::Platform platform;
+  platform.num_gpus = 1;
+  platform.gpu_memory_bytes = 1000;
+  return platform;
+}
+
+/// MemoryView stub with an explicit resident set.
+class StubMemory final : public MemoryView {
+ public:
+  explicit StubMemory(std::set<DataId> present = {})
+      : present_(std::move(present)) {}
+  [[nodiscard]] bool is_present(DataId data) const override {
+    return present_.contains(data);
+  }
+  [[nodiscard]] bool is_present_or_fetching(DataId data) const override {
+    return present_.contains(data);
+  }
+  [[nodiscard]] std::uint64_t capacity_bytes() const override { return 1000; }
+  [[nodiscard]] std::uint64_t used_bytes() const override {
+    return 10 * present_.size();
+  }
+
+ private:
+  std::set<DataId> present_;
+};
+
+TEST(DartsName, ComposesVariantNames) {
+  EXPECT_EQ(darts_variant_name({.use_luf = false}), "DARTS");
+  EXPECT_EQ(darts_variant_name({}), "DARTS+LUF");
+  EXPECT_EQ(darts_variant_name({.use_luf = true, .three_inputs = true}),
+            "DARTS+LUF-3inputs");
+  EXPECT_EQ(darts_variant_name({.use_luf = true, .three_inputs = true,
+                                .opti = true}),
+            "DARTS+LUF+OPTI-3inputs");
+  EXPECT_EQ(darts_variant_name({.use_luf = true, .scan_threshold = 10}),
+            "DARTS+LUF+threshold");
+}
+
+TEST(Darts, PlansFreeTasksEnabledByOneLoad) {
+  // 2x2 blocked matmul; rowA_0 (data 0) resident: loading either column
+  // frees exactly one task of row 0.
+  const TaskGraph graph = work::make_matmul_2d({.n = 2, .data_bytes = 10});
+  DartsScheduler darts;
+  darts.prepare(graph, one_gpu_platform(), 1);
+  StubMemory memory({0});  // rowA_0
+
+  const TaskId task = darts.pop_task(0, memory);
+  // Tasks are row-major: T00=0, T01=1 are the row-0 tasks.
+  EXPECT_TRUE(task == 0 || task == 1);
+}
+
+TEST(Darts, TieBreakPrefersDataWithMoreConsumers) {
+  // d_present resident. d_a frees t0 and has 3 consumers total; d_b frees t1
+  // with only 2 consumers: DARTS must pick d_a.
+  TaskGraphBuilder builder;
+  const DataId d_present = builder.add_data(10);
+  const DataId d_a = builder.add_data(10);
+  const DataId d_b = builder.add_data(10);
+  const DataId d_x = builder.add_data(10);
+  const TaskId t0 = builder.add_task(1.0, {d_present, d_a});
+  builder.add_task(1.0, {d_present, d_b});
+  builder.add_task(1.0, {d_a, d_x});       // extra consumers of d_a
+  builder.add_task(1.0, {d_a, d_x});
+  builder.add_task(1.0, {d_b, d_x});
+  const TaskGraph graph = builder.build();
+
+  DartsScheduler darts;
+  darts.prepare(graph, one_gpu_platform(), 7);
+  StubMemory memory({d_present});
+  EXPECT_EQ(darts.pop_task(0, memory), t0);
+}
+
+TEST(Darts, RandomTaskWhenNothingIsFree) {
+  const TaskGraph graph = work::make_matmul_2d({.n = 3, .data_bytes = 10});
+  DartsScheduler darts(DartsOptions{.use_luf = false});
+  darts.prepare(graph, one_gpu_platform(), 3);
+  StubMemory memory;  // empty: every task needs 2 loads
+  const TaskId task = darts.pop_task(0, memory);
+  EXPECT_NE(task, kInvalidTask);
+  // The random path buffers the task directly without planning anything.
+  EXPECT_TRUE(darts.planned_tasks(0).empty());
+}
+
+TEST(Darts, PlannedTasksAreServedBeforeNewPlanning) {
+  TaskGraphBuilder builder;
+  const DataId d_present = builder.add_data(10);
+  const DataId d_new = builder.add_data(10);
+  const TaskId t0 = builder.add_task(1.0, {d_present, d_new});
+  const TaskId t1 = builder.add_task(1.0, {d_present, d_new});
+  const TaskId t2 = builder.add_task(1.0, {d_present, d_new});
+  const TaskGraph graph = builder.build();
+
+  DartsScheduler darts;
+  darts.prepare(graph, one_gpu_platform(), 1);
+  StubMemory memory({d_present});
+  const TaskId first = darts.pop_task(0, memory);
+  EXPECT_EQ(first, t0);
+  EXPECT_EQ(darts.planned_tasks(0).size(), 2u);
+  EXPECT_EQ(darts.pop_task(0, memory), t1);
+  EXPECT_EQ(darts.pop_task(0, memory), t2);
+  EXPECT_EQ(darts.pop_task(0, memory), kInvalidTask);
+  (void)first;
+}
+
+TEST(Darts, ThresholdSkipsDataOutsideTheWindow) {
+  // Data id 0 frees nothing; data id 1 frees two tasks. A threshold of 1
+  // only scans data 0, so nothing is planned; unlimited scan plans both
+  // enabled tasks.
+  TaskGraphBuilder builder;
+  const DataId d_useless = builder.add_data(10);
+  const DataId d_enabler = builder.add_data(10);
+  const DataId d_present = builder.add_data(10);
+  const DataId d_far = builder.add_data(10);
+  builder.add_task(1.0, {d_useless, d_far});
+  const TaskId t_a = builder.add_task(1.0, {d_present, d_enabler});
+  builder.add_task(1.0, {d_present, d_enabler});
+  const TaskGraph graph = builder.build();
+  (void)t_a;
+
+  StubMemory memory({d_present});
+
+  DartsScheduler unlimited{DartsOptions{.use_luf = false}};
+  unlimited.prepare(graph, one_gpu_platform(), 5);
+  (void)unlimited.pop_task(0, memory);
+  EXPECT_EQ(unlimited.planned_tasks(0).size(), 1u);  // planned 2, popped 1
+
+  DartsScheduler limited{DartsOptions{.use_luf = false, .scan_threshold = 1}};
+  limited.prepare(graph, one_gpu_platform(), 5);
+  (void)limited.pop_task(0, memory);
+  EXPECT_TRUE(limited.planned_tasks(0).empty());  // fell back to random
+}
+
+TEST(Darts, ThreeInputsVariantFindsTwoLoadTask) {
+  // Empty memory. d_hub is shared by three 2-input tasks: each is one load
+  // away once d_hub is chosen, so the 3inputs scan must return one of them
+  // instead of a uniformly random task.
+  TaskGraphBuilder builder;
+  const DataId d_hub = builder.add_data(10);
+  std::vector<TaskId> hub_tasks;
+  for (int i = 0; i < 3; ++i) {
+    const DataId other = builder.add_data(10);
+    hub_tasks.push_back(builder.add_task(1.0, {d_hub, other}));
+  }
+  // Decoys with 3 inputs (two loads away even with d_hub).
+  const DataId e0 = builder.add_data(10);
+  const DataId e1 = builder.add_data(10);
+  const DataId e2 = builder.add_data(10);
+  for (int i = 0; i < 5; ++i) builder.add_task(1.0, {e0, e1, e2});
+  const TaskGraph graph = builder.build();
+
+  DartsScheduler darts{DartsOptions{.use_luf = true, .three_inputs = true}};
+  darts.prepare(graph, one_gpu_platform(), 11);
+  StubMemory memory;
+  const TaskId task = darts.pop_task(0, memory);
+  EXPECT_TRUE(std::find(hub_tasks.begin(), hub_tasks.end(), task) !=
+              hub_tasks.end());
+}
+
+TEST(Darts, OptiStopsAtFirstEnablingData) {
+  const TaskGraph graph = work::make_matmul_2d({.n = 3, .data_bytes = 10});
+  DartsScheduler darts{DartsOptions{.use_luf = true, .opti = true}};
+  darts.prepare(graph, one_gpu_platform(), 2);
+  StubMemory memory({0});  // rowA_0 resident
+  const TaskId task = darts.pop_task(0, memory);
+  // Must be a row-0 task (the only free tasks); OPTI picks the first
+  // enabling data in scan order, which is colB_0 (data id 3) -> task 0.
+  EXPECT_EQ(task, 0u);
+}
+
+TEST(Darts, EvictedDataRejoinsScanListAtTheTail) {
+  // OPTI picks the first enabling data in scan order; after an eviction the
+  // data re-enters at the tail, so a later-id data that never left now
+  // precedes it.
+  TaskGraphBuilder builder;
+  const DataId d_present = builder.add_data(10);
+  const DataId d_first = builder.add_data(10);   // earlier in initial order
+  const DataId d_second = builder.add_data(10);
+  const TaskId t_first_a = builder.add_task(1.0, {d_present, d_first});
+  builder.add_task(1.0, {d_present, d_first});
+  const TaskId t_second = builder.add_task(1.0, {d_present, d_second});
+  const TaskGraph graph = builder.build();
+
+  DartsScheduler darts{DartsOptions{.use_luf = true, .opti = true}};
+  darts.prepare(graph, one_gpu_platform(), 3);
+  StubMemory memory({d_present});
+
+  // First pop: d_first enables two tasks and comes first -> t_first_a.
+  EXPECT_EQ(darts.pop_task(0, memory), t_first_a);
+  // Simulate the load then an eviction of d_first: it goes to the tail.
+  darts.notify_data_loaded(0, d_first);
+  darts.on_evict(0, d_first);
+  darts.notify_data_evicted(0, d_first);
+  // Now d_second precedes d_first in the scan: OPTI returns its task.
+  EXPECT_EQ(darts.pop_task(0, memory), t_second);
+}
+
+// --- LUF eviction ---------------------------------------------------------
+
+struct LufFixture {
+  LufFixture() {
+    TaskGraphBuilder builder;
+    d_present = builder.add_data(10);
+    d_new = builder.add_data(10);
+    d_idle = builder.add_data(10);
+    t0 = builder.add_task(1.0, {d_present, d_new});
+    t1 = builder.add_task(1.0, {d_present, d_new});
+    graph = builder.build();
+    darts.prepare(graph, one_gpu_platform(), 1);
+    // One pop: t0 buffered, t1 planned.
+    StubMemory memory({d_present});
+    popped = darts.pop_task(0, memory);
+  }
+
+  TaskGraph graph;
+  DataId d_present{}, d_new{}, d_idle{};
+  TaskId t0{}, t1{};
+  DartsScheduler darts;
+  TaskId popped{};
+};
+
+TEST(DartsLuf, EvictsDataUnusedByBufferAndPlans) {
+  LufFixture fixture;
+  ASSERT_EQ(fixture.popped, fixture.t0);
+  const std::vector<DataId> candidates{fixture.d_present, fixture.d_new,
+                                       fixture.d_idle};
+  // d_idle: not used by taskBuffer (nb=0) nor plannedTasks (np=0).
+  EXPECT_EQ(fixture.darts.choose_victim(0, candidates), fixture.d_idle);
+}
+
+TEST(DartsLuf, PrefersFewestPlannedUsesAmongUnbuffered) {
+  LufFixture fixture;
+  // d_new is used by planned t1 (np=1) but also by buffered t0 (nb=1), so
+  // with candidates {d_new, d_idle} the idle one must win.
+  const std::vector<DataId> candidates{fixture.d_new, fixture.d_idle};
+  EXPECT_EQ(fixture.darts.choose_victim(0, candidates), fixture.d_idle);
+}
+
+TEST(DartsLuf, BeladyFallbackWhenAllCandidatesBuffered) {
+  LufFixture fixture;
+  // Both candidates are inputs of the buffered t0 (next use position 0):
+  // the rule must still return one of them.
+  const std::vector<DataId> candidates{fixture.d_present, fixture.d_new};
+  const DataId victim = fixture.darts.choose_victim(0, candidates);
+  EXPECT_TRUE(victim == fixture.d_present || victim == fixture.d_new);
+}
+
+TEST(DartsLuf, EvictionReturnsPlannedTasksToPool) {
+  LufFixture fixture;
+  ASSERT_EQ(fixture.darts.planned_tasks(0).size(), 1u);
+  // Evicting d_new invalidates planned t1 (it reads d_new).
+  fixture.darts.on_evict(0, fixture.d_new);
+  fixture.darts.notify_data_evicted(0, fixture.d_new);
+  EXPECT_TRUE(fixture.darts.planned_tasks(0).empty());
+  // t1 is available again: with d_present and d_new resident it is re-planned.
+  StubMemory memory({fixture.d_present, fixture.d_new});
+  EXPECT_EQ(fixture.darts.pop_task(0, memory), fixture.t1);
+}
+
+TEST(DartsMultiGpu, TasksAreNeverIssuedTwiceAcrossGpus) {
+  const TaskGraph graph = work::make_matmul_2d({.n = 4, .data_bytes = 10});
+  Platform platform;
+  platform.num_gpus = 3;
+  DartsScheduler darts;
+  darts.prepare(graph, platform, 13);
+  StubMemory memory;
+
+  std::vector<int> seen(graph.num_tasks(), 0);
+  // Round-robin pops across GPUs until everyone reports empty.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (GpuId gpu = 0; gpu < 3; ++gpu) {
+      const TaskId task = darts.pop_task(gpu, memory);
+      if (task != kInvalidTask) {
+        ++seen[task];
+        darts.notify_task_complete(gpu, task);
+        progress = true;
+      }
+    }
+  }
+  for (TaskId task = 0; task < graph.num_tasks(); ++task) {
+    EXPECT_EQ(seen[task], 1) << "task " << task;
+  }
+}
+
+TEST(DartsMultiGpu, PerGpuScanListsAreIndependent) {
+  // Loading data on gpu0 must not remove it from gpu1's scan list: gpu1 can
+  // still select it as its own enabling data.
+  TaskGraphBuilder builder;
+  const DataId d_present = builder.add_data(10);
+  const DataId d_enabler = builder.add_data(10);
+  const TaskId t0 = builder.add_task(1.0, {d_present, d_enabler});
+  const TaskId t1 = builder.add_task(1.0, {d_present, d_enabler});
+  const TaskGraph graph = builder.build();
+
+  Platform platform;
+  platform.num_gpus = 2;
+  DartsScheduler darts;
+  darts.prepare(graph, platform, 3);
+
+  StubMemory memory0({d_present});
+  const TaskId first = darts.pop_task(0, memory0);
+  EXPECT_EQ(first, t0);
+  darts.notify_data_loaded(0, d_enabler);  // gpu0 got the data
+
+  // gpu1's scan still contains d_enabler; with t1 planned on gpu0 though,
+  // nothing is available for gpu1 until an eviction releases it.
+  StubMemory memory1({d_present});
+  EXPECT_EQ(darts.pop_task(1, memory1), kInvalidTask);
+
+  // Evict on gpu0 (LUF path): t1 returns to the pool; gpu1 can take it.
+  darts.on_evict(0, d_enabler);
+  darts.notify_data_evicted(0, d_enabler);
+  EXPECT_EQ(darts.pop_task(1, memory1), t1);
+}
+
+TEST(DartsMultiGpu, EvictionOnOneGpuDoesNotDisturbOthers) {
+  const TaskGraph graph = work::make_matmul_2d({.n = 3, .data_bytes = 10});
+  Platform platform;
+  platform.num_gpus = 2;
+  DartsScheduler darts;
+  darts.prepare(graph, platform, 5);
+  StubMemory memory({0});  // rowA_0
+
+  const TaskId task0 = darts.pop_task(0, memory);
+  ASSERT_NE(task0, kInvalidTask);
+  // An eviction notification on gpu1 must not invalidate gpu0's plan.
+  const auto planned_before = darts.planned_tasks(0).size();
+  darts.notify_data_evicted(1, graph.inputs(task0)[1]);
+  EXPECT_EQ(darts.planned_tasks(0).size(), planned_before);
+}
+
+TEST(DartsLuf, EvictionPolicyOnlyWiredWhenEnabled) {
+  DartsScheduler with_luf{DartsOptions{.use_luf = true}};
+  DartsScheduler without_luf{DartsOptions{.use_luf = false}};
+  EXPECT_NE(with_luf.eviction_policy(0), nullptr);
+  EXPECT_EQ(without_luf.eviction_policy(0), nullptr);
+}
+
+}  // namespace
+}  // namespace mg::core

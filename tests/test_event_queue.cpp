@@ -1,0 +1,79 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mg::sim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(3.0, [&order] { order.push_back(3); });
+  queue.schedule_at(1.0, [&order] { order.push_back(1); });
+  queue.schedule_at(2.0, [&order] { order.push_back(2); });
+  queue.run_until_empty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  queue.run_until_empty();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelativeToNow) {
+  EventQueue queue;
+  double second_time = -1.0;
+  queue.schedule_at(10.0, [&queue, &second_time] {
+    queue.schedule_after(5.0, [&queue, &second_time] {
+      second_time = queue.now();
+    });
+  });
+  queue.run_until_empty();
+  EXPECT_DOUBLE_EQ(second_time, 15.0);
+}
+
+TEST(EventQueue, EventsScheduledDuringRunAreExecuted) {
+  EventQueue queue;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) queue.schedule_after(1.0, recurse);
+  };
+  queue.schedule_at(0.0, recurse);
+  queue.run_until_empty();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(queue.now(), 99.0);
+}
+
+TEST(EventQueue, RunOneReportsEmptiness) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.run_one());
+  queue.schedule_at(1.0, [] {});
+  EXPECT_TRUE(queue.run_one());
+  EXPECT_FALSE(queue.run_one());
+  EXPECT_EQ(queue.events_processed(), 1u);
+}
+
+TEST(EventQueue, ClockNeverGoesBackwards) {
+  EventQueue queue;
+  double last = 0.0;
+  bool monotone = true;
+  for (int i = 100; i > 0; --i) {
+    queue.schedule_at(static_cast<double>(i), [&queue, &last, &monotone] {
+      if (queue.now() < last) monotone = false;
+      last = queue.now();
+    });
+  }
+  queue.run_until_empty();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace mg::sim

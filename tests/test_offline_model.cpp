@@ -1,0 +1,231 @@
+#include "analysis/offline_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "core/task_graph.hpp"
+
+namespace mg::analysis {
+namespace {
+
+using core::DataId;
+using core::TaskId;
+
+/// The worked example of Figure 1: a 3x3 grid of tasks over 3 column data
+/// (D1..D3) and 3 row data (D4..D6), M = 2 data, and the schedule
+/// GPU1: T1 T2 T5 T4, GPU2: T3 T6 T9 T8 T7 — 11 loads in total.
+struct Figure1 {
+  Figure1() {
+    core::TaskGraphBuilder builder;
+    for (int i = 0; i < 6; ++i) data.push_back(builder.add_data(1));
+    // Task T at row r, column c reads column data D[c] and row data D[3+r].
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) {
+        tasks.push_back(
+            builder.add_task(1.0, {data[static_cast<size_t>(c)],
+                                   data[static_cast<size_t>(3 + r)]}));
+      }
+    }
+    graph = builder.build();
+  }
+  std::vector<DataId> data;
+  std::vector<TaskId> tasks;
+  core::TaskGraph graph;
+};
+
+TEST(OfflineModel, Figure1ExampleCosts11Loads) {
+  Figure1 figure;
+  auto t = [&figure](int index) { return figure.tasks[static_cast<size_t>(index - 1)]; };
+  const Schedule schedule{{t(1), t(2), t(5), t(4)},
+                          {t(3), t(6), t(9), t(8), t(7)}};
+  const ReplayResult result =
+      replay_schedule(figure.graph, schedule, /*memory=*/2,
+                      ReplayEviction::kBelady);
+  EXPECT_EQ(result.total_loads, 11u);
+  EXPECT_EQ(result.per_gpu_loads[0], 5u);
+  EXPECT_EQ(result.per_gpu_loads[1], 6u);
+  EXPECT_EQ(result.max_tasks_on_any_gpu, 5u);
+}
+
+TEST(OfflineModel, LowerBoundsCountUsedData) {
+  core::TaskGraphBuilder builder;
+  const DataId d0 = builder.add_data(10);
+  const DataId d1 = builder.add_data(20);
+  (void)builder.add_data(30);  // never consumed
+  builder.add_task(1.0, {d0, d1});
+  const core::TaskGraph graph = builder.build();
+  EXPECT_EQ(loads_lower_bound(graph), 2u);
+  EXPECT_EQ(bytes_lower_bound(graph), 30u);
+}
+
+TEST(OfflineModel, NoEvictionWhenEverythingFits) {
+  Figure1 figure;
+  Schedule schedule{{}};
+  for (TaskId task : figure.tasks) schedule[0].push_back(task);
+  const ReplayResult lru =
+      replay_schedule(figure.graph, schedule, 6, ReplayEviction::kLru);
+  EXPECT_EQ(lru.total_loads, 6u);  // each data loaded exactly once
+}
+
+TEST(OfflineModel, BeladyNeverWorseThanLruOnGrid) {
+  Figure1 figure;
+  // Row-major on one GPU with M = 3: LRU thrashes the columns.
+  Schedule schedule{{}};
+  for (TaskId task : figure.tasks) schedule[0].push_back(task);
+  const ReplayResult lru =
+      replay_schedule(figure.graph, schedule, 3, ReplayEviction::kLru);
+  const ReplayResult belady =
+      replay_schedule(figure.graph, schedule, 3, ReplayEviction::kBelady);
+  EXPECT_LE(belady.total_loads, lru.total_loads);
+  EXPECT_GE(belady.total_loads, loads_lower_bound(figure.graph));
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force optimal eviction (exhaustive victim search with memoization)
+// to certify Belady's rule on small instances with unit-size data.
+// ---------------------------------------------------------------------------
+
+class BruteForce {
+ public:
+  BruteForce(const core::TaskGraph& graph,
+             const std::vector<TaskId>& order, std::uint32_t memory)
+      : graph_(graph), order_(order), memory_(memory) {}
+
+  std::uint32_t solve() { return best(0, 0); }
+
+ private:
+  std::uint32_t best(std::size_t pos, std::uint64_t resident_mask) {
+    if (pos == order_.size()) return 0;
+    const auto key = std::make_pair(pos, resident_mask);
+    if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+    // Load the missing inputs of the task at `pos` one by one, branching
+    // over every legal victim choice when the memory is full.
+    std::uint32_t result = load_missing(pos, resident_mask, 0);
+    memo_[key] = result;
+    return result;
+  }
+
+  std::uint32_t load_missing(std::size_t pos, std::uint64_t resident_mask,
+                             std::size_t input_index) {
+    const auto inputs = graph_.inputs(order_[pos]);
+    if (input_index == inputs.size()) return best(pos + 1, resident_mask);
+    const DataId data = inputs[input_index];
+    const std::uint64_t bit = std::uint64_t{1} << data;
+    if (resident_mask & bit) {
+      return load_missing(pos, resident_mask, input_index + 1);
+    }
+    // Need a load; maybe first an eviction (branch over all victims).
+    std::uint32_t population = 0;
+    for (std::uint64_t m = resident_mask; m != 0; m &= m - 1) ++population;
+    if (population < memory_) {
+      return 1 + load_missing(pos, resident_mask | bit, input_index + 1);
+    }
+    std::uint32_t best_cost = ~0u;
+    for (DataId victim = 0; victim < graph_.num_data(); ++victim) {
+      const std::uint64_t victim_bit = std::uint64_t{1} << victim;
+      if (!(resident_mask & victim_bit)) continue;
+      // Never evict an input of the current task.
+      bool is_input = false;
+      for (DataId input : inputs) {
+        if (input == victim) is_input = true;
+      }
+      if (is_input) continue;
+      const std::uint32_t cost =
+          1 + load_missing(pos, (resident_mask & ~victim_bit) | bit,
+                           input_index + 1);
+      best_cost = std::min(best_cost, cost);
+    }
+    return best_cost;
+  }
+
+  const core::TaskGraph& graph_;
+  const std::vector<TaskId>& order_;
+  std::uint32_t memory_;
+  std::map<std::pair<std::size_t, std::uint64_t>, std::uint32_t> memo_;
+};
+
+TEST(OfflineModel, BeladyMatchesBruteForceOnGrid) {
+  Figure1 figure;
+  std::vector<TaskId> order(figure.tasks);
+  const Schedule schedule{order};
+  for (std::uint32_t memory = 2; memory <= 4; ++memory) {
+    const ReplayResult belady = replay_schedule(figure.graph, schedule,
+                                                memory, ReplayEviction::kBelady);
+    BruteForce brute(figure.graph, order, memory);
+    EXPECT_EQ(belady.total_loads, brute.solve()) << "M=" << memory;
+  }
+}
+
+TEST(OfflineModel, BeladyMatchesBruteForceOnIrregularInstance) {
+  core::TaskGraphBuilder builder;
+  std::vector<DataId> data;
+  for (int i = 0; i < 7; ++i) data.push_back(builder.add_data(1));
+  std::vector<TaskId> order;
+  auto add = [&](std::initializer_list<int> ids) {
+    std::vector<DataId> inputs;
+    for (int id : ids) inputs.push_back(data[static_cast<size_t>(id)]);
+    order.push_back(builder.add_task(
+        1.0, std::span<const DataId>(inputs.data(), inputs.size())));
+  };
+  add({0, 1});
+  add({2, 3});
+  add({0, 4});
+  add({1, 2, 5});
+  add({3, 6});
+  add({0, 6});
+  add({4, 5});
+  add({1, 3});
+  const core::TaskGraph graph = builder.build();
+
+  for (std::uint32_t memory = 3; memory <= 5; ++memory) {
+    const ReplayResult belady =
+        replay_schedule(graph, {order}, memory, ReplayEviction::kBelady);
+    BruteForce brute(graph, order, memory);
+    EXPECT_EQ(belady.total_loads, brute.solve()) << "M=" << memory;
+  }
+}
+
+TEST(Bounds, ReferenceLinesMatchPaperConstants) {
+  const core::Platform platform = core::make_v100_platform(2);
+  EXPECT_DOUBLE_EQ(gflops_max(platform), 2 * 13253.0);
+  EXPECT_EQ(threshold_both_matrices_fit(platform), 1000 * core::kMB);
+  EXPECT_EQ(threshold_one_matrix_fits(platform), 2000 * core::kMB);
+}
+
+TEST(Bounds, PciLimitScalesWithWork) {
+  core::TaskGraphBuilder builder;
+  const DataId d = builder.add_data(100);
+  builder.add_task(13253.0 * 1e9, {d});  // exactly one second of V100 work
+  const core::TaskGraph graph = builder.build();
+  const core::Platform platform = core::make_v100_platform(1);
+  EXPECT_NEAR(optimal_compute_time_us(graph, platform), 1e6, 1.0);
+  EXPECT_NEAR(pci_limit_bytes(graph, platform), 16e9, 1e7);
+}
+
+using OfflineModelDeath = Figure1;
+
+TEST(OfflineModelDeath, RejectsIncompleteSchedules) {
+  Figure1 figure;
+  const Schedule schedule{{figure.tasks[0]}};
+  EXPECT_DEATH((void)replay_schedule(figure.graph, schedule, 6,
+                                     ReplayEviction::kLru),
+               "misses tasks");
+}
+
+TEST(OfflineModelDeath, RejectsDuplicatedTasks) {
+  Figure1 figure;
+  Schedule schedule{{}};
+  for (TaskId task : figure.tasks) schedule[0].push_back(task);
+  schedule[0].push_back(figure.tasks[0]);
+  EXPECT_DEATH((void)replay_schedule(figure.graph, schedule, 6,
+                                     ReplayEviction::kLru),
+               "twice");
+}
+
+}  // namespace
+}  // namespace mg::analysis

@@ -1,0 +1,73 @@
+#include "core/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/memory_view.hpp"
+
+namespace mg::core {
+namespace {
+
+TEST(Platform, DefaultsMatchThePaperTestbed) {
+  const Platform platform;
+  EXPECT_EQ(platform.num_gpus, 1u);
+  EXPECT_EQ(platform.gpu_memory_bytes, 500 * kMB);
+  EXPECT_DOUBLE_EQ(platform.gpu_gflops, 13253.0);
+  EXPECT_DOUBLE_EQ(platform.bus_bandwidth_bytes_per_s, 16e9);
+  EXPECT_FALSE(platform.nvlink_enabled);
+}
+
+TEST(Platform, TransferTimeIsLatencyPlusBandwidth) {
+  Platform platform;
+  platform.bus_latency_us = 15.0;
+  platform.bus_bandwidth_bytes_per_s = 16e9;
+  // 16 MB over 16 GB/s = 1 ms + 15 us latency.
+  EXPECT_NEAR(platform.transfer_time_us(16'000'000), 1015.0, 1e-9);
+  EXPECT_NEAR(platform.transfer_time_us(0), 15.0, 1e-12);
+}
+
+TEST(Platform, ComputeTimeFromFlops) {
+  const Platform platform;
+  // 13253 GFlop at 13253 GFlop/s = 1 second.
+  EXPECT_NEAR(platform.compute_time_us(13253.0 * 1e9), 1e6, 1e-3);
+}
+
+TEST(Platform, PaperTaskTakesAboutHalfAMillisecond) {
+  const Platform platform;
+  // One 2D-matmul task: 480 flops/byte * 14 MB = 6.72 GFlop.
+  EXPECT_NEAR(platform.compute_time_us(480.0 * 14e6), 507.0, 0.5);
+  // Its data item takes longer to transfer than the task to compute —
+  // the ratio that makes data reuse the whole game.
+  EXPECT_GT(platform.transfer_time_us(14 * kMB),
+            platform.compute_time_us(480.0 * 14e6));
+}
+
+TEST(Platform, CumulatedMemoryAndPeak) {
+  const Platform platform = make_v100_platform(4, 250 * kMB);
+  EXPECT_EQ(platform.cumulated_memory_bytes(), 1000 * kMB);
+  EXPECT_DOUBLE_EQ(platform.peak_gflops(), 4 * 13253.0);
+}
+
+TEST(Platform, NvlinkFasterThanHostBus) {
+  Platform platform;
+  platform.nvlink_enabled = true;
+  // Same payload: peer link (50 GB/s, 5 us) vs host (16 GB/s, 15 us).
+  EXPECT_LT(platform.nvlink_transfer_time_us(14 * kMB),
+            platform.transfer_time_us(14 * kMB));
+}
+
+TEST(MemoryView, FreeBytesDerivesFromCapacityAndUse) {
+  class Stub final : public MemoryView {
+   public:
+    [[nodiscard]] bool is_present(DataId) const override { return false; }
+    [[nodiscard]] bool is_present_or_fetching(DataId) const override {
+      return false;
+    }
+    [[nodiscard]] std::uint64_t capacity_bytes() const override { return 100; }
+    [[nodiscard]] std::uint64_t used_bytes() const override { return 30; }
+  };
+  Stub stub;
+  EXPECT_EQ(stub.free_bytes(), 70u);
+}
+
+}  // namespace
+}  // namespace mg::core

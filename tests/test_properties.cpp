@@ -1,0 +1,225 @@
+// Property-style tests: invariants that must hold across seeds, workloads
+// and memory pressures (TEST_P sweeps).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/offline_model.hpp"
+#include "core/darts.hpp"
+#include "hypergraph/partitioner.hpp"
+#include "hypergraph/quality.hpp"
+#include "sched/fixed_order.hpp"
+#include "sim/engine.hpp"
+#include "workloads/workloads.hpp"
+
+namespace mg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Determinism: identical (seed, workload, scheduler) -> identical metrics.
+// ---------------------------------------------------------------------------
+
+class DeterminismTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismTest, DartsRunsAreReproducible) {
+  const core::TaskGraph graph =
+      work::make_matmul_2d({.n = 8, .data_bytes = 14 * core::kMB});
+  const core::Platform platform =
+      core::make_v100_platform(2, 120 * core::kMB);
+
+  auto run_once = [&](std::uint64_t seed) {
+    core::DartsScheduler darts;
+    sim::EngineConfig config;
+    config.seed = seed;
+    sim::RuntimeEngine engine(graph, platform, darts, config);
+    return engine.run();
+  };
+
+  const core::RunMetrics a = run_once(GetParam());
+  const core::RunMetrics b = run_once(GetParam());
+  EXPECT_DOUBLE_EQ(a.makespan_us, b.makespan_us);
+  EXPECT_EQ(a.total_loads(), b.total_loads());
+  EXPECT_EQ(a.total_evictions(), b.total_evictions());
+  for (std::size_t gpu = 0; gpu < a.per_gpu.size(); ++gpu) {
+    EXPECT_EQ(a.per_gpu[gpu].tasks_executed, b.per_gpu[gpu].tasks_executed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest,
+                         testing::Values(1, 7, 42, 1234, 99999));
+
+// ---------------------------------------------------------------------------
+// Belady never loads more than LRU for the same schedule.
+// ---------------------------------------------------------------------------
+
+class BeladyVsLruTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BeladyVsLruTest, BeladyIsAtMostLru) {
+  const core::TaskGraph graph = work::make_random_bipartite(
+      {.num_tasks = 120, .num_data = 30, .min_inputs = 1, .max_inputs = 3,
+       .data_bytes = 1, .seed = GetParam()});
+  analysis::Schedule schedule{{}};
+  for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
+    schedule[0].push_back(task);
+  }
+  for (std::uint64_t memory : {4, 6, 10, 30}) {
+    const auto lru = analysis::replay_schedule(graph, schedule, memory,
+                                               analysis::ReplayEviction::kLru);
+    const auto belady = analysis::replay_schedule(
+        graph, schedule, memory, analysis::ReplayEviction::kBelady);
+    EXPECT_LE(belady.total_loads, lru.total_loads) << "M=" << memory;
+    EXPECT_GE(belady.total_loads, analysis::loads_lower_bound(graph));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BeladyVsLruTest,
+                         testing::Values(3, 11, 29, 63, 101, 500));
+
+// ---------------------------------------------------------------------------
+// Simulator/offline-model cross-validation: for the same fixed order the
+// engine's realized loads must closely track the Section-III LRU replay.
+// Exact equality is not attainable under memory pressure — the engine
+// reserves capacity at fetch-request time and its eviction opportunities
+// follow transfer completions and pin releases, which a position-based
+// replay cannot express — but the counts must stay within a few percent,
+// and must match exactly when memory is unconstrained (every data loaded
+// exactly once on the GPU that uses it).
+// ---------------------------------------------------------------------------
+
+class EngineReplayEquivalenceTest
+    : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineReplayEquivalenceTest, LoadsTrackOfflineModel) {
+  const core::TaskGraph graph = work::make_random_bipartite(
+      {.num_tasks = 60, .num_data = 20, .min_inputs = 1, .max_inputs = 3,
+       .data_bytes = 10 * core::kMB, .seed = GetParam()});
+
+  std::vector<core::TaskId> order(graph.num_tasks());
+  for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
+    order[task] = task;
+  }
+
+  auto engine_loads = [&](std::uint64_t memory_bytes) {
+    sched::FixedOrderScheduler scheduler({order});
+    sim::EngineConfig config;
+    config.pipeline_depth = 1;
+    core::Platform platform = core::make_v100_platform(1, memory_bytes);
+    sim::RuntimeEngine engine(graph, platform, scheduler, config);
+    return engine.run().total_loads();
+  };
+
+  // Constrained: within 5% of the pipelined-LRU replay.
+  const std::uint64_t constrained = 70 * core::kMB;
+  const auto replay = analysis::replay_schedule(
+      graph, {order}, constrained, analysis::ReplayEviction::kLruPipelined);
+  const double engine_count = static_cast<double>(engine_loads(constrained));
+  const double replay_count = static_cast<double>(replay.total_loads);
+  EXPECT_NEAR(engine_count, replay_count, 0.05 * replay_count);
+
+  // Unconstrained: exactly one load per used data item on both sides.
+  const std::uint64_t roomy = 500 * core::kMB;
+  const auto roomy_replay = analysis::replay_schedule(
+      graph, {order}, roomy, analysis::ReplayEviction::kLru);
+  EXPECT_EQ(engine_loads(roomy), roomy_replay.total_loads);
+  EXPECT_EQ(roomy_replay.total_loads, analysis::loads_lower_bound(graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineReplayEquivalenceTest,
+                         testing::Values(2, 13, 77, 204));
+
+// ---------------------------------------------------------------------------
+// LUF vs plain-LRU DARTS under memory pressure: LUF must not transfer more
+// (this is the paper's central claim, Section V-B).
+// ---------------------------------------------------------------------------
+
+class LufBenefitTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LufBenefitTest, LufDoesNotIncreaseTransfers) {
+  // The paper's single-GPU regime: 500 MB of memory (~35 data slots) and a
+  // working set about twice that — past the "B fits in memory" line.
+  const core::TaskGraph graph =
+      work::make_matmul_2d({.n = 36, .data_bytes = 14 * core::kMB});
+  const core::Platform platform = core::make_v100_platform(1);
+
+  auto run_with = [&](bool use_luf) {
+    core::DartsScheduler darts{core::DartsOptions{.use_luf = use_luf}};
+    sim::EngineConfig config;
+    config.seed = GetParam();
+    sim::RuntimeEngine engine(graph, platform, darts, config);
+    return engine.run().total_bytes_loaded();
+  };
+
+  // Allow a small tolerance: LUF is a heuristic, not a proof, but under this
+  // much pressure it must not lose by more than a few percent.
+  EXPECT_LE(static_cast<double>(run_with(true)),
+            1.10 * static_cast<double>(run_with(false)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LufBenefitTest, testing::Values(5, 21, 84));
+
+// ---------------------------------------------------------------------------
+// Partitioner balance holds across seeds and part counts.
+// ---------------------------------------------------------------------------
+
+struct PartitionCase {
+  std::uint64_t seed;
+  std::uint32_t parts;
+};
+
+class PartitionBalanceTest : public testing::TestWithParam<PartitionCase> {};
+
+TEST_P(PartitionBalanceTest, BalanceWithinTolerance) {
+  const core::TaskGraph graph =
+      work::make_matmul_2d({.n = 12, .data_bytes = 10});
+  const hyper::Hypergraph hypergraph = hyper::hypergraph_from_task_graph(graph);
+  hyper::PartitionerConfig config;
+  config.num_parts = GetParam().parts;
+  config.seed = GetParam().seed;
+  config.imbalance = 0.02;
+  const auto part = hyper::partition_hypergraph(hypergraph, config);
+  const auto quality =
+      hyper::evaluate_partition(hypergraph, part, config.num_parts);
+  // Recursive bisection compounds per-level slack; keep a conservative cap.
+  EXPECT_LE(quality.imbalance, 0.15)
+      << "seed=" << GetParam().seed << " parts=" << GetParam().parts;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndParts, PartitionBalanceTest,
+    testing::Values(PartitionCase{1, 2}, PartitionCase{2, 2},
+                    PartitionCase{3, 3}, PartitionCase{4, 4},
+                    PartitionCase{5, 4}, PartitionCase{6, 8}));
+
+// ---------------------------------------------------------------------------
+// Every DARTS variant completes under extreme memory pressure (barely more
+// than one task footprint).
+// ---------------------------------------------------------------------------
+
+class TinyMemoryTest : public testing::TestWithParam<int> {};
+
+TEST_P(TinyMemoryTest, DartsVariantsSurviveThrashing) {
+  const core::TaskGraph graph =
+      work::make_matmul_2d({.n = 6, .data_bytes = 14 * core::kMB});
+  const core::Platform platform =
+      core::make_v100_platform(1, 30 * core::kMB);  // footprint is 28 MB
+
+  core::DartsOptions options;
+  switch (GetParam()) {
+    case 0: options = {.use_luf = false}; break;
+    case 1: options = {.use_luf = true}; break;
+    case 2: options = {.use_luf = true, .three_inputs = true}; break;
+    case 3: options = {.use_luf = true, .opti = true}; break;
+    case 4: options = {.use_luf = true, .scan_threshold = 3}; break;
+    default: FAIL();
+  }
+  core::DartsScheduler darts(options);
+  sim::RuntimeEngine engine(graph, platform, darts);
+  const core::RunMetrics metrics = engine.run();
+  EXPECT_EQ(metrics.per_gpu[0].tasks_executed, graph.num_tasks());
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, TinyMemoryTest, testing::Range(0, 5));
+
+}  // namespace
+}  // namespace mg

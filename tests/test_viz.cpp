@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "viz/figure_csv.hpp"
+#include "viz/svg_chart.hpp"
+
+namespace mg::viz {
+namespace {
+
+TEST(SvgChart, RendersWellFormedDocument) {
+  ChartConfig config;
+  config.title = "Test & demo <chart>";
+  config.x_label = "Working set (MB)";
+  config.y_label = "GFlop/s";
+  std::vector<Series> series{
+      {"DARTS+LUF", {{100, 12000}, {200, 13000}, {300, 13200}}},
+      {"EAGER", {{100, 11000}, {200, 9000}, {300, 7500}}},
+  };
+  std::vector<ReferenceLine> references{
+      {"GFlop/s max", 13253.0, true},
+      {"B fits", 250.0, false},
+  };
+  const std::string svg = render_line_chart(config, series, references);
+
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // XML-escaped title.
+  EXPECT_NE(svg.find("Test &amp; demo &lt;chart&gt;"), std::string::npos);
+  EXPECT_EQ(svg.find("<chart>"), std::string::npos);
+  // One polyline per series, legend labels present.
+  std::size_t polylines = 0;
+  for (std::size_t pos = svg.find("<polyline"); pos != std::string::npos;
+       pos = svg.find("<polyline", pos + 1)) {
+    ++polylines;
+  }
+  EXPECT_EQ(polylines, 2u);
+  EXPECT_NE(svg.find("DARTS+LUF"), std::string::npos);
+  EXPECT_NE(svg.find("GFlop/s max"), std::string::npos);
+}
+
+TEST(SvgChart, HandlesEmptyInput) {
+  const std::string svg = render_line_chart({}, {}, {});
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgChart, LogarithmicAxisRenders) {
+  ChartConfig config;
+  config.logarithmic_y = true;
+  config.y_from_zero = false;
+  std::vector<Series> series{{"loads", {{1, 10}, {2, 1000}, {3, 100000}}}};
+  const std::string svg = render_line_chart(config, series);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+}
+
+TEST(SvgChart, WriteToFileRoundTrips) {
+  const std::string path = testing::TempDir() + "/chart.svg";
+  std::vector<Series> series{{"s", {{0, 1}, {1, 2}}}};
+  ASSERT_TRUE(write_line_chart({}, series, {}, path));
+  std::ifstream input(path);
+  ASSERT_TRUE(input.good());
+  std::string first_line;
+  std::getline(input, first_line);
+  EXPECT_NE(first_line.find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FigureCsv, ParsesHarnessOutput) {
+  const std::string path = testing::TempDir() + "/figure.csv";
+  {
+    std::ofstream out(path);
+    out << "working_set_mb,scheduler,gflops,transfers_mb\n";
+    out << "# fig99: demo\n";
+    out << "# gflops_max: 13253\n";
+    out << "# threshold_both_fit_mb: 500 threshold_one_fits_mb: 1000\n";
+    out << "# point ws=140MB tasks=25 data=10 pci_limit_mb=203\n";
+    out << "140,EAGER,10262,140\n";
+    out << "140,DARTS+LUF,11036.5,140\n";
+    out << "# point ws=336MB tasks=144 data=24 pci_limit_mb=1168\n";
+    out << "336,EAGER,12188,336\n";
+  }
+
+  const FigureData data = parse_figure_csv(path);
+  ASSERT_FALSE(data.empty());
+  EXPECT_DOUBLE_EQ(data.gflops_max, 13253.0);
+  EXPECT_DOUBLE_EQ(data.threshold_both_fit_mb, 500.0);
+  EXPECT_DOUBLE_EQ(data.threshold_one_fits_mb, 1000.0);
+  ASSERT_EQ(data.pci_limit.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.pci_limit[0].first, 140.0);
+  EXPECT_DOUBLE_EQ(data.pci_limit[0].second, 203.0);
+
+  ASSERT_EQ(data.by_scheduler.count("EAGER"), 1u);
+  ASSERT_EQ(data.by_scheduler.at("EAGER").size(), 2u);
+  EXPECT_DOUBLE_EQ(data.by_scheduler.at("EAGER")[0].working_set_mb, 140.0);
+  EXPECT_DOUBLE_EQ(data.by_scheduler.at("EAGER")[0].values.at("gflops"),
+                   10262.0);
+  EXPECT_DOUBLE_EQ(
+      data.by_scheduler.at("DARTS+LUF")[0].values.at("transfers_mb"), 140.0);
+  std::remove(path.c_str());
+}
+
+TEST(FigureCsv, MissingFileYieldsEmpty) {
+  EXPECT_TRUE(parse_figure_csv("/nonexistent/x.csv").empty());
+}
+
+}  // namespace
+}  // namespace mg::viz

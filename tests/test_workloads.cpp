@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "workloads/workloads.hpp"
+
+namespace mg::work {
+namespace {
+
+using core::DataId;
+using core::TaskId;
+
+TEST(Matmul2D, ShapeMatchesPaper) {
+  const core::TaskGraph graph = make_matmul_2d({.n = 5});
+  EXPECT_EQ(graph.num_tasks(), 25u);
+  EXPECT_EQ(graph.num_data(), 10u);
+  // 5x5 grid = 140 MB working set, the first point of Figure 3.
+  EXPECT_EQ(graph.working_set_bytes(), 140 * core::kMB);
+  EXPECT_EQ(matmul_2d_working_set(5), 140 * core::kMB);
+  EXPECT_EQ(matmul_2d_working_set(300), 8400 * core::kMB);
+}
+
+TEST(Matmul2D, EveryTaskReadsOneRowOneColumn) {
+  const std::uint32_t n = 6;
+  const core::TaskGraph graph = make_matmul_2d({.n = n});
+  for (TaskId task = 0; task < graph.num_tasks(); ++task) {
+    const auto inputs = graph.inputs(task);
+    ASSERT_EQ(inputs.size(), 2u);
+    // Rows have ids [0, n), columns [n, 2n).
+    EXPECT_LT(inputs[0], n);
+    EXPECT_GE(inputs[1], n);
+  }
+  // Each row/column is read by exactly n tasks.
+  for (DataId data = 0; data < graph.num_data(); ++data) {
+    EXPECT_EQ(graph.consumers(data).size(), n);
+  }
+}
+
+TEST(Matmul2D, RowMajorSubmissionOrder) {
+  const std::uint32_t n = 4;
+  const core::TaskGraph graph = make_matmul_2d({.n = n});
+  for (TaskId task = 0; task < graph.num_tasks(); ++task) {
+    const auto inputs = graph.inputs(task);
+    EXPECT_EQ(inputs[0], task / n);       // row index
+    EXPECT_EQ(inputs[1], n + task % n);   // column index
+  }
+}
+
+TEST(Matmul2D, RandomizedOrderIsAPermutation) {
+  const core::TaskGraph natural = make_matmul_2d({.n = 6});
+  const core::TaskGraph randomized =
+      make_matmul_2d({.n = 6, .randomize_order = true, .seed = 4});
+  ASSERT_EQ(randomized.num_tasks(), natural.num_tasks());
+  // Same multiset of (row, col) pairs, different order.
+  std::multiset<std::pair<DataId, DataId>> natural_pairs;
+  std::multiset<std::pair<DataId, DataId>> randomized_pairs;
+  std::vector<std::pair<DataId, DataId>> natural_sequence;
+  std::vector<std::pair<DataId, DataId>> randomized_sequence;
+  for (TaskId task = 0; task < natural.num_tasks(); ++task) {
+    const auto natural_inputs = natural.inputs(task);
+    const auto randomized_inputs = randomized.inputs(task);
+    natural_pairs.emplace(natural_inputs[0], natural_inputs[1]);
+    randomized_pairs.emplace(randomized_inputs[0], randomized_inputs[1]);
+    natural_sequence.emplace_back(natural_inputs[0], natural_inputs[1]);
+    randomized_sequence.emplace_back(randomized_inputs[0],
+                                     randomized_inputs[1]);
+  }
+  EXPECT_EQ(natural_pairs, randomized_pairs);
+  EXPECT_NE(natural_sequence, randomized_sequence);
+}
+
+TEST(Matmul2D, PaperCalibration) {
+  const core::TaskGraph graph = make_matmul_2d({.n = 2});
+  // 480 flops per input byte on 14 MB data: 6.72 GFlop per task, i.e.
+  // ~507us on a 13253 GFlop/s V100.
+  EXPECT_DOUBLE_EQ(graph.task_flops(0), 480.0 * 14e6);
+  const core::Platform v100 = core::make_v100_platform(1);
+  EXPECT_NEAR(v100.compute_time_us(graph.task_flops(0)), 507.0, 1.0);
+}
+
+TEST(Matmul3D, ShapeAndSharing) {
+  const std::uint32_t n = 3;
+  const core::TaskGraph graph = make_matmul_3d({.n = n, .data_bytes = 1000});
+  EXPECT_EQ(graph.num_tasks(), n * n * n);
+  EXPECT_EQ(graph.num_data(), 2 * n * n);
+  // Every data item (A_ik or B_kj) is shared by exactly n tasks.
+  for (DataId data = 0; data < graph.num_data(); ++data) {
+    EXPECT_EQ(graph.consumers(data).size(), n);
+  }
+  for (TaskId task = 0; task < graph.num_tasks(); ++task) {
+    EXPECT_EQ(graph.inputs(task).size(), 2u);
+  }
+}
+
+TEST(Matmul3D, TaskReadsMatchingBlocks) {
+  const std::uint32_t n = 4;
+  const core::TaskGraph graph = make_matmul_3d({.n = n, .data_bytes = 1000});
+  // Submission order is (i, j, k) nested; task id = (i*n + j)*n + k.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      for (std::uint32_t k = 0; k < n; ++k) {
+        const TaskId task = (i * n + j) * n + k;
+        const auto inputs = graph.inputs(task);
+        EXPECT_EQ(inputs[0], i * n + k);           // A_ik
+        EXPECT_EQ(inputs[1], n * n + k * n + j);   // B_kj
+      }
+    }
+  }
+}
+
+TEST(Cholesky, TaskAndDataCounts) {
+  const std::uint32_t n = 6;
+  const core::TaskGraph graph = make_cholesky_tasks({.n = n});
+  EXPECT_EQ(graph.num_tasks(), cholesky_task_count(n));
+  EXPECT_EQ(graph.num_data(), n * (n + 1) / 2);
+  EXPECT_EQ(graph.working_set_bytes(), cholesky_working_set(n));
+}
+
+TEST(Cholesky, KernelMixAndInputCardinality) {
+  const core::TaskGraph graph = make_cholesky_tasks({.n = 5});
+  std::size_t one_input = 0;
+  std::size_t two_inputs = 0;
+  std::size_t three_inputs = 0;
+  for (TaskId task = 0; task < graph.num_tasks(); ++task) {
+    switch (graph.inputs(task).size()) {
+      case 1: ++one_input; break;
+      case 2: ++two_inputs; break;
+      case 3: ++three_inputs; break;
+      default: FAIL() << "unexpected input count";
+    }
+  }
+  EXPECT_EQ(one_input, 5u);                     // POTRF
+  EXPECT_EQ(two_inputs, 2u * (5 * 4 / 2));      // TRSM + SYRK
+  EXPECT_EQ(three_inputs, 5u * 4 * 3 / 6);      // GEMM
+}
+
+TEST(Cholesky, GemmDominatesFlops) {
+  const core::TaskGraph graph = make_cholesky_tasks({.n = 12});
+  double gemm_flops = 0.0;
+  for (TaskId task = 0; task < graph.num_tasks(); ++task) {
+    if (graph.inputs(task).size() == 3) gemm_flops += graph.task_flops(task);
+  }
+  EXPECT_GT(gemm_flops, 0.5 * graph.total_flops());
+}
+
+TEST(SparseMatmul, DropsRequestedFraction) {
+  const core::TaskGraph graph =
+      make_sparse_matmul({.n = 100, .keep_fraction = 0.02, .seed = 8});
+  // 2% of 10000 tasks: allow generous sampling noise.
+  EXPECT_GT(graph.num_tasks(), 120u);
+  EXPECT_LT(graph.num_tasks(), 280u);
+  // Data set (and working set) stays that of the dense problem.
+  EXPECT_EQ(graph.num_data(), 200u);
+}
+
+TEST(SparseMatmul, NeverEmpty) {
+  const core::TaskGraph graph =
+      make_sparse_matmul({.n = 2, .keep_fraction = 0.01, .seed = 1});
+  EXPECT_GE(graph.num_tasks(), 1u);
+}
+
+TEST(SparseMatmul, DeterministicPerSeed) {
+  const core::TaskGraph a =
+      make_sparse_matmul({.n = 40, .keep_fraction = 0.05, .seed = 3});
+  const core::TaskGraph b =
+      make_sparse_matmul({.n = 40, .keep_fraction = 0.05, .seed = 3});
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  for (TaskId task = 0; task < a.num_tasks(); ++task) {
+    const auto inputs_a = a.inputs(task);
+    const auto inputs_b = b.inputs(task);
+    EXPECT_TRUE(std::equal(inputs_a.begin(), inputs_a.end(),
+                           inputs_b.begin(), inputs_b.end()));
+  }
+}
+
+TEST(RandomBipartite, RespectsDegreeBounds) {
+  const core::TaskGraph graph = make_random_bipartite(
+      {.num_tasks = 200, .num_data = 50, .min_inputs = 2, .max_inputs = 4,
+       .seed = 6});
+  EXPECT_EQ(graph.num_tasks(), 200u);
+  for (TaskId task = 0; task < graph.num_tasks(); ++task) {
+    EXPECT_GE(graph.inputs(task).size(), 2u);
+    EXPECT_LE(graph.inputs(task).size(), 4u);
+    // No duplicate inputs.
+    std::set<DataId> unique(graph.inputs(task).begin(),
+                            graph.inputs(task).end());
+    EXPECT_EQ(unique.size(), graph.inputs(task).size());
+  }
+}
+
+}  // namespace
+}  // namespace mg::work
