@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
 
   const auto config = bench::config_from_flags(
       flags, "abl_darts_cost", "DARTS variants: quality vs decision cost");
+  bench::RunObserver observer(config);
   const bool full = flags.get_bool("full");
 
   util::CsvWriter csv({"workload", "working_set_mb", "variant", "gflops",
@@ -50,7 +51,8 @@ int main(int argc, char** argv) {
       engine_config.seed = config.seed;
       engine_config.account_scheduler_cost = true;
       sim::RuntimeEngine engine(graph, config.platform, darts, engine_config);
-      const core::RunMetrics metrics = engine.run();
+      const core::RunMetrics metrics =
+          observer.run(engine, graph, workload + " " + variant.label);
       csv.row({workload, ws_mb, std::string(variant.label),
                metrics.achieved_gflops(), metrics.transfers_mb(),
                metrics.scheduler_pop_us / 1e3});

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
 
   const auto config = bench::config_from_flags(
       flags, "abl_eviction", "eviction policy ablation, fixed DARTS order");
+  bench::RunObserver observer(config);
   const bool full = flags.get_bool("full");
   const auto ns = bench::matmul2d_ns(full ? 2000.0 : 1400.0, full);
 
@@ -45,7 +46,8 @@ int main(int argc, char** argv) {
     engine_config.record_trace = true;
     sim::RuntimeEngine reference(graph, config.platform, darts_luf,
                                  engine_config);
-    const core::RunMetrics luf_metrics = reference.run();
+    const core::RunMetrics luf_metrics =
+        observer.run(reference, graph, "DARTS+LUF (live) n=" + std::to_string(n));
     csv.row({ws_mb, std::string("DARTS+LUF (live)"),
              static_cast<std::int64_t>(luf_metrics.total_loads()),
              luf_metrics.transfers_mb(), luf_metrics.achieved_gflops()});
@@ -56,7 +58,8 @@ int main(int argc, char** argv) {
     lru_config.seed = config.seed;
     sim::RuntimeEngine lru_engine(graph, config.platform, darts_lru,
                                   lru_config);
-    const core::RunMetrics lru_metrics = lru_engine.run();
+    const core::RunMetrics lru_metrics =
+        observer.run(lru_engine, graph, "DARTS+LRU (live) n=" + std::to_string(n));
     csv.row({ws_mb, std::string("DARTS+LRU (live)"),
              static_cast<std::int64_t>(lru_metrics.total_loads()),
              lru_metrics.transfers_mb(), lru_metrics.achieved_gflops()});
@@ -72,7 +75,10 @@ int main(int argc, char** argv) {
                          : sched::FixedOrderScheduler::Eviction::kEngineDefault);
       sim::RuntimeEngine engine(graph, config.platform, replay,
                                 {.seed = config.seed});
-      const core::RunMetrics metrics = engine.run();
+      const core::RunMetrics metrics = observer.run(
+          engine, graph,
+          std::string(belady ? "fixed order + Belady" : "fixed order + LRU") +
+              " n=" + std::to_string(n));
       csv.row({ws_mb,
                std::string(belady ? "fixed order + Belady"
                                   : "fixed order + LRU"),

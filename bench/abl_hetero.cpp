@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
       config.platform.gpu_gflops, config.platform.gpu_gflops,
       config.platform.gpu_gflops * slow, config.platform.gpu_gflops * slow};
 
+  bench::RunObserver observer(config);
   const bool full = flags.get_bool("full");
   const auto ns = bench::matmul2d_ns(full ? 4000.0 : 2500.0, full);
 
@@ -57,7 +58,8 @@ int main(int argc, char** argv) {
       if (kind == 3 && ws_mb > 1500.0) continue;  // mHFP packing cost
       sim::RuntimeEngine engine(graph, config.platform, *scheduler,
                                 {.seed = config.seed});
-      const core::RunMetrics metrics = engine.run();
+      const core::RunMetrics metrics = observer.run(
+          engine, graph, std::string(scheduler->name()) + " n=" + std::to_string(n));
       const auto fast = metrics.per_gpu[0].tasks_executed +
                         metrics.per_gpu[1].tasks_executed;
       const auto slow_tasks = metrics.per_gpu[2].tasks_executed +

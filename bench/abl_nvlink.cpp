@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
 
   const auto config = bench::config_from_flags(
       flags, "abl_nvlink", "NVLink on/off ablation on 2D matmul");
+  bench::RunObserver observer(config);
   const bool full = flags.get_bool("full");
   const auto ns = bench::matmul2d_ns(full ? 6000.0 : 3000.0, full);
 
@@ -44,7 +45,10 @@ int main(int argc, char** argv) {
         }
         sim::RuntimeEngine engine(graph, platform, *scheduler,
                                   {.seed = config.seed});
-        const core::RunMetrics metrics = engine.run();
+        const core::RunMetrics metrics = observer.run(
+            engine, graph,
+            std::string(scheduler->name()) + (nvlink ? " nvlink" : " host-bus") +
+                " n=" + std::to_string(n));
         csv.row({ws_mb, std::string(scheduler->name()),
                  std::string(nvlink ? "on" : "off"),
                  metrics.achieved_gflops(), metrics.transfers_mb(),

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
 
   const auto config = bench::config_from_flags(
       flags, "abl_outputs", "task-output write-back ablation");
+  bench::RunObserver observer(config);
   const bool full = flags.get_bool("full");
   const auto ns = bench::matmul2d_ns(full ? 2000.0 : 1400.0, full);
   const auto output_bytes =
@@ -45,7 +46,11 @@ int main(int argc, char** argv) {
         }
         sim::RuntimeEngine engine(graph, config.platform, *scheduler,
                                   {.seed = config.seed});
-        const core::RunMetrics metrics = engine.run();
+        const core::RunMetrics metrics = observer.run(
+            engine, graph,
+            std::string(scheduler->name()) +
+                (with_outputs ? " outputs" : " no-outputs") +
+                " n=" + std::to_string(n));
         csv.row({ws_mb, std::string(scheduler->name()),
                  std::string(with_outputs ? "on" : "off"),
                  metrics.achieved_gflops(), metrics.transfers_mb(),

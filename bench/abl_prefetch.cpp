@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
 
   const auto config = bench::config_from_flags(
       flags, "abl_prefetch", "pipeline depth ablation on 2D matmul");
+  bench::RunObserver observer(config);
   const bool full = flags.get_bool("full");
   const auto ns = bench::matmul2d_ns(full ? 2000.0 : 1400.0, full);
 
@@ -45,7 +46,10 @@ int main(int argc, char** argv) {
         engine_config.pipeline_depth = depth;
         sim::RuntimeEngine engine(graph, config.platform, *scheduler,
                                   engine_config);
-        const core::RunMetrics metrics = engine.run();
+        const core::RunMetrics metrics = observer.run(
+            engine, graph,
+            std::string(scheduler->name()) + " depth=" + std::to_string(depth) +
+                " n=" + std::to_string(n));
         csv.row({ws_mb, std::string(scheduler->name()),
                  static_cast<std::int64_t>(depth), metrics.achieved_gflops(),
                  metrics.transfers_mb()});

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   const auto config = bench::config_from_flags(
       flags, "abl_ready_window", "Ready window ablation on 2D matmul");
+  bench::RunObserver observer(config);
   const bool full = flags.get_bool("full");
   const auto ns = bench::matmul2d_ns(full ? 2000.0 : 1400.0, full);
 
@@ -36,7 +37,11 @@ int main(int argc, char** argv) {
       sched::DmdaScheduler scheduler(/*ready=*/true, window);
       sim::RuntimeEngine engine(graph, config.platform, scheduler,
                                 {.seed = config.seed});
-      const core::RunMetrics metrics = engine.run();
+      const core::RunMetrics metrics = observer.run(
+          engine, graph,
+          "window=" + (window == unlimited ? std::string("unlimited")
+                                           : std::to_string(window)) +
+              " n=" + std::to_string(n));
       csv.row({ws_mb,
                window == unlimited ? std::string("unlimited")
                                    : std::to_string(window),

@@ -4,11 +4,13 @@
 #include <cstdio>
 
 #include "analysis/bounds.hpp"
+#include "analysis/trace_export.hpp"
 #include "sched/dmda.hpp"
 #include "sched/eager.hpp"
 #include "sched/hfp.hpp"
 #include "sched/hmetis_r.hpp"
 #include "sim/engine.hpp"
+#include "sim/run_report.hpp"
 #include "util/csv.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -86,8 +88,26 @@ void run_figure(const FigureConfig& config,
   struct PointResult {
     std::string comment;
     std::vector<std::vector<util::CsvCell>> rows;
+    std::vector<sim::RunReport> reports;
   };
   std::vector<PointResult> results(points.size());
+
+  // The Chrome trace captures one run: the sweep's last (point, scheduler)
+  // combination that is not skipped by a working-set bound.
+  constexpr std::size_t kNone = ~std::size_t{0};
+  std::size_t trace_point = kNone;
+  std::size_t trace_spec = kNone;
+  if (!config.chrome_trace_path.empty()) {
+    for (std::size_t pi = 0; pi < points.size(); ++pi) {
+      for (std::size_t si = 0; si < schedulers.size(); ++si) {
+        if (points[pi].working_set_mb <= schedulers[si].max_working_set_mb &&
+            points[pi].working_set_mb >= schedulers[si].min_working_set_mb) {
+          trace_point = pi;
+          trace_spec = si;
+        }
+      }
+    }
+  }
 
   auto run_point = [&](std::size_t index) {
     const WorkloadPoint& point = points[index];
@@ -100,11 +120,15 @@ void run_figure(const FigureConfig& config,
                   analysis::pci_limit_bytes(graph, config.platform) / 1e6);
     result.comment = point_line;
 
-    for (const SchedulerSpec& spec : schedulers) {
+    for (std::size_t spec_index = 0; spec_index < schedulers.size();
+         ++spec_index) {
+      const SchedulerSpec& spec = schedulers[spec_index];
       if (point.working_set_mb > spec.max_working_set_mb ||
           point.working_set_mb < spec.min_working_set_mb) {
         continue;
       }
+      const bool wants_trace =
+          index == trace_point && spec_index == trace_spec;
 
       double gflops = 0.0;
       double transfers_mb = 0.0;
@@ -122,7 +146,35 @@ void run_figure(const FigureConfig& config,
         engine_config.hints_may_evict = spec.hints_may_evict;
         sim::RuntimeEngine engine(graph, config.platform, *scheduler,
                                   engine_config);
+        // Observability rides on the first repetition only: one report per
+        // (point, scheduler) row, one Chrome trace per sweep.
+        const bool observe =
+            rep == 0 && (!config.run_report_path.empty() || wants_trace);
+        std::unique_ptr<sim::RunReportCollector> collector;
+        if (observe) {
+          sim::RunReportCollector::Options collector_options;
+          char context[96];
+          std::snprintf(context, sizeof context, "%s ws=%gMB",
+                        config.figure.c_str(), point.working_set_mb);
+          collector_options.context = context;
+          collector_options.collect_trace = wants_trace;
+          collector = std::make_unique<sim::RunReportCollector>(
+              std::move(collector_options));
+          engine.add_inspector(collector.get());
+        }
         const core::RunMetrics metrics = engine.run();
+        if (observe) {
+          if (!config.run_report_path.empty()) {
+            result.reports.push_back(collector->report());
+          }
+          if (wants_trace &&
+              !analysis::export_chrome_trace(graph, config.platform,
+                                             collector->trace(),
+                                             config.chrome_trace_path)) {
+            std::fprintf(stderr, "failed to write chrome trace to %s\n",
+                         config.chrome_trace_path.c_str());
+          }
+        }
         gflops += metrics.achieved_gflops();
         transfers_mb += metrics.transfers_mb();
         loads += static_cast<double>(metrics.total_loads());
@@ -157,6 +209,61 @@ void run_figure(const FigureConfig& config,
     csv.comment(result.comment);
     for (const auto& row : result.rows) csv.row(row);
   }
+
+  if (!config.run_report_path.empty()) {
+    std::vector<sim::RunReport> reports;
+    for (PointResult& result : results) {
+      for (sim::RunReport& report : result.reports) {
+        reports.push_back(std::move(report));
+      }
+    }
+    if (!sim::write_run_reports(reports, config.figure + ": " + config.title,
+                                config.run_report_path)) {
+      std::fprintf(stderr, "failed to write run report to %s\n",
+                   config.run_report_path.c_str());
+    }
+  }
+}
+
+RunObserver::RunObserver(const FigureConfig& config)
+    : figure_(config.figure),
+      title_(config.title),
+      run_report_path_(config.run_report_path),
+      chrome_trace_path_(config.chrome_trace_path) {}
+
+RunObserver::~RunObserver() { flush(); }
+
+core::RunMetrics RunObserver::run(sim::RuntimeEngine& engine,
+                                  const core::TaskGraph& graph,
+                                  const std::string& label) {
+  if (run_report_path_.empty() && chrome_trace_path_.empty()) {
+    return engine.run();
+  }
+  sim::RunReportCollector::Options options;
+  options.context = figure_ + " " + label;
+  options.collect_trace = !chrome_trace_path_.empty();
+  sim::RunReportCollector collector(std::move(options));
+  engine.add_inspector(&collector);
+  const core::RunMetrics metrics = engine.run();
+  if (!run_report_path_.empty()) reports_.push_back(collector.report());
+  // Rewritten per observed run: the last run wins, like run_figure.
+  if (!chrome_trace_path_.empty() &&
+      !analysis::export_chrome_trace(graph, engine.platform(),
+                                     collector.trace(), chrome_trace_path_)) {
+    std::fprintf(stderr, "failed to write chrome trace to %s\n",
+                 chrome_trace_path_.c_str());
+  }
+  return metrics;
+}
+
+void RunObserver::flush() {
+  if (flushed_ || run_report_path_.empty()) return;
+  flushed_ = true;
+  if (!write_run_reports(reports_, figure_ + ": " + title_,
+                         run_report_path_)) {
+    std::fprintf(stderr, "failed to write run report to %s\n",
+                 run_report_path_.c_str());
+  }
 }
 
 void add_standard_flags(util::Flags& flags, std::uint32_t default_gpus,
@@ -170,7 +277,13 @@ void add_standard_flags(util::Flags& flags, std::uint32_t default_gpus,
                    "sweep the paper's full working-set range (slower)")
       .define_int("jobs", 1,
                   "worker threads for the sweep (only used when no curve "
-                  "charges scheduler wall time)");
+                  "charges scheduler wall time)")
+      .define_string("run-report", "",
+                     "write a JSON run report (one entry per point/scheduler "
+                     "run) to this path")
+      .define_string("chrome-trace", "",
+                     "write a chrome://tracing timeline of the last run to "
+                     "this path");
 }
 
 FigureConfig config_from_flags(const util::Flags& flags, std::string figure,
@@ -185,6 +298,8 @@ FigureConfig config_from_flags(const util::Flags& flags, std::string figure,
   config.repetitions = static_cast<std::uint32_t>(flags.get_int("reps"));
   config.output_path = flags.get_string("out");
   config.jobs = static_cast<std::uint32_t>(flags.get_int("jobs"));
+  config.run_report_path = flags.get_string("run-report");
+  config.chrome_trace_path = flags.get_string("chrome-trace");
   return config;
 }
 

@@ -14,10 +14,16 @@
 #include <vector>
 
 #include "core/darts.hpp"
+#include "core/metrics.hpp"
 #include "core/platform.hpp"
 #include "core/scheduler.hpp"
 #include "core/task_graph.hpp"
+#include "sim/run_report.hpp"
 #include "util/flags.hpp"
+
+namespace mg::sim {
+class RuntimeEngine;
+}
 
 namespace mg::bench {
 
@@ -70,6 +76,15 @@ struct FigureConfig {
   /// Parallel execution is only used when no scheduler spec charges
   /// wall-clock cost — timing measurements need an unloaded machine.
   std::uint32_t jobs = 1;
+
+  /// When non-empty, attach a sim::RunReportCollector to the first
+  /// repetition of every (point, scheduler) run and write all reports as
+  /// one JSON document (docs/OBSERVABILITY.md) to this path.
+  std::string run_report_path;
+
+  /// When non-empty, write the Chrome-tracing timeline of the sweep's last
+  /// (point, scheduler) run to this path.
+  std::string chrome_trace_path;
 };
 
 /// Runs the sweep and writes the CSV. Columns:
@@ -79,8 +94,36 @@ void run_figure(const FigureConfig& config,
                 const std::vector<WorkloadPoint>& points,
                 const std::vector<SchedulerSpec>& schedulers);
 
+/// Observability for binaries with bespoke sweep loops (the abl_* harnesses
+/// that cannot express their runs as run_figure points): wraps each engine
+/// run with a sim::RunReportCollector when --run-report / --chrome-trace
+/// are set, and writes the collected documents on flush (or destruction).
+/// run_figure-based binaries get the same behaviour built in.
+class RunObserver {
+ public:
+  explicit RunObserver(const FigureConfig& config);
+  ~RunObserver();
+
+  /// Runs `engine` to completion; when observability is enabled, collects a
+  /// report labelled `label` and (re)writes the Chrome trace, so the last
+  /// observed run wins — matching run_figure's last-run semantics.
+  core::RunMetrics run(sim::RuntimeEngine& engine,
+                       const core::TaskGraph& graph, const std::string& label);
+
+  /// Writes the run-report document if any reports were collected.
+  void flush();
+
+ private:
+  std::string figure_;
+  std::string title_;
+  std::string run_report_path_;
+  std::string chrome_trace_path_;
+  std::vector<sim::RunReport> reports_;
+  bool flushed_ = false;
+};
+
 /// Registers the standard figure flags (--gpus, --mem-mb, --reps, --seed,
-/// --out, --full) on `flags`.
+/// --out, --full, --jobs, --run-report, --chrome-trace) on `flags`.
 void add_standard_flags(util::Flags& flags, std::uint32_t default_gpus,
                         std::int64_t default_mem_mb = 500);
 

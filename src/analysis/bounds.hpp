@@ -43,4 +43,34 @@ namespace mg::analysis {
   return platform.cumulated_memory_bytes();
 }
 
+/// Minimum number of host->GPU loads any eviction-free schedule performs:
+/// every data item consumed by at least one task must land somewhere at
+/// least once, whatever the task placement.
+[[nodiscard]] inline std::uint64_t min_loads_lower_bound(
+    const core::TaskGraph& graph) {
+  std::uint64_t used = 0;
+  for (core::DataId data = 0; data < graph.num_data(); ++data) {
+    if (!graph.consumers(data).empty()) ++used;
+  }
+  return used;
+}
+
+/// Byte-volume companion of min_loads_lower_bound: the bytes of every data
+/// item with at least one consumer, each counted once.
+[[nodiscard]] inline std::uint64_t min_load_bytes_lower_bound(
+    const core::TaskGraph& graph) {
+  std::uint64_t bytes = 0;
+  for (core::DataId data = 0; data < graph.num_data(); ++data) {
+    if (!graph.consumers(data).empty()) bytes += graph.data_size(data);
+  }
+  return bytes;
+}
+
+/// Upper bound on loads for an eviction-free run on `num_gpus` GPUs: each
+/// used data item lands at most once per GPU.
+[[nodiscard]] inline std::uint64_t eviction_free_loads_upper_bound(
+    const core::TaskGraph& graph, std::uint32_t num_gpus) {
+  return min_loads_lower_bound(graph) * num_gpus;
+}
+
 }  // namespace mg::analysis

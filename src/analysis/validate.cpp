@@ -1,18 +1,44 @@
 #include "analysis/validate.hpp"
 
-#include <cstdio>
-#include <vector>
+#include "sim/inspector.hpp"
+#include "sim/invariant_checker.hpp"
 
 namespace mg::analysis {
 
 namespace {
 
-std::string format_error(const char* what, core::GpuId gpu, std::uint32_t id,
-                         double time_us) {
-  char buffer[160];
-  std::snprintf(buffer, sizeof buffer, "%s (gpu=%u id=%u t=%.3fus)", what, gpu,
-                id, time_us);
-  return buffer;
+/// A bare trace only records load/evict/start/end/write-back, so the replay
+/// feeds the checker the subset of the inspector event stream those map to;
+/// Options::online = false relaxes the fetch/notify checks accordingly. The
+/// invariants themselves (residency at start, memory bound, exactly-once,
+/// one task per GPU, monotone time) live in sim::InvariantChecker only.
+sim::InspectorEvent to_inspector_event(const sim::TraceEvent& event) {
+  sim::InspectorEvent out;
+  out.time_us = event.time_us;
+  out.gpu = event.gpu;
+  out.id = event.id;
+  switch (event.kind) {
+    case sim::TraceKind::kLoad:
+      out.kind = sim::InspectorEventKind::kLoadComplete;
+      break;
+    case sim::TraceKind::kPeerLoad:
+      out.kind = sim::InspectorEventKind::kLoadComplete;
+      out.aux = 1;
+      break;
+    case sim::TraceKind::kEvict:
+      out.kind = sim::InspectorEventKind::kEvict;
+      break;
+    case sim::TraceKind::kTaskStart:
+      out.kind = sim::InspectorEventKind::kTaskStart;
+      break;
+    case sim::TraceKind::kTaskEnd:
+      out.kind = sim::InspectorEventKind::kTaskEnd;
+      break;
+    case sim::TraceKind::kWriteBack:
+      out.kind = sim::InspectorEventKind::kWriteBackEnd;
+      break;
+  }
+  return out;
 }
 
 }  // namespace
@@ -20,100 +46,15 @@ std::string format_error(const char* what, core::GpuId gpu, std::uint32_t id,
 ValidationResult validate_trace(const core::TaskGraph& graph,
                                 const core::Platform& platform,
                                 const sim::Trace& trace) {
-  const std::uint32_t num_gpus = platform.num_gpus;
-  std::vector<std::vector<bool>> resident(
-      num_gpus, std::vector<bool>(graph.num_data(), false));
-  std::vector<std::uint64_t> used(num_gpus, 0);
-  std::vector<std::uint32_t> executions(graph.num_tasks(), 0);
-  std::vector<std::int32_t> running(num_gpus, -1);
-  double last_time = 0.0;
-
-  auto fail = [](std::string message) {
-    return ValidationResult{false, std::move(message)};
-  };
-
+  sim::InvariantChecker checker(
+      {.fail_fast = false, .online = false, .log_window = 24});
+  checker.on_run_begin(graph, platform, "replay");
   for (const sim::TraceEvent& event : trace.events) {
-    if (event.time_us + 1e-9 < last_time) {
-      return fail(format_error("time went backwards", event.gpu, event.id,
-                               event.time_us));
-    }
-    last_time = event.time_us;
-    if (event.gpu >= num_gpus) {
-      return fail(format_error("unknown gpu", event.gpu, event.id,
-                               event.time_us));
-    }
-    switch (event.kind) {
-      case sim::TraceKind::kLoad:
-      case sim::TraceKind::kPeerLoad: {
-        if (event.id >= graph.num_data()) {
-          return fail(format_error("load of unknown data", event.gpu, event.id,
-                                   event.time_us));
-        }
-        if (resident[event.gpu][event.id]) {
-          return fail(format_error("load of already-resident data", event.gpu,
-                                   event.id, event.time_us));
-        }
-        resident[event.gpu][event.id] = true;
-        used[event.gpu] += graph.data_size(event.id);
-        if (used[event.gpu] > platform.gpu_memory_bytes) {
-          return fail(format_error("memory bound exceeded", event.gpu,
-                                   event.id, event.time_us));
-        }
-        break;
-      }
-      case sim::TraceKind::kEvict: {
-        if (event.id >= graph.num_data() || !resident[event.gpu][event.id]) {
-          return fail(format_error("evict of non-resident data", event.gpu,
-                                   event.id, event.time_us));
-        }
-        resident[event.gpu][event.id] = false;
-        used[event.gpu] -= graph.data_size(event.id);
-        break;
-      }
-      case sim::TraceKind::kTaskStart: {
-        if (event.id >= graph.num_tasks()) {
-          return fail(format_error("start of unknown task", event.gpu,
-                                   event.id, event.time_us));
-        }
-        if (running[event.gpu] != -1) {
-          return fail(format_error("two tasks running on one gpu", event.gpu,
-                                   event.id, event.time_us));
-        }
-        for (core::DataId data : graph.inputs(event.id)) {
-          if (!resident[event.gpu][data]) {
-            return fail(format_error("task started with missing input",
-                                     event.gpu, event.id, event.time_us));
-          }
-        }
-        running[event.gpu] = static_cast<std::int32_t>(event.id);
-        break;
-      }
-      case sim::TraceKind::kWriteBack:
-        // No residency effect; scratch accounting is internal to the
-        // simulator and not visible in the trace.
-        break;
-      case sim::TraceKind::kTaskEnd: {
-        if (running[event.gpu] != static_cast<std::int32_t>(event.id)) {
-          return fail(format_error("end of task that was not running",
-                                   event.gpu, event.id, event.time_us));
-        }
-        running[event.gpu] = -1;
-        ++executions[event.id];
-        break;
-      }
-    }
+    checker.on_event(to_inspector_event(event));
+    if (!checker.ok()) break;
   }
-
-  for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
-    if (executions[task] != 1) {
-      char buffer[96];
-      std::snprintf(buffer, sizeof buffer,
-                    "task %u executed %u times (expected once)", task,
-                    executions[task]);
-      return fail(buffer);
-    }
-  }
-  return {};
+  checker.finish();
+  return ValidationResult{checker.report().ok, checker.report().error};
 }
 
 }  // namespace mg::analysis

@@ -93,6 +93,19 @@ class DartsScheduler final : public Scheduler, public EvictionPolicy {
     return per_gpu_[gpu].planned;
   }
 
+  /// Incremental-mode n(D) for `data` on `gpu` (test hook: the audit test
+  /// compares this against a from-scratch recount). Only meaningful with
+  /// options().incremental.
+  [[nodiscard]] std::uint32_t incremental_free_count(GpuId gpu,
+                                                     DataId data) const {
+    return per_gpu_[gpu].free_count[data];
+  }
+
+  /// Incremental-mode loaded-data mirror (test hook).
+  [[nodiscard]] bool incremental_in_mem(GpuId gpu, DataId data) const {
+    return per_gpu_[gpu].in_mem[data] != 0;
+  }
+
  private:
   enum class TaskState : std::uint8_t {
     kAvailable,  ///< in the shared pool

@@ -33,6 +33,15 @@ class Bus : public TransferRouter {
                                          std::uint64_t bytes,
                                          OnComplete& on_complete)>;
 
+  /// Wire-occupancy observer: called with `started == true` the moment a
+  /// transfer begins occupying the channel and with `started == false` when
+  /// it leaves the wire (before its completion callback runs). At most one
+  /// transfer is on the wire at a time — that is the serial-link property
+  /// the inspector's invariant checker verifies through this hook.
+  using WireObserver = std::function<void(bool started, core::GpuId dst,
+                                          core::DataId data,
+                                          std::uint64_t bytes)>;
+
   Bus(EventQueue& events, double bandwidth_bytes_per_s, double latency_us)
       : events_(events),
         bandwidth_(bandwidth_bytes_per_s),
@@ -68,6 +77,9 @@ class Bus : public TransferRouter {
   }
 
   void set_start_filter(StartFilter filter) { filter_ = std::move(filter); }
+  void set_wire_observer(WireObserver observer) {
+    wire_observer_ = std::move(observer);
+  }
 
   [[nodiscard]] bool busy() const { return busy_; }
   [[nodiscard]] std::size_t pending() const {
@@ -103,8 +115,14 @@ class Bus : public TransferRouter {
       const double duration =
           latency_us_ + static_cast<double>(request.bytes) / bandwidth_ * 1e6;
       busy_time_us_ += duration;
+      if (wire_observer_) {
+        wire_observer_(true, request.gpu, request.data, request.bytes);
+      }
       events_.schedule_after(
           duration, [this, request = std::move(request)]() mutable {
+            if (wire_observer_) {
+              wire_observer_(false, request.gpu, request.data, request.bytes);
+            }
             request.on_complete();
             start_next();
           });
@@ -118,6 +136,7 @@ class Bus : public TransferRouter {
   std::deque<Request> queue_;
   std::deque<Request> low_queue_;
   StartFilter filter_;
+  WireObserver wire_observer_;
   bool busy_ = false;
   double busy_time_us_ = 0.0;
 };

@@ -63,6 +63,42 @@ RuntimeEngine::RuntimeEngine(const core::TaskGraph& graph,
   }
 }
 
+void RuntimeEngine::add_inspector(Inspector* inspector) {
+  MG_CHECK_MSG(!ran_, "add_inspector must be called before run()");
+  MG_CHECK_MSG(inspector != nullptr, "null inspector");
+  inspectors_.push_back(inspector);
+}
+
+void RuntimeEngine::publish_slow(InspectorEventKind kind, GpuId gpu,
+                                 std::uint32_t id, std::uint64_t bytes,
+                                 std::uint32_t channel, std::uint32_t aux) {
+  InspectorEvent event;
+  event.time_us = events_.now();
+  event.kind = kind;
+  event.gpu = gpu;
+  event.id = id;
+  event.bytes = bytes;
+  event.channel = channel;
+  event.aux = aux;
+  for (Inspector* inspector : inspectors_) inspector->on_event(event);
+}
+
+void RuntimeEngine::attach_wire_observers() {
+  auto wire = [this](std::uint32_t channel) {
+    return [this, channel](bool started, GpuId dst, DataId data,
+                           std::uint64_t bytes) {
+      publish(started ? InspectorEventKind::kTransferStart
+                      : InspectorEventKind::kTransferEnd,
+              dst, data, bytes, channel);
+    };
+  };
+  bus_.set_wire_observer(wire(kChannelHostBus));
+  if (writeback_bus_) writeback_bus_->set_wire_observer(wire(kChannelWriteback));
+  for (GpuId gpu = 0; gpu < static_cast<GpuId>(nvlink_egress_.size()); ++gpu) {
+    nvlink_egress_[gpu]->set_wire_observer(wire(kChannelNvlinkBase + gpu));
+  }
+}
+
 core::GpuId RuntimeEngine::find_peer_holding(GpuId dst, DataId data) const {
   for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
     if (gpu != dst && gpus_[gpu].memory->is_present(data)) return gpu;
@@ -126,6 +162,21 @@ core::RunMetrics RuntimeEngine::run() {
                                                : default_policy_.get());
   }
 
+  if (!inspectors_.empty()) {
+    attach_wire_observers();
+    for (Inspector* inspector : inspectors_) {
+      inspector->on_run_begin(graph_, platform_, scheduler_.name());
+    }
+    for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+      core::EvictionPolicy* policy = scheduler_.eviction_policy(gpu);
+      const std::string_view policy_name =
+          policy != nullptr ? policy->name() : default_policy_->name();
+      for (Inspector* inspector : inspectors_) {
+        inspector->on_eviction_policy(gpu, policy_name);
+      }
+    }
+  }
+
   for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
     const std::vector<DataId> hints = scheduler_.prefetch_hints(gpu);
     gpus_[gpu].hint_queue.assign(hints.begin(), hints.end());
@@ -137,6 +188,10 @@ core::RunMetrics RuntimeEngine::run() {
 
   while (completed_ < graph_.num_tasks()) {
     if (!events_.run_one()) report_deadlock_and_abort();
+  }
+
+  for (Inspector* inspector : inspectors_) {
+    inspector->on_run_end(last_completion_us_);
   }
 
   core::RunMetrics metrics;
@@ -232,6 +287,7 @@ void RuntimeEngine::try_start(GpuId gpu) {
   if (output_bytes > 0 && !state.scratch_reserved) {
     if (!state.memory->try_reserve_scratch(output_bytes)) return;
     state.scratch_reserved = true;
+    publish(InspectorEventKind::kScratchReserve, gpu, head, output_bytes);
   }
   if (config_.account_scheduler_cost &&
       events_.now() < state.sched_busy_until_us) {
@@ -256,6 +312,7 @@ void RuntimeEngine::start_task(GpuId gpu, TaskId task) {
   for (DataId data : graph_.inputs(task)) state.memory->touch(data);
 
   state.running = task;
+  publish(InspectorEventKind::kTaskStart, gpu, task);
   if (config_.record_trace) {
     trace_.events.push_back(
         {events_.now(), TraceKind::kTaskStart, gpu, task});
@@ -276,6 +333,7 @@ void RuntimeEngine::finish_task(GpuId gpu, TaskId task) {
   ++state.tasks_executed;
   ++completed_;
   last_completion_us_ = events_.now();
+  publish(InspectorEventKind::kTaskEnd, gpu, task);
   if (config_.record_trace) {
     trace_.events.push_back({events_.now(), TraceKind::kTaskEnd, gpu, task});
   }
@@ -285,21 +343,25 @@ void RuntimeEngine::finish_task(GpuId gpu, TaskId task) {
   // is done — write-back only delays memory reuse, not the completion.
   const std::uint64_t output_bytes = graph_.task_output_bytes(task);
   if (output_bytes > 0) {
-    writeback_bus_->request(gpu, 0, output_bytes, [this, gpu, task,
-                                                   output_bytes] {
+    publish(InspectorEventKind::kWriteBackStart, gpu, task, output_bytes);
+    writeback_bus_->request(gpu, task, output_bytes, [this, gpu, task,
+                                                      output_bytes] {
       GpuState& wb_state = gpus_[gpu];
       wb_state.bytes_written_back += output_bytes;
+      publish(InspectorEventKind::kWriteBackEnd, gpu, task, output_bytes);
       if (config_.record_trace) {
         trace_.events.push_back(
             {events_.now(), TraceKind::kWriteBack, gpu, task});
       }
       wb_state.memory->release_scratch(output_bytes);
+      publish(InspectorEventKind::kScratchRelease, gpu, task, output_bytes);
       // Freed scratch may unblock this GPU's next task or admit a hint.
       try_start(gpu);
       pump_hints(gpu);
     });
   }
   scheduler_.notify_task_complete(gpu, task);
+  publish(InspectorEventKind::kNotifyTaskComplete, gpu, task);
   fill_buffer(gpu);
   try_start(gpu);
   retry_starved();
@@ -333,12 +395,15 @@ void RuntimeEngine::on_data_loaded(GpuId gpu, DataId data) {
     ++state.loads;
     state.bytes_loaded += graph_.data_size(data);
   }
+  publish(InspectorEventKind::kLoadComplete, gpu, data,
+          graph_.data_size(data), kNoChannel, from_peer ? 1 : 0);
   if (config_.record_trace) {
     trace_.events.push_back(
         {events_.now(), from_peer ? TraceKind::kPeerLoad : TraceKind::kLoad,
          gpu, data});
   }
   scheduler_.notify_data_loaded(gpu, data);
+  publish(InspectorEventKind::kNotifyDataLoaded, gpu, data);
   // If the landed data is an input of the task being assembled, pin it so a
   // later prefetch's eviction cannot take it back before the task starts.
   if (state.assembly_active) {
@@ -358,16 +423,24 @@ void RuntimeEngine::on_data_loaded(GpuId gpu, DataId data) {
 void RuntimeEngine::on_data_evicted(GpuId gpu, DataId data) {
   GpuState& state = gpus_[gpu];
   ++state.evictions;
+  publish(InspectorEventKind::kEvict, gpu, data, graph_.data_size(data),
+          kNoChannel, state.memory->pin_count(data));
   if (config_.record_trace) {
     trace_.events.push_back({events_.now(), TraceKind::kEvict, gpu, data});
   }
   scheduler_.notify_data_evicted(gpu, data);
+  publish(InspectorEventKind::kNotifyDataEvicted, gpu, data);
   // The freed space may admit the next push-time prefetch hint — but this
   // callback runs from inside make_room(), whose caller still needs the
   // space it is freeing. Defer the pump until the current operation is done.
   if (!state.hint_queue.empty()) {
     events_.schedule_after(0.0, [this, gpu] { pump_hints(gpu); });
   }
+}
+
+void RuntimeEngine::on_fetch_started(GpuId gpu, DataId data, bool demand) {
+  publish(InspectorEventKind::kFetchStart, gpu, data, graph_.data_size(data),
+          kNoChannel, demand ? 1 : 0);
 }
 
 void RuntimeEngine::report_deadlock_and_abort() const {

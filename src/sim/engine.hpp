@@ -30,6 +30,7 @@
 #include "core/task_graph.hpp"
 #include "sim/bus.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/inspector.hpp"
 #include "sim/lru_eviction.hpp"
 #include "sim/memory_manager.hpp"
 #include "sim/trace.hpp"
@@ -70,7 +71,14 @@ class RuntimeEngine final : private MemoryManager::Observer,
   /// Single-shot: a second call is an error.
   core::RunMetrics run();
 
+  /// Attaches an inspector (invariant checker, run-report collector, ...)
+  /// to the run's event stream. Must be called before run(); not owned.
+  /// With no inspector attached the event sites cost one branch each.
+  void add_inspector(Inspector* inspector);
+
   [[nodiscard]] const Trace& trace() const { return trace_; }
+
+  [[nodiscard]] const core::Platform& platform() const { return platform_; }
 
  private:
   struct GpuState {
@@ -108,6 +116,23 @@ class RuntimeEngine final : private MemoryManager::Observer,
   // MemoryManager::Observer
   void on_data_loaded(core::GpuId gpu, core::DataId data) override;
   void on_data_evicted(core::GpuId gpu, core::DataId data) override;
+  void on_fetch_started(core::GpuId gpu, core::DataId data,
+                        bool demand) override;
+
+  /// Publishes one event to every attached inspector. `publish` is the
+  /// guarded entry point (no-op without inspectors); `publish_slow` builds
+  /// and fans out the event.
+  void publish(InspectorEventKind kind, core::GpuId gpu, std::uint32_t id,
+               std::uint64_t bytes = 0, std::uint32_t channel = kNoChannel,
+               std::uint32_t aux = 0) {
+    if (!inspectors_.empty()) publish_slow(kind, gpu, id, bytes, channel, aux);
+  }
+  void publish_slow(InspectorEventKind kind, core::GpuId gpu, std::uint32_t id,
+                    std::uint64_t bytes, std::uint32_t channel,
+                    std::uint32_t aux);
+
+  /// Routes bus wire start/end callbacks into kTransferStart/End events.
+  void attach_wire_observers();
 
   // TransferRouter: route a miss over the host bus, or — with NVLink
   // enabled — over the egress port of a peer GPU already holding the data
@@ -149,6 +174,7 @@ class RuntimeEngine final : private MemoryManager::Observer,
   double pop_wall_us_ = 0.0;
   double prepare_wall_us_ = 0.0;
   Trace trace_;
+  std::vector<Inspector*> inspectors_;
   bool ran_ = false;
 };
 

@@ -1,0 +1,69 @@
+#include "sim/inspector.hpp"
+
+#include <cstdio>
+
+namespace mg::sim {
+
+std::string_view inspector_event_kind_name(InspectorEventKind kind) {
+  switch (kind) {
+    case InspectorEventKind::kFetchStart: return "fetch-start";
+    case InspectorEventKind::kLoadComplete: return "load";
+    case InspectorEventKind::kEvict: return "evict";
+    case InspectorEventKind::kScratchReserve: return "scratch-reserve";
+    case InspectorEventKind::kScratchRelease: return "scratch-release";
+    case InspectorEventKind::kTransferStart: return "transfer-start";
+    case InspectorEventKind::kTransferEnd: return "transfer-end";
+    case InspectorEventKind::kWriteBackStart: return "writeback-start";
+    case InspectorEventKind::kWriteBackEnd: return "writeback-end";
+    case InspectorEventKind::kTaskStart: return "task-start";
+    case InspectorEventKind::kTaskEnd: return "task-end";
+    case InspectorEventKind::kNotifyTaskComplete: return "notify-complete";
+    case InspectorEventKind::kNotifyDataLoaded: return "notify-loaded";
+    case InspectorEventKind::kNotifyDataEvicted: return "notify-evicted";
+  }
+  return "?";
+}
+
+std::string inspector_channel_name(std::uint32_t channel) {
+  if (channel == kChannelHostBus) return "host-bus";
+  if (channel == kChannelWriteback) return "writeback";
+  if (channel == kNoChannel) return "-";
+  return "nvlink-gpu" + std::to_string(channel - kChannelNvlinkBase);
+}
+
+std::string format_inspector_event(const InspectorEvent& event) {
+  // Tasks for task-flavoured kinds, data otherwise.
+  const bool is_task = event.kind == InspectorEventKind::kTaskStart ||
+                       event.kind == InspectorEventKind::kTaskEnd ||
+                       event.kind == InspectorEventKind::kScratchReserve ||
+                       event.kind == InspectorEventKind::kScratchRelease ||
+                       event.kind == InspectorEventKind::kWriteBackStart ||
+                       event.kind == InspectorEventKind::kWriteBackEnd ||
+                       event.kind == InspectorEventKind::kNotifyTaskComplete;
+  char buffer[192];
+  std::snprintf(buffer, sizeof buffer, "t=%.3fus gpu%u %.*s %c%u", event.time_us,
+                event.gpu,
+                static_cast<int>(inspector_event_kind_name(event.kind).size()),
+                inspector_event_kind_name(event.kind).data(),
+                is_task ? 'T' : 'd', event.id);
+  std::string line = buffer;
+  if (event.bytes > 0) {
+    std::snprintf(buffer, sizeof buffer, " bytes=%llu",
+                  static_cast<unsigned long long>(event.bytes));
+    line += buffer;
+  }
+  if (event.channel != kNoChannel) {
+    line += " via " + inspector_channel_name(event.channel);
+  }
+  if (event.kind == InspectorEventKind::kFetchStart) {
+    line += event.aux != 0 ? " (demand)" : " (prefetch)";
+  } else if (event.kind == InspectorEventKind::kLoadComplete && event.aux != 0) {
+    line += " (peer)";
+  } else if (event.kind == InspectorEventKind::kEvict) {
+    std::snprintf(buffer, sizeof buffer, " pins=%u", event.aux);
+    line += buffer;
+  }
+  return line;
+}
+
+}  // namespace mg::sim

@@ -1,0 +1,102 @@
+// Run observability: the inspector interface every simulation component
+// publishes to.
+//
+// The engine, the per-GPU memory managers and every bus channel emit a
+// single linear stream of InspectorEvents — task starts/ends, fetch
+// starts, load completions, evictions, scratch reservations, wire-level
+// transfer occupancy, output write-backs, and the notify_* calls made into
+// the scheduler. Inspectors attached to a RuntimeEngine (via
+// add_inspector) observe the stream as the simulation runs; when none is
+// attached the engine skips event construction entirely, so the hooks cost
+// one branch per event site.
+//
+// Two first-class implementations live next to this header:
+//   * InvariantChecker (invariant_checker.hpp) — validates the execution
+//     model online and fails fast with an event-log excerpt;
+//   * RunReportCollector (run_report.hpp) — aggregates per-GPU load
+//     balance, channel occupancy, eviction and prefetch statistics into a
+//     structured JSON run report and a Chrome-tracing timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/ids.hpp"
+#include "core/platform.hpp"
+#include "core/task_graph.hpp"
+
+namespace mg::sim {
+
+enum class InspectorEventKind : std::uint8_t {
+  kFetchStart,     ///< memory manager committed bytes for data `id` on `gpu`
+                   ///< (aux: 1 = demand fetch, 0 = pipeline prefetch/hint)
+  kLoadComplete,   ///< data `id` became resident on `gpu` (aux: 1 = peer copy)
+  kEvict,          ///< data `id` evicted from `gpu` (aux: pin count, must be 0)
+  kScratchReserve, ///< output scratch of task `id` reserved on `gpu`
+  kScratchRelease, ///< output scratch of task `id` released on `gpu`
+  kTransferStart,  ///< a transfer started occupying wire `channel`
+  kTransferEnd,    ///< the transfer on `channel` finished
+  kWriteBackStart, ///< output of task `id` started its host write-back
+  kWriteBackEnd,   ///< output of task `id` fully written back
+  kTaskStart,      ///< task `id` started computing on `gpu`
+  kTaskEnd,        ///< task `id` finished computing on `gpu`
+  kNotifyTaskComplete,  ///< engine called scheduler.notify_task_complete
+  kNotifyDataLoaded,    ///< engine called scheduler.notify_data_loaded
+  kNotifyDataEvicted,   ///< engine called scheduler.notify_data_evicted
+};
+
+[[nodiscard]] std::string_view inspector_event_kind_name(
+    InspectorEventKind kind);
+
+/// Wire channels, in the numbering the engine uses for kTransferStart/End.
+inline constexpr std::uint32_t kChannelHostBus = 0;
+inline constexpr std::uint32_t kChannelWriteback = 1;
+inline constexpr std::uint32_t kChannelNvlinkBase = 2;  ///< +gpu for egress
+inline constexpr std::uint32_t kNoChannel = 0xffffffffu;
+
+/// Human-readable channel name ("host-bus", "writeback", "nvlink-gpu2").
+[[nodiscard]] std::string inspector_channel_name(std::uint32_t channel);
+
+struct InspectorEvent {
+  double time_us = 0.0;
+  InspectorEventKind kind = InspectorEventKind::kTaskStart;
+  core::GpuId gpu = 0;               ///< destination / executing GPU
+  std::uint32_t id = 0;              ///< TaskId or DataId, per kind
+  std::uint64_t bytes = 0;           ///< transfer / scratch size
+  std::uint32_t channel = kNoChannel;///< wire channel for transfer events
+  std::uint32_t aux = 0;             ///< kind-specific detail (see enum)
+};
+
+/// One-line rendering used by diagnostics and the checker's log excerpt.
+[[nodiscard]] std::string format_inspector_event(const InspectorEvent& event);
+
+class Inspector {
+ public:
+  virtual ~Inspector() = default;
+
+  /// Fired once, before any event, with the run's static context.
+  virtual void on_run_begin(const core::TaskGraph& graph,
+                            const core::Platform& platform,
+                            std::string_view scheduler_name) {
+    (void)graph;
+    (void)platform;
+    (void)scheduler_name;
+  }
+
+  /// Fired once per GPU, between on_run_begin and the first event: the
+  /// eviction policy the engine wired to `gpu` for this run.
+  virtual void on_eviction_policy(core::GpuId gpu,
+                                  std::string_view policy_name) {
+    (void)gpu;
+    (void)policy_name;
+  }
+
+  virtual void on_event(const InspectorEvent& event) = 0;
+
+  /// Fired once after the last task completed. `makespan_us` is the
+  /// simulated completion time of the run.
+  virtual void on_run_end(double makespan_us) { (void)makespan_us; }
+};
+
+}  // namespace mg::sim

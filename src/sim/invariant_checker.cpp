@@ -1,0 +1,289 @@
+#include "sim/invariant_checker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mg::sim {
+
+namespace {
+
+std::string describe(const char* what, const InspectorEvent& event) {
+  char buffer[192];
+  std::snprintf(buffer, sizeof buffer, "%s (gpu=%u id=%u t=%.3fus)", what,
+                event.gpu, event.id, event.time_us);
+  return buffer;
+}
+
+}  // namespace
+
+InvariantChecker::InvariantChecker() : InvariantChecker(Options{}) {}
+
+InvariantChecker::InvariantChecker(Options options) : options_(options) {}
+
+void InvariantChecker::on_run_begin(const core::TaskGraph& graph,
+                                    const core::Platform& platform,
+                                    std::string_view scheduler_name) {
+  (void)scheduler_name;
+  graph_ = &graph;
+  platform_ = platform;
+  gpus_.assign(platform.num_gpus, GpuState{});
+  for (GpuState& gpu : gpus_) {
+    gpu.resident.assign(graph.num_data(), 0);
+    gpu.in_flight.assign(graph.num_data(), 0);
+  }
+  started_.assign(graph.num_tasks(), 0);
+  ended_.assign(graph.num_tasks(), 0);
+  complete_notified_.assign(graph.num_tasks(), 0);
+  ran_on_.assign(graph.num_tasks(), core::kInvalidGpu);
+  wire_active_.assign(kChannelNvlinkBase + platform.num_gpus, 0);
+  last_time_us_ = 0.0;
+  events_ = 0;
+  recent_.clear();
+  ok_ = true;
+  report_ = Report{};
+}
+
+void InvariantChecker::remember(const InspectorEvent& event) {
+  recent_.push_back(format_inspector_event(event));
+  if (recent_.size() > options_.log_window) recent_.pop_front();
+}
+
+std::string InvariantChecker::render_excerpt() const {
+  std::string excerpt;
+  for (const std::string& line : recent_) {
+    excerpt += "  ";
+    excerpt += line;
+    excerpt += '\n';
+  }
+  return excerpt;
+}
+
+void InvariantChecker::fail_text(const std::string& message) {
+  if (!ok_) return;  // keep the first violation
+  ok_ = false;
+  report_.ok = false;
+  report_.error = message;
+  report_.excerpt = render_excerpt();
+  if (options_.fail_fast) {
+    std::fprintf(stderr,
+                 "InvariantChecker: %s\nlast %zu events before the "
+                 "violation:\n%s",
+                 message.c_str(), recent_.size(), report_.excerpt.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+void InvariantChecker::fail(const InspectorEvent& event, const char* what) {
+  fail_text(describe(what, event));
+}
+
+void InvariantChecker::on_event(const InspectorEvent& event) {
+  if (!ok_) return;  // a recorded violation poisons the rest of the run
+  if (graph_ == nullptr) {
+    return fail_text("on_event before on_run_begin");
+  }
+  ++events_;
+  remember(event);
+
+  if (event.time_us + 1e-9 < last_time_us_) {
+    return fail(event, "time went backwards");
+  }
+  last_time_us_ = std::max(last_time_us_, event.time_us);
+  if (event.gpu >= gpus_.size()) return fail(event, "unknown gpu");
+  GpuState& gpu = gpus_[event.gpu];
+  const std::uint32_t num_data = graph_->num_data();
+  const std::uint32_t num_tasks = graph_->num_tasks();
+
+  switch (event.kind) {
+    case InspectorEventKind::kFetchStart: {
+      if (event.id >= num_data) return fail(event, "fetch of unknown data");
+      if (gpu.resident[event.id] != 0) {
+        return fail(event, "fetch of already-resident data");
+      }
+      if (gpu.in_flight[event.id] != 0) {
+        return fail(event, "duplicate in-flight fetch");
+      }
+      if (event.bytes != graph_->data_size(event.id)) {
+        return fail(event, "fetch size disagrees with data size");
+      }
+      gpu.in_flight[event.id] = 1;
+      gpu.committed_bytes += event.bytes;
+      if (gpu.committed_bytes > platform_.gpu_memory_bytes) {
+        return fail(event, "memory bound exceeded (committed bytes)");
+      }
+      break;
+    }
+    case InspectorEventKind::kLoadComplete: {
+      if (event.id >= num_data) return fail(event, "load of unknown data");
+      if (gpu.resident[event.id] != 0) {
+        return fail(event, "load of already-resident data");
+      }
+      if (options_.online) {
+        // The fetch committed the bytes; the landing only flips residency.
+        if (gpu.in_flight[event.id] == 0) {
+          return fail(event, "load without a preceding fetch");
+        }
+        gpu.in_flight[event.id] = 0;
+      } else {
+        gpu.committed_bytes += graph_->data_size(event.id);
+      }
+      gpu.resident[event.id] = 1;
+      gpu.resident_bytes += graph_->data_size(event.id);
+      if (gpu.resident_bytes > platform_.gpu_memory_bytes ||
+          gpu.committed_bytes > platform_.gpu_memory_bytes) {
+        return fail(event, "memory bound exceeded");
+      }
+      break;
+    }
+    case InspectorEventKind::kEvict: {
+      if (event.id >= num_data || gpu.resident[event.id] == 0) {
+        return fail(event, "evict of non-resident data");
+      }
+      if (event.aux != 0) return fail(event, "evict of pinned data");
+      if (gpu.running >= 0) {
+        const auto inputs = graph_->inputs(static_cast<core::TaskId>(gpu.running));
+        if (std::find(inputs.begin(), inputs.end(), event.id) != inputs.end()) {
+          return fail(event, "evict of data in use by the running task");
+        }
+      }
+      gpu.resident[event.id] = 0;
+      gpu.resident_bytes -= graph_->data_size(event.id);
+      gpu.committed_bytes -= graph_->data_size(event.id);
+      break;
+    }
+    case InspectorEventKind::kScratchReserve: {
+      gpu.scratch_bytes += event.bytes;
+      gpu.committed_bytes += event.bytes;
+      if (gpu.committed_bytes > platform_.gpu_memory_bytes) {
+        return fail(event, "memory bound exceeded (scratch)");
+      }
+      break;
+    }
+    case InspectorEventKind::kScratchRelease: {
+      if (event.bytes > gpu.scratch_bytes) {
+        return fail(event, "scratch release exceeds outstanding scratch");
+      }
+      gpu.scratch_bytes -= event.bytes;
+      gpu.committed_bytes -= event.bytes;
+      break;
+    }
+    case InspectorEventKind::kTransferStart: {
+      if (event.channel >= wire_active_.size()) {
+        return fail(event, "transfer on unknown channel");
+      }
+      if (++wire_active_[event.channel] > 1) {
+        return fail(event, "overlapping transfers on one channel");
+      }
+      break;
+    }
+    case InspectorEventKind::kTransferEnd: {
+      if (event.channel >= wire_active_.size() ||
+          wire_active_[event.channel] == 0) {
+        return fail(event, "transfer end without a start");
+      }
+      --wire_active_[event.channel];
+      break;
+    }
+    case InspectorEventKind::kWriteBackStart:
+    case InspectorEventKind::kWriteBackEnd: {
+      if (event.id >= num_tasks || ended_[event.id] == 0) {
+        return fail(event, "write-back of a task that has not finished");
+      }
+      break;
+    }
+    case InspectorEventKind::kTaskStart: {
+      if (event.id >= num_tasks) return fail(event, "start of unknown task");
+      if (started_[event.id] != 0) {
+        return fail(event, "task started twice (expected once)");
+      }
+      if (gpu.running != -1) {
+        return fail(event, "two tasks running on one gpu");
+      }
+      for (core::DataId data : graph_->inputs(event.id)) {
+        if (gpu.resident[data] == 0) {
+          return fail(event, "task started with missing input");
+        }
+      }
+      started_[event.id] = 1;
+      gpu.running = static_cast<std::int64_t>(event.id);
+      break;
+    }
+    case InspectorEventKind::kTaskEnd: {
+      if (event.id >= num_tasks ||
+          gpu.running != static_cast<std::int64_t>(event.id)) {
+        return fail(event, "end of task that was not running");
+      }
+      gpu.running = -1;
+      ended_[event.id] = 1;
+      ran_on_[event.id] = event.gpu;
+      break;
+    }
+    case InspectorEventKind::kNotifyTaskComplete: {
+      if (event.id >= num_tasks || ended_[event.id] == 0) {
+        return fail(event, "completion notified before the task ended");
+      }
+      if (complete_notified_[event.id] != 0) {
+        return fail(event, "task completion notified twice");
+      }
+      if (ran_on_[event.id] != event.gpu) {
+        return fail(event, "completion notified on the wrong gpu");
+      }
+      complete_notified_[event.id] = 1;
+      break;
+    }
+    case InspectorEventKind::kNotifyDataLoaded: {
+      if (event.id >= num_data || gpu.resident[event.id] == 0) {
+        return fail(event, "load notified for non-resident data");
+      }
+      break;
+    }
+    case InspectorEventKind::kNotifyDataEvicted: {
+      if (event.id >= num_data || gpu.resident[event.id] != 0 ||
+          gpu.in_flight[event.id] != 0) {
+        return fail(event, "eviction notified for data still on the gpu");
+      }
+      break;
+    }
+  }
+}
+
+void InvariantChecker::finish() {
+  if (!ok_) return;
+  for (std::uint32_t task = 0; task < started_.size(); ++task) {
+    const std::uint32_t runs =
+        static_cast<std::uint32_t>(started_[task] != 0 && ended_[task] != 0);
+    if (runs != 1) {
+      char buffer[96];
+      std::snprintf(buffer, sizeof buffer,
+                    "task %u executed %u times (expected once)", task, runs);
+      return fail_text(buffer);
+    }
+    if (options_.online && complete_notified_[task] == 0) {
+      char buffer[96];
+      std::snprintf(buffer, sizeof buffer,
+                    "task %u completed but never notified", task);
+      return fail_text(buffer);
+    }
+  }
+  for (const GpuState& gpu : gpus_) {
+    if (gpu.running != -1) {
+      char buffer[96];
+      std::snprintf(buffer, sizeof buffer,
+                    "task %lld still running at run end",
+                    static_cast<long long>(gpu.running));
+      return fail_text(buffer);
+    }
+  }
+  // Prefetch hints and output write-backs may legitimately still be on a
+  // wire when the last task completes, so no emptiness check on channels,
+  // in-flight fetches or scratch here.
+}
+
+void InvariantChecker::on_run_end(double makespan_us) {
+  (void)makespan_us;
+  finish();
+}
+
+}  // namespace mg::sim

@@ -1,0 +1,118 @@
+// Online invariant checker — validates the Section-III execution model as
+// the simulation runs instead of post-hoc.
+//
+// One instance holds the single authoritative definition of the model's
+// invariants; analysis::validate_trace replays a recorded sim::Trace
+// through the same instance, so the online and post-hoc paths can never
+// disagree on what "valid" means. Checked continuously:
+//
+//   * committed GPU memory (resident + in-flight + scratch) never exceeds M,
+//     and resident bytes alone never exceed M (the only form a bare trace
+//     can express);
+//   * every task starts exactly once, on an idle GPU, with every input
+//     resident; every started task ends;
+//   * evictions only remove resident, unpinned data that no running task is
+//     reading;
+//   * each wire channel (host bus, write-back channel, NVLink egress ports)
+//     carries at most one transfer at a time — the serial-link capacity the
+//     bus model promises;
+//   * scheduler notifications mirror engine state: notify_data_loaded only
+//     for resident data, notify_data_evicted only for absent data,
+//     notify_task_complete exactly once per task, after its end, on the GPU
+//     that ran it;
+//   * time is monotone and every id is in range.
+//
+// On violation the checker either aborts immediately with the offending
+// event plus a log excerpt of the events leading up to it (fail_fast, the
+// default — a plausible-but-wrong trace never survives to a figure), or
+// records the first violation for inspection via report() (tests).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/inspector.hpp"
+
+namespace mg::sim {
+
+class InvariantChecker final : public Inspector {
+ public:
+  struct Options {
+    /// Abort with the diagnostic on the first violation. When false, the
+    /// first violation is recorded and later events are ignored.
+    bool fail_fast = true;
+
+    /// The event stream carries fetch/scratch/transfer/notify events
+    /// (online engine feed). Replayed bare traces (analysis::validate_trace)
+    /// set false: commitment accounting then tracks resident bytes only and
+    /// the notify/transfer completeness checks are skipped.
+    bool online = true;
+
+    /// Number of recent events kept for the diagnostic excerpt.
+    std::size_t log_window = 24;
+  };
+
+  struct Report {
+    bool ok = true;
+    std::string error;    ///< first violation, empty when ok
+    std::string excerpt;  ///< formatted recent-event log at the violation
+  };
+
+  InvariantChecker();
+  explicit InvariantChecker(Options options);
+
+  // Inspector
+  void on_run_begin(const core::TaskGraph& graph,
+                    const core::Platform& platform,
+                    std::string_view scheduler_name) override;
+  void on_event(const InspectorEvent& event) override;
+  void on_run_end(double makespan_us) override;
+
+  /// End-of-run completeness checks (exactly-once execution, no task left
+  /// running, no transfer left on a wire, every completion notified).
+  /// Called by on_run_end; call directly when replaying a bare trace.
+  void finish();
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const Report& report() const { return report_; }
+
+  /// Number of events checked so far (diagnostic).
+  [[nodiscard]] std::uint64_t events_checked() const { return events_; }
+
+ private:
+  struct GpuState {
+    std::vector<std::uint8_t> resident;
+    std::vector<std::uint8_t> in_flight;
+    std::uint64_t resident_bytes = 0;
+    std::uint64_t committed_bytes = 0;  ///< resident + in-flight + scratch
+    std::uint64_t scratch_bytes = 0;
+    std::int64_t running = -1;
+  };
+
+  void fail(const InspectorEvent& event, const char* what);
+  void fail_text(const std::string& message);
+  void remember(const InspectorEvent& event);
+  [[nodiscard]] std::string render_excerpt() const;
+
+  Options options_;
+  const core::TaskGraph* graph_ = nullptr;
+  core::Platform platform_;
+
+  std::vector<GpuState> gpus_;
+  std::vector<std::uint8_t> started_;
+  std::vector<std::uint8_t> ended_;
+  std::vector<std::uint8_t> complete_notified_;
+  std::vector<core::GpuId> ran_on_;
+  /// Active transfers per wire channel (index = channel id).
+  std::vector<std::uint32_t> wire_active_;
+  double last_time_us_ = 0.0;
+  std::uint64_t events_ = 0;
+
+  std::deque<std::string> recent_;
+  bool ok_ = true;
+  Report report_;
+};
+
+}  // namespace mg::sim

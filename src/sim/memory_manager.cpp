@@ -47,7 +47,7 @@ void MemoryManager::fetch(DataId data, bool demand) {
              stalled_.size());
     return;
   }
-  start_transfer(data);
+  start_transfer(data, demand);
 }
 
 bool MemoryManager::fetch_hint(DataId data, bool may_evict) {
@@ -58,14 +58,16 @@ bool MemoryManager::fetch_hint(DataId data, bool may_evict) {
     if (!may_evict) return false;
     if (!make_room(size)) return false;
   }
-  start_transfer(data, TransferPriority::kLow);
+  start_transfer(data, /*demand=*/false, TransferPriority::kLow);
   return true;
 }
 
-void MemoryManager::start_transfer(DataId data, TransferPriority priority) {
+void MemoryManager::start_transfer(DataId data, bool demand,
+                                   TransferPriority priority) {
   committed_ += graph_.data_size(data);
   MG_DCHECK(committed_ <= capacity_);
   residency_[data] = Residency::kFetching;
+  observer_->on_fetch_started(gpu_, data, demand);
   router_.request_transfer(gpu_, data, graph_.data_size(data),
                            [this, data] { on_transfer_complete(data); },
                            priority);
@@ -172,7 +174,7 @@ void MemoryManager::retry_stalled() {
       if (stalled.demand != (demand_pass == 1)) continue;
       if (residency_[stalled.data] != Residency::kAbsent) continue;  // stale
       if (make_room(graph_.data_size(stalled.data))) {
-        start_transfer(stalled.data);
+        start_transfer(stalled.data, stalled.demand);
       } else {
         remaining.push_back(stalled);
       }

@@ -33,6 +33,14 @@ class MemoryManager final : public core::MemoryView {
     virtual ~Observer() = default;
     virtual void on_data_loaded(core::GpuId gpu, core::DataId data) = 0;
     virtual void on_data_evicted(core::GpuId gpu, core::DataId data) = 0;
+    /// Fired when a transfer is committed (bytes reserved, request issued).
+    /// `demand` distinguishes head-of-pipeline fetches from prefetches.
+    virtual void on_fetch_started(core::GpuId gpu, core::DataId data,
+                                  bool demand) {
+      (void)gpu;
+      (void)data;
+      (void)demand;
+    }
   };
 
   enum class Residency : std::uint8_t { kAbsent, kFetching, kPresent };
@@ -115,7 +123,7 @@ class MemoryManager final : public core::MemoryView {
   /// Evicts until `bytes` fit; false if no victim can be found now.
   bool make_room(std::uint64_t bytes);
   void evict(core::DataId victim);
-  void start_transfer(core::DataId data,
+  void start_transfer(core::DataId data, bool demand,
                       TransferPriority priority = TransferPriority::kHigh);
   void on_transfer_complete(core::DataId data);
   void retry_stalled();

@@ -1,0 +1,357 @@
+#include "sim/run_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mg::sim {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%.10g", value);
+  out += buffer;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+std::string run_report_to_json(const RunReport& report) {
+  std::string json = "{";
+  json += "\"schema_version\":" + std::to_string(RunReport::kSchemaVersion);
+  json += ",\"scheduler\":";
+  append_json_string(json, report.scheduler);
+  json += ",\"context\":";
+  append_json_string(json, report.context);
+
+  json += ",\"platform\":{\"num_gpus\":" + std::to_string(report.num_gpus);
+  json += ",\"gpu_memory_bytes\":";
+  append_u64(json, report.gpu_memory_bytes);
+  json += ",\"bus_bandwidth_bytes_per_s\":";
+  append_double(json, report.bus_bandwidth_bytes_per_s);
+  json += ",\"nvlink\":";
+  json += report.nvlink ? "true" : "false";
+  json += "}";
+
+  json += ",\"makespan_us\":";
+  append_double(json, report.makespan_us);
+  json += ",\"total_flops\":";
+  append_double(json, report.total_flops);
+  json += ",\"achieved_gflops\":";
+  append_double(json, report.achieved_gflops);
+
+  json += ",\"per_gpu\":[";
+  for (std::size_t gpu = 0; gpu < report.per_gpu.size(); ++gpu) {
+    const RunReport::Gpu& g = report.per_gpu[gpu];
+    if (gpu > 0) json += ',';
+    json += "{\"gpu\":" + std::to_string(gpu);
+    json += ",\"tasks_executed\":";
+    append_u64(json, g.tasks_executed);
+    json += ",\"busy_us\":";
+    append_double(json, g.busy_us);
+    json += ",\"loads\":";
+    append_u64(json, g.loads);
+    json += ",\"peer_loads\":";
+    append_u64(json, g.peer_loads);
+    json += ",\"bytes_loaded\":";
+    append_u64(json, g.bytes_loaded);
+    json += ",\"evictions\":";
+    append_u64(json, g.evictions);
+    json += ",\"peak_committed_bytes\":";
+    append_u64(json, g.peak_committed_bytes);
+    json += ",\"eviction_policy\":";
+    append_json_string(json, g.eviction_policy);
+    json += "}";
+  }
+  json += "]";
+
+  json += ",\"load_balance\":{\"max_tasks\":";
+  append_u64(json, report.load_balance.max_tasks);
+  json += ",\"min_tasks\":";
+  append_u64(json, report.load_balance.min_tasks);
+  json += ",\"mean_tasks\":";
+  append_double(json, report.load_balance.mean_tasks);
+  json += ",\"busy_imbalance\":";
+  append_double(json, report.load_balance.busy_imbalance);
+  json += "}";
+
+  json += ",\"channels\":[";
+  for (std::size_t i = 0; i < report.channels.size(); ++i) {
+    const RunReport::Channel& channel = report.channels[i];
+    if (i > 0) json += ',';
+    json += "{\"name\":";
+    append_json_string(json, channel.name);
+    json += ",\"transfers\":";
+    append_u64(json, channel.transfers);
+    json += ",\"bytes\":";
+    append_u64(json, channel.bytes);
+    json += ",\"busy_us\":";
+    append_double(json, channel.busy_us);
+    json += ",\"occupancy\":";
+    append_double(json, channel.occupancy);
+    json += ",\"occupancy_buckets\":[";
+    for (std::size_t b = 0; b < channel.occupancy_buckets.size(); ++b) {
+      if (b > 0) json += ',';
+      append_double(json, channel.occupancy_buckets[b]);
+    }
+    json += "]}";
+  }
+  json += "]";
+
+  json += ",\"prefetch\":{\"demand_fetches\":";
+  append_u64(json, report.prefetch.demand_fetches);
+  json += ",\"prefetch_fetches\":";
+  append_u64(json, report.prefetch.prefetch_fetches);
+  json += ",\"hit_rate\":";
+  append_double(json, report.prefetch.hit_rate);
+  json += "}";
+
+  json += ",\"evictions_by_policy\":{";
+  bool first = true;
+  for (const auto& [policy, count] : report.evictions_by_policy) {
+    if (!first) json += ',';
+    first = false;
+    append_json_string(json, policy);
+    json += ':';
+    append_u64(json, count);
+  }
+  json += "}}";
+  return json;
+}
+
+bool write_run_reports(const std::vector<RunReport>& reports,
+                       const std::string& context, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::string json = "{\"schema_version\":";
+  json += std::to_string(RunReport::kSchemaVersion);
+  json += ",\"context\":";
+  append_json_string(json, context);
+  json += ",\"runs\":[\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) json += ",\n";
+    json += run_report_to_json(reports[i]);
+  }
+  json += "\n]}\n";
+  const bool ok = std::fputs(json.c_str(), file) >= 0 && std::fflush(file) == 0;
+  std::fclose(file);
+  return ok;
+}
+
+RunReportCollector::RunReportCollector() : RunReportCollector(Options{}) {}
+
+RunReportCollector::RunReportCollector(Options options)
+    : options_(std::move(options)) {}
+
+void RunReportCollector::on_run_begin(const core::TaskGraph& graph,
+                                      const core::Platform& platform,
+                                      std::string_view scheduler_name) {
+  graph_ = &graph;
+  platform_ = platform;
+  report_ = RunReport{};
+  report_.scheduler = std::string(scheduler_name);
+  report_.context = options_.context;
+  report_.num_gpus = platform.num_gpus;
+  report_.gpu_memory_bytes = platform.gpu_memory_bytes;
+  report_.bus_bandwidth_bytes_per_s = platform.bus_bandwidth_bytes_per_s;
+  report_.nvlink = platform.nvlink_enabled;
+  report_.total_flops = graph.total_flops();
+  report_.per_gpu.assign(platform.num_gpus, RunReport::Gpu{});
+  channels_.assign(kChannelNvlinkBase + platform.num_gpus, ChannelState{});
+  gpu_scratch_.assign(platform.num_gpus, GpuScratch{});
+  trace_.events.clear();
+}
+
+void RunReportCollector::on_eviction_policy(core::GpuId gpu,
+                                            std::string_view policy_name) {
+  if (gpu < report_.per_gpu.size()) {
+    report_.per_gpu[gpu].eviction_policy = std::string(policy_name);
+  }
+}
+
+void RunReportCollector::on_event(const InspectorEvent& event) {
+  RunReport::Gpu& gpu = report_.per_gpu[event.gpu];
+  GpuScratch& scratch = gpu_scratch_[event.gpu];
+  switch (event.kind) {
+    case InspectorEventKind::kFetchStart:
+      if (event.aux != 0) {
+        ++report_.prefetch.demand_fetches;
+      } else {
+        ++report_.prefetch.prefetch_fetches;
+      }
+      scratch.committed += event.bytes;
+      scratch.peak_committed =
+          std::max(scratch.peak_committed, scratch.committed);
+      break;
+    case InspectorEventKind::kLoadComplete:
+      if (event.aux != 0) {
+        ++gpu.peer_loads;
+      } else {
+        ++gpu.loads;
+      }
+      gpu.bytes_loaded += graph_->data_size(event.id);
+      if (options_.collect_trace) {
+        trace_.events.push_back({event.time_us,
+                                 event.aux != 0 ? TraceKind::kPeerLoad
+                                                : TraceKind::kLoad,
+                                 event.gpu, event.id});
+      }
+      break;
+    case InspectorEventKind::kEvict:
+      ++gpu.evictions;
+      scratch.committed -= graph_->data_size(event.id);
+      if (options_.collect_trace) {
+        trace_.events.push_back(
+            {event.time_us, TraceKind::kEvict, event.gpu, event.id});
+      }
+      break;
+    case InspectorEventKind::kScratchReserve:
+      scratch.committed += event.bytes;
+      scratch.peak_committed =
+          std::max(scratch.peak_committed, scratch.committed);
+      break;
+    case InspectorEventKind::kScratchRelease:
+      scratch.committed -= std::min(scratch.committed, event.bytes);
+      break;
+    case InspectorEventKind::kTransferStart: {
+      ChannelState& channel = channels_[event.channel];
+      ++channel.transfers;
+      channel.bytes += event.bytes;
+      channel.open_since_us = event.time_us;
+      break;
+    }
+    case InspectorEventKind::kTransferEnd: {
+      ChannelState& channel = channels_[event.channel];
+      if (channel.open_since_us >= 0.0) {
+        channel.busy_us += event.time_us - channel.open_since_us;
+        channel.intervals.emplace_back(channel.open_since_us, event.time_us);
+        channel.open_since_us = -1.0;
+      }
+      break;
+    }
+    case InspectorEventKind::kWriteBackStart:
+      break;
+    case InspectorEventKind::kWriteBackEnd:
+      if (options_.collect_trace) {
+        trace_.events.push_back(
+            {event.time_us, TraceKind::kWriteBack, event.gpu, event.id});
+      }
+      break;
+    case InspectorEventKind::kTaskStart:
+      scratch.task_open_us = event.time_us;
+      if (options_.collect_trace) {
+        trace_.events.push_back(
+            {event.time_us, TraceKind::kTaskStart, event.gpu, event.id});
+      }
+      break;
+    case InspectorEventKind::kTaskEnd:
+      ++gpu.tasks_executed;
+      gpu.busy_us += event.time_us - scratch.task_open_us;
+      if (options_.collect_trace) {
+        trace_.events.push_back(
+            {event.time_us, TraceKind::kTaskEnd, event.gpu, event.id});
+      }
+      break;
+    case InspectorEventKind::kNotifyTaskComplete:
+    case InspectorEventKind::kNotifyDataLoaded:
+    case InspectorEventKind::kNotifyDataEvicted:
+      break;
+  }
+}
+
+void RunReportCollector::on_run_end(double makespan_us) {
+  report_.makespan_us = makespan_us;
+  report_.achieved_gflops =
+      makespan_us > 0.0 ? report_.total_flops / (makespan_us * 1e3) : 0.0;
+
+  // Load balance.
+  std::uint64_t max_tasks = 0;
+  std::uint64_t min_tasks = ~std::uint64_t{0};
+  std::uint64_t total_tasks = 0;
+  double max_busy = 0.0;
+  double total_busy = 0.0;
+  for (std::size_t gpu = 0; gpu < report_.per_gpu.size(); ++gpu) {
+    RunReport::Gpu& g = report_.per_gpu[gpu];
+    g.peak_committed_bytes = gpu_scratch_[gpu].peak_committed;
+    max_tasks = std::max(max_tasks, g.tasks_executed);
+    min_tasks = std::min(min_tasks, g.tasks_executed);
+    total_tasks += g.tasks_executed;
+    max_busy = std::max(max_busy, g.busy_us);
+    total_busy += g.busy_us;
+    if (!g.eviction_policy.empty() || g.evictions > 0) {
+      report_.evictions_by_policy[g.eviction_policy.empty()
+                                      ? "unknown"
+                                      : g.eviction_policy] += g.evictions;
+    }
+  }
+  const double num_gpus = static_cast<double>(report_.per_gpu.size());
+  report_.load_balance.max_tasks = max_tasks;
+  report_.load_balance.min_tasks =
+      report_.per_gpu.empty() ? 0 : min_tasks;
+  report_.load_balance.mean_tasks =
+      num_gpus > 0.0 ? static_cast<double>(total_tasks) / num_gpus : 0.0;
+  const double mean_busy = num_gpus > 0.0 ? total_busy / num_gpus : 0.0;
+  report_.load_balance.busy_imbalance =
+      mean_busy > 0.0 ? max_busy / mean_busy : 0.0;
+
+  // Prefetch hit rate.
+  const std::uint64_t fetches =
+      report_.prefetch.demand_fetches + report_.prefetch.prefetch_fetches;
+  report_.prefetch.hit_rate =
+      fetches > 0 ? static_cast<double>(report_.prefetch.prefetch_fetches) /
+                        static_cast<double>(fetches)
+                  : 0.0;
+
+  // Channels: close any transfer still on a wire at run end, then bucket.
+  report_.channels.clear();
+  for (std::size_t index = 0; index < channels_.size(); ++index) {
+    ChannelState& state = channels_[index];
+    if (state.open_since_us >= 0.0) {
+      state.busy_us += makespan_us - state.open_since_us;
+      state.intervals.emplace_back(state.open_since_us, makespan_us);
+      state.open_since_us = -1.0;
+    }
+    if (state.transfers == 0 && index != kChannelHostBus) continue;
+    RunReport::Channel channel;
+    channel.name = inspector_channel_name(static_cast<std::uint32_t>(index));
+    channel.transfers = state.transfers;
+    channel.bytes = state.bytes;
+    channel.busy_us = state.busy_us;
+    channel.occupancy = makespan_us > 0.0 ? state.busy_us / makespan_us : 0.0;
+    const std::uint32_t buckets = std::max(1u, options_.occupancy_buckets);
+    channel.occupancy_buckets.assign(buckets, 0.0);
+    if (makespan_us > 0.0) {
+      const double width = makespan_us / buckets;
+      for (const auto& [begin, end] : state.intervals) {
+        const double clipped_end = std::min(end, makespan_us);
+        std::size_t bucket = static_cast<std::size_t>(begin / width);
+        for (; bucket < buckets; ++bucket) {
+          const double bucket_begin = static_cast<double>(bucket) * width;
+          const double bucket_end = bucket_begin + width;
+          const double overlap =
+              std::min(clipped_end, bucket_end) - std::max(begin, bucket_begin);
+          if (overlap <= 0.0) break;
+          channel.occupancy_buckets[bucket] += overlap / width;
+        }
+      }
+      for (double& fraction : channel.occupancy_buckets) {
+        fraction = std::min(fraction, 1.0);
+      }
+    }
+    report_.channels.push_back(std::move(channel));
+  }
+}
+
+}  // namespace mg::sim

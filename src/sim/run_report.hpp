@@ -1,0 +1,151 @@
+// Metrics / trace collector — the observability half of the inspector
+// subsystem.
+//
+// A RunReportCollector attached to a RuntimeEngine aggregates, as the run
+// progresses: per-GPU work and load-balance, wire occupancy per channel
+// (host bus, write-back channel, NVLink egress ports) including a bucketed
+// occupancy-over-time series, eviction counts grouped by the eviction
+// policy driving each GPU, and demand-vs-prefetch load counts. It also
+// mirrors the engine's execution Trace so a Chrome-tracing timeline can be
+// exported without separately enabling EngineConfig::record_trace.
+//
+// The report serializes to JSON (schema documented in
+// docs/OBSERVABILITY.md, schema_version 1); bench/figure_harness exposes it
+// behind --run-report / --chrome-trace on every figure and ablation binary.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/inspector.hpp"
+#include "sim/trace.hpp"
+
+namespace mg::sim {
+
+struct RunReport {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string scheduler;
+  std::string context;  ///< free-form label (figure id, workload, ...)
+
+  // Platform echo.
+  std::uint32_t num_gpus = 0;
+  std::uint64_t gpu_memory_bytes = 0;
+  double bus_bandwidth_bytes_per_s = 0.0;
+  bool nvlink = false;
+
+  // Whole-run aggregates.
+  double makespan_us = 0.0;
+  double total_flops = 0.0;
+  double achieved_gflops = 0.0;
+
+  struct Gpu {
+    std::uint64_t tasks_executed = 0;
+    double busy_us = 0.0;
+    std::uint64_t loads = 0;            ///< host-bus loads landed
+    std::uint64_t peer_loads = 0;       ///< NVLink loads landed
+    std::uint64_t bytes_loaded = 0;     ///< host + peer bytes landed
+    std::uint64_t evictions = 0;
+    std::uint64_t peak_committed_bytes = 0;  ///< resident + in-flight + scratch
+    std::string eviction_policy;        ///< policy driving this GPU
+  };
+  std::vector<Gpu> per_gpu;
+
+  struct LoadBalance {
+    std::uint64_t max_tasks = 0;
+    std::uint64_t min_tasks = 0;
+    double mean_tasks = 0.0;
+    /// max busy time / mean busy time; 1.0 = perfectly balanced.
+    double busy_imbalance = 0.0;
+  };
+  LoadBalance load_balance;
+
+  struct Channel {
+    std::string name;
+    std::uint64_t transfers = 0;
+    std::uint64_t bytes = 0;
+    double busy_us = 0.0;
+    double occupancy = 0.0;  ///< busy_us / makespan_us
+    /// Fraction of each of the evenly-sized time buckets the wire was busy.
+    std::vector<double> occupancy_buckets;
+  };
+  std::vector<Channel> channels;
+
+  struct Prefetch {
+    std::uint64_t demand_fetches = 0;
+    std::uint64_t prefetch_fetches = 0;  ///< pipeline prefetches + hints
+    /// prefetch_fetches / (demand + prefetch): the share of loads issued
+    /// ahead of the demand that would otherwise have stalled the GPU.
+    double hit_rate = 0.0;
+  };
+  Prefetch prefetch;
+
+  /// Evictions grouped by the policy that chose them (e.g. "LRU",
+  /// "DARTS+LUF").
+  std::map<std::string, std::uint64_t> evictions_by_policy;
+};
+
+/// Serializes one report as a JSON object.
+[[nodiscard]] std::string run_report_to_json(const RunReport& report);
+
+/// Writes `{"schema_version":1,"context":...,"runs":[...]}` to `path`.
+/// Returns false on I/O error.
+bool write_run_reports(const std::vector<RunReport>& reports,
+                       const std::string& context, const std::string& path);
+
+class RunReportCollector final : public Inspector {
+ public:
+  struct Options {
+    std::string context;          ///< copied into RunReport::context
+    std::uint32_t occupancy_buckets = 32;
+    bool collect_trace = true;    ///< mirror a sim::Trace for Chrome export
+  };
+
+  RunReportCollector();
+  explicit RunReportCollector(Options options);
+
+  // Inspector
+  void on_run_begin(const core::TaskGraph& graph,
+                    const core::Platform& platform,
+                    std::string_view scheduler_name) override;
+  void on_event(const InspectorEvent& event) override;
+  void on_run_end(double makespan_us) override;
+
+  /// The eviction policy wired to `gpu` for this run.
+  void on_eviction_policy(core::GpuId gpu,
+                          std::string_view policy_name) override;
+
+  /// Valid after on_run_end.
+  [[nodiscard]] const RunReport& report() const { return report_; }
+
+  /// Mirrored execution trace (empty when collect_trace is off); feed to
+  /// analysis::export_chrome_trace for the chrome://tracing timeline.
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+
+ private:
+  struct ChannelState {
+    std::uint64_t transfers = 0;
+    std::uint64_t bytes = 0;
+    double busy_us = 0.0;
+    double open_since_us = -1.0;
+    std::vector<std::pair<double, double>> intervals;
+  };
+
+  struct GpuScratch {
+    std::uint64_t committed = 0;
+    std::uint64_t peak_committed = 0;
+    double task_open_us = 0.0;
+  };
+
+  Options options_;
+  const core::TaskGraph* graph_ = nullptr;
+  core::Platform platform_;
+  RunReport report_;
+  Trace trace_;
+  std::vector<ChannelState> channels_;
+  std::vector<GpuScratch> gpu_scratch_;
+};
+
+}  // namespace mg::sim

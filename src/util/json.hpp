@@ -1,0 +1,227 @@
+// Minimal recursive-descent JSON parser, used by tests to schema-check the
+// structured run reports (sim/run_report.hpp) and by nothing on the hot
+// path. Parses the full JSON grammar into a tree of json::Value; numbers
+// are held as double (adequate for schema checks; exact 64-bit integers are
+// not needed there). Not a general-purpose library: errors simply yield
+// std::nullopt with no position diagnostics.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mg::util::json {
+
+class Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  explicit Value(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Value(double n) : type_(Type::kNumber), number_(n) {}
+  explicit Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  explicit Value(Array a)
+      : type_(Type::kArray), array_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : type_(Type::kObject), object_(std::make_shared<Object>(std::move(o))) {}
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const Array& as_array() const { return *array_; }
+  [[nodiscard]] const Object& as_object() const { return *object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    if (type_ != Type::kObject) return nullptr;
+    const auto it = object_->find(key);
+    return it == object_->end() ? nullptr : &it->second;
+  }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> parse() {
+    std::optional<Value> value = parse_value();
+    skip_ws();
+    if (!value.has_value() || pos_ != text_.size()) return std::nullopt;
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  std::optional<Value> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        std::optional<std::string> s = parse_string();
+        if (!s.has_value()) return std::nullopt;
+        return Value(std::move(*s));
+      }
+      case 't':
+        return consume_literal("true") ? std::optional<Value>(Value(true))
+                                       : std::nullopt;
+      case 'f':
+        return consume_literal("false") ? std::optional<Value>(Value(false))
+                                        : std::nullopt;
+      case 'n':
+        return consume_literal("null") ? std::optional<Value>(Value())
+                                       : std::nullopt;
+      default: return parse_number();
+    }
+  }
+
+  std::optional<Value> parse_object() {
+    if (!consume('{')) return std::nullopt;
+    Object object;
+    skip_ws();
+    if (consume('}')) return Value(std::move(object));
+    for (;;) {
+      skip_ws();
+      std::optional<std::string> key = parse_string();
+      if (!key.has_value()) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      std::optional<Value> value = parse_value();
+      if (!value.has_value()) return std::nullopt;
+      object.emplace(std::move(*key), std::move(*value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return Value(std::move(object));
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> parse_array() {
+    if (!consume('[')) return std::nullopt;
+    Array array;
+    skip_ws();
+    if (consume(']')) return Value(std::move(array));
+    for (;;) {
+      std::optional<Value> value = parse_value();
+      if (!value.has_value()) return std::nullopt;
+      array.push_back(std::move(*value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return Value(std::move(array));
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            // Keep the escape verbatim: schema checks never need decoding.
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            out += "\\u";
+            out.append(text_.substr(pos_, 4));
+            pos_ += 4;
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return std::nullopt;
+    return Value(number);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parses `text` as one JSON document; std::nullopt on any syntax error or
+/// trailing garbage.
+[[nodiscard]] inline std::optional<Value> parse(std::string_view text) {
+  return detail::Parser(text).parse();
+}
+
+}  // namespace mg::util::json

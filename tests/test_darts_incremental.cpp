@@ -4,6 +4,7 @@
 // recomputation and end-to-end behaviour against the scan variant.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <set>
 #include <vector>
@@ -129,6 +130,138 @@ TEST(DartsIncremental, CountersSurviveEvictionChurn) {
   }
   for (TaskId task = 0; task < graph.num_tasks(); ++task) {
     EXPECT_EQ(executed[task], 1);
+  }
+}
+
+TEST(DartsIncremental, FreeCountMatchesFromScratchRecount) {
+  // Audit of incremental_availability_change: after every pop / load /
+  // evict / complete event, n(D) on every GPU must equal a from-scratch
+  // recount over the available pool (available = neither popped nor
+  // reserved in any plannedTasks; D counts for task t when D is t's sole
+  // absent input on that GPU).
+  const TaskGraph graph = work::make_random_bipartite(
+      {.num_tasks = 60, .num_data = 14, .min_inputs = 1, .max_inputs = 3,
+       .data_bytes = 10, .seed = 33});
+  DartsScheduler darts{DartsOptions{.use_luf = true, .incremental = true}};
+  core::Platform platform;
+  platform.num_gpus = 2;
+  platform.gpu_memory_bytes = 1000;
+  darts.prepare(graph, platform, 5);
+
+  std::vector<MirrorMemory> memory(2, MirrorMemory(graph.num_data()));
+  std::vector<std::vector<TaskId>> uncompleted(2);
+  std::vector<std::uint8_t> popped(graph.num_tasks(), 0);
+  util::Rng rng(17);
+
+  auto is_available = [&](TaskId task) {
+    if (popped[task] != 0) return false;
+    for (GpuId gpu = 0; gpu < 2; ++gpu) {
+      const auto& planned = darts.planned_tasks(gpu);
+      if (std::find(planned.begin(), planned.end(), task) != planned.end()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  auto audit = [&](const char* when, int step) {
+    for (GpuId gpu = 0; gpu < 2; ++gpu) {
+      std::vector<std::uint32_t> expected(graph.num_data(), 0);
+      for (TaskId task = 0; task < graph.num_tasks(); ++task) {
+        if (!is_available(task)) continue;
+        DataId sole = kInvalidData;
+        std::uint32_t absent = 0;
+        for (DataId data : graph.inputs(task)) {
+          if (!memory[gpu].present_[data]) {
+            ++absent;
+            sole = data;
+          }
+        }
+        if (absent == 1) ++expected[sole];
+      }
+      for (DataId data = 0; data < graph.num_data(); ++data) {
+        EXPECT_EQ(darts.incremental_in_mem(gpu, data),
+                  static_cast<bool>(memory[gpu].present_[data]))
+            << "in_mem mirror diverged after " << when << " at step " << step
+            << " (gpu " << gpu << ", d" << data << ")";
+        EXPECT_EQ(darts.incremental_free_count(gpu, data), expected[data])
+            << "n(D) diverged after " << when << " at step " << step
+            << " (gpu " << gpu << ", d" << data << ")";
+      }
+    }
+  };
+
+  audit("prepare", 0);
+  std::uint32_t done = 0;
+  int step = 0;
+  while (done < graph.num_tasks()) {
+    ASSERT_FALSE(testing::Test::HasFailure()) << "stopping at first divergence";
+    ++step;
+    const GpuId gpu = static_cast<GpuId>(rng.below(2));
+    const TaskId task = darts.pop_task(gpu, memory[gpu]);
+    if (task == kInvalidTask) {
+      // Everything left is popped-but-uncompleted: drain one.
+      bool drained = false;
+      for (GpuId g = 0; g < 2 && !drained; ++g) {
+        if (!uncompleted[g].empty()) {
+          const TaskId finished = uncompleted[g].front();
+          uncompleted[g].erase(uncompleted[g].begin());
+          darts.notify_task_complete(g, finished);
+          ++done;
+          drained = true;
+          audit("drain", step);
+        }
+      }
+      ASSERT_TRUE(drained) << "scheduler starved with tasks remaining";
+      continue;
+    }
+    popped[task] = 1;
+    uncompleted[gpu].push_back(task);
+    audit("pop", step);
+
+    for (DataId data : graph.inputs(task)) {
+      if (!memory[gpu].present_[data]) {
+        memory[gpu].present_[data] = true;
+        darts.on_load(gpu, data);
+        darts.notify_data_loaded(gpu, data);
+        audit("load", step);
+      }
+    }
+
+    // Random eviction of resident data no uncompleted task still reads
+    // (mirrors the engine, which cannot evict pinned inputs).
+    if (rng.chance(0.5)) {
+      std::vector<DataId> evictable;
+      for (DataId data = 0; data < graph.num_data(); ++data) {
+        if (!memory[gpu].present_[data]) continue;
+        bool in_use = false;
+        for (TaskId pending : uncompleted[gpu]) {
+          const auto inputs = graph.inputs(pending);
+          if (std::find(inputs.begin(), inputs.end(), data) != inputs.end()) {
+            in_use = true;
+            break;
+          }
+        }
+        if (!in_use) evictable.push_back(data);
+      }
+      if (!evictable.empty()) {
+        const DataId victim = evictable[rng.pick_index(evictable)];
+        darts.on_evict(gpu, victim);
+        memory[gpu].present_[victim] = false;
+        darts.notify_data_evicted(gpu, victim);
+        audit("evict", step);
+      }
+    }
+
+    // Completions lag pops so several tasks sit in the buffer at once.
+    while (uncompleted[gpu].size() > 2 ||
+           (!uncompleted[gpu].empty() && rng.chance(0.4))) {
+      const TaskId finished = uncompleted[gpu].front();
+      uncompleted[gpu].erase(uncompleted[gpu].begin());
+      darts.notify_task_complete(gpu, finished);
+      ++done;
+      audit("complete", step);
+    }
   }
 }
 

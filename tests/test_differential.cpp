@@ -1,0 +1,165 @@
+// Randomized differential test harness: ~200 random (graph, scheduler)
+// combinations run under the online invariant checker. Every scheduler must
+// produce a violation-free run that executes the identical task set, and
+// the realized load counts must respect the eviction-free bounds of
+// analysis/bounds.hpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "core/darts.hpp"
+#include "core/platform.hpp"
+#include "core/task_graph.hpp"
+#include "sched/dmda.hpp"
+#include "sched/eager.hpp"
+#include "sched/hfp.hpp"
+#include "sim/engine.hpp"
+#include "sim/invariant_checker.hpp"
+#include "util/rng.hpp"
+#include "workloads/random_bipartite.hpp"
+
+namespace mg {
+namespace {
+
+using core::TaskId;
+
+struct SchedulerCase {
+  std::string label;
+  std::unique_ptr<core::Scheduler> scheduler;
+};
+
+std::vector<SchedulerCase> make_schedulers() {
+  std::vector<SchedulerCase> cases;
+  cases.push_back({"EAGER", std::make_unique<sched::EagerScheduler>()});
+  cases.push_back({"DMDAR", std::make_unique<sched::DmdaScheduler>()});
+  cases.push_back({"DARTS+LUF", std::make_unique<core::DartsScheduler>(
+                                    core::DartsOptions{.use_luf = true})});
+  cases.push_back({"HFP", std::make_unique<sched::HfpScheduler>()});
+  return cases;
+}
+
+/// Draws a random task/data configuration. Varies the task count, the data
+/// pool (shared-data density follows from tasks-per-data), the input degree
+/// and the GPU count.
+work::RandomBipartiteParams draw_params(util::Rng& rng, std::uint64_t seed) {
+  work::RandomBipartiteParams params;
+  params.num_tasks = 40 + static_cast<std::uint32_t>(rng.below(81));
+  params.num_data = 12 + static_cast<std::uint32_t>(rng.below(21));
+  params.min_inputs = 1;
+  params.max_inputs =
+      2 + static_cast<std::uint32_t>(rng.below(3));  // 2..4: density knob
+  params.data_bytes = 10 + rng.below(91);            // 10..100 bytes
+  params.task_flops = 1e6;
+  params.seed = seed;
+  return params;
+}
+
+/// Memory between "barely fits one task" and "fits about half the data", so
+/// eviction, stalled fetches and prefetch races are all exercised.
+std::uint64_t draw_memory(util::Rng& rng, const core::TaskGraph& graph,
+                          const work::RandomBipartiteParams& params) {
+  const std::uint64_t floor_bytes = graph.max_task_footprint();
+  const std::uint64_t half_all = params.data_bytes * params.num_data / 2;
+  const std::uint64_t ceiling = std::max(floor_bytes + 1, half_all);
+  return floor_bytes + rng.below(ceiling - floor_bytes + 1) + 8;
+}
+
+TEST(Differential, RandomGraphsAcrossSchedulersStayInvariantFree) {
+  constexpr int kGraphs = 50;  // x4 schedulers = 200 checked runs
+  util::Rng rng(0xd1ffe7e57ULL);
+  std::uint64_t runs_checked = 0;
+
+  for (int round = 0; round < kGraphs; ++round) {
+    const work::RandomBipartiteParams params =
+        draw_params(rng, 1000 + static_cast<std::uint64_t>(round));
+    const core::TaskGraph graph = work::make_random_bipartite(params);
+    const std::uint32_t num_gpus = 1 + static_cast<std::uint32_t>(rng.below(4));
+
+    core::Platform platform;
+    platform.num_gpus = num_gpus;
+    platform.gpu_memory_bytes = draw_memory(rng, graph, params);
+    platform.nvlink_enabled = (round % 5 == 0) && num_gpus > 1;
+
+    // Baseline facts every scheduler must agree on.
+    const std::uint64_t loads_floor = analysis::min_loads_lower_bound(graph);
+    const std::uint64_t eviction_free_cap =
+        analysis::eviction_free_loads_upper_bound(graph, num_gpus);
+
+    for (SchedulerCase& entry : make_schedulers()) {
+      SCOPED_TRACE("round " + std::to_string(round) + " scheduler " +
+                   entry.label + " gpus " + std::to_string(num_gpus) +
+                   " mem " + std::to_string(platform.gpu_memory_bytes));
+
+      sim::EngineConfig config;
+      config.seed = 7 + static_cast<std::uint64_t>(round);
+      sim::RuntimeEngine engine(graph, platform, *entry.scheduler, config);
+      sim::InvariantChecker checker({.fail_fast = false});
+      engine.add_inspector(&checker);
+      const core::RunMetrics metrics = engine.run();
+      ++runs_checked;
+
+      ASSERT_TRUE(checker.ok())
+          << checker.report().error << "\nlast events:\n"
+          << checker.report().excerpt;
+      EXPECT_GT(checker.events_checked(), 0u);
+
+      // Identical completion set: every task exactly once (the checker's
+      // finish() proves exactly-once; here we confirm the totals line up
+      // with the metrics the engine reports).
+      std::uint64_t executed = 0;
+      std::uint64_t loads = 0;
+      std::uint64_t evictions = 0;
+      for (const auto& gpu : metrics.per_gpu) {
+        executed += gpu.tasks_executed;
+        loads += gpu.loads + gpu.peer_loads;
+        evictions += gpu.evictions;
+      }
+      EXPECT_EQ(executed, graph.num_tasks());
+
+      // Load-volume sanity against the analytical bounds.
+      EXPECT_GE(loads, loads_floor);
+      if (evictions == 0) {
+        EXPECT_LE(loads, eviction_free_cap)
+            << "an eviction-free run loaded some data twice on one GPU";
+      }
+    }
+  }
+  EXPECT_EQ(runs_checked, static_cast<std::uint64_t>(kGraphs) * 4);
+}
+
+TEST(Differential, DartsLoadsApproachTheEvictionFreeLowerBound) {
+  // With memory ample enough that no eviction is ever needed, DARTS's
+  // data-centric planning should keep total loads within a small factor of
+  // the "every used data lands once" floor.
+  const core::TaskGraph graph = work::make_random_bipartite(
+      {.num_tasks = 120, .num_data = 24, .min_inputs = 2, .max_inputs = 3,
+       .data_bytes = 100, .task_flops = 1e6, .seed = 99});
+  core::Platform platform;
+  platform.num_gpus = 2;
+  platform.gpu_memory_bytes = 24 * 100;  // everything fits
+
+  core::DartsScheduler darts{core::DartsOptions{.use_luf = true}};
+  sim::RuntimeEngine engine(graph, platform, darts);
+  sim::InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  const core::RunMetrics metrics = engine.run();
+  ASSERT_TRUE(checker.ok()) << checker.report().error;
+
+  std::uint64_t loads = 0;
+  std::uint64_t evictions = 0;
+  for (const auto& gpu : metrics.per_gpu) {
+    loads += gpu.loads + gpu.peer_loads;
+    evictions += gpu.evictions;
+  }
+  EXPECT_EQ(evictions, 0u);
+  EXPECT_GE(loads, analysis::min_loads_lower_bound(graph));
+  EXPECT_LE(loads, analysis::eviction_free_loads_upper_bound(
+                       graph, platform.num_gpus));
+}
+
+}  // namespace
+}  // namespace mg
