@@ -1,7 +1,10 @@
 #include "common/figure_harness.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 #include "analysis/bounds.hpp"
 #include "analysis/trace_export.hpp"
@@ -10,6 +13,8 @@
 #include "sched/hfp.hpp"
 #include "sched/hmetis_r.hpp"
 #include "sim/engine.hpp"
+#include "sim/errors.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/run_report.hpp"
 #include "util/csv.hpp"
 #include "util/stopwatch.hpp"
@@ -109,6 +114,12 @@ void run_figure(const FigureConfig& config,
     }
   }
 
+  // Engine failures (deadlock, budget, fault-plan rejection) from possibly
+  // parallel sweep workers: remember the first, report after the join.
+  std::atomic<bool> engine_failed{false};
+  std::mutex failure_mutex;
+  std::string failure_message;
+
   auto run_point = [&](std::size_t index) {
     const WorkloadPoint& point = points[index];
     PointResult& result = results[index];
@@ -146,6 +157,11 @@ void run_figure(const FigureConfig& config,
         engine_config.hints_may_evict = spec.hints_may_evict;
         sim::RuntimeEngine engine(graph, config.platform, *scheduler,
                                   engine_config);
+        std::unique_ptr<sim::FaultInjector> injector;
+        if (!config.fault_plan.empty()) {
+          injector = std::make_unique<sim::FaultInjector>(config.fault_plan);
+          engine.set_fault_injector(injector.get());
+        }
         // Observability rides on the first repetition only: one report per
         // (point, scheduler) row, one Chrome trace per sweep.
         const bool observe =
@@ -162,7 +178,18 @@ void run_figure(const FigureConfig& config,
               std::move(collector_options));
           engine.add_inspector(collector.get());
         }
-        const core::RunMetrics metrics = engine.run();
+        core::RunMetrics metrics;
+        try {
+          metrics = engine.run();
+        } catch (const sim::EngineError& error) {
+          if (!engine_failed.exchange(true)) {
+            const std::lock_guard<std::mutex> lock(failure_mutex);
+            failure_message = std::string(spec.label) + " at ws=" +
+                              std::to_string(point.working_set_mb) + "MB: " +
+                              error.what();
+          }
+          return;  // abandon this point; the sweep exits after the join
+        }
         if (observe) {
           if (!config.run_report_path.empty()) {
             result.reports.push_back(collector->report());
@@ -205,6 +232,11 @@ void run_figure(const FigureConfig& config,
     for (std::size_t i = 0; i < points.size(); ++i) run_point(i);
   }
 
+  if (engine_failed.load()) {
+    std::fprintf(stderr, "engine failure: %s\n", failure_message.c_str());
+    std::exit(3);
+  }
+
   for (const PointResult& result : results) {
     csv.comment(result.comment);
     for (const auto& row : result.rows) csv.row(row);
@@ -233,18 +265,38 @@ RunObserver::RunObserver(const FigureConfig& config)
 
 RunObserver::~RunObserver() { flush(); }
 
+namespace {
+
+[[noreturn]] void exit_engine_failure(const std::string& label,
+                                      const sim::EngineError& error) {
+  std::fprintf(stderr, "engine failure in %s: %s\n", label.c_str(),
+               error.what());
+  std::exit(3);
+}
+
+}  // namespace
+
 core::RunMetrics RunObserver::run(sim::RuntimeEngine& engine,
                                   const core::TaskGraph& graph,
                                   const std::string& label) {
   if (run_report_path_.empty() && chrome_trace_path_.empty()) {
-    return engine.run();
+    try {
+      return engine.run();
+    } catch (const sim::EngineError& error) {
+      exit_engine_failure(label, error);
+    }
   }
   sim::RunReportCollector::Options options;
   options.context = figure_ + " " + label;
   options.collect_trace = !chrome_trace_path_.empty();
   sim::RunReportCollector collector(std::move(options));
   engine.add_inspector(&collector);
-  const core::RunMetrics metrics = engine.run();
+  core::RunMetrics metrics;
+  try {
+    metrics = engine.run();
+  } catch (const sim::EngineError& error) {
+    exit_engine_failure(label, error);
+  }
   if (!run_report_path_.empty()) reports_.push_back(collector.report());
   // Rewritten per observed run: the last run wins, like run_figure.
   if (!chrome_trace_path_.empty() &&
@@ -283,7 +335,10 @@ void add_standard_flags(util::Flags& flags, std::uint32_t default_gpus,
                      "run) to this path")
       .define_string("chrome-trace", "",
                      "write a chrome://tracing timeline of the last run to "
-                     "this path");
+                     "this path")
+      .define_string("fault-plan", "",
+                     "JSON fault plan injected into every run "
+                     "(docs/ROBUSTNESS.md)");
 }
 
 FigureConfig config_from_flags(const util::Flags& flags, std::string figure,
@@ -300,6 +355,17 @@ FigureConfig config_from_flags(const util::Flags& flags, std::string figure,
   config.jobs = static_cast<std::uint32_t>(flags.get_int("jobs"));
   config.run_report_path = flags.get_string("run-report");
   config.chrome_trace_path = flags.get_string("chrome-trace");
+  const std::string fault_plan_path = flags.get_string("fault-plan");
+  if (!fault_plan_path.empty()) {
+    std::string error;
+    auto plan = sim::load_fault_plan_file(fault_plan_path, &error);
+    if (!plan) {
+      std::fprintf(stderr, "--fault-plan %s: %s\n", fault_plan_path.c_str(),
+                   error.c_str());
+      std::exit(2);
+    }
+    config.fault_plan = std::move(*plan);
+  }
   return config;
 }
 

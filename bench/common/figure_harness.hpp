@@ -18,6 +18,7 @@
 #include "core/platform.hpp"
 #include "core/scheduler.hpp"
 #include "core/task_graph.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/run_report.hpp"
 #include "util/flags.hpp"
 
@@ -85,6 +86,10 @@ struct FigureConfig {
   /// When non-empty, write the Chrome-tracing timeline of the sweep's last
   /// (point, scheduler) run to this path.
   std::string chrome_trace_path;
+
+  /// Fault plan injected into every run (docs/ROBUSTNESS.md); empty = no
+  /// fault machinery at all. Loaded from --fault-plan.
+  sim::FaultPlan fault_plan;
 };
 
 /// Runs the sweep and writes the CSV. Columns:
@@ -123,7 +128,8 @@ class RunObserver {
 };
 
 /// Registers the standard figure flags (--gpus, --mem-mb, --reps, --seed,
-/// --out, --full, --jobs, --run-report, --chrome-trace) on `flags`.
+/// --out, --full, --jobs, --run-report, --chrome-trace, --fault-plan) on
+/// `flags`.
 void add_standard_flags(util::Flags& flags, std::uint32_t default_gpus,
                         std::int64_t default_mem_mb = 500);
 

@@ -23,6 +23,8 @@
 #include "sched/hfp.hpp"
 #include "sched/hmetis_r.hpp"
 #include "sim/engine.hpp"
+#include "sim/errors.hpp"
+#include "sim/fault_injector.hpp"
 #include "util/flags.hpp"
 #include "workloads/workloads.hpp"
 
@@ -120,7 +122,10 @@ int main(int argc, char** argv) {
       .define_string("save-schedule", "",
                      "archive the realized per-GPU execution order here")
       .define_string("replay-schedule", "",
-                     "ignore --scheduler and replay an archived schedule");
+                     "ignore --scheduler and replay an archived schedule")
+      .define_string("fault-plan", "",
+                     "JSON fault plan injected into the run "
+                     "(docs/ROBUSTNESS.md)");
   if (!flags.parse(argc, argv)) return 0;
 
   using namespace mg;
@@ -183,8 +188,28 @@ int main(int argc, char** argv) {
                         !flags.get_string("trace-json").empty() ||
                         !flags.get_string("save-schedule").empty();
 
+  std::unique_ptr<sim::FaultInjector> injector;
+  const std::string fault_plan_path = flags.get_string("fault-plan");
+  if (!fault_plan_path.empty()) {
+    std::string error;
+    auto plan = sim::load_fault_plan_file(fault_plan_path, &error);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "--fault-plan %s: %s\n", fault_plan_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    injector = std::make_unique<sim::FaultInjector>(std::move(*plan));
+  }
+
   sim::RuntimeEngine engine(graph, platform, *scheduler, config);
-  const core::RunMetrics metrics = engine.run();
+  if (injector != nullptr) engine.set_fault_injector(injector.get());
+  core::RunMetrics metrics;
+  try {
+    metrics = engine.run();
+  } catch (const sim::EngineError& error) {
+    std::fprintf(stderr, "engine failure: %s\n", error.what());
+    return 3;
+  }
 
   std::printf("workload   : %s N=%lld (%u tasks, %u data, %.0f MB)\n",
               flags.get_string("workload").c_str(),
@@ -210,6 +235,21 @@ int main(int argc, char** argv) {
               metrics.scheduler_prepare_us / 1e3,
               metrics.scheduler_pop_us / 1e3,
               metrics.scheduler_cost_accounted ? " (charged)" : "");
+  if (injector != nullptr) {
+    std::printf("faults     : %u gpu loss(es), %u capacity shock(s), "
+                "%llu task(s) reclaimed\n",
+                metrics.faults.gpu_losses, metrics.faults.capacity_shocks,
+                static_cast<unsigned long long>(
+                    metrics.faults.tasks_reclaimed));
+    std::printf("             %llu transfer retries (%.1f MB re-sent), "
+                "%llu emergency evictions\n",
+                static_cast<unsigned long long>(
+                    metrics.faults.transfer_retries),
+                static_cast<double>(metrics.faults.wasted_transfer_bytes) /
+                    1e6,
+                static_cast<unsigned long long>(
+                    metrics.faults.emergency_evictions));
+  }
   for (std::size_t gpu = 0; gpu < metrics.per_gpu.size(); ++gpu) {
     const auto& per = metrics.per_gpu[gpu];
     std::printf("  gpu%zu: %llu tasks, %.0f MB loaded, busy %.1f%%\n", gpu,
@@ -219,11 +259,17 @@ int main(int argc, char** argv) {
   }
 
   if (flags.get_bool("validate")) {
-    const auto validation =
-        analysis::validate_trace(graph, platform, engine.trace());
-    std::printf("trace      : %s\n",
-                validation.ok ? "valid" : validation.error.c_str());
-    if (!validation.ok) return 1;
+    if (injector != nullptr) {
+      // A bare trace cannot express GPU losses or reclaimed re-runs; the
+      // online InvariantChecker covers faulted runs instead.
+      std::printf("trace      : validation skipped (fault plan active)\n");
+    } else {
+      const auto validation =
+          analysis::validate_trace(graph, platform, engine.trace());
+      std::printf("trace      : %s\n",
+                  validation.ok ? "valid" : validation.error.c_str());
+      if (!validation.ok) return 1;
+    }
   }
 
   if (flags.get_bool("stats")) {

@@ -415,6 +415,40 @@ void DartsScheduler::notify_data_loaded(GpuId gpu, DataId data) {
   }
 }
 
+bool DartsScheduler::notify_gpu_lost(GpuId gpu,
+                                     std::span<const TaskId> orphaned) {
+  PerGpu& gpu_state = per_gpu_[gpu];
+
+  // The orphans are the dead GPU's pipeline (taskBuffer) — back to the
+  // shared pool so any survivor can pick them up at its next pop.
+  for (TaskId task : orphaned) {
+    MG_DCHECK(state_[task] == TaskState::kBuffered);
+    state_[task] = TaskState::kAvailable;
+    push_to_available(task);
+    incremental_availability_change(task, +1);
+  }
+  gpu_state.buffered.clear();
+
+  // Planned-but-unpopped tasks were reserved for the dead GPU; release the
+  // reservation the same way Algorithm 6 line 8 does after an eviction.
+  for (TaskId task : gpu_state.planned) {
+    MG_DCHECK(state_[task] == TaskState::kPlanned);
+    state_[task] = TaskState::kAvailable;
+    push_to_available(task);
+    incremental_availability_change(task, +1);
+  }
+  gpu_state.planned.clear();
+
+  // Drop the dead GPU's loaded-data mirror so the incremental n(D) counters
+  // stay consistent with availability changes that still sweep every GPU.
+  if (options_.incremental) {
+    for (DataId data = 0; data < gpu_state.in_mem.size(); ++data) {
+      if (gpu_state.in_mem[data] != 0) notify_data_evicted(gpu, data);
+    }
+  }
+  return true;
+}
+
 void DartsScheduler::notify_data_evicted(GpuId gpu, DataId data) {
   push_data_to_scan(gpu, data);
 

@@ -74,6 +74,11 @@ class DartsScheduler final : public Scheduler, public EvictionPolicy {
   void notify_task_complete(GpuId gpu, TaskId task) override;
   void notify_data_loaded(GpuId gpu, DataId data) override;
   void notify_data_evicted(GpuId gpu, DataId data) override;
+  /// GPU loss: the orphans (this GPU's taskBuffer) and its plannedTasks all
+  /// return to the shared pool, so survivors re-plan them reactively —
+  /// exactly the mechanism Algorithm 6 already uses for eviction fallout.
+  [[nodiscard]] bool notify_gpu_lost(GpuId gpu,
+                                     std::span<const TaskId> orphaned) override;
   [[nodiscard]] EvictionPolicy* eviction_policy(GpuId gpu) override {
     (void)gpu;
     return options_.use_luf ? this : nullptr;

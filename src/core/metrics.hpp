@@ -21,8 +21,20 @@ struct GpuMetrics {
   double stall_time_us = 0.0;           ///< idle while tasks remained
 };
 
+/// Fault-injection outcome of one run (all zero on a fault-free run).
+struct FaultMetrics {
+  std::uint32_t gpu_losses = 0;
+  std::uint32_t capacity_shocks = 0;
+  std::uint64_t tasks_reclaimed = 0;       ///< orphans re-dispatched
+  std::uint64_t transfer_retries = 0;      ///< failed delivery attempts
+  std::uint64_t wasted_transfer_bytes = 0; ///< wire bytes of failed attempts
+  std::uint64_t emergency_evictions = 0;   ///< evictions forced by shocks
+};
+
 struct RunMetrics {
   std::vector<GpuMetrics> per_gpu;
+
+  FaultMetrics faults;
 
   /// Simulated completion time of the last task. When scheduler cost was
   /// accounted, per-pop decision time is already charged inside (it gates

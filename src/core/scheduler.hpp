@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -53,6 +54,21 @@ class Scheduler {
   virtual void notify_data_evicted(GpuId gpu, DataId data) {
     (void)gpu;
     (void)data;
+  }
+
+  /// Fault injection: `gpu` died permanently. `orphaned` lists the tasks
+  /// the engine reclaimed from its pipeline (popped but never finished, in
+  /// pop order); each must eventually run on a surviving GPU. pop_task is
+  /// never called for `gpu` again. Return true to take ownership of the
+  /// orphans (they must be re-returned from pop_task, e.g. after re-planning
+  /// or stealing-style redistribution); return false and the engine requeues
+  /// them itself, serving them to survivors ahead of further pops. Default:
+  /// decline.
+  [[nodiscard]] virtual bool notify_gpu_lost(GpuId gpu,
+                                             std::span<const TaskId> orphaned) {
+    (void)gpu;
+    (void)orphaned;
+    return false;
   }
 
   /// Ordered push-time prefetch hints for `gpu` (StarPU's Algorithm 1 lines

@@ -9,6 +9,7 @@ void DmdaScheduler::prepare(const core::TaskGraph& graph,
   graph_ = &graph;
   const std::uint32_t num_gpus = platform.num_gpus;
   queues_.assign(num_gpus, {});
+  dead_.assign(num_gpus, 0);
 
   // Predicted memory content and predicted finish time per GPU.
   std::vector<std::vector<bool>> in_mem(
@@ -58,6 +59,37 @@ std::vector<core::DataId> DmdaScheduler::prefetch_hints(core::GpuId gpu) {
     }
   }
   return hints;
+}
+
+bool DmdaScheduler::notify_gpu_lost(core::GpuId gpu,
+                                    std::span<const core::TaskId> orphaned) {
+  dead_[gpu] = 1;
+  std::deque<core::TaskId>& dead_queue = queues_[gpu];
+
+  // Orphans first (they were next to run), then the unpopped remainder.
+  std::vector<core::TaskId> displaced(orphaned.begin(), orphaned.end());
+  displaced.insert(displaced.end(), dead_queue.begin(), dead_queue.end());
+  dead_queue.clear();
+
+  bool any_survivor = false;
+  for (core::GpuId other = 0; other < queues_.size(); ++other) {
+    if (other != gpu && dead_[other] == 0) any_survivor = true;
+  }
+  if (!any_survivor) return false;  // engine handles the orphans
+
+  for (core::TaskId task : displaced) {
+    core::GpuId target = core::kInvalidGpu;
+    std::size_t least = ~std::size_t{0};
+    for (core::GpuId other = 0; other < queues_.size(); ++other) {
+      if (other == gpu || dead_[other] != 0) continue;
+      if (queues_[other].size() < least) {
+        least = queues_[other].size();
+        target = other;
+      }
+    }
+    queues_[target].push_back(task);
+  }
+  return true;
 }
 
 core::TaskId DmdaScheduler::pop_task(core::GpuId gpu,

@@ -45,6 +45,12 @@ class DmdaScheduler : public core::Scheduler {
   [[nodiscard]] core::TaskId pop_task(core::GpuId gpu,
                                       const core::MemoryView& memory) override;
 
+  /// GPU loss: re-allocates the orphans and the dead GPU's unpopped deque
+  /// greedily onto the currently shortest surviving deques (the push-phase
+  /// balance rule, re-applied to the displaced work).
+  [[nodiscard]] bool notify_gpu_lost(
+      core::GpuId gpu, std::span<const core::TaskId> orphaned) override;
+
   /// Algorithm 1 lines 7-9: the inputs of every task allocated to `gpu`,
   /// in first-need order (deduplicated).
   [[nodiscard]] std::vector<core::DataId> prefetch_hints(
@@ -61,6 +67,7 @@ class DmdaScheduler : public core::Scheduler {
   bool push_prefetch_;
   const core::TaskGraph* graph_ = nullptr;
   std::vector<std::deque<core::TaskId>> queues_;
+  std::vector<std::uint8_t> dead_;  ///< GPUs lost to fault injection
 };
 
 }  // namespace mg::sched

@@ -9,6 +9,7 @@ void WorkQueueScheduler::prepare(const core::TaskGraph& graph,
                                  std::uint64_t seed) {
   graph_ = &graph;
   queues_.assign(platform.num_gpus, {});
+  dead_.assign(platform.num_gpus, 0);
   steal_events_ = 0;
   partition(graph, platform, seed, queues_);
 
@@ -29,6 +30,34 @@ core::TaskId WorkQueueScheduler::pop_task(core::GpuId gpu,
     return task;
   }
   return pop_ready(queue, *graph_, memory, ready_window_);
+}
+
+bool WorkQueueScheduler::notify_gpu_lost(
+    core::GpuId gpu, std::span<const core::TaskId> orphaned) {
+  dead_[gpu] = 1;
+  std::deque<core::TaskId>& dead_queue = queues_[gpu];
+
+  core::GpuId target = core::kInvalidGpu;
+  std::size_t least = ~std::size_t{0};
+  for (core::GpuId other = 0; other < queues_.size(); ++other) {
+    if (other == gpu || dead_[other] != 0) continue;
+    if (queues_[other].size() < least) {
+      least = queues_[other].size();
+      target = other;
+    }
+  }
+  if (target == core::kInvalidGpu) {
+    dead_queue.clear();
+    return false;  // no survivor: let the engine deal with the orphans
+  }
+
+  // Orphans were already popped (about to run) — front of the target queue;
+  // the unpopped remainder joins the tail, where stealing rebalances it.
+  std::deque<core::TaskId>& to = queues_[target];
+  to.insert(to.begin(), orphaned.begin(), orphaned.end());
+  to.insert(to.end(), dead_queue.begin(), dead_queue.end());
+  dead_queue.clear();
+  return true;
 }
 
 void WorkQueueScheduler::steal(core::GpuId thief) {

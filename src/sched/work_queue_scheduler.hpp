@@ -21,6 +21,13 @@ class WorkQueueScheduler : public core::Scheduler {
   [[nodiscard]] core::TaskId pop_task(core::GpuId gpu,
                                       const core::MemoryView& memory) final;
 
+  /// GPU loss: splices the orphans (front) and the dead GPU's remaining
+  /// queue (tail) onto the least loaded survivor; task stealing then
+  /// rebalances as usual. The emptied dead queue can never be a steal
+  /// victim again.
+  [[nodiscard]] bool notify_gpu_lost(
+      core::GpuId gpu, std::span<const core::TaskId> orphaned) final;
+
   [[nodiscard]] const std::deque<core::TaskId>& queue(core::GpuId gpu) const {
     return queues_[gpu];
   }
@@ -46,6 +53,7 @@ class WorkQueueScheduler : public core::Scheduler {
   std::size_t ready_window_;
   const core::TaskGraph* graph_ = nullptr;
   std::vector<std::deque<core::TaskId>> queues_;
+  std::vector<std::uint8_t> dead_;  ///< GPUs lost to fault injection
   std::uint64_t steal_events_ = 0;
 };
 

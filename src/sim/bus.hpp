@@ -6,11 +6,20 @@
 // property the paper relies on — GPUs contend for the same bytes/second, so
 // reducing total transferred volume directly shortens the transfer-bound
 // phases.
+//
+// Fault injection hooks in at delivery time: an optional FaultHook is
+// consulted the moment a transfer leaves the wire; it may fail the attempt,
+// in which case the request re-enters the queue after a backoff delay (the
+// bytes were spent on the wire but never delivered). A GPU loss drains the
+// still-queued requests towards the dead device so the channel does not
+// waste time on them.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "core/ids.hpp"
 #include "sim/event_queue.hpp"
@@ -42,6 +51,25 @@ class Bus : public TransferRouter {
                                           core::DataId data,
                                           std::uint64_t bytes)>;
 
+  /// Fault decision, consulted as a transfer leaves the wire. A negative
+  /// return delivers the transfer; a return >= 0 fails this attempt and
+  /// re-enqueues the request after that many microseconds of backoff.
+  /// `attempt` is 1-based and increments on every failure.
+  using FaultHook = std::function<double(core::GpuId dst, core::DataId data,
+                                         std::uint64_t bytes,
+                                         std::uint32_t attempt)>;
+
+  /// A queued transfer. Public so that GPU-loss recovery can drain and
+  /// inspect pending requests.
+  struct Request {
+    core::GpuId gpu;
+    core::DataId data;
+    std::uint64_t bytes;
+    OnComplete on_complete;
+    TransferPriority priority = TransferPriority::kHigh;
+    std::uint32_t attempt = 1;
+  };
+
   Bus(EventQueue& events, double bandwidth_bytes_per_s, double latency_us)
       : events_(events),
         bandwidth_(bandwidth_bytes_per_s),
@@ -53,10 +81,7 @@ class Bus : public TransferRouter {
   void request(core::GpuId gpu, core::DataId data, std::uint64_t bytes,
                OnComplete on_complete,
                TransferPriority priority = TransferPriority::kHigh) {
-    auto& queue =
-        priority == TransferPriority::kHigh ? queue_ : low_queue_;
-    queue.push_back(Request{gpu, data, bytes, std::move(on_complete)});
-    if (!busy_) start_next();
+    enqueue(Request{gpu, data, bytes, std::move(on_complete), priority, 1});
   }
 
   void request_transfer(core::GpuId dst, core::DataId data,
@@ -69,6 +94,7 @@ class Bus : public TransferRouter {
   void promote(core::GpuId dst, core::DataId data) override {
     for (auto it = low_queue_.begin(); it != low_queue_.end(); ++it) {
       if (it->gpu == dst && it->data == data) {
+        it->priority = TransferPriority::kHigh;
         queue_.push_back(std::move(*it));
         low_queue_.erase(it);
         return;
@@ -80,6 +106,37 @@ class Bus : public TransferRouter {
   void set_wire_observer(WireObserver observer) {
     wire_observer_ = std::move(observer);
   }
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  /// Removes and returns every still-queued request towards `dst` (GPU-loss
+  /// recovery). A request already on the wire, or waiting out a retry
+  /// backoff, is not queued and cannot be drained — its completion callback
+  /// must cope with a dead destination instead.
+  [[nodiscard]] std::vector<Request> drain_pending_to(core::GpuId dst) {
+    std::vector<Request> drained;
+    for (std::deque<Request>* queue : {&queue_, &low_queue_}) {
+      for (auto it = queue->begin(); it != queue->end();) {
+        if (it->gpu == dst) {
+          drained.push_back(std::move(*it));
+          it = queue->erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    return drained;
+  }
+
+  /// Removes and returns every still-queued request (used when the channel's
+  /// source GPU dies and the whole egress port goes dark).
+  [[nodiscard]] std::vector<Request> drain_all_pending() {
+    std::vector<Request> drained;
+    for (std::deque<Request>* queue : {&queue_, &low_queue_}) {
+      for (Request& request : *queue) drained.push_back(std::move(request));
+      queue->clear();
+    }
+    return drained;
+  }
 
   [[nodiscard]] bool busy() const { return busy_; }
   [[nodiscard]] std::size_t pending() const {
@@ -88,12 +145,12 @@ class Bus : public TransferRouter {
   [[nodiscard]] double busy_time_us() const { return busy_time_us_; }
 
  private:
-  struct Request {
-    core::GpuId gpu;
-    core::DataId data;
-    std::uint64_t bytes;
-    OnComplete on_complete;
-  };
+  void enqueue(Request request) {
+    auto& queue =
+        request.priority == TransferPriority::kHigh ? queue_ : low_queue_;
+    queue.push_back(std::move(request));
+    if (!busy_) start_next();
+  }
 
   void start_next() {
     for (;;) {
@@ -123,6 +180,20 @@ class Bus : public TransferRouter {
             if (wire_observer_) {
               wire_observer_(false, request.gpu, request.data, request.bytes);
             }
+            if (fault_hook_) {
+              const double backoff = fault_hook_(request.gpu, request.data,
+                                                 request.bytes,
+                                                 request.attempt);
+              if (backoff >= 0.0) {
+                ++request.attempt;
+                events_.schedule_after(
+                    backoff, [this, request = std::move(request)]() mutable {
+                      enqueue(std::move(request));
+                    });
+                start_next();
+                return;
+              }
+            }
             request.on_complete();
             start_next();
           });
@@ -137,6 +208,7 @@ class Bus : public TransferRouter {
   std::deque<Request> low_queue_;
   StartFilter filter_;
   WireObserver wire_observer_;
+  FaultHook fault_hook_;
   bool busy_ = false;
   double busy_time_us_ = 0.0;
 };

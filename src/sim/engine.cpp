@@ -1,7 +1,9 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -69,6 +71,11 @@ void RuntimeEngine::add_inspector(Inspector* inspector) {
   inspectors_.push_back(inspector);
 }
 
+void RuntimeEngine::set_fault_injector(FaultInjector* injector) {
+  MG_CHECK_MSG(!ran_, "set_fault_injector must be called before run()");
+  injector_ = injector;
+}
+
 void RuntimeEngine::publish_slow(InspectorEventKind kind, GpuId gpu,
                                  std::uint32_t id, std::uint64_t bytes,
                                  std::uint32_t channel, std::uint32_t aux) {
@@ -80,6 +87,11 @@ void RuntimeEngine::publish_slow(InspectorEventKind kind, GpuId gpu,
   event.bytes = bytes;
   event.channel = channel;
   event.aux = aux;
+  if (watchdog_log_) {
+    constexpr std::size_t kWatchdogTail = 32;
+    watchdog_recent_.push_back(format_inspector_event(event));
+    if (watchdog_recent_.size() > kWatchdogTail) watchdog_recent_.pop_front();
+  }
   for (Inspector* inspector : inspectors_) inspector->on_event(event);
 }
 
@@ -113,8 +125,20 @@ void RuntimeEngine::start_peer_copy(GpuId source, GpuId dst, DataId data,
   gpus_[source].memory->pin(data);
   fetch_from_peer_[dst][data] = 1;
   nvlink_egress_[source]->request(
-      dst, data, bytes, [this, source, data, cb = std::move(on_complete)] {
-        gpus_[source].memory->unpin(data);
+      dst, data, bytes,
+      [this, source, dst, data, bytes, cb = std::move(on_complete)]() mutable {
+        // Runs at delivery — or early, when GPU-loss recovery drains the
+        // egress queue. Either endpoint may have died in the meantime.
+        if (gpus_[source].alive) gpus_[source].memory->unpin(data);
+        if (!gpus_[dst].alive) return;  // delivery to a dead GPU: dropped
+        if (!gpus_[source].alive) {
+          // The replica's holder died mid-copy: re-route the fetch (another
+          // surviving replica, or the host bus).
+          fetch_from_peer_[dst][data] = 0;
+          request_transfer(dst, data, bytes, std::move(cb),
+                           TransferPriority::kHigh);
+          return;
+        }
         cb();
       });
 }
@@ -142,6 +166,14 @@ core::RunMetrics RuntimeEngine::run() {
   MG_CHECK_MSG(!ran_, "RuntimeEngine::run is single-shot");
   ran_ = true;
 
+  const bool faults_active = injector_ != nullptr && !injector_->plan().empty();
+  if (faults_active) {
+    const std::string problem = injector_->plan().validate(platform_.num_gpus);
+    if (!problem.empty()) throw EngineError("invalid fault plan: " + problem);
+  }
+  watchdog_log_ = config_.max_events > 0 || config_.max_sim_time_us > 0.0;
+  alive_gpus_ = platform_.num_gpus;
+
   util::Stopwatch prepare_watch;
   scheduler_.prepare(graph_, platform_, config_.seed);
   prepare_wall_us_ = prepare_watch.elapsed_us();
@@ -162,8 +194,8 @@ core::RunMetrics RuntimeEngine::run() {
                                                : default_policy_.get());
   }
 
+  if (!inspectors_.empty() || watchdog_log_) attach_wire_observers();
   if (!inspectors_.empty()) {
-    attach_wire_observers();
     for (Inspector* inspector : inspectors_) {
       inspector->on_run_begin(graph_, platform_, scheduler_.name());
     }
@@ -177,6 +209,11 @@ core::RunMetrics RuntimeEngine::run() {
     }
   }
 
+  if (faults_active) {
+    schedule_faults();
+    if (injector_->has_transfer_faults()) attach_fault_hooks();
+  }
+
   for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
     const std::vector<DataId> hints = scheduler_.prefetch_hints(gpu);
     gpus_[gpu].hint_queue.assign(hints.begin(), hints.end());
@@ -187,7 +224,33 @@ core::RunMetrics RuntimeEngine::run() {
   }
 
   while (completed_ < graph_.num_tasks()) {
-    if (!events_.run_one()) report_deadlock_and_abort();
+    const bool events_exhausted =
+        config_.max_events != 0 &&
+        events_.events_processed() >= config_.max_events;
+    const bool time_exhausted = config_.max_sim_time_us > 0.0 &&
+                                events_.now() > config_.max_sim_time_us;
+    if (events_exhausted || time_exhausted) {
+      char header[192];
+      std::snprintf(header, sizeof header,
+                    "watchdog budget exceeded (%s): %llu events processed, "
+                    "t=%.1fus, %u/%u tasks completed\n",
+                    events_exhausted ? "event ceiling" : "simulated-time "
+                                                         "ceiling",
+                    static_cast<unsigned long long>(events_.events_processed()),
+                    events_.now(), completed_, graph_.num_tasks());
+      std::string message = header;
+      message += format_engine_state();
+      if (!watchdog_recent_.empty()) {
+        message += "recent events:\n";
+        for (const std::string& line : watchdog_recent_) {
+          message += "  ";
+          message += line;
+          message += '\n';
+        }
+      }
+      throw BudgetExceededError(message);
+    }
+    if (!events_.run_one()) throw_deadlock();
   }
 
   for (Inspector* inspector : inspectors_) {
@@ -214,25 +277,35 @@ core::RunMetrics RuntimeEngine::run() {
   metrics.scheduler_pop_us = pop_wall_us_;
   metrics.total_flops = graph_.total_flops();
   metrics.scheduler_cost_accounted = config_.account_scheduler_cost;
+  metrics.faults = fault_metrics_;
   return metrics;
 }
 
 void RuntimeEngine::fill_buffer(GpuId gpu) {
   GpuState& state = gpus_[gpu];
+  if (!state.alive) return;
   while (state.buffer.size() < config_.pipeline_depth) {
-    util::Stopwatch pop_watch;
-    const TaskId task = scheduler_.pop_task(gpu, *state.memory);
-    const double pop_us = pop_watch.elapsed_us();
-    pop_wall_us_ += pop_us;
-    if (config_.account_scheduler_cost) {
-      state.sched_busy_until_us =
-          std::max(events_.now(), state.sched_busy_until_us) + pop_us;
+    TaskId task = kInvalidTask;
+    if (!reclaimed_.empty()) {
+      // Orphans of a dead GPU whose scheduler declined to re-own them: the
+      // engine serves them to survivors ahead of further pops.
+      task = reclaimed_.front();
+      reclaimed_.pop_front();
+    } else {
+      util::Stopwatch pop_watch;
+      task = scheduler_.pop_task(gpu, *state.memory);
+      const double pop_us = pop_watch.elapsed_us();
+      pop_wall_us_ += pop_us;
+      if (config_.account_scheduler_cost) {
+        state.sched_busy_until_us =
+            std::max(events_.now(), state.sched_busy_until_us) + pop_us;
+      }
+      if (task == kInvalidTask) {
+        state.starved = true;
+        return;
+      }
+      MG_CHECK_MSG(task < graph_.num_tasks(), "scheduler returned bad task id");
     }
-    if (task == kInvalidTask) {
-      state.starved = true;
-      return;
-    }
-    MG_CHECK_MSG(task < graph_.num_tasks(), "scheduler returned bad task id");
     MG_CHECK_MSG(!popped_[task], "scheduler returned a task twice");
     popped_[task] = true;
     state.starved = false;
@@ -268,6 +341,7 @@ void RuntimeEngine::begin_assembly(GpuId gpu) {
 
 void RuntimeEngine::try_start(GpuId gpu) {
   GpuState& state = gpus_[gpu];
+  if (!state.alive) return;
   if (state.running != kInvalidTask || !state.assembly_active) return;
   const TaskId head = state.buffer.front();
   bool ready = true;
@@ -320,6 +394,7 @@ void RuntimeEngine::start_task(GpuId gpu, TaskId task) {
   const double duration =
       platform_.compute_time_us(graph_.task_flops(task), gpu);
   state.busy_us += duration;
+  state.running_until_us = events_.now() + duration;
   events_.schedule_after(duration, [this, gpu, task] { finish_task(gpu, task); });
 
   if (!state.buffer.empty()) begin_assembly(gpu);
@@ -328,6 +403,9 @@ void RuntimeEngine::start_task(GpuId gpu, TaskId task) {
 
 void RuntimeEngine::finish_task(GpuId gpu, TaskId task) {
   GpuState& state = gpus_[gpu];
+  // Stale completion of a task that was interrupted by a GPU loss (its
+  // finish event cannot be cancelled; the task was reclaimed instead).
+  if (!state.alive) return;
   MG_DCHECK(state.running == task);
   state.running = kInvalidTask;
   ++state.tasks_executed;
@@ -347,6 +425,9 @@ void RuntimeEngine::finish_task(GpuId gpu, TaskId task) {
     writeback_bus_->request(gpu, task, output_bytes, [this, gpu, task,
                                                       output_bytes] {
       GpuState& wb_state = gpus_[gpu];
+      // The GPU died while its write-back was on the wire: nothing to
+      // account, no scratch left to release.
+      if (!wb_state.alive) return;
       wb_state.bytes_written_back += output_bytes;
       publish(InspectorEventKind::kWriteBackEnd, gpu, task, output_bytes);
       if (config_.record_trace) {
@@ -443,40 +524,203 @@ void RuntimeEngine::on_fetch_started(GpuId gpu, DataId data, bool demand) {
           kNoChannel, demand ? 1 : 0);
 }
 
-void RuntimeEngine::report_deadlock_and_abort() const {
-  std::fprintf(stderr,
-               "RuntimeEngine deadlock: %u/%u tasks completed, event queue "
-               "empty at t=%.1fus\n",
-               completed_, graph_.num_tasks(), events_.now());
+std::string RuntimeEngine::format_engine_state() const {
+  std::string out;
+  char line[256];
   for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
     const GpuState& state = gpus_[gpu];
-    std::fprintf(stderr,
-                 "  gpu%u: running=%d buffered=%zu starved=%d stalled=%zu "
-                 "used=%llu/%llu assembly=%d\n",
-                 gpu, state.running == kInvalidTask ? -1 : static_cast<int>(state.running),
-                 state.buffer.size(), state.starved ? 1 : 0,
-                 state.memory->stalled_fetches(),
-                 static_cast<unsigned long long>(state.memory->used_bytes()),
-                 static_cast<unsigned long long>(state.memory->capacity_bytes()),
-                 state.assembly_active ? 1 : 0);
+    std::snprintf(
+        line, sizeof line,
+        "  gpu%u:%s running=%d buffered=%zu starved=%d stalled=%zu "
+        "used=%llu/%llu assembly=%d\n",
+        gpu, state.alive ? "" : " DEAD",
+        state.running == kInvalidTask ? -1 : static_cast<int>(state.running),
+        state.buffer.size(), state.starved ? 1 : 0,
+        state.memory->stalled_fetches(),
+        static_cast<unsigned long long>(state.memory->used_bytes()),
+        static_cast<unsigned long long>(state.memory->capacity_bytes()),
+        state.assembly_active ? 1 : 0);
+    out += line;
     if (!state.buffer.empty()) {
       const TaskId head = state.buffer.front();
-      std::fprintf(stderr, "    head task %u inputs:", head);
+      std::snprintf(line, sizeof line, "    head task %u inputs:", head);
+      out += line;
       for (DataId data : graph_.inputs(head)) {
-        std::fprintf(stderr, " d%u(res=%d pins=%u)", data,
-                     static_cast<int>(state.memory->residency(data)),
-                     state.memory->pin_count(data));
+        std::snprintf(line, sizeof line, " d%u(res=%d pins=%u)", data,
+                      static_cast<int>(state.memory->residency(data)),
+                      state.memory->pin_count(data));
+        out += line;
       }
-      std::fprintf(stderr, "\n");
+      out += '\n';
     }
-    std::fprintf(stderr, "    resident:");
+    out += "    resident:";
     for (DataId data : state.memory->resident()) {
-      std::fprintf(stderr, " d%u(pins=%u)", data,
-                   state.memory->pin_count(data));
+      std::snprintf(line, sizeof line, " d%u(pins=%u)", data,
+                    state.memory->pin_count(data));
+      out += line;
     }
-    std::fprintf(stderr, "\n");
+    out += '\n';
   }
-  MG_CHECK_MSG(false, "simulation deadlock — scheduler or policy bug");
+  return out;
+}
+
+void RuntimeEngine::throw_deadlock() const {
+  char header[160];
+  std::snprintf(header, sizeof header,
+                "simulation deadlock — scheduler or policy bug: %u/%u tasks "
+                "completed, event queue empty at t=%.1fus\n",
+                completed_, graph_.num_tasks(), events_.now());
+  throw DeadlockError(std::string(header) + format_engine_state());
+}
+
+void RuntimeEngine::schedule_faults() {
+  const FaultPlan& plan = injector_->plan();
+  for (const FaultPlan::GpuLoss& loss : plan.gpu_losses) {
+    events_.schedule_at(loss.time_us,
+                        [this, gpu = loss.gpu] { fail_gpu(gpu); });
+  }
+  for (const FaultPlan::CapacityShock& shock : plan.capacity_shocks) {
+    events_.schedule_at(shock.time_us,
+                        [this, gpu = shock.gpu,
+                         bytes = shock.capacity_bytes] {
+                          apply_capacity_shock(gpu, bytes);
+                        });
+  }
+}
+
+void RuntimeEngine::attach_fault_hooks() {
+  auto hook = [this](std::uint32_t channel) {
+    return [this, channel](GpuId dst, DataId data, std::uint64_t bytes,
+                           std::uint32_t attempt) -> double {
+      // Deliveries towards a dead GPU land in its deactivated memory
+      // manager (a no-op); failing and retrying them would only keep the
+      // request alive forever.
+      if (!gpus_[dst].alive) return -1.0;
+      if (!injector_->should_fail_transfer(channel, events_.now(), attempt)) {
+        return -1.0;
+      }
+      ++fault_metrics_.transfer_retries;
+      fault_metrics_.wasted_transfer_bytes += bytes;
+      publish(InspectorEventKind::kTransferRetry, dst, data, bytes, channel,
+              attempt);
+      const double exponent =
+          static_cast<double>(std::min<std::uint32_t>(attempt - 1, 30));
+      return std::min(config_.retry_backoff_cap_us,
+                      config_.retry_backoff_base_us * std::exp2(exponent));
+    };
+  };
+  bus_.set_fault_hook(hook(kChannelHostBus));
+  for (GpuId gpu = 0; gpu < static_cast<GpuId>(nvlink_egress_.size()); ++gpu) {
+    nvlink_egress_[gpu]->set_fault_hook(hook(kChannelNvlinkBase + gpu));
+  }
+  // The writeback channel is deliberately left un-hooked (see FaultPlan).
+}
+
+void RuntimeEngine::fail_gpu(GpuId gpu) {
+  GpuState& state = gpus_[gpu];
+  if (!state.alive) return;
+  if (alive_gpus_ == 1) {
+    throw EngineError(
+        "fault plan failed the last surviving GPU; no device left to finish "
+        "the workload");
+  }
+  state.alive = false;
+  --alive_gpus_;
+  ++fault_metrics_.gpu_losses;
+
+  // Reclaim the interrupted running task (its finish event turns stale and
+  // is ignored) and every buffered task, in pop order.
+  std::vector<TaskId> orphans;
+  if (state.running != kInvalidTask) {
+    state.busy_us -= std::max(0.0, state.running_until_us - events_.now());
+    orphans.push_back(state.running);
+    state.running = kInvalidTask;
+  }
+  for (TaskId task : state.buffer) orphans.push_back(task);
+  state.buffer.clear();
+  state.assembly_active = false;
+  state.scratch_reserved = false;
+  state.assembly_pins.clear();
+  state.hint_queue.clear();
+  state.starved = false;
+
+  publish(InspectorEventKind::kGpuLost, gpu, 0, state.memory->used_bytes(),
+          kNoChannel, static_cast<std::uint32_t>(orphans.size()));
+  MG_TRACE("gpu%u lost at t=%.1fus, %zu orphans", gpu, events_.now(),
+           orphans.size());
+  state.memory->deactivate();
+
+  // Transfers still queued towards the dead GPU are pointless; drop them so
+  // the shared channels stop burning time on them. (A transfer already on
+  // the wire, or waiting out a retry backoff, cannot be drained — it
+  // delivers into the deactivated manager, a no-op.)
+  (void)bus_.drain_pending_to(gpu);
+  if (writeback_bus_) (void)writeback_bus_->drain_pending_to(gpu);
+  if (platform_.nvlink_enabled) {
+    for (GpuId src = 0; src < platform_.num_gpus; ++src) {
+      // The dead GPU's own egress port goes completely dark; other ports
+      // only lose their requests towards the dead GPU. Invoking the drained
+      // wrapped completions immediately lets each one unpin its source and
+      // re-route fetches that lost their replica holder (see
+      // start_peer_copy).
+      std::vector<Bus::Request> drained =
+          src == gpu ? nvlink_egress_[src]->drain_all_pending()
+                     : nvlink_egress_[src]->drain_pending_to(gpu);
+      for (Bus::Request& request : drained) request.on_complete();
+    }
+    fetch_from_peer_[gpu].assign(graph_.num_data(), 0);
+  }
+
+  for (TaskId task : orphans) {
+    MG_DCHECK(popped_[task]);
+    popped_[task] = false;  // the task will legitimately be popped again
+    ++fault_metrics_.tasks_reclaimed;
+    publish(InspectorEventKind::kTaskReclaimed, gpu, task);
+  }
+  const bool adopted = scheduler_.notify_gpu_lost(gpu, orphans);
+  publish(InspectorEventKind::kNotifyGpuLost, gpu,
+          static_cast<std::uint32_t>(orphans.size()), 0, kNoChannel,
+          adopted ? 1 : 0);
+  if (!adopted) {
+    for (TaskId task : orphans) reclaimed_.push_back(task);
+  }
+
+  // Wake the survivors: redistributed work may be available right now.
+  for (GpuId other = 0; other < platform_.num_gpus; ++other) {
+    if (!gpus_[other].alive) continue;
+    fill_buffer(other);
+    pump_hints(other);
+    try_start(other);
+  }
+}
+
+void RuntimeEngine::apply_capacity_shock(GpuId gpu,
+                                         std::uint64_t capacity_bytes) {
+  GpuState& state = gpus_[gpu];
+  if (!state.alive) return;  // shocks on a dead GPU are moot
+  ++fault_metrics_.capacity_shocks;
+  const std::uint64_t floor = min_safe_capacity();
+  const std::uint64_t effective = std::max(capacity_bytes, floor);
+  publish(InspectorEventKind::kCapacityShock, gpu, 0, effective, kNoChannel,
+          effective != capacity_bytes ? 1 : 0);
+  MG_TRACE("gpu%u capacity shock to %llu bytes at t=%.1fus", gpu,
+           static_cast<unsigned long long>(effective), events_.now());
+  state.memory->set_capacity(effective);
+  fault_metrics_.emergency_evictions += state.memory->emergency_evict();
+}
+
+std::uint64_t RuntimeEngine::min_safe_capacity() {
+  if (min_safe_capacity_ == 0) {
+    for (TaskId task = 0; task < graph_.num_tasks(); ++task) {
+      std::uint64_t footprint = graph_.task_output_bytes(task);
+      for (DataId data : graph_.inputs(task)) {
+        footprint += graph_.data_size(data);
+      }
+      min_safe_capacity_ = std::max(min_safe_capacity_, footprint);
+    }
+    if (min_safe_capacity_ == 0) min_safe_capacity_ = 1;
+  }
+  return min_safe_capacity_;
 }
 
 }  // namespace mg::sim

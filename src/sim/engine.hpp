@@ -29,7 +29,9 @@
 #include "core/scheduler.hpp"
 #include "core/task_graph.hpp"
 #include "sim/bus.hpp"
+#include "sim/errors.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/inspector.hpp"
 #include "sim/lru_eviction.hpp"
 #include "sim/memory_manager.hpp"
@@ -56,6 +58,18 @@ struct EngineConfig {
 
   /// Seed forwarded to Scheduler::prepare.
   std::uint64_t seed = 42;
+
+  /// Watchdog ceilings: a run that processes more than `max_events` events
+  /// or passes `max_sim_time_us` of simulated time throws
+  /// BudgetExceededError (with a recent-event excerpt) instead of looping
+  /// forever on a buggy scheduler or fault plan. 0 = unlimited.
+  std::uint64_t max_events = 0;
+  double max_sim_time_us = 0.0;
+
+  /// Transfer-retry backoff under fault injection: the n-th failed attempt
+  /// re-enters its queue after min(base * 2^(n-1), cap) microseconds.
+  double retry_backoff_base_us = 20.0;
+  double retry_backoff_cap_us = 2000.0;
 };
 
 class RuntimeEngine final : private MemoryManager::Observer,
@@ -76,6 +90,11 @@ class RuntimeEngine final : private MemoryManager::Observer,
   /// With no inspector attached the event sites cost one branch each.
   void add_inspector(Inspector* inspector);
 
+  /// Attaches the run's fault injector. Must be called before run(); not
+  /// owned; one injector serves one run. Without an injector — or with an
+  /// empty plan — the run is bit-identical to a fault-free engine.
+  void set_fault_injector(FaultInjector* injector);
+
   [[nodiscard]] const Trace& trace() const { return trace_; }
 
   [[nodiscard]] const core::Platform& platform() const { return platform_; }
@@ -85,11 +104,13 @@ class RuntimeEngine final : private MemoryManager::Observer,
     std::deque<core::TaskId> buffer;             ///< popped, not yet started
     std::deque<core::DataId> hint_queue;         ///< push-time prefetch hints
     core::TaskId running = core::kInvalidTask;
+    bool alive = true;           ///< false after a scripted GPU loss
     bool starved = false;        ///< scheduler had nothing for us last time
     bool assembly_active = false;
     bool scratch_reserved = false;  ///< output buffer of the head task
     std::vector<core::DataId> assembly_pins;
     double sched_busy_until_us = 0.0;
+    double running_until_us = 0.0;  ///< scheduled end of the running task
     double busy_us = 0.0;
     std::uint64_t tasks_executed = 0;
     std::uint64_t loads = 0;
@@ -111,7 +132,17 @@ class RuntimeEngine final : private MemoryManager::Observer,
   void start_task(core::GpuId gpu, core::TaskId task);
   void finish_task(core::GpuId gpu, core::TaskId task);
   void retry_starved();
-  void report_deadlock_and_abort() const;
+  [[noreturn]] void throw_deadlock() const;
+  [[nodiscard]] std::string format_engine_state() const;
+
+  // Fault-injection recovery paths.
+  void schedule_faults();
+  void attach_fault_hooks();
+  void fail_gpu(core::GpuId gpu);
+  void apply_capacity_shock(core::GpuId gpu, std::uint64_t capacity_bytes);
+  /// Smallest capacity at which every task can still assemble (inputs +
+  /// output scratch); capacity shocks are clamped to it. Computed lazily.
+  [[nodiscard]] std::uint64_t min_safe_capacity();
 
   // MemoryManager::Observer
   void on_data_loaded(core::GpuId gpu, core::DataId data) override;
@@ -125,7 +156,9 @@ class RuntimeEngine final : private MemoryManager::Observer,
   void publish(InspectorEventKind kind, core::GpuId gpu, std::uint32_t id,
                std::uint64_t bytes = 0, std::uint32_t channel = kNoChannel,
                std::uint32_t aux = 0) {
-    if (!inspectors_.empty()) publish_slow(kind, gpu, id, bytes, channel, aux);
+    if (!inspectors_.empty() || watchdog_log_) {
+      publish_slow(kind, gpu, id, bytes, channel, aux);
+    }
   }
   void publish_slow(InspectorEventKind kind, core::GpuId gpu, std::uint32_t id,
                     std::uint64_t bytes, std::uint32_t channel,
@@ -176,6 +209,20 @@ class RuntimeEngine final : private MemoryManager::Observer,
   Trace trace_;
   std::vector<Inspector*> inspectors_;
   bool ran_ = false;
+
+  // Fault-injection state. All dormant (and cost-free) without an injector.
+  FaultInjector* injector_ = nullptr;
+  /// Orphans the scheduler declined to re-own; served to surviving GPUs
+  /// ahead of further pop_task calls.
+  std::deque<core::TaskId> reclaimed_;
+  std::uint32_t alive_gpus_ = 0;
+  std::uint64_t min_safe_capacity_ = 0;  ///< 0 = not yet computed
+  core::FaultMetrics fault_metrics_;
+
+  /// Watchdog: when a budget is set, keep a short tail of formatted events
+  /// for the BudgetExceededError excerpt.
+  bool watchdog_log_ = false;
+  std::deque<std::string> watchdog_recent_;
 };
 
 }  // namespace mg::sim

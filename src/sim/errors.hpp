@@ -1,0 +1,38 @@
+// Structured engine failures.
+//
+// The engine never aborts the process for conditions a harness can handle:
+// a wedged simulation throws DeadlockError (carrying the same state dump the
+// old hard abort printed), an exhausted watchdog budget throws
+// BudgetExceededError (with an excerpt of the most recent events), and an
+// unsatisfiable fault plan throws plain EngineError. Bench and example
+// binaries catch EngineError at the top level and exit non-zero; the
+// differential test harness catches it and reports the offending seed.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mg::sim {
+
+class EngineError : public std::runtime_error {
+ public:
+  explicit EngineError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// The event queue ran dry with tasks outstanding — a scheduler or eviction
+/// policy bug. what() carries the engine-state dump (per-GPU pipelines,
+/// residency, stalled fetches).
+class DeadlockError final : public EngineError {
+ public:
+  using EngineError::EngineError;
+};
+
+/// A watchdog ceiling (EngineConfig::max_events / max_sim_time_us) was hit.
+/// what() carries the exhausted budget and a recent-event excerpt.
+class BudgetExceededError final : public EngineError {
+ public:
+  using EngineError::EngineError;
+};
+
+}  // namespace mg::sim

@@ -1,0 +1,36 @@
+#include "sim/fault_injector.hpp"
+
+#include "sim/inspector.hpp"
+
+namespace mg::sim {
+
+namespace {
+
+bool scope_covers(FaultPlan::TransferScope scope, std::uint32_t channel) {
+  if (channel == kChannelWriteback) return false;
+  switch (scope) {
+    case FaultPlan::TransferScope::kAll:
+      return true;
+    case FaultPlan::TransferScope::kHostBus:
+      return channel == kChannelHostBus;
+    case FaultPlan::TransferScope::kNvlink:
+      return channel >= kChannelNvlinkBase;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FaultInjector::should_fail_transfer(std::uint32_t channel, double now_us,
+                                         std::uint32_t attempt) {
+  for (const FaultPlan::TransferFault& fault : plan_.transfer_faults) {
+    if (!scope_covers(fault.scope, channel)) continue;
+    if (now_us < fault.start_us || now_us > fault.end_us) continue;
+    // attempt is 1-based: the n-th attempt has already failed n-1 times.
+    if (attempt > fault.max_failures_per_transfer) continue;
+    if (rng_.chance(fault.probability)) return true;
+  }
+  return false;
+}
+
+}  // namespace mg::sim

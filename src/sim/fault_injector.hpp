@@ -1,0 +1,45 @@
+// Fault injector: the per-run stateful half of fault injection.
+//
+// Wraps one FaultPlan together with the RNG that drives its probabilistic
+// transfer faults. The RuntimeEngine consults should_fail_transfer() at
+// each wire delivery (draws happen in deterministic event order, so a
+// (plan, workload, scheduler) triple always produces the same fault
+// pattern) and reads the scripted GPU losses and capacity shocks straight
+// from plan(). One injector serves one run; construct a fresh one per
+// engine.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/fault_plan.hpp"
+#include "util/rng.hpp"
+
+namespace mg::sim {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan)
+      : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  [[nodiscard]] bool has_transfer_faults() const {
+    return !plan_.transfer_faults.empty();
+  }
+
+  /// Decides whether the delivery attempt (1-based `attempt`) of a transfer
+  /// on `channel` (inspector numbering) at simulated time `now_us` fails.
+  /// Once `attempt` exceeds every matching window's
+  /// max_failures_per_transfer the answer is always false — capped retries
+  /// guarantee each transfer eventually lands. The writeback channel is
+  /// never failed.
+  [[nodiscard]] bool should_fail_transfer(std::uint32_t channel,
+                                          double now_us,
+                                          std::uint32_t attempt);
+
+ private:
+  FaultPlan plan_;
+  util::Rng rng_;
+};
+
+}  // namespace mg::sim

@@ -1,0 +1,351 @@
+#include "sim/fault_plan.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace mg::sim {
+
+namespace {
+
+const char* scope_name(FaultPlan::TransferScope scope) {
+  switch (scope) {
+    case FaultPlan::TransferScope::kAll: return "all";
+    case FaultPlan::TransferScope::kHostBus: return "host_bus";
+    case FaultPlan::TransferScope::kNvlink: return "nvlink";
+  }
+  return "all";
+}
+
+bool scope_from_name(const std::string& name,
+                     FaultPlan::TransferScope* scope) {
+  if (name == "all") {
+    *scope = FaultPlan::TransferScope::kAll;
+  } else if (name == "host_bus") {
+    *scope = FaultPlan::TransferScope::kHostBus;
+  } else if (name == "nvlink") {
+    *scope = FaultPlan::TransferScope::kNvlink;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Fetches `key` as a finite number; missing keys keep `*out` untouched and
+/// succeed, wrong types fail.
+bool read_number(const util::json::Value& object, const char* key, double* out,
+                 std::string* error) {
+  const util::json::Value* value = object.find(key);
+  if (value == nullptr) return true;
+  if (!value->is_number()) {
+    return fail(error, std::string("field '") + key + "' must be a number");
+  }
+  *out = value->as_number();
+  return true;
+}
+
+bool read_u64(const util::json::Value& object, const char* key,
+              std::uint64_t* out, std::string* error) {
+  double number = 0.0;
+  if (!read_number(object, key, &number, error)) return false;
+  const util::json::Value* value = object.find(key);
+  if (value == nullptr) return true;
+  if (number < 0.0) {
+    return fail(error, std::string("field '") + key + "' must be >= 0");
+  }
+  *out = static_cast<std::uint64_t>(number);
+  return true;
+}
+
+void append_double(std::string* out, double value) {
+  char buffer[64];
+  if (std::isinf(value)) {
+    // JSON has no infinity; an omitted end_us means "until the run ends" and
+    // the parser restores the default.
+    std::snprintf(buffer, sizeof buffer, "1e308");
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  }
+  *out += buffer;
+}
+
+}  // namespace
+
+std::string FaultPlan::validate(std::uint32_t num_gpus) const {
+  char buffer[160];
+  std::uint32_t losses = 0;
+  for (const GpuLoss& loss : gpu_losses) {
+    if (loss.gpu >= num_gpus) {
+      std::snprintf(buffer, sizeof buffer,
+                    "gpu_losses: gpu %u out of range (platform has %u GPUs)",
+                    loss.gpu, num_gpus);
+      return buffer;
+    }
+    if (!std::isfinite(loss.time_us) || loss.time_us < 0.0) {
+      return "gpu_losses: time_us must be finite and >= 0";
+    }
+    ++losses;
+  }
+  // Each GPU can die at most once; duplicate losses of one GPU are a plan bug.
+  for (std::size_t i = 0; i < gpu_losses.size(); ++i) {
+    for (std::size_t j = i + 1; j < gpu_losses.size(); ++j) {
+      if (gpu_losses[i].gpu == gpu_losses[j].gpu) {
+        std::snprintf(buffer, sizeof buffer,
+                      "gpu_losses: gpu %u listed twice", gpu_losses[i].gpu);
+        return buffer;
+      }
+    }
+  }
+  if (losses >= num_gpus) {
+    return "gpu_losses: the plan kills every GPU; at least one must survive";
+  }
+  for (const TransferFault& fault : transfer_faults) {
+    if (std::isnan(fault.start_us) || fault.start_us < 0.0 ||
+        std::isnan(fault.end_us) || fault.end_us < fault.start_us) {
+      return "transfer_faults: need 0 <= start_us <= end_us";
+    }
+    if (!(fault.probability >= 0.0 && fault.probability <= 1.0)) {
+      return "transfer_faults: probability must be in [0, 1]";
+    }
+  }
+  for (const CapacityShock& shock : capacity_shocks) {
+    if (shock.gpu >= num_gpus) {
+      std::snprintf(buffer, sizeof buffer,
+                    "capacity_shocks: gpu %u out of range (platform has %u "
+                    "GPUs)",
+                    shock.gpu, num_gpus);
+      return buffer;
+    }
+    if (!std::isfinite(shock.time_us) || shock.time_us < 0.0) {
+      return "capacity_shocks: time_us must be finite and >= 0";
+    }
+    if (shock.capacity_bytes == 0) {
+      return "capacity_shocks: capacity_bytes must be > 0";
+    }
+  }
+  return {};
+}
+
+std::optional<FaultPlan> parse_fault_plan(std::string_view json_text,
+                                          std::string* error) {
+  const std::optional<util::json::Value> root = util::json::parse(json_text);
+  if (!root.has_value() || !root->is_object()) {
+    fail(error, "fault plan is not a JSON object");
+    return std::nullopt;
+  }
+
+  FaultPlan plan;
+  if (const util::json::Value* version = root->find("schema_version")) {
+    if (!version->is_number() ||
+        static_cast<int>(version->as_number()) != FaultPlan::kSchemaVersion) {
+      fail(error, "unsupported fault plan schema_version");
+      return std::nullopt;
+    }
+  } else {
+    fail(error, "fault plan is missing schema_version");
+    return std::nullopt;
+  }
+  if (!read_u64(*root, "seed", &plan.seed, error)) return std::nullopt;
+
+  if (const util::json::Value* losses = root->find("gpu_losses")) {
+    if (!losses->is_array()) {
+      fail(error, "gpu_losses must be an array");
+      return std::nullopt;
+    }
+    for (const util::json::Value& entry : losses->as_array()) {
+      if (!entry.is_object()) {
+        fail(error, "gpu_losses entries must be objects");
+        return std::nullopt;
+      }
+      FaultPlan::GpuLoss loss;
+      std::uint64_t gpu = 0;
+      if (!read_number(entry, "time_us", &loss.time_us, error) ||
+          !read_u64(entry, "gpu", &gpu, error)) {
+        return std::nullopt;
+      }
+      loss.gpu = static_cast<core::GpuId>(gpu);
+      plan.gpu_losses.push_back(loss);
+    }
+  }
+
+  if (const util::json::Value* faults = root->find("transfer_faults")) {
+    if (!faults->is_array()) {
+      fail(error, "transfer_faults must be an array");
+      return std::nullopt;
+    }
+    for (const util::json::Value& entry : faults->as_array()) {
+      if (!entry.is_object()) {
+        fail(error, "transfer_faults entries must be objects");
+        return std::nullopt;
+      }
+      FaultPlan::TransferFault fault;
+      std::uint64_t max_failures = fault.max_failures_per_transfer;
+      if (!read_number(entry, "start_us", &fault.start_us, error) ||
+          !read_number(entry, "end_us", &fault.end_us, error) ||
+          !read_number(entry, "probability", &fault.probability, error) ||
+          !read_u64(entry, "max_failures_per_transfer", &max_failures,
+                    error)) {
+        return std::nullopt;
+      }
+      fault.max_failures_per_transfer =
+          static_cast<std::uint32_t>(max_failures);
+      if (const util::json::Value* scope = entry.find("scope")) {
+        if (!scope->is_string() ||
+            !scope_from_name(scope->as_string(), &fault.scope)) {
+          fail(error,
+               "transfer_faults: scope must be \"all\", \"host_bus\" or "
+               "\"nvlink\"");
+          return std::nullopt;
+        }
+      }
+      plan.transfer_faults.push_back(fault);
+    }
+  }
+
+  if (const util::json::Value* shocks = root->find("capacity_shocks")) {
+    if (!shocks->is_array()) {
+      fail(error, "capacity_shocks must be an array");
+      return std::nullopt;
+    }
+    for (const util::json::Value& entry : shocks->as_array()) {
+      if (!entry.is_object()) {
+        fail(error, "capacity_shocks entries must be objects");
+        return std::nullopt;
+      }
+      FaultPlan::CapacityShock shock;
+      std::uint64_t gpu = 0;
+      if (!read_number(entry, "time_us", &shock.time_us, error) ||
+          !read_u64(entry, "gpu", &gpu, error) ||
+          !read_u64(entry, "capacity_bytes", &shock.capacity_bytes, error)) {
+        return std::nullopt;
+      }
+      shock.gpu = static_cast<core::GpuId>(gpu);
+      plan.capacity_shocks.push_back(shock);
+    }
+  }
+  return plan;
+}
+
+std::optional<FaultPlan> load_fault_plan_file(const std::string& path,
+                                              std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail(error, "cannot open fault plan file: " + path);
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_fault_plan(text.str(), error);
+}
+
+std::string fault_plan_to_json(const FaultPlan& plan) {
+  std::string out = "{\"schema_version\":";
+  out += std::to_string(FaultPlan::kSchemaVersion);
+  out += ",\"seed\":";
+  out += std::to_string(plan.seed);
+  out += ",\"gpu_losses\":[";
+  for (std::size_t i = 0; i < plan.gpu_losses.size(); ++i) {
+    const FaultPlan::GpuLoss& loss = plan.gpu_losses[i];
+    if (i != 0) out += ',';
+    out += "{\"time_us\":";
+    append_double(&out, loss.time_us);
+    out += ",\"gpu\":";
+    out += std::to_string(loss.gpu);
+    out += '}';
+  }
+  out += "],\"transfer_faults\":[";
+  for (std::size_t i = 0; i < plan.transfer_faults.size(); ++i) {
+    const FaultPlan::TransferFault& fault = plan.transfer_faults[i];
+    if (i != 0) out += ',';
+    out += "{\"start_us\":";
+    append_double(&out, fault.start_us);
+    if (std::isfinite(fault.end_us)) {
+      out += ",\"end_us\":";
+      append_double(&out, fault.end_us);
+    }
+    out += ",\"scope\":\"";
+    out += scope_name(fault.scope);
+    out += "\",\"probability\":";
+    append_double(&out, fault.probability);
+    out += ",\"max_failures_per_transfer\":";
+    out += std::to_string(fault.max_failures_per_transfer);
+    out += '}';
+  }
+  out += "],\"capacity_shocks\":[";
+  for (std::size_t i = 0; i < plan.capacity_shocks.size(); ++i) {
+    const FaultPlan::CapacityShock& shock = plan.capacity_shocks[i];
+    if (i != 0) out += ',';
+    out += "{\"time_us\":";
+    append_double(&out, shock.time_us);
+    out += ",\"gpu\":";
+    out += std::to_string(shock.gpu);
+    out += ",\"capacity_bytes\":";
+    out += std::to_string(shock.capacity_bytes);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+FaultPlan make_random_fault_plan(std::uint64_t seed,
+                                 const RandomFaultOptions& options) {
+  util::Rng rng(seed);
+  FaultPlan plan;
+  plan.seed = seed;
+
+  if (options.allow_gpu_loss && options.num_gpus >= 2) {
+    // 1..num_gpus-1 losses, biased toward one: recovery with several
+    // survivors is the common case worth stressing most often.
+    std::uint32_t losses = 1;
+    if (options.num_gpus > 2 && rng.chance(0.3)) {
+      losses = 1 + static_cast<std::uint32_t>(
+                       rng.below(options.num_gpus - 1));
+    }
+    std::vector<core::GpuId> gpus(options.num_gpus);
+    for (core::GpuId g = 0; g < options.num_gpus; ++g) gpus[g] = g;
+    rng.shuffle(gpus);
+    for (std::uint32_t i = 0; i < losses; ++i) {
+      FaultPlan::GpuLoss loss;
+      loss.gpu = gpus[i];
+      loss.time_us = rng.uniform() * options.horizon_us * 0.6;
+      plan.gpu_losses.push_back(loss);
+    }
+  }
+
+  if (options.allow_transfer_faults) {
+    FaultPlan::TransferFault fault;
+    fault.start_us = 0.0;
+    fault.end_us = options.horizon_us;
+    fault.probability = 0.05 + rng.uniform() * 0.25;
+    fault.max_failures_per_transfer =
+        1 + static_cast<std::uint32_t>(rng.below(4));
+    const std::uint64_t scope_draw = rng.below(3);
+    fault.scope = scope_draw == 0   ? FaultPlan::TransferScope::kAll
+                  : scope_draw == 1 ? FaultPlan::TransferScope::kHostBus
+                                    : FaultPlan::TransferScope::kNvlink;
+    plan.transfer_faults.push_back(fault);
+  }
+
+  if (options.allow_capacity_shock && options.gpu_memory_bytes > 0) {
+    FaultPlan::CapacityShock shock;
+    shock.gpu = static_cast<core::GpuId>(rng.below(options.num_gpus));
+    shock.time_us = rng.uniform() * options.horizon_us * 0.6;
+    const double fraction = 0.3 + rng.uniform() * 0.5;
+    shock.capacity_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(options.gpu_memory_bytes) * fraction);
+    if (shock.capacity_bytes == 0) shock.capacity_bytes = 1;
+    plan.capacity_shocks.push_back(shock);
+  }
+  return plan;
+}
+
+}  // namespace mg::sim

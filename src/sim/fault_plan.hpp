@@ -1,0 +1,116 @@
+// Fault plans — the declarative half of the fault-injection subsystem.
+//
+// A FaultPlan is a schema-versioned description of the faults one run must
+// absorb: permanent GPU losses at fixed times, transient transfer-failure
+// windows (seeded Bernoulli per delivery attempt, bounded per transfer so
+// every fetch eventually lands), and mid-run capacity shocks that shrink a
+// GPU's usable memory. Plans are either scripted (JSON, see
+// docs/ROBUSTNESS.md for the schema) or drawn from a seed by
+// make_random_fault_plan for the differential harness.
+//
+// The plan is pure data; sim::FaultInjector holds the per-run RNG state and
+// the RuntimeEngine owns the recovery paths.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace mg::sim {
+
+struct FaultPlan {
+  static constexpr int kSchemaVersion = 1;
+
+  /// Permanent device failure: at time_us the GPU stops executing, its
+  /// residency is invalidated and its popped-but-unfinished tasks are
+  /// re-dispatched to survivors.
+  struct GpuLoss {
+    double time_us = 0.0;
+    core::GpuId gpu = 0;
+  };
+
+  /// Which wire channels a transfer-failure window covers. Write-backs are
+  /// never failed: outputs leave on their own full-duplex channel and a
+  /// lost write-back would need host-side recovery the model does not have.
+  enum class TransferScope : std::uint8_t { kAll, kHostBus, kNvlink };
+
+  /// Transient transfer failures: while active, each delivery attempt on a
+  /// covered channel fails with `probability` — until a single transfer has
+  /// failed `max_failures_per_transfer` times, after which it is delivered
+  /// unconditionally (capped retries guarantee progress).
+  struct TransferFault {
+    double start_us = 0.0;
+    double end_us = std::numeric_limits<double>::infinity();
+    TransferScope scope = TransferScope::kAll;
+    double probability = 0.0;
+    std::uint32_t max_failures_per_transfer = 3;
+  };
+
+  /// Memory-pressure shock: the GPU's capacity drops to capacity_bytes
+  /// (clamped by the engine to the largest single-task footprint so a
+  /// schedule still exists), emergency-evicting unpinned data.
+  struct CapacityShock {
+    double time_us = 0.0;
+    core::GpuId gpu = 0;
+    std::uint64_t capacity_bytes = 0;
+  };
+
+  /// Drives the Bernoulli draws of the transfer-failure windows.
+  std::uint64_t seed = 0;
+
+  std::vector<GpuLoss> gpu_losses;
+  std::vector<TransferFault> transfer_faults;
+  std::vector<CapacityShock> capacity_shocks;
+
+  [[nodiscard]] bool empty() const {
+    return gpu_losses.empty() && transfer_faults.empty() &&
+           capacity_shocks.empty();
+  }
+
+  /// Checks the plan against a platform of `num_gpus` devices: every GPU id
+  /// in range, times finite and non-negative, probabilities in [0, 1], and
+  /// at least one GPU surviving all losses. Returns the first problem, or
+  /// an empty string when the plan is applicable.
+  [[nodiscard]] std::string validate(std::uint32_t num_gpus) const;
+};
+
+/// Parses a FaultPlan from its JSON form. On failure returns nullopt and,
+/// when `error` is non-null, stores a diagnostic.
+[[nodiscard]] std::optional<FaultPlan> parse_fault_plan(
+    std::string_view json_text, std::string* error = nullptr);
+
+/// Reads and parses a fault-plan JSON file.
+[[nodiscard]] std::optional<FaultPlan> load_fault_plan_file(
+    const std::string& path, std::string* error = nullptr);
+
+/// Serializes the plan to its JSON form (round-trips through
+/// parse_fault_plan).
+[[nodiscard]] std::string fault_plan_to_json(const FaultPlan& plan);
+
+/// Knobs for the seeded plan generator used by the differential harness and
+/// the abl_faults ablation.
+struct RandomFaultOptions {
+  std::uint32_t num_gpus = 2;
+
+  /// Time window the faults are drawn from (losses and shocks land in the
+  /// first 60% so recovery is actually exercised).
+  double horizon_us = 1000.0;
+
+  /// Pre-shock capacity; shocks request 30-80% of it. 0 disables shocks.
+  std::uint64_t gpu_memory_bytes = 0;
+
+  bool allow_gpu_loss = true;
+  bool allow_transfer_faults = true;
+  bool allow_capacity_shock = true;
+};
+
+/// Draws a plan from `seed`: at most num_gpus-1 losses (never the whole
+/// platform), one transfer-flakiness window, one capacity shock.
+[[nodiscard]] FaultPlan make_random_fault_plan(std::uint64_t seed,
+                                               const RandomFaultOptions& options);
+
+}  // namespace mg::sim

@@ -20,6 +20,11 @@ std::string_view inspector_event_kind_name(InspectorEventKind kind) {
     case InspectorEventKind::kNotifyTaskComplete: return "notify-complete";
     case InspectorEventKind::kNotifyDataLoaded: return "notify-loaded";
     case InspectorEventKind::kNotifyDataEvicted: return "notify-evicted";
+    case InspectorEventKind::kGpuLost: return "gpu-lost";
+    case InspectorEventKind::kCapacityShock: return "capacity-shock";
+    case InspectorEventKind::kTransferRetry: return "transfer-retry";
+    case InspectorEventKind::kTaskReclaimed: return "task-reclaimed";
+    case InspectorEventKind::kNotifyGpuLost: return "notify-gpu-lost";
   }
   return "?";
 }
@@ -39,7 +44,8 @@ std::string format_inspector_event(const InspectorEvent& event) {
                        event.kind == InspectorEventKind::kScratchRelease ||
                        event.kind == InspectorEventKind::kWriteBackStart ||
                        event.kind == InspectorEventKind::kWriteBackEnd ||
-                       event.kind == InspectorEventKind::kNotifyTaskComplete;
+                       event.kind == InspectorEventKind::kNotifyTaskComplete ||
+                       event.kind == InspectorEventKind::kTaskReclaimed;
   char buffer[192];
   std::snprintf(buffer, sizeof buffer, "t=%.3fus gpu%u %.*s %c%u", event.time_us,
                 event.gpu,
@@ -62,6 +68,21 @@ std::string format_inspector_event(const InspectorEvent& event) {
   } else if (event.kind == InspectorEventKind::kEvict) {
     std::snprintf(buffer, sizeof buffer, " pins=%u", event.aux);
     line += buffer;
+  } else if (event.kind == InspectorEventKind::kGpuLost ||
+             event.kind == InspectorEventKind::kNotifyGpuLost) {
+    std::snprintf(buffer, sizeof buffer, " orphans=%u",
+                  event.kind == InspectorEventKind::kGpuLost ? event.aux
+                                                             : event.id);
+    line += buffer;
+    if (event.kind == InspectorEventKind::kNotifyGpuLost) {
+      line += event.aux != 0 ? " (adopted)" : " (requeued)";
+    }
+  } else if (event.kind == InspectorEventKind::kTransferRetry) {
+    std::snprintf(buffer, sizeof buffer, " attempt=%u", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kCapacityShock &&
+             event.aux != 0) {
+    line += " (clamped)";
   }
   return line;
 }

@@ -44,6 +44,17 @@ enum class InspectorEventKind : std::uint8_t {
   kNotifyTaskComplete,  ///< engine called scheduler.notify_task_complete
   kNotifyDataLoaded,    ///< engine called scheduler.notify_data_loaded
   kNotifyDataEvicted,   ///< engine called scheduler.notify_data_evicted
+
+  // Fault injection (sim/fault_plan.hpp).
+  kGpuLost,        ///< `gpu` failed permanently (bytes: resident bytes lost,
+                   ///< aux: reclaimed-orphan count)
+  kCapacityShock,  ///< `gpu` capacity became `bytes` (aux: 1 = request was
+                   ///< clamped to the minimum safe capacity)
+  kTransferRetry,  ///< delivery attempt `aux` of data `id` towards `gpu`
+                   ///< failed on `channel`; retried after backoff
+  kTaskReclaimed,  ///< task `id` reclaimed from dead `gpu`, to re-run
+  kNotifyGpuLost,  ///< engine called scheduler.notify_gpu_lost (id: orphan
+                   ///< count, aux: 1 = scheduler adopted the orphans)
 };
 
 [[nodiscard]] std::string_view inspector_event_kind_name(

@@ -31,6 +31,7 @@ void InvariantChecker::on_run_begin(const core::TaskGraph& graph,
   for (GpuState& gpu : gpus_) {
     gpu.resident.assign(graph.num_data(), 0);
     gpu.in_flight.assign(graph.num_data(), 0);
+    gpu.capacity_bytes = platform.gpu_memory_bytes;
   }
   started_.assign(graph.num_tasks(), 0);
   ended_.assign(graph.num_tasks(), 0);
@@ -96,6 +97,21 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
   const std::uint32_t num_data = graph_->num_data();
   const std::uint32_t num_tasks = graph_->num_tasks();
 
+  // Degraded-model liveness: a dead GPU performs no activity. Wire events
+  // are exempt (a transfer already on the wire at the loss still drains),
+  // and the fault events themselves carry their own liveness rules.
+  switch (event.kind) {
+    case InspectorEventKind::kTransferStart:
+    case InspectorEventKind::kTransferEnd:
+    case InspectorEventKind::kGpuLost:
+    case InspectorEventKind::kCapacityShock:
+    case InspectorEventKind::kTaskReclaimed:
+    case InspectorEventKind::kNotifyGpuLost:
+      break;
+    default:
+      if (!gpu.alive) return fail(event, "activity on a dead gpu");
+  }
+
   switch (event.kind) {
     case InspectorEventKind::kFetchStart: {
       if (event.id >= num_data) return fail(event, "fetch of unknown data");
@@ -110,7 +126,7 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       }
       gpu.in_flight[event.id] = 1;
       gpu.committed_bytes += event.bytes;
-      if (gpu.committed_bytes > platform_.gpu_memory_bytes) {
+      if (gpu.committed_bytes > gpu.capacity_bytes) {
         return fail(event, "memory bound exceeded (committed bytes)");
       }
       break;
@@ -131,8 +147,15 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       }
       gpu.resident[event.id] = 1;
       gpu.resident_bytes += graph_->data_size(event.id);
-      if (gpu.resident_bytes > platform_.gpu_memory_bytes ||
-          gpu.committed_bytes > platform_.gpu_memory_bytes) {
+      if (options_.online) {
+        // A transfer committed before a capacity shock may land after it
+        // (grandfathered); the fetch-time check already bounded the
+        // commitment, so landing only needs residency <= commitment.
+        if (gpu.resident_bytes > gpu.committed_bytes) {
+          return fail(event, "resident bytes exceed committed bytes");
+        }
+      } else if (gpu.resident_bytes > gpu.capacity_bytes ||
+                 gpu.committed_bytes > gpu.capacity_bytes) {
         return fail(event, "memory bound exceeded");
       }
       break;
@@ -156,7 +179,7 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
     case InspectorEventKind::kScratchReserve: {
       gpu.scratch_bytes += event.bytes;
       gpu.committed_bytes += event.bytes;
-      if (gpu.committed_bytes > platform_.gpu_memory_bytes) {
+      if (gpu.committed_bytes > gpu.capacity_bytes) {
         return fail(event, "memory bound exceeded (scratch)");
       }
       break;
@@ -244,6 +267,54 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
           gpu.in_flight[event.id] != 0) {
         return fail(event, "eviction notified for data still on the gpu");
       }
+      break;
+    }
+    case InspectorEventKind::kGpuLost: {
+      if (!gpu.alive) return fail(event, "gpu lost twice");
+      gpu.alive = false;
+      if (gpu.running >= 0) {
+        // The interrupted task never finished; it must start again on a
+        // survivor, so its exactly-once budget is handed back.
+        started_[static_cast<std::size_t>(gpu.running)] = 0;
+        gpu.running = -1;
+      }
+      std::fill(gpu.resident.begin(), gpu.resident.end(), 0);
+      std::fill(gpu.in_flight.begin(), gpu.in_flight.end(), 0);
+      gpu.resident_bytes = 0;
+      gpu.committed_bytes = 0;
+      gpu.scratch_bytes = 0;
+      break;
+    }
+    case InspectorEventKind::kCapacityShock: {
+      if (!gpu.alive) return fail(event, "capacity shock on a dead gpu");
+      if (event.bytes == 0) return fail(event, "capacity shock to zero");
+      gpu.capacity_bytes = event.bytes;
+      break;
+    }
+    case InspectorEventKind::kTransferRetry: {
+      if (event.id >= num_data) {
+        return fail(event, "transfer retry of unknown data");
+      }
+      if (!gpu.alive) return fail(event, "transfer retry towards a dead gpu");
+      if (options_.online && gpu.in_flight[event.id] == 0) {
+        // A retried transfer must still be in flight: delivery-then-retry
+        // would mean the same bytes arrive twice.
+        return fail(event, "retry of a transfer that already delivered");
+      }
+      break;
+    }
+    case InspectorEventKind::kTaskReclaimed: {
+      if (event.id >= num_tasks) {
+        return fail(event, "reclaim of unknown task");
+      }
+      if (gpu.alive) return fail(event, "reclaim from a live gpu");
+      if (started_[event.id] != 0 || ended_[event.id] != 0) {
+        return fail(event, "reclaim of a task that already ran");
+      }
+      break;
+    }
+    case InspectorEventKind::kNotifyGpuLost: {
+      if (gpu.alive) return fail(event, "gpu-lost notified for a live gpu");
       break;
     }
   }

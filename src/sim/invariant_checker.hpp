@@ -20,6 +20,12 @@
 //     for resident data, notify_data_evicted only for absent data,
 //     notify_task_complete exactly once per task, after its end, on the GPU
 //     that ran it;
+//   * the degraded execution model under fault injection: no activity on a
+//     dead GPU (no fetches, loads, evictions, task starts or
+//     notifications), tasks reclaimed from a dead GPU were never finished
+//     and re-run exactly once on a survivor, capacity shocks re-bound all
+//     later commitments, and transfer retries only re-attempt transfers
+//     that are still in flight (no double delivery);
 //   * time is monotone and every id is in range.
 //
 // On violation the checker either aborts immediately with the offending
@@ -88,7 +94,10 @@ class InvariantChecker final : public Inspector {
     std::uint64_t resident_bytes = 0;
     std::uint64_t committed_bytes = 0;  ///< resident + in-flight + scratch
     std::uint64_t scratch_bytes = 0;
+    /// Current capacity: gpu_memory_bytes until a kCapacityShock moves it.
+    std::uint64_t capacity_bytes = 0;
     std::int64_t running = -1;
+    bool alive = true;  ///< false after kGpuLost
   };
 
   void fail(const InspectorEvent& event, const char* what);

@@ -23,6 +23,7 @@ MemoryManager::MemoryManager(core::GpuId gpu, const core::TaskGraph& graph,
 
 void MemoryManager::fetch(DataId data, bool demand) {
   MG_DCHECK(policy_ != nullptr && observer_ != nullptr);
+  if (!active_) return;
   if (residency_[data] != Residency::kAbsent) {
     // A hint transfer may still be sitting in the low-priority queue; a
     // demand for the same data makes it urgent.
@@ -52,9 +53,12 @@ void MemoryManager::fetch(DataId data, bool demand) {
 
 bool MemoryManager::fetch_hint(DataId data, bool may_evict) {
   MG_DCHECK(policy_ != nullptr && observer_ != nullptr);
+  if (!active_) return true;
   if (residency_[data] != Residency::kAbsent) return true;
   const std::uint64_t size = graph_.data_size(data);
-  if (capacity_ - committed_ < size) {
+  // Written overflow-safe: a capacity shock can leave committed_ above
+  // capacity_, where `capacity_ - committed_` would wrap.
+  if (committed_ + size > capacity_) {
     if (!may_evict) return false;
     if (!make_room(size)) return false;
   }
@@ -74,6 +78,9 @@ void MemoryManager::start_transfer(DataId data, bool demand,
 }
 
 void MemoryManager::on_transfer_complete(DataId data) {
+  // A transfer that was already on the wire (or in retry backoff) when the
+  // GPU died still delivers; drop it on the floor.
+  if (!active_) return;
   MG_DCHECK(residency_[data] == Residency::kFetching);
   residency_[data] = Residency::kPresent;
   resident_pos_[data] = static_cast<std::uint32_t>(resident_.size());
@@ -89,7 +96,9 @@ void MemoryManager::on_transfer_complete(DataId data) {
 
 bool MemoryManager::make_room(std::uint64_t bytes) {
   MG_DCHECK(bytes <= capacity_);
-  while (capacity_ - committed_ < bytes) {
+  // Overflow-safe form of `capacity_ - committed_ < bytes`: a capacity
+  // shock can leave committed_ above capacity_.
+  while (committed_ + bytes > capacity_) {
     // Candidates: resident and unpinned. In-flight data are absent from
     // resident_ by construction.
     std::vector<DataId> candidates;
@@ -129,6 +138,7 @@ void MemoryManager::remove_resident(DataId data) {
 }
 
 void MemoryManager::pin(DataId data) {
+  if (!active_) return;
   // Always-on check: pinning absent data would silently wedge the pipeline
   // (the engine would believe the input is protected and never re-fetch it).
   MG_CHECK_MSG(residency_[data] == Residency::kPresent,
@@ -137,14 +147,19 @@ void MemoryManager::pin(DataId data) {
 }
 
 void MemoryManager::unpin(DataId data) {
+  if (!active_) return;
   MG_DCHECK(pins_[data] > 0);
   --pins_[data];
   if (pins_[data] == 0 && !stalled_.empty()) retry_stalled();
 }
 
-void MemoryManager::touch(DataId data) { policy_->on_use(gpu_, data); }
+void MemoryManager::touch(DataId data) {
+  if (!active_) return;
+  policy_->on_use(gpu_, data);
+}
 
 bool MemoryManager::try_reserve_scratch(std::uint64_t bytes) {
+  if (!active_) return false;
   if (bytes == 0) return true;
   MG_CHECK_MSG(bytes <= capacity_, "scratch larger than GPU memory");
   if (!make_room(bytes)) return false;
@@ -154,9 +169,39 @@ bool MemoryManager::try_reserve_scratch(std::uint64_t bytes) {
 }
 
 void MemoryManager::release_scratch(std::uint64_t bytes) {
+  if (!active_) return;
   MG_DCHECK(bytes <= committed_);
   committed_ -= bytes;
   if (!stalled_.empty()) retry_stalled();
+}
+
+std::uint32_t MemoryManager::emergency_evict() {
+  std::uint32_t evicted = 0;
+  while (committed_ > capacity_) {
+    std::vector<DataId> candidates;
+    candidates.reserve(resident_.size());
+    for (DataId data : resident_) {
+      if (pins_[data] == 0) candidates.push_back(data);
+    }
+    if (candidates.empty()) break;  // pinned/in-flight overhang drains later
+    DataId victim = policy_->choose_victim(gpu_, candidates);
+    // Under emergency pressure the policy does not get to decline: fall
+    // back to the oldest candidate rather than staying over capacity.
+    if (victim == kInvalidData) victim = candidates.front();
+    evict(victim);
+    ++evicted;
+  }
+  return evicted;
+}
+
+void MemoryManager::deactivate() {
+  active_ = false;
+  std::fill(residency_.begin(), residency_.end(), Residency::kAbsent);
+  std::fill(pins_.begin(), pins_.end(), 0u);
+  std::fill(resident_pos_.begin(), resident_pos_.end(), kNoPos);
+  resident_.clear();
+  stalled_.clear();
+  committed_ = 0;
 }
 
 void MemoryManager::retry_stalled() {

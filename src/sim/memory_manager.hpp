@@ -110,6 +110,28 @@ class MemoryManager final : public core::MemoryView {
     return resident_;
   }
 
+  /// Changes the capacity mid-run (fault injection: memory-pressure shock).
+  /// Shrinking does not evict by itself — call emergency_evict() afterwards;
+  /// until committed bytes drain below the new capacity, new fetches stall.
+  /// Growing retries parked fetches that may fit now.
+  void set_capacity(std::uint64_t capacity_bytes) {
+    const bool grew = capacity_bytes > capacity_;
+    capacity_ = capacity_bytes;
+    if (grew && !stalled_.empty()) retry_stalled();
+  }
+
+  /// Evicts unpinned resident data until committed bytes fit the capacity
+  /// again (or no candidate is left — pinned data and in-flight reservations
+  /// are untouchable and drain on their own). Returns the eviction count.
+  std::uint32_t emergency_evict();
+
+  /// Permanently shuts the manager down (GPU loss): wipes all residency,
+  /// pins and stalled fetches. Every subsequent call is a no-op, so late
+  /// wire deliveries towards the dead GPU land harmlessly.
+  void deactivate();
+
+  [[nodiscard]] bool active() const { return active_; }
+
   [[nodiscard]] std::size_t stalled_fetches() const { return stalled_.size(); }
   [[nodiscard]] core::GpuId gpu() const { return gpu_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
@@ -144,6 +166,7 @@ class MemoryManager final : public core::MemoryView {
   std::uint64_t committed_ = 0;
   std::uint64_t evictions_ = 0;
   bool in_retry_ = false;
+  bool active_ = true;
 
   static constexpr std::uint32_t kNoPos = 0xffffffffu;
 };

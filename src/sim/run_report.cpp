@@ -127,6 +127,25 @@ std::string run_report_to_json(const RunReport& report) {
     json += ':';
     append_u64(json, count);
   }
+  json += "}";
+
+  json += ",\"faults\":{\"gpu_losses\":" +
+          std::to_string(report.faults.gpu_losses);
+  json += ",\"capacity_shocks\":" +
+          std::to_string(report.faults.capacity_shocks);
+  json += ",\"tasks_reclaimed\":";
+  append_u64(json, report.faults.tasks_reclaimed);
+  json += ",\"transfer_retries\":";
+  append_u64(json, report.faults.transfer_retries);
+  json += ",\"wasted_transfer_bytes\":";
+  append_u64(json, report.faults.wasted_transfer_bytes);
+  json += ",\"recovery_latency_us\":[";
+  for (std::size_t i = 0; i < report.faults.recovery_latency_us.size(); ++i) {
+    if (i > 0) json += ',';
+    append_double(json, report.faults.recovery_latency_us[i]);
+  }
+  json += "],\"max_recovery_latency_us\":";
+  append_double(json, report.faults.max_recovery_latency_us);
   json += "}}";
   return json;
 }
@@ -171,6 +190,7 @@ void RunReportCollector::on_run_begin(const core::TaskGraph& graph,
   report_.per_gpu.assign(platform.num_gpus, RunReport::Gpu{});
   channels_.assign(kChannelNvlinkBase + platform.num_gpus, ChannelState{});
   gpu_scratch_.assign(platform.num_gpus, GpuScratch{});
+  pending_recoveries_.clear();
   trace_.events.clear();
 }
 
@@ -263,10 +283,48 @@ void RunReportCollector::on_event(const InspectorEvent& event) {
         trace_.events.push_back(
             {event.time_us, TraceKind::kTaskEnd, event.gpu, event.id});
       }
+      // A finished task closes any recovery still waiting on it.
+      for (std::size_t i = 0; i < pending_recoveries_.size();) {
+        PendingRecovery& pending = pending_recoveries_[i];
+        auto it = std::find(pending.outstanding.begin(),
+                            pending.outstanding.end(), event.id);
+        if (it != pending.outstanding.end()) pending.outstanding.erase(it);
+        if (pending.outstanding.empty()) {
+          report_.faults.recovery_latency_us.push_back(event.time_us -
+                                                       pending.loss_time_us);
+          pending_recoveries_.erase(pending_recoveries_.begin() +
+                                    static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+      break;
+    case InspectorEventKind::kGpuLost:
+      ++report_.faults.gpu_losses;
+      if (event.aux == 0) {
+        // Nothing was orphaned: recovery is instantaneous.
+        report_.faults.recovery_latency_us.push_back(0.0);
+      } else {
+        pending_recoveries_.push_back({event.time_us, {}});
+      }
+      break;
+    case InspectorEventKind::kCapacityShock:
+      ++report_.faults.capacity_shocks;
+      break;
+    case InspectorEventKind::kTransferRetry:
+      ++report_.faults.transfer_retries;
+      report_.faults.wasted_transfer_bytes += event.bytes;
+      break;
+    case InspectorEventKind::kTaskReclaimed:
+      ++report_.faults.tasks_reclaimed;
+      if (!pending_recoveries_.empty()) {
+        pending_recoveries_.back().outstanding.push_back(event.id);
+      }
       break;
     case InspectorEventKind::kNotifyTaskComplete:
     case InspectorEventKind::kNotifyDataLoaded:
     case InspectorEventKind::kNotifyDataEvicted:
+    case InspectorEventKind::kNotifyGpuLost:
       break;
   }
 }
@@ -275,6 +333,18 @@ void RunReportCollector::on_run_end(double makespan_us) {
   report_.makespan_us = makespan_us;
   report_.achieved_gflops =
       makespan_us > 0.0 ? report_.total_flops / (makespan_us * 1e3) : 0.0;
+
+  // Recoveries whose orphans never re-ran close at run end (defensive: the
+  // engine guarantees orphans re-run, so this only fires on partial runs).
+  for (const PendingRecovery& pending : pending_recoveries_) {
+    report_.faults.recovery_latency_us.push_back(makespan_us -
+                                                 pending.loss_time_us);
+  }
+  pending_recoveries_.clear();
+  for (double latency : report_.faults.recovery_latency_us) {
+    report_.faults.max_recovery_latency_us =
+        std::max(report_.faults.max_recovery_latency_us, latency);
+  }
 
   // Load balance.
   std::uint64_t max_tasks = 0;

@@ -5,12 +5,14 @@
 // progresses: per-GPU work and load-balance, wire occupancy per channel
 // (host bus, write-back channel, NVLink egress ports) including a bucketed
 // occupancy-over-time series, eviction counts grouped by the eviction
-// policy driving each GPU, and demand-vs-prefetch load counts. It also
+// policy driving each GPU, demand-vs-prefetch load counts, and — when a
+// fault plan is active — fault/recovery statistics (GPU losses, capacity
+// shocks, reclaimed tasks, transfer retries, recovery latencies). It also
 // mirrors the engine's execution Trace so a Chrome-tracing timeline can be
 // exported without separately enabling EngineConfig::record_trace.
 //
 // The report serializes to JSON (schema documented in
-// docs/OBSERVABILITY.md, schema_version 1); bench/figure_harness exposes it
+// docs/OBSERVABILITY.md, schema_version 2); bench/figure_harness exposes it
 // behind --run-report / --chrome-trace on every figure and ablation binary.
 #pragma once
 
@@ -25,7 +27,7 @@
 namespace mg::sim {
 
 struct RunReport {
-  static constexpr int kSchemaVersion = 1;
+  static constexpr int kSchemaVersion = 2;
 
   std::string scheduler;
   std::string context;  ///< free-form label (figure id, workload, ...)
@@ -85,12 +87,28 @@ struct RunReport {
   /// Evictions grouped by the policy that chose them (e.g. "LRU",
   /// "DARTS+LUF").
   std::map<std::string, std::uint64_t> evictions_by_policy;
+
+  /// Fault injection and recovery (sim/fault_plan.hpp). All zero / empty
+  /// when the run had no fault plan.
+  struct Faults {
+    std::uint32_t gpu_losses = 0;
+    std::uint32_t capacity_shocks = 0;
+    std::uint64_t tasks_reclaimed = 0;     ///< orphans pulled off dead GPUs
+    std::uint64_t transfer_retries = 0;    ///< failed delivery attempts
+    std::uint64_t wasted_transfer_bytes = 0;  ///< bytes re-sent by retries
+    /// One entry per GPU loss: simulated time from the loss until the last
+    /// orphaned task finished on a surviving GPU (0 when nothing was
+    /// orphaned).
+    std::vector<double> recovery_latency_us;
+    double max_recovery_latency_us = 0.0;
+  };
+  Faults faults;
 };
 
 /// Serializes one report as a JSON object.
 [[nodiscard]] std::string run_report_to_json(const RunReport& report);
 
-/// Writes `{"schema_version":1,"context":...,"runs":[...]}` to `path`.
+/// Writes `{"schema_version":2,"context":...,"runs":[...]}` to `path`.
 /// Returns false on I/O error.
 bool write_run_reports(const std::vector<RunReport>& reports,
                        const std::string& context, const std::string& path);
@@ -139,6 +157,12 @@ class RunReportCollector final : public Inspector {
     double task_open_us = 0.0;
   };
 
+  /// One GPU loss whose orphaned tasks have not all re-run yet.
+  struct PendingRecovery {
+    double loss_time_us = 0.0;
+    std::vector<std::uint32_t> outstanding;  ///< orphan TaskIds still to run
+  };
+
   Options options_;
   const core::TaskGraph* graph_ = nullptr;
   core::Platform platform_;
@@ -146,6 +170,7 @@ class RunReportCollector final : public Inspector {
   Trace trace_;
   std::vector<ChannelState> channels_;
   std::vector<GpuScratch> gpu_scratch_;
+  std::vector<PendingRecovery> pending_recoveries_;
 };
 
 }  // namespace mg::sim

@@ -18,6 +18,9 @@
 #include "sched/eager.hpp"
 #include "sched/hfp.hpp"
 #include "sim/engine.hpp"
+#include "sim/errors.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/invariant_checker.hpp"
 #include "util/rng.hpp"
 #include "workloads/random_bipartite.hpp"
@@ -126,6 +129,78 @@ TEST(Differential, RandomGraphsAcrossSchedulersStayInvariantFree) {
         EXPECT_LE(loads, eviction_free_cap)
             << "an eviction-free run loaded some data twice on one GPU";
       }
+    }
+  }
+  EXPECT_EQ(runs_checked, static_cast<std::uint64_t>(kGraphs) * 4);
+}
+
+TEST(Differential, SeededFaultPlansDegradeGracefullyAcrossSchedulers) {
+  // Recovery-path differential sweep: every scheduler must absorb seeded
+  // fault plans (GPU losses, flaky transfers, capacity shocks) with zero
+  // invariant violations and every task completing on a surviving GPU.
+  // 30 rounds x 4 schedulers = 120 faulted runs. On failure the SCOPED_TRACE
+  // names the offending round/seed so the plan can be replayed.
+  constexpr int kGraphs = 30;
+  util::Rng rng(0xfa17ed5eedULL);
+  std::uint64_t runs_checked = 0;
+
+  for (int round = 0; round < kGraphs; ++round) {
+    const std::uint64_t seed = 5000 + static_cast<std::uint64_t>(round);
+    const work::RandomBipartiteParams params = draw_params(rng, seed);
+    const core::TaskGraph graph = work::make_random_bipartite(params);
+    const std::uint32_t num_gpus =
+        2 + static_cast<std::uint32_t>(rng.below(3));  // need a survivor
+
+    core::Platform platform;
+    platform.num_gpus = num_gpus;
+    platform.gpu_memory_bytes = draw_memory(rng, graph, params);
+    platform.nvlink_enabled = (round % 4 == 0);
+
+    sim::RandomFaultOptions fault_options;
+    fault_options.num_gpus = num_gpus;
+    // Rough makespan scale of these graphs under the default platform, so
+    // losses/shocks land while work is still in flight.
+    fault_options.horizon_us = 2000.0;
+    fault_options.gpu_memory_bytes = platform.gpu_memory_bytes;
+    const sim::FaultPlan plan =
+        sim::make_random_fault_plan(seed, fault_options);
+    ASSERT_TRUE(plan.validate(num_gpus).empty()) << plan.validate(num_gpus);
+
+    for (SchedulerCase& entry : make_schedulers()) {
+      SCOPED_TRACE("round " + std::to_string(round) + " fault seed " +
+                   std::to_string(seed) + " scheduler " + entry.label +
+                   " gpus " + std::to_string(num_gpus) + " mem " +
+                   std::to_string(platform.gpu_memory_bytes) + " plan " +
+                   sim::fault_plan_to_json(plan));
+
+      sim::EngineConfig config;
+      config.seed = 7 + static_cast<std::uint64_t>(round);
+      sim::RuntimeEngine engine(graph, platform, *entry.scheduler, config);
+      sim::FaultInjector injector(plan);
+      engine.set_fault_injector(&injector);
+      sim::InvariantChecker checker({.fail_fast = false});
+      engine.add_inspector(&checker);
+
+      core::RunMetrics metrics;
+      try {
+        metrics = engine.run();
+      } catch (const sim::EngineError& error) {
+        ADD_FAILURE() << "engine failure under faults: " << error.what();
+        continue;
+      }
+      ++runs_checked;
+
+      ASSERT_TRUE(checker.ok())
+          << checker.report().error << "\nlast events:\n"
+          << checker.report().excerpt;
+
+      // Every task completes exactly once, on surviving GPUs only.
+      std::uint64_t executed = 0;
+      for (const auto& gpu : metrics.per_gpu) executed += gpu.tasks_executed;
+      EXPECT_EQ(executed, graph.num_tasks());
+      // Losses scripted past the (scheduler-dependent) makespan never fire.
+      EXPECT_LE(metrics.faults.gpu_losses,
+                static_cast<std::uint32_t>(plan.gpu_losses.size()));
     }
   }
   EXPECT_EQ(runs_checked, static_cast<std::uint64_t>(kGraphs) * 4);

@@ -265,13 +265,63 @@ class RefusingScheduler final : public core::Scheduler {
   }
 };
 
-TEST(EngineDeathTest, DetectsSchedulerDeadlock) {
+TEST(Engine, DetectsSchedulerDeadlock) {
   core::TaskGraphBuilder builder;
   builder.add_task(5.0, {builder.add_data(10)});
   const core::TaskGraph graph = builder.build();
   RefusingScheduler scheduler;
   RuntimeEngine engine(graph, test_platform(1, 100), scheduler);
-  EXPECT_DEATH((void)engine.run(), "deadlock");
+  try {
+    (void)engine.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& error) {
+    EXPECT_NE(std::string(error.what()).find("deadlock"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("gpu0"), std::string::npos);
+  }
+}
+
+TEST(Engine, EventBudgetExceededThrows) {
+  core::TaskGraphBuilder builder;
+  const DataId d = builder.add_data(10);
+  for (int i = 0; i < 8; ++i) builder.add_task(5.0, {d});
+  const core::TaskGraph graph = builder.build();
+  sched::EagerScheduler scheduler;
+  EngineConfig config;
+  config.max_events = 3;  // far below what the run needs
+  RuntimeEngine engine(graph, test_platform(1, 100), scheduler, config);
+  try {
+    (void)engine.run();
+    FAIL() << "expected BudgetExceededError";
+  } catch (const BudgetExceededError& error) {
+    EXPECT_NE(std::string(error.what()).find("budget exceeded"),
+              std::string::npos);
+  }
+}
+
+TEST(Engine, SimTimeBudgetExceededThrows) {
+  core::TaskGraphBuilder builder;
+  const DataId d = builder.add_data(10);
+  for (int i = 0; i < 8; ++i) builder.add_task(5.0, {d});
+  const core::TaskGraph graph = builder.build();
+  sched::EagerScheduler scheduler;
+  EngineConfig config;
+  config.max_sim_time_us = 12.0;  // run needs 10us load + 40us compute
+  RuntimeEngine engine(graph, test_platform(1, 100), scheduler, config);
+  EXPECT_THROW((void)engine.run(), BudgetExceededError);
+}
+
+TEST(Engine, BudgetsLargeEnoughDoNotFire) {
+  core::TaskGraphBuilder builder;
+  const DataId d = builder.add_data(10);
+  builder.add_task(5.0, {d});
+  const core::TaskGraph graph = builder.build();
+  sched::EagerScheduler scheduler;
+  EngineConfig config;
+  config.max_events = 100000;
+  config.max_sim_time_us = 1e9;
+  RuntimeEngine engine(graph, test_platform(1, 100), scheduler, config);
+  const core::RunMetrics metrics = engine.run();
+  EXPECT_DOUBLE_EQ(metrics.makespan_us, 15.0);
 }
 
 TEST(EngineDeathTest, RejectsOversizedTaskFootprint) {

@@ -1,0 +1,415 @@
+// Fault-injection subsystem tests: FaultPlan parsing/validation, the
+// engine's recovery paths (GPU loss, transfer retry with backoff, capacity
+// shocks), the degraded-model invariants, and the zero-cost guarantee when
+// no plan is armed.
+#include "sim/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/darts.hpp"
+#include "core/task_graph.hpp"
+#include "sched/eager.hpp"
+#include "sched/hfp.hpp"
+#include "sim/engine.hpp"
+#include "sim/errors.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/invariant_checker.hpp"
+
+namespace mg::sim {
+namespace {
+
+using core::DataId;
+using core::GpuId;
+using core::TaskId;
+
+/// Test platform with trivial arithmetic: 1 byte transfers in 1 us (zero
+/// latency), 1 flop computes in 1 us.
+core::Platform test_platform(std::uint32_t gpus, std::uint64_t memory) {
+  core::Platform platform;
+  platform.num_gpus = gpus;
+  platform.gpu_memory_bytes = memory;
+  platform.gpu_gflops = 1e-3;
+  platform.bus_bandwidth_bytes_per_s = 1e6;
+  platform.bus_latency_us = 0.0;
+  return platform;
+}
+
+/// Fixed per-GPU task lists with fault-aware hand-off: on a GPU loss the
+/// dead GPU's unpopped remainder moves to a survivor, while the already
+/// popped orphans are left to the engine's default requeue (return false).
+class ListScheduler final : public core::Scheduler {
+ public:
+  explicit ListScheduler(std::vector<std::deque<TaskId>> queues)
+      : queues_(std::move(queues)) {}
+
+  [[nodiscard]] std::string_view name() const override { return "list"; }
+  void prepare(const core::TaskGraph&, const core::Platform& platform,
+               std::uint64_t) override {
+    dead_.assign(platform.num_gpus, 0);
+  }
+  [[nodiscard]] TaskId pop_task(GpuId gpu, const core::MemoryView&) override {
+    if (queues_[gpu].empty()) return core::kInvalidTask;
+    const TaskId task = queues_[gpu].front();
+    queues_[gpu].pop_front();
+    return task;
+  }
+  [[nodiscard]] bool notify_gpu_lost(
+      GpuId gpu, std::span<const TaskId> orphaned) override {
+    (void)orphaned;
+    dead_[gpu] = 1;
+    for (GpuId other = 0; other < queues_.size(); ++other) {
+      if (other == gpu || dead_[other] != 0) continue;
+      queues_[other].insert(queues_[other].end(), queues_[gpu].begin(),
+                            queues_[gpu].end());
+      break;
+    }
+    queues_[gpu].clear();
+    return false;  // engine requeues the popped orphans
+  }
+
+ private:
+  std::vector<std::deque<TaskId>> queues_;
+  std::vector<std::uint8_t> dead_;
+};
+
+TEST(FaultPlan, JsonRoundTrip) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.gpu_losses.push_back({250.0, 1});
+  FaultPlan::TransferFault fault;
+  fault.start_us = 10.0;
+  fault.end_us = 500.0;
+  fault.scope = FaultPlan::TransferScope::kNvlink;
+  fault.probability = 0.25;
+  fault.max_failures_per_transfer = 2;
+  plan.transfer_faults.push_back(fault);
+  plan.capacity_shocks.push_back({100.0, 0, 4096});
+
+  const std::string json = fault_plan_to_json(plan);
+  std::string error;
+  const auto parsed = parse_fault_plan(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->seed, 1234u);
+  ASSERT_EQ(parsed->gpu_losses.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed->gpu_losses[0].time_us, 250.0);
+  EXPECT_EQ(parsed->gpu_losses[0].gpu, 1u);
+  ASSERT_EQ(parsed->transfer_faults.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed->transfer_faults[0].start_us, 10.0);
+  EXPECT_DOUBLE_EQ(parsed->transfer_faults[0].end_us, 500.0);
+  EXPECT_EQ(parsed->transfer_faults[0].scope,
+            FaultPlan::TransferScope::kNvlink);
+  EXPECT_DOUBLE_EQ(parsed->transfer_faults[0].probability, 0.25);
+  EXPECT_EQ(parsed->transfer_faults[0].max_failures_per_transfer, 2u);
+  ASSERT_EQ(parsed->capacity_shocks.size(), 1u);
+  EXPECT_EQ(parsed->capacity_shocks[0].capacity_bytes, 4096u);
+}
+
+TEST(FaultPlan, UnboundedWindowRoundTripsAsInfinity) {
+  FaultPlan plan;
+  plan.transfer_faults.push_back({});  // default end_us = infinity
+  plan.transfer_faults[0].probability = 0.5;
+  const auto parsed = parse_fault_plan(fault_plan_to_json(plan));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(std::isinf(parsed->transfer_faults[0].end_us));
+}
+
+TEST(FaultPlan, ParseRejectsGarbageAndWrongSchema) {
+  std::string error;
+  EXPECT_FALSE(parse_fault_plan("not json", &error).has_value());
+  EXPECT_FALSE(parse_fault_plan("{\"schema_version\":99}", &error).has_value());
+  EXPECT_FALSE(parse_fault_plan("{}", &error).has_value());
+  EXPECT_TRUE(parse_fault_plan("{\"schema_version\":1}").has_value());
+}
+
+TEST(FaultPlan, ValidateCatchesBadPlans) {
+  FaultPlan plan;
+  plan.gpu_losses.push_back({10.0, 5});
+  EXPECT_FALSE(plan.validate(2).empty()) << "gpu id out of range";
+
+  plan.gpu_losses.clear();
+  plan.gpu_losses.push_back({10.0, 0});
+  plan.gpu_losses.push_back({20.0, 1});
+  EXPECT_FALSE(plan.validate(2).empty()) << "whole platform lost";
+
+  plan.gpu_losses.clear();
+  plan.gpu_losses.push_back({-1.0, 0});
+  EXPECT_FALSE(plan.validate(2).empty()) << "negative time";
+
+  plan.gpu_losses.clear();
+  FaultPlan::TransferFault fault;
+  fault.probability = 1.5;
+  plan.transfer_faults.push_back(fault);
+  EXPECT_FALSE(plan.validate(2).empty()) << "probability out of range";
+
+  plan.transfer_faults.clear();
+  plan.gpu_losses.push_back({10.0, 1});
+  EXPECT_TRUE(plan.validate(2).empty());
+}
+
+TEST(FaultPlan, RandomPlansAreValidAndSpareOneGpu) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    RandomFaultOptions options;
+    options.num_gpus = 2 + static_cast<std::uint32_t>(seed % 3);
+    options.gpu_memory_bytes = 1000;
+    const FaultPlan plan = make_random_fault_plan(seed, options);
+    EXPECT_TRUE(plan.validate(options.num_gpus).empty())
+        << plan.validate(options.num_gpus) << " (seed " << seed << ")";
+    EXPECT_LT(plan.gpu_losses.size(), options.num_gpus);
+  }
+}
+
+TEST(FaultInjector, EngineRejectsInvalidPlanUpFront) {
+  core::TaskGraphBuilder builder;
+  builder.add_task(5.0, {builder.add_data(10)});
+  const core::TaskGraph graph = builder.build();
+  sched::EagerScheduler scheduler;
+  FaultPlan plan;
+  plan.gpu_losses.push_back({10.0, 7});  // no such GPU
+  FaultInjector injector(plan);
+  RuntimeEngine engine(graph, test_platform(1, 100), scheduler);
+  engine.set_fault_injector(&injector);
+  EXPECT_THROW((void)engine.run(), EngineError);
+}
+
+TEST(FaultInjector, GpuLossMidRunRerunsOrphansOnSurvivor) {
+  core::TaskGraphBuilder builder;
+  std::vector<DataId> data;
+  for (int i = 0; i < 8; ++i) data.push_back(builder.add_data(10));
+  for (int i = 0; i < 8; ++i) builder.add_task(5.0, {data[i]});
+  const core::TaskGraph graph = builder.build();
+
+  sched::EagerScheduler scheduler;
+  FaultPlan plan;
+  plan.gpu_losses.push_back({22.0, 1});
+  FaultInjector injector(plan);
+  RuntimeEngine engine(graph, test_platform(2, 100), scheduler);
+  engine.set_fault_injector(&injector);
+  InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  const core::RunMetrics metrics = engine.run();
+
+  ASSERT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+  EXPECT_EQ(metrics.faults.gpu_losses, 1u);
+  EXPECT_GT(metrics.faults.tasks_reclaimed, 0u);
+  std::uint64_t executed = 0;
+  for (const auto& gpu : metrics.per_gpu) executed += gpu.tasks_executed;
+  EXPECT_EQ(executed, graph.num_tasks());
+  // Everything after the loss ran on gpu0; gpu1 stopped mid-run.
+  EXPECT_LT(metrics.per_gpu[1].tasks_executed, 4u);
+}
+
+TEST(FaultInjector, GpuLossMidAssemblyWithPinnedInputs) {
+  // gpu1 is assembling t1: input `a` landed (pinned for assembly), `b` still
+  // on the wire when the GPU dies. The orphan must re-run on gpu0 and the
+  // stale delivery of `b` must be dropped, not double-counted.
+  core::TaskGraphBuilder builder;
+  const DataId c = builder.add_data(10);
+  const DataId a = builder.add_data(10);
+  const DataId b = builder.add_data(10);
+  builder.add_task(5.0, {c});     // t0 -> gpu0
+  builder.add_task(5.0, {a, b});  // t1 -> gpu1
+  const core::TaskGraph graph = builder.build();
+
+  ListScheduler scheduler({{0}, {1}});
+  FaultPlan plan;
+  plan.gpu_losses.push_back({25.0, 1});  // c [0,10], a [10,20], b [20,30]
+  FaultInjector injector(plan);
+  EngineConfig config;
+  config.pipeline_depth = 1;
+  RuntimeEngine engine(graph, test_platform(2, 100), scheduler, config);
+  engine.set_fault_injector(&injector);
+  InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  const core::RunMetrics metrics = engine.run();
+
+  ASSERT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+  EXPECT_EQ(metrics.faults.tasks_reclaimed, 1u);
+  EXPECT_EQ(metrics.per_gpu[0].tasks_executed, 2u);
+  EXPECT_EQ(metrics.per_gpu[1].tasks_executed, 0u);
+  // t1's inputs re-land on gpu0 after the in-flight b->gpu1 wire frees:
+  // a [30,40], b [40,50], compute [50,55].
+  EXPECT_DOUBLE_EQ(metrics.makespan_us, 55.0);
+}
+
+TEST(FaultInjector, CapacityShockBelowPinnedSetClampsAndRecovers) {
+  // Three tasks, each with its own input. The shock to 1 byte lands while
+  // t1 runs with `b` pinned; it is clamped to the largest task footprint
+  // (10 bytes), the unpinned `a` is emergency-evicted, and the run still
+  // completes.
+  core::TaskGraphBuilder builder;
+  const DataId a = builder.add_data(10);
+  const DataId b = builder.add_data(10);
+  const DataId c = builder.add_data(10);
+  builder.add_task(5.0, {a});
+  builder.add_task(5.0, {b});
+  builder.add_task(5.0, {c});
+  const core::TaskGraph graph = builder.build();
+
+  ListScheduler scheduler({{0, 1, 2}});
+  FaultPlan plan;
+  plan.capacity_shocks.push_back({27.0, 0, 1});
+  FaultInjector injector(plan);
+  EngineConfig config;
+  config.pipeline_depth = 1;
+  RuntimeEngine engine(graph, test_platform(1, 100), scheduler, config);
+  engine.set_fault_injector(&injector);
+  InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  const core::RunMetrics metrics = engine.run();
+
+  ASSERT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+  EXPECT_EQ(metrics.faults.capacity_shocks, 1u);
+  EXPECT_GE(metrics.faults.emergency_evictions, 1u);
+  EXPECT_EQ(metrics.per_gpu[0].tasks_executed, 3u);
+}
+
+TEST(FaultInjector, TransferDeliveredAfterLastAllowedFailure) {
+  // probability 1.0 with max_failures_per_transfer = 3: attempts 1-3 all
+  // fail, attempt 4 must deliver unconditionally.
+  core::TaskGraphBuilder builder;
+  builder.add_task(5.0, {builder.add_data(10)});
+  const core::TaskGraph graph = builder.build();
+
+  sched::EagerScheduler scheduler;
+  FaultPlan plan;
+  plan.seed = 9;
+  FaultPlan::TransferFault fault;
+  fault.probability = 1.0;
+  fault.max_failures_per_transfer = 3;
+  plan.transfer_faults.push_back(fault);
+  FaultInjector injector(plan);
+  RuntimeEngine engine(graph, test_platform(1, 100), scheduler);
+  engine.set_fault_injector(&injector);
+  InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  const core::RunMetrics metrics = engine.run();
+
+  ASSERT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+  EXPECT_EQ(metrics.faults.transfer_retries, 3u);
+  EXPECT_EQ(metrics.faults.wasted_transfer_bytes, 30u);
+  EXPECT_EQ(metrics.total_loads(), 1u);  // retries never double-deliver
+  EXPECT_EQ(metrics.per_gpu[0].tasks_executed, 1u);
+  // Three wasted 10us wire occupations plus exponential backoff push the
+  // single load well past its fault-free 10us.
+  EXPECT_GT(metrics.makespan_us, 40.0);
+}
+
+TEST(FaultInjector, SoleNvlinkReplicaHolderDiesMidPeerCopy) {
+  // d lands on gpu0, then gpu1's fetch of d is rerouted onto NVLink (the
+  // second-chance filter sees the fresh replica). gpu0 — the only holder —
+  // dies while the peer copy is on the wire; the engine must re-route the
+  // fetch to the host bus and complete t1 on gpu1.
+  core::TaskGraphBuilder builder;
+  const DataId d = builder.add_data(10);
+  builder.add_task(5.0, {d});  // t0 -> gpu0
+  builder.add_task(5.0, {d});  // t1 -> gpu1
+  const core::TaskGraph graph = builder.build();
+
+  core::Platform platform = test_platform(2, 100);
+  platform.nvlink_enabled = true;
+  platform.nvlink_bandwidth_bytes_per_s = 1e6;  // 1 byte = 1 us
+  platform.nvlink_latency_us = 0.0;
+
+  ListScheduler scheduler({{0}, {1}});
+  FaultPlan plan;
+  // d -> gpu0 on the host bus [0,10]; the peer copy d -> gpu1 starts at 10.
+  plan.gpu_losses.push_back({16.0, 0});
+  FaultInjector injector(plan);
+  EngineConfig config;
+  config.pipeline_depth = 1;
+  RuntimeEngine engine(graph, platform, scheduler, config);
+  engine.set_fault_injector(&injector);
+  InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  const core::RunMetrics metrics = engine.run();
+
+  ASSERT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+  EXPECT_EQ(metrics.faults.gpu_losses, 1u);
+  EXPECT_EQ(metrics.per_gpu[0].tasks_executed, 1u);  // t0 finished at 15
+  EXPECT_EQ(metrics.per_gpu[1].tasks_executed, 1u);
+  // The dead peer copy resolves at 20, re-routes to the host bus [20,30],
+  // t1 computes [30,35].
+  EXPECT_DOUBLE_EQ(metrics.makespan_us, 35.0);
+  EXPECT_EQ(metrics.per_gpu[1].loads, 1u);  // host-bus fallback, not peer
+}
+
+TEST(FaultInjector, SchedulerAdoptionPathsCompleteEveryTask) {
+  // The schedulers with notify_gpu_lost overrides (DARTS re-pools, the
+  // work-queue family splices) each absorb a mid-run loss.
+  core::TaskGraphBuilder builder;
+  std::vector<DataId> data;
+  for (int i = 0; i < 6; ++i) data.push_back(builder.add_data(10));
+  for (int t = 0; t < 24; ++t) {
+    builder.add_task(5.0, {data[t % 6], data[(t + 1) % 6]});
+  }
+  const core::TaskGraph graph = builder.build();
+
+  for (const bool use_darts : {true, false}) {
+    core::DartsScheduler darts;
+    sched::HfpScheduler hfp;
+    core::Scheduler& scheduler =
+        use_darts ? static_cast<core::Scheduler&>(darts)
+                  : static_cast<core::Scheduler&>(hfp);
+    FaultPlan plan;
+    plan.gpu_losses.push_back({30.0, 0});
+    FaultInjector injector(plan);
+    RuntimeEngine engine(graph, test_platform(2, 100), scheduler);
+    engine.set_fault_injector(&injector);
+    InvariantChecker checker({.fail_fast = false});
+    engine.add_inspector(&checker);
+    const core::RunMetrics metrics = engine.run();
+
+    ASSERT_TRUE(checker.ok())
+        << (use_darts ? "DARTS" : "HFP") << ": " << checker.report().error
+        << "\n" << checker.report().excerpt;
+    std::uint64_t executed = 0;
+    for (const auto& gpu : metrics.per_gpu) executed += gpu.tasks_executed;
+    EXPECT_EQ(executed, graph.num_tasks());
+    EXPECT_EQ(metrics.faults.gpu_losses, 1u);
+  }
+}
+
+TEST(FaultInjector, EmptyPlanIsBitIdenticalToNoInjector) {
+  core::TaskGraphBuilder builder;
+  std::vector<DataId> data;
+  for (int i = 0; i < 4; ++i) data.push_back(builder.add_data(10));
+  for (int t = 0; t < 12; ++t) builder.add_task(5.0, {data[t % 4]});
+  const core::TaskGraph graph = builder.build();
+
+  auto run = [&](bool with_empty_injector) {
+    sched::EagerScheduler scheduler;
+    RuntimeEngine engine(graph, test_platform(2, 40), scheduler);
+    FaultInjector injector{FaultPlan{}};
+    if (with_empty_injector) engine.set_fault_injector(&injector);
+    return engine.run();
+  };
+
+  const core::RunMetrics base = run(false);
+  const core::RunMetrics armed = run(true);
+  EXPECT_DOUBLE_EQ(base.makespan_us, armed.makespan_us);
+  EXPECT_EQ(base.total_loads(), armed.total_loads());
+  EXPECT_EQ(base.total_evictions(), armed.total_evictions());
+  ASSERT_EQ(base.per_gpu.size(), armed.per_gpu.size());
+  for (std::size_t gpu = 0; gpu < base.per_gpu.size(); ++gpu) {
+    EXPECT_EQ(base.per_gpu[gpu].tasks_executed,
+              armed.per_gpu[gpu].tasks_executed);
+    EXPECT_DOUBLE_EQ(base.per_gpu[gpu].busy_time_us,
+                     armed.per_gpu[gpu].busy_time_us);
+  }
+  EXPECT_EQ(armed.faults.gpu_losses, 0u);
+  EXPECT_EQ(armed.faults.transfer_retries, 0u);
+}
+
+}  // namespace
+}  // namespace mg::sim
