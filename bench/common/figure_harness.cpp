@@ -13,6 +13,7 @@
 #include "sched/hfp.hpp"
 #include "sched/hmetis_r.hpp"
 #include "sim/engine.hpp"
+#include "sim/engine_guard.hpp"
 #include "sim/errors.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/run_report.hpp"
@@ -265,38 +266,18 @@ RunObserver::RunObserver(const FigureConfig& config)
 
 RunObserver::~RunObserver() { flush(); }
 
-namespace {
-
-[[noreturn]] void exit_engine_failure(const std::string& label,
-                                      const sim::EngineError& error) {
-  std::fprintf(stderr, "engine failure in %s: %s\n", label.c_str(),
-               error.what());
-  std::exit(3);
-}
-
-}  // namespace
-
 core::RunMetrics RunObserver::run(sim::RuntimeEngine& engine,
                                   const core::TaskGraph& graph,
                                   const std::string& label) {
   if (run_report_path_.empty() && chrome_trace_path_.empty()) {
-    try {
-      return engine.run();
-    } catch (const sim::EngineError& error) {
-      exit_engine_failure(label, error);
-    }
+    return sim::run_engine_or_exit(engine, label);
   }
   sim::RunReportCollector::Options options;
   options.context = figure_ + " " + label;
   options.collect_trace = !chrome_trace_path_.empty();
   sim::RunReportCollector collector(std::move(options));
   engine.add_inspector(&collector);
-  core::RunMetrics metrics;
-  try {
-    metrics = engine.run();
-  } catch (const sim::EngineError& error) {
-    exit_engine_failure(label, error);
-  }
+  core::RunMetrics metrics = sim::run_engine_or_exit(engine, label);
   if (!run_report_path_.empty()) reports_.push_back(collector.report());
   // Rewritten per observed run: the last run wins, like run_figure.
   if (!chrome_trace_path_.empty() &&

@@ -1,0 +1,213 @@
+// fig_throughput — serving throughput and tail latency across arrival rates.
+//
+// Streams a sequence of matmul jobs through the serving loop at increasing
+// Poisson arrival rates (sweeping into saturation) for each scheduler and
+// reports, per (rate, scheduler): achieved throughput, latency
+// p50/p95/p99, deadline-miss rate, shed count, host-bus loads and the
+// cross-job reuse the data-aware policies extract from inter-job sharing.
+// The paper's batch figures ask "how fast is one graph"; this asks the
+// serving question: how many graphs per second before the tail collapses —
+// and how much of DARTS/DMDAR's advantage survives when the working set is
+// shared *across* jobs instead of within one.
+//
+//   ./fig_throughput --gpus=2 --n=8 --num-jobs=60 --rates=25,50,100,200
+//   ./fig_throughput --arrival=closed-loop --concurrency=6
+//   ./fig_throughput --rates=50 --run-report=serving.json
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/figure_harness.hpp"
+#include "core/darts.hpp"
+#include "sched/dmda.hpp"
+#include "sched/eager.hpp"
+#include "sched/hfp.hpp"
+#include "serve/serve_engine.hpp"
+#include "sim/engine_guard.hpp"
+#include "sim/errors.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/invariant_checker.hpp"
+#include "sim/run_report.hpp"
+#include "util/csv.hpp"
+#include "workloads/matmul2d.hpp"
+
+namespace {
+
+using namespace mg;
+
+std::vector<double> parse_rates(const std::string& spec) {
+  std::vector<double> rates;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string token =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!token.empty()) rates.push_back(std::stod(token));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return rates;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(
+      "fig_throughput: streamed serving throughput/latency across arrival "
+      "rates.\nschedulers: EAGER, DMDAR, DARTS+LUF, mHFP");
+  // 150 MB against a 224 MB template working set: tight enough that the
+  // eviction policy decides how much of the cross-job reuse survives.
+  bench::add_standard_flags(flags, 2, /*default_mem_mb=*/150);
+  flags.define_int("n", 8, "matmul template dimension (N)")
+      .define_int("num-jobs", 60, "jobs streamed per run")
+      .define_string("rates", "25,50,100,200",
+                     "comma-separated Poisson arrival rates (jobs/s)")
+      .define_string("arrival", "poisson", "poisson | closed-loop")
+      .define_int("concurrency", 4, "closed-loop client count")
+      .define_double("deadline-ms", 0.0,
+                     "per-job latency SLO in ms (0 = no deadlines)")
+      .define_int("max-in-flight", 8,
+                  "admission bound on concurrently in-flight jobs (the "
+                  "footprint sum over-counts shared data, so bound jobs, "
+                  "not bytes)")
+      .define_int("max-queue", 0,
+                  "admission queue bound (jobs past it are shed; 0 = "
+                  "unbounded)")
+      .define_bool("no-share", false,
+                   "ablation: give every job private data (no cross-job "
+                   "reuse possible)")
+      .define_bool("check", false,
+                   "run the online InvariantChecker over every streamed run");
+  if (!flags.parse(argc, argv)) return 0;
+
+  bench::FigureConfig config = bench::config_from_flags(
+      flags, "fig_throughput",
+      "serving throughput and tail latency vs. arrival rate");
+
+  const auto arrival = serve::parse_arrival_mode(flags.get_string("arrival"));
+  if (!arrival.has_value()) {
+    std::fprintf(stderr, "unknown --arrival '%s'\n",
+                 flags.get_string("arrival").c_str());
+    return 1;
+  }
+  const std::vector<double> rates = parse_rates(flags.get_string("rates"));
+  if (rates.empty()) {
+    std::fprintf(stderr, "--rates is empty\n");
+    return 1;
+  }
+
+  std::vector<core::TaskGraph> templates;
+  templates.push_back(work::make_matmul_2d(
+      {.n = static_cast<std::uint32_t>(flags.get_int("n"))}));
+  const std::uint32_t num_jobs =
+      static_cast<std::uint32_t>(flags.get_int("num-jobs"));
+  std::vector<serve::JobSpec> jobs(num_jobs);
+  for (serve::JobSpec& job : jobs) {
+    job.deadline_us = flags.get_double("deadline-ms") * 1e3;
+  }
+
+  struct Spec {
+    std::string label;
+    std::function<std::unique_ptr<core::Scheduler>()> factory;
+  };
+  const std::vector<Spec> specs = {
+      {"EAGER", [] { return std::make_unique<sched::EagerScheduler>(); }},
+      {"DMDAR", [] { return std::make_unique<sched::DmdaScheduler>(); }},
+      {"DARTS+LUF", [] { return std::make_unique<core::DartsScheduler>(); }},
+      {"mHFP", [] { return std::make_unique<sched::HfpScheduler>(); }},
+  };
+
+  util::CsvWriter csv(
+      {"rate_jobs_per_s", "scheduler", "throughput_jobs_per_s", "p50_ms",
+       "p95_ms", "p99_ms", "deadline_miss_rate", "jobs_shed", "loads",
+       "transfers_mb", "reuse_mb", "peak_in_flight"},
+      config.output_path);
+  csv.comment("fig_throughput: " + std::string(config.title));
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "platform: %u GPUs x %.0f MB; template n=%lld (%u tasks), "
+                "%u jobs, arrival=%s%s",
+                config.platform.num_gpus,
+                static_cast<double>(config.platform.gpu_memory_bytes) / 1e6,
+                static_cast<long long>(flags.get_int("n")),
+                templates[0].num_tasks(), num_jobs,
+                flags.get_string("arrival").c_str(),
+                flags.get_bool("no-share") ? " (sharing ablated)" : "");
+  csv.comment(line);
+
+  std::vector<sim::RunReport> reports;
+  for (const double rate : rates) {
+    for (const Spec& spec : specs) {
+      serve::ServeConfig serve_config;
+      serve_config.arrival.mode = *arrival;
+      serve_config.arrival.rate_jobs_per_s = rate;
+      serve_config.arrival.concurrency =
+          static_cast<std::uint32_t>(flags.get_int("concurrency"));
+      serve_config.arrival.seed = config.seed;
+      serve_config.admission.max_jobs_in_flight =
+          static_cast<std::uint32_t>(flags.get_int("max-in-flight"));
+      serve_config.admission.max_queue_depth =
+          static_cast<std::uint32_t>(flags.get_int("max-queue"));
+      serve_config.share_data = !flags.get_bool("no-share");
+      serve_config.engine.seed = config.seed;
+
+      auto scheduler = spec.factory();
+      serve::ServeEngine engine(templates, jobs, config.platform, *scheduler,
+                                serve_config);
+      std::unique_ptr<sim::FaultInjector> injector;
+      if (!config.fault_plan.empty()) {
+        injector = std::make_unique<sim::FaultInjector>(config.fault_plan);
+        engine.set_fault_injector(injector.get());
+      }
+      sim::InvariantChecker checker;
+      if (flags.get_bool("check")) engine.add_inspector(&checker);
+      std::unique_ptr<sim::RunReportCollector> collector;
+      if (!config.run_report_path.empty()) {
+        sim::RunReportCollector::Options options;
+        char context[96];
+        std::snprintf(context, sizeof context, "fig_throughput rate=%g",
+                      rate);
+        options.context = context;
+        options.collect_trace = false;
+        collector =
+            std::make_unique<sim::RunReportCollector>(std::move(options));
+        engine.add_inspector(collector.get());
+      }
+
+      serve::ServeResult result;
+      try {
+        result = engine.run();
+      } catch (const sim::EngineError& error) {
+        sim::exit_engine_failure(spec.label + " at rate " +
+                                     util::format_double(rate),
+                                 error);
+      }
+      if (collector != nullptr) {
+        sim::RunReport report = collector->report();
+        report.serving = result.serving;
+        reports.push_back(std::move(report));
+      }
+
+      const sim::RunReport::Serving& serving = result.serving;
+      csv.row({rate, spec.label, serving.throughput_jobs_per_s,
+               serving.latency_p50_us / 1e3, serving.latency_p95_us / 1e3,
+               serving.latency_p99_us / 1e3, serving.deadline_miss_rate,
+               static_cast<std::int64_t>(serving.jobs_shed),
+               static_cast<std::int64_t>(result.metrics.total_loads()),
+               result.metrics.transfers_mb(),
+               static_cast<double>(serving.cross_job_reuse_bytes) / 1e6,
+               static_cast<std::int64_t>(serving.peak_jobs_in_flight)});
+    }
+  }
+
+  if (!config.run_report_path.empty() &&
+      !sim::write_run_reports(reports, "fig_throughput: " + config.title,
+                              config.run_report_path)) {
+    std::fprintf(stderr, "failed to write run report to %s\n",
+                 config.run_report_path.c_str());
+    return 1;
+  }
+  return 0;
+}

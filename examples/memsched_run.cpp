@@ -23,7 +23,7 @@
 #include "sched/hfp.hpp"
 #include "sched/hmetis_r.hpp"
 #include "sim/engine.hpp"
-#include "sim/errors.hpp"
+#include "sim/engine_guard.hpp"
 #include "sim/fault_injector.hpp"
 #include "util/flags.hpp"
 #include "workloads/workloads.hpp"
@@ -203,13 +203,8 @@ int main(int argc, char** argv) {
 
   sim::RuntimeEngine engine(graph, platform, *scheduler, config);
   if (injector != nullptr) engine.set_fault_injector(injector.get());
-  core::RunMetrics metrics;
-  try {
-    metrics = engine.run();
-  } catch (const sim::EngineError& error) {
-    std::fprintf(stderr, "engine failure: %s\n", error.what());
-    return 3;
-  }
+  const core::RunMetrics metrics =
+      sim::run_engine_or_exit(engine, "memsched_run");
 
   std::printf("workload   : %s N=%lld (%u tasks, %u data, %.0f MB)\n",
               flags.get_string("workload").c_str(),

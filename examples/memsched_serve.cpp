@@ -1,0 +1,221 @@
+// memsched_serve — streamed serving driver.
+//
+// Streams a sequence of jobs (each one instance of a workload template)
+// through the serving subsystem and prints the throughput/latency summary:
+// arrival process, admission, deadlines, cross-job data reuse. The serving
+// counterpart of memsched_run's single-batch simulation.
+//
+//   ./memsched_serve --arrival=poisson --rate=100 --jobs=50
+//   ./memsched_serve --arrival=closed-loop --concurrency=4 --deadline-us=50000
+//   ./memsched_serve --scheduler=eager --no-share --run-report=serve.json
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/darts.hpp"
+#include "sched/dmda.hpp"
+#include "sched/eager.hpp"
+#include "sched/hfp.hpp"
+#include "serve/serve_engine.hpp"
+#include "sim/engine_guard.hpp"
+#include "sim/errors.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/invariant_checker.hpp"
+#include "sim/run_report.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace mg;
+
+std::unique_ptr<core::Scheduler> make_scheduler(const std::string& name) {
+  if (name == "eager") return std::make_unique<sched::EagerScheduler>();
+  if (name == "dmdar") return std::make_unique<sched::DmdaScheduler>();
+  if (name == "mhfp") return std::make_unique<sched::HfpScheduler>();
+  if (name == "darts+luf") return std::make_unique<core::DartsScheduler>();
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(
+      "memsched_serve: stream jobs through the serving subsystem.\n"
+      "schedulers: eager, dmdar, mhfp, darts+luf");
+  flags.define_string("workload", "matmul2d", "job template: matmul2d, "
+                      "cholesky")
+      .define_int("n", 8, "template dimension (N)")
+      .define_string("scheduler", "darts+luf", "scheduling policy")
+      .define_int("gpus", 2, "number of GPUs")
+      .define_int("mem-mb", 500, "GPU memory in MB")
+      .define_int("seed", 42, "RNG seed (arrivals and engine)")
+      .define_string("arrival", "poisson", "poisson | closed-loop")
+      .define_double("rate", 100.0, "Poisson arrival rate (jobs/s)")
+      .define_int("concurrency", 4, "closed-loop client count")
+      .define_int("jobs", 50, "number of jobs streamed")
+      .define_double("deadline-us", 0.0,
+                     "per-job latency SLO in µs (0 = none)")
+      .define_int("max-queue", 0,
+                  "admission queue bound; jobs past it are shed (0 = "
+                  "unbounded)")
+      .define_bool("no-share", false,
+                   "ablation: no cross-job data sharing")
+      .define_bool("check", true,
+                   "run the online InvariantChecker over the stream")
+      .define_string("fault-plan", "",
+                     "JSON fault plan injected mid-stream "
+                     "(docs/ROBUSTNESS.md)")
+      .define_string("run-report", "",
+                     "write the schema-v3 JSON run report (with serving "
+                     "section) to this path");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const auto arrival = serve::parse_arrival_mode(flags.get_string("arrival"));
+  if (!arrival.has_value()) {
+    std::fprintf(stderr, "unknown --arrival '%s'\n",
+                 flags.get_string("arrival").c_str());
+    return 1;
+  }
+  auto scheduler = make_scheduler(flags.get_string("scheduler"));
+  if (scheduler == nullptr) {
+    std::fprintf(stderr, "unknown scheduler '%s'\n",
+                 flags.get_string("scheduler").c_str());
+    return 1;
+  }
+
+  std::vector<core::TaskGraph> templates;
+  const std::uint32_t n = static_cast<std::uint32_t>(flags.get_int("n"));
+  if (flags.get_string("workload") == "matmul2d") {
+    templates.push_back(work::make_matmul_2d({.n = n}));
+  } else if (flags.get_string("workload") == "cholesky") {
+    templates.push_back(work::make_cholesky_tasks({.n = n}));
+  } else {
+    std::fprintf(stderr, "unknown workload '%s'\n",
+                 flags.get_string("workload").c_str());
+    return 1;
+  }
+
+  const core::Platform platform = core::make_v100_platform(
+      static_cast<std::uint32_t>(flags.get_int("gpus")),
+      static_cast<std::uint64_t>(flags.get_int("mem-mb")) * core::kMB);
+
+  std::vector<serve::JobSpec> jobs(
+      static_cast<std::size_t>(flags.get_int("jobs")));
+  for (serve::JobSpec& job : jobs) {
+    job.deadline_us = flags.get_double("deadline-us");
+  }
+
+  serve::ServeConfig config;
+  config.arrival.mode = *arrival;
+  config.arrival.rate_jobs_per_s = flags.get_double("rate");
+  config.arrival.concurrency =
+      static_cast<std::uint32_t>(flags.get_int("concurrency"));
+  config.arrival.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.admission.max_queue_depth =
+      static_cast<std::uint32_t>(flags.get_int("max-queue"));
+  config.share_data = !flags.get_bool("no-share");
+  config.engine.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  serve::ServeEngine engine(templates, jobs, platform, *scheduler, config);
+
+  std::unique_ptr<sim::FaultInjector> injector;
+  const std::string fault_plan_path = flags.get_string("fault-plan");
+  if (!fault_plan_path.empty()) {
+    std::string error;
+    auto plan = sim::load_fault_plan_file(fault_plan_path, &error);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "--fault-plan %s: %s\n", fault_plan_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    injector = std::make_unique<sim::FaultInjector>(std::move(*plan));
+    engine.set_fault_injector(injector.get());
+  }
+
+  sim::InvariantChecker checker;
+  if (flags.get_bool("check")) engine.add_inspector(&checker);
+  std::unique_ptr<sim::RunReportCollector> collector;
+  if (!flags.get_string("run-report").empty()) {
+    sim::RunReportCollector::Options options;
+    options.context = "memsched_serve";
+    options.collect_trace = false;
+    collector = std::make_unique<sim::RunReportCollector>(std::move(options));
+    engine.add_inspector(collector.get());
+  }
+
+  serve::ServeResult result;
+  try {
+    result = engine.run();
+  } catch (const sim::EngineError& error) {
+    sim::exit_engine_failure("memsched_serve", error);
+  }
+  const sim::RunReport::Serving& serving = result.serving;
+
+  std::printf("template   : %s N=%u (%u tasks/job, %.0f MB working set)\n",
+              flags.get_string("workload").c_str(), n,
+              templates[0].num_tasks(),
+              static_cast<double>(templates[0].working_set_bytes()) / 1e6);
+  std::printf("scheduler  : %s on %u GPU(s)\n",
+              std::string(scheduler->name()).c_str(), platform.num_gpus);
+  std::printf("arrival    : %s (%s)\n",
+              std::string(serve::arrival_mode_name(*arrival)).c_str(),
+              *arrival == serve::ArrivalMode::kPoisson
+                  ? (util::format_double(flags.get_double("rate")) +
+                     " jobs/s")
+                        .c_str()
+                  : (std::to_string(flags.get_int("concurrency")) +
+                     " clients")
+                        .c_str());
+  std::printf("jobs       : %u submitted, %u completed, %u shed\n",
+              serving.jobs_submitted, serving.jobs_completed,
+              serving.jobs_shed);
+  std::printf("throughput : %.1f jobs/s over %.2f ms\n",
+              serving.throughput_jobs_per_s,
+              result.metrics.makespan_us / 1e3);
+  std::printf("latency    : p50 %.2f ms, p95 %.2f ms, p99 %.2f ms "
+              "(mean %.2f, max %.2f)\n",
+              serving.latency_p50_us / 1e3, serving.latency_p95_us / 1e3,
+              serving.latency_p99_us / 1e3, serving.latency_mean_us / 1e3,
+              serving.latency_max_us / 1e3);
+  if (serving.deadline_hits + serving.deadline_misses > 0) {
+    std::printf("deadlines  : %u hit, %u missed (%.1f%% miss rate)\n",
+                serving.deadline_hits, serving.deadline_misses,
+                100.0 * serving.deadline_miss_rate);
+  }
+  std::printf("reuse      : %.0f MB served from prior jobs' data (%llu "
+              "hits)%s\n",
+              static_cast<double>(serving.cross_job_reuse_bytes) / 1e6,
+              static_cast<unsigned long long>(serving.cross_job_reuse_hits),
+              config.share_data ? "" : " [sharing ablated]");
+  std::printf("in flight  : peak %u jobs, queue peak %u\n",
+              serving.peak_jobs_in_flight, serving.peak_queue_depth);
+  std::printf("transfers  : %.0f MB host, %llu loads\n",
+              result.metrics.transfers_mb(),
+              static_cast<unsigned long long>(result.metrics.total_loads()));
+  if (injector != nullptr) {
+    std::printf("faults     : %u gpu loss(es), %llu task(s) reclaimed\n",
+                result.metrics.faults.gpu_losses,
+                static_cast<unsigned long long>(
+                    result.metrics.faults.tasks_reclaimed));
+  }
+  if (flags.get_bool("check")) {
+    std::printf("invariants : %s\n", checker.ok() ? "ok" : "VIOLATED");
+    if (!checker.ok()) return 1;
+  }
+
+  if (collector != nullptr) {
+    sim::RunReport report = collector->report();
+    report.serving = serving;
+    const std::string path = flags.get_string("run-report");
+    if (sim::write_run_reports({report}, "memsched_serve", path)) {
+      std::printf("run report : %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write run report to %s\n", path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -65,12 +65,19 @@ void DartsScheduler::prepare(const TaskGraph& graph, const Platform& platform,
 
   const std::uint32_t num_tasks = graph.num_tasks();
   const std::uint32_t num_data = graph.num_data();
-  state_.assign(num_tasks, TaskState::kAvailable);
-  available_.resize(num_tasks);
-  available_pos_.resize(num_tasks);
-  for (TaskId task = 0; task < num_tasks; ++task) {
-    available_[task] = task;
-    available_pos_[task] = task;
+  if (streaming_) {
+    // Nothing has arrived yet: the shared pool fills via notify_job_arrived.
+    state_.assign(num_tasks, TaskState::kUnsubmitted);
+    available_.clear();
+    available_pos_.assign(num_tasks, kNoPos);
+  } else {
+    state_.assign(num_tasks, TaskState::kAvailable);
+    available_.resize(num_tasks);
+    available_pos_.resize(num_tasks);
+    for (TaskId task = 0; task < num_tasks; ++task) {
+      available_[task] = task;
+      available_pos_[task] = task;
+    }
   }
 
   per_gpu_.assign(platform.num_gpus, PerGpu{});
@@ -85,11 +92,26 @@ void DartsScheduler::prepare(const TaskGraph& graph, const Platform& platform,
         const auto degree =
             static_cast<std::uint32_t>(graph.inputs(task).size());
         gpu_state.missing[task] = degree;
-        if (degree == 1) ++gpu_state.free_count[graph.inputs(task)[0]];
+        // n(D) counts *available* tasks only; in streaming mode a task joins
+        // the counters when its job arrives.
+        if (!streaming_ && degree == 1) {
+          ++gpu_state.free_count[graph.inputs(task)[0]];
+        }
       }
     }
   }
   use_clock_ = 0;
+}
+
+void DartsScheduler::notify_job_arrived(std::uint32_t job,
+                                        std::span<const TaskId> tasks) {
+  (void)job;
+  for (TaskId task : tasks) {
+    MG_DCHECK(state_[task] == TaskState::kUnsubmitted);
+    state_[task] = TaskState::kAvailable;
+    push_to_available(task);
+    incremental_availability_change(task, +1);
+  }
 }
 
 bool DartsScheduler::rest_in_memory(TaskId task, const MemoryView& memory,
@@ -104,7 +126,12 @@ bool DartsScheduler::rest_in_memory(TaskId task, const MemoryView& memory,
 std::uint32_t DartsScheduler::count_unprocessed_consumers(DataId data) const {
   std::uint32_t count = 0;
   for (TaskId task : graph_->consumers(data)) {
-    if (state_[task] != TaskState::kDone) ++count;
+    // Unsubmitted tasks are invisible: counting them would leak knowledge of
+    // jobs that have not arrived yet into the tie-break.
+    if (state_[task] != TaskState::kDone &&
+        state_[task] != TaskState::kUnsubmitted) {
+      ++count;
+    }
   }
   return count;
 }

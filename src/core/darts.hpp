@@ -79,6 +79,16 @@ class DartsScheduler final : public Scheduler, public EvictionPolicy {
   /// exactly the mechanism Algorithm 6 already uses for eviction fallout.
   [[nodiscard]] bool notify_gpu_lost(GpuId gpu,
                                      std::span<const TaskId> orphaned) override;
+  /// Streaming: every task starts kUnsubmitted (absent from the shared
+  /// pool); notify_job_arrived moves a job's tasks to kAvailable, where the
+  /// reactive planning already picks them up — DARTS needs no placement
+  /// decision at arrival time.
+  [[nodiscard]] bool begin_streaming() override {
+    streaming_ = true;
+    return true;
+  }
+  void notify_job_arrived(std::uint32_t job,
+                          std::span<const TaskId> tasks) override;
   [[nodiscard]] EvictionPolicy* eviction_policy(GpuId gpu) override {
     (void)gpu;
     return options_.use_luf ? this : nullptr;
@@ -113,9 +123,10 @@ class DartsScheduler final : public Scheduler, public EvictionPolicy {
 
  private:
   enum class TaskState : std::uint8_t {
-    kAvailable,  ///< in the shared pool
-    kPlanned,    ///< reserved in some GPU's plannedTasks
-    kBuffered,   ///< popped into a GPU pipeline (the paper's taskBuffer)
+    kUnsubmitted,  ///< streaming: job not yet arrived — invisible to planning
+    kAvailable,    ///< in the shared pool
+    kPlanned,      ///< reserved in some GPU's plannedTasks
+    kBuffered,     ///< popped into a GPU pipeline (the paper's taskBuffer)
     kDone,
   };
 
@@ -188,6 +199,7 @@ class DartsScheduler final : public Scheduler, public EvictionPolicy {
 
   DartsOptions options_;
   std::string name_;
+  bool streaming_ = false;
   const TaskGraph* graph_ = nullptr;
   util::Rng rng_;
 

@@ -43,6 +43,32 @@ class Scheduler {
   /// Each task must be returned exactly once across all GPUs.
   [[nodiscard]] virtual TaskId pop_task(GpuId gpu, const MemoryView& memory) = 0;
 
+  // ---- Streaming (serve mode) lifecycle ------------------------------------
+  //
+  // In a streamed run the task graph is the union of every job that *may*
+  // arrive; tasks only become eligible when their job is released. The engine
+  // calls begin_streaming() once, before prepare(); a scheduler that returns
+  // true must treat every task as unsubmitted until notify_job_arrived hands
+  // it over, and must never pop an unsubmitted task. prepare() still receives
+  // the full union graph (sizes, consumers) for its data structures — it just
+  // may not schedule ahead of arrivals.
+
+  /// Opt into streaming. Return false (the default) and the engine refuses to
+  /// stream with this scheduler.
+  [[nodiscard]] virtual bool begin_streaming() { return false; }
+
+  /// Job `job` arrived: `tasks` (ascending union-graph ids) are now eligible.
+  /// Called between pops, never re-entrantly.
+  virtual void notify_job_arrived(std::uint32_t job,
+                                  std::span<const TaskId> tasks) {
+    (void)job;
+    (void)tasks;
+  }
+
+  /// Every task of job `job` completed; purely informational (queue pruning,
+  /// per-job accounting).
+  virtual void notify_job_retired(std::uint32_t job) { (void)job; }
+
   virtual void notify_task_complete(GpuId gpu, TaskId task) {
     (void)gpu;
     (void)task;

@@ -1,5 +1,7 @@
 #include "sched/dmda.hpp"
 
+#include "util/check.hpp"
+
 namespace mg::sched {
 
 void DmdaScheduler::prepare(const core::TaskGraph& graph,
@@ -7,43 +9,59 @@ void DmdaScheduler::prepare(const core::TaskGraph& graph,
                             std::uint64_t seed) {
   (void)seed;  // DMDA is deterministic
   graph_ = &graph;
+  platform_ = &platform;
   const std::uint32_t num_gpus = platform.num_gpus;
   queues_.assign(num_gpus, {});
   dead_.assign(num_gpus, 0);
 
-  // Predicted memory content and predicted finish time per GPU.
-  std::vector<std::vector<bool>> in_mem(
-      num_gpus, std::vector<bool>(graph.num_data(), false));
-  std::vector<double> finish_us(num_gpus, 0.0);
+  // Predicted memory content and predicted finish time per GPU. In streaming
+  // mode the model persists across arrivals; in batch mode it only lives for
+  // this loop.
+  in_mem_.assign(num_gpus, std::vector<bool>(graph.num_data(), false));
+  finish_us_.assign(num_gpus, 0.0);
 
+  if (streaming_) return;  // tasks are allocated as their jobs arrive
   for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
-    core::GpuId best_gpu = 0;
-    double best_completion = 0.0;
-    for (core::GpuId gpu = 0; gpu < num_gpus; ++gpu) {
-      // Per-device compute time: this is where DMDA handles heterogeneous
-      // processing units.
-      const double comp =
-          platform.compute_time_us(graph.task_flops(task), gpu);
-      double comm = 0.0;
-      for (core::DataId data : graph.inputs(task)) {
-        if (!in_mem[gpu][data]) {
-          comm += platform.transfer_time_us(graph.data_size(data));
-        }
-      }
-      const double completion = finish_us[gpu] + comm + comp;
-      if (gpu == 0 || completion < best_completion) {
-        best_completion = completion;
-        best_gpu = gpu;
+    allocate(task);
+  }
+}
+
+void DmdaScheduler::allocate(core::TaskId task) {
+  const core::TaskGraph& graph = *graph_;
+  const core::Platform& platform = *platform_;
+  core::GpuId best_gpu = core::kInvalidGpu;
+  double best_completion = 0.0;
+  for (core::GpuId gpu = 0; gpu < queues_.size(); ++gpu) {
+    if (dead_[gpu] != 0) continue;
+    // Per-device compute time: this is where DMDA handles heterogeneous
+    // processing units.
+    const double comp = platform.compute_time_us(graph.task_flops(task), gpu);
+    double comm = 0.0;
+    for (core::DataId data : graph.inputs(task)) {
+      if (!in_mem_[gpu][data]) {
+        comm += platform.transfer_time_us(graph.data_size(data));
       }
     }
-    queues_[best_gpu].push_back(task);
-    // Only compute occupies the worker: transfers are overlapped with the
-    // execution of earlier tasks (StarPU's dm/dmda model). Keeping comm out
-    // of the backlog is what lets the model colocate data-sharing tasks.
-    finish_us[best_gpu] +=
-        platform.compute_time_us(graph.task_flops(task), best_gpu);
-    for (core::DataId data : graph.inputs(task)) in_mem[best_gpu][data] = true;
+    const double completion = finish_us_[gpu] + comm + comp;
+    if (best_gpu == core::kInvalidGpu || completion < best_completion) {
+      best_completion = completion;
+      best_gpu = gpu;
+    }
   }
+  MG_CHECK_MSG(best_gpu != core::kInvalidGpu, "no surviving GPU to allocate to");
+  queues_[best_gpu].push_back(task);
+  // Only compute occupies the worker: transfers are overlapped with the
+  // execution of earlier tasks (StarPU's dm/dmda model). Keeping comm out
+  // of the backlog is what lets the model colocate data-sharing tasks.
+  finish_us_[best_gpu] +=
+      platform.compute_time_us(graph.task_flops(task), best_gpu);
+  for (core::DataId data : graph.inputs(task)) in_mem_[best_gpu][data] = true;
+}
+
+void DmdaScheduler::notify_job_arrived(std::uint32_t job,
+                                       std::span<const core::TaskId> tasks) {
+  (void)job;
+  for (core::TaskId task : tasks) allocate(task);
 }
 
 std::vector<core::DataId> DmdaScheduler::prefetch_hints(core::GpuId gpu) {

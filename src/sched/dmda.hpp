@@ -45,6 +45,17 @@ class DmdaScheduler : public core::Scheduler {
   [[nodiscard]] core::TaskId pop_task(core::GpuId gpu,
                                       const core::MemoryView& memory) override;
 
+  /// Streaming: the push-phase model (predicted InMem / finish time) is kept
+  /// across arrivals and each arriving job is allocated incrementally with
+  /// the same earliest-predicted-completion rule, skipping dead GPUs.
+  [[nodiscard]] bool begin_streaming() override {
+    streaming_ = true;
+    return true;
+  }
+
+  void notify_job_arrived(std::uint32_t job,
+                          std::span<const core::TaskId> tasks) override;
+
   /// GPU loss: re-allocates the orphans and the dead GPU's unpopped deque
   /// greedily onto the currently shortest surviving deques (the push-phase
   /// balance rule, re-applied to the displaced work).
@@ -62,12 +73,21 @@ class DmdaScheduler : public core::Scheduler {
   }
 
  private:
+  /// Push-phase allocation of one task (earliest predicted completion over
+  /// the GPUs with `dead_[gpu] == 0`).
+  void allocate(core::TaskId task);
+
   bool ready_;
   std::size_t ready_window_;
   bool push_prefetch_;
+  bool streaming_ = false;
   const core::TaskGraph* graph_ = nullptr;
+  const core::Platform* platform_ = nullptr;
   std::vector<std::deque<core::TaskId>> queues_;
   std::vector<std::uint8_t> dead_;  ///< GPUs lost to fault injection
+  /// Push-phase model state, persistent across streaming arrivals.
+  std::vector<std::vector<bool>> in_mem_;
+  std::vector<double> finish_us_;
 };
 
 }  // namespace mg::sched

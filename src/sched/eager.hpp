@@ -19,9 +19,21 @@ class EagerScheduler final : public core::Scheduler {
     (void)platform;
     (void)seed;
     queue_.clear();
+    if (streaming_) return;  // tasks enter the FIFO as their jobs arrive
     for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
       queue_.push_back(task);
     }
+  }
+
+  [[nodiscard]] bool begin_streaming() override {
+    streaming_ = true;
+    return true;
+  }
+
+  void notify_job_arrived(std::uint32_t job,
+                          std::span<const core::TaskId> tasks) override {
+    (void)job;
+    queue_.insert(queue_.end(), tasks.begin(), tasks.end());
   }
 
   [[nodiscard]] core::TaskId pop_task(core::GpuId gpu,
@@ -36,6 +48,7 @@ class EagerScheduler final : public core::Scheduler {
 
  private:
   std::deque<core::TaskId> queue_;
+  bool streaming_ = false;
 };
 
 }  // namespace mg::sched

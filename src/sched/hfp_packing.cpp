@@ -155,15 +155,15 @@ void merge_smallest_pair(const core::TaskGraph& graph,
   --alive;
 }
 
-}  // namespace
-
-std::vector<std::vector<TaskId>> hfp_build_packages(
-    const core::TaskGraph& graph, std::uint32_t num_parts,
-    std::uint64_t memory_bytes, HfpStats* stats) {
+/// Phases 1+2 over an explicit seed set (every task its own package).
+std::vector<std::vector<TaskId>> build_packages_from_seeds(
+    const core::TaskGraph& graph, std::span<const TaskId> seeds,
+    std::uint32_t num_parts, std::uint64_t memory_bytes, HfpStats* stats) {
   MG_CHECK(num_parts >= 1);
-  std::vector<Package> packages(graph.num_tasks());
-  for (TaskId task = 0; task < graph.num_tasks(); ++task) {
-    Package& package = packages[task];
+  std::vector<Package> packages(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const TaskId task = seeds[i];
+    Package& package = packages[i];
     package.tasks = {task};
     const auto inputs = graph.inputs(task);
     package.inputs.assign(inputs.begin(), inputs.end());
@@ -171,7 +171,7 @@ std::vector<std::vector<TaskId>> hfp_build_packages(
     package.footprint = footprint_of(graph, package.inputs);
     package.load = graph.task_flops(task);
   }
-  std::uint32_t alive = graph.num_tasks();
+  std::uint32_t alive = static_cast<std::uint32_t>(seeds.size());
 
   // Phase 1: affinity merging under the memory bound.
   while (alive > num_parts) {
@@ -200,6 +200,33 @@ std::vector<std::vector<TaskId>> hfp_build_packages(
   }
   while (result.size() < num_parts) result.emplace_back();
   return result;
+}
+
+}  // namespace
+
+std::vector<std::vector<TaskId>> hfp_build_packages(
+    const core::TaskGraph& graph, std::uint32_t num_parts,
+    std::uint64_t memory_bytes, HfpStats* stats) {
+  std::vector<TaskId> all(graph.num_tasks());
+  std::iota(all.begin(), all.end(), TaskId{0});
+  return build_packages_from_seeds(graph, all, num_parts, memory_bytes, stats);
+}
+
+std::vector<std::vector<TaskId>> hfp_build_packages_subset(
+    const core::TaskGraph& graph, std::span<const TaskId> tasks,
+    std::uint32_t num_parts, std::uint64_t memory_bytes, HfpStats* stats) {
+  return build_packages_from_seeds(graph, tasks, num_parts, memory_bytes,
+                                   stats);
+}
+
+std::vector<std::vector<TaskId>> hfp_partition_subset(
+    const core::TaskGraph& graph, std::span<const TaskId> tasks,
+    std::uint32_t num_parts, std::uint64_t memory_bytes, HfpStats* stats,
+    std::span<const double> speeds) {
+  auto packages =
+      hfp_build_packages_subset(graph, tasks, num_parts, memory_bytes, stats);
+  hfp_balance_loads(graph, packages, stats, speeds);
+  return packages;
 }
 
 void hfp_balance_loads(const core::TaskGraph& graph,

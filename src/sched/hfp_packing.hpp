@@ -57,4 +57,19 @@ std::vector<std::vector<core::TaskId>> hfp_partition(
     std::uint64_t memory_bytes, HfpStats* stats = nullptr,
     std::span<const double> speeds = {});
 
+/// HFP phases 1+2 restricted to a task subset (streaming: the tasks of one
+/// arriving job). Affinity is still computed over the full graph's data
+/// sizes; only `tasks` are packed.
+std::vector<std::vector<core::TaskId>> hfp_build_packages_subset(
+    const core::TaskGraph& graph, std::span<const core::TaskId> tasks,
+    std::uint32_t num_parts, std::uint64_t memory_bytes,
+    HfpStats* stats = nullptr);
+
+/// Subset packing + load balancing, the streaming counterpart of
+/// hfp_partition.
+std::vector<std::vector<core::TaskId>> hfp_partition_subset(
+    const core::TaskGraph& graph, std::span<const core::TaskId> tasks,
+    std::uint32_t num_parts, std::uint64_t memory_bytes,
+    HfpStats* stats = nullptr, std::span<const double> speeds = {});
+
 }  // namespace mg::sched

@@ -8,15 +8,43 @@ void WorkQueueScheduler::prepare(const core::TaskGraph& graph,
                                  const core::Platform& platform,
                                  std::uint64_t seed) {
   graph_ = &graph;
+  platform_ = &platform;
   queues_.assign(platform.num_gpus, {});
   dead_.assign(platform.num_gpus, 0);
   steal_events_ = 0;
+  if (streaming_) return;  // queues fill per arriving job
   partition(graph, platform, seed, queues_);
 
   std::size_t total = 0;
   for (const auto& queue : queues_) total += queue.size();
   MG_CHECK_MSG(total == graph.num_tasks(),
                "partition() must distribute every task exactly once");
+}
+
+void WorkQueueScheduler::notify_job_arrived(
+    std::uint32_t job, std::span<const core::TaskId> tasks) {
+  partition_arrival(*graph_, *platform_, job, tasks, dead_, queues_);
+}
+
+void WorkQueueScheduler::partition_arrival(
+    const core::TaskGraph& graph, const core::Platform& platform,
+    std::uint32_t job, std::span<const core::TaskId> tasks,
+    std::span<const std::uint8_t> dead,
+    std::vector<std::deque<core::TaskId>>& queues) {
+  (void)graph;
+  (void)platform;
+  (void)job;
+  core::GpuId target = core::kInvalidGpu;
+  std::size_t least = ~std::size_t{0};
+  for (core::GpuId gpu = 0; gpu < queues.size(); ++gpu) {
+    if (dead[gpu] != 0) continue;
+    if (queues[gpu].size() < least) {
+      least = queues[gpu].size();
+      target = gpu;
+    }
+  }
+  MG_CHECK_MSG(target != core::kInvalidGpu, "no surviving GPU for arrival");
+  queues[target].insert(queues[target].end(), tasks.begin(), tasks.end());
 }
 
 core::TaskId WorkQueueScheduler::pop_task(core::GpuId gpu,

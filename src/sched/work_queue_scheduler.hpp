@@ -28,6 +28,17 @@ class WorkQueueScheduler : public core::Scheduler {
   [[nodiscard]] bool notify_gpu_lost(
       core::GpuId gpu, std::span<const core::TaskId> orphaned) final;
 
+  /// Streaming: the static partition is skipped; each arriving job is placed
+  /// by partition_arrival (default: block-append to the least loaded
+  /// surviving queue) and stealing rebalances from there.
+  [[nodiscard]] bool begin_streaming() final {
+    streaming_ = true;
+    return true;
+  }
+
+  void notify_job_arrived(std::uint32_t job,
+                          std::span<const core::TaskId> tasks) final;
+
   [[nodiscard]] const std::deque<core::TaskId>& queue(core::GpuId gpu) const {
     return queues_[gpu];
   }
@@ -44,6 +55,16 @@ class WorkQueueScheduler : public core::Scheduler {
                          const core::Platform& platform, std::uint64_t seed,
                          std::vector<std::deque<core::TaskId>>& queues) = 0;
 
+  /// Streaming placement of one arriving job (`tasks` in submission order).
+  /// `dead[gpu] != 0` marks GPUs lost to fault injection — never place onto
+  /// those. Default: append the whole block to the smallest surviving queue.
+  virtual void partition_arrival(const core::TaskGraph& graph,
+                                 const core::Platform& platform,
+                                 std::uint32_t job,
+                                 std::span<const core::TaskId> tasks,
+                                 std::span<const std::uint8_t> dead,
+                                 std::vector<std::deque<core::TaskId>>& queues);
+
  private:
   /// Moves the tail half of the most loaded queue into `thief`'s queue.
   void steal(core::GpuId thief);
@@ -51,7 +72,9 @@ class WorkQueueScheduler : public core::Scheduler {
   bool stealing_;
   bool ready_;
   std::size_t ready_window_;
+  bool streaming_ = false;
   const core::TaskGraph* graph_ = nullptr;
+  const core::Platform* platform_ = nullptr;
   std::vector<std::deque<core::TaskId>> queues_;
   std::vector<std::uint8_t> dead_;  ///< GPUs lost to fault injection
   std::uint64_t steal_events_ = 0;

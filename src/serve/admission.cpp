@@ -1,0 +1,71 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mg::serve {
+
+AdmissionController::AdmissionController(
+    AdmissionConfig config, std::vector<std::uint64_t> job_footprint_bytes)
+    : config_(config), footprint_(std::move(job_footprint_bytes)) {}
+
+bool AdmissionController::fits(std::uint32_t job) const {
+  if (in_flight_ == 0) return true;  // progress guarantee: never wedge empty
+  if (config_.max_jobs_in_flight != 0 &&
+      in_flight_ >= config_.max_jobs_in_flight) {
+    return false;
+  }
+  if (config_.max_bytes_in_flight != 0 &&
+      bytes_ + footprint_[job] > config_.max_bytes_in_flight) {
+    return false;
+  }
+  return true;
+}
+
+void AdmissionController::account(std::uint32_t job) {
+  ++in_flight_;
+  bytes_ += footprint_[job];
+}
+
+AdmissionController::Decision AdmissionController::submit(
+    std::uint32_t job, std::uint32_t priority) {
+  MG_DCHECK(job < footprint_.size());
+  // Queued jobs keep their ordering: a new submission may only jump the
+  // queue via priority, which try_admit_queued resolves — so an admissible
+  // job with a non-empty queue still queues.
+  if (queue_.empty() && fits(job)) {
+    account(job);
+    return Decision::kAdmit;
+  }
+  if (config_.max_queue_depth != 0 &&
+      queue_.size() >= config_.max_queue_depth) {
+    return Decision::kShed;
+  }
+  queue_.push_back(Waiting{job, priority, next_seq_++});
+  return Decision::kQueue;
+}
+
+void AdmissionController::on_job_retired(std::uint32_t job) {
+  MG_DCHECK(job < footprint_.size());
+  MG_CHECK_MSG(in_flight_ > 0, "retirement without an in-flight job");
+  --in_flight_;
+  MG_DCHECK(bytes_ >= footprint_[job]);
+  bytes_ -= footprint_[job];
+}
+
+std::optional<std::uint32_t> AdmissionController::try_admit_queued() {
+  if (queue_.empty()) return std::nullopt;
+  const auto best = std::min_element(
+      queue_.begin(), queue_.end(), [](const Waiting& a, const Waiting& b) {
+        if (a.priority != b.priority) return a.priority > b.priority;
+        return a.seq < b.seq;
+      });
+  if (!fits(best->job)) return std::nullopt;
+  const std::uint32_t job = best->job;
+  queue_.erase(best);
+  account(job);
+  return job;
+}
+
+}  // namespace mg::serve

@@ -1,0 +1,79 @@
+// Admission control — bounds the in-flight footprint of a streamed run.
+//
+// Every submitted job is either admitted (released into the engine),
+// queued (held until retirements free capacity), or shed (rejected
+// outright once the queue itself is full). Capacity is measured two ways,
+// both optional: a cap on concurrently in-flight jobs and a cap on the sum
+// of in-flight job footprints (distinct input bytes + output scratch)
+// against GPU memory. A job too large for an *empty* system is admitted
+// anyway — rejecting it forever would wedge the run; the memory manager
+// then pays the thrashing, not the admission layer.
+//
+// The queue pops by (priority desc, submission order) and is pure
+// bookkeeping: the ServeEngine drives it from the simulation clock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace mg::serve {
+
+struct AdmissionConfig {
+  /// Max jobs in flight at once; 0 = unlimited.
+  std::uint32_t max_jobs_in_flight = 0;
+
+  /// Max summed footprint bytes in flight; 0 = unlimited. A sensible bound
+  /// is the platform's aggregate GPU memory.
+  std::uint64_t max_bytes_in_flight = 0;
+
+  /// Max jobs waiting in the admission queue; a submission past it is shed.
+  /// 0 = unbounded queue (nothing is ever shed).
+  std::uint32_t max_queue_depth = 0;
+};
+
+class AdmissionController {
+ public:
+  enum class Decision : std::uint8_t { kAdmit, kQueue, kShed };
+
+  AdmissionController(AdmissionConfig config,
+                      std::vector<std::uint64_t> job_footprint_bytes);
+
+  /// Decides the fate of `job` now. kAdmit already accounts the job as in
+  /// flight; kQueue parks it; kShed drops it (the caller cancels it in the
+  /// engine).
+  Decision submit(std::uint32_t job, std::uint32_t priority);
+
+  /// Releases the capacity of a retired in-flight job.
+  void on_job_retired(std::uint32_t job);
+
+  /// Pops the best queued job that fits now (priority desc, FIFO within),
+  /// accounting it as in flight. Call in a loop after every retirement.
+  std::optional<std::uint32_t> try_admit_queued();
+
+  [[nodiscard]] std::uint32_t queue_depth() const {
+    return static_cast<std::uint32_t>(queue_.size());
+  }
+  [[nodiscard]] std::uint32_t jobs_in_flight() const { return in_flight_; }
+  [[nodiscard]] std::uint64_t bytes_in_flight() const { return bytes_; }
+
+ private:
+  [[nodiscard]] bool fits(std::uint32_t job) const;
+  void account(std::uint32_t job);
+
+  struct Waiting {
+    std::uint32_t job = 0;
+    std::uint32_t priority = 0;
+    std::uint64_t seq = 0;
+  };
+
+  AdmissionConfig config_;
+  std::vector<std::uint64_t> footprint_;
+  std::deque<Waiting> queue_;
+  std::uint32_t in_flight_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mg::serve

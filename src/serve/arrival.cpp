@@ -1,0 +1,41 @@
+#include "serve/arrival.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mg::serve {
+
+std::string_view arrival_mode_name(ArrivalMode mode) {
+  switch (mode) {
+    case ArrivalMode::kPoisson: return "poisson";
+    case ArrivalMode::kClosedLoop: return "closed-loop";
+  }
+  return "?";
+}
+
+std::optional<ArrivalMode> parse_arrival_mode(std::string_view name) {
+  if (name == "poisson") return ArrivalMode::kPoisson;
+  if (name == "closed-loop" || name == "closed") return ArrivalMode::kClosedLoop;
+  return std::nullopt;
+}
+
+std::vector<double> poisson_arrival_times_us(std::uint32_t num_jobs,
+                                             double rate_jobs_per_s,
+                                             std::uint64_t seed) {
+  MG_CHECK_MSG(rate_jobs_per_s > 0.0, "Poisson rate must be positive");
+  util::Rng rng(seed);
+  const double rate_per_us = rate_jobs_per_s / 1e6;
+  std::vector<double> times;
+  times.reserve(num_jobs);
+  double t = 0.0;
+  for (std::uint32_t i = 0; i < num_jobs; ++i) {
+    // Inverse-CDF exponential draw; uniform() < 1, so log1p(-u) is finite.
+    t += -std::log1p(-rng.uniform()) / rate_per_us;
+    times.push_back(t);
+  }
+  return times;
+}
+
+}  // namespace mg::serve

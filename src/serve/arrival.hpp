@@ -1,0 +1,47 @@
+// Arrival processes for the serving loop.
+//
+// Two canonical load generators from the serving literature:
+//   * open-loop Poisson — jobs arrive at seeded exponential inter-arrival
+//     gaps regardless of how the system keeps up, so queues grow without
+//     bound past the saturation rate (the regime fig_throughput sweeps
+//     into);
+//   * closed-loop fixed concurrency — a fixed number of clients each submit
+//     their next job the moment the previous one finishes, so offered load
+//     adapts to service rate and the system never collapses.
+//
+// All randomness draws from util::Rng under an explicit seed: a
+// (seed, config) pair always produces the same arrival times, which is what
+// makes streamed run reports bit-identical across runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace mg::serve {
+
+enum class ArrivalMode : std::uint8_t {
+  kPoisson,     ///< open loop, rate_jobs_per_s
+  kClosedLoop,  ///< closed loop, fixed concurrency
+};
+
+[[nodiscard]] std::string_view arrival_mode_name(ArrivalMode mode);
+
+/// Parses "poisson" / "closed-loop" (the --arrival flag values).
+[[nodiscard]] std::optional<ArrivalMode> parse_arrival_mode(
+    std::string_view name);
+
+struct ArrivalConfig {
+  ArrivalMode mode = ArrivalMode::kPoisson;
+  double rate_jobs_per_s = 200.0;  ///< Poisson arrival rate
+  std::uint32_t concurrency = 4;   ///< closed-loop client count
+  std::uint64_t seed = 42;         ///< drives the exponential draws
+};
+
+/// Absolute Poisson arrival times (µs, non-decreasing) for `num_jobs` jobs
+/// at `rate_jobs_per_s`, deterministic under `seed`.
+[[nodiscard]] std::vector<double> poisson_arrival_times_us(
+    std::uint32_t num_jobs, double rate_jobs_per_s, std::uint64_t seed);
+
+}  // namespace mg::serve

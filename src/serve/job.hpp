@@ -1,0 +1,28 @@
+// Serving jobs — the unit of work of the streamed throughput engine.
+//
+// A job is one instance of a workload task graph submitted at some point of
+// simulated time: it carries the template it instantiates, an optional
+// latency deadline (an SLO measured from submission, not a scheduling
+// input — the model has no preemption) and an admission priority used only
+// to order the admission queue.
+#pragma once
+
+#include <cstdint>
+
+namespace mg::serve {
+
+struct JobSpec {
+  /// Index into the template graphs handed to ServeEngine / the union
+  /// builder. Jobs instantiated from the same template share its data
+  /// (unless cross-job sharing is ablated away).
+  std::uint32_t graph = 0;
+
+  /// Latency SLO in microseconds from submission; 0 = no deadline. A shed
+  /// job with a deadline counts as a miss (it never ran at all).
+  double deadline_us = 0.0;
+
+  /// Admission-queue priority (higher pops first; FIFO within a level).
+  std::uint32_t priority = 0;
+};
+
+}  // namespace mg::serve

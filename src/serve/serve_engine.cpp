@@ -1,0 +1,115 @@
+#include "serve/serve_engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mg::serve {
+
+namespace {
+
+AdmissionConfig effective_admission(AdmissionConfig config,
+                                    const core::Platform& platform) {
+  if (config.max_jobs_in_flight == 0 && config.max_bytes_in_flight == 0) {
+    config.max_bytes_in_flight =
+        static_cast<std::uint64_t>(platform.num_gpus) *
+        platform.gpu_memory_bytes;
+  }
+  return config;
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(std::span<const core::TaskGraph> templates,
+                         std::span<const JobSpec> jobs,
+                         const core::Platform& platform,
+                         core::Scheduler& scheduler, ServeConfig config)
+    : config_(config),
+      jobs_(jobs.begin(), jobs.end()),
+      union_(build_union_graph(templates, jobs, config.share_data)),
+      admission_(effective_admission(config.admission, platform),
+                 union_.job_footprint_bytes),
+      engine_(union_.graph, platform, scheduler, config.engine) {
+  engine_.enable_streaming(union_.task_job, union_.num_jobs);
+  tracker_.bind(union_.task_job, union_.num_jobs);
+  engine_.add_inspector(&tracker_);
+  engine_.set_job_retired_callback(
+      [this](std::uint32_t job) { on_job_retired(job); });
+}
+
+void ServeEngine::add_inspector(sim::Inspector* inspector) {
+  engine_.add_inspector(inspector);
+}
+
+void ServeEngine::set_fault_injector(sim::FaultInjector* injector) {
+  engine_.set_fault_injector(injector);
+}
+
+ServeResult ServeEngine::run() {
+  sim::EventQueue& events = engine_.event_queue();
+  const std::uint32_t num_jobs = union_.num_jobs;
+  if (config_.arrival.mode == ArrivalMode::kPoisson) {
+    const std::vector<double> times = poisson_arrival_times_us(
+        num_jobs, config_.arrival.rate_jobs_per_s, config_.arrival.seed);
+    for (std::uint32_t job = 0; job < num_jobs; ++job) {
+      events.schedule_at(times[job], [this, job] { submit(job); });
+    }
+    next_job_ = num_jobs;
+  } else {
+    MG_CHECK_MSG(config_.arrival.concurrency > 0,
+                 "closed-loop arrival needs at least one client");
+    const std::uint32_t initial =
+        std::min(config_.arrival.concurrency, num_jobs);
+    next_job_ = initial;
+    for (std::uint32_t job = 0; job < initial; ++job) {
+      events.schedule_at(0.0, [this, job] { submit(job); });
+    }
+  }
+
+  ServeResult result;
+  result.metrics = engine_.run();
+  result.serving = tracker_.finalize(
+      result.metrics.makespan_us, arrival_mode_name(config_.arrival.mode));
+  return result;
+}
+
+void ServeEngine::submit(std::uint32_t job) {
+  const double now = engine_.event_queue().now();
+  tracker_.note_submitted(job, now, jobs_[job].deadline_us);
+  switch (admission_.submit(job, jobs_[job].priority)) {
+    case AdmissionController::Decision::kAdmit:
+      engine_.release_job(job);
+      break;
+    case AdmissionController::Decision::kQueue:
+      tracker_.note_queue_depth(now, admission_.queue_depth());
+      break;
+    case AdmissionController::Decision::kShed:
+      engine_.shed_job(job);
+      // A closed-loop client whose job was rejected moves on to its next
+      // one; without this, every shed would shrink the effective
+      // concurrency for the rest of the run.
+      maybe_refill_closed_loop();
+      break;
+  }
+}
+
+void ServeEngine::on_job_retired(std::uint32_t job) {
+  admission_.on_job_retired(job);
+  const double now = engine_.event_queue().now();
+  bool drained = false;
+  while (const auto next = admission_.try_admit_queued()) {
+    engine_.release_job(*next);
+    drained = true;
+  }
+  if (drained) tracker_.note_queue_depth(now, admission_.queue_depth());
+  maybe_refill_closed_loop();
+}
+
+void ServeEngine::maybe_refill_closed_loop() {
+  if (config_.arrival.mode != ArrivalMode::kClosedLoop) return;
+  if (next_job_ >= union_.num_jobs) return;
+  const std::uint32_t job = next_job_++;
+  engine_.event_queue().schedule_after(0.0, [this, job] { submit(job); });
+}
+
+}  // namespace mg::serve

@@ -1,0 +1,81 @@
+#include "serve/union_graph.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace mg::serve {
+
+UnionGraph build_union_graph(std::span<const core::TaskGraph> templates,
+                             std::span<const JobSpec> jobs, bool share_data) {
+  MG_CHECK_MSG(!jobs.empty(), "a streamed run needs at least one job");
+  for (const JobSpec& job : jobs) {
+    MG_CHECK_MSG(job.graph < templates.size(),
+                 "job references an unknown template graph");
+    MG_CHECK_MSG(templates[job.graph].num_tasks() > 0,
+                 "every job must own at least one task");
+  }
+
+  UnionGraph out;
+  out.num_jobs = static_cast<std::uint32_t>(jobs.size());
+  out.job_tasks.resize(jobs.size());
+  out.job_footprint_bytes.resize(jobs.size(), 0);
+
+  core::TaskGraphBuilder builder;
+  // shared_data[template][local] = union DataId, filled lazily on the first
+  // job of each template; only used when sharing.
+  std::vector<std::vector<core::DataId>> shared_data(templates.size());
+
+  for (std::uint32_t job = 0; job < jobs.size(); ++job) {
+    const core::TaskGraph& tpl = templates[jobs[job].graph];
+    std::string prefix = "j";
+    prefix += std::to_string(job);
+    prefix += ':';
+    std::vector<core::DataId>* mapping = nullptr;
+    std::vector<core::DataId> private_mapping;
+    if (share_data) {
+      mapping = &shared_data[jobs[job].graph];
+    } else {
+      mapping = &private_mapping;
+    }
+    if (mapping->empty()) {
+      mapping->reserve(tpl.num_data());
+      for (core::DataId data = 0; data < tpl.num_data(); ++data) {
+        std::string label = tpl.data_label(data);
+        if (!share_data) label = prefix + label;
+        mapping->push_back(
+            builder.add_data(tpl.data_size(data), std::move(label)));
+      }
+    }
+
+    std::uint64_t inputs_bytes = 0;
+    std::uint64_t max_scratch = 0;
+    std::vector<std::uint8_t> seen(tpl.num_data(), 0);
+    std::vector<core::DataId> inputs;
+    for (core::TaskId task = 0; task < tpl.num_tasks(); ++task) {
+      inputs.clear();
+      for (core::DataId data : tpl.inputs(task)) {
+        inputs.push_back((*mapping)[data]);
+        if (seen[data] == 0) {
+          seen[data] = 1;
+          inputs_bytes += tpl.data_size(data);
+        }
+      }
+      const core::TaskId id = builder.add_task(tpl.task_flops(task), inputs,
+                                               prefix + tpl.task_label(task));
+      if (tpl.task_output_bytes(task) > 0) {
+        builder.set_task_output(id, tpl.task_output_bytes(task));
+        max_scratch = std::max(max_scratch, tpl.task_output_bytes(task));
+      }
+      out.task_job.push_back(job);
+      out.job_tasks[job].push_back(id);
+    }
+    out.job_footprint_bytes[job] = inputs_bytes + max_scratch;
+  }
+
+  out.graph = builder.build();
+  return out;
+}
+
+}  // namespace mg::serve

@@ -1,0 +1,43 @@
+// Union graph — every job a streamed run may serve, merged into one
+// core::TaskGraph the engine and scheduler operate on.
+//
+// Tasks are namespaced per job (labels get a "j<job>:" prefix); data is
+// deduplicated per template: two jobs instantiating the same template read
+// the *same* DataId, which is exactly what lets DARTS/LUF and DMDAR exploit
+// inter-job data sharing — a tile loaded for job 3 is still resident when
+// job 7 arrives. Building with share_data = false gives every job a private
+// copy of its template's data instead (the ablation baseline: same work,
+// zero cross-job reuse possible).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "serve/job.hpp"
+
+namespace mg::serve {
+
+struct UnionGraph {
+  core::TaskGraph graph;
+  std::uint32_t num_jobs = 0;
+
+  /// task_job[t] = the job owning union-graph task t (dense, engine input).
+  std::vector<std::uint32_t> task_job;
+
+  /// Union-graph TaskIds of each job, in template order.
+  std::vector<std::vector<core::TaskId>> job_tasks;
+
+  /// Admission footprint of each job: its distinct input bytes plus its
+  /// largest single-task output scratch.
+  std::vector<std::uint64_t> job_footprint_bytes;
+};
+
+/// Merges one graph instance per job into a union graph. `jobs[i].graph`
+/// indexes `templates`; every template must have at least one task.
+[[nodiscard]] UnionGraph build_union_graph(
+    std::span<const core::TaskGraph> templates, std::span<const JobSpec> jobs,
+    bool share_data = true);
+
+}  // namespace mg::serve

@@ -76,6 +76,80 @@ void RuntimeEngine::set_fault_injector(FaultInjector* injector) {
   injector_ = injector;
 }
 
+void RuntimeEngine::enable_streaming(std::vector<std::uint32_t> task_job,
+                                     std::uint32_t num_jobs) {
+  MG_CHECK_MSG(!ran_, "enable_streaming must be called before run()");
+  MG_CHECK_MSG(!streaming_, "enable_streaming is single-shot");
+  MG_CHECK_MSG(task_job.size() == graph_.num_tasks(),
+               "task_job must map every task of the union graph");
+  MG_CHECK_MSG(num_jobs >= 1, "streaming needs at least one job");
+  MG_CHECK_MSG(scheduler_.begin_streaming(),
+               "scheduler does not support streaming (begin_streaming "
+               "declined)");
+  streaming_ = true;
+  num_jobs_ = num_jobs;
+  task_job_ = std::move(task_job);
+  job_tasks_.assign(num_jobs, {});
+  for (TaskId task = 0; task < graph_.num_tasks(); ++task) {
+    MG_CHECK_MSG(task_job_[task] < num_jobs, "task mapped to bad job id");
+    job_tasks_[task_job_[task]].push_back(task);
+  }
+  for (std::uint32_t job = 0; job < num_jobs; ++job) {
+    MG_CHECK_MSG(!job_tasks_[job].empty(), "job owns no tasks");
+  }
+  job_remaining_.assign(num_jobs, 0);
+  for (std::uint32_t job = 0; job < num_jobs; ++job) {
+    job_remaining_[job] = static_cast<std::uint32_t>(job_tasks_[job].size());
+  }
+  job_state_.assign(num_jobs, JobState::kPending);
+  released_.assign(graph_.num_tasks(), false);
+}
+
+void RuntimeEngine::release_job(std::uint32_t job) {
+  MG_CHECK_MSG(streaming_, "release_job requires streaming mode");
+  MG_CHECK_MSG(job < num_jobs_, "bad job id");
+  MG_CHECK_MSG(job_state_[job] == JobState::kPending,
+               "job already released or shed");
+  job_state_[job] = JobState::kReleased;
+  ++jobs_released_;
+  const std::vector<TaskId>& tasks = job_tasks_[job];
+  publish(InspectorEventKind::kJobArrival, 0, job, 0, kNoChannel,
+          static_cast<std::uint32_t>(tasks.size()));
+  for (TaskId task : tasks) {
+    released_[task] = true;
+    publish(InspectorEventKind::kTaskReleased, 0, task, 0, kNoChannel, job);
+  }
+  scheduler_.notify_job_arrived(job, tasks);
+  for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+    if (!gpus_[gpu].alive) continue;
+    fill_buffer(gpu);
+    try_start(gpu);
+  }
+}
+
+void RuntimeEngine::shed_job(std::uint32_t job) {
+  MG_CHECK_MSG(streaming_, "shed_job requires streaming mode");
+  MG_CHECK_MSG(job < num_jobs_, "bad job id");
+  MG_CHECK_MSG(job_state_[job] == JobState::kPending,
+               "only a pending job can be shed");
+  job_state_[job] = JobState::kShed;
+  const std::vector<TaskId>& tasks = job_tasks_[job];
+  publish(InspectorEventKind::kJobShed, 0, job, 0, kNoChannel,
+          static_cast<std::uint32_t>(tasks.size()));
+  for (TaskId task : tasks) {
+    MG_DCHECK(!popped_[task]);
+    popped_[task] = true;  // nobody may ever pop a cancelled task
+    ++completed_;          // counts towards termination, not towards metrics
+    publish(InspectorEventKind::kTaskCancelled, 0, task, 0, kNoChannel, job);
+  }
+}
+
+void RuntimeEngine::set_job_retired_callback(
+    std::function<void(std::uint32_t)> callback) {
+  MG_CHECK_MSG(!ran_, "set_job_retired_callback must be called before run()");
+  job_retired_cb_ = std::move(callback);
+}
+
 void RuntimeEngine::publish_slow(InspectorEventKind kind, GpuId gpu,
                                  std::uint32_t id, std::uint64_t bytes,
                                  std::uint32_t channel, std::uint32_t aux) {
@@ -239,6 +313,15 @@ core::RunMetrics RuntimeEngine::run() {
                     static_cast<unsigned long long>(events_.events_processed()),
                     events_.now(), completed_, graph_.num_tasks());
       std::string message = header;
+      if (streaming_) {
+        char serving[128];
+        std::snprintf(serving, sizeof serving,
+                      "serving: %u jobs in flight (%u released, %u retired "
+                      "of %u)\n",
+                      jobs_in_flight(), jobs_released_, jobs_retired_,
+                      num_jobs_);
+        message += serving;
+      }
       message += format_engine_state();
       if (!watchdog_recent_.empty()) {
         message += "recent events:\n";
@@ -307,6 +390,8 @@ void RuntimeEngine::fill_buffer(GpuId gpu) {
       MG_CHECK_MSG(task < graph_.num_tasks(), "scheduler returned bad task id");
     }
     MG_CHECK_MSG(!popped_[task], "scheduler returned a task twice");
+    MG_CHECK_MSG(!streaming_ || released_[task],
+                 "scheduler popped a task whose job has not arrived");
     popped_[task] = true;
     state.starved = false;
     state.buffer.push_back(task);
@@ -443,6 +528,22 @@ void RuntimeEngine::finish_task(GpuId gpu, TaskId task) {
   }
   scheduler_.notify_task_complete(gpu, task);
   publish(InspectorEventKind::kNotifyTaskComplete, gpu, task);
+  if (streaming_) {
+    const std::uint32_t job = task_job_[task];
+    MG_DCHECK(job_remaining_[job] > 0);
+    if (--job_remaining_[job] == 0) {
+      job_state_[job] = JobState::kRetired;
+      ++jobs_retired_;
+      publish(InspectorEventKind::kJobComplete, 0, job, 0, kNoChannel,
+              static_cast<std::uint32_t>(job_tasks_[job].size()));
+      scheduler_.notify_job_retired(job);
+      if (job_retired_cb_) {
+        // Deferred: the callback may release or shed jobs, which must not
+        // re-enter the scheduler from inside its own notify chain.
+        events_.schedule_after(0.0, [this, job] { job_retired_cb_(job); });
+      }
+    }
+  }
   fill_buffer(gpu);
   try_start(gpu);
   retry_starved();
@@ -570,7 +671,16 @@ void RuntimeEngine::throw_deadlock() const {
                 "simulation deadlock — scheduler or policy bug: %u/%u tasks "
                 "completed, event queue empty at t=%.1fus\n",
                 completed_, graph_.num_tasks(), events_.now());
-  throw DeadlockError(std::string(header) + format_engine_state());
+  std::string message = header;
+  if (streaming_) {
+    char serving[128];
+    std::snprintf(serving, sizeof serving,
+                  "serving: %u jobs in flight (%u released, %u retired of "
+                  "%u)\n",
+                  jobs_in_flight(), jobs_released_, jobs_retired_, num_jobs_);
+    message += serving;
+  }
+  throw DeadlockError(message + format_engine_state());
 }
 
 void RuntimeEngine::schedule_faults() {

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -94,6 +95,41 @@ class RuntimeEngine final : private MemoryManager::Observer,
   /// owned; one injector serves one run. Without an injector — or with an
   /// empty plan — the run is bit-identical to a fault-free engine.
   void set_fault_injector(FaultInjector* injector);
+
+  // ---- Streaming (serve) mode ----------------------------------------------
+  //
+  // In a streamed run the graph is the union of every job that may arrive;
+  // tasks start *unreleased* and the scheduler (which must accept
+  // Scheduler::begin_streaming) may not pop a task before release_job() hands
+  // its job over. The serve layer drives arrivals and admission by scheduling
+  // callbacks on event_queue() — before run() or from within callbacks — and
+  // learns about retirements through set_job_retired_callback.
+
+  /// Enables streaming. `task_job[t]` is the job of task t; jobs are numbered
+  /// densely 0..num_jobs-1 and every job owns at least one task. Must be
+  /// called before run().
+  void enable_streaming(std::vector<std::uint32_t> task_job,
+                        std::uint32_t num_jobs);
+
+  /// Releases a pending job: its tasks become eligible, the scheduler gets
+  /// notify_job_arrived, and idle GPUs are woken.
+  void release_job(std::uint32_t job);
+
+  /// Sheds a pending (never released) job: its tasks will never run but count
+  /// as completed so the run can terminate.
+  void shed_job(std::uint32_t job);
+
+  /// `callback(job)` fires through a zero-delay event after the last task of
+  /// `job` completes (admission re-check, closed-loop refill, ...).
+  void set_job_retired_callback(std::function<void(std::uint32_t)> callback);
+
+  /// The simulation clock/queue; the serve layer schedules arrival and
+  /// admission callbacks here.
+  [[nodiscard]] EventQueue& event_queue() { return events_; }
+
+  [[nodiscard]] std::uint32_t jobs_in_flight() const {
+    return jobs_released_ - jobs_retired_;
+  }
 
   [[nodiscard]] const Trace& trace() const { return trace_; }
 
@@ -223,6 +259,19 @@ class RuntimeEngine final : private MemoryManager::Observer,
   /// for the BudgetExceededError excerpt.
   bool watchdog_log_ = false;
   std::deque<std::string> watchdog_recent_;
+
+  // Streaming (serve) mode state. All dormant without enable_streaming.
+  enum class JobState : std::uint8_t { kPending, kReleased, kShed, kRetired };
+  bool streaming_ = false;
+  std::uint32_t num_jobs_ = 0;
+  std::vector<std::uint32_t> task_job_;            ///< task -> job
+  std::vector<std::vector<core::TaskId>> job_tasks_;
+  std::vector<std::uint32_t> job_remaining_;       ///< uncompleted task count
+  std::vector<JobState> job_state_;
+  std::vector<bool> released_;
+  std::uint32_t jobs_released_ = 0;
+  std::uint32_t jobs_retired_ = 0;
+  std::function<void(std::uint32_t)> job_retired_cb_;
 };
 
 }  // namespace mg::sim

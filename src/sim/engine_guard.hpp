@@ -1,0 +1,38 @@
+// Shared CLI handling of engine failures.
+//
+// Every driver binary follows the same convention: an EngineError
+// (deadlock, watchdog budget, invalid fault plan) prints one diagnostic
+// line to stderr and exits with status 3 — distinct from bad usage (1) and
+// unreadable inputs (2), so scripts and CI can tell a wedged schedule from
+// a mistyped flag. This header is the single definition of that behaviour.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/metrics.hpp"
+#include "sim/engine.hpp"
+#include "sim/errors.hpp"
+
+namespace mg::sim {
+
+[[noreturn]] inline void exit_engine_failure(const std::string& label,
+                                             const EngineError& error) {
+  std::fprintf(stderr, "engine failure in %s: %s\n", label.c_str(),
+               error.what());
+  std::exit(3);
+}
+
+/// Runs the engine to completion; on EngineError, prints the diagnostic
+/// labelled `label` and exits with status 3.
+inline core::RunMetrics run_engine_or_exit(RuntimeEngine& engine,
+                                           const std::string& label) {
+  try {
+    return engine.run();
+  } catch (const EngineError& error) {
+    exit_engine_failure(label, error);
+  }
+}
+
+}  // namespace mg::sim

@@ -25,6 +25,11 @@ std::string_view inspector_event_kind_name(InspectorEventKind kind) {
     case InspectorEventKind::kTransferRetry: return "transfer-retry";
     case InspectorEventKind::kTaskReclaimed: return "task-reclaimed";
     case InspectorEventKind::kNotifyGpuLost: return "notify-gpu-lost";
+    case InspectorEventKind::kJobArrival: return "job-arrival";
+    case InspectorEventKind::kJobComplete: return "job-complete";
+    case InspectorEventKind::kJobShed: return "job-shed";
+    case InspectorEventKind::kTaskReleased: return "task-released";
+    case InspectorEventKind::kTaskCancelled: return "task-cancelled";
   }
   return "?";
 }
@@ -45,13 +50,18 @@ std::string format_inspector_event(const InspectorEvent& event) {
                        event.kind == InspectorEventKind::kWriteBackStart ||
                        event.kind == InspectorEventKind::kWriteBackEnd ||
                        event.kind == InspectorEventKind::kNotifyTaskComplete ||
-                       event.kind == InspectorEventKind::kTaskReclaimed;
+                       event.kind == InspectorEventKind::kTaskReclaimed ||
+                       event.kind == InspectorEventKind::kTaskReleased ||
+                       event.kind == InspectorEventKind::kTaskCancelled;
+  const bool is_job = event.kind == InspectorEventKind::kJobArrival ||
+                      event.kind == InspectorEventKind::kJobComplete ||
+                      event.kind == InspectorEventKind::kJobShed;
   char buffer[192];
   std::snprintf(buffer, sizeof buffer, "t=%.3fus gpu%u %.*s %c%u", event.time_us,
                 event.gpu,
                 static_cast<int>(inspector_event_kind_name(event.kind).size()),
                 inspector_event_kind_name(event.kind).data(),
-                is_task ? 'T' : 'd', event.id);
+                is_job ? 'J' : (is_task ? 'T' : 'd'), event.id);
   std::string line = buffer;
   if (event.bytes > 0) {
     std::snprintf(buffer, sizeof buffer, " bytes=%llu",
@@ -83,6 +93,13 @@ std::string format_inspector_event(const InspectorEvent& event) {
   } else if (event.kind == InspectorEventKind::kCapacityShock &&
              event.aux != 0) {
     line += " (clamped)";
+  } else if (is_job) {
+    std::snprintf(buffer, sizeof buffer, " tasks=%u", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kTaskReleased ||
+             event.kind == InspectorEventKind::kTaskCancelled) {
+    std::snprintf(buffer, sizeof buffer, " job=%u", event.aux);
+    line += buffer;
   }
   return line;
 }

@@ -55,6 +55,14 @@ enum class InspectorEventKind : std::uint8_t {
   kTaskReclaimed,  ///< task `id` reclaimed from dead `gpu`, to re-run
   kNotifyGpuLost,  ///< engine called scheduler.notify_gpu_lost (id: orphan
                    ///< count, aux: 1 = scheduler adopted the orphans)
+
+  // Streaming / serving (src/serve, engine streaming mode). `gpu` is 0 for
+  // all five — jobs are not bound to a device.
+  kJobArrival,     ///< job `id` released into the engine (aux: task count)
+  kJobComplete,    ///< last task of job `id` completed (aux: task count)
+  kJobShed,        ///< job `id` shed by admission control (aux: task count)
+  kTaskReleased,   ///< task `id` became eligible for popping (aux: job id)
+  kTaskCancelled,  ///< task `id` of a shed job will never run (aux: job id)
 };
 
 [[nodiscard]] std::string_view inspector_event_kind_name(

@@ -37,6 +37,10 @@ void InvariantChecker::on_run_begin(const core::TaskGraph& graph,
   ended_.assign(graph.num_tasks(), 0);
   complete_notified_.assign(graph.num_tasks(), 0);
   ran_on_.assign(graph.num_tasks(), core::kInvalidGpu);
+  streaming_seen_ = false;
+  released_.assign(graph.num_tasks(), 0);
+  cancelled_.assign(graph.num_tasks(), 0);
+  job_state_.clear();
   wire_active_.assign(kChannelNvlinkBase + platform.num_gpus, 0);
   last_time_us_ = 0.0;
   events_ = 0;
@@ -107,6 +111,13 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
     case InspectorEventKind::kCapacityShock:
     case InspectorEventKind::kTaskReclaimed:
     case InspectorEventKind::kNotifyGpuLost:
+    // Job lifecycle and release events are engine-level, not GPU activity
+    // (they are published with gpu=0, which may well be a dead GPU).
+    case InspectorEventKind::kJobArrival:
+    case InspectorEventKind::kJobComplete:
+    case InspectorEventKind::kJobShed:
+    case InspectorEventKind::kTaskReleased:
+    case InspectorEventKind::kTaskCancelled:
       break;
     default:
       if (!gpu.alive) return fail(event, "activity on a dead gpu");
@@ -221,6 +232,12 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       if (started_[event.id] != 0) {
         return fail(event, "task started twice (expected once)");
       }
+      if (cancelled_[event.id] != 0) {
+        return fail(event, "start of a cancelled task (shed job)");
+      }
+      if (streaming_seen_ && released_[event.id] == 0) {
+        return fail(event, "start of a task before its job arrived");
+      }
       if (gpu.running != -1) {
         return fail(event, "two tasks running on one gpu");
       }
@@ -311,10 +328,64 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       if (started_[event.id] != 0 || ended_[event.id] != 0) {
         return fail(event, "reclaim of a task that already ran");
       }
+      if (cancelled_[event.id] != 0) {
+        return fail(event, "reclaim of a cancelled task (shed job)");
+      }
       break;
     }
     case InspectorEventKind::kNotifyGpuLost: {
       if (gpu.alive) return fail(event, "gpu-lost notified for a live gpu");
+      break;
+    }
+    case InspectorEventKind::kJobArrival: {
+      streaming_seen_ = true;
+      if (event.id >= job_state_.size()) job_state_.resize(event.id + 1, 0);
+      if (job_state_[event.id] != 0) {
+        return fail(event, "job arrived twice (or after shed/complete)");
+      }
+      job_state_[event.id] = 1;
+      break;
+    }
+    case InspectorEventKind::kJobComplete: {
+      if (event.id >= job_state_.size() || job_state_[event.id] != 1) {
+        return fail(event, "job completed without an in-flight arrival");
+      }
+      job_state_[event.id] = 3;
+      break;
+    }
+    case InspectorEventKind::kJobShed: {
+      streaming_seen_ = true;
+      if (event.id >= job_state_.size()) job_state_.resize(event.id + 1, 0);
+      if (job_state_[event.id] != 0) {
+        return fail(event, "shed of a job that already arrived");
+      }
+      job_state_[event.id] = 2;
+      break;
+    }
+    case InspectorEventKind::kTaskReleased: {
+      streaming_seen_ = true;
+      if (event.id >= num_tasks) return fail(event, "release of unknown task");
+      if (released_[event.id] != 0) return fail(event, "task released twice");
+      if (cancelled_[event.id] != 0) {
+        return fail(event, "release of a cancelled task");
+      }
+      if (started_[event.id] != 0) {
+        return fail(event, "release of a task that already started");
+      }
+      released_[event.id] = 1;
+      break;
+    }
+    case InspectorEventKind::kTaskCancelled: {
+      streaming_seen_ = true;
+      if (event.id >= num_tasks) return fail(event, "cancel of unknown task");
+      if (released_[event.id] != 0 || started_[event.id] != 0 ||
+          ended_[event.id] != 0) {
+        return fail(event, "cancel of a task that was released or ran");
+      }
+      if (cancelled_[event.id] != 0) {
+        return fail(event, "task cancelled twice");
+      }
+      cancelled_[event.id] = 1;
       break;
     }
   }
@@ -323,6 +394,11 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
 void InvariantChecker::finish() {
   if (!ok_) return;
   for (std::uint32_t task = 0; task < started_.size(); ++task) {
+    if (cancelled_[task] != 0) {
+      // Cancelled tasks of shed jobs legitimately never run; the main switch
+      // already rejects any start/end/reclaim of them.
+      continue;
+    }
     const std::uint32_t runs =
         static_cast<std::uint32_t>(started_[task] != 0 && ended_[task] != 0);
     if (runs != 1) {

@@ -26,6 +26,11 @@
 //     and re-run exactly once on a survivor, capacity shocks re-bound all
 //     later commitments, and transfer retries only re-attempt transfers
 //     that are still in flight (no double delivery);
+//   * the streaming (serving) model: once any job/release event is seen, no
+//     task starts before its kTaskReleased, jobs arrive / shed / complete
+//     consistently (shed only before arrival, complete only after), and
+//     cancelled tasks of shed jobs never run — nor are they required to by
+//     the end-of-run exactly-once check;
 //   * time is monotone and every id is in range.
 //
 // On violation the checker either aborts immediately with the offending
@@ -114,6 +119,13 @@ class InvariantChecker final : public Inspector {
   std::vector<std::uint8_t> ended_;
   std::vector<std::uint8_t> complete_notified_;
   std::vector<core::GpuId> ran_on_;
+  /// Streaming model state. `streaming_seen_` arms the release gating after
+  /// the first job/release event; job_state_ grows on demand (0 = unseen,
+  /// 1 = released, 2 = shed, 3 = retired).
+  bool streaming_seen_ = false;
+  std::vector<std::uint8_t> released_;
+  std::vector<std::uint8_t> cancelled_;
+  std::vector<std::uint8_t> job_state_;
   /// Active transfers per wire channel (index = channel id).
   std::vector<std::uint32_t> wire_active_;
   double last_time_us_ = 0.0;

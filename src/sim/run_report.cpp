@@ -146,7 +146,57 @@ std::string run_report_to_json(const RunReport& report) {
   }
   json += "],\"max_recovery_latency_us\":";
   append_double(json, report.faults.max_recovery_latency_us);
-  json += "}}";
+  json += ",\"adoptions\":[";
+  for (std::size_t i = 0; i < report.faults.adoptions.size(); ++i) {
+    const RunReport::Faults::Adoption& adoption = report.faults.adoptions[i];
+    if (i > 0) json += ',';
+    json += "{\"task\":" + std::to_string(adoption.task);
+    json += ",\"from_gpu\":" + std::to_string(adoption.from_gpu);
+    json += ",\"to_gpu\":" + std::to_string(adoption.to_gpu);
+    json += "}";
+  }
+  json += "]}";
+
+  const RunReport::Serving& serving = report.serving;
+  json += ",\"serving\":{\"enabled\":";
+  json += serving.enabled ? "true" : "false";
+  json += ",\"arrival\":";
+  append_json_string(json, serving.arrival);
+  json += ",\"jobs_submitted\":" + std::to_string(serving.jobs_submitted);
+  json += ",\"jobs_completed\":" + std::to_string(serving.jobs_completed);
+  json += ",\"jobs_shed\":" + std::to_string(serving.jobs_shed);
+  json += ",\"throughput_jobs_per_s\":";
+  append_double(json, serving.throughput_jobs_per_s);
+  json += ",\"latency_p50_us\":";
+  append_double(json, serving.latency_p50_us);
+  json += ",\"latency_p95_us\":";
+  append_double(json, serving.latency_p95_us);
+  json += ",\"latency_p99_us\":";
+  append_double(json, serving.latency_p99_us);
+  json += ",\"latency_mean_us\":";
+  append_double(json, serving.latency_mean_us);
+  json += ",\"latency_max_us\":";
+  append_double(json, serving.latency_max_us);
+  json += ",\"deadline_hits\":" + std::to_string(serving.deadline_hits);
+  json += ",\"deadline_misses\":" + std::to_string(serving.deadline_misses);
+  json += ",\"deadline_miss_rate\":";
+  append_double(json, serving.deadline_miss_rate);
+  json += ",\"cross_job_reuse_bytes\":";
+  append_u64(json, serving.cross_job_reuse_bytes);
+  json += ",\"cross_job_reuse_hits\":";
+  append_u64(json, serving.cross_job_reuse_hits);
+  json += ",\"peak_jobs_in_flight\":" +
+          std::to_string(serving.peak_jobs_in_flight);
+  json += ",\"peak_queue_depth\":" + std::to_string(serving.peak_queue_depth);
+  json += ",\"queue_depth_timeline\":[";
+  for (std::size_t i = 0; i < serving.queue_depth_timeline.size(); ++i) {
+    if (i > 0) json += ',';
+    json += '[';
+    append_double(json, serving.queue_depth_timeline[i].first);
+    json += ',' + std::to_string(serving.queue_depth_timeline[i].second);
+    json += ']';
+  }
+  json += "]}}";
   return json;
 }
 
@@ -191,6 +241,7 @@ void RunReportCollector::on_run_begin(const core::TaskGraph& graph,
   channels_.assign(kChannelNvlinkBase + platform.num_gpus, ChannelState{});
   gpu_scratch_.assign(platform.num_gpus, GpuScratch{});
   pending_recoveries_.clear();
+  pending_adoptions_.clear();
   trace_.events.clear();
 }
 
@@ -269,13 +320,22 @@ void RunReportCollector::on_event(const InspectorEvent& event) {
             {event.time_us, TraceKind::kWriteBack, event.gpu, event.id});
       }
       break;
-    case InspectorEventKind::kTaskStart:
+    case InspectorEventKind::kTaskStart: {
       scratch.task_open_us = event.time_us;
       if (options_.collect_trace) {
         trace_.events.push_back(
             {event.time_us, TraceKind::kTaskStart, event.gpu, event.id});
       }
+      // A reclaimed task starting again closes its adoption attribution:
+      // `event.gpu` is the survivor that absorbed it.
+      auto adoption = pending_adoptions_.find(event.id);
+      if (adoption != pending_adoptions_.end()) {
+        report_.faults.adoptions.push_back(
+            {event.id, adoption->second, event.gpu});
+        pending_adoptions_.erase(adoption);
+      }
       break;
+    }
     case InspectorEventKind::kTaskEnd:
       ++gpu.tasks_executed;
       gpu.busy_us += event.time_us - scratch.task_open_us;
@@ -320,11 +380,23 @@ void RunReportCollector::on_event(const InspectorEvent& event) {
       if (!pending_recoveries_.empty()) {
         pending_recoveries_.back().outstanding.push_back(event.id);
       }
+      // `event.gpu` is the dead GPU; the attribution closes at the task's
+      // next start. A second loss of the same (re-reclaimed) task just
+      // refreshes the origin.
+      pending_adoptions_[event.id] = event.gpu;
       break;
     case InspectorEventKind::kNotifyTaskComplete:
     case InspectorEventKind::kNotifyDataLoaded:
     case InspectorEventKind::kNotifyDataEvicted:
     case InspectorEventKind::kNotifyGpuLost:
+      break;
+    case InspectorEventKind::kJobArrival:
+    case InspectorEventKind::kJobComplete:
+    case InspectorEventKind::kJobShed:
+    case InspectorEventKind::kTaskReleased:
+    case InspectorEventKind::kTaskCancelled:
+      // Serving statistics are computed by serve::JobTracker and merged into
+      // the report by serve::ServeEngine.
       break;
   }
 }

@@ -12,13 +12,17 @@
 // exported without separately enabling EngineConfig::record_trace.
 //
 // The report serializes to JSON (schema documented in
-// docs/OBSERVABILITY.md, schema_version 2); bench/figure_harness exposes it
+// docs/OBSERVABILITY.md, schema_version 3); bench/figure_harness exposes it
 // behind --run-report / --chrome-trace on every figure and ablation binary.
+// Streamed (serving) runs add a "serving" section — filled in by
+// serve::ServeEngine from its JobTracker — and the faults section attributes
+// each reclaimed task to the survivor that re-ran it.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/inspector.hpp"
@@ -27,7 +31,7 @@
 namespace mg::sim {
 
 struct RunReport {
-  static constexpr int kSchemaVersion = 2;
+  static constexpr int kSchemaVersion = 3;
 
   std::string scheduler;
   std::string context;  ///< free-form label (figure id, workload, ...)
@@ -101,14 +105,53 @@ struct RunReport {
     /// orphaned).
     std::vector<double> recovery_latency_us;
     double max_recovery_latency_us = 0.0;
+    /// Recovery attribution: which survivor re-ran each reclaimed task
+    /// (whether the scheduler adopted the orphans or the engine requeued
+    /// them). One entry per reclaimed task that re-ran.
+    struct Adoption {
+      std::uint32_t task = 0;
+      std::uint32_t from_gpu = 0;  ///< the GPU that died holding the task
+      std::uint32_t to_gpu = 0;    ///< the survivor that absorbed it
+    };
+    std::vector<Adoption> adoptions;
   };
   Faults faults;
+
+  /// Streamed (serving) runs: jobs, latency percentiles and cross-job data
+  /// reuse. Filled by serve::ServeEngine; `enabled` stays false for batch
+  /// runs (the section still serializes, zeroed).
+  struct Serving {
+    bool enabled = false;
+    std::string arrival;  ///< "poisson" / "closed-loop" / ""
+    std::uint32_t jobs_submitted = 0;
+    std::uint32_t jobs_completed = 0;
+    std::uint32_t jobs_shed = 0;
+    double throughput_jobs_per_s = 0.0;  ///< completed / makespan
+    double latency_p50_us = 0.0;  ///< submit-to-finish, nearest-rank
+    double latency_p95_us = 0.0;
+    double latency_p99_us = 0.0;
+    double latency_mean_us = 0.0;
+    double latency_max_us = 0.0;
+    std::uint32_t deadline_hits = 0;
+    std::uint32_t deadline_misses = 0;
+    double deadline_miss_rate = 0.0;  ///< misses / jobs with a deadline
+    /// Bytes a job's tasks consumed from data already resident before the
+    /// job arrived (left there by earlier jobs) — counted once per
+    /// (job, data, gpu) — vs. total input bytes touched.
+    std::uint64_t cross_job_reuse_bytes = 0;
+    std::uint64_t cross_job_reuse_hits = 0;
+    std::uint32_t peak_jobs_in_flight = 0;
+    std::uint32_t peak_queue_depth = 0;  ///< admission queue high-water mark
+    /// Admission queue depth over time: (time_us, depth) at every change.
+    std::vector<std::pair<double, std::uint32_t>> queue_depth_timeline;
+  };
+  Serving serving;
 };
 
 /// Serializes one report as a JSON object.
 [[nodiscard]] std::string run_report_to_json(const RunReport& report);
 
-/// Writes `{"schema_version":2,"context":...,"runs":[...]}` to `path`.
+/// Writes `{"schema_version":3,"context":...,"runs":[...]}` to `path`.
 /// Returns false on I/O error.
 bool write_run_reports(const std::vector<RunReport>& reports,
                        const std::string& context, const std::string& path);
@@ -171,6 +214,9 @@ class RunReportCollector final : public Inspector {
   std::vector<ChannelState> channels_;
   std::vector<GpuScratch> gpu_scratch_;
   std::vector<PendingRecovery> pending_recoveries_;
+  /// Reclaimed tasks awaiting their re-run: task -> GPU that died holding
+  /// it. The next kTaskStart of the task closes the attribution.
+  std::map<std::uint32_t, std::uint32_t> pending_adoptions_;
 };
 
 }  // namespace mg::sim

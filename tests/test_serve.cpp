@@ -1,0 +1,448 @@
+// Serving subsystem tests: union-graph construction (namespacing, data
+// sharing vs. the no-share ablation), arrival processes, admission control,
+// the streamed serving loop under every scheduler (with the online
+// InvariantChecker), deadline scoring, cross-job reuse measurement,
+// bit-identical run reports, watchdog diagnostics that name the in-flight
+// job count, and fault-plan composition with adoption attribution.
+#include "serve/serve_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/darts.hpp"
+#include "core/task_graph.hpp"
+#include "sched/dmda.hpp"
+#include "sched/eager.hpp"
+#include "sched/hfp.hpp"
+#include "serve/admission.hpp"
+#include "serve/arrival.hpp"
+#include "serve/union_graph.hpp"
+#include "sim/errors.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/invariant_checker.hpp"
+#include "sim/run_report.hpp"
+
+namespace mg::serve {
+namespace {
+
+using core::DataId;
+using core::TaskId;
+
+/// Trivial arithmetic (1 byte transfers in 1 us, 1 flop computes in 1 us)
+/// so every test time is hand-checkable.
+core::Platform test_platform(std::uint32_t gpus, std::uint64_t memory) {
+  core::Platform platform;
+  platform.num_gpus = gpus;
+  platform.gpu_memory_bytes = memory;
+  platform.gpu_gflops = 1e-3;
+  platform.bus_bandwidth_bytes_per_s = 1e6;
+  platform.bus_latency_us = 0.0;
+  return platform;
+}
+
+/// Job template: 4 data of 10 bytes, 6 tasks of 5 us each reading two
+/// neighbouring data. Footprint = 40 bytes of distinct inputs.
+core::TaskGraph make_template() {
+  core::TaskGraphBuilder builder;
+  std::vector<DataId> data;
+  for (int i = 0; i < 4; ++i) {
+    data.push_back(builder.add_data(10, "d" + std::to_string(i)));
+  }
+  for (int t = 0; t < 6; ++t) {
+    builder.add_task(5.0, {data[t % 4], data[(t + 1) % 4]},
+                     "t" + std::to_string(t));
+  }
+  return builder.build();
+}
+
+using SchedulerFactory = std::function<std::unique_ptr<core::Scheduler>()>;
+
+const std::vector<std::pair<std::string, SchedulerFactory>>& schedulers() {
+  static const std::vector<std::pair<std::string, SchedulerFactory>> specs = {
+      {"EAGER", [] { return std::make_unique<sched::EagerScheduler>(); }},
+      {"DMDAR", [] { return std::make_unique<sched::DmdaScheduler>(); }},
+      {"DARTS+LUF", [] { return std::make_unique<core::DartsScheduler>(); }},
+      {"mHFP", [] { return std::make_unique<sched::HfpScheduler>(); }},
+  };
+  return specs;
+}
+
+TEST(UnionGraph, SharedDataIsDeduplicatedAcrossJobs) {
+  const core::TaskGraph tmpl = make_template();
+  const std::vector<core::TaskGraph> templates = {tmpl};
+  const std::vector<JobSpec> jobs(3);
+
+  const UnionGraph u = build_union_graph(templates, jobs, true);
+  EXPECT_EQ(u.num_jobs, 3u);
+  EXPECT_EQ(u.graph.num_tasks(), 3 * tmpl.num_tasks());
+  EXPECT_EQ(u.graph.num_data(), tmpl.num_data());  // shared, not copied
+  ASSERT_EQ(u.task_job.size(), u.graph.num_tasks());
+  ASSERT_EQ(u.job_tasks.size(), 3u);
+  for (std::uint32_t job = 0; job < 3; ++job) {
+    ASSERT_EQ(u.job_tasks[job].size(), tmpl.num_tasks());
+    for (const TaskId task : u.job_tasks[job]) {
+      EXPECT_EQ(u.task_job[task], job);
+      const std::string& label = u.graph.task_label(task);
+      EXPECT_EQ(label.rfind("j" + std::to_string(job) + ":", 0), 0u)
+          << label;
+    }
+    // 4 distinct 10-byte inputs, no declared outputs.
+    EXPECT_EQ(u.job_footprint_bytes[job], 40u);
+  }
+}
+
+TEST(UnionGraph, NoShareGivesEveryJobPrivateData) {
+  const core::TaskGraph tmpl = make_template();
+  const std::vector<core::TaskGraph> templates = {tmpl};
+  const std::vector<JobSpec> jobs(3);
+
+  const UnionGraph u = build_union_graph(templates, jobs, false);
+  EXPECT_EQ(u.graph.num_data(), 3 * tmpl.num_data());
+  // No two jobs may touch a common DataId.
+  std::vector<std::uint32_t> owner(u.graph.num_data(), ~0u);
+  for (TaskId task = 0; task < u.graph.num_tasks(); ++task) {
+    for (const DataId data : u.graph.inputs(task)) {
+      if (owner[data] == ~0u) owner[data] = u.task_job[task];
+      EXPECT_EQ(owner[data], u.task_job[task]);
+    }
+  }
+}
+
+TEST(Arrival, PoissonIsDeterministicAndMonotonic) {
+  const auto a = poisson_arrival_times_us(200, 100.0, 7);
+  const auto b = poisson_arrival_times_us(200, 100.0, 7);
+  const auto c = poisson_arrival_times_us(200, 100.0, 8);
+  ASSERT_EQ(a.size(), 200u);
+  EXPECT_EQ(a, b);  // same seed, same stream
+  EXPECT_NE(a, c);  // different seed, different stream
+  for (std::size_t i = 1; i < a.size(); ++i) EXPECT_GE(a[i], a[i - 1]);
+  // Mean inter-arrival gap of a 100 jobs/s process is 10'000 us; with 200
+  // draws the sample mean lands well within a factor of two.
+  const double mean_gap = a.back() / static_cast<double>(a.size());
+  EXPECT_GT(mean_gap, 5e3);
+  EXPECT_LT(mean_gap, 2e4);
+}
+
+TEST(Arrival, ParseModeNames) {
+  EXPECT_EQ(parse_arrival_mode("poisson"), ArrivalMode::kPoisson);
+  EXPECT_EQ(parse_arrival_mode("closed-loop"), ArrivalMode::kClosedLoop);
+  EXPECT_EQ(parse_arrival_mode("closed"), ArrivalMode::kClosedLoop);
+  EXPECT_FALSE(parse_arrival_mode("uniform").has_value());
+}
+
+TEST(Admission, AdmitQueueShedLifecycle) {
+  AdmissionController admission({.max_jobs_in_flight = 1, .max_queue_depth = 1},
+                                {10, 10, 10, 10});
+  EXPECT_EQ(admission.submit(0, 0), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(admission.submit(1, 0), AdmissionController::Decision::kQueue);
+  EXPECT_EQ(admission.submit(2, 0), AdmissionController::Decision::kShed);
+  EXPECT_EQ(admission.jobs_in_flight(), 1u);
+  EXPECT_EQ(admission.queue_depth(), 1u);
+
+  admission.on_job_retired(0);
+  EXPECT_EQ(admission.jobs_in_flight(), 0u);
+  const auto next = admission.try_admit_queued();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, 1u);
+  EXPECT_FALSE(admission.try_admit_queued().has_value());
+}
+
+TEST(Admission, QueuePopsByPriorityThenFifo) {
+  AdmissionController admission({.max_jobs_in_flight = 1}, {10, 10, 10, 10});
+  EXPECT_EQ(admission.submit(0, 0), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(admission.submit(1, 0), AdmissionController::Decision::kQueue);
+  EXPECT_EQ(admission.submit(2, 5), AdmissionController::Decision::kQueue);
+  EXPECT_EQ(admission.submit(3, 5), AdmissionController::Decision::kQueue);
+
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t retired : {0u, 2u, 3u}) {
+    admission.on_job_retired(retired);
+    const auto next = admission.try_admit_queued();
+    ASSERT_TRUE(next.has_value());
+    order.push_back(*next);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{2, 3, 1}));
+}
+
+TEST(Admission, OversizedJobAdmittedIntoEmptySystem) {
+  // A job larger than the byte budget must not wedge the run: it is
+  // admitted whenever nothing else is in flight.
+  AdmissionController admission({.max_bytes_in_flight = 50}, {100, 100});
+  EXPECT_EQ(admission.submit(0, 0), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(admission.submit(1, 0), AdmissionController::Decision::kQueue);
+  admission.on_job_retired(0);
+  EXPECT_EQ(admission.try_admit_queued(), 1u);
+}
+
+TEST(Admission, ByteBudgetBoundsConcurrentFootprint) {
+  AdmissionController admission({.max_bytes_in_flight = 25}, {10, 10, 10});
+  EXPECT_EQ(admission.submit(0, 0), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(admission.submit(1, 0), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(admission.submit(2, 0), AdmissionController::Decision::kQueue);
+  EXPECT_EQ(admission.bytes_in_flight(), 20u);
+  admission.on_job_retired(0);
+  EXPECT_EQ(admission.try_admit_queued(), 2u);
+  EXPECT_EQ(admission.bytes_in_flight(), 20u);
+}
+
+/// Streams `num_jobs` template instances and returns the result; asserts
+/// the InvariantChecker saw a clean run.
+ServeResult stream_jobs(core::Scheduler& scheduler, ServeConfig config,
+                        std::uint32_t num_jobs, double deadline_us = 0.0,
+                        sim::FaultInjector* injector = nullptr) {
+  const std::vector<core::TaskGraph> templates = {make_template()};
+  std::vector<JobSpec> jobs(num_jobs);
+  for (JobSpec& job : jobs) job.deadline_us = deadline_us;
+  ServeEngine engine(templates, jobs, test_platform(2, 100), scheduler,
+                     config);
+  if (injector != nullptr) engine.set_fault_injector(injector);
+  sim::InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  ServeResult result = engine.run();
+  EXPECT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+  return result;
+}
+
+TEST(ServeEngine, EverySchedulerStreamsCleanlyUnderBothArrivalModes) {
+  for (const auto& [name, factory] : schedulers()) {
+    for (const ArrivalMode mode :
+         {ArrivalMode::kPoisson, ArrivalMode::kClosedLoop}) {
+      ServeConfig config;
+      config.arrival.mode = mode;
+      config.arrival.rate_jobs_per_s = 2e4;  // mean gap 50 us: overlap
+      config.arrival.concurrency = 3;
+      auto scheduler = factory();
+      const ServeResult result = stream_jobs(*scheduler, config, 20);
+      EXPECT_EQ(result.serving.jobs_submitted, 20u)
+          << name << " " << arrival_mode_name(mode);
+      EXPECT_EQ(result.serving.jobs_completed, 20u)
+          << name << " " << arrival_mode_name(mode);
+      EXPECT_EQ(result.serving.jobs_shed, 0u);
+      EXPECT_GT(result.serving.throughput_jobs_per_s, 0.0);
+      EXPECT_LE(result.serving.latency_p50_us, result.serving.latency_p95_us);
+      EXPECT_LE(result.serving.latency_p95_us, result.serving.latency_p99_us);
+      EXPECT_LE(result.serving.latency_p99_us, result.serving.latency_max_us);
+    }
+  }
+}
+
+TEST(ServeEngine, HundredJobStreamIsInvariantCleanFaultedAndFaultFree) {
+  for (const auto& [name, factory] : schedulers()) {
+    for (const bool faulted : {false, true}) {
+      ServeConfig config;
+      config.arrival.mode = ArrivalMode::kClosedLoop;
+      config.arrival.concurrency = 4;
+      sim::FaultPlan plan;
+      plan.gpu_losses.push_back({200.0, 1});
+      sim::FaultInjector injector(plan);
+      auto scheduler = factory();
+      const ServeResult result =
+          stream_jobs(*scheduler, config, 120, 0.0,
+                      faulted ? &injector : nullptr);
+      EXPECT_EQ(result.serving.jobs_completed, 120u)
+          << name << (faulted ? " faulted" : "");
+      if (faulted) EXPECT_EQ(result.metrics.faults.gpu_losses, 1u);
+    }
+  }
+}
+
+TEST(ServeEngine, ClosedLoopNeverExceedsConcurrency) {
+  ServeConfig config;
+  config.arrival.mode = ArrivalMode::kClosedLoop;
+  config.arrival.concurrency = 3;
+  core::DartsScheduler scheduler;
+  const ServeResult result = stream_jobs(scheduler, config, 30);
+  EXPECT_LE(result.serving.peak_jobs_in_flight, 3u);
+  EXPECT_GT(result.serving.peak_jobs_in_flight, 0u);
+}
+
+TEST(ServeEngine, CrossJobReuseRequiresSharing) {
+  ServeConfig config;
+  config.arrival.mode = ArrivalMode::kClosedLoop;
+  config.arrival.concurrency = 2;
+
+  core::DartsScheduler shared_scheduler;
+  config.share_data = true;
+  const ServeResult shared = stream_jobs(shared_scheduler, config, 12);
+  EXPECT_GT(shared.serving.cross_job_reuse_hits, 0u);
+  EXPECT_GT(shared.serving.cross_job_reuse_bytes, 0u);
+
+  core::DartsScheduler private_scheduler;
+  config.share_data = false;
+  const ServeResult ablated = stream_jobs(private_scheduler, config, 12);
+  EXPECT_EQ(ablated.serving.cross_job_reuse_hits, 0u);
+  EXPECT_EQ(ablated.serving.cross_job_reuse_bytes, 0u);
+  // Same work without sharing must pay for more host-bus loads.
+  EXPECT_GT(ablated.metrics.total_loads(), shared.metrics.total_loads());
+}
+
+TEST(ServeEngine, DeadlinesScoreAgainstSubmissionTime) {
+  ServeConfig config;
+  config.arrival.mode = ArrivalMode::kClosedLoop;
+  config.arrival.concurrency = 2;
+
+  sched::EagerScheduler strict;
+  const ServeResult missed = stream_jobs(strict, config, 10, /*deadline=*/1.0);
+  EXPECT_EQ(missed.serving.deadline_misses, 10u);
+  EXPECT_EQ(missed.serving.deadline_hits, 0u);
+  EXPECT_DOUBLE_EQ(missed.serving.deadline_miss_rate, 1.0);
+
+  sched::EagerScheduler lax;
+  const ServeResult hit = stream_jobs(lax, config, 10, /*deadline=*/1e9);
+  EXPECT_EQ(hit.serving.deadline_hits, 10u);
+  EXPECT_EQ(hit.serving.deadline_misses, 0u);
+  EXPECT_DOUBLE_EQ(hit.serving.deadline_miss_rate, 0.0);
+}
+
+TEST(ServeEngine, BoundedQueueShedsOverload) {
+  ServeConfig config;
+  config.arrival.mode = ArrivalMode::kPoisson;
+  config.arrival.rate_jobs_per_s = 1e6;  // everything arrives at once
+  config.admission.max_jobs_in_flight = 1;
+  config.admission.max_queue_depth = 2;
+  sched::EagerScheduler scheduler;
+  const ServeResult result =
+      stream_jobs(scheduler, config, 10, /*deadline=*/100.0);
+  EXPECT_GT(result.serving.jobs_shed, 0u);
+  EXPECT_EQ(result.serving.jobs_completed + result.serving.jobs_shed, 10u);
+  // A shed job with an SLO counts as a deadline miss.
+  EXPECT_GE(result.serving.deadline_misses, result.serving.jobs_shed);
+}
+
+TEST(ServeEngine, IdenticalLatenciesCollapseEveryPercentile) {
+  // Sequential private jobs (no sharing, one at a time) are bit-for-bit the
+  // same workload, so every percentile must equal the one latency value.
+  ServeConfig config;
+  config.arrival.mode = ArrivalMode::kClosedLoop;
+  config.arrival.concurrency = 1;
+  config.share_data = false;
+  sched::EagerScheduler scheduler;
+  const ServeResult result = stream_jobs(scheduler, config, 8);
+  EXPECT_GT(result.serving.latency_p50_us, 0.0);
+  EXPECT_DOUBLE_EQ(result.serving.latency_p50_us,
+                   result.serving.latency_p99_us);
+  EXPECT_DOUBLE_EQ(result.serving.latency_p50_us,
+                   result.serving.latency_max_us);
+  EXPECT_DOUBLE_EQ(result.serving.latency_p50_us,
+                   result.serving.latency_mean_us);
+}
+
+/// One streamed run with a report collector; returns the full JSON document
+/// with the serving section patched in — the artifact the determinism
+/// guarantee is stated over.
+std::string streamed_report_json(ArrivalMode mode, bool with_faults) {
+  const std::vector<core::TaskGraph> templates = {make_template()};
+  const std::vector<JobSpec> jobs(15);
+  ServeConfig config;
+  config.arrival.mode = mode;
+  config.arrival.rate_jobs_per_s = 2e4;
+  config.arrival.concurrency = 3;
+  core::DartsScheduler scheduler;
+  ServeEngine engine(templates, jobs, test_platform(2, 100), scheduler,
+                     config);
+  sim::FaultPlan plan;
+  plan.gpu_losses.push_back({150.0, 1});
+  sim::FaultInjector injector(plan);
+  if (with_faults) engine.set_fault_injector(&injector);
+  sim::RunReportCollector collector({.context = "determinism"});
+  engine.add_inspector(&collector);
+  const ServeResult result = engine.run();
+  sim::RunReport report = collector.report();
+  report.serving = result.serving;
+  return sim::run_report_to_json(report);
+}
+
+TEST(ServeEngine, ReportsAreBitIdenticalAcrossRuns) {
+  for (const ArrivalMode mode :
+       {ArrivalMode::kPoisson, ArrivalMode::kClosedLoop}) {
+    for (const bool with_faults : {false, true}) {
+      const std::string first = streamed_report_json(mode, with_faults);
+      const std::string second = streamed_report_json(mode, with_faults);
+      EXPECT_EQ(first, second)
+          << arrival_mode_name(mode) << (with_faults ? " faulted" : "");
+      EXPECT_NE(first.find("\"serving\""), std::string::npos);
+    }
+  }
+}
+
+TEST(ServeEngine, WatchdogDiagnosticNamesInFlightJobs) {
+  const std::vector<core::TaskGraph> templates = {make_template()};
+  const std::vector<JobSpec> jobs(10);
+  ServeConfig config;
+  config.arrival.mode = ArrivalMode::kClosedLoop;
+  config.arrival.concurrency = 4;
+  config.engine.max_events = 25;
+  sched::EagerScheduler scheduler;
+  ServeEngine engine(templates, jobs, test_platform(2, 100), scheduler,
+                     config);
+  try {
+    (void)engine.run();
+    FAIL() << "expected BudgetExceededError";
+  } catch (const sim::BudgetExceededError& error) {
+    EXPECT_NE(std::string(error.what()).find("jobs in flight"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ServeEngine, SimTimeBudgetDiagnosticNamesInFlightJobs) {
+  const std::vector<core::TaskGraph> templates = {make_template()};
+  const std::vector<JobSpec> jobs(10);
+  ServeConfig config;
+  config.arrival.mode = ArrivalMode::kClosedLoop;
+  config.arrival.concurrency = 4;
+  config.engine.max_sim_time_us = 40.0;
+  sched::EagerScheduler scheduler;
+  ServeEngine engine(templates, jobs, test_platform(2, 100), scheduler,
+                     config);
+  try {
+    (void)engine.run();
+    FAIL() << "expected BudgetExceededError";
+  } catch (const sim::BudgetExceededError& error) {
+    EXPECT_NE(std::string(error.what()).find("jobs in flight"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ServeEngine, GpuLossAdoptionsAttributeEveryReclaimedTask) {
+  const std::vector<core::TaskGraph> templates = {make_template()};
+  const std::vector<JobSpec> jobs(20);
+  ServeConfig config;
+  config.arrival.mode = ArrivalMode::kClosedLoop;
+  config.arrival.concurrency = 3;
+  sched::EagerScheduler scheduler;
+  ServeEngine engine(templates, jobs, test_platform(2, 100), scheduler,
+                     config);
+  sim::FaultPlan plan;
+  plan.gpu_losses.push_back({120.0, 1});
+  sim::FaultInjector injector(plan);
+  engine.set_fault_injector(&injector);
+  sim::InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  sim::RunReportCollector collector({.context = "adoption"});
+  engine.add_inspector(&collector);
+
+  const ServeResult result = engine.run();
+  ASSERT_TRUE(checker.ok()) << checker.report().error;
+  EXPECT_EQ(result.serving.jobs_completed, 20u);
+
+  const sim::RunReport report = collector.report();
+  ASSERT_GT(result.metrics.faults.tasks_reclaimed, 0u);
+  // Every reclaimed task that re-ran names the survivor that absorbed it.
+  EXPECT_EQ(report.faults.adoptions.size(),
+            result.metrics.faults.tasks_reclaimed);
+  for (const auto& adoption : report.faults.adoptions) {
+    EXPECT_EQ(adoption.from_gpu, 1u);
+    EXPECT_EQ(adoption.to_gpu, 0u);
+    EXPECT_LT(adoption.task, templates[0].num_tasks() * 20);
+  }
+}
+
+}  // namespace
+}  // namespace mg::serve
