@@ -3,8 +3,15 @@
 // under four fault scenarios scripted relative to T — flaky transfers, a
 // GPU loss at 0.3 T, a capacity shock at 0.25 T, and all three combined —
 // and report the throughput cost plus the recovery counters
-// (docs/ROBUSTNESS.md). With the InvariantChecker attached, every run also
-// re-proves the degraded execution model online.
+// (docs/ROBUSTNESS.md). A final recovery sweep re-runs the GPU-loss
+// scenario across checkpoint interval x replication, reporting
+// recovery-latency p50/p95 (nearest-rank, the JobTracker convention) and
+// post-loss host-bus loads: checkpointing shortens the re-run of the
+// interrupted task, replication pre-places survivors' copies so the loss
+// triggers fewer host reloads. With the InvariantChecker attached, every
+// run also re-proves the degraded execution model online.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -23,11 +30,27 @@
 #include "util/csv.hpp"
 #include "workloads/workloads.hpp"
 
+namespace {
+
+/// Nearest-rank percentile (serve::JobTracker convention).
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank =
+      std::ceil(p / 100.0 * static_cast<double>(values.size()));
+  const std::size_t index = static_cast<std::size_t>(
+      std::max(1.0, std::min(rank, static_cast<double>(values.size()))));
+  return values[index - 1];
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace mg;
   util::Flags flags(
       "Fault-injection ablation: scheduler throughput and recovery under "
-      "GPU loss, flaky transfers and capacity shocks");
+      "GPU loss, flaky transfers and capacity shocks, plus a checkpoint x "
+      "replication recovery sweep");
   bench::add_standard_flags(flags, /*default_gpus=*/2);
   flags.define_int("n", 32, "2D matmul dimension (N)");
   if (!flags.parse(argc, argv)) return 0;
@@ -39,9 +62,11 @@ int main(int argc, char** argv) {
   const core::TaskGraph graph = work::make_matmul_2d({.n = n});
 
   util::CsvWriter csv(
-      {"scenario", "scheduler", "gflops", "makespan_ms", "gpu_losses",
-       "capacity_shocks", "tasks_reclaimed", "transfer_retries", "wasted_mb",
-       "emergency_evictions"},
+      {"scenario", "scheduler", "checkpoint_us", "replicate", "gflops",
+       "makespan_ms", "gpu_losses", "capacity_shocks", "tasks_reclaimed",
+       "transfer_retries", "wasted_mb", "emergency_evictions", "checkpoints",
+       "tasks_restored", "replicas", "replicas_shed", "post_loss_host_loads",
+       "recovery_p50_ms", "recovery_p95_ms"},
       config.output_path);
   csv.comment("fault ablation on 2D matmul N=" + std::to_string(n) + ", " +
               std::to_string(config.platform.num_gpus) + " GPU(s)");
@@ -58,6 +83,44 @@ int main(int argc, char** argv) {
   };
 
   for (const SchedulerEntry& entry : schedulers) {
+    // One faulted run; emits a CSV row and returns the makespan.
+    auto run_faulted = [&](const std::string& scenario,
+                           const sim::FaultPlan& plan,
+                           double checkpoint_interval_us, bool replicate) {
+      auto scheduler = entry.factory();
+      sim::EngineConfig engine_config;
+      engine_config.seed = config.seed;
+      engine_config.checkpoint_interval_us = checkpoint_interval_us;
+      engine_config.checkpoint_fraction = config.checkpoint_fraction;
+      engine_config.replicate_hot = replicate;
+      sim::RuntimeEngine engine(graph, config.platform, *scheduler,
+                                engine_config);
+      sim::FaultInjector injector(plan);
+      engine.set_fault_injector(&injector);
+      sim::InvariantChecker checker;  // fail-fast: a bad recovery aborts
+      engine.add_inspector(&checker);
+      const core::RunMetrics metrics = observer.run(
+          engine, graph, entry.label + " " + scenario);
+      csv.row({scenario, entry.label, checkpoint_interval_us,
+               std::int64_t{replicate ? 1 : 0}, metrics.achieved_gflops(),
+               metrics.wall_makespan_us() / 1e3,
+               static_cast<std::int64_t>(metrics.faults.gpu_losses),
+               static_cast<std::int64_t>(metrics.faults.capacity_shocks),
+               static_cast<std::int64_t>(metrics.faults.tasks_reclaimed),
+               static_cast<std::int64_t>(metrics.faults.transfer_retries),
+               static_cast<double>(metrics.faults.wasted_transfer_bytes) /
+                   1e6,
+               static_cast<std::int64_t>(metrics.faults.emergency_evictions),
+               static_cast<std::int64_t>(metrics.faults.checkpoints_taken),
+               static_cast<std::int64_t>(metrics.faults.tasks_restored),
+               static_cast<std::int64_t>(metrics.faults.replicas_created),
+               static_cast<std::int64_t>(metrics.faults.replicas_shed),
+               static_cast<std::int64_t>(
+                   metrics.faults.post_loss_host_loads),
+               percentile(metrics.faults.recovery_latency_us, 50.0) / 1e3,
+               percentile(metrics.faults.recovery_latency_us, 95.0) / 1e3});
+    };
+
     // Calibration run: fault-free makespan anchors the scenario times.
     double makespan_us = 0.0;
     {
@@ -67,10 +130,12 @@ int main(int argc, char** argv) {
       const core::RunMetrics metrics =
           observer.run(engine, graph, entry.label + " none");
       makespan_us = metrics.makespan_us;
-      csv.row({std::string("none"), entry.label, metrics.achieved_gflops(),
-               metrics.wall_makespan_us() / 1e3, std::int64_t{0},
-               std::int64_t{0}, std::int64_t{0}, std::int64_t{0}, 0.0,
-               std::int64_t{0}});
+      csv.row({std::string("none"), entry.label, 0.0, std::int64_t{0},
+               metrics.achieved_gflops(), metrics.wall_makespan_us() / 1e3,
+               std::int64_t{0}, std::int64_t{0}, std::int64_t{0},
+               std::int64_t{0}, 0.0, std::int64_t{0}, std::int64_t{0},
+               std::int64_t{0}, std::int64_t{0}, std::int64_t{0},
+               std::int64_t{0}, 0.0, 0.0});
     }
 
     sim::FaultPlan::TransferFault flaky;
@@ -104,23 +169,24 @@ int main(int argc, char** argv) {
 
     for (Scenario& scenario : scenarios) {
       scenario.plan.seed = config.seed;
-      auto scheduler = entry.factory();
-      sim::RuntimeEngine engine(graph, config.platform, *scheduler,
-                                {.seed = config.seed});
-      sim::FaultInjector injector(scenario.plan);
-      engine.set_fault_injector(&injector);
-      sim::InvariantChecker checker;  // fail-fast: a bad recovery aborts
-      engine.add_inspector(&checker);
-      const core::RunMetrics metrics = observer.run(
-          engine, graph, entry.label + " " + scenario.name);
-      csv.row({scenario.name, entry.label, metrics.achieved_gflops(),
-               metrics.wall_makespan_us() / 1e3,
-               static_cast<std::int64_t>(metrics.faults.gpu_losses),
-               static_cast<std::int64_t>(metrics.faults.capacity_shocks),
-               static_cast<std::int64_t>(metrics.faults.tasks_reclaimed),
-               static_cast<std::int64_t>(metrics.faults.transfer_retries),
-               static_cast<double>(metrics.faults.wasted_transfer_bytes) / 1e6,
-               static_cast<std::int64_t>(metrics.faults.emergency_evictions)});
+      // The base scenarios honor the --checkpoint-interval /
+      // --replicate-hot flags, so CI can smoke the proactive machinery
+      // through the standard scenario set.
+      run_faulted(scenario.name, scenario.plan, config.checkpoint_interval_us,
+                  config.replicate_hot);
+    }
+
+    // Recovery sweep: the GPU-loss plan across checkpoint interval x
+    // replication. Intervals sized against the task duration — snapshots
+    // only matter when at least one boundary falls inside a task.
+    const double task_us =
+        config.platform.compute_time_us(graph.task_flops(0), 0);
+    const std::vector<double> intervals = {0.0, task_us / 4.0,
+                                           task_us / 16.0};
+    for (const double interval : intervals) {
+      for (const bool replicate : {false, true}) {
+        run_faulted("recovery-sweep", scenarios[1].plan, interval, replicate);
+      }
     }
   }
   return 0;

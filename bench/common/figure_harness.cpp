@@ -156,6 +156,9 @@ void run_figure(const FigureConfig& config,
         engine_config.seed = config.seed + rep;
         engine_config.account_scheduler_cost = spec.account_sched_cost;
         engine_config.hints_may_evict = spec.hints_may_evict;
+        engine_config.checkpoint_interval_us = config.checkpoint_interval_us;
+        engine_config.checkpoint_fraction = config.checkpoint_fraction;
+        engine_config.replicate_hot = config.replicate_hot;
         sim::RuntimeEngine engine(graph, config.platform, *scheduler,
                                   engine_config);
         std::unique_ptr<sim::FaultInjector> injector;
@@ -319,7 +322,17 @@ void add_standard_flags(util::Flags& flags, std::uint32_t default_gpus,
                      "this path")
       .define_string("fault-plan", "",
                      "JSON fault plan injected into every run "
-                     "(docs/ROBUSTNESS.md)");
+                     "(docs/ROBUSTNESS.md)")
+      .define_double("checkpoint-interval", 0.0,
+                     "checkpoint task progress every N simulated us of "
+                     "compute (0 = off)")
+      .define_double("checkpoint-fraction", 0.0,
+                     "checkpoint task progress every given fraction of each "
+                     "task (0 = off; ignored when --checkpoint-interval is "
+                     "set)")
+      .define_bool("replicate-hot", false,
+                   "keep a second replica of hot shared data on another GPU "
+                   "while the fault plan threatens GPU losses");
 }
 
 FigureConfig config_from_flags(const util::Flags& flags, std::string figure,
@@ -347,6 +360,9 @@ FigureConfig config_from_flags(const util::Flags& flags, std::string figure,
     }
     config.fault_plan = std::move(*plan);
   }
+  config.checkpoint_interval_us = flags.get_double("checkpoint-interval");
+  config.checkpoint_fraction = flags.get_double("checkpoint-fraction");
+  config.replicate_hot = flags.get_bool("replicate-hot");
   return config;
 }
 

@@ -90,6 +90,15 @@ struct FigureConfig {
   /// Fault plan injected into every run (docs/ROBUSTNESS.md); empty = no
   /// fault machinery at all. Loaded from --fault-plan.
   sim::FaultPlan fault_plan;
+
+  /// Proactive fault tolerance (docs/ROBUSTNESS.md). Forwarded into every
+  /// EngineConfig: checkpoint snapshots every `checkpoint_interval_us` of
+  /// simulated compute (or every `checkpoint_fraction` of each task), and
+  /// `replicate_hot` keeps a second copy of hot shared data on another GPU
+  /// while a fault plan threatens GPU losses.
+  double checkpoint_interval_us = 0.0;
+  double checkpoint_fraction = 0.0;
+  bool replicate_hot = false;
 };
 
 /// Runs the sweep and writes the CSV. Columns:
@@ -128,7 +137,8 @@ class RunObserver {
 };
 
 /// Registers the standard figure flags (--gpus, --mem-mb, --reps, --seed,
-/// --out, --full, --jobs, --run-report, --chrome-trace, --fault-plan) on
+/// --out, --full, --jobs, --run-report, --chrome-trace, --fault-plan,
+/// --checkpoint-interval, --checkpoint-fraction, --replicate-hot) on
 /// `flags`.
 void add_standard_flags(util::Flags& flags, std::uint32_t default_gpus,
                         std::int64_t default_mem_mb = 500);

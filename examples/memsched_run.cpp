@@ -125,7 +125,16 @@ int main(int argc, char** argv) {
                      "ignore --scheduler and replay an archived schedule")
       .define_string("fault-plan", "",
                      "JSON fault plan injected into the run "
-                     "(docs/ROBUSTNESS.md)");
+                     "(docs/ROBUSTNESS.md)")
+      .define_double("checkpoint-interval", 0.0,
+                     "checkpoint task progress every N simulated us of "
+                     "compute (0 = off)")
+      .define_double("checkpoint-fraction", 0.0,
+                     "checkpoint task progress every given fraction of each "
+                     "task (0 = off)")
+      .define_bool("replicate-hot", false,
+                   "keep a second replica of hot shared data on another GPU "
+                   "while the fault plan threatens GPU losses");
   if (!flags.parse(argc, argv)) return 0;
 
   using namespace mg;
@@ -187,6 +196,9 @@ int main(int argc, char** argv) {
                         flags.get_bool("stats") ||
                         !flags.get_string("trace-json").empty() ||
                         !flags.get_string("save-schedule").empty();
+  config.checkpoint_interval_us = flags.get_double("checkpoint-interval");
+  config.checkpoint_fraction = flags.get_double("checkpoint-fraction");
+  config.replicate_hot = flags.get_bool("replicate-hot");
 
   std::unique_ptr<sim::FaultInjector> injector;
   const std::string fault_plan_path = flags.get_string("fault-plan");
@@ -244,6 +256,37 @@ int main(int argc, char** argv) {
                     1e6,
                 static_cast<unsigned long long>(
                     metrics.faults.emergency_evictions));
+    if (metrics.faults.checkpoints_taken > 0 ||
+        metrics.faults.tasks_restored > 0) {
+      std::printf("             %llu checkpoint(s) (%.2f ms overhead), "
+                  "%llu restore(s) saving %.2f ms of compute\n",
+                  static_cast<unsigned long long>(
+                      metrics.faults.checkpoints_taken),
+                  metrics.faults.checkpoint_overhead_us / 1e3,
+                  static_cast<unsigned long long>(
+                      metrics.faults.tasks_restored),
+                  metrics.faults.compute_saved_us / 1e3);
+    }
+    if (metrics.faults.replicas_created > 0) {
+      std::printf("             %llu replica(s) (%.1f MB, %llu shed, "
+                  "%llu protected), %llu post-loss host load(s)\n",
+                  static_cast<unsigned long long>(
+                      metrics.faults.replicas_created),
+                  static_cast<double>(metrics.faults.replica_bytes) / 1e6,
+                  static_cast<unsigned long long>(
+                      metrics.faults.replicas_shed),
+                  static_cast<unsigned long long>(
+                      metrics.faults.replicas_protected),
+                  static_cast<unsigned long long>(
+                      metrics.faults.post_loss_host_loads));
+    }
+    if (metrics.faults.replay_divergences > 0) {
+      std::printf("             %u replay divergence(s), %llu recorded "
+                  "task(s) reassigned to survivors\n",
+                  metrics.faults.replay_divergences,
+                  static_cast<unsigned long long>(
+                      metrics.faults.replay_reassigned_tasks));
+    }
   }
   for (std::size_t gpu = 0; gpu < metrics.per_gpu.size(); ++gpu) {
     const auto& per = metrics.per_gpu[gpu];

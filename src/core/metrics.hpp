@@ -29,6 +29,24 @@ struct FaultMetrics {
   std::uint64_t transfer_retries = 0;      ///< failed delivery attempts
   std::uint64_t wasted_transfer_bytes = 0; ///< wire bytes of failed attempts
   std::uint64_t emergency_evictions = 0;   ///< evictions forced by shocks
+
+  // Proactive fault tolerance (checkpointing / replication / replay).
+  std::uint64_t checkpoints_taken = 0;       ///< progress snapshots committed
+  double checkpoint_overhead_us = 0.0;       ///< bus time of snapshot drains
+  std::uint64_t checkpoint_payload_bytes = 0;///< cumulated snapshot bytes
+  std::uint64_t tasks_restored = 0;          ///< re-runs that skipped work
+  double compute_saved_us = 0.0;             ///< compute skipped by restores
+  std::uint64_t replicas_created = 0;        ///< proactive replica fetches
+  std::uint64_t replica_bytes = 0;           ///< bytes of created replicas
+  std::uint64_t replicas_shed = 0;           ///< replicas dropped to free room
+  std::uint64_t replicas_protected = 0;      ///< promotions to sole survivor
+  std::uint64_t post_loss_host_loads = 0;    ///< host-bus loads after a loss
+  std::uint32_t replay_divergences = 0;      ///< fixed-order replay breaks
+  std::uint64_t replay_reassigned_tasks = 0; ///< recorded-suffix tasks stolen
+
+  /// Per-orphan recovery latencies: time from the GPU loss to the orphan's
+  /// completed re-run on a survivor, in simulated µs (one entry per orphan).
+  std::vector<double> recovery_latency_us;
 };
 
 struct RunMetrics {

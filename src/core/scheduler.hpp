@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -95,6 +96,22 @@ class Scheduler {
     (void)gpu;
     (void)orphaned;
     return false;
+  }
+
+  /// Replay divergence report. A scheduler replaying a recorded order that
+  /// rewired work after losing `gpu` (see notify_gpu_lost) describes the
+  /// break here: at which index of the dead GPU's recorded order the replay
+  /// diverged, and how many recorded-suffix tasks were reassigned to
+  /// survivors. Queried by the engine right after notify_gpu_lost; schedulers
+  /// that do not replay recorded orders keep the default (no divergence).
+  struct ReplayDivergence {
+    std::uint32_t divergence_index = 0;  ///< first unexecuted recorded slot
+    std::uint32_t reassigned_tasks = 0;  ///< suffix tasks moved to survivors
+  };
+  [[nodiscard]] virtual std::optional<ReplayDivergence> replay_divergence(
+      GpuId gpu) {
+    (void)gpu;
+    return std::nullopt;
   }
 
   /// Ordered push-time prefetch hints for `gpu` (StarPU's Algorithm 1 lines

@@ -40,6 +40,15 @@ core::DataId BeladyReplayEviction::choose_victim(
   return victim;
 }
 
+void BeladyReplayEviction::append(core::GpuId gpu, core::TaskId task,
+                                  std::uint32_t pos) {
+  for (core::DataId data : graph_.inputs(task)) {
+    MG_DCHECK(positions_[gpu][data].empty() ||
+              positions_[gpu][data].back() < pos);
+    positions_[gpu][data].push_back(pos);
+  }
+}
+
 void FixedOrderScheduler::prepare(const core::TaskGraph& graph,
                                   const core::Platform& platform,
                                   std::uint64_t seed) {
@@ -51,6 +60,8 @@ void FixedOrderScheduler::prepare(const core::TaskGraph& graph,
   MG_CHECK_MSG(total == graph.num_tasks(),
                "fixed order must schedule every task exactly once");
   cursor_.assign(orders_.size(), 0);
+  lost_.assign(orders_.size(), false);
+  divergence_.assign(orders_.size(), std::nullopt);
   if (eviction_ == Eviction::kBelady) {
     belady_ = std::make_unique<BeladyReplayEviction>(graph, orders_);
   }
@@ -67,6 +78,53 @@ void FixedOrderScheduler::notify_task_complete(core::GpuId gpu,
                                                core::TaskId task) {
   (void)task;
   if (belady_) belady_->advance(gpu);
+}
+
+void FixedOrderScheduler::steal_onto_survivor(core::TaskId task) {
+  // Survivor with the fewest remaining slots (recorded + already stolen);
+  // ties go to the lowest GPU id. Deterministic, so a replayed faulted run
+  // is bit-identical.
+  core::GpuId target = core::kInvalidGpu;
+  std::size_t least = 0;
+  for (core::GpuId gpu = 0; gpu < static_cast<core::GpuId>(orders_.size());
+       ++gpu) {
+    if (lost_[gpu]) continue;
+    const std::size_t remaining = orders_[gpu].size() - cursor_[gpu];
+    if (target == core::kInvalidGpu || remaining < least) {
+      target = gpu;
+      least = remaining;
+    }
+  }
+  MG_CHECK_MSG(target != core::kInvalidGpu, "no surviving GPU to steal onto");
+  const auto pos = static_cast<std::uint32_t>(orders_[target].size());
+  orders_[target].push_back(task);
+  if (belady_) belady_->append(target, task, pos);
+}
+
+bool FixedOrderScheduler::notify_gpu_lost(
+    core::GpuId gpu, std::span<const core::TaskId> orphaned) {
+  MG_DCHECK(gpu < orders_.size() && !lost_[gpu]);
+  lost_[gpu] = true;
+  // The orphans are the dead GPU's last pops, so the recorded order broke at
+  // the first of them; everything from there on moves to survivors.
+  MG_DCHECK(cursor_[gpu] >= orphaned.size());
+  const std::size_t divergence_index = cursor_[gpu] - orphaned.size();
+  ReplayDivergence divergence;
+  divergence.divergence_index = static_cast<std::uint32_t>(divergence_index);
+  divergence.reassigned_tasks = static_cast<std::uint32_t>(
+      orphaned.size() + (orders_[gpu].size() - cursor_[gpu]));
+  for (core::TaskId task : orphaned) steal_onto_survivor(task);
+  for (std::size_t slot = cursor_[gpu]; slot < orders_[gpu].size(); ++slot) {
+    steal_onto_survivor(orders_[gpu][slot]);
+  }
+  cursor_[gpu] = orders_[gpu].size();  // the dead GPU's order is spent
+  divergence_[gpu] = divergence;
+  return true;  // adopted: the stolen tasks re-emerge from pop_task
+}
+
+std::optional<core::Scheduler::ReplayDivergence>
+FixedOrderScheduler::replay_divergence(core::GpuId gpu) {
+  return divergence_[gpu];
 }
 
 }  // namespace mg::sched

@@ -6,10 +6,20 @@
 // The optional Belady eviction policy implements the offline-optimal rule of
 // Section III for the fixed σ: evict the data whose next use on this GPU is
 // the furthest in the future (never-used-again data first).
+//
+// Under a fault plan the replay *degrades* instead of rejecting the run: on
+// a permanent GPU loss the dead GPU's orphans and its remaining recorded
+// suffix are reassigned to survivors via deterministic work-stealing (each
+// task goes to the survivor with the fewest remaining slots, ties to the
+// lowest GPU id), and replay_divergence() reports where the recorded order
+// broke. Belady replay stays exact: stolen tasks are appended to the
+// survivor's position lists, so next-use queries keep working.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "core/eviction.hpp"
@@ -29,6 +39,11 @@ class BeladyReplayEviction final : public core::EvictionPolicy {
 
   /// Must be called as tasks of the fixed order complete, in order.
   void advance(core::GpuId gpu) { ++done_[gpu]; }
+
+  /// Extends `gpu`'s order with a stolen task at position `pos` (the slot
+  /// the scheduler appended it to). Positions stay sorted because appended
+  /// slots are strictly beyond every recorded one.
+  void append(core::GpuId gpu, core::TaskId task, std::uint32_t pos);
 
  private:
   const core::TaskGraph& graph_;
@@ -57,15 +72,29 @@ class FixedOrderScheduler final : public core::Scheduler {
 
   void notify_task_complete(core::GpuId gpu, core::TaskId task) override;
 
+  /// Replay degradation: adopts the orphans — they and the dead GPU's
+  /// remaining recorded suffix are appended to the survivors' orders via
+  /// deterministic work-stealing.
+  [[nodiscard]] bool notify_gpu_lost(
+      core::GpuId gpu, std::span<const core::TaskId> orphaned) override;
+
+  [[nodiscard]] std::optional<ReplayDivergence> replay_divergence(
+      core::GpuId gpu) override;
+
   [[nodiscard]] core::EvictionPolicy* eviction_policy(core::GpuId gpu) override {
     (void)gpu;
     return belady_.get();
   }
 
  private:
+  /// Appends `task` to the survivor with the fewest remaining slots.
+  void steal_onto_survivor(core::TaskId task);
+
   std::vector<std::vector<core::TaskId>> orders_;
   Eviction eviction_;
   std::vector<std::size_t> cursor_;
+  std::vector<bool> lost_;
+  std::vector<std::optional<ReplayDivergence>> divergence_;
   std::unique_ptr<BeladyReplayEviction> belady_;
 };
 

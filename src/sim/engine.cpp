@@ -40,7 +40,9 @@ RuntimeEngine::RuntimeEngine(const core::TaskGraph& graph,
         static_cast<TransferRouter&>(*this));
     gpus_[gpu].memory->set_observer(this);
   }
-  if (graph_.has_outputs()) {
+  if (graph_.has_outputs() || checkpointing_enabled()) {
+    // Checkpoint snapshots share the write-back channel: both are
+    // host-bound output-state traffic.
     writeback_bus_ = std::make_unique<Bus>(
         events_, platform_.bus_bandwidth_bytes_per_s, platform_.bus_latency_us);
   }
@@ -141,6 +143,16 @@ void RuntimeEngine::shed_job(std::uint32_t job) {
     popped_[task] = true;  // nobody may ever pop a cancelled task
     ++completed_;          // counts towards termination, not towards metrics
     publish(InspectorEventKind::kTaskCancelled, 0, task, 0, kNoChannel, job);
+    if (replication_active_) {
+      // Cancelled consumers no longer count as planned uses.
+      for (DataId data : graph_.inputs(task)) {
+        MG_DCHECK(remaining_uses_[data] > 0);
+        if (--remaining_uses_[data] == 0 &&
+            protected_on_[data] != core::kInvalidGpu) {
+          release_protection(data, /*uses_exhausted=*/true);
+        }
+      }
+    }
   }
 }
 
@@ -248,6 +260,25 @@ core::RunMetrics RuntimeEngine::run() {
   watchdog_log_ = config_.max_events > 0 || config_.max_sim_time_us > 0.0;
   alive_gpus_ = platform_.num_gpus;
 
+  MG_CHECK_MSG(config_.checkpoint_interval_us >= 0.0 &&
+                   config_.checkpoint_fraction >= 0.0 &&
+                   config_.checkpoint_fraction < 1.0,
+               "checkpoint interval must be >= 0 and fraction in [0,1)");
+  if (checkpointing_enabled()) {
+    checkpoint_progress_.assign(graph_.num_tasks(), 0.0);
+  }
+  if (faults_active && !injector_->plan().gpu_losses.empty()) {
+    orphan_lost_at_us_.assign(graph_.num_tasks(), -1.0);
+    if (config_.replicate_hot && platform_.num_gpus >= 2) {
+      replication_active_ = true;
+      remaining_uses_.assign(graph_.num_data(), 0);
+      for (TaskId task = 0; task < graph_.num_tasks(); ++task) {
+        for (DataId data : graph_.inputs(task)) ++remaining_uses_[data];
+      }
+      protected_on_.assign(graph_.num_data(), core::kInvalidGpu);
+    }
+  }
+
   util::Stopwatch prepare_watch;
   scheduler_.prepare(graph_, platform_, config_.seed);
   prepare_wall_us_ = prepare_watch.elapsed_us();
@@ -296,6 +327,7 @@ core::RunMetrics RuntimeEngine::run() {
     fill_buffer(gpu);
     pump_hints(gpu);
   }
+  if (replication_active_) maybe_replicate();
 
   while (completed_ < graph_.num_tasks()) {
     const bool events_exhausted =
@@ -411,6 +443,7 @@ void RuntimeEngine::begin_assembly(GpuId gpu) {
   MG_DCHECK(!state.buffer.empty());
   MG_DCHECK(!state.assembly_active);
   state.assembly_active = true;
+  state.assembly_since_us = events_.now();
   state.assembly_pins.clear();
   const TaskId head = state.buffer.front();
   for (DataId data : graph_.inputs(head)) {
@@ -476,8 +509,37 @@ void RuntimeEngine::start_task(GpuId gpu, TaskId task) {
     trace_.events.push_back(
         {events_.now(), TraceKind::kTaskStart, gpu, task});
   }
-  const double duration =
+  const double base_duration =
       platform_.compute_time_us(graph_.task_flops(task), gpu);
+  double duration = base_duration;
+  if (checkpointing_enabled() && base_duration > 0.0) {
+    // Resume from checkpointed progress: only the compute beyond the last
+    // committed snapshot re-runs. Snapshots sit at absolute compute
+    // boundaries k*interval; each drains in the background on the
+    // write-back channel (PCIe is full duplex, compute is not stalled),
+    // and the progress becomes durable only when the drain completes.
+    const double restored = checkpoint_progress_[task];
+    if (restored > 0.0) {
+      ++fault_metrics_.tasks_restored;
+      fault_metrics_.compute_saved_us += base_duration * restored;
+      publish(InspectorEventKind::kProgressRestored, gpu, task, 0, kNoChannel,
+              static_cast<std::uint32_t>(restored * 1e6));
+    }
+    const double interval = config_.checkpoint_interval_us > 0.0
+                                ? config_.checkpoint_interval_us
+                                : config_.checkpoint_fraction * base_duration;
+    const double resume_at = restored * base_duration;
+    for (double boundary = interval; boundary < base_duration;
+         boundary += interval) {
+      if (boundary <= resume_at) continue;  // committed in an earlier run
+      const double fraction = boundary / base_duration;
+      events_.schedule_after(boundary - resume_at, [this, gpu, task,
+                                                    fraction] {
+        initiate_checkpoint(gpu, task, fraction);
+      });
+    }
+    duration = base_duration - resume_at;
+  }
   state.busy_us += duration;
   state.running_until_us = events_.now() + duration;
   events_.schedule_after(duration, [this, gpu, task] { finish_task(gpu, task); });
@@ -500,7 +562,23 @@ void RuntimeEngine::finish_task(GpuId gpu, TaskId task) {
   if (config_.record_trace) {
     trace_.events.push_back({events_.now(), TraceKind::kTaskEnd, gpu, task});
   }
+  if (!orphan_lost_at_us_.empty() && orphan_lost_at_us_[task] >= 0.0) {
+    // An orphan finished its re-run on a survivor: the recovery latency is
+    // the span from the loss that reclaimed it to this completion.
+    fault_metrics_.recovery_latency_us.push_back(events_.now() -
+                                                 orphan_lost_at_us_[task]);
+    orphan_lost_at_us_[task] = -1.0;
+  }
   for (DataId data : graph_.inputs(task)) state.memory->unpin(data);
+  if (replication_active_) {
+    for (DataId data : graph_.inputs(task)) {
+      MG_DCHECK(remaining_uses_[data] > 0);
+      if (--remaining_uses_[data] == 0 &&
+          protected_on_[data] != core::kInvalidGpu) {
+        release_protection(data, /*uses_exhausted=*/true);
+      }
+    }
+  }
   // Output write-back: travels host-bound on the dedicated channel; its
   // scratch stays allocated until the transfer completes. The task itself
   // is done — write-back only delays memory reuse, not the completion.
@@ -544,6 +622,7 @@ void RuntimeEngine::finish_task(GpuId gpu, TaskId task) {
       }
     }
   }
+  if (replication_active_) maybe_replicate();
   fill_buffer(gpu);
   try_start(gpu);
   retry_starved();
@@ -576,6 +655,13 @@ void RuntimeEngine::on_data_loaded(GpuId gpu, DataId data) {
   } else {
     ++state.loads;
     state.bytes_loaded += graph_.data_size(data);
+    if (fault_metrics_.gpu_losses > 0) ++fault_metrics_.post_loss_host_loads;
+  }
+  if (replication_active_ && protected_on_[data] != core::kInvalidGpu &&
+      protected_on_[data] != gpu) {
+    // A second copy landed: the survivor's replica is no longer the sole
+    // copy and returns to the regular eviction regime.
+    release_protection(data, /*uses_exhausted=*/false);
   }
   publish(InspectorEventKind::kLoadComplete, gpu, data,
           graph_.data_size(data), kNoChannel, from_peer ? 1 : 0);
@@ -625,9 +711,47 @@ void RuntimeEngine::on_fetch_started(GpuId gpu, DataId data, bool demand) {
           kNoChannel, demand ? 1 : 0);
 }
 
+void RuntimeEngine::on_replica_shed(GpuId gpu, DataId data) {
+  ++fault_metrics_.replicas_shed;
+  publish(InspectorEventKind::kReplicaShed, gpu, data, graph_.data_size(data));
+}
+
 std::string RuntimeEngine::format_engine_state() const {
   std::string out;
   char line[256];
+  // Pending transfers and the oldest blocked task — the first two things
+  // needed when triaging a stuck (often faulted) run.
+  std::size_t nvlink_pending = 0;
+  for (const auto& egress : nvlink_egress_) nvlink_pending += egress->pending();
+  std::snprintf(line, sizeof line,
+                "  pending transfers: host-bus=%zu writeback=%zu nvlink=%zu\n",
+                bus_.pending(),
+                writeback_bus_ ? writeback_bus_->pending() : std::size_t{0},
+                nvlink_pending);
+  out += line;
+  {
+    GpuId blocked_gpu = core::kInvalidGpu;
+    double oldest_us = 0.0;
+    for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+      const GpuState& state = gpus_[gpu];
+      if (!state.alive || !state.assembly_active ||
+          state.running != kInvalidTask) {
+        continue;
+      }
+      if (blocked_gpu == core::kInvalidGpu ||
+          state.assembly_since_us < oldest_us) {
+        blocked_gpu = gpu;
+        oldest_us = state.assembly_since_us;
+      }
+    }
+    if (blocked_gpu != core::kInvalidGpu) {
+      std::snprintf(line, sizeof line,
+                    "  oldest blocked task: T%u on gpu%u (assembling since "
+                    "t=%.1fus)\n",
+                    gpus_[blocked_gpu].buffer.front(), blocked_gpu, oldest_us);
+      out += line;
+    }
+  }
   for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
     const GpuState& state = gpus_[gpu];
     std::snprintf(
@@ -785,12 +909,27 @@ void RuntimeEngine::fail_gpu(GpuId gpu) {
     MG_DCHECK(popped_[task]);
     popped_[task] = false;  // the task will legitimately be popped again
     ++fault_metrics_.tasks_reclaimed;
+    if (!orphan_lost_at_us_.empty()) orphan_lost_at_us_[task] = events_.now();
     publish(InspectorEventKind::kTaskReclaimed, gpu, task);
+  }
+  if (replication_active_) {
+    // The dead GPU's protections (if any) died with its residency.
+    for (DataId data = 0; data < graph_.num_data(); ++data) {
+      if (protected_on_[data] == gpu) protected_on_[data] = core::kInvalidGpu;
+    }
+    protect_sole_survivors(gpu);
   }
   const bool adopted = scheduler_.notify_gpu_lost(gpu, orphans);
   publish(InspectorEventKind::kNotifyGpuLost, gpu,
           static_cast<std::uint32_t>(orphans.size()), 0, kNoChannel,
           adopted ? 1 : 0);
+  if (const auto divergence = scheduler_.replay_divergence(gpu)) {
+    ++fault_metrics_.replay_divergences;
+    fault_metrics_.replay_reassigned_tasks += divergence->reassigned_tasks;
+    publish(InspectorEventKind::kReplayDivergence, gpu,
+            divergence->divergence_index, 0, kNoChannel,
+            divergence->reassigned_tasks);
+  }
   if (!adopted) {
     for (TaskId task : orphans) reclaimed_.push_back(task);
   }
@@ -817,6 +956,138 @@ void RuntimeEngine::apply_capacity_shock(GpuId gpu,
            static_cast<unsigned long long>(effective), events_.now());
   state.memory->set_capacity(effective);
   fault_metrics_.emergency_evictions += state.memory->emergency_evict();
+}
+
+std::uint64_t RuntimeEngine::checkpoint_payload_bytes(TaskId task) const {
+  // The snapshot drains the task's accumulated output state; inputs are
+  // re-fetchable from the host and are not part of it. Tasks without a
+  // declared output snapshot a progress descriptor only — the drain still
+  // pays the bus latency.
+  return graph_.task_output_bytes(task);
+}
+
+double RuntimeEngine::checkpoint_cost_us(TaskId task) const {
+  // Bus time one snapshot drain occupies on the write-back channel.
+  const double bytes = static_cast<double>(checkpoint_payload_bytes(task));
+  return platform_.bus_latency_us +
+         bytes / platform_.bus_bandwidth_bytes_per_s * 1e6;
+}
+
+void RuntimeEngine::initiate_checkpoint(GpuId gpu, TaskId task,
+                                        double fraction) {
+  GpuState& state = gpus_[gpu];
+  // Stale boundary: the task was interrupted (GPU loss) before reaching
+  // this snapshot point.
+  if (!state.alive || state.running != task) return;
+  writeback_bus_->request(gpu, task, checkpoint_payload_bytes(task),
+                          [this, gpu, task, fraction] {
+                            commit_checkpoint(gpu, task, fraction);
+                          });
+}
+
+void RuntimeEngine::commit_checkpoint(GpuId gpu, TaskId task, double fraction) {
+  GpuState& state = gpus_[gpu];
+  // The GPU died — or the task already finished — while the snapshot was
+  // draining: nothing durable to record.
+  if (!state.alive || state.running != task) return;
+  MG_DCHECK(fraction > checkpoint_progress_[task] && fraction < 1.0);
+  checkpoint_progress_[task] = fraction;
+  const std::uint64_t payload = checkpoint_payload_bytes(task);
+  ++fault_metrics_.checkpoints_taken;
+  fault_metrics_.checkpoint_overhead_us += checkpoint_cost_us(task);
+  fault_metrics_.checkpoint_payload_bytes += payload;
+  publish(InspectorEventKind::kCheckpoint, gpu, task, payload, kNoChannel,
+          static_cast<std::uint32_t>(fraction * 1e6));
+}
+
+void RuntimeEngine::maybe_replicate() {
+  if (alive_gpus_ < 2) return;
+  // Hottest data (most remaining planned uses) living on exactly one alive
+  // GPU get a second copy in free memory of another device. A couple per
+  // pump keeps the scan amortized across completion events.
+  constexpr std::uint32_t kMaxPerPump = 2;
+  std::uint32_t created = 0;
+  // Candidates sorted by hotness (descending), then data id for determinism.
+  std::vector<std::pair<std::uint32_t, DataId>> candidates;
+  for (DataId data = 0; data < graph_.num_data(); ++data) {
+    if (remaining_uses_[data] < 2) continue;
+    std::uint32_t holders = 0;
+    for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+      if (gpus_[gpu].alive && gpus_[gpu].memory->is_present_or_fetching(data)) {
+        ++holders;
+        if (holders > 1) break;
+      }
+    }
+    if (holders == 1) candidates.emplace_back(remaining_uses_[data], data);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  for (const auto& [uses, data] : candidates) {
+    // Destination: the alive non-holder with the most free memory (lowest
+    // id on ties).
+    GpuId dst = core::kInvalidGpu;
+    std::uint64_t best_free = 0;
+    for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+      GpuState& state = gpus_[gpu];
+      if (!state.alive || state.memory->is_present_or_fetching(data)) continue;
+      const std::uint64_t capacity = state.memory->capacity_bytes();
+      const std::uint64_t used = state.memory->used_bytes();
+      const std::uint64_t free = capacity > used ? capacity - used : 0;
+      if (free < graph_.data_size(data)) continue;
+      if (dst == core::kInvalidGpu || free > best_free) {
+        dst = gpu;
+        best_free = free;
+      }
+    }
+    if (dst == core::kInvalidGpu) continue;
+    if (!gpus_[dst].memory->fetch_replica(data)) continue;
+    ++fault_metrics_.replicas_created;
+    fault_metrics_.replica_bytes += graph_.data_size(data);
+    publish(InspectorEventKind::kReplicaCreate, dst, data,
+            graph_.data_size(data), kNoChannel, uses);
+    if (++created >= kMaxPerPump) break;
+  }
+}
+
+void RuntimeEngine::protect_sole_survivors(GpuId dead_gpu) {
+  (void)dead_gpu;
+  for (DataId data = 0; data < graph_.num_data(); ++data) {
+    if (remaining_uses_[data] == 0) continue;
+    if (protected_on_[data] != core::kInvalidGpu) continue;
+    GpuId holder = core::kInvalidGpu;
+    std::uint32_t holders = 0;
+    for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+      if (gpus_[gpu].alive && gpus_[gpu].memory->is_present(data)) {
+        holder = gpu;
+        ++holders;
+      }
+    }
+    // Only a proactive replica that became the last copy gets promoted:
+    // regular residency stays governed by the eviction policy (the data can
+    // be re-fetched from the host at the usual price).
+    if (holders != 1 || !gpus_[holder].memory->is_replica(data)) continue;
+    gpus_[holder].memory->protect(data);
+    protected_on_[data] = holder;
+    ++fault_metrics_.replicas_protected;
+    publish(InspectorEventKind::kReplicaProtect, holder, data,
+            graph_.data_size(data));
+  }
+}
+
+void RuntimeEngine::release_protection(DataId data, bool uses_exhausted) {
+  const GpuId holder = protected_on_[data];
+  MG_DCHECK(holder != core::kInvalidGpu);
+  protected_on_[data] = core::kInvalidGpu;
+  if (!gpus_[holder].alive) return;
+  // Publish before unprotect: dropping the pin can re-enter eviction (a
+  // stalled fetch retries and takes the freshly unprotected data as its
+  // victim), and observers must see the release ahead of that evict.
+  publish(InspectorEventKind::kReplicaRelease, holder, data,
+          graph_.data_size(data), kNoChannel, uses_exhausted ? 1 : 0);
+  gpus_[holder].memory->unprotect(data);
 }
 
 std::uint64_t RuntimeEngine::min_safe_capacity() {

@@ -71,6 +71,25 @@ struct EngineConfig {
   /// re-enters its queue after min(base * 2^(n-1), cap) microseconds.
   double retry_backoff_base_us = 20.0;
   double retry_backoff_cap_us = 2000.0;
+
+  /// Task-progress checkpointing: every `checkpoint_interval_us` of a task's
+  /// compute time (or, with `checkpoint_fraction` in (0,1), at that fraction
+  /// of each task's duration) the worker starts a progress snapshot, so a
+  /// permanent GPU loss re-runs only the work since the last checkpoint.
+  /// Each snapshot drains the task's output state host-bound on the
+  /// write-back channel in the background — the overhead is bus time that
+  /// competes with real write-backs, not a compute stall — and the progress
+  /// only becomes durable when the drain completes. 0 = off.
+  double checkpoint_interval_us = 0.0;
+  double checkpoint_fraction = 0.0;
+
+  /// Replication-aware placement: when the armed fault plan contains a
+  /// permanent GPU loss, keep a second replica of the hottest shared data
+  /// (ranked by remaining planned uses) on a different GPU. Replicas fill
+  /// free memory only, count against M, are shed first under pressure, and
+  /// become eviction-protected while they are the sole surviving copy after
+  /// a loss. A no-op without a fault plan that loses GPUs.
+  bool replicate_hot = false;
 };
 
 class RuntimeEngine final : private MemoryManager::Observer,
@@ -147,6 +166,7 @@ class RuntimeEngine final : private MemoryManager::Observer,
     std::vector<core::DataId> assembly_pins;
     double sched_busy_until_us = 0.0;
     double running_until_us = 0.0;  ///< scheduled end of the running task
+    double assembly_since_us = 0.0; ///< when the head task began assembling
     double busy_us = 0.0;
     std::uint64_t tasks_executed = 0;
     std::uint64_t loads = 0;
@@ -180,11 +200,34 @@ class RuntimeEngine final : private MemoryManager::Observer,
   /// output scratch); capacity shocks are clamped to it. Computed lazily.
   [[nodiscard]] std::uint64_t min_safe_capacity();
 
+  // Proactive fault tolerance (checkpointing / replication).
+  [[nodiscard]] bool checkpointing_enabled() const {
+    return config_.checkpoint_interval_us > 0.0 ||
+           config_.checkpoint_fraction > 0.0;
+  }
+  /// Snapshot payload of `task` (its output state) and the bus time its
+  /// background drain occupies on the write-back channel.
+  [[nodiscard]] std::uint64_t checkpoint_payload_bytes(core::TaskId task) const;
+  [[nodiscard]] double checkpoint_cost_us(core::TaskId task) const;
+  /// Starts the background drain at a snapshot boundary; the progress
+  /// becomes durable in commit_checkpoint when the drain completes.
+  void initiate_checkpoint(core::GpuId gpu, core::TaskId task,
+                           double fraction);
+  void commit_checkpoint(core::GpuId gpu, core::TaskId task, double fraction);
+  /// Proactively replicates the hottest sole-copy shared data into free
+  /// memory of a second GPU; called from task-completion sites.
+  void maybe_replicate();
+  /// Promotes replicas that became sole surviving copies to eviction-
+  /// protected, after `gpu` died.
+  void protect_sole_survivors(core::GpuId dead_gpu);
+  void release_protection(core::DataId data, bool uses_exhausted);
+
   // MemoryManager::Observer
   void on_data_loaded(core::GpuId gpu, core::DataId data) override;
   void on_data_evicted(core::GpuId gpu, core::DataId data) override;
   void on_fetch_started(core::GpuId gpu, core::DataId data,
                         bool demand) override;
+  void on_replica_shed(core::GpuId gpu, core::DataId data) override;
 
   /// Publishes one event to every attached inspector. `publish` is the
   /// guarded entry point (no-op without inspectors); `publish_slow` builds
@@ -230,7 +273,9 @@ class RuntimeEngine final : private MemoryManager::Observer,
   Bus bus_;
   /// Output write-backs travel host-bound on their own channel: PCIe is
   /// full duplex, and the paper notes output "can be transferred
-  /// concurrently with data input". Only created when the graph has outputs.
+  /// concurrently with data input". Checkpoint snapshots drain on the same
+  /// channel. Only created when the graph has outputs or checkpointing is
+  /// on.
   std::unique_ptr<Bus> writeback_bus_;
   std::vector<std::unique_ptr<Bus>> nvlink_egress_;  ///< one per GPU
   /// Origin of the in-flight fetch of (gpu, data): host or peer.
@@ -254,6 +299,21 @@ class RuntimeEngine final : private MemoryManager::Observer,
   std::uint32_t alive_gpus_ = 0;
   std::uint64_t min_safe_capacity_ = 0;  ///< 0 = not yet computed
   core::FaultMetrics fault_metrics_;
+
+  // Checkpointing state (allocated only when the policy is on).
+  /// Last committed progress fraction per task, in [0,1).
+  std::vector<double> checkpoint_progress_;
+  /// Recovery-latency bookkeeping: loss time per orphaned task, or <0.
+  std::vector<double> orphan_lost_at_us_;
+
+  // Replication state (allocated only when replication is active).
+  bool replication_active_ = false;
+  /// Uncompleted consumers per data — the DARTS/LUF-style look-ahead that
+  /// ranks replication candidates.
+  std::vector<std::uint32_t> remaining_uses_;
+  /// GPU whose copy of the data is currently eviction-protected as the
+  /// sole survivor, or kInvalidGpu.
+  std::vector<core::GpuId> protected_on_;
 
   /// Watchdog: when a budget is set, keep a short tail of formatted events
   /// for the BudgetExceededError excerpt.

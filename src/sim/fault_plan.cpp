@@ -137,8 +137,30 @@ std::string FaultPlan::validate(std::uint32_t num_gpus) const {
 
 std::optional<FaultPlan> parse_fault_plan(std::string_view json_text,
                                           std::string* error) {
-  const std::optional<util::json::Value> root = util::json::parse(json_text);
-  if (!root.has_value() || !root->is_object()) {
+  std::size_t error_offset = 0;
+  const std::optional<util::json::Value> root =
+      util::json::parse(json_text, &error_offset);
+  if (!root.has_value()) {
+    // Hand-written plans deserve a position: report where the parser
+    // stopped as line/column (1-based) plus the raw byte offset.
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < error_offset && i < json_text.size(); ++i) {
+      if (json_text[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    char buffer[96];
+    std::snprintf(buffer, sizeof buffer,
+                  "JSON syntax error at line %zu column %zu (byte %zu)", line,
+                  column, error_offset);
+    fail(error, buffer);
+    return std::nullopt;
+  }
+  if (!root->is_object()) {
     fail(error, "fault plan is not a JSON object");
     return std::nullopt;
   }
@@ -244,7 +266,12 @@ std::optional<FaultPlan> load_fault_plan_file(const std::string& path,
   }
   std::ostringstream text;
   text << in.rdbuf();
-  return parse_fault_plan(text.str(), error);
+  std::optional<FaultPlan> plan = parse_fault_plan(text.str(), error);
+  if (!plan.has_value() && error != nullptr) {
+    // Name the file: callers surface this to users who typed the plan path.
+    *error = path + ": " + *error;
+  }
+  return plan;
 }
 
 std::string fault_plan_to_json(const FaultPlan& plan) {

@@ -79,11 +79,13 @@ struct FaultPlan {
 };
 
 /// Parses a FaultPlan from its JSON form. On failure returns nullopt and,
-/// when `error` is non-null, stores a diagnostic.
+/// when `error` is non-null, stores a diagnostic; syntax errors name the
+/// line/column (and byte offset) where parsing stopped.
 [[nodiscard]] std::optional<FaultPlan> parse_fault_plan(
     std::string_view json_text, std::string* error = nullptr);
 
-/// Reads and parses a fault-plan JSON file.
+/// Reads and parses a fault-plan JSON file. Parse diagnostics are prefixed
+/// with the file name.
 [[nodiscard]] std::optional<FaultPlan> load_fault_plan_file(
     const std::string& path, std::string* error = nullptr);
 

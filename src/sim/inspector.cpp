@@ -30,6 +30,13 @@ std::string_view inspector_event_kind_name(InspectorEventKind kind) {
     case InspectorEventKind::kJobShed: return "job-shed";
     case InspectorEventKind::kTaskReleased: return "task-released";
     case InspectorEventKind::kTaskCancelled: return "task-cancelled";
+    case InspectorEventKind::kCheckpoint: return "checkpoint";
+    case InspectorEventKind::kProgressRestored: return "progress-restored";
+    case InspectorEventKind::kReplicaCreate: return "replica-create";
+    case InspectorEventKind::kReplicaProtect: return "replica-protect";
+    case InspectorEventKind::kReplicaRelease: return "replica-release";
+    case InspectorEventKind::kReplicaShed: return "replica-shed";
+    case InspectorEventKind::kReplayDivergence: return "replay-divergence";
   }
   return "?";
 }
@@ -52,7 +59,9 @@ std::string format_inspector_event(const InspectorEvent& event) {
                        event.kind == InspectorEventKind::kNotifyTaskComplete ||
                        event.kind == InspectorEventKind::kTaskReclaimed ||
                        event.kind == InspectorEventKind::kTaskReleased ||
-                       event.kind == InspectorEventKind::kTaskCancelled;
+                       event.kind == InspectorEventKind::kTaskCancelled ||
+                       event.kind == InspectorEventKind::kCheckpoint ||
+                       event.kind == InspectorEventKind::kProgressRestored;
   const bool is_job = event.kind == InspectorEventKind::kJobArrival ||
                       event.kind == InspectorEventKind::kJobComplete ||
                       event.kind == InspectorEventKind::kJobShed;
@@ -99,6 +108,16 @@ std::string format_inspector_event(const InspectorEvent& event) {
   } else if (event.kind == InspectorEventKind::kTaskReleased ||
              event.kind == InspectorEventKind::kTaskCancelled) {
     std::snprintf(buffer, sizeof buffer, " job=%u", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kCheckpoint ||
+             event.kind == InspectorEventKind::kProgressRestored) {
+    std::snprintf(buffer, sizeof buffer, " progress=%.1f%%",
+                  static_cast<double>(event.aux) / 1e4);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kReplicaRelease) {
+    line += event.aux != 0 ? " (uses-exhausted)" : " (copy-elsewhere)";
+  } else if (event.kind == InspectorEventKind::kReplayDivergence) {
+    std::snprintf(buffer, sizeof buffer, " reassigned=%u", event.aux);
     line += buffer;
   }
   return line;

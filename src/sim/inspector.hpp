@@ -63,6 +63,23 @@ enum class InspectorEventKind : std::uint8_t {
   kJobShed,        ///< job `id` shed by admission control (aux: task count)
   kTaskReleased,   ///< task `id` became eligible for popping (aux: job id)
   kTaskCancelled,  ///< task `id` of a shed job will never run (aux: job id)
+
+  // Proactive fault tolerance (checkpointing, replication, replay).
+  kCheckpoint,       ///< task `id` committed a progress snapshot on `gpu`
+                     ///< (bytes: snapshot payload, aux: progress fraction in
+                     ///< parts-per-million)
+  kProgressRestored, ///< task `id` re-ran on `gpu` from checkpointed
+                     ///< progress (aux: restored fraction in ppm)
+  kReplicaCreate,    ///< data `id` proactively replicated onto `gpu`
+  kReplicaProtect,   ///< replica of data `id` on `gpu` became the sole
+                     ///< surviving copy; protected from eviction
+  kReplicaRelease,   ///< protection of data `id` on `gpu` lifted (aux:
+                     ///< 1 = no remaining planned uses, 0 = copy elsewhere)
+  kReplicaShed,      ///< replica of data `id` dropped from `gpu` to make
+                     ///< room (the matching kEvict follows immediately)
+  kReplayDivergence, ///< fixed-order replay diverged on loss of `gpu`
+                     ///< (id: divergence index in the recorded order,
+                     ///< aux: tasks reassigned to survivors)
 };
 
 [[nodiscard]] std::string_view inspector_event_kind_name(

@@ -31,6 +31,7 @@ void InvariantChecker::on_run_begin(const core::TaskGraph& graph,
   for (GpuState& gpu : gpus_) {
     gpu.resident.assign(graph.num_data(), 0);
     gpu.in_flight.assign(graph.num_data(), 0);
+    gpu.prot.assign(graph.num_data(), 0);
     gpu.capacity_bytes = platform.gpu_memory_bytes;
   }
   started_.assign(graph.num_tasks(), 0);
@@ -41,6 +42,8 @@ void InvariantChecker::on_run_begin(const core::TaskGraph& graph,
   released_.assign(graph.num_tasks(), 0);
   cancelled_.assign(graph.num_tasks(), 0);
   job_state_.clear();
+  checkpoint_ppm_.assign(graph.num_tasks(), 0);
+  divergence_seen_.assign(platform.num_gpus, 0);
   wire_active_.assign(kChannelNvlinkBase + platform.num_gpus, 0);
   last_time_us_ = 0.0;
   events_ = 0;
@@ -118,6 +121,8 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
     case InspectorEventKind::kJobShed:
     case InspectorEventKind::kTaskReleased:
     case InspectorEventKind::kTaskCancelled:
+    // A replay divergence is reported *about* the dead GPU, not by it.
+    case InspectorEventKind::kReplayDivergence:
       break;
     default:
       if (!gpu.alive) return fail(event, "activity on a dead gpu");
@@ -176,6 +181,9 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
         return fail(event, "evict of non-resident data");
       }
       if (event.aux != 0) return fail(event, "evict of pinned data");
+      if (gpu.prot[event.id] != 0) {
+        return fail(event, "evict of a protected sole-surviving replica");
+      }
       if (gpu.running >= 0) {
         const auto inputs = graph_->inputs(static_cast<core::TaskId>(gpu.running));
         if (std::find(inputs.begin(), inputs.end(), event.id) != inputs.end()) {
@@ -297,6 +305,9 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       }
       std::fill(gpu.resident.begin(), gpu.resident.end(), 0);
       std::fill(gpu.in_flight.begin(), gpu.in_flight.end(), 0);
+      // Protection held on this GPU died with its residency (the engine
+      // re-protects another surviving copy, if one exists, separately).
+      std::fill(gpu.prot.begin(), gpu.prot.end(), 0);
       gpu.resident_bytes = 0;
       gpu.committed_bytes = 0;
       gpu.scratch_bytes = 0;
@@ -386,6 +397,70 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
         return fail(event, "task cancelled twice");
       }
       cancelled_[event.id] = 1;
+      break;
+    }
+    case InspectorEventKind::kCheckpoint: {
+      if (event.id >= num_tasks) return fail(event, "checkpoint of unknown task");
+      if (gpu.running != static_cast<std::int64_t>(event.id)) {
+        return fail(event, "checkpoint of a task that is not running");
+      }
+      if (event.aux > 1000000u) {
+        return fail(event, "checkpoint fraction above 100%");
+      }
+      if (event.aux < checkpoint_ppm_[event.id]) {
+        return fail(event, "checkpoint progress went backwards");
+      }
+      checkpoint_ppm_[event.id] = event.aux;
+      break;
+    }
+    case InspectorEventKind::kProgressRestored: {
+      if (event.id >= num_tasks) return fail(event, "restore of unknown task");
+      if (gpu.running != static_cast<std::int64_t>(event.id)) {
+        return fail(event, "restore of a task that is not running");
+      }
+      if (event.aux > checkpoint_ppm_[event.id]) {
+        return fail(event, "restored progress exceeds checkpointed progress");
+      }
+      break;
+    }
+    case InspectorEventKind::kReplicaCreate: {
+      if (event.id >= num_data) return fail(event, "replica of unknown data");
+      if (options_.online && gpu.in_flight[event.id] == 0 &&
+          gpu.resident[event.id] == 0) {
+        return fail(event, "replica created without a fetch");
+      }
+      break;
+    }
+    case InspectorEventKind::kReplicaProtect: {
+      if (event.id >= num_data || gpu.resident[event.id] == 0) {
+        return fail(event, "protection of non-resident data");
+      }
+      if (gpu.prot[event.id] != 0) return fail(event, "data protected twice");
+      gpu.prot[event.id] = 1;
+      break;
+    }
+    case InspectorEventKind::kReplicaRelease: {
+      if (event.id >= num_data || gpu.prot[event.id] == 0) {
+        return fail(event, "release of unprotected data");
+      }
+      gpu.prot[event.id] = 0;
+      break;
+    }
+    case InspectorEventKind::kReplicaShed: {
+      if (event.id >= num_data || gpu.resident[event.id] == 0) {
+        return fail(event, "shed of a non-resident replica");
+      }
+      if (gpu.prot[event.id] != 0) {
+        return fail(event, "shed of a protected sole-surviving replica");
+      }
+      break;
+    }
+    case InspectorEventKind::kReplayDivergence: {
+      if (gpu.alive) return fail(event, "replay divergence for a live gpu");
+      if (divergence_seen_[event.gpu] != 0) {
+        return fail(event, "replay divergence reported twice for one gpu");
+      }
+      divergence_seen_[event.gpu] = 1;
       break;
     }
   }

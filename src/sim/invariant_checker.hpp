@@ -31,6 +31,12 @@
 //     consistently (shed only before arrival, complete only after), and
 //     cancelled tasks of shed jobs never run — nor are they required to by
 //     the end-of-run exactly-once check;
+//   * proactive fault tolerance: checkpoint progress per task is
+//     non-decreasing and committed only while the task runs, restored
+//     progress never exceeds the last checkpointed progress, a protected
+//     sole-surviving replica is never evicted or shed (protection is lifted
+//     by kReplicaRelease or the holder's own loss), and a replay-divergence
+//     report names a dead GPU at most once;
 //   * time is monotone and every id is in range.
 //
 // On violation the checker either aborts immediately with the offending
@@ -103,6 +109,8 @@ class InvariantChecker final : public Inspector {
     std::uint64_t capacity_bytes = 0;
     std::int64_t running = -1;
     bool alive = true;  ///< false after kGpuLost
+    /// Protected sole-surviving replicas (kReplicaProtect .. kReplicaRelease).
+    std::vector<std::uint8_t> prot;
   };
 
   void fail(const InspectorEvent& event, const char* what);
@@ -126,6 +134,10 @@ class InvariantChecker final : public Inspector {
   std::vector<std::uint8_t> released_;
   std::vector<std::uint8_t> cancelled_;
   std::vector<std::uint8_t> job_state_;
+  /// Last checkpointed progress per task, in ppm of the task's compute.
+  std::vector<std::uint32_t> checkpoint_ppm_;
+  /// GPUs whose recorded replay order already reported a divergence.
+  std::vector<std::uint8_t> divergence_seen_;
   /// Active transfers per wire channel (index = channel id).
   std::vector<std::uint32_t> wire_active_;
   double last_time_us_ = 0.0;

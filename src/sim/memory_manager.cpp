@@ -19,11 +19,16 @@ MemoryManager::MemoryManager(core::GpuId gpu, const core::TaskGraph& graph,
       router_(router),
       residency_(graph.num_data(), Residency::kAbsent),
       pins_(graph.num_data(), 0),
-      resident_pos_(graph.num_data(), kNoPos) {}
+      resident_pos_(graph.num_data(), kNoPos),
+      replica_(graph.num_data(), 0),
+      protected_(graph.num_data(), 0) {}
 
 void MemoryManager::fetch(DataId data, bool demand) {
   MG_DCHECK(policy_ != nullptr && observer_ != nullptr);
   if (!active_) return;
+  // A fetch means the scheduler wants the data here anyway: a proactive
+  // replica of it is promoted to regular residency (no longer shed-first).
+  replica_[data] = 0;
   if (residency_[data] != Residency::kAbsent) {
     // A hint transfer may still be sitting in the low-priority queue; a
     // demand for the same data makes it urgent.
@@ -54,6 +59,7 @@ void MemoryManager::fetch(DataId data, bool demand) {
 bool MemoryManager::fetch_hint(DataId data, bool may_evict) {
   MG_DCHECK(policy_ != nullptr && observer_ != nullptr);
   if (!active_) return true;
+  replica_[data] = 0;
   if (residency_[data] != Residency::kAbsent) return true;
   const std::uint64_t size = graph_.data_size(data);
   // Written overflow-safe: a capacity shock can leave committed_ above
@@ -64,6 +70,28 @@ bool MemoryManager::fetch_hint(DataId data, bool may_evict) {
   }
   start_transfer(data, /*demand=*/false, TransferPriority::kLow);
   return true;
+}
+
+bool MemoryManager::fetch_replica(DataId data) {
+  MG_DCHECK(policy_ != nullptr && observer_ != nullptr);
+  if (!active_) return true;
+  if (residency_[data] != Residency::kAbsent) return true;
+  const std::uint64_t size = graph_.data_size(data);
+  if (committed_ + size > capacity_) return false;  // free space only
+  replica_[data] = 1;
+  start_transfer(data, /*demand=*/false, TransferPriority::kLow);
+  return true;
+}
+
+void MemoryManager::protect(DataId data) {
+  if (!active_) return;
+  protected_[data] = 1;
+  replica_[data] = 0;  // a protected copy is not shedable
+}
+
+void MemoryManager::unprotect(DataId data) {
+  protected_[data] = 0;
+  if (!stalled_.empty()) retry_stalled();
 }
 
 void MemoryManager::start_transfer(DataId data, bool demand,
@@ -99,12 +127,27 @@ bool MemoryManager::make_room(std::uint64_t bytes) {
   // Overflow-safe form of `capacity_ - committed_ < bytes`: a capacity
   // shock can leave committed_ above capacity_.
   while (committed_ + bytes > capacity_) {
-    // Candidates: resident and unpinned. In-flight data are absent from
-    // resident_ by construction.
+    // Proactive replicas are shed first (oldest first), before the eviction
+    // policy gets a say: they are insurance, not working-set data.
+    DataId replica_victim = kInvalidData;
+    for (DataId data : resident_) {
+      if (replica_[data] != 0 && pins_[data] == 0 && protected_[data] == 0) {
+        replica_victim = data;
+        break;
+      }
+    }
+    if (replica_victim != kInvalidData) {
+      ++replicas_shed_;
+      observer_->on_replica_shed(gpu_, replica_victim);
+      evict(replica_victim);
+      continue;
+    }
+    // Candidates: resident, unpinned and unprotected. In-flight data are
+    // absent from resident_ by construction.
     std::vector<DataId> candidates;
     candidates.reserve(resident_.size());
     for (DataId data : resident_) {
-      if (pins_[data] == 0) candidates.push_back(data);
+      if (pins_[data] == 0 && protected_[data] == 0) candidates.push_back(data);
     }
     if (candidates.empty()) return false;
     const DataId victim = policy_->choose_victim(gpu_, candidates);
@@ -119,6 +162,8 @@ bool MemoryManager::make_room(std::uint64_t bytes) {
 void MemoryManager::evict(DataId victim) {
   MG_DCHECK(residency_[victim] == Residency::kPresent);
   MG_DCHECK(pins_[victim] == 0);
+  MG_DCHECK(protected_[victim] == 0);
+  replica_[victim] = 0;
   residency_[victim] = Residency::kAbsent;
   remove_resident(victim);
   committed_ -= graph_.data_size(victim);
@@ -178,10 +223,24 @@ void MemoryManager::release_scratch(std::uint64_t bytes) {
 std::uint32_t MemoryManager::emergency_evict() {
   std::uint32_t evicted = 0;
   while (committed_ > capacity_) {
+    DataId replica_victim = kInvalidData;
+    for (DataId data : resident_) {
+      if (replica_[data] != 0 && pins_[data] == 0 && protected_[data] == 0) {
+        replica_victim = data;
+        break;
+      }
+    }
+    if (replica_victim != kInvalidData) {
+      ++replicas_shed_;
+      observer_->on_replica_shed(gpu_, replica_victim);
+      evict(replica_victim);
+      ++evicted;
+      continue;
+    }
     std::vector<DataId> candidates;
     candidates.reserve(resident_.size());
     for (DataId data : resident_) {
-      if (pins_[data] == 0) candidates.push_back(data);
+      if (pins_[data] == 0 && protected_[data] == 0) candidates.push_back(data);
     }
     if (candidates.empty()) break;  // pinned/in-flight overhang drains later
     DataId victim = policy_->choose_victim(gpu_, candidates);
@@ -199,6 +258,8 @@ void MemoryManager::deactivate() {
   std::fill(residency_.begin(), residency_.end(), Residency::kAbsent);
   std::fill(pins_.begin(), pins_.end(), 0u);
   std::fill(resident_pos_.begin(), resident_pos_.end(), kNoPos);
+  std::fill(replica_.begin(), replica_.end(), std::uint8_t{0});
+  std::fill(protected_.begin(), protected_.end(), std::uint8_t{0});
   resident_.clear();
   stalled_.clear();
   committed_ = 0;

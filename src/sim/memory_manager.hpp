@@ -41,6 +41,12 @@ class MemoryManager final : public core::MemoryView {
       (void)data;
       (void)demand;
     }
+    /// Fired just before a proactive replica is dropped to make room (the
+    /// regular on_data_evicted for the same data follows).
+    virtual void on_replica_shed(core::GpuId gpu, core::DataId data) {
+      (void)gpu;
+      (void)data;
+    }
   };
 
   enum class Residency : std::uint8_t { kAbsent, kFetching, kPresent };
@@ -87,6 +93,30 @@ class MemoryManager final : public core::MemoryView {
   /// memory is freed), true otherwise (including when the data is already
   /// resident or in flight).
   bool fetch_hint(core::DataId data, bool may_evict = false);
+
+  /// Proactive fault-tolerance replica: like fetch_hint (low priority, free
+  /// space only, never evicts, never stalls) but the copy is tagged as a
+  /// replica — it is shed *before* the eviction policy is consulted when
+  /// room is needed, and it counts against M like any resident data. The
+  /// tag clears the moment a regular fetch/hint wants the data here.
+  /// Returns false when there is no room right now.
+  bool fetch_replica(core::DataId data);
+
+  [[nodiscard]] bool is_replica(core::DataId data) const {
+    return replica_[data] != 0;
+  }
+
+  /// Marks `data` as the sole surviving copy on the platform: it is removed
+  /// from every eviction-candidate set (make_room, emergency_evict) until
+  /// unprotect(). Protection implies the copy is no longer a shedable
+  /// replica.
+  void protect(core::DataId data);
+  void unprotect(core::DataId data);
+  [[nodiscard]] bool is_protected(core::DataId data) const {
+    return protected_[data] != 0;
+  }
+
+  [[nodiscard]] std::uint64_t replicas_shed() const { return replicas_shed_; }
 
   void pin(core::DataId data);
   void unpin(core::DataId data);
@@ -162,9 +192,12 @@ class MemoryManager final : public core::MemoryView {
   std::vector<std::uint32_t> pins_;
   std::vector<std::uint32_t> resident_pos_;  // index into resident_, or npos
   std::vector<core::DataId> resident_;
+  std::vector<std::uint8_t> replica_;    // shed-first proactive copies
+  std::vector<std::uint8_t> protected_;  // sole-surviving copies, unevictable
   std::deque<StalledFetch> stalled_;
   std::uint64_t committed_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t replicas_shed_ = 0;
   bool in_retry_ = false;
   bool active_ = true;
 

@@ -155,6 +155,46 @@ std::string run_report_to_json(const RunReport& report) {
     json += ",\"to_gpu\":" + std::to_string(adoption.to_gpu);
     json += "}";
   }
+  json += "]";
+
+  const RunReport::Faults::Checkpoints& checkpoints = report.faults.checkpoints;
+  json += ",\"checkpoints\":{\"taken\":";
+  append_u64(json, checkpoints.taken);
+  json += ",\"payload_bytes\":";
+  append_u64(json, checkpoints.payload_bytes);
+  json += ",\"overhead_us\":";
+  append_double(json, checkpoints.overhead_us);
+  json += ",\"tasks_restored\":";
+  append_u64(json, checkpoints.tasks_restored);
+  json += ",\"compute_saved_us\":";
+  append_double(json, checkpoints.compute_saved_us);
+  json += "}";
+
+  const RunReport::Faults::Replicas& replicas = report.faults.replicas;
+  json += ",\"replicas\":{\"created\":";
+  append_u64(json, replicas.created);
+  json += ",\"bytes\":";
+  append_u64(json, replicas.bytes);
+  json += ",\"shed\":";
+  append_u64(json, replicas.shed);
+  json += ",\"protected_sole_survivor\":";
+  append_u64(json, replicas.protected_sole_survivor);
+  json += ",\"released\":";
+  append_u64(json, replicas.released);
+  json += ",\"post_loss_host_loads\":";
+  append_u64(json, replicas.post_loss_host_loads);
+  json += "}";
+
+  json += ",\"replay_divergence\":[";
+  for (std::size_t i = 0; i < report.faults.replay_divergence.size(); ++i) {
+    const RunReport::Faults::ReplayDivergenceEntry& entry =
+        report.faults.replay_divergence[i];
+    if (i > 0) json += ',';
+    json += "{\"gpu\":" + std::to_string(entry.gpu);
+    json += ",\"divergence_index\":" + std::to_string(entry.divergence_index);
+    json += ",\"reassigned_tasks\":" + std::to_string(entry.reassigned_tasks);
+    json += "}";
+  }
   json += "]}";
 
   const RunReport::Serving& serving = report.serving;
@@ -271,6 +311,9 @@ void RunReportCollector::on_event(const InspectorEvent& event) {
         ++gpu.peer_loads;
       } else {
         ++gpu.loads;
+        if (report_.faults.gpu_losses > 0) {
+          ++report_.faults.replicas.post_loss_host_loads;
+        }
       }
       gpu.bytes_loaded += graph_->data_size(event.id);
       if (options_.collect_trace) {
@@ -397,6 +440,39 @@ void RunReportCollector::on_event(const InspectorEvent& event) {
     case InspectorEventKind::kTaskCancelled:
       // Serving statistics are computed by serve::JobTracker and merged into
       // the report by serve::ServeEngine.
+      break;
+    case InspectorEventKind::kCheckpoint:
+      ++report_.faults.checkpoints.taken;
+      report_.faults.checkpoints.payload_bytes += event.bytes;
+      // Bus time the snapshot drain occupies on the write-back channel —
+      // the same overhead model the engine accounts.
+      report_.faults.checkpoints.overhead_us +=
+          platform_.bus_latency_us +
+          static_cast<double>(event.bytes) /
+              platform_.bus_bandwidth_bytes_per_s * 1e6;
+      break;
+    case InspectorEventKind::kProgressRestored:
+      ++report_.faults.checkpoints.tasks_restored;
+      report_.faults.checkpoints.compute_saved_us +=
+          static_cast<double>(event.aux) / 1e6 *
+          platform_.compute_time_us(graph_->task_flops(event.id), event.gpu);
+      break;
+    case InspectorEventKind::kReplicaCreate:
+      ++report_.faults.replicas.created;
+      report_.faults.replicas.bytes += event.bytes;
+      break;
+    case InspectorEventKind::kReplicaShed:
+      ++report_.faults.replicas.shed;
+      break;
+    case InspectorEventKind::kReplicaProtect:
+      ++report_.faults.replicas.protected_sole_survivor;
+      break;
+    case InspectorEventKind::kReplicaRelease:
+      ++report_.faults.replicas.released;
+      break;
+    case InspectorEventKind::kReplayDivergence:
+      report_.faults.replay_divergence.push_back(
+          {event.gpu, event.id, event.aux});
       break;
   }
 }

@@ -12,11 +12,14 @@
 // exported without separately enabling EngineConfig::record_trace.
 //
 // The report serializes to JSON (schema documented in
-// docs/OBSERVABILITY.md, schema_version 3); bench/figure_harness exposes it
+// docs/OBSERVABILITY.md, schema_version 4); bench/figure_harness exposes it
 // behind --run-report / --chrome-trace on every figure and ablation binary.
 // Streamed (serving) runs add a "serving" section — filled in by
 // serve::ServeEngine from its JobTracker — and the faults section attributes
-// each reclaimed task to the survivor that re-ran it.
+// each reclaimed task to the survivor that re-ran it. Schema 4 adds the
+// proactive fault-tolerance subsections: faults.checkpoints (progress
+// snapshots and the compute they saved), faults.replicas (replication-aware
+// placement) and faults.replay_divergence (fixed-order replay degradation).
 #pragma once
 
 #include <cstdint>
@@ -31,7 +34,7 @@
 namespace mg::sim {
 
 struct RunReport {
-  static constexpr int kSchemaVersion = 3;
+  static constexpr int kSchemaVersion = 4;
 
   std::string scheduler;
   std::string context;  ///< free-form label (figure id, workload, ...)
@@ -114,6 +117,40 @@ struct RunReport {
       std::uint32_t to_gpu = 0;    ///< the survivor that absorbed it
     };
     std::vector<Adoption> adoptions;
+
+    /// Task-progress checkpointing (schema 4). Zeroed when the policy is
+    /// off.
+    struct Checkpoints {
+      std::uint64_t taken = 0;           ///< snapshots committed
+      std::uint64_t payload_bytes = 0;   ///< cumulated snapshot bytes
+      double overhead_us = 0.0;          ///< write-back bus time of the drains
+      std::uint64_t tasks_restored = 0;  ///< re-runs resumed mid-task
+      double compute_saved_us = 0.0;     ///< compute skipped by restores
+    };
+    Checkpoints checkpoints;
+
+    /// Replication-aware placement (schema 4). Zeroed when replication is
+    /// inactive.
+    struct Replicas {
+      std::uint64_t created = 0;   ///< proactive replica fetches issued
+      std::uint64_t bytes = 0;     ///< bytes of created replicas
+      std::uint64_t shed = 0;      ///< replicas dropped under pressure
+      std::uint64_t protected_sole_survivor = 0;  ///< promotions after a loss
+      std::uint64_t released = 0;  ///< protections lifted again
+      /// Host-bus loads landed after the first GPU loss — the traffic
+      /// replication exists to avoid.
+      std::uint64_t post_loss_host_loads = 0;
+    };
+    Replicas replicas;
+
+    /// Fixed-order replay degradation (schema 4): one entry per lost GPU
+    /// whose recorded order was rewired onto survivors.
+    struct ReplayDivergenceEntry {
+      std::uint32_t gpu = 0;               ///< the GPU whose order broke
+      std::uint32_t divergence_index = 0;  ///< first unexecuted recorded slot
+      std::uint32_t reassigned_tasks = 0;  ///< suffix tasks work-stolen
+    };
+    std::vector<ReplayDivergenceEntry> replay_divergence;
   };
   Faults faults;
 
@@ -151,7 +188,7 @@ struct RunReport {
 /// Serializes one report as a JSON object.
 [[nodiscard]] std::string run_report_to_json(const RunReport& report);
 
-/// Writes `{"schema_version":3,"context":...,"runs":[...]}` to `path`.
+/// Writes `{"schema_version":4,"context":...,"runs":[...]}` to `path`.
 /// Returns false on I/O error.
 bool write_run_reports(const std::vector<RunReport>& reports,
                        const std::string& context, const std::string& path);

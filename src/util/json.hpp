@@ -2,8 +2,10 @@
 // structured run reports (sim/run_report.hpp) and by nothing on the hot
 // path. Parses the full JSON grammar into a tree of json::Value; numbers
 // are held as double (adequate for schema checks; exact 64-bit integers are
-// not needed there). Not a general-purpose library: errors simply yield
-// std::nullopt with no position diagnostics.
+// not needed there). Not a general-purpose library: errors yield
+// std::nullopt; the two-argument parse() overload additionally reports the
+// byte offset where parsing stopped, for callers that diagnose hand-written
+// input (e.g. fault plan files).
 #pragma once
 
 #include <cctype>
@@ -76,6 +78,10 @@ class Parser {
     if (!value.has_value() || pos_ != text_.size()) return std::nullopt;
     return value;
   }
+
+  /// Byte offset reached by the parser; on failure this is where parsing
+  /// stopped (the offending character or the start of trailing garbage).
+  [[nodiscard]] std::size_t pos() const { return pos_; }
 
  private:
   void skip_ws() {
@@ -222,6 +228,19 @@ class Parser {
 /// trailing garbage.
 [[nodiscard]] inline std::optional<Value> parse(std::string_view text) {
   return detail::Parser(text).parse();
+}
+
+/// As parse(), but on failure reports the byte offset where parsing stopped
+/// (the offending character or the start of trailing garbage) through
+/// `error_offset`. Untouched on success.
+[[nodiscard]] inline std::optional<Value> parse(std::string_view text,
+                                                std::size_t* error_offset) {
+  detail::Parser parser(text);
+  std::optional<Value> value = parser.parse();
+  if (!value.has_value() && error_offset != nullptr) {
+    *error_offset = parser.pos();
+  }
+  return value;
 }
 
 }  // namespace mg::util::json

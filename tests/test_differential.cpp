@@ -138,8 +138,11 @@ TEST(Differential, SeededFaultPlansDegradeGracefullyAcrossSchedulers) {
   // Recovery-path differential sweep: every scheduler must absorb seeded
   // fault plans (GPU losses, flaky transfers, capacity shocks) with zero
   // invariant violations and every task completing on a surviving GPU.
-  // 30 rounds x 4 schedulers = 120 faulted runs. On failure the SCOPED_TRACE
-  // names the offending round/seed so the plan can be replayed.
+  // 30 rounds x 4 schedulers = 120 faulted runs; rounds rotate through the
+  // proactive fault-tolerance policies (checkpoint interval / fraction,
+  // hot-data replication) so their recovery paths are swept too. On
+  // failure the SCOPED_TRACE names the offending round/seed so the plan
+  // can be replayed.
   constexpr int kGraphs = 30;
   util::Rng rng(0xfa17ed5eedULL);
   std::uint64_t runs_checked = 0;
@@ -175,6 +178,9 @@ TEST(Differential, SeededFaultPlansDegradeGracefullyAcrossSchedulers) {
 
       sim::EngineConfig config;
       config.seed = 7 + static_cast<std::uint64_t>(round);
+      if (round % 3 == 1) config.checkpoint_interval_us = 40.0;
+      if (round % 3 == 2) config.checkpoint_fraction = 0.5;
+      config.replicate_hot = (round % 2 == 1);
       sim::RuntimeEngine engine(graph, platform, *entry.scheduler, config);
       sim::FaultInjector injector(plan);
       engine.set_fault_injector(&injector);

@@ -1,13 +1,16 @@
-// Fault-injection subsystem tests: FaultPlan parsing/validation, the
-// engine's recovery paths (GPU loss, transfer retry with backoff, capacity
-// shocks), the degraded-model invariants, and the zero-cost guarantee when
-// no plan is armed.
+// Fault-injection subsystem tests: FaultPlan parsing/validation (with
+// line/column and file-name diagnostics), the engine's recovery paths (GPU
+// loss, transfer retry with backoff, capacity shocks), proactive fault
+// tolerance (task-progress checkpointing, replication-aware placement,
+// fixed-order replay degradation), the degraded-model invariants, and the
+// zero-cost guarantee when no plan is armed.
 #include "sim/fault_plan.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <deque>
+#include <fstream>
 #include <span>
 #include <string>
 #include <vector>
@@ -15,11 +18,13 @@
 #include "core/darts.hpp"
 #include "core/task_graph.hpp"
 #include "sched/eager.hpp"
+#include "sched/fixed_order.hpp"
 #include "sched/hfp.hpp"
 #include "sim/engine.hpp"
 #include "sim/errors.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/invariant_checker.hpp"
+#include "sim/run_report.hpp"
 
 namespace mg::sim {
 namespace {
@@ -378,6 +383,212 @@ TEST(FaultInjector, SchedulerAdoptionPathsCompleteEveryTask) {
     EXPECT_EQ(executed, graph.num_tasks());
     EXPECT_EQ(metrics.faults.gpu_losses, 1u);
   }
+}
+
+TEST(FaultPlan, SyntaxErrorsNameLineAndColumn) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_fault_plan("{\n  \"schema_version\": 1,\n  oops\n}", &error)
+          .has_value());
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("column"), std::string::npos) << error;
+}
+
+TEST(FaultPlan, FileErrorsArePrefixedWithTheFileName) {
+  const std::string path = ::testing::TempDir() + "/bad_plan.json";
+  { std::ofstream(path) << "{ \"schema_version\":\n"; }
+  std::string error;
+  EXPECT_FALSE(load_fault_plan_file(path, &error).has_value());
+  EXPECT_NE(error.find("bad_plan.json"), std::string::npos) << error;
+  EXPECT_NE(error.find("line"), std::string::npos) << error;
+}
+
+TEST(Checkpointing, RestoreSkipsCheckpointedPrefix) {
+  // One 100-us task on gpu0, checkpointed every 25 us (descriptor-only
+  // snapshots: no declared outputs, zero latency). Boundaries commit at 35
+  // (25%) and 60 (50%); the 75% boundary would commit at 85, after the
+  // loss at 70. The re-run on gpu1 resumes from 50%: fetch [70,80],
+  // compute the remaining 50 us [80,130], snapshotting 75% on the way.
+  core::TaskGraphBuilder builder;
+  builder.add_task(100.0, {builder.add_data(10)});
+  const core::TaskGraph graph = builder.build();
+
+  ListScheduler scheduler({{0}, {}});
+  FaultPlan plan;
+  plan.gpu_losses.push_back({70.0, 0});
+  FaultInjector injector(plan);
+  EngineConfig config;
+  config.pipeline_depth = 1;
+  config.checkpoint_interval_us = 25.0;
+  RuntimeEngine engine(graph, test_platform(2, 100), scheduler, config);
+  engine.set_fault_injector(&injector);
+  InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  const core::RunMetrics metrics = engine.run();
+
+  ASSERT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+  EXPECT_EQ(metrics.faults.checkpoints_taken, 3u);
+  EXPECT_EQ(metrics.faults.tasks_restored, 1u);
+  EXPECT_DOUBLE_EQ(metrics.faults.compute_saved_us, 50.0);
+  EXPECT_DOUBLE_EQ(metrics.makespan_us, 130.0);
+  EXPECT_EQ(metrics.per_gpu[1].tasks_executed, 1u);
+}
+
+TEST(Checkpointing, ProgressIsDurableOnlyWhenTheDrainCompletes) {
+  // The task declares 20 bytes of output, so the 50% snapshot's drain
+  // occupies the write-back channel for 20 us: initiated at 60, committed
+  // at 80. A loss at 70 lands mid-drain — the snapshot is discarded with
+  // the dead GPU and the re-run starts from scratch. A loss at 90 lands
+  // after the commit and the re-run resumes from 50%.
+  core::TaskGraphBuilder builder;
+  const TaskId t0 = builder.add_task(100.0, {builder.add_data(10)});
+  builder.set_task_output(t0, 20);
+  const core::TaskGraph graph = builder.build();
+
+  auto run = [&](double loss_us) {
+    ListScheduler scheduler({{0}, {}});
+    FaultPlan plan;
+    plan.gpu_losses.push_back({loss_us, 0});
+    FaultInjector injector(plan);
+    EngineConfig config;
+    config.pipeline_depth = 1;
+    config.checkpoint_fraction = 0.5;
+    RuntimeEngine engine(graph, test_platform(2, 100), scheduler, config);
+    engine.set_fault_injector(&injector);
+    InvariantChecker checker({.fail_fast = false});
+    engine.add_inspector(&checker);
+    const core::RunMetrics metrics = engine.run();
+    EXPECT_TRUE(checker.ok()) << checker.report().error << "\n"
+                              << checker.report().excerpt;
+    return metrics;
+  };
+
+  // Loss at 70: the snapshot dies with the GPU; the only committed
+  // checkpoint is the one the from-scratch re-run takes for itself.
+  const core::RunMetrics mid_drain = run(70.0);
+  EXPECT_EQ(mid_drain.faults.checkpoints_taken, 1u);
+  EXPECT_EQ(mid_drain.faults.tasks_restored, 0u);
+  EXPECT_DOUBLE_EQ(mid_drain.faults.compute_saved_us, 0.0);
+
+  // Loss at 90: the 50% snapshot committed at 80; the re-run resumes there
+  // (and skips the already-committed boundary, so no second snapshot).
+  const core::RunMetrics after_commit = run(90.0);
+  EXPECT_EQ(after_commit.faults.checkpoints_taken, 1u);
+  EXPECT_EQ(after_commit.faults.tasks_restored, 1u);
+  EXPECT_DOUBLE_EQ(after_commit.faults.compute_saved_us, 50.0);
+  EXPECT_EQ(after_commit.faults.checkpoint_payload_bytes, 20u);
+  EXPECT_DOUBLE_EQ(after_commit.faults.checkpoint_overhead_us, 20.0);
+}
+
+TEST(Replication, HotSoleCopyIsReplicatedAndProtectedAfterLoss) {
+  // h feeds all four gpu0 tasks; gpu1 works off p. Both are hot sole-copy
+  // inputs, so each gets a proactive replica on the other device. When
+  // gpu0 dies mid-run, h's replica on gpu1 becomes the sole surviving
+  // copy: it is promoted to eviction-protected (p's surviving copy is an
+  // original, not a replica) and the orphans re-run on gpu1 without
+  // touching the host bus again.
+  core::TaskGraphBuilder builder;
+  const DataId h = builder.add_data(10);
+  const DataId p = builder.add_data(10);
+  for (int i = 0; i < 4; ++i) builder.add_task(50.0, {h});
+  for (int i = 0; i < 4; ++i) builder.add_task(50.0, {p});
+  const core::TaskGraph graph = builder.build();
+
+  ListScheduler scheduler({{0, 1, 2, 3}, {4, 5, 6, 7}});
+  FaultPlan plan;
+  plan.gpu_losses.push_back({130.0, 0});
+  FaultInjector injector(plan);
+  EngineConfig config;
+  config.pipeline_depth = 1;
+  config.replicate_hot = true;
+  RuntimeEngine engine(graph, test_platform(2, 100), scheduler, config);
+  engine.set_fault_injector(&injector);
+  InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  const core::RunMetrics metrics = engine.run();
+
+  ASSERT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+  EXPECT_EQ(metrics.faults.replicas_created, 2u);
+  EXPECT_EQ(metrics.faults.replica_bytes, 20u);
+  EXPECT_EQ(metrics.faults.replicas_protected, 1u);
+  EXPECT_EQ(metrics.faults.post_loss_host_loads, 0u);
+  std::uint64_t executed = 0;
+  for (const auto& gpu : metrics.per_gpu) executed += gpu.tasks_executed;
+  EXPECT_EQ(executed, graph.num_tasks());
+}
+
+TEST(Replication, ReplicasAreShedFirstUnderMemoryPressure) {
+  // gpu1 (25 bytes) holds p plus the proactive replica of h. When t4
+  // demands q there is no free room: the replica is shed ahead of any
+  // policy-chosen eviction, even though p is also evictable. The planned
+  // loss sits past the makespan, so the replica is never protected.
+  core::TaskGraphBuilder builder;
+  const DataId h = builder.add_data(10);
+  const DataId p = builder.add_data(10);
+  const DataId q = builder.add_data(10);
+  for (int i = 0; i < 3; ++i) builder.add_task(50.0, {h});
+  builder.add_task(50.0, {p});
+  builder.add_task(50.0, {q});
+  const core::TaskGraph graph = builder.build();
+
+  ListScheduler scheduler({{0, 1, 2}, {3, 4}});
+  FaultPlan plan;
+  plan.gpu_losses.push_back({10000.0, 0});  // armed but past the makespan
+  FaultInjector injector(plan);
+  EngineConfig config;
+  config.pipeline_depth = 1;
+  config.replicate_hot = true;
+  RuntimeEngine engine(graph, test_platform(2, 25), scheduler, config);
+  engine.set_fault_injector(&injector);
+  InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  const core::RunMetrics metrics = engine.run();
+
+  ASSERT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+  EXPECT_EQ(metrics.faults.replicas_created, 1u);
+  EXPECT_EQ(metrics.faults.replicas_shed, 1u);
+  EXPECT_EQ(metrics.faults.replicas_protected, 0u);
+  std::uint64_t executed = 0;
+  for (const auto& gpu : metrics.per_gpu) executed += gpu.tasks_executed;
+  EXPECT_EQ(executed, graph.num_tasks());
+}
+
+TEST(ReplayDegradation, FixedOrderLossReassignsTheRecordedSuffix) {
+  // A recorded two-GPU schedule loses gpu0 mid-replay. The scheduler must
+  // absorb the orphans and gpu0's unexecuted recorded suffix onto gpu1 and
+  // report the divergence point instead of rejecting the run.
+  core::TaskGraphBuilder builder;
+  for (int i = 0; i < 8; ++i) builder.add_task(10.0, {builder.add_data(10)});
+  const core::TaskGraph graph = builder.build();
+
+  sched::FixedOrderScheduler scheduler({{0, 1, 2, 3}, {4, 5, 6, 7}});
+  FaultPlan plan;
+  plan.gpu_losses.push_back({35.0, 0});
+  FaultInjector injector(plan);
+  RuntimeEngine engine(graph, test_platform(2, 100), scheduler);
+  engine.set_fault_injector(&injector);
+  InvariantChecker checker({.fail_fast = false});
+  RunReportCollector collector;
+  engine.add_inspector(&checker);
+  engine.add_inspector(&collector);
+  const core::RunMetrics metrics = engine.run();
+
+  ASSERT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+  EXPECT_EQ(metrics.faults.replay_divergences, 1u);
+  EXPECT_GE(metrics.faults.replay_reassigned_tasks, 1u);
+  std::uint64_t executed = 0;
+  for (const auto& gpu : metrics.per_gpu) executed += gpu.tasks_executed;
+  EXPECT_EQ(executed, graph.num_tasks());
+
+  const auto divergence = scheduler.replay_divergence(0);
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_LT(divergence->divergence_index, 4u);
+  ASSERT_EQ(collector.report().faults.replay_divergence.size(), 1u);
+  EXPECT_EQ(collector.report().faults.replay_divergence[0].gpu, 0u);
 }
 
 TEST(FaultInjector, EmptyPlanIsBitIdenticalToNoInjector) {

@@ -2,8 +2,9 @@
 // sharing vs. the no-share ablation), arrival processes, admission control,
 // the streamed serving loop under every scheduler (with the online
 // InvariantChecker), deadline scoring, cross-job reuse measurement,
-// bit-identical run reports, watchdog diagnostics that name the in-flight
-// job count, and fault-plan composition with adoption attribution.
+// bit-identical run reports (including checkpointed permanent-GPU-loss
+// runs), watchdog diagnostics that name the in-flight job count, and
+// fault-plan composition with adoption attribution.
 #include "serve/serve_engine.hpp"
 
 #include <gtest/gtest.h>
@@ -367,6 +368,45 @@ TEST(ServeEngine, ReportsAreBitIdenticalAcrossRuns) {
           << arrival_mode_name(mode) << (with_faults ? " faulted" : "");
       EXPECT_NE(first.find("\"serving\""), std::string::npos);
     }
+  }
+}
+
+/// Streamed run under a permanent GPU loss with checkpointing and hot-data
+/// replication armed — serialized report for the determinism guarantee.
+std::string checkpointed_loss_report_json(const SchedulerFactory& factory) {
+  const std::vector<core::TaskGraph> templates = {make_template()};
+  const std::vector<JobSpec> jobs(15);
+  ServeConfig config;
+  config.arrival.mode = ArrivalMode::kClosedLoop;
+  config.arrival.concurrency = 3;
+  config.engine.checkpoint_interval_us = 2.0;
+  config.engine.replicate_hot = true;
+  const std::unique_ptr<core::Scheduler> scheduler = factory();
+  ServeEngine engine(templates, jobs, test_platform(2, 100), *scheduler,
+                     config);
+  sim::FaultPlan plan;
+  plan.gpu_losses.push_back({150.0, 1});
+  sim::FaultInjector injector(plan);
+  engine.set_fault_injector(&injector);
+  sim::InvariantChecker checker({.fail_fast = false});
+  sim::RunReportCollector collector({.context = "checkpointed-loss"});
+  engine.add_inspector(&checker);
+  engine.add_inspector(&collector);
+  const ServeResult result = engine.run();
+  EXPECT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+  sim::RunReport report = collector.report();
+  report.serving = result.serving;
+  return sim::run_report_to_json(report);
+}
+
+TEST(ServeEngine, CheckpointedGpuLossIsBitIdenticalAndCheckerClean) {
+  for (const auto& [name, factory] : schedulers()) {
+    const std::string first = checkpointed_loss_report_json(factory);
+    const std::string second = checkpointed_loss_report_json(factory);
+    EXPECT_EQ(first, second) << name;
+    EXPECT_NE(first.find("\"checkpoints\""), std::string::npos) << name;
+    EXPECT_NE(first.find("\"replicas\""), std::string::npos) << name;
   }
 }
 
