@@ -332,7 +332,19 @@ void add_standard_flags(util::Flags& flags, std::uint32_t default_gpus,
                      "set)")
       .define_bool("replicate-hot", false,
                    "keep a second replica of hot shared data on another GPU "
-                   "while the fault plan threatens GPU losses");
+                   "while the fault plan threatens GPU losses")
+      .define_int("nodes", 1,
+                  "cluster nodes the GPUs are split across (1 = the paper's "
+                  "single-node platform)")
+      .define_double("net-bandwidth", 12.5,
+                     "inter-node network bandwidth in GB/s (used when "
+                     "--nodes > 1)")
+      .define_double("net-latency", 25.0,
+                     "inter-node network latency in us (used when "
+                     "--nodes > 1)")
+      .define_int("host-mem-mb", 0,
+                  "per-node host cache of remote data in MB (0 = unbounded; "
+                  "used when --nodes > 1)");
 }
 
 FigureConfig config_from_flags(const util::Flags& flags, std::string figure,
@@ -343,6 +355,13 @@ FigureConfig config_from_flags(const util::Flags& flags, std::string figure,
   config.platform = core::make_v100_platform(
       static_cast<std::uint32_t>(flags.get_int("gpus")),
       static_cast<std::uint64_t>(flags.get_int("mem-mb")) * core::kMB);
+  config.platform.num_nodes =
+      static_cast<std::uint32_t>(flags.get_int("nodes"));
+  config.platform.net_bandwidth_bytes_per_s =
+      flags.get_double("net-bandwidth") * 1e9;
+  config.platform.net_latency_us = flags.get_double("net-latency");
+  config.platform.host_memory_bytes =
+      static_cast<std::uint64_t>(flags.get_int("host-mem-mb")) * core::kMB;
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.repetitions = static_cast<std::uint32_t>(flags.get_int("reps"));
   config.output_path = flags.get_string("out");

@@ -138,8 +138,8 @@ class RunObserver {
 
 /// Registers the standard figure flags (--gpus, --mem-mb, --reps, --seed,
 /// --out, --full, --jobs, --run-report, --chrome-trace, --fault-plan,
-/// --checkpoint-interval, --checkpoint-fraction, --replicate-hot) on
-/// `flags`.
+/// --checkpoint-interval, --checkpoint-fraction, --replicate-hot, --nodes,
+/// --net-bandwidth, --net-latency, --host-mem-mb) on `flags`.
 void add_standard_flags(util::Flags& flags, std::uint32_t default_gpus,
                         std::int64_t default_mem_mb = 500);
 

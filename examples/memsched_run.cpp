@@ -16,6 +16,8 @@
 #include "analysis/schedule_io.hpp"
 #include "analysis/trace_export.hpp"
 #include "analysis/validate.hpp"
+#include "cluster/hierarchical.hpp"
+#include "cluster/locality.hpp"
 #include "core/darts.hpp"
 #include "sched/dmda.hpp"
 #include "sched/eager.hpp"
@@ -59,6 +61,15 @@ std::unique_ptr<core::Scheduler> make_scheduler(const std::string& name) {
     return std::make_unique<core::DartsScheduler>(
         core::DartsOptions{.use_luf = true, .incremental = true});
   }
+  if (name == "locality") return std::make_unique<cluster::LocalityScheduler>();
+  // hier:<inner> wraps any of the above in the hierarchical inter-node
+  // partitioner (one <inner> instance per cluster node).
+  if (name.rfind("hier:", 0) == 0) {
+    const std::string inner = name.substr(5);
+    if (make_scheduler(inner) == nullptr) return nullptr;  // validate early
+    return std::make_unique<cluster::HierarchicalScheduler>(
+        [inner] { return make_scheduler(inner); });
+  }
   return nullptr;
 }
 
@@ -100,7 +111,7 @@ int main(int argc, char** argv) {
       "random\n"
       "schedulers: eager, dmda, dmdar, mhfp, hmetis+r, darts, darts+luf,\n"
       "            darts+luf+opti, darts+luf-3inputs, darts+luf+opti-3inputs,\n"
-      "            darts+luf+incr");
+      "            darts+luf+incr, locality, hier:<any of the above>");
   flags.define_string("workload", "matmul2d", "workload generator")
       .define_int("n", 20, "workload dimension (N)")
       .define_string("scheduler", "darts+luf", "scheduling policy")
@@ -134,7 +145,15 @@ int main(int argc, char** argv) {
                      "task (0 = off)")
       .define_bool("replicate-hot", false,
                    "keep a second replica of hot shared data on another GPU "
-                   "while the fault plan threatens GPU losses");
+                   "while the fault plan threatens GPU losses")
+      .define_int("nodes", 1, "cluster nodes the GPUs are split across")
+      .define_double("net-bandwidth", 12.5,
+                     "inter-node network bandwidth in GB/s (--nodes > 1)")
+      .define_double("net-latency", 25.0,
+                     "inter-node network latency in us (--nodes > 1)")
+      .define_int("host-mem-mb", 0,
+                  "per-node host cache of remote data in MB (0 = unbounded; "
+                  "--nodes > 1)");
   if (!flags.parse(argc, argv)) return 0;
 
   using namespace mg;
@@ -149,6 +168,12 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(flags.get_int("gpus")),
       static_cast<std::uint64_t>(flags.get_int("mem-mb")) * core::kMB);
   platform.nvlink_enabled = flags.get_bool("nvlink");
+  platform.num_nodes = static_cast<std::uint32_t>(flags.get_int("nodes"));
+  platform.net_bandwidth_bytes_per_s =
+      flags.get_double("net-bandwidth") * 1e9;
+  platform.net_latency_us = flags.get_double("net-latency");
+  platform.host_memory_bytes =
+      static_cast<std::uint64_t>(flags.get_int("host-mem-mb")) * core::kMB;
   if (!flags.get_string("speeds").empty()) {
     std::string spec = flags.get_string("speeds");
     std::vector<double> speeds;
@@ -225,9 +250,20 @@ int main(int argc, char** argv) {
               static_cast<double>(graph.working_set_bytes()) / 1e6);
   std::printf("scheduler  : %s\n",
               std::string(scheduler->name()).c_str());
-  std::printf("platform   : %u GPU(s) x %.0f MB%s\n", platform.num_gpus,
-              static_cast<double>(platform.gpu_memory_bytes) / 1e6,
-              platform.nvlink_enabled ? " + NVLink" : "");
+  if (platform.is_cluster()) {
+    std::printf("platform   : %u GPU(s) x %.0f MB over %u nodes "
+                "(net %.1f GB/s + %.0f us)%s\n",
+                platform.num_gpus,
+                static_cast<double>(platform.gpu_memory_bytes) / 1e6,
+                platform.num_nodes,
+                platform.net_bandwidth_bytes_per_s / 1e9,
+                platform.net_latency_us,
+                platform.nvlink_enabled ? " + NVLink" : "");
+  } else {
+    std::printf("platform   : %u GPU(s) x %.0f MB%s\n", platform.num_gpus,
+                static_cast<double>(platform.gpu_memory_bytes) / 1e6,
+                platform.nvlink_enabled ? " + NVLink" : "");
+  }
   std::printf("gflops     : %.0f (peak %.0f)\n", metrics.achieved_gflops(),
               platform.peak_gflops());
   std::printf("makespan   : %.2f ms\n", metrics.wall_makespan_us() / 1e3);

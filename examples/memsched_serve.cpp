@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/locality.hpp"
 #include "core/darts.hpp"
 #include "sched/dmda.hpp"
 #include "sched/eager.hpp"
@@ -36,6 +37,7 @@ std::unique_ptr<core::Scheduler> make_scheduler(const std::string& name) {
   if (name == "dmdar") return std::make_unique<sched::DmdaScheduler>();
   if (name == "mhfp") return std::make_unique<sched::HfpScheduler>();
   if (name == "darts+luf") return std::make_unique<core::DartsScheduler>();
+  if (name == "locality") return std::make_unique<cluster::LocalityScheduler>();
   return nullptr;
 }
 
@@ -44,13 +46,19 @@ std::unique_ptr<core::Scheduler> make_scheduler(const std::string& name) {
 int main(int argc, char** argv) {
   util::Flags flags(
       "memsched_serve: stream jobs through the serving subsystem.\n"
-      "schedulers: eager, dmdar, mhfp, darts+luf");
+      "schedulers: eager, dmdar, mhfp, darts+luf, locality");
   flags.define_string("workload", "matmul2d", "job template: matmul2d, "
                       "cholesky")
       .define_int("n", 8, "template dimension (N)")
       .define_string("scheduler", "darts+luf", "scheduling policy")
       .define_int("gpus", 2, "number of GPUs")
       .define_int("mem-mb", 500, "GPU memory in MB")
+      .define_int("nodes", 1, "cluster nodes the GPUs are spread over")
+      .define_double("net-bandwidth", 12.5,
+                     "inter-node network bandwidth in GB/s")
+      .define_double("net-latency", 25.0, "inter-node network latency in µs")
+      .define_int("host-mem-mb", 0,
+                  "per-node host cache for remote data in MB (0 = unbounded)")
       .define_int("seed", 42, "RNG seed (arrivals and engine)")
       .define_string("arrival", "poisson", "poisson | closed-loop")
       .define_double("rate", 100.0, "Poisson arrival rate (jobs/s)")
@@ -69,7 +77,7 @@ int main(int argc, char** argv) {
                      "JSON fault plan injected mid-stream "
                      "(docs/ROBUSTNESS.md)")
       .define_string("run-report", "",
-                     "write the schema-v3 JSON run report (with serving "
+                     "write the schema-v5 JSON run report (with serving "
                      "section) to this path");
   if (!flags.parse(argc, argv)) return 0;
 
@@ -98,9 +106,19 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const core::Platform platform = core::make_v100_platform(
+  core::Platform platform = core::make_v100_platform(
       static_cast<std::uint32_t>(flags.get_int("gpus")),
       static_cast<std::uint64_t>(flags.get_int("mem-mb")) * core::kMB);
+  platform.num_nodes = static_cast<std::uint32_t>(flags.get_int("nodes"));
+  platform.net_bandwidth_bytes_per_s =
+      flags.get_double("net-bandwidth") * 1e9;
+  platform.net_latency_us = flags.get_double("net-latency");
+  platform.host_memory_bytes =
+      static_cast<std::uint64_t>(flags.get_int("host-mem-mb")) * core::kMB;
+  if (platform.num_nodes == 0 || platform.num_nodes > platform.num_gpus) {
+    std::fprintf(stderr, "--nodes must be in 1..%u\n", platform.num_gpus);
+    return 1;
+  }
 
   std::vector<serve::JobSpec> jobs(
       static_cast<std::size_t>(flags.get_int("jobs")));
@@ -158,8 +176,16 @@ int main(int argc, char** argv) {
               flags.get_string("workload").c_str(), n,
               templates[0].num_tasks(),
               static_cast<double>(templates[0].working_set_bytes()) / 1e6);
-  std::printf("scheduler  : %s on %u GPU(s)\n",
-              std::string(scheduler->name()).c_str(), platform.num_gpus);
+  if (platform.is_cluster()) {
+    std::printf("scheduler  : %s on %u GPU(s) over %u nodes "
+                "(net %.1f GB/s + %.0f us)\n",
+                std::string(scheduler->name()).c_str(), platform.num_gpus,
+                platform.num_nodes, platform.net_bandwidth_bytes_per_s / 1e9,
+                platform.net_latency_us);
+  } else {
+    std::printf("scheduler  : %s on %u GPU(s)\n",
+                std::string(scheduler->name()).c_str(), platform.num_gpus);
+  }
   std::printf("arrival    : %s (%s)\n",
               std::string(serve::arrival_mode_name(*arrival)).c_str(),
               *arrival == serve::ArrivalMode::kPoisson

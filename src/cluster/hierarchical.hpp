@@ -1,0 +1,110 @@
+// Hierarchical (inter-node / intra-node) scheduling for multi-node
+// platforms.
+//
+// The cluster generalization keeps the paper's schedulers intact: a
+// HierarchicalScheduler first splits the task graph *between nodes* with the
+// K-way hypergraph partitioner (minimizing the connectivity metric — which,
+// with round-robin data homes, is exactly the inter-node network traffic a
+// data item incurs when several nodes fetch it), then runs one unmodified
+// intra-node scheduler per node over that node's sub-graph, seen through a
+// translating adapter that maps between global and node-local task/data ids.
+// Cross-node work stealing kicks in only when a node's sub-schedule drains:
+// an idle node pops from the most-loaded remote node's inner scheduler, so
+// partition imbalance cannot strand GPUs while other nodes still hold work.
+//
+// The wrapper is batch-only (begin_streaming declines; use
+// cluster::LocalityScheduler for streamed multi-node runs) and declines
+// orphan adoption on GPU loss (the engine requeues).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/eviction.hpp"
+#include "core/memory_view.hpp"
+#include "core/scheduler.hpp"
+#include "hypergraph/partitioner.hpp"
+
+namespace mg::cluster {
+
+/// Creates one fresh intra-node scheduler (EAGER, DMDAR, mHFP, DARTS+LUF,
+/// ...) per node. Called once per node during prepare().
+using InnerSchedulerFactory =
+    std::function<std::unique_ptr<core::Scheduler>()>;
+
+struct HierarchicalOptions {
+  /// Forwarded to the inter-node hypergraph partition (num_parts and seed
+  /// are overwritten with the node count / run seed).
+  hyper::PartitionerConfig partition;
+
+  /// Cross-node stealing when a node's sub-schedule drains.
+  bool steal = true;
+};
+
+class HierarchicalScheduler final : public core::Scheduler {
+ public:
+  HierarchicalScheduler(InnerSchedulerFactory factory,
+                        HierarchicalOptions options = {});
+  ~HierarchicalScheduler() override;
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  void prepare(const core::TaskGraph& graph, const core::Platform& platform,
+               std::uint64_t seed) override;
+
+  [[nodiscard]] core::TaskId pop_task(core::GpuId gpu,
+                                      const core::MemoryView& memory) override;
+
+  void notify_task_complete(core::GpuId gpu, core::TaskId task) override;
+  void notify_data_loaded(core::GpuId gpu, core::DataId data) override;
+  void notify_data_evicted(core::GpuId gpu, core::DataId data) override;
+
+  [[nodiscard]] std::vector<core::DataId> prefetch_hints(
+      core::GpuId gpu) override;
+
+  [[nodiscard]] core::EvictionPolicy* eviction_policy(core::GpuId gpu) override;
+
+  /// Cross-node steals so far (tasks popped from a remote node's inner
+  /// scheduler); patched into RunReport::Cluster::steals by the bench
+  /// driver.
+  [[nodiscard]] std::uint64_t steal_count() const { return steals_; }
+
+  /// Inter-node partition of the last prepare() (task -> node), empty on a
+  /// single-node platform.
+  [[nodiscard]] const std::vector<std::uint32_t>& task_node() const {
+    return task_node_;
+  }
+
+ private:
+  struct Node;  // per-node inner scheduler + id translation tables
+
+  /// Steal one task for `gpu` (whose own node drained) from the remote node
+  /// holding the most unpopped work.
+  [[nodiscard]] core::TaskId steal_for(core::GpuId gpu,
+                                       const core::MemoryView& memory);
+
+  InnerSchedulerFactory factory_;
+  HierarchicalOptions options_;
+  std::string name_ = "hier";
+  const core::TaskGraph* graph_ = nullptr;
+  core::Platform platform_;
+  /// Single-node platform: one inner over the whole graph, no translation.
+  bool identity_ = true;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::uint32_t> task_node_;
+  /// Where each popped task is bookkept: the node whose inner scheduler
+  /// issued it and the node-local GPU id it believes ran it (differs from
+  /// the physical GPU only for stolen tasks).
+  struct Issued {
+    std::uint32_t node = 0;
+    core::GpuId local_gpu = core::kInvalidGpu;
+  };
+  std::vector<Issued> issued_;
+  std::uint64_t steals_ = 0;
+};
+
+}  // namespace mg::cluster

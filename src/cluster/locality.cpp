@@ -1,0 +1,98 @@
+#include "cluster/locality.hpp"
+
+#include <algorithm>
+
+namespace mg::cluster {
+
+LocalityScheduler::LocalityScheduler(LocalityOptions options)
+    : options_(options) {}
+
+void LocalityScheduler::prepare(const core::TaskGraph& graph,
+                                const core::Platform& platform,
+                                std::uint64_t seed) {
+  (void)seed;  // the policy is deterministic: no random choices to drive
+  graph_ = &graph;
+  platform_ = platform;
+  pool_.clear();
+  if (!streaming_) {
+    pool_.reserve(graph.num_tasks());
+    for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
+      pool_.push_back(task);
+    }
+  }
+  const std::uint32_t num_nodes =
+      platform.is_cluster() ? platform.num_nodes : 1;
+  node_local_.assign(static_cast<std::size_t>(num_nodes) * graph.num_data(),
+                     0);
+  for (core::DataId data = 0; data < graph.num_data(); ++data) {
+    const core::NodeId home =
+        platform.is_cluster() ? platform.home_node_of(data) : 0;
+    node_local_[static_cast<std::size_t>(home) * graph.num_data() + data] = 1;
+  }
+}
+
+void LocalityScheduler::notify_job_arrived(
+    std::uint32_t job, std::span<const core::TaskId> tasks) {
+  (void)job;
+  pool_.insert(pool_.end(), tasks.begin(), tasks.end());
+}
+
+void LocalityScheduler::notify_data_loaded(core::GpuId gpu,
+                                           core::DataId data) {
+  const core::NodeId node =
+      platform_.is_cluster() ? platform_.node_of(gpu) : 0;
+  node_local_[static_cast<std::size_t>(node) * graph_->num_data() + data] = 1;
+}
+
+double LocalityScheduler::fetch_cost_us(core::GpuId gpu, core::TaskId task,
+                                        const core::MemoryView& memory,
+                                        std::uint64_t* present_bytes) const {
+  const core::NodeId node =
+      platform_.is_cluster() ? platform_.node_of(gpu) : 0;
+  const std::size_t row =
+      static_cast<std::size_t>(node) * graph_->num_data();
+  double cost = 0.0;
+  std::uint64_t present = 0;
+  for (core::DataId data : graph_->inputs(task)) {
+    const std::uint64_t size = graph_->data_size(data);
+    if (memory.is_present_or_fetching(data)) {
+      present += size;
+    } else if (node_local_[row + data] != 0) {
+      cost += platform_.transfer_time_us(size);
+    } else {
+      cost += platform_.internode_transfer_time_us(size);
+    }
+  }
+  *present_bytes = present;
+  return cost;
+}
+
+core::TaskId LocalityScheduler::pop_task(core::GpuId gpu,
+                                         const core::MemoryView& memory) {
+  if (pool_.empty()) return core::kInvalidTask;
+  const std::size_t scan =
+      options_.scan_limit > 0
+          ? std::min(options_.scan_limit, pool_.size())
+          : pool_.size();
+  std::size_t best_index = 0;
+  double best_cost = 0.0;
+  std::uint64_t best_present = 0;
+  bool have_best = false;
+  for (std::size_t i = 0; i < scan; ++i) {
+    std::uint64_t present = 0;
+    const double cost = fetch_cost_us(gpu, pool_[i], memory, &present);
+    if (!have_best || cost < best_cost ||
+        (cost == best_cost && present > best_present)) {
+      have_best = true;
+      best_cost = cost;
+      best_present = present;
+      best_index = i;
+      if (cost == 0.0 && present > 0) break;  // free task with reuse: take it
+    }
+  }
+  const core::TaskId task = pool_[best_index];
+  pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(best_index));
+  return task;
+}
+
+}  // namespace mg::cluster

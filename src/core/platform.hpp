@@ -17,9 +17,31 @@ namespace mg::core {
 inline constexpr std::uint64_t kMB = 1'000'000;
 inline constexpr std::uint64_t kGB = 1'000'000'000;
 
+/// Identifier of a node (machine) in a multi-node cluster.
+using NodeId = std::uint32_t;
+
 struct Platform {
   /// Number of GPUs (K).
   std::uint32_t num_gpus = 1;
+
+  /// Number of nodes the GPUs are spread over. 1 (the default) is the
+  /// paper's single-machine setup; with N > 1 the GPUs are split into N
+  /// contiguous equally-sized groups, each node with its own host memory,
+  /// PCI bus and a network link to every other node.
+  std::uint32_t num_nodes = 1;
+
+  /// Per-node host-memory budget for caching *remote* data (bytes);
+  /// 0 = unbounded. Data homed on a node is always available from its own
+  /// host memory; this bounds only the cache of data fetched over the
+  /// network from other nodes.
+  std::uint64_t host_memory_bytes = 0;
+
+  /// Bandwidth of each node's network egress link, bytes per second
+  /// (default: ~100 Gb/s Ethernet/InfiniBand class).
+  double net_bandwidth_bytes_per_s = 12.5e9;
+
+  /// Fixed per-message network latency, microseconds.
+  double net_latency_us = 25.0;
 
   /// Usable bytes of each GPU memory (M, uniform across GPUs).
   std::uint64_t gpu_memory_bytes = 500 * kMB;
@@ -51,17 +73,74 @@ struct Platform {
   /// Fixed per-transfer latency on a peer link, microseconds.
   double nvlink_latency_us = 5.0;
 
+  /// Single source of truth for the serial-link cost model: a transfer of
+  /// `bytes` over a link of `bandwidth_bytes_per_s` pays `latency_us` of
+  /// fixed setup plus the bandwidth term. Every link in the system — host
+  /// PCI bus, NVLink peer ports, inter-node network — prices transfers with
+  /// this formula, both in the simulator (sim/bus.hpp) and in the
+  /// model-based schedulers' predictions.
+  [[nodiscard]] static double link_time_us(std::uint64_t bytes,
+                                           double bandwidth_bytes_per_s,
+                                           double latency_us) {
+    return latency_us +
+           static_cast<double>(bytes) / bandwidth_bytes_per_s * 1e6;
+  }
+
   /// Predicted transfer time for `bytes`, in microseconds. Used both by the
   /// simulator and by model-based schedulers (DMDA's comm_k term).
   [[nodiscard]] double transfer_time_us(std::uint64_t bytes) const {
-    return bus_latency_us +
-           static_cast<double>(bytes) / bus_bandwidth_bytes_per_s * 1e6;
+    return link_time_us(bytes, bus_bandwidth_bytes_per_s, bus_latency_us);
   }
 
   /// Predicted transfer time over a peer link, in microseconds.
   [[nodiscard]] double nvlink_transfer_time_us(std::uint64_t bytes) const {
-    return nvlink_latency_us +
-           static_cast<double>(bytes) / nvlink_bandwidth_bytes_per_s * 1e6;
+    return link_time_us(bytes, nvlink_bandwidth_bytes_per_s,
+                        nvlink_latency_us);
+  }
+
+  /// Predicted transfer time over one inter-node network hop.
+  [[nodiscard]] double net_transfer_time_us(std::uint64_t bytes) const {
+    return link_time_us(bytes, net_bandwidth_bytes_per_s, net_latency_us);
+  }
+
+  /// Predicted cost of moving `bytes` from a remote node's host memory to a
+  /// local GPU: PCI out of the remote node, one network hop, PCI into the
+  /// destination GPU.
+  [[nodiscard]] double internode_transfer_time_us(std::uint64_t bytes) const {
+    return 2.0 * transfer_time_us(bytes) + net_transfer_time_us(bytes);
+  }
+
+  /// True when the platform spans more than one node.
+  [[nodiscard]] bool is_cluster() const { return num_nodes > 1; }
+
+  /// Node hosting `gpu`: GPUs are split into num_nodes contiguous groups
+  /// (GPUs 0..K/N-1 on node 0, and so on).
+  [[nodiscard]] NodeId node_of(GpuId gpu) const {
+    if (num_nodes <= 1) return 0;
+    return static_cast<NodeId>(static_cast<std::uint64_t>(gpu) * num_nodes /
+                               num_gpus);
+  }
+
+  /// First GPU of `node` (the contiguous block [gpu_begin, gpu_end)).
+  [[nodiscard]] GpuId node_gpu_begin(NodeId node) const {
+    if (num_nodes <= 1) return 0;
+    // Inverse of node_of's block mapping: smallest g with g*N/K == node.
+    return static_cast<GpuId>(
+        (static_cast<std::uint64_t>(node) * num_gpus + num_nodes - 1) /
+        num_nodes);
+  }
+
+  /// One past the last GPU of `node`.
+  [[nodiscard]] GpuId node_gpu_end(NodeId node) const {
+    if (num_nodes <= 1) return num_gpus;
+    return node_gpu_begin(node + 1);
+  }
+
+  /// Home node of a data item: data are distributed round-robin over the
+  /// nodes' host memories (data d lives on node d mod N).
+  [[nodiscard]] NodeId home_node_of(DataId data) const {
+    if (num_nodes <= 1) return 0;
+    return static_cast<NodeId>(data % num_nodes);
   }
 
   /// Throughput of one device in GFlop/s.

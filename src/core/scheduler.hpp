@@ -66,6 +66,14 @@ class Scheduler {
     (void)tasks;
   }
 
+  /// Dispatch priority of `job` (serve::JobSpec::priority — higher first).
+  /// Announced by the serving engine once per job, before any arrival, so a
+  /// scheduler can order its pops by it. Default: ignore (FIFO dispatch).
+  virtual void notify_job_priority(std::uint32_t job, std::uint32_t priority) {
+    (void)job;
+    (void)priority;
+  }
+
   /// Every task of job `job` completed; purely informational (queue pruning,
   /// per-job accounting).
   virtual void notify_job_retired(std::uint32_t job) { (void)job; }

@@ -1,5 +1,7 @@
 #include "sched/work_queue_scheduler.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace mg::sched {
@@ -23,7 +25,22 @@ void WorkQueueScheduler::prepare(const core::TaskGraph& graph,
 
 void WorkQueueScheduler::notify_job_arrived(
     std::uint32_t job, std::span<const core::TaskId> tasks) {
+  if (has_priorities_) {
+    const std::uint32_t priority =
+        job < job_priority_.size() ? job_priority_[job] : 0;
+    if (task_priority_.size() < graph_->num_tasks()) {
+      task_priority_.resize(graph_->num_tasks(), 0);
+    }
+    for (core::TaskId task : tasks) task_priority_[task] = priority;
+  }
   partition_arrival(*graph_, *platform_, job, tasks, dead_, queues_);
+}
+
+void WorkQueueScheduler::notify_job_priority(std::uint32_t job,
+                                             std::uint32_t priority) {
+  if (job >= job_priority_.size()) job_priority_.resize(job + 1, 0);
+  job_priority_[job] = priority;
+  if (priority > 0) has_priorities_ = true;
 }
 
 void WorkQueueScheduler::partition_arrival(
@@ -52,12 +69,32 @@ core::TaskId WorkQueueScheduler::pop_task(core::GpuId gpu,
   std::deque<core::TaskId>& queue = queues_[gpu];
   if (queue.empty() && stealing_) steal(gpu);
   if (queue.empty()) return core::kInvalidTask;
-  if (!ready_) {
+  std::size_t window = ready_window_;
+  if (has_priorities_) {
+    // Serve strictly by job priority: only the front run of top-priority
+    // tasks is eligible this pop (Ready may still reorder within it).
+    window = std::min(window, promote_priority_front(queue));
+  }
+  if (!ready_ || window <= 1) {
     const core::TaskId task = queue.front();
     queue.pop_front();
     return task;
   }
-  return pop_ready(queue, *graph_, memory, ready_window_);
+  return pop_ready(queue, *graph_, memory, window);
+}
+
+std::size_t WorkQueueScheduler::promote_priority_front(
+    std::deque<core::TaskId>& queue) {
+  std::uint32_t top = 0;
+  for (core::TaskId task : queue) {
+    top = std::max(top, task_priority(task));
+  }
+  const auto is_top = [this, top](core::TaskId task) {
+    return task_priority(task) == top;
+  };
+  std::stable_partition(queue.begin(), queue.end(), is_top);
+  return static_cast<std::size_t>(
+      std::count_if(queue.begin(), queue.end(), is_top));
 }
 
 bool WorkQueueScheduler::notify_gpu_lost(

@@ -39,6 +39,12 @@ class WorkQueueScheduler : public core::Scheduler {
   void notify_job_arrived(std::uint32_t job,
                           std::span<const core::TaskId> tasks) final;
 
+  /// Streaming dispatch priority (serve::JobSpec::priority): tasks of a
+  /// higher-priority job pop before any lower-priority task still queued on
+  /// the same GPU. All-zero priorities (the default, and every batch run)
+  /// leave pop order untouched.
+  void notify_job_priority(std::uint32_t job, std::uint32_t priority) final;
+
   [[nodiscard]] const std::deque<core::TaskId>& queue(core::GpuId gpu) const {
     return queues_[gpu];
   }
@@ -69,6 +75,16 @@ class WorkQueueScheduler : public core::Scheduler {
   /// Moves the tail half of the most loaded queue into `thief`'s queue.
   void steal(core::GpuId thief);
 
+  /// Priority of a queued task (its job's announced priority, 0 otherwise).
+  [[nodiscard]] std::uint32_t task_priority(core::TaskId task) const {
+    return task < task_priority_.size() ? task_priority_[task] : 0;
+  }
+
+  /// Reorders `queue` so its highest-priority tasks come first (stable), and
+  /// returns how many share that top priority — the window pop may serve.
+  [[nodiscard]] std::size_t promote_priority_front(
+      std::deque<core::TaskId>& queue);
+
   bool stealing_;
   bool ready_;
   std::size_t ready_window_;
@@ -78,6 +94,13 @@ class WorkQueueScheduler : public core::Scheduler {
   std::vector<std::deque<core::TaskId>> queues_;
   std::vector<std::uint8_t> dead_;  ///< GPUs lost to fault injection
   std::uint64_t steal_events_ = 0;
+  /// Job priorities announced via notify_job_priority and their per-task
+  /// projection (filled as jobs arrive). `has_priorities_` arms the
+  /// priority-aware pop only when some job's priority is nonzero, so the
+  /// default all-zero case keeps the exact FIFO/Ready order.
+  std::vector<std::uint32_t> job_priority_;
+  std::vector<std::uint32_t> task_priority_;
+  bool has_priorities_ = false;
 };
 
 }  // namespace mg::sched

@@ -3,8 +3,8 @@
 // A job is one instance of a workload task graph submitted at some point of
 // simulated time: it carries the template it instantiates, an optional
 // latency deadline (an SLO measured from submission, not a scheduling
-// input — the model has no preemption) and an admission priority used only
-// to order the admission queue.
+// input — the model has no preemption) and a priority ordering both the
+// admission queue and — for priority-aware schedulers — task dispatch.
 #pragma once
 
 #include <cstdint>
@@ -21,7 +21,11 @@ struct JobSpec {
   /// job with a deadline counts as a miss (it never ran at all).
   double deadline_us = 0.0;
 
-  /// Admission-queue priority (higher pops first; FIFO within a level).
+  /// Priority (higher first; FIFO within a level). Orders the admission
+  /// queue, and is announced to the scheduler
+  /// (Scheduler::notify_job_priority) so priority-aware policies — the
+  /// work-queue family — dispatch a higher-priority job's tasks before
+  /// lower-priority tasks queued on the same GPU.
   std::uint32_t priority = 0;
 };
 

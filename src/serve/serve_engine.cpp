@@ -31,6 +31,11 @@ ServeEngine::ServeEngine(std::span<const core::TaskGraph> templates,
                  union_.job_footprint_bytes),
       engine_(union_.graph, platform, scheduler, config.engine) {
   engine_.enable_streaming(union_.task_job, union_.num_jobs);
+  // Announce every job's dispatch priority up front — before any arrival —
+  // so priority-aware schedulers can order their pops from the first job on.
+  for (std::uint32_t job = 0; job < jobs_.size(); ++job) {
+    scheduler.notify_job_priority(job, jobs_[job].priority);
+  }
   tracker_.bind(union_.task_job, union_.num_jobs);
   engine_.add_inspector(&tracker_);
   engine_.set_job_retired_callback(

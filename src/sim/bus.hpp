@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/ids.hpp"
+#include "core/platform.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/transfer_router.hpp"
 
@@ -170,7 +171,7 @@ class Bus : public TransferRouter {
       Request request = std::move(front);
       queue->pop_front();
       const double duration =
-          latency_us_ + static_cast<double>(request.bytes) / bandwidth_ * 1e6;
+          core::Platform::link_time_us(request.bytes, bandwidth_, latency_us_);
       busy_time_us_ += duration;
       if (wire_observer_) {
         wire_observer_(true, request.gpu, request.data, request.bytes);

@@ -40,7 +40,30 @@ RuntimeEngine::RuntimeEngine(const core::TaskGraph& graph,
         static_cast<TransferRouter&>(*this));
     gpus_[gpu].memory->set_observer(this);
   }
-  if (graph_.has_outputs() || checkpointing_enabled()) {
+  cluster_active_ = platform_.is_cluster();
+  if (cluster_active_) {
+    MG_CHECK_MSG(platform_.num_nodes <= platform_.num_gpus,
+                 "every node needs at least one GPU");
+    nodes_.resize(platform_.num_nodes);
+    for (core::NodeId node = 0; node < platform_.num_nodes; ++node) {
+      NodeState& state = nodes_[node];
+      state.pci = std::make_unique<Bus>(events_,
+                                        platform_.bus_bandwidth_bytes_per_s,
+                                        platform_.bus_latency_us);
+      state.net = std::make_unique<Bus>(events_,
+                                        platform_.net_bandwidth_bytes_per_s,
+                                        platform_.net_latency_us);
+      if (graph_.has_outputs() || checkpointing_enabled()) {
+        state.writeback = std::make_unique<Bus>(
+            events_, platform_.bus_bandwidth_bytes_per_s,
+            platform_.bus_latency_us);
+      }
+      state.cached.assign(graph_.num_data(), 0);
+      state.last_use.assign(graph_.num_data(), 0);
+      state.net_fetching.assign(graph_.num_data(), 0);
+      state.waiters.assign(graph_.num_data(), {});
+    }
+  } else if (graph_.has_outputs() || checkpointing_enabled()) {
     // Checkpoint snapshots share the write-back channel: both are
     // host-bound output-state traffic.
     writeback_bus_ = std::make_unique<Bus>(
@@ -57,13 +80,17 @@ RuntimeEngine::RuntimeEngine(const core::TaskGraph& graph,
     // Requests queued behind other host transfers get a second routing
     // chance when they reach the head of the bus: a replica may have landed
     // on a peer in the meantime.
-    bus_.set_start_filter([this](GpuId dst, DataId data, std::uint64_t bytes,
-                                 Bus::OnComplete& on_complete) {
+    auto reroute = [this](GpuId dst, DataId data, std::uint64_t bytes,
+                          Bus::OnComplete& on_complete) {
       const GpuId source = find_peer_holding(dst, data);
       if (source == core::kInvalidGpu) return false;
       start_peer_copy(source, dst, data, bytes, std::move(on_complete));
       return true;
-    });
+    };
+    bus_.set_start_filter(reroute);
+    // On a cluster the PCI-in leg gets the same second chance on its node's
+    // bus (find_peer_holding already restricts peers to the same node).
+    for (NodeState& node : nodes_) node.pci->set_start_filter(reroute);
   }
 }
 
@@ -195,11 +222,25 @@ void RuntimeEngine::attach_wire_observers() {
   for (GpuId gpu = 0; gpu < static_cast<GpuId>(nvlink_egress_.size()); ++gpu) {
     nvlink_egress_[gpu]->set_wire_observer(wire(kChannelNvlinkBase + gpu));
   }
+  for (core::NodeId node = 0; node < static_cast<core::NodeId>(nodes_.size());
+       ++node) {
+    nodes_[node].pci->set_wire_observer(wire(kChannelNodePciBase + node));
+    nodes_[node].net->set_wire_observer(wire(kChannelNetBase + node));
+    if (nodes_[node].writeback) {
+      nodes_[node].writeback->set_wire_observer(
+          wire(kChannelNodeWritebackBase + node));
+    }
+  }
 }
 
 core::GpuId RuntimeEngine::find_peer_holding(GpuId dst, DataId data) const {
   for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
-    if (gpu != dst && gpus_[gpu].memory->is_present(data)) return gpu;
+    if (gpu == dst || !gpus_[gpu].memory->is_present(data)) continue;
+    if (cluster_active_ &&
+        platform_.node_of(gpu) != platform_.node_of(dst)) {
+      continue;  // NVLink does not cross the node boundary
+    }
+    return gpu;
   }
   return core::kInvalidGpu;
 }
@@ -241,10 +282,113 @@ void RuntimeEngine::request_transfer(GpuId dst, DataId data,
     }
     fetch_from_peer_[dst][data] = 0;
   }
+  if (cluster_active_) {
+    request_cluster_transfer(dst, data, bytes, std::move(on_complete),
+                             priority);
+    return;
+  }
   bus_.request(dst, data, bytes, std::move(on_complete), priority);
 }
 
+void RuntimeEngine::request_cluster_transfer(GpuId dst, DataId data,
+                                             std::uint64_t bytes,
+                                             std::function<void()> on_complete,
+                                             TransferPriority priority) {
+  const core::NodeId node_id = platform_.node_of(dst);
+  NodeState& node = nodes_[node_id];
+  if (platform_.home_node_of(data) == node_id || node.cached[data] != 0) {
+    // Available from this node's host memory: one PCI-in leg.
+    if (node.cached[data] != 0) node.last_use[data] = ++node.use_clock;
+    node.pci->request(dst, data, bytes, std::move(on_complete), priority);
+    return;
+  }
+  node.waiters[data].push_back({dst, std::move(on_complete), priority});
+  if (node.net_fetching[data] != 0) return;  // join the in-flight fetch
+  node.net_fetching[data] = 1;
+  publish(InspectorEventKind::kHostFetchStart, dst, data, bytes, kNoChannel,
+          node_id);
+  const core::NodeId home = platform_.home_node_of(data);
+  // PCI out of the home node's host memory, one network hop, then the fill
+  // fans the data out to every waiting GPU over this node's PCI bus.
+  nodes_[home].pci->request(
+      dst, data, bytes,
+      [this, node_id, home, dst, data, bytes, priority] {
+        nodes_[home].net->request(
+            dst, data, bytes,
+            [this, node_id, dst, data, bytes] {
+              host_cache_fill(node_id, dst, data, bytes);
+            },
+            priority);
+      },
+      priority);
+}
+
+void RuntimeEngine::host_cache_fill(core::NodeId node_id, GpuId gpu,
+                                    DataId data, std::uint64_t bytes) {
+  NodeState& node = nodes_[node_id];
+  node.net_fetching[data] = 0;
+  publish(InspectorEventKind::kHostCacheFill, gpu, data, bytes, kNoChannel,
+          node_id);
+  const std::uint64_t budget = platform_.host_memory_bytes;
+  if (budget > 0 && node.cached_bytes + bytes > budget) {
+    host_cache_evict_for(node_id, gpu, bytes);
+  }
+  if (budget == 0 || node.cached_bytes + bytes <= budget) {
+    node.cached[data] = 1;
+    node.cached_bytes += bytes;
+    node.last_use[data] = ++node.use_clock;
+  } else {
+    // Larger than the whole cache budget: the data passes through to its
+    // waiters without staying resident on the node.
+    publish(InspectorEventKind::kHostCacheEvict, gpu, data, bytes, kNoChannel,
+            node_id);
+  }
+  std::vector<NodeWaiter> waiters = std::move(node.waiters[data]);
+  node.waiters[data].clear();
+  for (NodeWaiter& waiter : waiters) {
+    node.pci->request(waiter.gpu, data, bytes, std::move(waiter.on_complete),
+                      waiter.priority);
+  }
+}
+
+void RuntimeEngine::host_cache_evict_for(core::NodeId node_id, GpuId gpu,
+                                         std::uint64_t needed) {
+  NodeState& node = nodes_[node_id];
+  const std::uint64_t budget = platform_.host_memory_bytes;
+  while (node.cached_bytes > 0 && node.cached_bytes + needed > budget) {
+    DataId victim = core::kInvalidData;
+    for (DataId data = 0; data < graph_.num_data(); ++data) {
+      if (node.cached[data] == 0) continue;
+      if (victim == core::kInvalidData ||
+          node.last_use[data] < node.last_use[victim]) {
+        victim = data;
+      }
+    }
+    if (victim == core::kInvalidData) break;
+    node.cached[victim] = 0;
+    node.cached_bytes -= graph_.data_size(victim);
+    publish(InspectorEventKind::kHostCacheEvict, gpu, victim,
+            graph_.data_size(victim), kNoChannel, node_id);
+  }
+}
+
+Bus* RuntimeEngine::writeback_bus_for(GpuId gpu) {
+  if (cluster_active_) return nodes_[platform_.node_of(gpu)].writeback.get();
+  return writeback_bus_.get();
+}
+
 void RuntimeEngine::promote(GpuId dst, DataId data) {
+  if (cluster_active_) {
+    const core::NodeId node_id = platform_.node_of(dst);
+    const core::NodeId home = platform_.home_node_of(data);
+    nodes_[node_id].pci->promote(dst, data);
+    nodes_[home].pci->promote(dst, data);
+    nodes_[home].net->promote(dst, data);
+    for (NodeWaiter& waiter : nodes_[node_id].waiters[data]) {
+      if (waiter.gpu == dst) waiter.priority = TransferPriority::kHigh;
+    }
+    return;
+  }
   bus_.promote(dst, data);
 }
 
@@ -585,8 +729,8 @@ void RuntimeEngine::finish_task(GpuId gpu, TaskId task) {
   const std::uint64_t output_bytes = graph_.task_output_bytes(task);
   if (output_bytes > 0) {
     publish(InspectorEventKind::kWriteBackStart, gpu, task, output_bytes);
-    writeback_bus_->request(gpu, task, output_bytes, [this, gpu, task,
-                                                      output_bytes] {
+    writeback_bus_for(gpu)->request(gpu, task, output_bytes, [this, gpu, task,
+                                                              output_bytes] {
       GpuState& wb_state = gpus_[gpu];
       // The GPU died while its write-back was on the wire: nothing to
       // account, no scratch left to release.
@@ -729,6 +873,17 @@ std::string RuntimeEngine::format_engine_state() const {
                 writeback_bus_ ? writeback_bus_->pending() : std::size_t{0},
                 nvlink_pending);
   out += line;
+  for (core::NodeId node = 0; node < static_cast<core::NodeId>(nodes_.size());
+       ++node) {
+    const NodeState& state = nodes_[node];
+    std::snprintf(line, sizeof line,
+                  "  node%u: pci=%zu net=%zu writeback=%zu host-cache=%llu "
+                  "bytes\n",
+                  node, state.pci->pending(), state.net->pending(),
+                  state.writeback ? state.writeback->pending() : std::size_t{0},
+                  static_cast<unsigned long long>(state.cached_bytes));
+    out += line;
+  }
   {
     GpuId blocked_gpu = core::kInvalidGpu;
     double oldest_us = 0.0;
@@ -887,10 +1042,16 @@ void RuntimeEngine::fail_gpu(GpuId gpu) {
   // Transfers still queued towards the dead GPU are pointless; drop them so
   // the shared channels stop burning time on them. (A transfer already on
   // the wire, or waiting out a retry backoff, cannot be drained — it
-  // delivers into the deactivated manager, a no-op.)
-  (void)bus_.drain_pending_to(gpu);
-  if (writeback_bus_) (void)writeback_bus_->drain_pending_to(gpu);
-  if (platform_.nvlink_enabled) {
+  // delivers into the deactivated manager, a no-op.) On a cluster the
+  // queues are left intact: an intermediate network-chain hop carries a
+  // continuation that other waiting GPUs of the node depend on, so every
+  // leg runs to completion and deliveries into the deactivated manager are
+  // dropped at the endpoint instead.
+  if (!cluster_active_) {
+    (void)bus_.drain_pending_to(gpu);
+    if (writeback_bus_) (void)writeback_bus_->drain_pending_to(gpu);
+  }
+  if (platform_.nvlink_enabled && !cluster_active_) {
     for (GpuId src = 0; src < platform_.num_gpus; ++src) {
       // The dead GPU's own egress port goes completely dark; other ports
       // only lose their requests towards the dead GPU. Invoking the drained
@@ -979,10 +1140,10 @@ void RuntimeEngine::initiate_checkpoint(GpuId gpu, TaskId task,
   // Stale boundary: the task was interrupted (GPU loss) before reaching
   // this snapshot point.
   if (!state.alive || state.running != task) return;
-  writeback_bus_->request(gpu, task, checkpoint_payload_bytes(task),
-                          [this, gpu, task, fraction] {
-                            commit_checkpoint(gpu, task, fraction);
-                          });
+  writeback_bus_for(gpu)->request(gpu, task, checkpoint_payload_bytes(task),
+                                  [this, gpu, task, fraction] {
+                                    commit_checkpoint(gpu, task, fraction);
+                                  });
 }
 
 void RuntimeEngine::commit_checkpoint(GpuId gpu, TaskId task, double fraction) {

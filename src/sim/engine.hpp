@@ -254,9 +254,39 @@ class RuntimeEngine final : private MemoryManager::Observer,
                         TransferPriority priority) override;
   void promote(core::GpuId dst, core::DataId data) override;
 
-  /// Peer currently holding `data` (lowest id), or kInvalidGpu.
+  /// Peer currently holding `data` (lowest id), or kInvalidGpu. On a
+  /// cluster, NVLink ports only reach peers of the same node.
   [[nodiscard]] core::GpuId find_peer_holding(core::GpuId dst,
                                               core::DataId data) const;
+
+  // ---- Multi-node cluster routing (platform_.num_nodes > 1) --------------
+  //
+  // Each node owns a PCI bus, a network egress link and (with outputs or
+  // checkpointing) a write-back channel. Data are homed round-robin on the
+  // nodes' host memories; a GPU missing data homed elsewhere pays PCI out
+  // of the home node, one network hop into its node's host cache, then PCI
+  // into the device. Concurrent misses of the same (node, data) join one
+  // in-flight network fetch; the fill fans out to every waiter.
+
+  /// Routes a miss of `dst` in cluster mode (see above).
+  void request_cluster_transfer(core::GpuId dst, core::DataId data,
+                                std::uint64_t bytes,
+                                std::function<void()> on_complete,
+                                TransferPriority priority);
+
+  /// The network hop of (node, data) completed: cache the data in the
+  /// node's host memory (evicting LRU entries under a bounded budget) and
+  /// issue the PCI-in leg for every waiting GPU.
+  void host_cache_fill(core::NodeId node, core::GpuId gpu, core::DataId data,
+                       std::uint64_t bytes);
+
+  /// Evicts least-recently-used host-cache entries of `node` until `needed`
+  /// more bytes fit in the budget.
+  void host_cache_evict_for(core::NodeId node, core::GpuId gpu,
+                            std::uint64_t needed);
+
+  /// The write-back channel serving `gpu` (per-node on a cluster).
+  [[nodiscard]] Bus* writeback_bus_for(core::GpuId gpu);
 
   /// Copies `data` from `source` to `dst` over the source's NVLink egress
   /// port, keeping the source replica pinned for the duration.
@@ -280,6 +310,28 @@ class RuntimeEngine final : private MemoryManager::Observer,
   std::vector<std::unique_ptr<Bus>> nvlink_egress_;  ///< one per GPU
   /// Origin of the in-flight fetch of (gpu, data): host or peer.
   std::vector<std::vector<std::uint8_t>> fetch_from_peer_;
+
+  // Cluster state (empty on a single-node platform, which keeps the
+  // single-bus code path bit-identical).
+  struct NodeWaiter {
+    core::GpuId gpu;
+    std::function<void()> on_complete;
+    TransferPriority priority;
+  };
+  struct NodeState {
+    std::unique_ptr<Bus> pci;        ///< this node's host<->GPU bus
+    std::unique_ptr<Bus> writeback;  ///< outputs/checkpoints, when needed
+    std::unique_ptr<Bus> net;        ///< network egress towards other nodes
+    /// Host cache of *remote* data (home data is always available).
+    std::vector<std::uint8_t> cached;
+    std::vector<std::uint64_t> last_use;     ///< LRU stamps
+    std::vector<std::uint8_t> net_fetching;  ///< in-flight network fetch
+    std::vector<std::vector<NodeWaiter>> waiters;
+    std::uint64_t cached_bytes = 0;
+    std::uint64_t use_clock = 0;
+  };
+  bool cluster_active_ = false;
+  std::vector<NodeState> nodes_;
   std::unique_ptr<LruEviction> default_policy_;
   std::vector<GpuState> gpus_;
   std::vector<bool> popped_;

@@ -1,5 +1,6 @@
 #include "sim/inspector.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace mg::sim {
@@ -37,14 +38,33 @@ std::string_view inspector_event_kind_name(InspectorEventKind kind) {
     case InspectorEventKind::kReplicaRelease: return "replica-release";
     case InspectorEventKind::kReplicaShed: return "replica-shed";
     case InspectorEventKind::kReplayDivergence: return "replay-divergence";
+    case InspectorEventKind::kHostFetchStart: return "host-fetch-start";
+    case InspectorEventKind::kHostCacheFill: return "host-cache-fill";
+    case InspectorEventKind::kHostCacheEvict: return "host-cache-evict";
   }
   return "?";
+}
+
+std::uint32_t inspector_channel_count(const core::Platform& platform) {
+  const std::uint32_t single_node = kChannelNvlinkBase + platform.num_gpus;
+  if (!platform.is_cluster()) return single_node;
+  return std::max(single_node, kChannelNetBase + platform.num_nodes);
 }
 
 std::string inspector_channel_name(std::uint32_t channel) {
   if (channel == kChannelHostBus) return "host-bus";
   if (channel == kChannelWriteback) return "writeback";
   if (channel == kNoChannel) return "-";
+  if (channel >= kChannelNetBase) {
+    return "net-node" + std::to_string(channel - kChannelNetBase);
+  }
+  if (channel >= kChannelNodeWritebackBase) {
+    return "node" + std::to_string(channel - kChannelNodeWritebackBase) +
+           "-writeback";
+  }
+  if (channel >= kChannelNodePciBase) {
+    return "node" + std::to_string(channel - kChannelNodePciBase) + "-pci";
+  }
   return "nvlink-gpu" + std::to_string(channel - kChannelNvlinkBase);
 }
 
@@ -118,6 +138,11 @@ std::string format_inspector_event(const InspectorEvent& event) {
     line += event.aux != 0 ? " (uses-exhausted)" : " (copy-elsewhere)";
   } else if (event.kind == InspectorEventKind::kReplayDivergence) {
     std::snprintf(buffer, sizeof buffer, " reassigned=%u", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kHostFetchStart ||
+             event.kind == InspectorEventKind::kHostCacheFill ||
+             event.kind == InspectorEventKind::kHostCacheEvict) {
+    std::snprintf(buffer, sizeof buffer, " node=%u", event.aux);
     line += buffer;
   }
   return line;

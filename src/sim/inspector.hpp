@@ -80,6 +80,15 @@ enum class InspectorEventKind : std::uint8_t {
   kReplayDivergence, ///< fixed-order replay diverged on loss of `gpu`
                      ///< (id: divergence index in the recorded order,
                      ///< aux: tasks reassigned to survivors)
+
+  // Multi-node cluster (src/cluster; engine cluster routing). `gpu` is the
+  // GPU whose miss initiated the network fetch, `aux` the node involved.
+  kHostFetchStart, ///< node `aux` started fetching data `id` from its home
+                   ///< node's host memory on behalf of `gpu`
+  kHostCacheFill,  ///< data `id` landed in node `aux`'s host cache (ready to
+                   ///< cross that node's PCI bus towards `gpu`)
+  kHostCacheEvict, ///< data `id` dropped from node `aux`'s bounded host
+                   ///< cache to make room
 };
 
 [[nodiscard]] std::string_view inspector_event_kind_name(
@@ -89,9 +98,22 @@ enum class InspectorEventKind : std::uint8_t {
 inline constexpr std::uint32_t kChannelHostBus = 0;
 inline constexpr std::uint32_t kChannelWriteback = 1;
 inline constexpr std::uint32_t kChannelNvlinkBase = 2;  ///< +gpu for egress
+
+// Cluster channels (num_nodes > 1): each node owns a PCI bus, a write-back
+// channel and a network egress link. The bases leave room for 62 GPUs of
+// NVLink egress and 64 nodes per range.
+inline constexpr std::uint32_t kChannelNodePciBase = 64;        ///< +node
+inline constexpr std::uint32_t kChannelNodeWritebackBase = 128; ///< +node
+inline constexpr std::uint32_t kChannelNetBase = 192;           ///< +node
 inline constexpr std::uint32_t kNoChannel = 0xffffffffu;
 
-/// Human-readable channel name ("host-bus", "writeback", "nvlink-gpu2").
+/// Number of channel slots needed to index every channel of `platform`
+/// (wire-occupancy maps in the checker and report collector size with this).
+[[nodiscard]] std::uint32_t inspector_channel_count(
+    const core::Platform& platform);
+
+/// Human-readable channel name ("host-bus", "writeback", "nvlink-gpu2",
+/// "node1-pci", "node0-writeback", "net-node1").
 [[nodiscard]] std::string inspector_channel_name(std::uint32_t channel);
 
 struct InspectorEvent {

@@ -44,7 +44,14 @@ void InvariantChecker::on_run_begin(const core::TaskGraph& graph,
   job_state_.clear();
   checkpoint_ppm_.assign(graph.num_tasks(), 0);
   divergence_seen_.assign(platform.num_gpus, 0);
-  wire_active_.assign(kChannelNvlinkBase + platform.num_gpus, 0);
+  wire_active_.assign(inspector_channel_count(platform), 0);
+  node_fetching_.assign(
+      platform.is_cluster() ? platform.num_nodes : 0,
+      std::vector<std::uint32_t>(graph.num_data(), 0));
+  node_cached_.assign(platform.is_cluster() ? platform.num_nodes : 0,
+                      std::vector<std::uint8_t>(graph.num_data(), 0));
+  net_bytes_delivered_ = 0;
+  host_fill_bytes_ = 0;
   last_time_us_ = 0.0;
   events_ = 0;
   recent_.clear();
@@ -123,6 +130,10 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
     case InspectorEventKind::kTaskCancelled:
     // A replay divergence is reported *about* the dead GPU, not by it.
     case InspectorEventKind::kReplayDivergence:
+    // A network fetch keeps running after its initiating GPU dies: the fill
+    // and any cache eviction it triggers are node-level, not GPU activity.
+    case InspectorEventKind::kHostCacheFill:
+    case InspectorEventKind::kHostCacheEvict:
       break;
     default:
       if (!gpu.alive) return fail(event, "activity on a dead gpu");
@@ -226,6 +237,10 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
         return fail(event, "transfer end without a start");
       }
       --wire_active_[event.channel];
+      if (!node_fetching_.empty() && event.channel >= kChannelNetBase &&
+          event.channel < kChannelNetBase + platform_.num_nodes) {
+        net_bytes_delivered_ += event.bytes;
+      }
       break;
     }
     case InspectorEventKind::kWriteBackStart:
@@ -463,6 +478,52 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       divergence_seen_[event.gpu] = 1;
       break;
     }
+    case InspectorEventKind::kHostFetchStart: {
+      if (node_fetching_.empty() || event.aux >= node_fetching_.size()) {
+        return fail(event, "host fetch on unknown node");
+      }
+      if (event.id >= num_data) {
+        return fail(event, "host fetch of unknown data");
+      }
+      if (event.bytes != graph_->data_size(event.id)) {
+        return fail(event, "host fetch size disagrees with data size");
+      }
+      if (node_fetching_[event.aux][event.id] != 0) {
+        return fail(event, "duplicate in-flight host fetch on one node");
+      }
+      if (node_cached_[event.aux][event.id] != 0) {
+        return fail(event, "host fetch of data already cached on the node");
+      }
+      ++node_fetching_[event.aux][event.id];
+      break;
+    }
+    case InspectorEventKind::kHostCacheFill: {
+      if (node_fetching_.empty() || event.aux >= node_fetching_.size()) {
+        return fail(event, "host-cache fill on unknown node");
+      }
+      if (event.id >= num_data) {
+        return fail(event, "host-cache fill of unknown data");
+      }
+      // The tentpole rule: data never becomes resident on a node that never
+      // fetched it over the network.
+      if (node_fetching_[event.aux][event.id] == 0) {
+        return fail(event, "host-cache fill without a host fetch");
+      }
+      --node_fetching_[event.aux][event.id];
+      node_cached_[event.aux][event.id] = 1;
+      host_fill_bytes_ += event.bytes;
+      break;
+    }
+    case InspectorEventKind::kHostCacheEvict: {
+      if (node_cached_.empty() || event.aux >= node_cached_.size()) {
+        return fail(event, "host-cache evict on unknown node");
+      }
+      if (event.id >= num_data || node_cached_[event.aux][event.id] == 0) {
+        return fail(event, "host-cache evict of uncached data");
+      }
+      node_cached_[event.aux][event.id] = 0;
+      break;
+    }
   }
 }
 
@@ -500,7 +561,19 @@ void InvariantChecker::finish() {
   }
   // Prefetch hints and output write-backs may legitimately still be on a
   // wire when the last task completes, so no emptiness check on channels,
-  // in-flight fetches or scratch here.
+  // in-flight fetches or scratch here. Network byte conservation, however,
+  // is exact: a host-cache fill follows its network delivery within the
+  // same simulation event, so at run end every byte delivered on a network
+  // channel must have landed in exactly one fill.
+  if (!node_fetching_.empty() && net_bytes_delivered_ != host_fill_bytes_) {
+    char buffer[128];
+    std::snprintf(buffer, sizeof buffer,
+                  "network bytes not conserved: %llu delivered vs %llu "
+                  "filled into host caches",
+                  static_cast<unsigned long long>(net_bytes_delivered_),
+                  static_cast<unsigned long long>(host_fill_bytes_));
+    return fail_text(buffer);
+  }
 }
 
 void InvariantChecker::on_run_end(double makespan_us) {

@@ -140,6 +140,14 @@ class InvariantChecker final : public Inspector {
   std::vector<std::uint8_t> divergence_seen_;
   /// Active transfers per wire channel (index = channel id).
   std::vector<std::uint32_t> wire_active_;
+  /// Cluster model state (sized only when the platform spans nodes):
+  /// outstanding network fetches and the host-cache mirror per (node, data),
+  /// plus the byte-conservation counters — every byte delivered on a
+  /// network channel must land in exactly one host-cache fill.
+  std::vector<std::vector<std::uint32_t>> node_fetching_;
+  std::vector<std::vector<std::uint8_t>> node_cached_;
+  std::uint64_t net_bytes_delivered_ = 0;
+  std::uint64_t host_fill_bytes_ = 0;
   double last_time_us_ = 0.0;
   std::uint64_t events_ = 0;
 

@@ -236,7 +236,46 @@ std::string run_report_to_json(const RunReport& report) {
     json += ',' + std::to_string(serving.queue_depth_timeline[i].second);
     json += ']';
   }
-  json += "]}}";
+  json += "]}";
+
+  const RunReport::Cluster& cluster = report.cluster;
+  json += ",\"cluster\":{\"enabled\":";
+  json += cluster.enabled ? "true" : "false";
+  json += ",\"num_nodes\":" + std::to_string(cluster.num_nodes);
+  json += ",\"per_node\":[";
+  for (std::size_t node = 0; node < cluster.per_node.size(); ++node) {
+    const RunReport::Cluster::Node& n = cluster.per_node[node];
+    if (node > 0) json += ',';
+    json += "{\"node\":" + std::to_string(node);
+    json += ",\"gpu_begin\":" + std::to_string(n.gpu_begin);
+    json += ",\"gpu_end\":" + std::to_string(n.gpu_end);
+    json += ",\"tasks_executed\":";
+    append_u64(json, n.tasks_executed);
+    json += ",\"busy_us\":";
+    append_double(json, n.busy_us);
+    json += ",\"loads\":";
+    append_u64(json, n.loads);
+    json += ",\"bytes_loaded\":";
+    append_u64(json, n.bytes_loaded);
+    json += ",\"remote_fetches\":";
+    append_u64(json, n.remote_fetches);
+    json += ",\"host_cache_fills\":";
+    append_u64(json, n.host_cache_fills);
+    json += ",\"host_cache_evictions\":";
+    append_u64(json, n.host_cache_evictions);
+    json += "}";
+  }
+  json += "],\"network_transfers\":";
+  append_u64(json, cluster.network_transfers);
+  json += ",\"network_bytes\":";
+  append_u64(json, cluster.network_bytes);
+  json += ",\"host_cache_fills\":";
+  append_u64(json, cluster.host_cache_fills);
+  json += ",\"host_cache_evictions\":";
+  append_u64(json, cluster.host_cache_evictions);
+  json += ",\"steals\":";
+  append_u64(json, cluster.steals);
+  json += "}}";
   return json;
 }
 
@@ -278,7 +317,17 @@ void RunReportCollector::on_run_begin(const core::TaskGraph& graph,
   report_.nvlink = platform.nvlink_enabled;
   report_.total_flops = graph.total_flops();
   report_.per_gpu.assign(platform.num_gpus, RunReport::Gpu{});
-  channels_.assign(kChannelNvlinkBase + platform.num_gpus, ChannelState{});
+  if (platform.is_cluster()) {
+    report_.cluster.enabled = true;
+    report_.cluster.num_nodes = platform.num_nodes;
+    report_.cluster.per_node.assign(platform.num_nodes,
+                                    RunReport::Cluster::Node{});
+    for (core::NodeId node = 0; node < platform.num_nodes; ++node) {
+      report_.cluster.per_node[node].gpu_begin = platform.node_gpu_begin(node);
+      report_.cluster.per_node[node].gpu_end = platform.node_gpu_end(node);
+    }
+  }
+  channels_.assign(inspector_channel_count(platform), ChannelState{});
   gpu_scratch_.assign(platform.num_gpus, GpuScratch{});
   pending_recoveries_.clear();
   pending_adoptions_.clear();
@@ -474,6 +523,23 @@ void RunReportCollector::on_event(const InspectorEvent& event) {
       report_.faults.replay_divergence.push_back(
           {event.gpu, event.id, event.aux});
       break;
+    case InspectorEventKind::kHostFetchStart:
+      if (event.aux < report_.cluster.per_node.size()) {
+        ++report_.cluster.per_node[event.aux].remote_fetches;
+      }
+      break;
+    case InspectorEventKind::kHostCacheFill:
+      ++report_.cluster.host_cache_fills;
+      if (event.aux < report_.cluster.per_node.size()) {
+        ++report_.cluster.per_node[event.aux].host_cache_fills;
+      }
+      break;
+    case InspectorEventKind::kHostCacheEvict:
+      ++report_.cluster.host_cache_evictions;
+      if (event.aux < report_.cluster.per_node.size()) {
+        ++report_.cluster.per_node[event.aux].host_cache_evictions;
+      }
+      break;
   }
 }
 
@@ -569,6 +635,28 @@ void RunReportCollector::on_run_end(double makespan_us) {
       }
     }
     report_.channels.push_back(std::move(channel));
+  }
+
+  // Cluster: fold per-GPU work into the owning node and total the network
+  // channels (transfers/bytes are counted at kTransferStart, so they are
+  // final by now).
+  if (report_.cluster.enabled) {
+    for (std::uint32_t gpu = 0; gpu < report_.per_gpu.size(); ++gpu) {
+      const RunReport::Gpu& g = report_.per_gpu[gpu];
+      RunReport::Cluster::Node& node =
+          report_.cluster.per_node[platform_.node_of(gpu)];
+      node.tasks_executed += g.tasks_executed;
+      node.busy_us += g.busy_us;
+      node.loads += g.loads;
+      node.bytes_loaded += g.bytes_loaded;
+    }
+    for (std::size_t index = kChannelNetBase;
+         index < channels_.size() &&
+         index < kChannelNetBase + report_.cluster.num_nodes;
+         ++index) {
+      report_.cluster.network_transfers += channels_[index].transfers;
+      report_.cluster.network_bytes += channels_[index].bytes;
+    }
   }
 }
 

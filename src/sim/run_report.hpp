@@ -12,7 +12,7 @@
 // exported without separately enabling EngineConfig::record_trace.
 //
 // The report serializes to JSON (schema documented in
-// docs/OBSERVABILITY.md, schema_version 4); bench/figure_harness exposes it
+// docs/OBSERVABILITY.md, schema_version 5); bench/figure_harness exposes it
 // behind --run-report / --chrome-trace on every figure and ablation binary.
 // Streamed (serving) runs add a "serving" section — filled in by
 // serve::ServeEngine from its JobTracker — and the faults section attributes
@@ -20,6 +20,11 @@
 // proactive fault-tolerance subsections: faults.checkpoints (progress
 // snapshots and the compute they saved), faults.replicas (replication-aware
 // placement) and faults.replay_divergence (fixed-order replay degradation).
+// Schema 5 adds the "cluster" section for multi-node platforms: per-node
+// task loads and PCI traffic, host-cache fill/evict counts, inter-node
+// network transfers/bytes and the cross-node steal count (patched in by the
+// hierarchical scheduling driver). The section stays zeroed — and the rest
+// of the report byte-identical to a schema-4 run — when num_nodes == 1.
 #pragma once
 
 #include <cstdint>
@@ -34,7 +39,7 @@
 namespace mg::sim {
 
 struct RunReport {
-  static constexpr int kSchemaVersion = 4;
+  static constexpr int kSchemaVersion = 5;
 
   std::string scheduler;
   std::string context;  ///< free-form label (figure id, workload, ...)
@@ -183,12 +188,42 @@ struct RunReport {
     std::vector<std::pair<double, std::uint32_t>> queue_depth_timeline;
   };
   Serving serving;
+
+  /// Multi-node cluster runs (schema 5): per-node load split, host-cache
+  /// behaviour and inter-node network traffic. `enabled` stays false — and
+  /// every field zeroed — on single-node platforms.
+  struct Cluster {
+    bool enabled = false;
+    std::uint32_t num_nodes = 1;
+    struct Node {
+      std::uint32_t gpu_begin = 0;  ///< first GPU of the node's block
+      std::uint32_t gpu_end = 0;    ///< one past the last GPU
+      std::uint64_t tasks_executed = 0;
+      double busy_us = 0.0;
+      std::uint64_t loads = 0;         ///< node-PCI loads landed on its GPUs
+      std::uint64_t bytes_loaded = 0;  ///< PCI + peer bytes landed on them
+      /// Network fetches initiated because the node needed remote data.
+      std::uint64_t remote_fetches = 0;
+      std::uint64_t host_cache_fills = 0;
+      std::uint64_t host_cache_evictions = 0;
+    };
+    std::vector<Node> per_node;
+    std::uint64_t network_transfers = 0;  ///< inter-node deliveries
+    std::uint64_t network_bytes = 0;      ///< bytes they carried
+    std::uint64_t host_cache_fills = 0;
+    std::uint64_t host_cache_evictions = 0;
+    /// Cross-node work steals — patched in by the hierarchical scheduling
+    /// driver (cluster::HierarchicalScheduler::steal_count), mirroring how
+    /// ServeEngine fills the serving section.
+    std::uint64_t steals = 0;
+  };
+  Cluster cluster;
 };
 
 /// Serializes one report as a JSON object.
 [[nodiscard]] std::string run_report_to_json(const RunReport& report);
 
-/// Writes `{"schema_version":4,"context":...,"runs":[...]}` to `path`.
+/// Writes `{"schema_version":5,"context":...,"runs":[...]}` to `path`.
 /// Returns false on I/O error.
 bool write_run_reports(const std::vector<RunReport>& reports,
                        const std::string& context, const std::string& path);

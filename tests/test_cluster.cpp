@@ -1,0 +1,356 @@
+// Cluster subsystem tests: hierarchical scheduling (inter-node partition,
+// id translation, cross-node stealing, single-node identity), the
+// locality-aware dynamic policy's node-distance cost model, the engine's
+// remote-fetch / host-cache machinery (network byte accounting, bounded
+// cache eviction), and the schema-5 run report's bit-identical guarantee
+// when num_nodes == 1.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/hierarchical.hpp"
+#include "cluster/locality.hpp"
+#include "core/task_graph.hpp"
+#include "sched/eager.hpp"
+#include "sim/engine.hpp"
+#include "sim/invariant_checker.hpp"
+#include "sim/run_report.hpp"
+#include "workloads/matmul2d.hpp"
+
+namespace mg {
+namespace {
+
+using core::DataId;
+using core::TaskId;
+
+core::Platform cluster_platform(std::uint32_t gpus, std::uint32_t nodes,
+                                std::uint64_t memory = 1000) {
+  core::Platform platform;
+  platform.num_gpus = gpus;
+  platform.num_nodes = nodes;
+  platform.gpu_memory_bytes = memory;
+  platform.gpu_gflops = 1e-3;
+  platform.bus_bandwidth_bytes_per_s = 1e6;
+  platform.bus_latency_us = 0.0;
+  return platform;
+}
+
+/// MemoryView stub with an explicit set of resident data.
+class StubMemory final : public core::MemoryView {
+ public:
+  explicit StubMemory(std::set<DataId> present = {})
+      : present_(std::move(present)) {}
+  [[nodiscard]] bool is_present(DataId data) const override {
+    return present_.contains(data);
+  }
+  [[nodiscard]] bool is_present_or_fetching(DataId data) const override {
+    return present_.contains(data);
+  }
+  [[nodiscard]] std::uint64_t capacity_bytes() const override { return 1000; }
+  [[nodiscard]] std::uint64_t used_bytes() const override {
+    return 10 * present_.size();
+  }
+
+ private:
+  std::set<DataId> present_;
+};
+
+cluster::InnerSchedulerFactory eager_factory() {
+  return [] { return std::make_unique<sched::EagerScheduler>(); };
+}
+
+TEST(Hierarchical, NameWrapsTheInnerScheduler) {
+  cluster::HierarchicalScheduler scheduler(eager_factory());
+  EXPECT_EQ(scheduler.name(), "hier(EAGER)");
+}
+
+TEST(Hierarchical, PartitionCoversEveryTaskAcrossNodes) {
+  const core::TaskGraph graph =
+      work::make_matmul_2d({.n = 4, .data_bytes = 10});
+  cluster::HierarchicalScheduler scheduler(eager_factory());
+  scheduler.prepare(graph, cluster_platform(4, 2), 42);
+
+  const std::vector<std::uint32_t>& task_node = scheduler.task_node();
+  ASSERT_EQ(task_node.size(), graph.num_tasks());
+  std::vector<std::uint32_t> per_node(2, 0);
+  for (const std::uint32_t node : task_node) {
+    ASSERT_LT(node, 2u);
+    ++per_node[node];
+  }
+  // The partitioner balances by the per-node GPU share: both halves get
+  // work.
+  EXPECT_GT(per_node[0], 0u);
+  EXPECT_GT(per_node[1], 0u);
+}
+
+TEST(Hierarchical, PopsEveryTaskExactlyOnceAndStealsWhenANodeDrains) {
+  // 4 independent tasks over 4 distinct data, 4 GPUs on 2 nodes. Popping
+  // everything through gpu0 drains node 0's sub-schedule, after which the
+  // remaining tasks arrive by cross-node stealing from node 1.
+  core::TaskGraphBuilder builder;
+  for (int i = 0; i < 4; ++i) {
+    const DataId d = builder.add_data(10);
+    builder.add_task(1.0, {d});
+  }
+  const core::TaskGraph graph = builder.build();
+
+  cluster::HierarchicalScheduler scheduler(eager_factory());
+  scheduler.prepare(graph, cluster_platform(4, 2), 42);
+
+  StubMemory memory;
+  std::set<TaskId> popped;
+  for (int i = 0; i < 4; ++i) {
+    const TaskId task = scheduler.pop_task(0, memory);
+    ASSERT_NE(task, core::kInvalidTask);
+    EXPECT_TRUE(popped.insert(task).second) << "task popped twice";
+    scheduler.notify_task_complete(0, task);
+  }
+  EXPECT_EQ(popped.size(), 4u);
+  EXPECT_EQ(scheduler.pop_task(0, memory), core::kInvalidTask);
+  // Node 1 held a (balanced) share of the partition; gpu0 stole it.
+  EXPECT_GT(scheduler.steal_count(), 0u);
+}
+
+TEST(Hierarchical, StealingOffStrandsTheDrainedNode) {
+  core::TaskGraphBuilder builder;
+  for (int i = 0; i < 4; ++i) {
+    const DataId d = builder.add_data(10);
+    builder.add_task(1.0, {d});
+  }
+  const core::TaskGraph graph = builder.build();
+
+  cluster::HierarchicalScheduler scheduler(eager_factory(), {.steal = false});
+  scheduler.prepare(graph, cluster_platform(4, 2), 42);
+
+  StubMemory memory;
+  int node0_tasks = 0;
+  while (scheduler.pop_task(0, memory) != core::kInvalidTask) ++node0_tasks;
+  EXPECT_GT(node0_tasks, 0);
+  EXPECT_LT(node0_tasks, 4);  // node 1's share stays put
+  EXPECT_EQ(scheduler.steal_count(), 0u);
+}
+
+TEST(Hierarchical, EndToEndTwoNodeRunIsInvariantClean) {
+  const core::TaskGraph graph = work::make_matmul_2d({.n = 6});
+  const core::Platform platform = [] {
+    core::Platform p = core::make_v100_platform(4, 200 * core::kMB);
+    p.num_nodes = 2;
+    return p;
+  }();
+
+  cluster::HierarchicalScheduler scheduler(eager_factory());
+  sim::RuntimeEngine engine(graph, platform, scheduler);
+  sim::InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  sim::RunReportCollector collector;
+  engine.add_inspector(&collector);
+
+  const core::RunMetrics metrics = engine.run();
+  ASSERT_TRUE(checker.ok()) << checker.report().error << "\nlast events:\n"
+                            << checker.report().excerpt;
+
+  std::uint64_t executed = 0;
+  for (const auto& gpu : metrics.per_gpu) executed += gpu.tasks_executed;
+  EXPECT_EQ(executed, graph.num_tasks());
+
+  const sim::RunReport report = collector.report();
+  ASSERT_TRUE(report.cluster.enabled);
+  ASSERT_EQ(report.cluster.per_node.size(), 2u);
+  EXPECT_EQ(report.cluster.per_node[0].gpu_begin, 0u);
+  EXPECT_EQ(report.cluster.per_node[0].gpu_end, 2u);
+  EXPECT_EQ(report.cluster.per_node[1].gpu_begin, 2u);
+  EXPECT_EQ(report.cluster.per_node[1].gpu_end, 4u);
+  std::uint64_t node_tasks = 0;
+  for (const auto& node : report.cluster.per_node) {
+    node_tasks += node.tasks_executed;
+  }
+  EXPECT_EQ(node_tasks, graph.num_tasks());
+  // The matmul's data is spread round-robin over both nodes' host
+  // memories: some inputs had to cross the network.
+  EXPECT_GT(report.cluster.network_bytes, 0u);
+  EXPECT_EQ(report.cluster.host_cache_fills, report.cluster.network_transfers);
+}
+
+TEST(Hierarchical, SingleNodeDelegatesToTheInnerScheduler) {
+  // On a 1-node platform the wrapper is the identity: same pop order as a
+  // bare EAGER over the same graph.
+  const core::TaskGraph graph =
+      work::make_matmul_2d({.n = 2, .data_bytes = 10});
+  cluster::HierarchicalScheduler wrapped(eager_factory());
+  sched::EagerScheduler bare;
+  wrapped.prepare(graph, cluster_platform(2, 1), 42);
+  bare.prepare(graph, cluster_platform(2, 1), 42);
+  EXPECT_TRUE(wrapped.task_node().empty());
+
+  StubMemory memory;
+  for (TaskId i = 0; i < graph.num_tasks(); ++i) {
+    EXPECT_EQ(wrapped.pop_task(i % 2, memory), bare.pop_task(i % 2, memory));
+  }
+}
+
+TEST(Locality, PrefersTheTaskWhoseDataIsHomedOnTheAskingNode) {
+  // d0 homes on node 0, d1 on node 1 (round-robin). A node-1 GPU asking
+  // first should take the d1 task even though the d0 task was submitted
+  // first.
+  core::TaskGraphBuilder builder;
+  const DataId d0 = builder.add_data(10);
+  const DataId d1 = builder.add_data(10);
+  const TaskId t0 = builder.add_task(1.0, {d0});
+  const TaskId t1 = builder.add_task(1.0, {d1});
+  const core::TaskGraph graph = builder.build();
+
+  cluster::LocalityScheduler scheduler;
+  scheduler.prepare(graph, cluster_platform(2, 2), 0);
+  StubMemory memory;
+  EXPECT_EQ(scheduler.pop_task(1, memory), t1);  // gpu1 = node 1
+  EXPECT_EQ(scheduler.pop_task(0, memory), t0);
+  EXPECT_EQ(scheduler.pop_task(0, memory), core::kInvalidTask);
+}
+
+TEST(Locality, ResidentDataBeatsSubmissionOrder) {
+  core::TaskGraphBuilder builder;
+  const DataId d0 = builder.add_data(10);
+  const DataId d1 = builder.add_data(10);
+  builder.add_task(1.0, {d0});
+  const TaskId t1 = builder.add_task(1.0, {d1});
+  const core::TaskGraph graph = builder.build();
+
+  cluster::LocalityScheduler scheduler;
+  scheduler.prepare(graph, cluster_platform(1, 1), 0);
+  // d1 is already on the GPU: its task costs nothing and pops first.
+  StubMemory memory({d1});
+  EXPECT_EQ(scheduler.pop_task(0, memory), t1);
+}
+
+TEST(Locality, LearnsNodeLocalityFromObservedLoads) {
+  // Without observation, a node-0 pop would prefer the node-0-homed datum's
+  // task. Seeing the remote datum land on a node-0 GPU marks it node-local
+  // (it now sits in node 0's host cache), flipping the preference.
+  core::TaskGraphBuilder builder;
+  builder.add_data(10);  // id 0, unused: keeps the next id odd
+  const DataId remote = builder.add_data(10);  // id 1 -> homed on node 1
+  const DataId local = builder.add_data(10);   // id 2 -> homed on node 0
+  const TaskId remote_task = builder.add_task(1.0, {remote});
+  const TaskId local_task = builder.add_task(1.0, {local});
+  const core::TaskGraph graph = builder.build();
+
+  cluster::LocalityScheduler scheduler;
+  scheduler.prepare(graph, cluster_platform(2, 2), 0);
+  // Node 0's GPU observed the remote datum landing: node 0 can now serve
+  // it from its host cache, so both tasks cost one PCI hop and submission
+  // order wins — the remote task pops first despite its off-node home.
+  scheduler.notify_data_loaded(0, remote);
+  StubMemory memory;
+  EXPECT_EQ(scheduler.pop_task(0, memory), remote_task);
+  EXPECT_EQ(scheduler.pop_task(0, memory), local_task);
+}
+
+TEST(Engine, RemoteFetchPaysTheNetworkOnceAndFillsTheHostCache) {
+  // Six tasks all read d1 (10 bytes, homed on node 1). Node 0's GPU runs
+  // some of them, so node 0 fetches d1 over the network exactly once
+  // (waiter dedup), fills its host cache, and serves later waiters
+  // locally.
+  core::TaskGraphBuilder builder;
+  builder.add_data(10);  // d0: keeps d1's id odd -> homed on node 1
+  const DataId d1 = builder.add_data(10);
+  for (int i = 0; i < 6; ++i) builder.add_task(1.0, {d1});
+  const core::TaskGraph graph = builder.build();
+
+  sched::EagerScheduler scheduler;
+  sim::RuntimeEngine engine(graph, cluster_platform(2, 2), scheduler);
+  sim::InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  sim::RunReportCollector collector;
+  engine.add_inspector(&collector);
+  (void)engine.run();
+  ASSERT_TRUE(checker.ok()) << checker.report().error;
+
+  const sim::RunReport report = collector.report();
+  ASSERT_TRUE(report.cluster.enabled);
+  EXPECT_EQ(report.cluster.network_transfers, 1u);
+  EXPECT_EQ(report.cluster.network_bytes, 10u);
+  EXPECT_EQ(report.cluster.host_cache_fills, 1u);
+  EXPECT_EQ(report.cluster.per_node[0].remote_fetches, 1u);
+  EXPECT_EQ(report.cluster.per_node[1].remote_fetches, 0u);
+  EXPECT_EQ(report.cluster.host_cache_evictions, 0u);
+}
+
+TEST(Engine, BoundedHostCacheEvictsUnderPressure) {
+  // Node 0's host cache holds one 10-byte item; its GPU keeps fetching
+  // distinct node-1-homed data, so every fill past the first evicts.
+  core::TaskGraphBuilder builder;
+  std::vector<DataId> remote;
+  for (int i = 0; i < 8; ++i) {
+    const DataId d = builder.add_data(10);
+    if (d % 2 == 1) remote.push_back(d);  // homed on node 1
+  }
+  for (int t = 0; t < 8; ++t) {
+    builder.add_task(1.0, {remote[static_cast<std::size_t>(t) % 4]});
+  }
+  const core::TaskGraph graph = builder.build();
+
+  core::Platform platform = cluster_platform(2, 2);
+  platform.host_memory_bytes = 10;
+  sched::EagerScheduler scheduler;
+  sim::RuntimeEngine engine(graph, platform, scheduler);
+  sim::InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  sim::RunReportCollector collector;
+  engine.add_inspector(&collector);
+  (void)engine.run();
+  ASSERT_TRUE(checker.ok()) << checker.report().error;
+
+  const sim::RunReport report = collector.report();
+  // gpu0 executed several of the 8 tasks; each distinct remote input past
+  // the first pushed the previous one out of the one-slot cache.
+  EXPECT_GT(report.cluster.host_cache_evictions, 0u);
+  EXPECT_EQ(report.cluster.host_cache_fills,
+            report.cluster.network_transfers);
+}
+
+TEST(RunReport, SingleNodeReportIsBitIdenticalWithClusterKnobsSet) {
+  // Strict generalization: num_nodes == 1 with every cluster knob set must
+  // serialize byte-for-byte like the plain single-machine platform.
+  const core::TaskGraph graph = work::make_matmul_2d({.n = 4});
+  const auto run_to_json = [&graph](const core::Platform& platform) {
+    sched::EagerScheduler scheduler;
+    sim::RuntimeEngine engine(graph, platform, scheduler);
+    sim::RunReportCollector collector;
+    engine.add_inspector(&collector);
+    (void)engine.run();
+    return sim::run_report_to_json(collector.report());
+  };
+
+  const core::Platform plain = core::make_v100_platform(2, 200 * core::kMB);
+  core::Platform knobs = plain;
+  knobs.num_nodes = 1;
+  knobs.host_memory_bytes = 64 * core::kMB;
+  knobs.net_bandwidth_bytes_per_s = 1e9;
+  knobs.net_latency_us = 500.0;
+  EXPECT_EQ(run_to_json(plain), run_to_json(knobs));
+}
+
+TEST(RunReport, ClusterSectionSerializesPerNodeCounters) {
+  const core::TaskGraph graph = work::make_matmul_2d({.n = 4});
+  core::Platform platform = core::make_v100_platform(4, 200 * core::kMB);
+  platform.num_nodes = 2;
+
+  sched::EagerScheduler scheduler;
+  sim::RuntimeEngine engine(graph, platform, scheduler);
+  sim::RunReportCollector collector;
+  engine.add_inspector(&collector);
+  (void)engine.run();
+
+  const std::string json = sim::run_report_to_json(collector.report());
+  EXPECT_NE(json.find("\"cluster\":{\"enabled\":true,\"num_nodes\":2"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"network_bytes\":"), std::string::npos);
+  EXPECT_NE(json.find("\"remote_fetches\":"), std::string::npos);
+  EXPECT_NE(json.find("\"steals\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mg

@@ -2,7 +2,9 @@
 // combinations run under the online invariant checker. Every scheduler must
 // produce a violation-free run that executes the identical task set, and
 // the realized load counts must respect the eviction-free bounds of
-// analysis/bounds.hpp.
+// analysis/bounds.hpp. Rounds alternate between the single-node platform
+// and a 2-node cluster topology, so the remote-fetch/host-cache machinery
+// is swept by the same invariants.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -86,6 +88,14 @@ TEST(Differential, RandomGraphsAcrossSchedulersStayInvariantFree) {
     platform.num_gpus = num_gpus;
     platform.gpu_memory_bytes = draw_memory(rng, graph, params);
     platform.nvlink_enabled = (round % 5 == 0) && num_gpus > 1;
+    // Odd rounds run the same draw on a 2-node cluster, exercising the
+    // network links, remote fetches and per-node host caches under the
+    // identical invariant sweep.
+    platform.num_nodes = (round % 2 == 1 && num_gpus >= 2) ? 2 : 1;
+    if (platform.is_cluster() && round % 4 == 1) {
+      // Tight host cache on some rounds so eviction/refetch paths fire too.
+      platform.host_memory_bytes = params.data_bytes * 4;
+    }
 
     // Baseline facts every scheduler must agree on.
     const std::uint64_t loads_floor = analysis::min_loads_lower_bound(graph);

@@ -55,6 +55,103 @@ TEST(Platform, NvlinkFasterThanHostBus) {
             platform.transfer_time_us(14 * kMB));
 }
 
+TEST(Platform, EveryLinkPricesThroughTheSharedCostModel) {
+  // One formula for all three link kinds: latency + bytes / bandwidth.
+  Platform platform;
+  platform.nvlink_enabled = true;
+  const std::uint64_t bytes = 14 * kMB;
+  EXPECT_DOUBLE_EQ(platform.transfer_time_us(bytes),
+                   Platform::link_time_us(bytes,
+                                          platform.bus_bandwidth_bytes_per_s,
+                                          platform.bus_latency_us));
+  EXPECT_DOUBLE_EQ(
+      platform.nvlink_transfer_time_us(bytes),
+      Platform::link_time_us(bytes, platform.nvlink_bandwidth_bytes_per_s,
+                             platform.nvlink_latency_us));
+  EXPECT_DOUBLE_EQ(
+      platform.net_transfer_time_us(bytes),
+      Platform::link_time_us(bytes, platform.net_bandwidth_bytes_per_s,
+                             platform.net_latency_us));
+}
+
+TEST(Platform, ZeroByteTransfersCostExactlyTheLatency) {
+  Platform platform;
+  platform.bus_latency_us = 15.0;
+  platform.net_latency_us = 25.0;
+  platform.nvlink_latency_us = 5.0;
+  EXPECT_DOUBLE_EQ(platform.transfer_time_us(0), 15.0);
+  EXPECT_DOUBLE_EQ(platform.net_transfer_time_us(0), 25.0);
+  EXPECT_DOUBLE_EQ(platform.nvlink_transfer_time_us(0), 5.0);
+  // A zero-byte inter-node move still pays two PCI setups plus one network
+  // round: latency never amortizes away.
+  EXPECT_DOUBLE_EQ(platform.internode_transfer_time_us(0), 2 * 15.0 + 25.0);
+}
+
+TEST(Platform, LatencyDominatesSmallMessages) {
+  const Platform platform;
+  // 1 byte over 12.5 GB/s is ~0.08 ns of bandwidth against 25 us of
+  // latency: the fixed cost is essentially the whole transfer.
+  const double time = platform.net_transfer_time_us(1);
+  EXPECT_GT(time, platform.net_latency_us);
+  EXPECT_LT(time - platform.net_latency_us, 1e-3);
+}
+
+TEST(Platform, InternodeTransferIsTwoPciHopsPlusOneNetworkHop) {
+  Platform platform;
+  platform.num_nodes = 2;
+  const std::uint64_t bytes = 14 * kMB;
+  EXPECT_DOUBLE_EQ(platform.internode_transfer_time_us(bytes),
+                   2.0 * platform.transfer_time_us(bytes) +
+                       platform.net_transfer_time_us(bytes));
+  // The network hop makes remote strictly slower than a local PCI load.
+  EXPECT_GT(platform.internode_transfer_time_us(bytes),
+            platform.transfer_time_us(bytes));
+}
+
+TEST(Platform, NodeTopologyMapsContiguousGpuBlocks) {
+  Platform platform;
+  platform.num_gpus = 4;
+  platform.num_nodes = 2;
+  EXPECT_TRUE(platform.is_cluster());
+  EXPECT_EQ(platform.node_of(0), 0u);
+  EXPECT_EQ(platform.node_of(1), 0u);
+  EXPECT_EQ(platform.node_of(2), 1u);
+  EXPECT_EQ(platform.node_of(3), 1u);
+  EXPECT_EQ(platform.node_gpu_begin(0), 0u);
+  EXPECT_EQ(platform.node_gpu_end(0), 2u);
+  EXPECT_EQ(platform.node_gpu_begin(1), 2u);
+  EXPECT_EQ(platform.node_gpu_end(1), 4u);
+  // Round-robin data homes.
+  EXPECT_EQ(platform.home_node_of(0), 0u);
+  EXPECT_EQ(platform.home_node_of(1), 1u);
+  EXPECT_EQ(platform.home_node_of(2), 0u);
+}
+
+TEST(Platform, UnevenGpuCountsSplitWithoutGapsOrOverlap) {
+  Platform platform;
+  platform.num_gpus = 5;
+  platform.num_nodes = 2;
+  // Blocks partition [0, 5): every GPU belongs to exactly the node whose
+  // [begin, end) contains it.
+  for (GpuId gpu = 0; gpu < platform.num_gpus; ++gpu) {
+    const NodeId node = platform.node_of(gpu);
+    EXPECT_GE(gpu, platform.node_gpu_begin(node));
+    EXPECT_LT(gpu, platform.node_gpu_end(node));
+  }
+  EXPECT_EQ(platform.node_gpu_begin(0), 0u);
+  EXPECT_EQ(platform.node_gpu_end(1), 5u);
+  EXPECT_EQ(platform.node_gpu_end(0), platform.node_gpu_begin(1));
+}
+
+TEST(Platform, SingleNodeIsNotACluster) {
+  Platform platform;
+  platform.num_gpus = 4;
+  EXPECT_FALSE(platform.is_cluster());
+  EXPECT_EQ(platform.node_of(3), 0u);
+  EXPECT_EQ(platform.node_gpu_end(0), 4u);
+  EXPECT_EQ(platform.home_node_of(7), 0u);
+}
+
 TEST(MemoryView, FreeBytesDerivesFromCapacityAndUse) {
   class Stub final : public MemoryView {
    public:

@@ -226,5 +226,78 @@ TEST(Hmetis, EndToEndOnMatmul) {
   EXPECT_GT(metrics.per_gpu[1].tasks_executed, 0u);
 }
 
+/// Streamed graph for the priority tests: two 4-task jobs over one shared
+/// data item, all landing on one GPU so dispatch order is the contention.
+core::TaskGraph make_two_job_graph() {
+  core::TaskGraphBuilder builder;
+  const DataId d = builder.add_data(10);
+  for (int i = 0; i < 8; ++i) builder.add_task(1.0, {d});
+  return builder.build();
+}
+
+TEST(WorkQueue, HighPriorityJobDispatchesFirstUnderContention) {
+  const core::TaskGraph graph = make_two_job_graph();
+  RoundRobinScheduler scheduler(/*stealing=*/false, /*ready=*/false);
+  ASSERT_TRUE(scheduler.begin_streaming());  // before prepare, as the
+  scheduler.prepare(graph, tiny_platform(1, 100), 0);  // serving engine does
+
+  // ServeEngine order: every job's priority is announced before arrivals.
+  scheduler.notify_job_priority(0, 0);
+  scheduler.notify_job_priority(1, 5);
+  const std::vector<TaskId> job0 = {0, 1, 2, 3};
+  const std::vector<TaskId> job1 = {4, 5, 6, 7};
+  scheduler.notify_job_arrived(0, job0);
+  scheduler.notify_job_arrived(1, job1);
+
+  // Job 1 queued second but outranks job 0: its tasks pop first, each job
+  // internally in submission order.
+  StubMemory memory;
+  const std::vector<TaskId> expected = {4, 5, 6, 7, 0, 1, 2, 3};
+  for (const TaskId want : expected) {
+    EXPECT_EQ(scheduler.pop_task(0, memory), want);
+  }
+  EXPECT_EQ(scheduler.pop_task(0, memory), core::kInvalidTask);
+}
+
+TEST(WorkQueue, HighPriorityArrivalPreemptsQueuedBacklog) {
+  const core::TaskGraph graph = make_two_job_graph();
+  RoundRobinScheduler scheduler(/*stealing=*/false, /*ready=*/false);
+  ASSERT_TRUE(scheduler.begin_streaming());  // before prepare, as the
+  scheduler.prepare(graph, tiny_platform(1, 100), 0);  // serving engine does
+  scheduler.notify_job_priority(0, 0);
+  scheduler.notify_job_priority(1, 9);
+
+  StubMemory memory;
+  const std::vector<TaskId> job0 = {0, 1, 2, 3};
+  scheduler.notify_job_arrived(0, job0);
+  EXPECT_EQ(scheduler.pop_task(0, memory), 0u);  // backlog starts draining
+
+  // The high-priority job lands mid-stream: it jumps the remaining backlog.
+  const std::vector<TaskId> job1 = {4, 5, 6, 7};
+  scheduler.notify_job_arrived(1, job1);
+  const std::vector<TaskId> expected = {4, 5, 6, 7, 1, 2, 3};
+  for (const TaskId want : expected) {
+    EXPECT_EQ(scheduler.pop_task(0, memory), want);
+  }
+}
+
+TEST(WorkQueue, AllZeroPrioritiesKeepFifoOrder) {
+  const core::TaskGraph graph = make_two_job_graph();
+  RoundRobinScheduler scheduler(/*stealing=*/false, /*ready=*/false);
+  ASSERT_TRUE(scheduler.begin_streaming());  // before prepare, as the
+  scheduler.prepare(graph, tiny_platform(1, 100), 0);  // serving engine does
+  scheduler.notify_job_priority(0, 0);
+  scheduler.notify_job_priority(1, 0);
+  const std::vector<TaskId> job0 = {0, 1, 2, 3};
+  const std::vector<TaskId> job1 = {4, 5, 6, 7};
+  scheduler.notify_job_arrived(0, job0);
+  scheduler.notify_job_arrived(1, job1);
+
+  StubMemory memory;
+  for (TaskId want = 0; want < 8; ++want) {
+    EXPECT_EQ(scheduler.pop_task(0, memory), want);
+  }
+}
+
 }  // namespace
 }  // namespace mg::sched
