@@ -9,10 +9,16 @@ int main(int argc, char** argv) {
   using namespace mg;
   util::Flags flags("Figure 11: Cholesky task set, 4 GPUs");
   bench::add_standard_flags(flags, /*default_gpus=*/4);
+  flags.define_bool("deps", false,
+                    "restore the factorization's real task dependencies "
+                    "(the paper strips them; see docs/ARCHITECTURE.md)");
   if (!flags.parse(argc, argv)) return 0;
 
+  const bool deps = flags.get_bool("deps");
   const auto config = bench::config_from_flags(
-      flags, "fig11", "Cholesky task set on 4 V100s, performance");
+      flags, deps ? "fig11_deps" : "fig11",
+      deps ? "Cholesky tile DAG (with dependencies) on 4 V100s, performance"
+           : "Cholesky task set on 4 V100s, performance");
   const bool full = flags.get_bool("full");
 
   // Working set = N(N+1)/2 tiles of 3.6864 MB; paper sweeps to ~8000 MB
@@ -24,7 +30,10 @@ int main(int argc, char** argv) {
   for (std::uint32_t n : ns) {
     points.push_back(bench::WorkloadPoint{
         static_cast<double>(work::cholesky_working_set(n)) / 1e6,
-        [n] { return work::make_cholesky_tasks({.n = n}); }});
+        [n, deps] {
+          return work::make_cholesky_tasks(
+              {.n = n, .with_dependencies = deps});
+        }});
   }
 
   bench::run_figure(

@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
                      "JSON fault plan injected mid-stream "
                      "(docs/ROBUSTNESS.md)")
       .define_string("run-report", "",
-                     "write the schema-v5 JSON run report (with serving "
+                     "write the schema-v6 JSON run report (with serving "
                      "section) to this path");
   if (!flags.parse(argc, argv)) return 0;
 

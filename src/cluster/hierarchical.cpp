@@ -132,6 +132,15 @@ void HierarchicalScheduler::prepare(const core::TaskGraph& graph,
   nodes_.clear();
   issued_.assign(graph.num_tasks(), Issued{});
   steals_ = 0;
+  deferred_.clear();
+  if (deps_) {
+    enabled_.assign(graph.num_tasks(), 0);
+    for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
+      if (graph.num_predecessors(task) == 0) enabled_[task] = 1;
+    }
+  } else {
+    enabled_.clear();
+  }
 
   const std::uint32_t num_nodes =
       platform.is_cluster() ? platform.num_nodes : 1;
@@ -144,6 +153,10 @@ void HierarchicalScheduler::prepare(const core::TaskGraph& graph,
     node->inner = factory_();
     node->gpu_begin = 0;
     node->gpu_end = platform.num_gpus;
+    if (deps_) {
+      MG_CHECK_MSG(node->inner->begin_dependencies(),
+                   "inner scheduler declined dependency gating");
+    }
     node->inner->prepare(graph, platform, seed);
     nodes_.push_back(std::move(node));
     return;
@@ -217,15 +230,29 @@ core::TaskId HierarchicalScheduler::pop_task(core::GpuId gpu,
                                              const core::MemoryView& memory) {
   if (identity_) return nodes_[0]->inner->pop_task(gpu, memory);
 
+  if (deps_) {
+    // Serve a deferred task whose (remote) predecessors have since retired.
+    for (auto it = deferred_.begin(); it != deferred_.end(); ++it) {
+      if (enabled_[*it] != 0) {
+        const core::TaskId task = *it;
+        deferred_.erase(it);
+        return task;
+      }
+    }
+  }
+
   const std::uint32_t node_id = platform_.node_of(gpu);
   Node& node = *nodes_[node_id];
   const TranslatingMemoryView view(memory, node.local_to_global_data);
-  const core::TaskId local = node.inner->pop_task(gpu - node.gpu_begin, view);
-  if (local != core::kInvalidTask) {
+  for (;;) {
+    const core::TaskId local = node.inner->pop_task(gpu - node.gpu_begin, view);
+    if (local == core::kInvalidTask) break;
     --node.unpopped;
     const core::TaskId task = node.local_to_global_task[local];
     issued_[task] = Issued{node_id, gpu - node.gpu_begin};
-    return task;
+    if (!deps_ || enabled_[task] != 0) return task;
+    // Popped before its last predecessor retired: hold it wrapper-side.
+    deferred_.push_back(task);
   }
   if (options_.steal && node.unpopped == 0) return steal_for(gpu, memory);
   return core::kInvalidTask;
@@ -252,13 +279,27 @@ core::TaskId HierarchicalScheduler::steal_for(core::GpuId gpu,
   const core::GpuId proxy =
       gpu % (victim.gpu_end - victim.gpu_begin);
   const TranslatingMemoryView view(memory, victim.local_to_global_data);
-  const core::TaskId local = victim.inner->pop_task(proxy, view);
-  if (local == core::kInvalidTask) return core::kInvalidTask;
-  --victim.unpopped;
-  ++steals_;
-  const core::TaskId task = victim.local_to_global_task[local];
-  issued_[task] = Issued{victim_id, proxy};
-  return task;
+  for (;;) {
+    const core::TaskId local = victim.inner->pop_task(proxy, view);
+    if (local == core::kInvalidTask) return core::kInvalidTask;
+    --victim.unpopped;
+    const core::TaskId task = victim.local_to_global_task[local];
+    issued_[task] = Issued{victim_id, proxy};
+    if (!deps_ || enabled_[task] != 0) {
+      ++steals_;
+      return task;
+    }
+    deferred_.push_back(task);  // blocked loot: held like a local pop
+  }
+}
+
+void HierarchicalScheduler::notify_task_retired(
+    core::TaskId task, std::span<const core::TaskId> enabled_successors) {
+  if (identity_) {
+    nodes_[0]->inner->notify_task_retired(task, enabled_successors);
+    return;
+  }
+  for (core::TaskId succ : enabled_successors) enabled_[succ] = 1;
 }
 
 void HierarchicalScheduler::notify_task_complete(core::GpuId gpu,

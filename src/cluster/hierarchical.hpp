@@ -15,6 +15,16 @@
 // The wrapper is batch-only (begin_streaming declines; use
 // cluster::LocalityScheduler for streamed multi-node runs) and declines
 // orphan adoption on GPU loss (the engine requeues).
+//
+// Dependency-gated runs: on a single-node platform everything (including
+// begin_dependencies and notify_task_retired) is delegated to the inner
+// scheduler. On a real cluster the node sub-graphs carry no edges — cross-
+// node edges have no local representation — so gating lives in the wrapper:
+// a task the inner scheduler pops while it still has unretired (possibly
+// remote) predecessors is *deferred* wrapper-side and handed out to the
+// next requesting GPU once enabled. The inner scheduler's bookkeeping stays
+// consistent (its pop simply completes later), and a cross-node edge costs
+// exactly the remote-fetch chain the successor's input fetch already pays.
 #pragma once
 
 #include <cstdint>
@@ -58,6 +68,15 @@ class HierarchicalScheduler final : public core::Scheduler {
 
   [[nodiscard]] core::TaskId pop_task(core::GpuId gpu,
                                       const core::MemoryView& memory) override;
+
+  [[nodiscard]] bool begin_dependencies() override {
+    deps_ = true;
+    return true;
+  }
+
+  void notify_task_retired(
+      core::TaskId task,
+      std::span<const core::TaskId> enabled_successors) override;
 
   void notify_task_complete(core::GpuId gpu, core::TaskId task) override;
   void notify_data_loaded(core::GpuId gpu, core::DataId data) override;
@@ -105,6 +124,12 @@ class HierarchicalScheduler final : public core::Scheduler {
   };
   std::vector<Issued> issued_;
   std::uint64_t steals_ = 0;
+  /// Dependency gating (multi-node only; identity mode delegates): global
+  /// enabled bitmap plus the wrapper-side hold queue for tasks an inner
+  /// scheduler popped before their remote predecessors retired.
+  bool deps_ = false;
+  std::vector<std::uint8_t> enabled_;
+  std::deque<core::TaskId> deferred_;
 };
 
 }  // namespace mg::cluster

@@ -17,6 +17,9 @@ void LocalityScheduler::prepare(const core::TaskGraph& graph,
   if (!streaming_) {
     pool_.reserve(graph.num_tasks());
     for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
+      // Dependency-gated: only the initial ready frontier enters the pool;
+      // the rest arrive through notify_task_retired.
+      if (deps_ && graph.num_predecessors(task) != 0) continue;
       pool_.push_back(task);
     }
   }
@@ -35,6 +38,13 @@ void LocalityScheduler::notify_job_arrived(
     std::uint32_t job, std::span<const core::TaskId> tasks) {
   (void)job;
   pool_.insert(pool_.end(), tasks.begin(), tasks.end());
+}
+
+void LocalityScheduler::notify_task_retired(
+    core::TaskId task, std::span<const core::TaskId> enabled_successors) {
+  (void)task;
+  pool_.insert(pool_.end(), enabled_successors.begin(),
+               enabled_successors.end());
 }
 
 void LocalityScheduler::notify_data_loaded(core::GpuId gpu,

@@ -52,6 +52,17 @@ class LocalityScheduler final : public core::Scheduler {
   void notify_job_arrived(std::uint32_t job,
                           std::span<const core::TaskId> tasks) override;
 
+  /// Dependencies: the pool holds exactly the ready frontier — tasks enter
+  /// at load (no predecessors), at job arrival (streamed, already enabled)
+  /// or when their last predecessor retires.
+  [[nodiscard]] bool begin_dependencies() override {
+    deps_ = true;
+    return true;
+  }
+  void notify_task_retired(
+      core::TaskId task,
+      std::span<const core::TaskId> enabled_successors) override;
+
   void notify_data_loaded(core::GpuId gpu, core::DataId data) override;
 
  private:
@@ -63,6 +74,7 @@ class LocalityScheduler final : public core::Scheduler {
 
   LocalityOptions options_;
   bool streaming_ = false;
+  bool deps_ = false;
   const core::TaskGraph* graph_ = nullptr;
   core::Platform platform_;
   std::vector<core::TaskId> pool_;  ///< submitted, unpopped (arrival order)

@@ -65,11 +65,30 @@ void DartsScheduler::prepare(const TaskGraph& graph, const Platform& platform,
 
   const std::uint32_t num_tasks = graph.num_tasks();
   const std::uint32_t num_data = graph.num_data();
+  dep_pending_.clear();
+  if (deps_) {
+    dep_pending_.resize(num_tasks);
+    for (TaskId task = 0; task < num_tasks; ++task) {
+      dep_pending_[task] = graph.num_predecessors(task);
+    }
+  }
   if (streaming_) {
     // Nothing has arrived yet: the shared pool fills via notify_job_arrived.
     state_.assign(num_tasks, TaskState::kUnsubmitted);
     available_.clear();
     available_pos_.assign(num_tasks, kNoPos);
+  } else if (deps_) {
+    // The shared pool is the ready frontier: only tasks without
+    // predecessors start available; the rest join via notify_task_retired.
+    state_.assign(num_tasks, TaskState::kUnsubmitted);
+    available_.clear();
+    available_pos_.assign(num_tasks, kNoPos);
+    for (TaskId task = 0; task < num_tasks; ++task) {
+      if (graph.num_predecessors(task) == 0) {
+        state_[task] = TaskState::kAvailable;
+        push_to_available(task);
+      }
+    }
   } else {
     state_.assign(num_tasks, TaskState::kAvailable);
     available_.resize(num_tasks);
@@ -92,9 +111,9 @@ void DartsScheduler::prepare(const TaskGraph& graph, const Platform& platform,
         const auto degree =
             static_cast<std::uint32_t>(graph.inputs(task).size());
         gpu_state.missing[task] = degree;
-        // n(D) counts *available* tasks only; in streaming mode a task joins
-        // the counters when its job arrives.
-        if (!streaming_ && degree == 1) {
+        // n(D) counts *available* tasks only; a task joins the counters when
+        // its job arrives (streaming) or its last predecessor retires (deps).
+        if (state_[task] == TaskState::kAvailable && degree == 1) {
           ++gpu_state.free_count[graph.inputs(task)[0]];
         }
       }
@@ -112,6 +131,110 @@ void DartsScheduler::notify_job_arrived(std::uint32_t job,
     push_to_available(task);
     incremental_availability_change(task, +1);
   }
+}
+
+void DartsScheduler::notify_task_retired(
+    TaskId task, std::span<const TaskId> enabled_successors) {
+  // Keep the unretired-predecessor mirror fresh for the unlock weighting.
+  for (TaskId succ : graph_->successors(task)) {
+    if (dep_pending_[succ] > 0) --dep_pending_[succ];
+  }
+  // The enabled successors extend the ready frontier — the same move a
+  // streamed job arrival makes, including the incremental n(D) bookkeeping.
+  for (TaskId succ : enabled_successors) {
+    MG_DCHECK(state_[succ] == TaskState::kUnsubmitted);
+    state_[succ] = TaskState::kAvailable;
+    push_to_available(succ);
+    incremental_availability_change(succ, +1);
+  }
+}
+
+std::uint64_t DartsScheduler::unlock_weight(TaskId task) const {
+  std::uint64_t weight = 0;
+  const auto inputs = graph_->inputs(task);
+  for (TaskId succ : graph_->successors(task)) {
+    // `task` has not retired, so it still counts in the successor's pending
+    // total: a count of one means `task` is the last blocker.
+    if (dep_pending_[succ] != 1) continue;
+    std::uint64_t shared = 0;
+    for (DataId data : graph_->inputs(succ)) {
+      if (std::find(inputs.begin(), inputs.end(), data) != inputs.end()) {
+        ++shared;
+      }
+    }
+    weight += 1 + shared;
+  }
+  return weight;
+}
+
+std::uint64_t DartsScheduler::successor_weight_of_data(DataId data) const {
+  std::uint64_t weight = 0;
+  for (TaskId task : graph_->consumers(data)) {
+    if (state_[task] == TaskState::kAvailable) weight += unlock_weight(task);
+  }
+  return weight;
+}
+
+DataId DartsScheduler::choose_candidate_successor_aware() {
+  std::uint64_t best_weight = 0;
+  std::uint32_t best_consumers = 0;
+  std::size_t tie_count = 0;
+  DataId chosen = kInvalidData;
+  for (DataId data : candidates_) {
+    const std::uint64_t weight = successor_weight_of_data(data);
+    const std::uint32_t consumers = count_unprocessed_consumers(data);
+    if (chosen == kInvalidData || weight > best_weight ||
+        (weight == best_weight && consumers > best_consumers)) {
+      best_weight = weight;
+      best_consumers = consumers;
+      chosen = data;
+      tie_count = 1;
+    } else if (weight == best_weight && consumers == best_consumers) {
+      ++tie_count;
+      if (rng_.below(tie_count) == 0) chosen = data;
+    }
+  }
+  return chosen;
+}
+
+TaskId DartsScheduler::take_available_successor_aware(
+    GpuId gpu, const MemoryView* memory) {
+  // Locality first: a narrow ready frontier makes this fallback the common
+  // case on DAG runs, and a frontier task with fewer absent inputs costs
+  // fewer host loads right now. Unlock weight only breaks locality ties —
+  // the reverse ordering thrashes the cache once the working set spills.
+  const PerGpu& gpu_state = per_gpu_[gpu];
+  std::uint32_t best_missing = 0;
+  std::uint64_t best_weight = 0;
+  std::size_t tie_count = 0;
+  TaskId chosen = kInvalidTask;
+  for (TaskId task : available_) {
+    std::uint32_t missing = 0;
+    if (options_.incremental) {
+      missing = gpu_state.missing[task];
+    } else if (memory != nullptr) {
+      for (DataId data : graph_->inputs(task)) {
+        if (!memory->is_present_or_fetching(data)) ++missing;
+      }
+    }
+    const std::uint64_t weight = unlock_weight(task);
+    if (chosen == kInvalidTask || missing < best_missing ||
+        (missing == best_missing && weight > best_weight)) {
+      best_missing = missing;
+      best_weight = weight;
+      chosen = task;
+      tie_count = 1;
+    } else if (missing == best_missing && weight == best_weight) {
+      ++tie_count;
+      if (rng_.below(tie_count) == 0) chosen = task;
+    }
+  }
+  if (chosen == kInvalidTask) return kInvalidTask;
+  for (DataId data : graph_->inputs(chosen)) remove_data_from_scan(gpu, data);
+  incremental_availability_change(chosen, -1);
+  remove_from_available(chosen);
+  mark_buffered(gpu, chosen);
+  return chosen;
 }
 
 bool DartsScheduler::rest_in_memory(TaskId task, const MemoryView& memory,
@@ -188,6 +311,11 @@ TaskId DartsScheduler::pop_task(GpuId gpu, const MemoryView& memory) {
   }
 
   if (n_max > 0) {
+    // On a dependency-gated run, break candidate ties towards the data
+    // whose freed tasks unlock the most successors.
+    if (deps_) {
+      return plan_and_pop(gpu, memory, choose_candidate_successor_aware());
+    }
     // Lines 8-9: among data freeing n_max tasks, prefer the one useful to
     // the most unprocessed tasks overall; break remaining ties at random.
     std::uint32_t best_consumers = 0;
@@ -213,7 +341,7 @@ TaskId DartsScheduler::pop_task(GpuId gpu, const MemoryView& memory) {
     const TaskId task = take_three_inputs(gpu, memory);
     if (task != kInvalidTask) return task;
   }
-  return take_random_available(gpu);
+  return take_random_available(gpu, &memory);
 }
 
 TaskId DartsScheduler::pop_task_incremental(GpuId gpu) {
@@ -235,6 +363,9 @@ TaskId DartsScheduler::pop_task_incremental(GpuId gpu) {
     }
   }
   if (n_max > 0) {
+    if (deps_) {
+      return plan_and_pop_incremental(gpu, choose_candidate_successor_aware());
+    }
     std::uint32_t best_consumers = 0;
     std::size_t tie_count = 0;
     DataId chosen = kInvalidData;
@@ -251,7 +382,7 @@ TaskId DartsScheduler::pop_task_incremental(GpuId gpu) {
     }
     return plan_and_pop_incremental(gpu, chosen);
   }
-  return take_random_available(gpu);
+  return take_random_available(gpu, nullptr);
 }
 
 TaskId DartsScheduler::plan_and_pop_incremental(GpuId gpu, DataId data) {
@@ -331,8 +462,12 @@ TaskId DartsScheduler::pop_planned(GpuId gpu) {
   return task;
 }
 
-TaskId DartsScheduler::take_random_available(GpuId gpu) {
+TaskId DartsScheduler::take_random_available(GpuId gpu,
+                                             const MemoryView* memory) {
   if (available_.empty()) return kInvalidTask;
+  // Dependency-gated runs replace the blind uniform pick with a
+  // locality-then-unlock-weight choice over the ready frontier.
+  if (deps_) return take_available_successor_aware(gpu, memory);
   const TaskId task = available_[rng_.pick_index(available_)];
   for (DataId data : graph_->inputs(task)) remove_data_from_scan(gpu, data);
   incremental_availability_change(task, -1);
@@ -408,10 +543,13 @@ void DartsScheduler::mark_buffered(GpuId gpu, TaskId task) {
 void DartsScheduler::notify_task_complete(GpuId gpu, TaskId task) {
   MG_DCHECK(state_[task] == TaskState::kBuffered);
   state_[task] = TaskState::kDone;
+  // The entry can be legitimately absent: when `gpu` died, notify_gpu_lost
+  // cleared its whole taskBuffer, yet a task the engine had ejected from the
+  // pipeline beforehand (fault-time dependency revocation) still reports its
+  // completion against this GPU.
   auto& buffered = per_gpu_[gpu].buffered;
   auto it = std::find(buffered.begin(), buffered.end(), task);
-  MG_DCHECK(it != buffered.end());
-  buffered.erase(it);
+  if (it != buffered.end()) buffered.erase(it);
 }
 
 void DartsScheduler::notify_data_loaded(GpuId gpu, DataId data) {

@@ -21,6 +21,18 @@
 // (taskBuffer), minimizing uses by plannedTasks; otherwise apply Belady's
 // rule over the pipeline. Planned tasks that depended on the evicted data
 // return to the available pool.
+//
+// Dependency-gated runs (DAG workloads): the shared pool holds exactly the
+// *ready frontier* — tasks whose predecessors all retired — maintained
+// incrementally by notify_task_retired, so no planning round ever scans
+// blocked tasks (they stay kUnsubmitted until enabled). Planning further
+// becomes successor-aware: candidate data ties are broken towards the data
+// whose freed tasks would *unlock* the most successors (successors one
+// retirement away from enablement, weighted by the inputs they share with
+// the unlocking task), and the no-free-task fallback picks the available
+// task with the highest unlock weight instead of a uniformly random one.
+// Independent-task runs never take these paths, so their decisions (and RNG
+// draws) are untouched.
 #pragma once
 
 #include <cstdint>
@@ -89,6 +101,14 @@ class DartsScheduler final : public Scheduler, public EvictionPolicy {
   }
   void notify_job_arrived(std::uint32_t job,
                           std::span<const TaskId> tasks) override;
+  /// Dependencies: the shared pool becomes the ready frontier and planning
+  /// turns successor-aware (see the header comment).
+  [[nodiscard]] bool begin_dependencies() override {
+    deps_ = true;
+    return true;
+  }
+  void notify_task_retired(TaskId task,
+                           std::span<const TaskId> enabled_successors) override;
   [[nodiscard]] EvictionPolicy* eviction_policy(GpuId gpu) override {
     (void)gpu;
     return options_.use_luf ? this : nullptr;
@@ -185,9 +205,26 @@ class DartsScheduler final : public Scheduler, public EvictionPolicy {
   TaskId plan_and_pop(GpuId gpu, const MemoryView& memory, DataId data);
 
   TaskId pop_planned(GpuId gpu);
-  TaskId take_random_available(GpuId gpu);
+  /// `memory` feeds the dependency-gated fallback's locality ranking; pass
+  /// nullptr from incremental mode (which tracks missing counts itself).
+  TaskId take_random_available(GpuId gpu, const MemoryView* memory = nullptr);
   TaskId take_three_inputs(GpuId gpu, const MemoryView& memory);
   void mark_buffered(GpuId gpu, TaskId task);
+
+  // Successor-aware planning (dependency-gated runs only).
+  /// Weight of the successors `task` would unlock by retiring: one point per
+  /// successor whose last unretired predecessor is `task`, plus one per
+  /// input that successor shares with `task` (running `task` keeps those
+  /// loaded for the successor).
+  [[nodiscard]] std::uint64_t unlock_weight(TaskId task) const;
+  /// Sum of unlock_weight over the available consumers of `data`.
+  [[nodiscard]] std::uint64_t successor_weight_of_data(DataId data) const;
+  /// Tie-break over candidates_: unlock weight, then unprocessed consumers,
+  /// then uniform random.
+  [[nodiscard]] DataId choose_candidate_successor_aware();
+  /// Fallback pop: the available task with the fewest absent inputs on
+  /// `gpu`, breaking ties towards the highest unlock weight.
+  TaskId take_available_successor_aware(GpuId gpu, const MemoryView* memory);
 
   // Incremental-mode maintenance.
   TaskId pop_task_incremental(GpuId gpu);
@@ -200,9 +237,14 @@ class DartsScheduler final : public Scheduler, public EvictionPolicy {
   DartsOptions options_;
   std::string name_;
   bool streaming_ = false;
+  bool deps_ = false;
   const TaskGraph* graph_ = nullptr;
   util::Rng rng_;
 
+  /// Unretired-predecessor mirror for the successor-aware weighting (not
+  /// rolled back on fault-time un-retirements — a slightly stale weight is
+  /// an acceptable heuristic error; correctness lives in the engine gate).
+  std::vector<std::uint32_t> dep_pending_;
   std::vector<TaskState> state_;
   std::vector<TaskId> available_;            ///< shared pool
   std::vector<std::uint32_t> available_pos_; ///< task -> index, or npos

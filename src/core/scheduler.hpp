@@ -66,6 +66,31 @@ class Scheduler {
     (void)tasks;
   }
 
+  // ---- Dependencies (DAG workloads) lifecycle ------------------------------
+  //
+  // When the task graph carries dependency edges (TaskGraph::
+  // has_dependencies), tasks only become runnable when every predecessor has
+  // retired. The engine calls begin_dependencies() once, before prepare(); a
+  // scheduler that returns true must treat every task with unretired
+  // predecessors as not-yet-poppable, and adopt the ready frontier
+  // incrementally through notify_task_retired. The engine enforces the gate
+  // (popping a non-enabled task is an engine error), so a conservative
+  // scheduler may simply hold tasks back until they are announced enabled.
+
+  /// Opt into dependency gating. Return false (the default) and the engine
+  /// refuses to run a DAG workload with this scheduler.
+  [[nodiscard]] virtual bool begin_dependencies() { return false; }
+
+  /// `task` retired (all its effects durable); `enabled_successors` lists the
+  /// tasks whose last unretired predecessor it was (ascending) — they are now
+  /// runnable. In a streamed run a successor is announced only when its job
+  /// has also arrived. Called between pops, never re-entrantly.
+  virtual void notify_task_retired(TaskId task,
+                                   std::span<const TaskId> enabled_successors) {
+    (void)task;
+    (void)enabled_successors;
+  }
+
   /// Dispatch priority of `job` (serve::JobSpec::priority — higher first).
   /// Announced by the serving engine once per job, before any arrival, so a
   /// scheduler can order its pops by it. Default: ignore (FIFO dispatch).

@@ -65,6 +65,25 @@ void TaskGraphBuilder::set_task_output(TaskId task, std::uint64_t bytes) {
   task_outputs_[task] = bytes;
 }
 
+void TaskGraphBuilder::add_dependency(TaskId pred, TaskId succ) {
+  MG_CHECK_MSG(pred < task_flops_.size(), "unknown predecessor task");
+  MG_CHECK_MSG(succ < task_flops_.size(), "unknown successor task");
+  MG_CHECK_MSG(pred != succ, "self-dependency");
+  explicit_edges_.emplace_back(pred, succ);
+}
+
+void TaskGraphBuilder::set_task_writes(TaskId task, DataId data) {
+  MG_CHECK_MSG(task < task_flops_.size(), "unknown task");
+  MG_CHECK_MSG(data < data_sizes_.size(), "written data not registered");
+  // Catch the common duplicate (writes declared right after add_task);
+  // build() re-checks the full list once, sorted.
+  for (auto it = task_write_list_.rbegin();
+       it != task_write_list_.rend() && it->first == task; ++it) {
+    MG_CHECK_MSG(it->second != data, "duplicate write declaration");
+  }
+  task_write_list_.emplace_back(task, data);
+}
+
 TaskId TaskGraphBuilder::add_task(double flops,
                                   std::initializer_list<DataId> inputs,
                                   std::string label) {
@@ -117,7 +136,176 @@ TaskGraph TaskGraphBuilder::build() const {
       std::accumulate(task_flops_.begin(), task_flops_.end(), 0.0);
   graph.working_set_bytes_ = std::accumulate(
       data_sizes_.begin(), data_sizes_.end(), std::uint64_t{0});
+
+  build_dependencies(graph);
   return graph;
+}
+
+// Derives RAW/WAR/WAW edges from the write list, merges in the explicit
+// edges, dedupes into kind-bitmask CSRs and validates acyclicity. On a graph
+// with neither writes nor explicit edges this is a no-op and every
+// dependency array stays empty.
+void TaskGraphBuilder::build_dependencies(TaskGraph& graph) const {
+  if (explicit_edges_.empty() && task_write_list_.empty()) return;
+
+  const auto num_tasks = static_cast<TaskId>(task_flops_.size());
+  const auto num_data = static_cast<std::uint32_t>(data_sizes_.size());
+
+  // Full duplicate-write check (the builder only catches adjacent ones).
+  {
+    std::vector<std::pair<TaskId, DataId>> sorted = task_write_list_;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      MG_CHECK_MSG(sorted[i] != sorted[i - 1], "duplicate write declaration");
+    }
+  }
+
+  // Write CSRs: task -> written data (ascending per task) and data -> writer
+  // tasks (version order = ascending task id).
+  if (!task_write_list_.empty()) {
+    std::vector<std::uint32_t> write_degree(num_tasks, 0);
+    std::vector<std::uint32_t> writer_degree(num_data, 0);
+    for (const auto& [task, data] : task_write_list_) {
+      ++write_degree[task];
+      ++writer_degree[data];
+    }
+    graph.write_offsets_.assign(num_tasks + 1, 0);
+    std::partial_sum(write_degree.begin(), write_degree.end(),
+                     graph.write_offsets_.begin() + 1);
+    graph.writer_offsets_.assign(num_data + 1, 0);
+    std::partial_sum(writer_degree.begin(), writer_degree.end(),
+                     graph.writer_offsets_.begin() + 1);
+    graph.task_writes_.resize(task_write_list_.size());
+    graph.data_writers_.resize(task_write_list_.size());
+    std::vector<std::pair<TaskId, DataId>> by_task = task_write_list_;
+    std::sort(by_task.begin(), by_task.end());
+    std::vector<std::uint32_t> write_cursor(graph.write_offsets_.begin(),
+                                            graph.write_offsets_.end() - 1);
+    std::vector<std::uint32_t> writer_cursor(graph.writer_offsets_.begin(),
+                                             graph.writer_offsets_.end() - 1);
+    for (const auto& [task, data] : by_task) {
+      graph.task_writes_[write_cursor[task]++] = data;
+      graph.data_writers_[writer_cursor[data]++] = task;
+    }
+  }
+
+  // Edge derivation in task-submission order. Per data: the last writer so
+  // far and the readers of the current version.
+  struct RawEdge {
+    TaskId pred;
+    TaskId succ;
+    std::uint8_t kind;
+  };
+  std::vector<RawEdge> edges;
+  edges.reserve(explicit_edges_.size() + task_write_list_.size());
+  for (const auto& [pred, succ] : explicit_edges_) {
+    edges.push_back({pred, succ, kDepExplicit});
+  }
+  if (!task_write_list_.empty()) {
+    std::vector<TaskId> last_writer(num_data, kInvalidTask);
+    std::vector<std::vector<TaskId>> version_readers(num_data);
+    for (TaskId task = 0; task < num_tasks; ++task) {
+      // Reads bind to the current version: RAW from its writer, if any. A
+      // task that also writes the data reads the previous version too.
+      for (std::uint32_t e = task_offsets_[task]; e < task_offsets_[task + 1];
+           ++e) {
+        const DataId data = task_inputs_[e];
+        if (last_writer[data] != kInvalidTask) {
+          edges.push_back({last_writer[data], task, kDepRaw});
+        }
+        version_readers[data].push_back(task);
+      }
+      // Writes retire the current version: WAR from its readers, WAW from
+      // its writer; the task becomes the new version's writer.
+      for (DataId data : graph.writes(task)) {
+        for (TaskId reader : version_readers[data]) {
+          if (reader != task) edges.push_back({reader, task, kDepWar});
+        }
+        if (last_writer[data] != kInvalidTask) {
+          edges.push_back({last_writer[data], task, kDepWaw});
+        }
+        last_writer[data] = task;
+        version_readers[data].clear();
+      }
+    }
+  }
+
+  // Dedup: sort by (pred, succ), OR the kind bits of equal pairs.
+  std::sort(edges.begin(), edges.end(),
+            [](const RawEdge& a, const RawEdge& b) {
+              return a.pred != b.pred ? a.pred < b.pred : a.succ < b.succ;
+            });
+  std::vector<RawEdge> unique_edges;
+  unique_edges.reserve(edges.size());
+  for (const RawEdge& edge : edges) {
+    if (!unique_edges.empty() && unique_edges.back().pred == edge.pred &&
+        unique_edges.back().succ == edge.succ) {
+      unique_edges.back().kind |= edge.kind;
+    } else {
+      unique_edges.push_back(edge);
+    }
+  }
+  if (unique_edges.empty()) return;
+
+  graph.dep_counts_ = DepEdgeCounts{};
+  graph.dep_counts_.total = unique_edges.size();
+  for (const RawEdge& edge : unique_edges) {
+    if (edge.kind & kDepExplicit) ++graph.dep_counts_.explicit_edges;
+    if (edge.kind & kDepRaw) ++graph.dep_counts_.raw;
+    if (edge.kind & kDepWar) ++graph.dep_counts_.war;
+    if (edge.kind & kDepWaw) ++graph.dep_counts_.waw;
+  }
+
+  // Successor CSR (already in (pred, succ) order) and predecessor CSR.
+  std::vector<std::uint32_t> succ_degree(num_tasks, 0);
+  std::vector<std::uint32_t> pred_degree(num_tasks, 0);
+  for (const RawEdge& edge : unique_edges) {
+    ++succ_degree[edge.pred];
+    ++pred_degree[edge.succ];
+  }
+  graph.dep_succ_offsets_.assign(num_tasks + 1, 0);
+  std::partial_sum(succ_degree.begin(), succ_degree.end(),
+                   graph.dep_succ_offsets_.begin() + 1);
+  graph.dep_pred_offsets_.assign(num_tasks + 1, 0);
+  std::partial_sum(pred_degree.begin(), pred_degree.end(),
+                   graph.dep_pred_offsets_.begin() + 1);
+  graph.dep_succ_.resize(unique_edges.size());
+  graph.dep_succ_kinds_.resize(unique_edges.size());
+  graph.dep_pred_.resize(unique_edges.size());
+  graph.dep_pred_kinds_.resize(unique_edges.size());
+  std::vector<std::uint32_t> succ_cursor(graph.dep_succ_offsets_.begin(),
+                                         graph.dep_succ_offsets_.end() - 1);
+  std::vector<std::uint32_t> pred_cursor(graph.dep_pred_offsets_.begin(),
+                                         graph.dep_pred_offsets_.end() - 1);
+  for (const RawEdge& edge : unique_edges) {
+    graph.dep_succ_[succ_cursor[edge.pred]] = edge.succ;
+    graph.dep_succ_kinds_[succ_cursor[edge.pred]++] = edge.kind;
+    graph.dep_pred_[pred_cursor[edge.succ]] = edge.pred;
+    graph.dep_pred_kinds_[pred_cursor[edge.succ]++] = edge.kind;
+  }
+
+  // Kahn topological sweep: validates acyclicity and yields the critical
+  // path length (longest chain, counted in tasks).
+  std::vector<std::uint32_t> pending(pred_degree);
+  std::vector<std::uint32_t> depth(num_tasks, 1);
+  std::vector<TaskId> frontier;
+  for (TaskId task = 0; task < num_tasks; ++task) {
+    if (pending[task] == 0) frontier.push_back(task);
+  }
+  std::uint32_t visited = 0;
+  std::uint32_t longest = 0;
+  while (!frontier.empty()) {
+    const TaskId task = frontier.back();
+    frontier.pop_back();
+    ++visited;
+    longest = std::max(longest, depth[task]);
+    for (TaskId succ : graph.successors(task)) {
+      depth[succ] = std::max(depth[succ], depth[task] + 1);
+      if (--pending[succ] == 0) frontier.push_back(succ);
+    }
+  }
+  MG_CHECK_MSG(visited == num_tasks, "dependency cycle in task graph");
+  graph.critical_path_length_ = longest;
 }
 
 void TaskGraphBuilder::clear() {
@@ -128,6 +316,8 @@ void TaskGraphBuilder::clear() {
   task_outputs_.clear();
   task_labels_.clear();
   data_labels_.clear();
+  explicit_edges_.clear();
+  task_write_list_.clear();
 }
 
 }  // namespace mg::core

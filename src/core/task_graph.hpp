@@ -1,22 +1,54 @@
 // Bipartite task/data graph of Section III of the paper.
 //
 // Tasks T = {T_1..T_m} and data D = {D_1..D_n}; an edge (T_i, D_j) means T_i
-// reads D_j. Tasks are independent (no task-task dependencies) and data are
-// read-only inputs; outputs are excluded from the model, as in the paper.
+// reads D_j. In the paper's base model tasks are independent (no task-task
+// dependencies) and data are read-only inputs; outputs are excluded.
 //
-// Storage is CSR in both directions (task -> inputs, data -> consumers) so
-// every scheduler query is a contiguous span scan. The graph is immutable
-// after TaskGraphBuilder::build().
+// Dependencies (first-class DAG workloads) restore what the paper flattened:
+// a graph may additionally carry task->task edges, either declared explicitly
+// (TaskGraphBuilder::add_dependency) or derived from read/write footprints
+// (set_task_writes): in task-submission order, a write to D creates a new
+// version of D, so a later reader depends on the last writer (RAW), a writer
+// depends on every reader of the previous version (WAR) and on the previous
+// writer (WAW). A task that both reads and writes D reads the *previous*
+// version (no self-edge). Derived edges therefore always point forward in
+// submission order; explicit edges may not create cycles (checked at build).
+//
+// Storage is CSR in both directions (task -> inputs, data -> consumers, and
+// for dependencies predecessors/successors) so every scheduler query is a
+// contiguous span scan. A graph without dependencies carries none of the
+// dependency arrays — the independent-task fast paths stay untouched. The
+// graph is immutable after TaskGraphBuilder::build().
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/ids.hpp"
 
 namespace mg::core {
+
+/// Kind of a dependency edge, as a bitmask: one deduplicated edge between a
+/// (pred, succ) pair carries the union of every reason it exists.
+enum DepKind : std::uint8_t {
+  kDepExplicit = 1u << 0,  ///< declared via add_dependency
+  kDepRaw = 1u << 1,       ///< read-after-write (true dependency)
+  kDepWar = 1u << 2,       ///< write-after-read (anti dependency)
+  kDepWaw = 1u << 3,       ///< write-after-write (output dependency)
+};
+
+/// Per-kind dependency edge counts. An edge carrying several kind bits
+/// counts once per bit; `total` counts deduplicated edges.
+struct DepEdgeCounts {
+  std::uint64_t total = 0;
+  std::uint64_t explicit_edges = 0;
+  std::uint64_t raw = 0;
+  std::uint64_t war = 0;
+  std::uint64_t waw = 0;
+};
 
 class TaskGraph {
  public:
@@ -77,6 +109,72 @@ class TaskGraph {
   [[nodiscard]] const std::string& task_label(TaskId task) const;
   [[nodiscard]] const std::string& data_label(DataId data) const;
 
+  // ---- Dependencies (empty on independent-task graphs) --------------------
+
+  /// True if the graph carries any task->task dependency edge.
+  [[nodiscard]] bool has_dependencies() const { return !dep_succ_.empty(); }
+
+  /// Tasks that must retire before `task` may start, ascending.
+  [[nodiscard]] std::span<const TaskId> predecessors(TaskId task) const {
+    if (dep_pred_offsets_.empty()) return {};
+    return {dep_pred_.data() + dep_pred_offsets_[task],
+            dep_pred_offsets_[task + 1] - dep_pred_offsets_[task]};
+  }
+
+  /// Tasks unblocked (in part) by `task` retiring, ascending.
+  [[nodiscard]] std::span<const TaskId> successors(TaskId task) const {
+    if (dep_succ_offsets_.empty()) return {};
+    return {dep_succ_.data() + dep_succ_offsets_[task],
+            dep_succ_offsets_[task + 1] - dep_succ_offsets_[task]};
+  }
+
+  /// Kind bitmasks parallel to predecessors(task) / successors(task).
+  [[nodiscard]] std::span<const std::uint8_t> predecessor_kinds(
+      TaskId task) const {
+    if (dep_pred_offsets_.empty()) return {};
+    return {dep_pred_kinds_.data() + dep_pred_offsets_[task],
+            dep_pred_offsets_[task + 1] - dep_pred_offsets_[task]};
+  }
+  [[nodiscard]] std::span<const std::uint8_t> successor_kinds(
+      TaskId task) const {
+    if (dep_succ_offsets_.empty()) return {};
+    return {dep_succ_kinds_.data() + dep_succ_offsets_[task],
+            dep_succ_offsets_[task + 1] - dep_succ_offsets_[task]};
+  }
+
+  [[nodiscard]] std::uint32_t num_predecessors(TaskId task) const {
+    if (dep_pred_offsets_.empty()) return 0;
+    return dep_pred_offsets_[task + 1] - dep_pred_offsets_[task];
+  }
+
+  /// Deduplicated edge counts, split by kind bit.
+  [[nodiscard]] const DepEdgeCounts& dependency_edge_counts() const {
+    return dep_counts_;
+  }
+
+  /// Longest chain of dependent tasks, counted in tasks (0 without edges).
+  [[nodiscard]] std::uint32_t critical_path_length() const {
+    return critical_path_length_;
+  }
+
+  /// Data items `task` writes (a new version each), ascending; empty when the
+  /// task writes nothing. Writes model ordering only — the simulated transfer
+  /// traffic still follows the read footprints and task_output_bytes.
+  [[nodiscard]] std::span<const DataId> writes(TaskId task) const {
+    if (write_offsets_.empty()) return {};
+    return {task_writes_.data() + write_offsets_[task],
+            write_offsets_[task + 1] - write_offsets_[task]};
+  }
+
+  /// Tasks writing `data`, in version order (ascending task id).
+  [[nodiscard]] std::span<const TaskId> writers(DataId data) const {
+    if (writer_offsets_.empty()) return {};
+    return {data_writers_.data() + writer_offsets_[data],
+            writer_offsets_[data + 1] - writer_offsets_[data]};
+  }
+
+  [[nodiscard]] bool has_writes() const { return !task_writes_.empty(); }
+
  private:
   friend class TaskGraphBuilder;
 
@@ -91,6 +189,20 @@ class TaskGraph {
   std::vector<std::string> data_labels_;
   double total_flops_ = 0.0;
   std::uint64_t working_set_bytes_ = 0;
+
+  // Dependency CSRs — all empty on an independent-task graph.
+  std::vector<std::uint32_t> dep_succ_offsets_;  // size m+1 when edges exist
+  std::vector<TaskId> dep_succ_;                 // CSR pred -> succ
+  std::vector<std::uint8_t> dep_succ_kinds_;     // parallel kind bitmasks
+  std::vector<std::uint32_t> dep_pred_offsets_;  // size m+1 when edges exist
+  std::vector<TaskId> dep_pred_;                 // CSR succ -> pred
+  std::vector<std::uint8_t> dep_pred_kinds_;
+  std::vector<std::uint32_t> write_offsets_;     // size m+1 when writes exist
+  std::vector<DataId> task_writes_;              // CSR task -> written data
+  std::vector<std::uint32_t> writer_offsets_;    // size n+1 when writes exist
+  std::vector<TaskId> data_writers_;             // CSR data -> writer tasks
+  DepEdgeCounts dep_counts_;
+  std::uint32_t critical_path_length_ = 0;
 };
 
 class TaskGraphBuilder {
@@ -108,6 +220,16 @@ class TaskGraphBuilder {
   /// (held in GPU memory from start until write-back completes).
   void set_task_output(TaskId task, std::uint64_t bytes);
 
+  /// Declares an explicit dependency: `succ` may not start before `pred`
+  /// retires. Both tasks must already be added; self-edges are rejected and
+  /// the final edge set must be acyclic (checked at build).
+  void add_dependency(TaskId pred, TaskId succ);
+
+  /// Declares that `task` writes `data`, producing a new version. RAW/WAR/WAW
+  /// edges are derived at build() in task-submission order; a task reading
+  /// and writing the same data reads the previous version (no self-edge).
+  void set_task_writes(TaskId task, DataId data);
+
   [[nodiscard]] std::uint32_t num_tasks() const {
     return static_cast<std::uint32_t>(task_flops_.size());
   }
@@ -122,6 +244,8 @@ class TaskGraphBuilder {
   void clear();
 
  private:
+  void build_dependencies(TaskGraph& graph) const;
+
   std::vector<std::uint32_t> task_offsets_{0};
   std::vector<DataId> task_inputs_;
   std::vector<std::uint64_t> data_sizes_;
@@ -129,6 +253,8 @@ class TaskGraphBuilder {
   std::vector<std::uint64_t> task_outputs_;
   std::vector<std::string> task_labels_;
   std::vector<std::string> data_labels_;
+  std::vector<std::pair<TaskId, TaskId>> explicit_edges_;
+  std::vector<std::pair<TaskId, DataId>> task_write_list_;  // submission order
 };
 
 }  // namespace mg::core

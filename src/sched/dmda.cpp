@@ -20,6 +20,22 @@ void DmdaScheduler::prepare(const core::TaskGraph& graph,
   in_mem_.assign(num_gpus, std::vector<bool>(graph.num_data(), false));
   finish_us_.assign(num_gpus, 0.0);
 
+  if (deps_) {
+    // Pops are gated on the enabled bitmap; the initial frontier is every
+    // task without predecessors. Later enablements arrive through
+    // notify_task_retired.
+    enabled_.assign(graph.num_tasks(), 0);
+    allocated_.assign(graph.num_tasks(), 0);
+    if (!streaming_) {
+      for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
+        if (graph.num_predecessors(task) == 0) enabled_[task] = 1;
+      }
+    }
+  } else {
+    enabled_.clear();
+    allocated_.clear();
+  }
+
   if (streaming_) return;  // tasks are allocated as their jobs arrive
   for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
     allocate(task);
@@ -49,6 +65,7 @@ void DmdaScheduler::allocate(core::TaskId task) {
     }
   }
   MG_CHECK_MSG(best_gpu != core::kInvalidGpu, "no surviving GPU to allocate to");
+  if (deps_) allocated_[task] = 1;
   queues_[best_gpu].push_back(task);
   // Only compute occupies the worker: transfers are overlapped with the
   // execution of earlier tasks (StarPU's dm/dmda model). Keeping comm out
@@ -61,7 +78,23 @@ void DmdaScheduler::allocate(core::TaskId task) {
 void DmdaScheduler::notify_job_arrived(std::uint32_t job,
                                        std::span<const core::TaskId> tasks) {
   (void)job;
-  for (core::TaskId task : tasks) allocate(task);
+  // On a dependency-gated stream the engine hands over only the job's
+  // initially-enabled tasks; the rest arrive via notify_task_retired.
+  for (core::TaskId task : tasks) {
+    if (deps_) enabled_[task] = 1;
+    allocate(task);
+  }
+}
+
+void DmdaScheduler::notify_task_retired(
+    core::TaskId task, std::span<const core::TaskId> enabled_successors) {
+  (void)task;
+  for (core::TaskId succ : enabled_successors) {
+    enabled_[succ] = 1;
+    // Batch mode allocated the whole graph in prepare; a streamed task that
+    // was dependency-blocked at its job's arrival is placed now.
+    if (streaming_ && allocated_[succ] == 0) allocate(succ);
+  }
 }
 
 std::vector<core::DataId> DmdaScheduler::prefetch_hints(core::GpuId gpu) {
@@ -115,11 +148,13 @@ core::TaskId DmdaScheduler::pop_task(core::GpuId gpu,
   std::deque<core::TaskId>& queue = queues_[gpu];
   if (queue.empty()) return core::kInvalidTask;
   if (!ready_) {
+    if (deps_) return pop_first_enabled(queue, enabled_);
     const core::TaskId task = queue.front();
     queue.pop_front();
     return task;
   }
-  return pop_ready(queue, *graph_, memory, ready_window_);
+  return pop_ready(queue, *graph_, memory, ready_window_,
+                   deps_ ? &enabled_ : nullptr);
 }
 
 }  // namespace mg::sched

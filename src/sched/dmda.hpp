@@ -53,8 +53,22 @@ class DmdaScheduler : public core::Scheduler {
     return true;
   }
 
+  /// Dependencies: batch mode still allocates the whole graph up front (the
+  /// push model is a prediction of the full run), but pops are gated on an
+  /// enabled bitmap fed by notify_task_retired. In streaming mode a task is
+  /// allocated when it is first announced — at job arrival for the initial
+  /// ready frontier, or at a predecessor's retirement for the rest.
+  [[nodiscard]] bool begin_dependencies() override {
+    deps_ = true;
+    return true;
+  }
+
   void notify_job_arrived(std::uint32_t job,
                           std::span<const core::TaskId> tasks) override;
+
+  void notify_task_retired(
+      core::TaskId task,
+      std::span<const core::TaskId> enabled_successors) override;
 
   /// GPU loss: re-allocates the orphans and the dead GPU's unpopped deque
   /// greedily onto the currently shortest surviving deques (the push-phase
@@ -81,10 +95,17 @@ class DmdaScheduler : public core::Scheduler {
   std::size_t ready_window_;
   bool push_prefetch_;
   bool streaming_ = false;
+  bool deps_ = false;
   const core::TaskGraph* graph_ = nullptr;
   const core::Platform* platform_ = nullptr;
   std::vector<std::deque<core::TaskId>> queues_;
   std::vector<std::uint8_t> dead_;  ///< GPUs lost to fault injection
+  /// Dependency gating: a queued task may only be popped once enabled
+  /// (monotone — revocations after a fault are handled engine-side by
+  /// parking). `allocated_` tracks streaming-mode placement so a task
+  /// announced late (by notify_task_retired) still lands in a queue.
+  std::vector<std::uint8_t> enabled_;
+  std::vector<std::uint8_t> allocated_;
   /// Push-phase model state, persistent across streaming arrivals.
   std::vector<std::vector<bool>> in_mem_;
   std::vector<double> finish_us_;

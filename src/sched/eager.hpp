@@ -21,6 +21,9 @@ class EagerScheduler final : public core::Scheduler {
     queue_.clear();
     if (streaming_) return;  // tasks enter the FIFO as their jobs arrive
     for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
+      // On a DAG workload only the initial ready frontier enters the FIFO;
+      // the rest arrive through notify_task_retired.
+      if (deps_ && graph.num_predecessors(task) != 0) continue;
       queue_.push_back(task);
     }
   }
@@ -30,10 +33,23 @@ class EagerScheduler final : public core::Scheduler {
     return true;
   }
 
+  [[nodiscard]] bool begin_dependencies() override {
+    deps_ = true;
+    return true;
+  }
+
   void notify_job_arrived(std::uint32_t job,
                           std::span<const core::TaskId> tasks) override {
     (void)job;
     queue_.insert(queue_.end(), tasks.begin(), tasks.end());
+  }
+
+  void notify_task_retired(
+      core::TaskId task,
+      std::span<const core::TaskId> enabled_successors) override {
+    (void)task;
+    queue_.insert(queue_.end(), enabled_successors.begin(),
+                  enabled_successors.end());
   }
 
   [[nodiscard]] core::TaskId pop_task(core::GpuId gpu,
@@ -49,6 +65,7 @@ class EagerScheduler final : public core::Scheduler {
  private:
   std::deque<core::TaskId> queue_;
   bool streaming_ = false;
+  bool deps_ = false;
 };
 
 }  // namespace mg::sched

@@ -62,6 +62,14 @@ void FixedOrderScheduler::prepare(const core::TaskGraph& graph,
   cursor_.assign(orders_.size(), 0);
   lost_.assign(orders_.size(), false);
   divergence_.assign(orders_.size(), std::nullopt);
+  if (deps_) {
+    enabled_.assign(graph.num_tasks(), 0);
+    for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
+      if (graph.num_predecessors(task) == 0) enabled_[task] = 1;
+    }
+  } else {
+    enabled_.clear();
+  }
   if (eviction_ == Eviction::kBelady) {
     belady_ = std::make_unique<BeladyReplayEviction>(graph, orders_);
   }
@@ -71,7 +79,18 @@ core::TaskId FixedOrderScheduler::pop_task(core::GpuId gpu,
                                            const core::MemoryView& memory) {
   (void)memory;
   if (cursor_[gpu] >= orders_[gpu].size()) return core::kInvalidTask;
+  // Replay never reorders: a dependency-blocked head stalls the GPU until
+  // its last predecessor retires (the engine wakes every GPU then).
+  if (deps_ && enabled_[orders_[gpu][cursor_[gpu]]] == 0) {
+    return core::kInvalidTask;
+  }
   return orders_[gpu][cursor_[gpu]++];
+}
+
+void FixedOrderScheduler::notify_task_retired(
+    core::TaskId task, std::span<const core::TaskId> enabled_successors) {
+  (void)task;
+  for (core::TaskId succ : enabled_successors) enabled_[succ] = 1;
 }
 
 void FixedOrderScheduler::notify_task_complete(core::GpuId gpu,

@@ -67,6 +67,20 @@ class FixedOrderScheduler final : public core::Scheduler {
   void prepare(const core::TaskGraph& graph, const core::Platform& platform,
                std::uint64_t seed) override;
 
+  /// Dependencies: σ is replayed verbatim — a GPU whose next recorded task
+  /// still has unretired predecessors simply stalls (pop returns
+  /// kInvalidTask without advancing the cursor) until the enablement
+  /// arrives. Any σ recorded from a real dependency-gated run is
+  /// topologically compatible, so the stall always resolves.
+  [[nodiscard]] bool begin_dependencies() override {
+    deps_ = true;
+    return true;
+  }
+
+  void notify_task_retired(
+      core::TaskId task,
+      std::span<const core::TaskId> enabled_successors) override;
+
   [[nodiscard]] core::TaskId pop_task(core::GpuId gpu,
                                       const core::MemoryView& memory) override;
 
@@ -92,6 +106,8 @@ class FixedOrderScheduler final : public core::Scheduler {
 
   std::vector<std::vector<core::TaskId>> orders_;
   Eviction eviction_;
+  bool deps_ = false;
+  std::vector<std::uint8_t> enabled_;
   std::vector<std::size_t> cursor_;
   std::vector<bool> lost_;
   std::vector<std::optional<ReplayDivergence>> divergence_;

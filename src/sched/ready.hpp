@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <vector>
 
 #include "core/ids.hpp"
 #include "core/memory_view.hpp"
@@ -24,15 +25,27 @@ inline constexpr std::size_t kDefaultReadyWindow =
 /// Removes and returns the task among the first `window` entries of `queue`
 /// requiring the fewest missing input bytes (ties: earliest in queue).
 /// Returns kInvalidTask when the queue is empty.
+///
+/// On a dependency-gated run, `enabled` (indexed by TaskId) restricts the
+/// choice to tasks whose predecessors all retired. The window then bounds
+/// how many *enabled* candidates one decision inspects — the scan itself
+/// walks the whole queue, because a bounded positional window over a queue
+/// whose head is dependency-blocked could starve forever (the head never
+/// leaves, the window never moves). Returns kInvalidTask when no queued
+/// task is enabled.
 inline core::TaskId pop_ready(std::deque<core::TaskId>& queue,
                               const core::TaskGraph& graph,
                               const core::MemoryView& memory,
-                              std::size_t window = kDefaultReadyWindow) {
+                              std::size_t window = kDefaultReadyWindow,
+                              const std::vector<std::uint8_t>* enabled =
+                                  nullptr) {
   if (queue.empty()) return core::kInvalidTask;
-  const std::size_t scan = window < queue.size() ? window : queue.size();
-  std::size_t best_index = 0;
+  std::size_t best_index = queue.size();
   std::uint64_t best_missing = ~std::uint64_t{0};
-  for (std::size_t i = 0; i < scan; ++i) {
+  std::size_t inspected = 0;
+  for (std::size_t i = 0; i < queue.size() && inspected < window; ++i) {
+    if (enabled != nullptr && (*enabled)[queue[i]] == 0) continue;
+    ++inspected;
     std::uint64_t missing = 0;
     for (core::DataId data : graph.inputs(queue[i])) {
       if (!memory.is_present_or_fetching(data)) missing += graph.data_size(data);
@@ -43,9 +56,26 @@ inline core::TaskId pop_ready(std::deque<core::TaskId>& queue,
       if (missing == 0) break;  // cannot do better than zero transfers
     }
   }
+  if (best_index == queue.size()) return core::kInvalidTask;
   const core::TaskId task = queue[best_index];
   queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(best_index));
   return task;
+}
+
+/// FIFO pop restricted to dependency-enabled tasks: removes and returns the
+/// earliest queued task with a set `enabled` bit, or kInvalidTask when none
+/// is enabled. Skipped (blocked) tasks keep their queue positions.
+inline core::TaskId pop_first_enabled(
+    std::deque<core::TaskId>& queue,
+    const std::vector<std::uint8_t>& enabled) {
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    if (enabled[*it] != 0) {
+      const core::TaskId task = *it;
+      queue.erase(it);
+      return task;
+    }
+  }
+  return core::kInvalidTask;
 }
 
 }  // namespace mg::sched

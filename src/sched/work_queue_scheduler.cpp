@@ -14,6 +14,20 @@ void WorkQueueScheduler::prepare(const core::TaskGraph& graph,
   queues_.assign(platform.num_gpus, {});
   dead_.assign(platform.num_gpus, 0);
   steal_events_ = 0;
+  if (deps_) {
+    enabled_.assign(graph.num_tasks(), 0);
+    placed_.assign(graph.num_tasks(), streaming_ ? 0 : 1);
+    eligible_.assign(graph.num_tasks(), 0);
+    if (!streaming_) {
+      for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
+        if (graph.num_predecessors(task) == 0) enabled_[task] = 1;
+      }
+    }
+  } else {
+    enabled_.clear();
+    placed_.clear();
+    eligible_.clear();
+  }
   if (streaming_) return;  // queues fill per arriving job
   partition(graph, platform, seed, queues_);
 
@@ -33,7 +47,31 @@ void WorkQueueScheduler::notify_job_arrived(
     }
     for (core::TaskId task : tasks) task_priority_[task] = priority;
   }
+  if (deps_) {
+    // On a dependency-gated stream the engine hands over only the job's
+    // initially-enabled tasks; the rest are placed at their enablement.
+    for (core::TaskId task : tasks) {
+      enabled_[task] = 1;
+      placed_[task] = 1;
+    }
+  }
   partition_arrival(*graph_, *platform_, job, tasks, dead_, queues_);
+}
+
+void WorkQueueScheduler::notify_task_retired(
+    core::TaskId task, std::span<const core::TaskId> enabled_successors) {
+  (void)task;
+  for (core::TaskId succ : enabled_successors) {
+    enabled_[succ] = 1;
+    if (streaming_ && placed_[succ] == 0) {
+      // Late placement: the job id is unknown here (jobs are an engine
+      // concept), so the task inherits priority 0 and the default
+      // least-loaded placement of a one-task block.
+      placed_[succ] = 1;
+      const core::TaskId block[1] = {succ};
+      partition_arrival(*graph_, *platform_, 0, block, dead_, queues_);
+    }
+  }
 }
 
 void WorkQueueScheduler::notify_job_priority(std::uint32_t job,
@@ -69,6 +107,7 @@ core::TaskId WorkQueueScheduler::pop_task(core::GpuId gpu,
   std::deque<core::TaskId>& queue = queues_[gpu];
   if (queue.empty() && stealing_) steal(gpu);
   if (queue.empty()) return core::kInvalidTask;
+  if (deps_) return pop_task_deps(gpu, memory);
   std::size_t window = ready_window_;
   if (has_priorities_) {
     // Serve strictly by job priority: only the front run of top-priority
@@ -81,6 +120,37 @@ core::TaskId WorkQueueScheduler::pop_task(core::GpuId gpu,
     return task;
   }
   return pop_ready(queue, *graph_, memory, window);
+}
+
+core::TaskId WorkQueueScheduler::pop_task_deps(core::GpuId gpu,
+                                               const core::MemoryView& memory) {
+  std::deque<core::TaskId>& queue = queues_[gpu];
+  if (!has_priorities_) {
+    if (!ready_) return pop_first_enabled(queue, enabled_);
+    return pop_ready(queue, *graph_, memory, ready_window_, &enabled_);
+  }
+  // Strict job priority among *enabled* tasks only. A dependency-blocked
+  // high-priority run must not mask runnable lower-priority work — its
+  // predecessors may be exactly that work, and masking it would deadlock
+  // the queue.
+  std::uint32_t top = 0;
+  bool any_enabled = false;
+  for (core::TaskId task : queue) {
+    if (enabled_[task] == 0) continue;
+    top = std::max(top, task_priority(task));
+    any_enabled = true;
+  }
+  if (!any_enabled) return core::kInvalidTask;
+  for (core::TaskId task : queue) {
+    eligible_[task] =
+        (enabled_[task] != 0 && task_priority(task) == top) ? 1 : 0;
+  }
+  const core::TaskId popped =
+      ready_ ? pop_ready(queue, *graph_, memory, ready_window_, &eligible_)
+             : pop_first_enabled(queue, eligible_);
+  for (core::TaskId task : queue) eligible_[task] = 0;
+  if (popped != core::kInvalidTask) eligible_[popped] = 0;
+  return popped;
 }
 
 std::size_t WorkQueueScheduler::promote_priority_front(

@@ -36,8 +36,22 @@ class WorkQueueScheduler : public core::Scheduler {
     return true;
   }
 
+  /// Dependencies: the static partition still places every task (batch), but
+  /// pops are gated on an enabled bitmap fed by notify_task_retired. In
+  /// streaming mode a dependency-blocked task is not placed at its job's
+  /// arrival (the engine withholds it); it is placed by partition_arrival
+  /// when its last predecessor retires.
+  [[nodiscard]] bool begin_dependencies() final {
+    deps_ = true;
+    return true;
+  }
+
   void notify_job_arrived(std::uint32_t job,
                           std::span<const core::TaskId> tasks) final;
+
+  void notify_task_retired(
+      core::TaskId task,
+      std::span<const core::TaskId> enabled_successors) final;
 
   /// Streaming dispatch priority (serve::JobSpec::priority): tasks of a
   /// higher-priority job pop before any lower-priority task still queued on
@@ -75,6 +89,11 @@ class WorkQueueScheduler : public core::Scheduler {
   /// Moves the tail half of the most loaded queue into `thief`'s queue.
   void steal(core::GpuId thief);
 
+  /// Dependency-gated pop: restricts the FIFO/Ready/priority choice to
+  /// enabled tasks (blocked tasks keep their queue positions).
+  [[nodiscard]] core::TaskId pop_task_deps(core::GpuId gpu,
+                                           const core::MemoryView& memory);
+
   /// Priority of a queued task (its job's announced priority, 0 otherwise).
   [[nodiscard]] std::uint32_t task_priority(core::TaskId task) const {
     return task < task_priority_.size() ? task_priority_[task] : 0;
@@ -89,6 +108,7 @@ class WorkQueueScheduler : public core::Scheduler {
   bool ready_;
   std::size_t ready_window_;
   bool streaming_ = false;
+  bool deps_ = false;
   const core::TaskGraph* graph_ = nullptr;
   const core::Platform* platform_ = nullptr;
   std::vector<std::deque<core::TaskId>> queues_;
@@ -101,6 +121,13 @@ class WorkQueueScheduler : public core::Scheduler {
   std::vector<std::uint32_t> job_priority_;
   std::vector<std::uint32_t> task_priority_;
   bool has_priorities_ = false;
+  /// Dependency gating state: `enabled_` is monotone (fault-time
+  /// revocations are handled engine-side by parking); `placed_` tracks
+  /// streaming placement so a late-announced task still joins a queue;
+  /// `eligible_` is per-pop scratch for the priority+deps intersection.
+  std::vector<std::uint8_t> enabled_;
+  std::vector<std::uint8_t> placed_;
+  std::vector<std::uint8_t> eligible_;
 };
 
 }  // namespace mg::sched

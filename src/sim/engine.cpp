@@ -148,7 +148,17 @@ void RuntimeEngine::release_job(std::uint32_t job) {
     released_[task] = true;
     publish(InspectorEventKind::kTaskReleased, 0, task, 0, kNoChannel, job);
   }
-  scheduler_.notify_job_arrived(job, tasks);
+  if (deps_active_) {
+    // Only the dependency-enabled subset is poppable now; the rest are
+    // announced by notify_task_retired when their last predecessor retires.
+    dep_enabled_scratch_.clear();
+    for (TaskId task : tasks) {
+      if (dep_enabled_[task]) dep_enabled_scratch_.push_back(task);
+    }
+    scheduler_.notify_job_arrived(job, dep_enabled_scratch_);
+  } else {
+    scheduler_.notify_job_arrived(job, tasks);
+  }
   for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
     if (!gpus_[gpu].alive) continue;
     fill_buffer(gpu);
@@ -180,6 +190,13 @@ void RuntimeEngine::shed_job(std::uint32_t job) {
         }
       }
     }
+    if (deps_active_) dep_completed_[task] = true;
+  }
+  if (deps_active_) {
+    // A cancelled task never runs, so treat it as retired: cross-job
+    // successors must not wait forever on a shed job. Marking the whole job
+    // completed first (above) keeps same-job successors from being announced.
+    for (TaskId task : tasks) retire_task(0, task);
   }
 }
 
@@ -423,6 +440,26 @@ core::RunMetrics RuntimeEngine::run() {
     }
   }
 
+  deps_active_ = graph_.has_dependencies();
+  if (deps_active_) {
+    MG_CHECK_MSG(scheduler_.begin_dependencies(),
+                 "scheduler does not support dependency gating "
+                 "(begin_dependencies declined)");
+    const std::uint32_t num_tasks = graph_.num_tasks();
+    dep_pending_.assign(num_tasks, 0);
+    dep_enabled_.assign(num_tasks, false);
+    dep_retired_.assign(num_tasks, false);
+    dep_completed_.assign(num_tasks, false);
+    dep_parked_.assign(num_tasks, false);
+    dep_revoked_.assign(num_tasks, false);
+    dep_rerun_.assign(num_tasks, false);
+    dep_eject_origin_.assign(num_tasks, core::kInvalidGpu);
+    for (TaskId task = 0; task < num_tasks; ++task) {
+      dep_pending_[task] = graph_.num_predecessors(task);
+      dep_enabled_[task] = dep_pending_[task] == 0;
+    }
+  }
+
   util::Stopwatch prepare_watch;
   scheduler_.prepare(graph_, platform_, config_.seed);
   prepare_wall_us_ = prepare_watch.elapsed_us();
@@ -461,6 +498,17 @@ core::RunMetrics RuntimeEngine::run() {
   if (faults_active) {
     schedule_faults();
     if (injector_->has_transfer_faults()) attach_fault_hooks();
+  }
+
+  if (deps_active_) {
+    // The initial ready frontier: tasks without predecessors are enabled at
+    // load. Schedulers compute the same frontier in prepare(); the events
+    // seed the observability spine (ready-width tracking, checker state).
+    for (TaskId task = 0; task < graph_.num_tasks(); ++task) {
+      if (dep_enabled_[task]) {
+        publish(InspectorEventKind::kTaskEnabled, 0, task, 0, kNoChannel, 1);
+      }
+    }
   }
 
   for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
@@ -550,6 +598,13 @@ void RuntimeEngine::fill_buffer(GpuId gpu) {
       // engine serves them to survivors ahead of further pops.
       task = reclaimed_.front();
       reclaimed_.pop_front();
+      if (deps_active_ && !dep_enabled_[task]) {
+        // A reclaimed task whose predecessor was un-retired by the same
+        // loss: park it until the predecessor's re-run retires.
+        popped_[task] = true;
+        dep_parked_[task] = true;
+        continue;
+      }
     } else {
       util::Stopwatch pop_watch;
       task = scheduler_.pop_task(gpu, *state.memory);
@@ -568,6 +623,17 @@ void RuntimeEngine::fill_buffer(GpuId gpu) {
     MG_CHECK_MSG(!popped_[task], "scheduler returned a task twice");
     MG_CHECK_MSG(!streaming_ || released_[task],
                  "scheduler popped a task whose job has not arrived");
+    if (deps_active_ && !dep_enabled_[task]) {
+      // A pop is only legitimate for an enabled task — unless an
+      // un-retirement revoked the enablement after the scheduler learned of
+      // it; then the engine consumes the pop and parks the task until the
+      // predecessor's re-run retires.
+      MG_CHECK_MSG(dep_revoked_[task],
+                   "scheduler popped a task with unretired predecessors");
+      popped_[task] = true;
+      dep_parked_[task] = true;
+      continue;
+    }
     popped_[task] = true;
     state.starved = false;
     state.buffer.push_back(task);
@@ -606,6 +672,12 @@ void RuntimeEngine::try_start(GpuId gpu) {
   if (!state.alive) return;
   if (state.running != kInvalidTask || !state.assembly_active) return;
   const TaskId head = state.buffer.front();
+  if (deps_active_ && !dep_enabled_[head]) {
+    // An un-retirement revoked the head's enablement while it sat in the
+    // pipeline: stall until the predecessor's re-run retires (retire_task
+    // re-polls every worker).
+    return;
+  }
   bool ready = true;
   for (DataId data : graph_.inputs(head)) {
     if (!state.memory->is_present(data)) {
@@ -728,6 +800,9 @@ void RuntimeEngine::finish_task(GpuId gpu, TaskId task) {
   // is done — write-back only delays memory reuse, not the completion.
   const std::uint64_t output_bytes = graph_.task_output_bytes(task);
   if (output_bytes > 0) {
+    // On a dependency-gated run the retirement only becomes durable when
+    // this drain completes; a GPU loss before then un-retires the task.
+    if (deps_active_) state.undurable.push_back(task);
     publish(InspectorEventKind::kWriteBackStart, gpu, task, output_bytes);
     writeback_bus_for(gpu)->request(gpu, task, output_bytes, [this, gpu, task,
                                                               output_bytes] {
@@ -735,6 +810,13 @@ void RuntimeEngine::finish_task(GpuId gpu, TaskId task) {
       // The GPU died while its write-back was on the wire: nothing to
       // account, no scratch left to release.
       if (!wb_state.alive) return;
+      if (deps_active_) {
+        const auto durable = std::find(wb_state.undurable.begin(),
+                                       wb_state.undurable.end(), task);
+        if (durable != wb_state.undurable.end()) {
+          wb_state.undurable.erase(durable);
+        }
+      }
       wb_state.bytes_written_back += output_bytes;
       publish(InspectorEventKind::kWriteBackEnd, gpu, task, output_bytes);
       if (config_.record_trace) {
@@ -748,8 +830,24 @@ void RuntimeEngine::finish_task(GpuId gpu, TaskId task) {
       pump_hints(gpu);
     });
   }
-  scheduler_.notify_task_complete(gpu, task);
-  publish(InspectorEventKind::kNotifyTaskComplete, gpu, task);
+  if (deps_active_ && dep_rerun_[task]) {
+    // Re-run of an un-retired task: the scheduler was already told this
+    // task completed before the loss rolled the completion back; a second
+    // notification would corrupt its bookkeeping.
+    dep_rerun_[task] = false;
+  } else {
+    // An ejected-then-reclaimed task may have re-run on a different GPU;
+    // the scheduler still accounts it in the pipeline it was popped into,
+    // so report the completion against that GPU.
+    GpuId notify_gpu = gpu;
+    if (!dep_eject_origin_.empty() &&
+        dep_eject_origin_[task] != core::kInvalidGpu) {
+      notify_gpu = dep_eject_origin_[task];
+      dep_eject_origin_[task] = core::kInvalidGpu;
+    }
+    scheduler_.notify_task_complete(notify_gpu, task);
+    publish(InspectorEventKind::kNotifyTaskComplete, notify_gpu, task);
+  }
   if (streaming_) {
     const std::uint32_t job = task_job_[task];
     MG_DCHECK(job_remaining_[job] > 0);
@@ -766,10 +864,145 @@ void RuntimeEngine::finish_task(GpuId gpu, TaskId task) {
       }
     }
   }
+  if (deps_active_) {
+    dep_completed_[task] = true;
+    retire_task(gpu, task);
+  }
   if (replication_active_) maybe_replicate();
   fill_buffer(gpu);
   try_start(gpu);
   retry_starved();
+}
+
+void RuntimeEngine::retire_task(GpuId gpu, TaskId task) {
+  MG_DCHECK(!dep_retired_[task]);
+  dep_retired_[task] = true;
+  // Release the out-edges and collect the tasks whose last unretired
+  // predecessor this was. A successor is announced to the scheduler exactly
+  // once, when it becomes fully poppable (enabled, and — streamed — its job
+  // arrived); parked orphans re-enter the engine's reclaim queue instead.
+  dep_enabled_scratch_.clear();
+  const std::span<const TaskId> successors = graph_.successors(task);
+  const std::span<const std::uint8_t> kinds = graph_.successor_kinds(task);
+  bool woke_work = false;
+  for (std::size_t i = 0; i < successors.size(); ++i) {
+    const TaskId succ = successors[i];
+    publish(InspectorEventKind::kEdgeReleased, gpu, task, kinds[i], kNoChannel,
+            succ);
+    MG_DCHECK(dep_pending_[succ] > 0);
+    if (--dep_pending_[succ] != 0) continue;
+    dep_enabled_[succ] = true;
+    dep_revoked_[succ] = false;
+    if (dep_completed_[succ]) continue;  // finished before a revocation
+    publish(InspectorEventKind::kTaskEnabled, gpu, succ);
+    if (dep_parked_[succ]) {
+      dep_parked_[succ] = false;
+      popped_[succ] = false;  // it will legitimately be served again
+      reclaimed_.push_back(succ);
+      woke_work = true;
+    } else if (!popped_[succ] && (!streaming_ || released_[succ])) {
+      dep_enabled_scratch_.push_back(succ);
+      woke_work = true;
+    } else if (popped_[succ]) {
+      woke_work = true;  // buffered on a survivor: its head gate may open
+    }
+  }
+  scheduler_.notify_task_retired(task, dep_enabled_scratch_);
+  if (!woke_work) return;
+  for (GpuId other = 0; other < platform_.num_gpus; ++other) {
+    if (!gpus_[other].alive) continue;
+    fill_buffer(other);
+    try_start(other);
+  }
+}
+
+void RuntimeEngine::unretire_task(GpuId gpu, TaskId task) {
+  GpuState& state = gpus_[gpu];
+  MG_DCHECK(dep_retired_[task] && dep_completed_[task]);
+  publish(InspectorEventKind::kTaskUnretired, gpu, task);
+  dep_retired_[task] = false;
+  dep_completed_[task] = false;
+  dep_rerun_[task] = true;
+  popped_[task] = false;
+  // Unwind the completion: the re-run on a survivor counts instead. The
+  // compute time the dead GPU really spent stays in its busy_us.
+  MG_DCHECK(completed_ > 0 && state.tasks_executed > 0);
+  --completed_;
+  --state.tasks_executed;
+  ++fault_metrics_.tasks_reclaimed;
+  if (!orphan_lost_at_us_.empty()) orphan_lost_at_us_[task] = events_.now();
+  // Revoke the enablements this retirement granted: successors wait for the
+  // re-run (a successor that already finished keeps its completion — the
+  // rollback does not cascade).
+  for (TaskId succ : graph_.successors(task)) {
+    if (dep_pending_[succ]++ == 0 && !dep_completed_[succ]) {
+      dep_enabled_[succ] = false;
+      dep_revoked_[succ] = true;
+      // If the successor already sits in a survivor's pipeline, pull it out:
+      // left in place it would stall that GPU at the head gate while its
+      // re-running predecessor queues *behind* it — a deadlock.
+      if (popped_[succ]) eject_revoked(gpu, succ);
+    }
+  }
+  if (replication_active_) {
+    // The re-run will consume its inputs again.
+    for (DataId data : graph_.inputs(task)) ++remaining_uses_[data];
+  }
+  if (streaming_) {
+    const std::uint32_t job = task_job_[task];
+    if (job_remaining_[job]++ == 0) {
+      // The job's retirement itself rolls back. The retired callback may
+      // already have fired — admission decisions it took stand.
+      MG_DCHECK(job_state_[job] == JobState::kRetired);
+      job_state_[job] = JobState::kReleased;
+      --jobs_retired_;
+    }
+  }
+  // Committed progress snapshots (checkpoint_progress_) are host-durable
+  // and survive the loss: the re-run resumes from the last committed
+  // fraction, but only after its own predecessors have re-retired.
+  reclaimed_.push_back(task);
+}
+
+void RuntimeEngine::eject_revoked(GpuId lost_gpu, TaskId task) {
+  for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+    GpuState& state = gpus_[gpu];
+    // A running revocation victim is left alone: it started legally before
+    // the rollback, and a finished successor keeps its completion anyway.
+    if (!state.alive || state.running == task) continue;
+    const auto it = std::find(state.buffer.begin(), state.buffer.end(), task);
+    if (it == state.buffer.end()) continue;
+    const bool was_head = it == state.buffer.begin();
+    state.buffer.erase(it);
+    if (was_head && state.assembly_active) {
+      // Unwind the in-flight assembly: its pins and scratch belong to a
+      // start that can no longer happen.
+      for (DataId data : state.assembly_pins) state.memory->unpin(data);
+      state.assembly_pins.clear();
+      state.assembly_active = false;
+      if (state.scratch_reserved) {
+        const std::uint64_t output_bytes = graph_.task_output_bytes(task);
+        state.memory->release_scratch(output_bytes);
+        state.scratch_reserved = false;
+        publish(InspectorEventKind::kScratchRelease, gpu, task, output_bytes);
+      }
+      if (!state.buffer.empty()) begin_assembly(gpu);
+    }
+    // Park it popped: the predecessor's re-retirement routes it back through
+    // the reclaim queue (retire_task's unpark branch). The scheduler still
+    // sees it in this GPU's pipeline, so remember where to report its
+    // eventual completion.
+    dep_parked_[task] = true;
+    if (dep_eject_origin_[task] == core::kInvalidGpu) {
+      // Repeated ejections keep the first origin: that is still the pipeline
+      // the scheduler believes the task sits in.
+      dep_eject_origin_[task] = gpu;
+    }
+    ++fault_metrics_.tasks_reclaimed;
+    if (!orphan_lost_at_us_.empty()) orphan_lost_at_us_[task] = events_.now();
+    publish(InspectorEventKind::kTaskReclaimed, lost_gpu, task);
+    return;
+  }
 }
 
 void RuntimeEngine::pump_hints(GpuId gpu) {
@@ -951,6 +1184,19 @@ void RuntimeEngine::throw_deadlock() const {
                 "completed, event queue empty at t=%.1fus\n",
                 completed_, graph_.num_tasks(), events_.now());
   std::string message = header;
+  if (deps_active_) {
+    std::uint32_t blocked = 0;
+    std::uint32_t parked = 0;
+    for (TaskId task = 0; task < graph_.num_tasks(); ++task) {
+      if (!dep_enabled_[task] && !dep_completed_[task]) ++blocked;
+      if (dep_parked_[task]) ++parked;
+    }
+    char deps[128];
+    std::snprintf(deps, sizeof deps,
+                  "dependencies: %u tasks awaiting predecessors (%u parked)\n",
+                  blocked, parked);
+    message += deps;
+  }
   if (streaming_) {
     char serving[128];
     std::snprintf(serving, sizeof serving,
@@ -1033,8 +1279,12 @@ void RuntimeEngine::fail_gpu(GpuId gpu) {
   state.hint_queue.clear();
   state.starved = false;
 
+  // Tasks to re-run because of this loss: buffered/running orphans plus —
+  // on a dependency-gated run — completions whose write-back never drained.
+  const std::uint32_t lost_tasks = static_cast<std::uint32_t>(
+      orphans.size() + (deps_active_ ? state.undurable.size() : 0));
   publish(InspectorEventKind::kGpuLost, gpu, 0, state.memory->used_bytes(),
-          kNoChannel, static_cast<std::uint32_t>(orphans.size()));
+          kNoChannel, lost_tasks);
   MG_TRACE("gpu%u lost at t=%.1fus, %zu orphans", gpu, events_.now(),
            orphans.size());
   state.memory->deactivate();
@@ -1072,6 +1322,15 @@ void RuntimeEngine::fail_gpu(GpuId gpu) {
     ++fault_metrics_.tasks_reclaimed;
     if (!orphan_lost_at_us_.empty()) orphan_lost_at_us_[task] = events_.now();
     publish(InspectorEventKind::kTaskReclaimed, gpu, task);
+  }
+  if (deps_active_ && !state.undurable.empty()) {
+    // Completions whose output write-back never drained died with the GPU:
+    // their effects were not durable, so they un-retire, revoke the
+    // enablements they granted and re-run on survivors — ahead of any
+    // orphaned successor, which stays parked until the re-run retires.
+    const std::vector<TaskId> undurable = std::move(state.undurable);
+    state.undurable.clear();
+    for (TaskId task : undurable) unretire_task(gpu, task);
   }
   if (replication_active_) {
     // The dead GPU's protections (if any) died with its residency.

@@ -164,6 +164,9 @@ class RuntimeEngine final : private MemoryManager::Observer,
     bool assembly_active = false;
     bool scratch_reserved = false;  ///< output buffer of the head task
     std::vector<core::DataId> assembly_pins;
+    /// Tasks that finished here whose retirement is not durable yet (output
+    /// write-back still draining). Only tracked on dependency-gated runs.
+    std::vector<core::TaskId> undurable;
     double sched_busy_until_us = 0.0;
     double running_until_us = 0.0;  ///< scheduled end of the running task
     double assembly_since_us = 0.0; ///< when the head task began assembling
@@ -180,6 +183,32 @@ class RuntimeEngine final : private MemoryManager::Observer,
 
   void fill_buffer(core::GpuId gpu);
   void begin_assembly(core::GpuId gpu);
+
+  // ---- Dependency gating (graph_.has_dependencies()) ----------------------
+  //
+  // A task is *enabled* when every predecessor has retired. Retirement is
+  // announced optimistically when the predecessor finishes computing; it
+  // becomes durable when its output write-back drains (immediately for
+  // tasks without outputs). A GPU loss un-retires its completed-but-undrained
+  // tasks: they re-run, and enablements they granted are revoked until the
+  // re-run retires (see unretire_task).
+
+  /// Announces `task`'s retirement: releases its out-edges, enables
+  /// successors whose last predecessor it was, unparks waiting orphans and
+  /// wakes the workers.
+  void retire_task(core::GpuId gpu, core::TaskId task);
+
+  /// Rolls back the non-durable completion of `task` on dead `gpu`: its
+  /// completion counters unwind, enablements it granted are revoked, and it
+  /// re-enters the reclaim queue to re-run on a survivor.
+  void unretire_task(core::GpuId gpu, core::TaskId task);
+
+  /// Pulls a just-revoked `task` out of whichever survivor pipeline buffered
+  /// it and parks it. Without this a revoked buffer head would stall its GPU
+  /// while the un-retired predecessor queues *behind* it — a deadlock, since
+  /// only the head of a pipeline can start. `lost_gpu` is the dead GPU whose
+  /// un-retirement triggered the revocation (reclaim attribution).
+  void eject_revoked(core::GpuId lost_gpu, core::TaskId task);
 
   /// Issues queued push-time prefetch hints while the GPU has free memory
   /// (hints never evict); called whenever memory is freed.
@@ -371,6 +400,23 @@ class RuntimeEngine final : private MemoryManager::Observer,
   /// for the BudgetExceededError excerpt.
   bool watchdog_log_ = false;
   std::deque<std::string> watchdog_recent_;
+
+  // Dependency (DAG) state. All dormant — and cost-free on the hot paths —
+  // when the graph carries no dependency edges.
+  bool deps_active_ = false;
+  std::vector<std::uint32_t> dep_pending_;  ///< unretired predecessors
+  std::vector<bool> dep_enabled_;   ///< all predecessors retired
+  std::vector<bool> dep_retired_;   ///< retirement announced, not rolled back
+  std::vector<bool> dep_completed_; ///< finished at least once, not rolled back
+  std::vector<bool> dep_parked_;    ///< held engine-side until re-enabled
+  std::vector<bool> dep_revoked_;   ///< enablement revoked by an un-retirement
+  std::vector<bool> dep_rerun_;     ///< re-running: suppress duplicate notify
+  /// GPU whose pipeline a revoked task was ejected from (kInvalidGpu
+  /// otherwise). The scheduler still believes the task sits in that GPU's
+  /// buffer, so its eventual completion is reported against this GPU even if
+  /// the reclaim queue re-served it elsewhere.
+  std::vector<core::GpuId> dep_eject_origin_;
+  std::vector<core::TaskId> dep_enabled_scratch_;
 
   // Streaming (serve) mode state. All dormant without enable_streaming.
   enum class JobState : std::uint8_t { kPending, kReleased, kShed, kRetired };

@@ -41,6 +41,9 @@ std::string_view inspector_event_kind_name(InspectorEventKind kind) {
     case InspectorEventKind::kHostFetchStart: return "host-fetch-start";
     case InspectorEventKind::kHostCacheFill: return "host-cache-fill";
     case InspectorEventKind::kHostCacheEvict: return "host-cache-evict";
+    case InspectorEventKind::kEdgeReleased: return "edge-released";
+    case InspectorEventKind::kTaskEnabled: return "task-enabled";
+    case InspectorEventKind::kTaskUnretired: return "task-unretired";
   }
   return "?";
 }
@@ -81,7 +84,10 @@ std::string format_inspector_event(const InspectorEvent& event) {
                        event.kind == InspectorEventKind::kTaskReleased ||
                        event.kind == InspectorEventKind::kTaskCancelled ||
                        event.kind == InspectorEventKind::kCheckpoint ||
-                       event.kind == InspectorEventKind::kProgressRestored;
+                       event.kind == InspectorEventKind::kProgressRestored ||
+                       event.kind == InspectorEventKind::kEdgeReleased ||
+                       event.kind == InspectorEventKind::kTaskEnabled ||
+                       event.kind == InspectorEventKind::kTaskUnretired;
   const bool is_job = event.kind == InspectorEventKind::kJobArrival ||
                       event.kind == InspectorEventKind::kJobComplete ||
                       event.kind == InspectorEventKind::kJobShed;
@@ -144,6 +150,12 @@ std::string format_inspector_event(const InspectorEvent& event) {
              event.kind == InspectorEventKind::kHostCacheEvict) {
     std::snprintf(buffer, sizeof buffer, " node=%u", event.aux);
     line += buffer;
+  } else if (event.kind == InspectorEventKind::kEdgeReleased) {
+    std::snprintf(buffer, sizeof buffer, " -> T%u", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kTaskEnabled &&
+             event.aux != 0) {
+    line += " (at-load)";
   }
   return line;
 }

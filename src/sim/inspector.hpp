@@ -47,7 +47,8 @@ enum class InspectorEventKind : std::uint8_t {
 
   // Fault injection (sim/fault_plan.hpp).
   kGpuLost,        ///< `gpu` failed permanently (bytes: resident bytes lost,
-                   ///< aux: reclaimed-orphan count)
+                   ///< aux: tasks to re-run — reclaimed orphans plus any
+                   ///< un-retired completions on a dependency-gated run)
   kCapacityShock,  ///< `gpu` capacity became `bytes` (aux: 1 = request was
                    ///< clamped to the minimum safe capacity)
   kTransferRetry,  ///< delivery attempt `aux` of data `id` towards `gpu`
@@ -89,6 +90,16 @@ enum class InspectorEventKind : std::uint8_t {
                    ///< cross that node's PCI bus towards `gpu`)
   kHostCacheEvict, ///< data `id` dropped from node `aux`'s bounded host
                    ///< cache to make room
+
+  // Dependencies (DAG workloads; engine release gating). `gpu` is the GPU
+  // whose retirement drove the release — 0 for load-time enablements.
+  kEdgeReleased,   ///< dependency edge pred `id` -> succ `aux` released by
+                   ///< pred's retirement (bytes: edge kind bitmask)
+  kTaskEnabled,    ///< task `id`'s last predecessor retired: runnable now
+                   ///< (aux: 1 = enabled at load, no predecessors)
+  kTaskUnretired,  ///< retirement of task `id` rolled back: its effects died
+                   ///< with `gpu` before becoming durable; it will re-run and
+                   ///< its released edges are re-armed
 };
 
 [[nodiscard]] std::string_view inspector_event_kind_name(

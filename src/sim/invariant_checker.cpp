@@ -42,6 +42,16 @@ void InvariantChecker::on_run_begin(const core::TaskGraph& graph,
   released_.assign(graph.num_tasks(), 0);
   cancelled_.assign(graph.num_tasks(), 0);
   job_state_.clear();
+  if (graph.has_dependencies()) {
+    dep_pending_.assign(graph.num_tasks(), 0);
+    dep_release_count_.assign(graph.num_tasks(), 0);
+    for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
+      dep_pending_[task] = graph.num_predecessors(task);
+    }
+  } else {
+    dep_pending_.clear();
+    dep_release_count_.clear();
+  }
   checkpoint_ppm_.assign(graph.num_tasks(), 0);
   divergence_seen_.assign(platform.num_gpus, 0);
   wire_active_.assign(inspector_channel_count(platform), 0);
@@ -134,6 +144,12 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
     // and any cache eviction it triggers are node-level, not GPU activity.
     case InspectorEventKind::kHostCacheFill:
     case InspectorEventKind::kHostCacheEvict:
+    // Dependency release machinery is engine-level: an un-retirement is
+    // published *about* the dead GPU, and shed-job edge releases carry
+    // gpu=0, which may well be dead.
+    case InspectorEventKind::kEdgeReleased:
+    case InspectorEventKind::kTaskEnabled:
+    case InspectorEventKind::kTaskUnretired:
       break;
     default:
       if (!gpu.alive) return fail(event, "activity on a dead gpu");
@@ -269,6 +285,23 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
           return fail(event, "task started with missing input");
         }
       }
+      if (!dep_pending_.empty()) {
+        if (dep_pending_[event.id] != 0) {
+          return fail(event, "task started before all predecessors retired");
+        }
+        // Data-version monotonicity: every earlier writer of each datum this
+        // task writes must have finished (or died with its shed job).
+        for (core::DataId data : graph_->writes(event.id)) {
+          for (core::TaskId writer : graph_->writers(data)) {
+            if (writer == event.id) break;  // writers are in version order
+            if (ended_[writer] == 0 && cancelled_[writer] == 0) {
+              return fail(event,
+                          "task wrote a data version before an earlier "
+                          "writer finished");
+            }
+          }
+        }
+      }
       started_[event.id] = 1;
       gpu.running = static_cast<std::int64_t>(event.id);
       break;
@@ -373,7 +406,11 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       break;
     }
     case InspectorEventKind::kJobComplete: {
-      if (event.id >= job_state_.size() || job_state_[event.id] != 1) {
+      if (event.id >= job_state_.size() ||
+          (job_state_[event.id] != 1 &&
+           // On a dependency-gated run an un-retirement can roll a job's
+           // retirement back; the job then legitimately completes again.
+           (dep_pending_.empty() || job_state_[event.id] != 3))) {
         return fail(event, "job completed without an in-flight arrival");
       }
       job_state_[event.id] = 3;
@@ -524,6 +561,72 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       node_cached_[event.aux][event.id] = 0;
       break;
     }
+    case InspectorEventKind::kEdgeReleased: {
+      if (dep_pending_.empty()) {
+        return fail(event, "edge release on a graph without dependencies");
+      }
+      if (event.id >= num_tasks || event.aux >= num_tasks) {
+        return fail(event, "edge release names an unknown task");
+      }
+      const auto succs = graph_->successors(event.id);
+      if (!std::binary_search(succs.begin(), succs.end(),
+                              static_cast<core::TaskId>(event.aux))) {
+        return fail(event, "release of an edge not in the graph");
+      }
+      if (ended_[event.id] == 0 && cancelled_[event.id] == 0) {
+        return fail(event, "edge released before its predecessor finished");
+      }
+      if (dep_release_count_[event.id] >= succs.size()) {
+        return fail(event,
+                    "edge released more often than the predecessor retired");
+      }
+      ++dep_release_count_[event.id];
+      if (dep_pending_[event.aux] == 0) {
+        return fail(event, "edge release underflows the successor's pending "
+                           "predecessor count");
+      }
+      --dep_pending_[event.aux];
+      break;
+    }
+    case InspectorEventKind::kTaskEnabled: {
+      if (dep_pending_.empty()) {
+        return fail(event, "task enabled on a graph without dependencies");
+      }
+      if (event.id >= num_tasks) return fail(event, "enable of unknown task");
+      if (dep_pending_[event.id] != 0) {
+        return fail(event, "task enabled with unretired predecessors");
+      }
+      if (event.aux != 0 && graph_->num_predecessors(event.id) != 0) {
+        return fail(event,
+                    "at-load enablement of a task with predecessors");
+      }
+      break;
+    }
+    case InspectorEventKind::kTaskUnretired: {
+      if (dep_pending_.empty()) {
+        return fail(event, "un-retirement on a graph without dependencies");
+      }
+      if (event.id >= num_tasks) {
+        return fail(event, "un-retirement of unknown task");
+      }
+      if (gpu.alive) return fail(event, "un-retirement for a live gpu");
+      if (ended_[event.id] == 0) {
+        return fail(event, "un-retirement of a task that never finished");
+      }
+      if (dep_release_count_[event.id] != graph_->successors(event.id).size()) {
+        return fail(event,
+                    "un-retirement of a task that had not fully retired");
+      }
+      // Re-arm the released edges and hand the exactly-once budget back:
+      // the re-run on a survivor starts, ends and retires again.
+      dep_release_count_[event.id] = 0;
+      for (core::TaskId succ : graph_->successors(event.id)) {
+        ++dep_pending_[succ];
+      }
+      started_[event.id] = 0;
+      ended_[event.id] = 0;
+      break;
+    }
   }
 }
 
@@ -557,6 +660,30 @@ void InvariantChecker::finish() {
                     "task %lld still running at run end",
                     static_cast<long long>(gpu.running));
       return fail_text(buffer);
+    }
+  }
+  // Released-edge conservation: at run end every dependency edge must have
+  // been released exactly once more than it was re-armed — each task's
+  // final retirement released its full out-edge set, and no successor is
+  // left waiting.
+  if (!dep_pending_.empty()) {
+    for (std::uint32_t task = 0; task < dep_pending_.size(); ++task) {
+      if (dep_pending_[task] != 0) {
+        char buffer[96];
+        std::snprintf(buffer, sizeof buffer,
+                      "task %u still has %u unreleased predecessor edges at "
+                      "run end",
+                      task, dep_pending_[task]);
+        return fail_text(buffer);
+      }
+      if (dep_release_count_[task] != graph_->successors(task).size()) {
+        char buffer[96];
+        std::snprintf(buffer, sizeof buffer,
+                      "task %u released %u of %zu out-edges at run end", task,
+                      dep_release_count_[task],
+                      graph_->successors(task).size());
+        return fail_text(buffer);
+      }
     }
   }
   // Prefetch hints and output write-backs may legitimately still be on a

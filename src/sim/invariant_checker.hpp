@@ -31,6 +31,16 @@
 //     consistently (shed only before arrival, complete only after), and
 //     cancelled tasks of shed jobs never run — nor are they required to by
 //     the end-of-run exactly-once check;
+//   * the dependency model (DAG workloads): no task starts before every
+//     predecessor edge was released, released edges exist in the graph and
+//     their predecessor finished (or was cancelled with its shed job), a
+//     task is enabled only when its pending-predecessor count hits zero,
+//     data versions are monotone (a writer never starts before every
+//     earlier writer of the same data finished), an un-retirement names a
+//     fully-retired task on a dead GPU and re-arms its released edges, and
+//     at run end every edge was released exactly once more than it was
+//     re-armed (released-edge conservation); acyclicity is enforced at
+//     load by TaskGraph::Builder::build;
 //   * proactive fault tolerance: checkpoint progress per task is
 //     non-decreasing and committed only while the task runs, restored
 //     progress never exceeds the last checkpointed progress, a protected
@@ -134,6 +144,11 @@ class InvariantChecker final : public Inspector {
   std::vector<std::uint8_t> released_;
   std::vector<std::uint8_t> cancelled_;
   std::vector<std::uint8_t> job_state_;
+  /// Dependency model state (sized only when the graph carries edges):
+  /// per-task unreleased-predecessor counts and per-task released-out-edge
+  /// counts (reset by kTaskUnretired, which re-arms the edges).
+  std::vector<std::uint32_t> dep_pending_;
+  std::vector<std::uint32_t> dep_release_count_;
   /// Last checkpointed progress per task, in ppm of the task's compute.
   std::vector<std::uint32_t> checkpoint_ppm_;
   /// GPUs whose recorded replay order already reported a divergence.

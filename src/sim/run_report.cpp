@@ -275,6 +275,30 @@ std::string run_report_to_json(const RunReport& report) {
   append_u64(json, cluster.host_cache_evictions);
   json += ",\"steals\":";
   append_u64(json, cluster.steals);
+  json += "}";
+
+  const RunReport::Dependencies& deps = report.dependencies;
+  json += ",\"dependencies\":{\"enabled\":";
+  json += deps.enabled ? "true" : "false";
+  json += ",\"explicit_edges\":";
+  append_u64(json, deps.explicit_edges);
+  json += ",\"raw_edges\":";
+  append_u64(json, deps.raw_edges);
+  json += ",\"war_edges\":";
+  append_u64(json, deps.war_edges);
+  json += ",\"waw_edges\":";
+  append_u64(json, deps.waw_edges);
+  json += ",\"total_edges\":";
+  append_u64(json, deps.total_edges);
+  json += ",\"critical_path_length\":" +
+          std::to_string(deps.critical_path_length);
+  json += ",\"max_ready_width\":" + std::to_string(deps.max_ready_width);
+  json += ",\"tasks_enabled\":";
+  append_u64(json, deps.tasks_enabled);
+  json += ",\"edges_released\":";
+  append_u64(json, deps.edges_released);
+  json += ",\"tasks_unretired\":";
+  append_u64(json, deps.tasks_unretired);
   json += "}}";
   return json;
 }
@@ -327,6 +351,27 @@ void RunReportCollector::on_run_begin(const core::TaskGraph& graph,
       report_.cluster.per_node[node].gpu_end = platform.node_gpu_end(node);
     }
   }
+  if (graph.has_dependencies()) {
+    report_.dependencies.enabled = true;
+    const core::DepEdgeCounts& counts = graph.dependency_edge_counts();
+    report_.dependencies.explicit_edges = counts.explicit_edges;
+    report_.dependencies.raw_edges = counts.raw;
+    report_.dependencies.war_edges = counts.war;
+    report_.dependencies.waw_edges = counts.waw;
+    report_.dependencies.total_edges = counts.total;
+    report_.dependencies.critical_path_length = graph.critical_path_length();
+    dep_pending_.assign(graph.num_tasks(), 0);
+    dep_counted_ready_.assign(graph.num_tasks(), false);
+    dep_started_.assign(graph.num_tasks(), false);
+    for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
+      dep_pending_[task] = graph.num_predecessors(task);
+    }
+  } else {
+    dep_pending_.clear();
+    dep_counted_ready_.clear();
+    dep_started_.clear();
+  }
+  ready_width_ = 0;
   channels_.assign(inspector_channel_count(platform), ChannelState{});
   gpu_scratch_.assign(platform.num_gpus, GpuScratch{});
   pending_recoveries_.clear();
@@ -425,6 +470,13 @@ void RunReportCollector::on_event(const InspectorEvent& event) {
         report_.faults.adoptions.push_back(
             {event.id, adoption->second, event.gpu});
         pending_adoptions_.erase(adoption);
+      }
+      if (event.id < dep_started_.size()) {
+        dep_started_[event.id] = true;
+        if (dep_counted_ready_[event.id]) {
+          dep_counted_ready_[event.id] = false;
+          --ready_width_;
+        }
       }
       break;
     }
@@ -538,6 +590,53 @@ void RunReportCollector::on_event(const InspectorEvent& event) {
       ++report_.cluster.host_cache_evictions;
       if (event.aux < report_.cluster.per_node.size()) {
         ++report_.cluster.per_node[event.aux].host_cache_evictions;
+      }
+      break;
+    case InspectorEventKind::kEdgeReleased:
+      ++report_.dependencies.edges_released;
+      if (event.aux < dep_pending_.size() && dep_pending_[event.aux] > 0) {
+        --dep_pending_[event.aux];
+      }
+      break;
+    case InspectorEventKind::kTaskEnabled:
+      ++report_.dependencies.tasks_enabled;
+      if (event.id < dep_counted_ready_.size() &&
+          !dep_counted_ready_[event.id] && !dep_started_[event.id]) {
+        dep_counted_ready_[event.id] = true;
+        ++ready_width_;
+        report_.dependencies.max_ready_width =
+            std::max(report_.dependencies.max_ready_width,
+                     static_cast<std::uint32_t>(ready_width_));
+      }
+      break;
+    case InspectorEventKind::kTaskUnretired:
+      ++report_.dependencies.tasks_unretired;
+      // The completion on the dead GPU rolls back; the re-run on a survivor
+      // counts instead (its busy time stays — the compute really happened).
+      ++report_.faults.tasks_reclaimed;
+      if (gpu.tasks_executed > 0) --gpu.tasks_executed;
+      if (!pending_recoveries_.empty()) {
+        pending_recoveries_.back().outstanding.push_back(event.id);
+      }
+      pending_adoptions_[event.id] = event.gpu;
+      if (event.id < dep_started_.size()) {
+        // The task re-enters the ready frontier (its own predecessors are
+        // still retired); successors it had enabled leave it.
+        dep_started_[event.id] = false;
+        if (!dep_counted_ready_[event.id]) {
+          dep_counted_ready_[event.id] = true;
+          ++ready_width_;
+          report_.dependencies.max_ready_width =
+              std::max(report_.dependencies.max_ready_width,
+                       static_cast<std::uint32_t>(ready_width_));
+        }
+        for (core::TaskId succ : graph_->successors(event.id)) {
+          const bool was_zero = dep_pending_[succ]++ == 0;
+          if (was_zero && dep_counted_ready_[succ]) {
+            dep_counted_ready_[succ] = false;
+            --ready_width_;
+          }
+        }
       }
       break;
   }

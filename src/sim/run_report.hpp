@@ -12,7 +12,7 @@
 // exported without separately enabling EngineConfig::record_trace.
 //
 // The report serializes to JSON (schema documented in
-// docs/OBSERVABILITY.md, schema_version 5); bench/figure_harness exposes it
+// docs/OBSERVABILITY.md, schema_version 6); bench/figure_harness exposes it
 // behind --run-report / --chrome-trace on every figure and ablation binary.
 // Streamed (serving) runs add a "serving" section — filled in by
 // serve::ServeEngine from its JobTracker — and the faults section attributes
@@ -25,6 +25,11 @@
 // network transfers/bytes and the cross-node steal count (patched in by the
 // hierarchical scheduling driver). The section stays zeroed — and the rest
 // of the report byte-identical to a schema-4 run — when num_nodes == 1.
+// Schema 6 adds the "dependencies" section for DAG workloads: edge counts
+// by kind (explicit / RAW / WAR / WAW), the critical-path length, the
+// maximum ready-frontier width observed during the run, and release/enable
+// event totals. The section stays zeroed — and the rest of the report
+// byte-identical to a schema-5 run — when the graph carries no edges.
 #pragma once
 
 #include <cstdint>
@@ -39,7 +44,7 @@
 namespace mg::sim {
 
 struct RunReport {
-  static constexpr int kSchemaVersion = 5;
+  static constexpr int kSchemaVersion = 6;
 
   std::string scheduler;
   std::string context;  ///< free-form label (figure id, workload, ...)
@@ -218,12 +223,36 @@ struct RunReport {
     std::uint64_t steals = 0;
   };
   Cluster cluster;
+
+  /// DAG workloads (schema 6): dependency shape and release dynamics.
+  /// `enabled` stays false — and every field zeroed — when the task graph
+  /// carries no dependency edges.
+  struct Dependencies {
+    bool enabled = false;
+    std::uint64_t explicit_edges = 0;  ///< add_dependency edges
+    std::uint64_t raw_edges = 0;       ///< read-after-write (derived)
+    std::uint64_t war_edges = 0;       ///< write-after-read (derived)
+    std::uint64_t waw_edges = 0;       ///< write-after-write (derived)
+    std::uint64_t total_edges = 0;     ///< unique (pred, succ) pairs
+    /// Longest chain of dependent tasks (in tasks, not edges): a lower
+    /// bound on the number of sequential execution rounds.
+    std::uint32_t critical_path_length = 0;
+    /// High-water mark of the ready frontier: tasks enabled (all
+    /// predecessors retired) but not yet started.
+    std::uint32_t max_ready_width = 0;
+    std::uint64_t tasks_enabled = 0;   ///< kTaskEnabled events observed
+    /// kEdgeReleased events observed; re-releases after an un-retirement
+    /// count again, so this can exceed total_edges on faulty runs.
+    std::uint64_t edges_released = 0;
+    std::uint64_t tasks_unretired = 0; ///< retirements rolled back by a loss
+  };
+  Dependencies dependencies;
 };
 
 /// Serializes one report as a JSON object.
 [[nodiscard]] std::string run_report_to_json(const RunReport& report);
 
-/// Writes `{"schema_version":5,"context":...,"runs":[...]}` to `path`.
+/// Writes `{"schema_version":6,"context":...,"runs":[...]}` to `path`.
 /// Returns false on I/O error.
 bool write_run_reports(const std::vector<RunReport>& reports,
                        const std::string& context, const std::string& path);
@@ -289,6 +318,14 @@ class RunReportCollector final : public Inspector {
   /// Reclaimed tasks awaiting their re-run: task -> GPU that died holding
   /// it. The next kTaskStart of the task closes the attribution.
   std::map<std::uint32_t, std::uint32_t> pending_adoptions_;
+
+  // Dependency ready-frontier tracking (schema 6). The collector mirrors
+  // per-task pending-predecessor counts from kEdgeReleased / kTaskUnretired
+  // so a revocation can retract a counted-but-revoked enablement.
+  std::vector<std::uint32_t> dep_pending_;
+  std::vector<bool> dep_counted_ready_;
+  std::vector<bool> dep_started_;
+  std::int64_t ready_width_ = 0;
 };
 
 }  // namespace mg::sim

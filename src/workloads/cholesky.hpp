@@ -4,6 +4,12 @@
 // tiles, treated as independent tasks. GEMM reads three tiles, which is what
 // exercises the paper's "3inputs" DARTS variant; the sheer task count
 // (O(N^3/6)) is what motivates the OPTI variant.
+//
+// `with_dependencies` restores the real factorization DAG: each kernel
+// declares the tile it writes (POTRF(k) -> T(k,k), TRSM(i,k) -> T(i,k),
+// SYRK(i,k) -> T(i,i), GEMM(i,j,k) -> T(i,j)), and the RAW/WAR/WAW
+// derivation over the submission order yields exactly the classic Cholesky
+// task DAG with its O(N) critical path of POTRF/TRSM chains.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +28,10 @@ struct CholeskyParams {
   /// Model each kernel's written tile as output traffic (the paper excludes
   /// outputs; enable for the write-back extension).
   bool with_outputs = false;
+
+  /// Declare each kernel's written tile (set_task_writes), restoring the
+  /// factorization's real RAW/WAR/WAW dependency DAG.
+  bool with_dependencies = false;
 };
 
 core::TaskGraph make_cholesky_tasks(const CholeskyParams& params);

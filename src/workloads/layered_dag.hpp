@@ -1,0 +1,38 @@
+// Random layered DAG generator for dependency tests and differential
+// sweeps: tasks are arranged in layers, each task reads a random subset of
+// shared data and depends (explicit edges) on a random subset of the
+// previous layer's tasks — every edge crosses exactly one layer boundary,
+// so the graph is acyclic by construction and its critical path equals the
+// layer count whenever every layer links to the previous one. Optionally
+// each task also writes one of its input data, layering RAW/WAR/WAW derived
+// edges on top of the explicit ones. Not part of the paper's evaluation;
+// exists to exercise the dependency machinery on irregular structure.
+#pragma once
+
+#include <cstdint>
+
+#include "core/platform.hpp"
+#include "core/task_graph.hpp"
+
+namespace mg::work {
+
+struct LayeredDagParams {
+  std::uint32_t num_layers = 4;
+  std::uint32_t tasks_per_layer = 16;
+  std::uint32_t num_data = 32;
+  std::uint32_t min_inputs = 1;
+  std::uint32_t max_inputs = 3;
+  /// Explicit predecessors drawn per non-root task from the previous layer
+  /// (capped at the layer size). 0 = no explicit edges.
+  std::uint32_t max_preds = 2;
+  /// Each task additionally writes its first input (set_task_writes), so
+  /// derived RAW/WAR/WAW edges mix with the explicit layer edges.
+  bool with_writes = false;
+  std::uint64_t data_bytes = 14 * core::kMB;
+  double task_flops = 6.72e9;
+  std::uint64_t seed = 0;
+};
+
+core::TaskGraph make_layered_dag(const LayeredDagParams& params);
+
+}  // namespace mg::work

@@ -1,0 +1,53 @@
+// Tiled LU decomposition (no pivoting) over a full NxN tile matrix —
+// GETRF / TRSM (row and column panels) / GEMM — the second classic dense
+// tile DAG next to Cholesky. Unlike the lower-triangular Cholesky set, LU
+// touches the full square tile grid, its trailing update is a GEMM for
+// *every* (i, j) pair of the remaining submatrix, and its per-step panel is
+// twice as wide, so the DAG is denser and the data-reuse pressure higher.
+//
+// With `with_dependencies`, each kernel declares the tile it writes
+// (GETRF(k) -> T(k,k), TRSM_row(k,j) -> T(k,j), TRSM_col(i,k) -> T(i,k),
+// GEMM(i,j,k) -> T(i,j)) and the RAW/WAR/WAW derivation over the submission
+// order yields the textbook LU task DAG with its O(N) GETRF critical chain;
+// without it the task set is dependency-free, mirroring the paper's
+// flattened treatment.
+#pragma once
+
+#include <cstdint>
+
+#include "core/task_graph.hpp"
+
+namespace mg::work {
+
+struct LuParams {
+  std::uint32_t n = 8;  ///< tile matrix dimension (N)
+
+  /// Tile side in (single-precision) elements.
+  std::uint32_t tile_elems = 960;
+
+  /// Model each kernel's written tile as output traffic.
+  bool with_outputs = false;
+
+  /// Declare each kernel's written tile (set_task_writes), restoring the
+  /// factorization's real RAW/WAR/WAW dependency DAG.
+  bool with_dependencies = false;
+};
+
+core::TaskGraph make_lu_tasks(const LuParams& params);
+
+/// Full square tile count times tile size.
+[[nodiscard]] constexpr std::uint64_t lu_working_set(
+    std::uint32_t n, std::uint32_t tile_elems = 960) {
+  const std::uint64_t tile_bytes =
+      static_cast<std::uint64_t>(tile_elems) * tile_elems * 4;
+  return static_cast<std::uint64_t>(n) * n * tile_bytes;
+}
+
+/// Total task count: N getrf + N(N-1) trsm + N(N-1)(2N-1)/6 gemm.
+[[nodiscard]] constexpr std::uint64_t lu_task_count(std::uint32_t n) {
+  const std::uint64_t big_n = n;
+  return big_n + big_n * (big_n - 1) +
+         big_n * (big_n - 1) * (2 * big_n - 1) / 6;
+}
+
+}  // namespace mg::work

@@ -2,6 +2,8 @@
 #pragma once
 
 #include "workloads/cholesky.hpp"       // IWYU pragma: export
+#include "workloads/layered_dag.hpp"    // IWYU pragma: export
+#include "workloads/lu.hpp"             // IWYU pragma: export
 #include "workloads/matmul2d.hpp"       // IWYU pragma: export
 #include "workloads/matmul3d.hpp"       // IWYU pragma: export
 #include "workloads/random_bipartite.hpp"  // IWYU pragma: export

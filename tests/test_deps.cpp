@@ -1,0 +1,525 @@
+// Dependency-model test battery (ctest label: deps).
+//
+// Four angles on the DAG machinery:
+//   - a brute-force oracle for the RAW/WAR/WAW derivation over random
+//     read/write footprints, checked edge-by-edge against the builder;
+//   - property tests on randomized layered DAGs: every execution order the
+//     engine realizes is topological, across schedulers and platforms;
+//   - bit-identity: with an empty edge set the run report JSON string is
+//     exactly the independent-task output, dependencies section zeroed;
+//   - a memory-bound oracle on tree-shaped graphs: serial release under the
+//     optimal post-order never exceeds the classic peak-memory bound
+//     (Liu's recursion, the reference point of Marchal/Sinnen/Vivien's
+//     tree-scheduling line of work), and the engine replays that order
+//     without a single dependency stall.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/darts.hpp"
+#include "core/platform.hpp"
+#include "core/task_graph.hpp"
+#include "sched/dmda.hpp"
+#include "sched/eager.hpp"
+#include "sched/fixed_order.hpp"
+#include "sched/hfp.hpp"
+#include "sim/engine.hpp"
+#include "sim/inspector.hpp"
+#include "sim/invariant_checker.hpp"
+#include "sim/run_report.hpp"
+#include "util/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace mg {
+namespace {
+
+using core::DataId;
+using core::GpuId;
+using core::TaskId;
+
+// ---------------------------------------------------------------------------
+// Brute-force oracle for the RAW/WAR/WAW derivation.
+// ---------------------------------------------------------------------------
+
+struct OracleEdge {
+  TaskId pred;
+  TaskId succ;
+  std::uint8_t kind;
+};
+
+/// Independent re-derivation of the versioned-data edge rules: in submission
+/// order, a read binds to the current version (RAW from its writer); a write
+/// retires the current version (WAR from its readers, WAW from its writer)
+/// and opens the next. Duplicate (pred, succ) pairs OR their kind bits.
+std::map<std::pair<TaskId, TaskId>, std::uint8_t> oracle_edges(
+    std::uint32_t num_tasks, std::uint32_t num_data,
+    const std::vector<std::vector<DataId>>& reads,
+    const std::vector<std::vector<DataId>>& writes) {
+  std::map<std::pair<TaskId, TaskId>, std::uint8_t> edges;
+  std::vector<TaskId> writer(num_data, core::kInvalidTask);
+  std::vector<std::vector<TaskId>> readers(num_data);
+  for (TaskId task = 0; task < num_tasks; ++task) {
+    for (DataId data : reads[task]) {
+      if (writer[data] != core::kInvalidTask) {
+        edges[{writer[data], task}] |= core::kDepRaw;
+      }
+      readers[data].push_back(task);
+    }
+    for (DataId data : writes[task]) {
+      for (TaskId reader : readers[data]) {
+        if (reader != task) edges[{reader, task}] |= core::kDepWar;
+      }
+      if (writer[data] != core::kInvalidTask) {
+        edges[{writer[data], task}] |= core::kDepWaw;
+      }
+      writer[data] = task;
+      readers[data].clear();
+    }
+  }
+  return edges;
+}
+
+TEST(DepsOracle, DerivationMatchesBruteForce) {
+  util::Rng rng(0xdef5);
+  for (int round = 0; round < 25; ++round) {
+    const auto num_tasks = 10 + static_cast<std::uint32_t>(rng.below(30));
+    const auto num_data = 4 + static_cast<std::uint32_t>(rng.below(8));
+
+    core::TaskGraphBuilder builder;
+    for (DataId data = 0; data < num_data; ++data) builder.add_data(100);
+
+    std::vector<std::vector<DataId>> reads(num_tasks);
+    std::vector<std::vector<DataId>> writes(num_tasks);
+    for (TaskId task = 0; task < num_tasks; ++task) {
+      const auto degree = 1 + static_cast<std::uint32_t>(rng.below(3));
+      while (reads[task].size() < degree) {
+        const auto data = static_cast<DataId>(rng.below(num_data));
+        if (std::find(reads[task].begin(), reads[task].end(), data) ==
+            reads[task].end()) {
+          reads[task].push_back(data);
+        }
+      }
+      const TaskId id = builder.add_task(1.0, reads[task]);
+      ASSERT_EQ(id, task);
+      // 0-2 written data items; a write may or may not also be a read.
+      const auto num_writes = rng.below(3);
+      for (std::uint64_t w = 0; w < num_writes; ++w) {
+        const auto data = static_cast<DataId>(rng.below(num_data));
+        if (std::find(writes[task].begin(), writes[task].end(), data) ==
+            writes[task].end()) {
+          builder.set_task_writes(task, data);
+          writes[task].push_back(data);
+        }
+      }
+    }
+    const core::TaskGraph graph = builder.build();
+    const auto expected = oracle_edges(num_tasks, num_data, reads, writes);
+    SCOPED_TRACE("round " + std::to_string(round) + ": " +
+                 std::to_string(expected.size()) + " oracle edges");
+
+    // Edge-by-edge: the predecessor CSR must be exactly the oracle set.
+    std::uint64_t graph_edges = 0;
+    for (TaskId task = 0; task < num_tasks; ++task) {
+      const auto preds = graph.predecessors(task);
+      const auto kinds = graph.predecessor_kinds(task);
+      ASSERT_EQ(preds.size(), kinds.size());
+      graph_edges += preds.size();
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        const auto it = expected.find({preds[i], task});
+        ASSERT_NE(it, expected.end())
+            << "builder invented edge " << preds[i] << " -> " << task;
+        EXPECT_EQ(kinds[i], it->second)
+            << "kind mismatch on " << preds[i] << " -> " << task;
+        // Derived edges always point forward in submission order.
+        EXPECT_LT(preds[i], task);
+      }
+    }
+    EXPECT_EQ(graph_edges, expected.size());
+    EXPECT_EQ(graph.dependency_edge_counts().total, expected.size());
+    EXPECT_EQ(graph.has_dependencies(), !expected.empty());
+  }
+}
+
+TEST(DepsOracle, CholeskyAndLuCriticalPaths) {
+  // The right-looking factorizations chain POTRF/GETRF(k) -> panel solve ->
+  // trailing update -> POTRF/GETRF(k+1): three tasks per step, 3N-2 total.
+  for (std::uint32_t n : {2u, 4u, 8u}) {
+    const auto chol = work::make_cholesky_tasks({.n = n,
+                                                 .with_dependencies = true});
+    EXPECT_EQ(chol.critical_path_length(), 3 * n - 2) << "cholesky n=" << n;
+    EXPECT_EQ(chol.num_tasks(), work::cholesky_task_count(n));
+    const auto lu = work::make_lu_tasks({.n = n, .with_dependencies = true});
+    EXPECT_EQ(lu.critical_path_length(), 3 * n - 2) << "lu n=" << n;
+    EXPECT_EQ(lu.num_tasks(), work::lu_task_count(n));
+  }
+  // Dependencies off: same task set, no edges.
+  const auto flat = work::make_cholesky_tasks({.n = 8});
+  EXPECT_FALSE(flat.has_dependencies());
+  EXPECT_EQ(flat.critical_path_length(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Property: realized execution order is topological, across schedulers.
+// ---------------------------------------------------------------------------
+
+/// Records per-task start/end times from the inspector stream.
+class TimelineRecorder final : public sim::Inspector {
+ public:
+  void on_run_begin(const core::TaskGraph& graph, const core::Platform&,
+                    std::string_view) override {
+    start_us.assign(graph.num_tasks(), -1.0);
+    end_us.assign(graph.num_tasks(), -1.0);
+  }
+  void on_event(const sim::InspectorEvent& event) override {
+    if (event.kind == sim::InspectorEventKind::kTaskStart) {
+      start_us[event.id] = event.time_us;
+    } else if (event.kind == sim::InspectorEventKind::kTaskEnd) {
+      end_us[event.id] = event.time_us;
+    }
+  }
+  std::vector<double> start_us;
+  std::vector<double> end_us;
+};
+
+struct SchedulerCase {
+  std::string label;
+  std::unique_ptr<core::Scheduler> scheduler;
+};
+
+std::vector<SchedulerCase> make_schedulers() {
+  std::vector<SchedulerCase> cases;
+  cases.push_back({"EAGER", std::make_unique<sched::EagerScheduler>()});
+  cases.push_back({"DMDAR", std::make_unique<sched::DmdaScheduler>()});
+  cases.push_back({"DARTS+LUF", std::make_unique<core::DartsScheduler>(
+                                    core::DartsOptions{.use_luf = true})});
+  cases.push_back({"HFP", std::make_unique<sched::HfpScheduler>()});
+  return cases;
+}
+
+class TopologicalOrderTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologicalOrderTest, RandomDagsExecuteTopologically) {
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed);
+  const work::LayeredDagParams params{
+      .num_layers = 3 + static_cast<std::uint32_t>(rng.below(3)),
+      .tasks_per_layer = 6 + static_cast<std::uint32_t>(rng.below(10)),
+      .num_data = 10 + static_cast<std::uint32_t>(rng.below(10)),
+      .min_inputs = 1,
+      .max_inputs = 3,
+      .max_preds = 1 + static_cast<std::uint32_t>(rng.below(3)),
+      .with_writes = (seed % 2 == 0),
+      .data_bytes = 50,
+      .task_flops = 1e6,
+      .seed = seed};
+  const core::TaskGraph graph = work::make_layered_dag(params);
+  ASSERT_TRUE(graph.has_dependencies());
+  EXPECT_GE(graph.critical_path_length(), params.num_layers);
+
+  core::Platform platform;
+  platform.num_gpus = 1 + static_cast<std::uint32_t>(rng.below(3));
+  platform.gpu_memory_bytes = 50 * params.num_data;  // roomy
+
+  for (SchedulerCase& entry : make_schedulers()) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " scheduler " + entry.label);
+    sim::RuntimeEngine engine(graph, platform, *entry.scheduler,
+                              {.seed = seed});
+    TimelineRecorder timeline;
+    sim::InvariantChecker checker({.fail_fast = false});
+    engine.add_inspector(&timeline);
+    engine.add_inspector(&checker);
+    const core::RunMetrics metrics = engine.run();
+    ASSERT_TRUE(checker.ok())
+        << checker.report().error << "\nlast events:\n"
+        << checker.report().excerpt;
+
+    std::uint64_t executed = 0;
+    for (const auto& gpu : metrics.per_gpu) executed += gpu.tasks_executed;
+    EXPECT_EQ(executed, graph.num_tasks());
+
+    // Every edge respected: a successor starts only after its predecessor
+    // finished (retirement is instantaneous at finish on fault-free runs).
+    for (TaskId task = 0; task < graph.num_tasks(); ++task) {
+      ASSERT_GE(timeline.start_us[task], 0.0) << "task " << task;
+      for (TaskId pred : graph.predecessors(task)) {
+        EXPECT_GE(timeline.start_us[task], timeline.end_us[pred])
+            << "edge " << pred << " -> " << task << " violated";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologicalOrderTest,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Bit-identity: an empty edge set leaves the report byte-for-byte the
+// independent-task output.
+// ---------------------------------------------------------------------------
+
+TEST(DepsBitIdentity, EdgeFreeRunsSerializeIdentically) {
+  // The same Cholesky task set built through the dependency-capable
+  // generator with the flag off must be indistinguishable — in the full
+  // JSON report, not just the headline metrics — from the default build,
+  // and re-running must reproduce the document exactly.
+  const core::Platform platform = core::make_v100_platform(2, 120 * core::kMB);
+  auto report_for = [&](const core::TaskGraph& graph,
+                        core::Scheduler& scheduler) {
+    sim::RuntimeEngine engine(graph, platform, scheduler, {.seed = 42});
+    sim::RunReportCollector collector;
+    engine.add_inspector(&collector);
+    engine.run();
+    return sim::run_report_to_json(collector.report());
+  };
+
+  const core::TaskGraph plain = work::make_cholesky_tasks({.n = 8});
+  const core::TaskGraph flagged_off =
+      work::make_cholesky_tasks({.n = 8, .with_dependencies = false});
+  ASSERT_FALSE(flagged_off.has_dependencies());
+
+  for (SchedulerCase& entry : make_schedulers()) {
+    SCOPED_TRACE(entry.label);
+    const std::string baseline = report_for(plain, *entry.scheduler);
+    EXPECT_EQ(report_for(flagged_off, *entry.scheduler), baseline);
+    EXPECT_EQ(report_for(plain, *entry.scheduler), baseline);
+    // The dependencies section stays zeroed on edge-free graphs.
+    EXPECT_NE(baseline.find("\"dependencies\":{\"enabled\":false"),
+              std::string::npos);
+  }
+}
+
+TEST(DepsBitIdentity, DagRunsAreDeterministic) {
+  const core::TaskGraph graph =
+      work::make_cholesky_tasks({.n = 8, .with_dependencies = true});
+  const core::Platform platform = core::make_v100_platform(2, 120 * core::kMB);
+  for (SchedulerCase& entry : make_schedulers()) {
+    SCOPED_TRACE(entry.label);
+    auto run_once = [&] {
+      sim::RuntimeEngine engine(graph, platform, *entry.scheduler,
+                                {.seed = 7});
+      sim::RunReportCollector collector;
+      engine.add_inspector(&collector);
+      engine.run();
+      return sim::run_report_to_json(collector.report());
+    };
+    const std::string first = run_once();
+    EXPECT_EQ(run_once(), first);
+    EXPECT_NE(first.find("\"dependencies\":{\"enabled\":true"),
+              std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Memory-bound oracle: tree-shaped graphs under serial release.
+// ---------------------------------------------------------------------------
+
+struct TreeNode {
+  std::vector<TaskId> children;
+  std::uint64_t bytes = 0;  ///< size of the node's output data
+};
+
+/// Peak memory of the optimal post-order traversal (Liu's recursion): with
+/// children visited in decreasing (peak - residual), the subtree peak is
+///   max( max_i (sum_{j<i} s_j + P_i),  sum_i s_i + s_v ).
+std::uint64_t post_order_peak(const std::vector<TreeNode>& tree, TaskId v,
+                              std::vector<TaskId>& order) {
+  std::vector<std::pair<std::uint64_t, TaskId>> ranked;  // (peak, child)
+  ranked.reserve(tree[v].children.size());
+  for (TaskId child : tree[v].children) {
+    std::vector<TaskId> child_order;
+    ranked.emplace_back(post_order_peak(tree, child, child_order), child);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [&](const auto& a, const auto& b) {
+              const std::int64_t lhs =
+                  static_cast<std::int64_t>(a.first) -
+                  static_cast<std::int64_t>(tree[a.second].bytes);
+              const std::int64_t rhs =
+                  static_cast<std::int64_t>(b.first) -
+                  static_cast<std::int64_t>(tree[b.second].bytes);
+              return lhs > rhs;
+            });
+  std::uint64_t peak = 0;
+  std::uint64_t resident = 0;  // finished children outputs still live
+  for (const auto& [child_peak, child] : ranked) {
+    std::vector<TaskId> child_order;
+    post_order_peak(tree, child, child_order);
+    order.insert(order.end(), child_order.begin(), child_order.end());
+    peak = std::max(peak, resident + child_peak);
+    resident += tree[child].bytes;
+  }
+  peak = std::max(peak, resident + tree[v].bytes);
+  order.push_back(v);
+  return peak;
+}
+
+/// Replays `order` serially: a data item is live from the start of its
+/// first toucher (reader or writer) to the finish of its last; returns the
+/// peak live bytes.
+std::uint64_t replay_peak(const core::TaskGraph& graph,
+                          const std::vector<TaskId>& order) {
+  std::vector<std::vector<DataId>> touched(graph.num_tasks());
+  std::vector<TaskId> last_toucher(graph.num_data(), core::kInvalidTask);
+  std::vector<std::uint32_t> position(graph.num_tasks(), 0);
+  for (std::uint32_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (TaskId task = 0; task < graph.num_tasks(); ++task) {
+    for (DataId data : graph.inputs(task)) touched[task].push_back(data);
+    for (DataId data : graph.writes(task)) {
+      if (std::find(touched[task].begin(), touched[task].end(), data) ==
+          touched[task].end()) {
+        touched[task].push_back(data);
+      }
+    }
+  }
+  for (const TaskId task : order) {
+    for (DataId data : touched[task]) {
+      if (last_toucher[data] == core::kInvalidTask ||
+          position[last_toucher[data]] < position[task]) {
+        last_toucher[data] = task;
+      }
+    }
+  }
+  std::uint64_t live = 0;
+  std::uint64_t peak = 0;
+  std::vector<bool> resident(graph.num_data(), false);
+  for (const TaskId task : order) {
+    for (DataId data : touched[task]) {
+      if (!resident[data]) {
+        resident[data] = true;
+        live += graph.data_size(data);
+      }
+    }
+    peak = std::max(peak, live);
+    for (DataId data : touched[task]) {
+      if (last_toucher[data] == task) {
+        resident[data] = false;
+        live -= graph.data_size(data);
+      }
+    }
+  }
+  return peak;
+}
+
+class TreePeakMemoryTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreePeakMemoryTest, SerialReleaseStaysUnderPostOrderBound) {
+  // Random in-tree, root last: parent(i) > i, so the submission order
+  // 0..N-1 writes each child's output before its parent reads it and the
+  // RAW derivation yields exactly the tree edges.
+  util::Rng rng(GetParam());
+  const auto num_tasks = 12 + static_cast<std::uint32_t>(rng.below(28));
+  std::vector<TreeNode> tree(num_tasks);
+  std::vector<TaskId> parent(num_tasks, core::kInvalidTask);
+  for (TaskId task = 0; task + 1 < num_tasks; ++task) {
+    parent[task] = task + 1 +
+                   static_cast<TaskId>(rng.below(num_tasks - task - 1));
+    tree[parent[task]].children.push_back(task);
+  }
+
+  core::TaskGraphBuilder builder;
+  std::vector<DataId> output(num_tasks);
+  for (TaskId task = 0; task < num_tasks; ++task) {
+    tree[task].bytes = 1 + rng.below(50);
+    output[task] = builder.add_data(tree[task].bytes);
+  }
+  for (TaskId task = 0; task < num_tasks; ++task) {
+    std::vector<DataId> inputs;
+    if (tree[task].children.empty()) {
+      inputs.push_back(output[task]);  // leaves read their own (version-0) data
+    } else {
+      for (TaskId child : tree[task].children) {
+        inputs.push_back(output[child]);
+      }
+    }
+    const TaskId id = builder.add_task(10.0, inputs);
+    ASSERT_EQ(id, task);
+    builder.set_task_writes(task, output[task]);
+  }
+  const core::TaskGraph graph = builder.build();
+
+  // The derived DAG is exactly the tree: child -> parent, nothing else.
+  for (TaskId task = 0; task < num_tasks; ++task) {
+    const auto succs = graph.successors(task);
+    if (parent[task] == core::kInvalidTask) {
+      EXPECT_TRUE(succs.empty());
+    } else {
+      ASSERT_EQ(succs.size(), 1u);
+      EXPECT_EQ(succs[0], parent[task]);
+    }
+  }
+
+  // Oracle: the linear replay of the optimal post-order never exceeds
+  // Liu's recursive bound.
+  const TaskId root = num_tasks - 1;
+  std::vector<TaskId> order;
+  const std::uint64_t bound = post_order_peak(tree, root, order);
+  ASSERT_EQ(order.size(), num_tasks);
+  EXPECT_LE(replay_peak(graph, order), bound) << "seed " << GetParam();
+
+  // The engine replays the same order serially without a dependency stall:
+  // the post-order is topological, so the fixed-order head gate never
+  // blocks and every task runs in exactly the prescribed sequence.
+  sched::FixedOrderScheduler scheduler({order});
+  core::Platform platform;
+  platform.num_gpus = 1;
+  platform.gpu_memory_bytes = graph.working_set_bytes();
+  sim::EngineConfig config;
+  config.seed = GetParam();
+  config.pipeline_depth = 1;
+  sim::RuntimeEngine engine(graph, platform, scheduler, config);
+  TimelineRecorder timeline;
+  sim::InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&timeline);
+  engine.add_inspector(&checker);
+  const core::RunMetrics metrics = engine.run();
+  ASSERT_TRUE(checker.ok()) << checker.report().error;
+  EXPECT_EQ(metrics.per_gpu[0].tasks_executed, graph.num_tasks());
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(timeline.start_us[order[i]], timeline.end_us[order[i - 1]]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreePeakMemoryTest,
+                         testing::Values(11, 23, 42, 77, 131, 999));
+
+// ---------------------------------------------------------------------------
+// Run-report dependencies section on a real DAG run.
+// ---------------------------------------------------------------------------
+
+TEST(DepsReport, SchemaSixSectionMatchesGraphShape) {
+  const core::TaskGraph graph =
+      work::make_cholesky_tasks({.n = 6, .with_dependencies = true});
+  const core::Platform platform = core::make_v100_platform(2, 120 * core::kMB);
+  sched::EagerScheduler scheduler;
+  sim::RuntimeEngine engine(graph, platform, scheduler, {.seed = 3});
+  sim::RunReportCollector collector;
+  engine.add_inspector(&collector);
+  engine.run();
+
+  const sim::RunReport& report = collector.report();
+  const auto& counts = graph.dependency_edge_counts();
+  EXPECT_TRUE(report.dependencies.enabled);
+  EXPECT_EQ(report.dependencies.total_edges, counts.total);
+  EXPECT_EQ(report.dependencies.explicit_edges, counts.explicit_edges);
+  EXPECT_EQ(report.dependencies.raw_edges, counts.raw);
+  EXPECT_EQ(report.dependencies.war_edges, counts.war);
+  EXPECT_EQ(report.dependencies.waw_edges, counts.waw);
+  EXPECT_EQ(report.dependencies.critical_path_length,
+            graph.critical_path_length());
+  // Fault-free: every edge released exactly once and every task enabled
+  // exactly once (roots in the initial-frontier events at load), nothing
+  // un-retired.
+  EXPECT_EQ(report.dependencies.edges_released, counts.total);
+  EXPECT_EQ(report.dependencies.tasks_enabled, graph.num_tasks());
+  EXPECT_EQ(report.dependencies.tasks_unretired, 0u);
+  EXPECT_GE(report.dependencies.max_ready_width, 1u);
+}
+
+}  // namespace
+}  // namespace mg

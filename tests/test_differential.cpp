@@ -25,6 +25,8 @@
 #include "sim/fault_plan.hpp"
 #include "sim/invariant_checker.hpp"
 #include "util/rng.hpp"
+#include "workloads/cholesky.hpp"
+#include "workloads/layered_dag.hpp"
 #include "workloads/random_bipartite.hpp"
 
 namespace mg {
@@ -220,6 +222,78 @@ TEST(Differential, SeededFaultPlansDegradeGracefullyAcrossSchedulers) {
     }
   }
   EXPECT_EQ(runs_checked, static_cast<std::uint64_t>(kGraphs) * 4);
+}
+
+TEST(Differential, DagWorkloadsAcrossSchedulersStayInvariantFree) {
+  // Dependency-gated differential sweep: random layered DAGs (explicit
+  // edges, and on even rounds derived RAW/WAR/WAW on top) plus the Cholesky
+  // tile DAG, across every scheduler on 1- and 2-node topologies. Each run
+  // must be violation-free — the checker enforces the predecessor-retirement
+  // start gate and released-edge conservation — and complete the identical
+  // task set.
+  constexpr int kRounds = 20;
+  util::Rng rng(0xdac5eedULL);
+  std::uint64_t runs_checked = 0;
+
+  for (int round = 0; round < kRounds; ++round) {
+    const std::uint64_t seed = 3000 + static_cast<std::uint64_t>(round);
+    core::TaskGraph graph;
+    if (round % 4 == 3) {
+      graph = work::make_cholesky_tasks(
+          {.n = 4 + static_cast<std::uint32_t>(rng.below(5)),
+           .tile_elems = 4,  // 64-byte tiles: pressure comes from the counts
+           .with_dependencies = true});
+    } else {
+      graph = work::make_layered_dag(
+          {.num_layers = 3 + static_cast<std::uint32_t>(rng.below(3)),
+           .tasks_per_layer = 5 + static_cast<std::uint32_t>(rng.below(10)),
+           .num_data = 10 + static_cast<std::uint32_t>(rng.below(12)),
+           .min_inputs = 1,
+           .max_inputs = 3,
+           .max_preds = 1 + static_cast<std::uint32_t>(rng.below(3)),
+           .with_writes = (round % 2 == 0),
+           .data_bytes = 10 + rng.below(91),
+           .task_flops = 1e6,
+           .seed = seed});
+    }
+    ASSERT_TRUE(graph.has_dependencies());
+    const std::uint32_t num_gpus =
+        1 + static_cast<std::uint32_t>(rng.below(4));
+
+    core::Platform platform;
+    platform.num_gpus = num_gpus;
+    const std::uint64_t floor_bytes = graph.max_task_footprint();
+    platform.gpu_memory_bytes =
+        floor_bytes + rng.below(graph.working_set_bytes() - floor_bytes + 1) +
+        8;
+    platform.nvlink_enabled = (round % 5 == 0) && num_gpus > 1;
+    platform.num_nodes = (round % 2 == 1 && num_gpus >= 2) ? 2 : 1;
+
+    for (SchedulerCase& entry : make_schedulers()) {
+      SCOPED_TRACE("round " + std::to_string(round) + " scheduler " +
+                   entry.label + " gpus " + std::to_string(num_gpus) +
+                   " nodes " + std::to_string(platform.num_nodes) + " mem " +
+                   std::to_string(platform.gpu_memory_bytes));
+
+      sim::EngineConfig config;
+      config.seed = 11 + static_cast<std::uint64_t>(round);
+      sim::RuntimeEngine engine(graph, platform, *entry.scheduler, config);
+      sim::InvariantChecker checker({.fail_fast = false});
+      engine.add_inspector(&checker);
+      const core::RunMetrics metrics = engine.run();
+      ++runs_checked;
+
+      ASSERT_TRUE(checker.ok())
+          << checker.report().error << "\nlast events:\n"
+          << checker.report().excerpt;
+      EXPECT_GT(checker.events_checked(), 0u);
+
+      std::uint64_t executed = 0;
+      for (const auto& gpu : metrics.per_gpu) executed += gpu.tasks_executed;
+      EXPECT_EQ(executed, graph.num_tasks());
+    }
+  }
+  EXPECT_EQ(runs_checked, static_cast<std::uint64_t>(kRounds) * 4);
 }
 
 TEST(Differential, DartsLoadsApproachTheEvictionFreeLowerBound) {

@@ -622,5 +622,80 @@ TEST(FaultInjector, EmptyPlanIsBitIdenticalToNoInjector) {
   EXPECT_EQ(armed.faults.transfer_retries, 0u);
 }
 
+TEST(FaultDependencies, CheckpointedOrphanWaitsForUnretiredPredecessor) {
+  // Regression: a checkpointed orphan whose predecessor later dies
+  // un-checkpointed must wait for the predecessor's re-run. Before the
+  // revoked-successor ejection this deadlocked — the revoked orphan sat at a
+  // survivor's buffer head (stalled by the dependency gate) while the
+  // re-running predecessor queued *behind* it, and only a head can start.
+  //
+  // One GPU per node so each node has its own host link and write-back
+  // channel: S's zero-byte snapshot commits on node 2's idle channel while
+  // P's 100-byte drain still occupies node 1's (on a shared channel the
+  // snapshot would queue behind the drain and only ever commit after P had
+  // already become durable). Each input is homed on its consumer's node
+  // (data id % nodes), so first fetches are node-local.
+  //
+  // Timeline (1 flop = 1 us, 1 byte = 1 us on each node's host link):
+  //   gpu0 runs filler F [1,501] and stays alive throughout.
+  //   gpu1 runs P: fetch d0 [0,10], compute [10,40]. P's own 50% snapshot
+  //     drags its 100-byte payload over node 1's write-back channel from
+  //     t=25 but aborts (P finishes first), queueing the real drain behind
+  //     it: P retires optimistically at 40, durable only at 225.
+  //   gpu2 pops S at 40 (explicit edge P -> S): fetch d1 [40,45], compute
+  //     starts at 45; the 50% snapshot (no declared output) commits
+  //     instantly at 70 on node 2's idle channel.
+  //   t=72: gpu2 dies. S is an orphan with durable 50% progress; the replay
+  //     scheduler reassigns it to gpu0, where it buffers behind running F.
+  //   t=85: gpu1 dies with P's drain still queued. P un-retires and revokes
+  //     S's enablement while S sits popped in gpu0's pipeline: S is ejected
+  //     and parked, P re-runs from scratch on gpu0 after F [501,531],
+  //     re-retires at 531, and S resumes from its checkpoint [531,556] —
+  //     everything finishes on gpu0.
+  core::TaskGraphBuilder builder;
+  const DataId df = builder.add_data(1);   // id 0 -> node 0
+  const DataId d0 = builder.add_data(10);  // id 1 -> node 1
+  const DataId d1 = builder.add_data(5);   // id 2 -> node 2
+  const TaskId filler = builder.add_task(500.0, {df});
+  const TaskId pred = builder.add_task(30.0, {d0});
+  builder.set_task_output(pred, 100);
+  const TaskId succ = builder.add_task(50.0, {d1});
+  builder.add_dependency(pred, succ);
+  const core::TaskGraph graph = builder.build();
+  ASSERT_TRUE(graph.has_dependencies());
+
+  sched::FixedOrderScheduler scheduler({{filler}, {pred}, {succ}});
+  FaultPlan plan;
+  plan.gpu_losses.push_back({72.0, 2});
+  plan.gpu_losses.push_back({85.0, 1});
+  FaultInjector injector(plan);
+  EngineConfig config;
+  config.pipeline_depth = 2;
+  config.checkpoint_fraction = 0.5;
+  core::Platform platform = test_platform(3, 1000);
+  platform.num_nodes = 3;
+  RuntimeEngine engine(graph, platform, scheduler, config);
+  engine.set_fault_injector(&injector);
+  InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  const core::RunMetrics metrics = engine.run();
+
+  ASSERT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+  EXPECT_EQ(metrics.faults.gpu_losses, 2u);
+  // Reclaims: S orphaned at the first loss, P un-retired at the second, S
+  // ejected from gpu0's pipeline by the revocation.
+  EXPECT_EQ(metrics.faults.tasks_reclaimed, 3u);
+  // S's re-run resumed from the committed 50% snapshot: 25 us skipped. P's
+  // snapshots never committed, so its re-run starts from scratch.
+  EXPECT_EQ(metrics.faults.tasks_restored, 1u);
+  EXPECT_DOUBLE_EQ(metrics.faults.compute_saved_us, 25.0);
+  // Committed snapshots: S at 70 and the filler's 50% at 251.
+  EXPECT_EQ(metrics.faults.checkpoints_taken, 2u);
+  // The survivor executed everything: F, P's re-run, S's resumed re-run.
+  EXPECT_EQ(metrics.per_gpu[0].tasks_executed, 3u);
+  EXPECT_DOUBLE_EQ(metrics.makespan_us, 556.0);
+}
+
 }  // namespace
 }  // namespace mg::sim

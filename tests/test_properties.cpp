@@ -2,6 +2,7 @@
 // and memory pressures (TEST_P sweeps).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -48,6 +49,49 @@ TEST_P(DeterminismTest, DartsRunsAreReproducible) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest,
                          testing::Values(1, 7, 42, 1234, 99999));
+
+// ---------------------------------------------------------------------------
+// Dependency-gated runs are equally reproducible: the DAG release order,
+// the successor-aware DARTS tie-breaks and the ready-frontier bookkeeping
+// must all be driven by the seeded RNG, never by incidental state.
+// ---------------------------------------------------------------------------
+
+class DagDeterminismTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DagDeterminismTest, DependencyGatedRunsAreReproducible) {
+  const core::TaskGraph graph =
+      work::make_cholesky_tasks({.n = 10, .with_dependencies = true});
+  const core::Platform platform =
+      core::make_v100_platform(2, 120 * core::kMB);
+
+  auto run_once = [&](std::uint64_t seed) {
+    core::DartsScheduler darts{core::DartsOptions{.use_luf = true}};
+    sim::EngineConfig config;
+    config.seed = seed;
+    sim::RuntimeEngine engine(graph, platform, darts, config);
+    return engine.run();
+  };
+
+  const core::RunMetrics a = run_once(GetParam());
+  const core::RunMetrics b = run_once(GetParam());
+  EXPECT_DOUBLE_EQ(a.makespan_us, b.makespan_us);
+  EXPECT_EQ(a.total_loads(), b.total_loads());
+  EXPECT_EQ(a.total_evictions(), b.total_evictions());
+  for (std::size_t gpu = 0; gpu < a.per_gpu.size(); ++gpu) {
+    EXPECT_EQ(a.per_gpu[gpu].tasks_executed, b.per_gpu[gpu].tasks_executed);
+  }
+  // The DAG's serial spine is a hard floor: no run can finish faster than
+  // critical-path-many back-to-back executions of even the cheapest kernel.
+  double min_task_us = std::numeric_limits<double>::infinity();
+  for (core::TaskId task = 0; task < graph.num_tasks(); ++task) {
+    min_task_us = std::min(
+        min_task_us, graph.task_flops(task) / (platform.gpu_gflops * 1e3));
+  }
+  EXPECT_GE(a.makespan_us, graph.critical_path_length() * min_task_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagDeterminismTest,
+                         testing::Values(1, 7, 42, 1234));
 
 // ---------------------------------------------------------------------------
 // Belady never loads more than LRU for the same schedule.
