@@ -23,6 +23,7 @@
 #include "sched/dmda.hpp"
 #include "sched/eager.hpp"
 #include "sched/hfp.hpp"
+#include "serve/autoscale_flags.hpp"
 #include "serve/serve_engine.hpp"
 #include "sim/engine_guard.hpp"
 #include "sim/errors.hpp"
@@ -80,6 +81,7 @@ int main(int argc, char** argv) {
                    "reuse possible)")
       .define_bool("check", false,
                    "run the online InvariantChecker over every streamed run");
+  serve::add_autoscale_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
 
   bench::FigureConfig config = bench::config_from_flags(
@@ -152,6 +154,13 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(flags.get_int("max-queue"));
       serve_config.share_data = !flags.get_bool("no-share");
       serve_config.engine.seed = config.seed;
+      serve_config.autoscale = serve::autoscale_from_flags(flags);
+      serve_config.engine.initial_active_nodes =
+          serve::autoscale_initial_nodes(flags);
+      if (serve_config.autoscale.enabled && !config.platform.is_cluster()) {
+        std::fprintf(stderr, "--autoscale needs --nodes >= 2\n");
+        return 1;
+      }
 
       auto scheduler = spec.factory();
       serve::ServeEngine engine(templates, jobs, config.platform, *scheduler,
@@ -187,6 +196,8 @@ int main(int argc, char** argv) {
       if (collector != nullptr) {
         sim::RunReport report = collector->report();
         report.serving = result.serving;
+        report.autoscaling.scale_out_events = result.scale_out_events;
+        report.autoscaling.scale_in_events = result.scale_in_events;
         reports.push_back(std::move(report));
       }
 

@@ -18,6 +18,7 @@
 #include "sched/dmda.hpp"
 #include "sched/eager.hpp"
 #include "sched/hfp.hpp"
+#include "serve/autoscale_flags.hpp"
 #include "serve/serve_engine.hpp"
 #include "sim/engine_guard.hpp"
 #include "sim/errors.hpp"
@@ -77,8 +78,9 @@ int main(int argc, char** argv) {
                      "JSON fault plan injected mid-stream "
                      "(docs/ROBUSTNESS.md)")
       .define_string("run-report", "",
-                     "write the schema-v6 JSON run report (with serving "
+                     "write the schema-v7 JSON run report (with serving "
                      "section) to this path");
+  serve::add_autoscale_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
 
   const auto arrival = serve::parse_arrival_mode(flags.get_string("arrival"));
@@ -136,6 +138,12 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(flags.get_int("max-queue"));
   config.share_data = !flags.get_bool("no-share");
   config.engine.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  config.autoscale = serve::autoscale_from_flags(flags);
+  config.engine.initial_active_nodes = serve::autoscale_initial_nodes(flags);
+  if (config.autoscale.enabled && !platform.is_cluster()) {
+    std::fprintf(stderr, "--autoscale needs --nodes >= 2\n");
+    return 1;
+  }
 
   serve::ServeEngine engine(templates, jobs, platform, *scheduler, config);
 
@@ -218,6 +226,12 @@ int main(int argc, char** argv) {
               config.share_data ? "" : " [sharing ablated]");
   std::printf("in flight  : peak %u jobs, queue peak %u\n",
               serving.peak_jobs_in_flight, serving.peak_queue_depth);
+  if (config.autoscale.enabled) {
+    std::printf("autoscale  : %u scale-out, %u scale-in decision(s) applied "
+                "(%u node(s) serving at end)\n",
+                result.scale_out_events, result.scale_in_events,
+                engine.engine().active_node_count());
+  }
   std::printf("transfers  : %.0f MB host, %llu loads\n",
               result.metrics.transfers_mb(),
               static_cast<unsigned long long>(result.metrics.total_loads()));
@@ -235,6 +249,8 @@ int main(int argc, char** argv) {
   if (collector != nullptr) {
     sim::RunReport report = collector->report();
     report.serving = serving;
+    report.autoscaling.scale_out_events = result.scale_out_events;
+    report.autoscaling.scale_in_events = result.scale_in_events;
     const std::string path = flags.get_string("run-report");
     if (sim::write_run_reports({report}, "memsched_serve", path)) {
       std::printf("run report : %s\n", path.c_str());

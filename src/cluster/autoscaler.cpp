@@ -1,0 +1,58 @@
+#include "cluster/autoscaler.hpp"
+
+#include "util/check.hpp"
+
+namespace mg::cluster {
+
+Autoscaler::Autoscaler(AutoscalerConfig config) : config_(config) {
+  MG_CHECK_MSG(config_.min_nodes >= 1, "autoscaler needs min_nodes >= 1");
+  MG_CHECK_MSG(config_.max_nodes == 0 || config_.max_nodes >= config_.min_nodes,
+               "autoscaler max_nodes must be 0 or >= min_nodes");
+  MG_CHECK_MSG(config_.check_interval_us > 0.0,
+               "autoscaler check interval must be positive");
+  MG_CHECK_MSG(config_.hysteresis_checks >= 1,
+               "autoscaler needs at least one hysteresis check");
+  MG_CHECK_MSG(config_.scale_in_queue < config_.scale_out_queue,
+               "autoscaler scale_in_queue must be below scale_out_queue");
+}
+
+Autoscaler::Decision Autoscaler::sample(const Sample& sample) {
+  if (!config_.enabled) return Decision::kHold;
+
+  // The two pressures are mutually exclusive by construction
+  // (scale_out_queue > scale_in_queue after the ctor checks), so at most one
+  // streak grows per sample; the other resets — a mixed-signal stretch
+  // converges to hold.
+  const bool out_pressure = sample.queue_depth >= config_.scale_out_queue;
+  const bool in_pressure = sample.queue_depth <= config_.scale_in_queue &&
+                           sample.jobs_in_flight < sample.active_nodes;
+  out_streak_ = out_pressure ? out_streak_ + 1 : 0;
+  in_streak_ = in_pressure ? in_streak_ + 1 : 0;
+
+  if (decided_once_ &&
+      sample.now_us - last_decision_us_ < config_.cooldown_us) {
+    return Decision::kHold;
+  }
+
+  if (out_streak_ >= config_.hysteresis_checks &&
+      (config_.max_nodes == 0 || sample.active_nodes < config_.max_nodes)) {
+    out_streak_ = 0;
+    in_streak_ = 0;
+    last_decision_us_ = sample.now_us;
+    decided_once_ = true;
+    ++scale_out_decisions_;
+    return Decision::kScaleOut;
+  }
+  if (in_streak_ >= config_.hysteresis_checks &&
+      sample.active_nodes > config_.min_nodes) {
+    out_streak_ = 0;
+    in_streak_ = 0;
+    last_decision_us_ = sample.now_us;
+    decided_once_ = true;
+    ++scale_in_decisions_;
+    return Decision::kScaleIn;
+  }
+  return Decision::kHold;
+}
+
+}  // namespace mg::cluster

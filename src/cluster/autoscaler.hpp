@@ -1,0 +1,96 @@
+// Autoscaler — the scale-out/scale-in policy of the elastic serving loop.
+//
+// A pure decision function over serving pressure: the ServeEngine samples
+// its admission state (queue depth, jobs in flight) at a fixed interval and
+// feeds each sample here; the policy answers hold / scale-out / scale-in.
+// Mechanism lives elsewhere — the RuntimeEngine executes the decision as a
+// graceful node join (begin_node_join: host-cache warm-up before traffic)
+// or drain (begin_node_drain: fence, task pull-back, data migration,
+// retire). Keeping the policy side-effect free makes it unit-testable
+// without a simulation and keeps runs deterministic: decisions depend only
+// on the sample sequence.
+//
+// Two standard guards prevent thrash:
+//   * hysteresis — a breach must persist for `hysteresis_checks`
+//     consecutive samples before it counts (one hot sample is noise);
+//   * cooldown — after any decision the policy holds for `cooldown_us`,
+//     giving the drain/warm-up machinery time to move the metrics before
+//     the next judgement.
+#pragma once
+
+#include <cstdint>
+
+namespace mg::cluster {
+
+struct AutoscalerConfig {
+  /// Master switch; disabled means sample() always holds (and the serving
+  /// loop skips the sampling pump entirely, keeping fixed-topology reports
+  /// byte-identical).
+  bool enabled = false;
+
+  /// Never drain below this many active nodes.
+  std::uint32_t min_nodes = 1;
+
+  /// Never join above this many active nodes; 0 = the platform's node
+  /// count.
+  std::uint32_t max_nodes = 0;
+
+  /// Admission queue depth at or above which a sample counts as scale-out
+  /// pressure.
+  std::uint32_t scale_out_queue = 4;
+
+  /// Scale-in pressure: queue depth at or below this *and* fewer jobs in
+  /// flight than active nodes (some node is idle).
+  std::uint32_t scale_in_queue = 0;
+
+  /// Sampling period of the serving pump.
+  double check_interval_us = 50'000.0;
+
+  /// Minimum time between two decisions.
+  double cooldown_us = 200'000.0;
+
+  /// Consecutive breached samples required before a decision fires.
+  std::uint32_t hysteresis_checks = 2;
+};
+
+class Autoscaler {
+ public:
+  enum class Decision : std::uint8_t { kHold, kScaleOut, kScaleIn };
+
+  /// One serving-pressure observation, taken at `now_us` on the simulation
+  /// clock.
+  struct Sample {
+    double now_us = 0.0;
+    std::uint32_t queue_depth = 0;     ///< jobs parked in admission
+    std::uint32_t jobs_in_flight = 0;  ///< jobs released, not yet retired
+    std::uint32_t active_nodes = 0;    ///< serving nodes right now
+  };
+
+  explicit Autoscaler(AutoscalerConfig config);
+
+  /// Judges one sample. Returns kScaleOut / kScaleIn at most once per
+  /// cooldown window, and only when the respective pressure held for
+  /// hysteresis_checks consecutive samples and the node bounds allow the
+  /// move. The caller applies the decision (or drops it — the policy does
+  /// not track topology itself, it re-reads active_nodes from each sample).
+  [[nodiscard]] Decision sample(const Sample& sample);
+
+  [[nodiscard]] const AutoscalerConfig& config() const { return config_; }
+  [[nodiscard]] std::uint32_t scale_out_decisions() const {
+    return scale_out_decisions_;
+  }
+  [[nodiscard]] std::uint32_t scale_in_decisions() const {
+    return scale_in_decisions_;
+  }
+
+ private:
+  AutoscalerConfig config_;
+  std::uint32_t out_streak_ = 0;  ///< consecutive scale-out breaches
+  std::uint32_t in_streak_ = 0;   ///< consecutive scale-in breaches
+  double last_decision_us_ = 0.0;
+  bool decided_once_ = false;  ///< cooldown gates only after a decision
+  std::uint32_t scale_out_decisions_ = 0;
+  std::uint32_t scale_in_decisions_ = 0;
+};
+
+}  // namespace mg::cluster

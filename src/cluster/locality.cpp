@@ -54,6 +54,33 @@ void LocalityScheduler::notify_data_loaded(core::GpuId gpu,
   node_local_[static_cast<std::size_t>(node) * graph_->num_data() + data] = 1;
 }
 
+void LocalityScheduler::forget_node(core::NodeId node) {
+  if (!platform_.is_cluster()) return;
+  const std::size_t row = static_cast<std::size_t>(node) * graph_->num_data();
+  std::fill(node_local_.begin() + static_cast<std::ptrdiff_t>(row),
+            node_local_.begin() +
+                static_cast<std::ptrdiff_t>(row + graph_->num_data()),
+            std::uint8_t{0});
+}
+
+bool LocalityScheduler::notify_node_draining(
+    core::NodeId node, std::span<const core::GpuId> gpus,
+    std::span<const core::TaskId> orphaned) {
+  (void)gpus;
+  forget_node(node);
+  pool_.insert(pool_.begin(), orphaned.begin(), orphaned.end());
+  return true;
+}
+
+bool LocalityScheduler::notify_node_lost(core::NodeId node,
+                                         std::span<const core::GpuId> gpus,
+                                         std::span<const core::TaskId> orphaned) {
+  (void)gpus;
+  forget_node(node);
+  pool_.insert(pool_.begin(), orphaned.begin(), orphaned.end());
+  return true;
+}
+
 double LocalityScheduler::fetch_cost_us(core::GpuId gpu, core::TaskId task,
                                         const core::MemoryView& memory,
                                         std::uint64_t* present_bytes) const {

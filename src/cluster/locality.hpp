@@ -65,7 +65,27 @@ class LocalityScheduler final : public core::Scheduler {
 
   void notify_data_loaded(core::GpuId gpu, core::DataId data) override;
 
+  /// Planned drain (or startup announcement of an initially-inactive node):
+  /// the pulled orphans re-enter the pool at the front — they were next to
+  /// run — and the node's locality row is forgotten: its host cache is wiped
+  /// at retirement and its home shards migrate to survivors, so the cached
+  /// knowledge would only mislead the cost model. notify_node_added keeps
+  /// the default no-op — a joining node starts with an empty row and
+  /// relearns through notify_data_loaded / warm-fills landing on its GPUs.
+  [[nodiscard]] bool notify_node_draining(
+      core::NodeId node, std::span<const core::GpuId> gpus,
+      std::span<const core::TaskId> orphaned) override;
+
+  /// Unplanned loss: same pool/row treatment as a drain, in one pass (no
+  /// per-GPU forwarding).
+  [[nodiscard]] bool notify_node_lost(
+      core::NodeId node, std::span<const core::GpuId> gpus,
+      std::span<const core::TaskId> orphaned) override;
+
  private:
+  /// Clears the node's node_local_ row (stale after a drain or loss).
+  void forget_node(core::NodeId node);
+
   /// Predicted time to fetch the missing inputs of `task` onto `gpu`, plus
   /// (via `present_bytes`) how much is already there.
   [[nodiscard]] double fetch_cost_us(core::GpuId gpu, core::TaskId task,

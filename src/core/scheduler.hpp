@@ -131,6 +131,60 @@ class Scheduler {
     return false;
   }
 
+  // ---- Planned topology change (elastic autoscaling) -----------------------
+  //
+  // On a multi-node platform the engine can retire whole nodes while serving
+  // (graceful drain) and bring nodes in (join after warm-up). These hooks
+  // extend the notify_gpu_lost family to node granularity; single-node runs
+  // never see them.
+
+  /// Node `node` (its GPUs listed in `gpus`) stops serving: a planned drain
+  /// fence just pulled its popped-but-unstarted tasks back as `orphaned`
+  /// (pop order per GPU), and pop_task will not be called for these GPUs
+  /// until a later notify_node_added. Unlike a GPU loss the devices are
+  /// intact — running tasks finish and nothing re-runs. Also announced once
+  /// at run start (empty `orphaned`) for nodes that begin outside the
+  /// serving set (EngineConfig::initial_active_nodes). Return true to adopt
+  /// the orphans (re-return them from pop_task on serving GPUs); false and
+  /// the engine requeues them itself. Default: decline.
+  [[nodiscard]] virtual bool notify_node_draining(
+      NodeId node, std::span<const GpuId> gpus,
+      std::span<const TaskId> orphaned) {
+    (void)node;
+    (void)gpus;
+    (void)orphaned;
+    return false;
+  }
+
+  /// Node `node` joined the serving set (fresh capacity, or a drained node
+  /// returning): its GPUs accept pop_task calls again, starting empty.
+  virtual void notify_node_added(NodeId node, std::span<const GpuId> gpus) {
+    (void)node;
+    (void)gpus;
+  }
+
+  /// Unplanned whole-node loss: every GPU of `node` died at once and
+  /// `orphaned` aggregates the tasks reclaimed from all of them. Return true
+  /// to adopt the orphans (as for notify_gpu_lost). The default degrades
+  /// gracefully for loss-aware schedulers by forwarding one notify_gpu_lost
+  /// per dead GPU, handing the full orphan list to the first.
+  [[nodiscard]] virtual bool notify_node_lost(NodeId node,
+                                              std::span<const GpuId> gpus,
+                                              std::span<const TaskId> orphaned) {
+    (void)node;
+    // Only the first forward carries the orphans, so only its answer decides
+    // who owns them — mixing answers in would let the engine and the
+    // scheduler both serve the same task.
+    bool adopted = false;
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+      const std::span<const TaskId> part =
+          i == 0 ? orphaned : std::span<const TaskId>{};
+      const bool answer = notify_gpu_lost(gpus[i], part);
+      if (i == 0) adopted = answer;
+    }
+    return adopted;
+  }
+
   /// Replay divergence report. A scheduler replaying a recorded order that
   /// rewired work after losing `gpu` (see notify_gpu_lost) describes the
   /// break here: at which index of the dead GPU's recorded order the replay

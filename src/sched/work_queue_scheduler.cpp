@@ -13,6 +13,8 @@ void WorkQueueScheduler::prepare(const core::TaskGraph& graph,
   platform_ = &platform;
   queues_.assign(platform.num_gpus, {});
   dead_.assign(platform.num_gpus, 0);
+  inactive_.assign(platform.num_gpus, 0);
+  unavailable_.assign(platform.num_gpus, 0);
   steal_events_ = 0;
   if (deps_) {
     enabled_.assign(graph.num_tasks(), 0);
@@ -55,7 +57,7 @@ void WorkQueueScheduler::notify_job_arrived(
       placed_[task] = 1;
     }
   }
-  partition_arrival(*graph_, *platform_, job, tasks, dead_, queues_);
+  partition_arrival(*graph_, *platform_, job, tasks, unavailable_, queues_);
 }
 
 void WorkQueueScheduler::notify_task_retired(
@@ -69,7 +71,7 @@ void WorkQueueScheduler::notify_task_retired(
       // least-loaded placement of a one-task block.
       placed_[succ] = 1;
       const core::TaskId block[1] = {succ};
-      partition_arrival(*graph_, *platform_, 0, block, dead_, queues_);
+      partition_arrival(*graph_, *platform_, 0, block, unavailable_, queues_);
     }
   }
 }
@@ -167,32 +169,73 @@ std::size_t WorkQueueScheduler::promote_priority_front(
       std::count_if(queue.begin(), queue.end(), is_top));
 }
 
-bool WorkQueueScheduler::notify_gpu_lost(
-    core::GpuId gpu, std::span<const core::TaskId> orphaned) {
-  dead_[gpu] = 1;
-  std::deque<core::TaskId>& dead_queue = queues_[gpu];
-
+bool WorkQueueScheduler::evacuate(std::span<const core::GpuId> gpus,
+                                  std::span<const core::TaskId> orphaned) {
   core::GpuId target = core::kInvalidGpu;
   std::size_t least = ~std::size_t{0};
   for (core::GpuId other = 0; other < queues_.size(); ++other) {
-    if (other == gpu || dead_[other] != 0) continue;
+    if (!serving(other)) continue;
     if (queues_[other].size() < least) {
       least = queues_[other].size();
       target = other;
     }
   }
   if (target == core::kInvalidGpu) {
-    dead_queue.clear();
+    for (core::GpuId gpu : gpus) queues_[gpu].clear();
     return false;  // no survivor: let the engine deal with the orphans
   }
 
   // Orphans were already popped (about to run) — front of the target queue;
-  // the unpopped remainder joins the tail, where stealing rebalances it.
+  // the unpopped remainders join the tail, where stealing rebalances them.
   std::deque<core::TaskId>& to = queues_[target];
   to.insert(to.begin(), orphaned.begin(), orphaned.end());
-  to.insert(to.end(), dead_queue.begin(), dead_queue.end());
-  dead_queue.clear();
+  for (core::GpuId gpu : gpus) {
+    std::deque<core::TaskId>& from = queues_[gpu];
+    to.insert(to.end(), from.begin(), from.end());
+    from.clear();
+  }
   return true;
+}
+
+bool WorkQueueScheduler::notify_gpu_lost(
+    core::GpuId gpu, std::span<const core::TaskId> orphaned) {
+  dead_[gpu] = 1;
+  unavailable_[gpu] = 1;
+  const core::GpuId lost[1] = {gpu};
+  return evacuate(lost, orphaned);
+}
+
+bool WorkQueueScheduler::notify_node_draining(
+    core::NodeId node, std::span<const core::GpuId> gpus,
+    std::span<const core::TaskId> orphaned) {
+  (void)node;
+  for (core::GpuId gpu : gpus) {
+    inactive_[gpu] = 1;
+    unavailable_[gpu] = 1;
+  }
+  return evacuate(gpus, orphaned);
+}
+
+void WorkQueueScheduler::notify_node_added(core::NodeId node,
+                                           std::span<const core::GpuId> gpus) {
+  (void)node;
+  for (core::GpuId gpu : gpus) {
+    inactive_[gpu] = 0;
+    unavailable_[gpu] = dead_[gpu];
+  }
+  // The returning queues start empty; pop-time stealing pulls work over
+  // without an explicit rebalance here.
+}
+
+bool WorkQueueScheduler::notify_node_lost(
+    core::NodeId node, std::span<const core::GpuId> gpus,
+    std::span<const core::TaskId> orphaned) {
+  (void)node;
+  for (core::GpuId gpu : gpus) {
+    dead_[gpu] = 1;
+    unavailable_[gpu] = 1;
+  }
+  return evacuate(gpus, orphaned);
 }
 
 void WorkQueueScheduler::steal(core::GpuId thief) {
@@ -200,7 +243,7 @@ void WorkQueueScheduler::steal(core::GpuId thief) {
   core::GpuId victim = core::kInvalidGpu;
   std::size_t most = 0;
   for (core::GpuId gpu = 0; gpu < queues_.size(); ++gpu) {
-    if (gpu == thief) continue;
+    if (gpu == thief || !serving(gpu)) continue;
     if (queues_[gpu].size() > most) {
       most = queues_[gpu].size();
       victim = gpu;

@@ -28,6 +28,27 @@ class WorkQueueScheduler : public core::Scheduler {
   [[nodiscard]] bool notify_gpu_lost(
       core::GpuId gpu, std::span<const core::TaskId> orphaned) final;
 
+  /// Planned drain: the node's GPUs leave the serving set (inactive, not
+  /// dead — notify_node_added may bring them back) and their queued tasks
+  /// plus the pulled orphans are spliced onto the least loaded serving
+  /// survivor, exactly as for a GPU loss. Adopts the orphans whenever a
+  /// survivor exists.
+  [[nodiscard]] bool notify_node_draining(
+      core::NodeId node, std::span<const core::GpuId> gpus,
+      std::span<const core::TaskId> orphaned) final;
+
+  /// Join: the node's GPUs re-enter the serving set with empty queues;
+  /// subsequent arrivals may place onto them and stealing pulls work over.
+  void notify_node_added(core::NodeId node,
+                         std::span<const core::GpuId> gpus) final;
+
+  /// Whole-node loss: one combined pass — every GPU of the node goes dead
+  /// and the aggregate orphans plus all their queues move to the least
+  /// loaded survivor (no per-GPU forwarding cascade).
+  [[nodiscard]] bool notify_node_lost(
+      core::NodeId node, std::span<const core::GpuId> gpus,
+      std::span<const core::TaskId> orphaned) final;
+
   /// Streaming: the static partition is skipped; each arriving job is placed
   /// by partition_arrival (default: block-append to the least loaded
   /// surviving queue) and stealing rebalances from there.
@@ -76,8 +97,9 @@ class WorkQueueScheduler : public core::Scheduler {
                          std::vector<std::deque<core::TaskId>>& queues) = 0;
 
   /// Streaming placement of one arriving job (`tasks` in submission order).
-  /// `dead[gpu] != 0` marks GPUs lost to fault injection — never place onto
-  /// those. Default: append the whole block to the smallest surviving queue.
+  /// `dead[gpu] != 0` marks GPUs outside the serving set — lost to fault
+  /// injection or on a drained/inactive node — never place onto those.
+  /// Default: append the whole block to the smallest serving queue.
   virtual void partition_arrival(const core::TaskGraph& graph,
                                  const core::Platform& platform,
                                  std::uint32_t job,
@@ -88,6 +110,18 @@ class WorkQueueScheduler : public core::Scheduler {
  private:
   /// Moves the tail half of the most loaded queue into `thief`'s queue.
   void steal(core::GpuId thief);
+
+  /// Splices `orphaned` (front) and the remaining queues of `gpus` (tail,
+  /// in gpu order) onto the least loaded serving survivor. Returns false —
+  /// queues cleared, orphans declined — when no survivor exists.
+  [[nodiscard]] bool evacuate(std::span<const core::GpuId> gpus,
+                              std::span<const core::TaskId> orphaned);
+
+  /// True while `gpu` may be handed work (neither dead nor on an inactive
+  /// node).
+  [[nodiscard]] bool serving(core::GpuId gpu) const {
+    return unavailable_[gpu] == 0;
+  }
 
   /// Dependency-gated pop: restricts the FIFO/Ready/priority choice to
   /// enabled tasks (blocked tasks keep their queue positions).
@@ -112,7 +146,10 @@ class WorkQueueScheduler : public core::Scheduler {
   const core::TaskGraph* graph_ = nullptr;
   const core::Platform* platform_ = nullptr;
   std::vector<std::deque<core::TaskId>> queues_;
-  std::vector<std::uint8_t> dead_;  ///< GPUs lost to fault injection
+  std::vector<std::uint8_t> dead_;      ///< GPUs lost to fault injection
+  std::vector<std::uint8_t> inactive_;  ///< GPUs on a drained/inactive node
+  /// dead_|inactive_ merged — the placement mask partition_arrival sees.
+  std::vector<std::uint8_t> unavailable_;
   std::uint64_t steal_events_ = 0;
   /// Job priorities announced via notify_job_priority and their per-task
   /// projection (filled as jobs arrive). `has_priorities_` arms the

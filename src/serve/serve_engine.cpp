@@ -30,6 +30,20 @@ ServeEngine::ServeEngine(std::span<const core::TaskGraph> templates,
       admission_(effective_admission(config.admission, platform),
                  union_.job_footprint_bytes),
       engine_(union_.graph, platform, scheduler, config.engine) {
+  if (config_.autoscale.enabled) {
+    MG_CHECK_MSG(platform.is_cluster(),
+                 "autoscaling needs a multi-node platform (num_nodes >= 2)");
+    // Resolve the "0 = all nodes" default here so the policy's bound check
+    // is real: an unbounded policy would keep issuing unappliable
+    // scale-outs at full scale, and each one restamps the cooldown.
+    if (config_.autoscale.max_nodes == 0 ||
+        config_.autoscale.max_nodes > platform.num_nodes) {
+      config_.autoscale.max_nodes = platform.num_nodes;
+    }
+    MG_CHECK_MSG(config_.autoscale.min_nodes <= platform.num_nodes,
+                 "autoscaler min_nodes exceeds the platform's node count");
+    autoscaler_.emplace(config_.autoscale);
+  }
   engine_.enable_streaming(union_.task_job, union_.num_jobs);
   // Announce every job's dispatch priority up front — before any arrival —
   // so priority-aware schedulers can order their pops from the first job on.
@@ -71,15 +85,89 @@ ServeResult ServeEngine::run() {
     }
   }
 
+  if (autoscaler_.has_value()) schedule_autoscale_pump();
+
   ServeResult result;
   result.metrics = engine_.run();
   result.serving = tracker_.finalize(
       result.metrics.makespan_us, arrival_mode_name(config_.arrival.mode));
+  result.scale_out_events = scale_out_applied_;
+  result.scale_in_events = scale_in_applied_;
   return result;
+}
+
+void ServeEngine::schedule_autoscale_pump() {
+  pump_scheduled_ = true;
+  engine_.event_queue().schedule_after(config_.autoscale.check_interval_us,
+                                       [this] { autoscale_pump(); });
+}
+
+void ServeEngine::autoscale_pump() {
+  pump_scheduled_ = false;
+  sim::EventQueue& events = engine_.event_queue();
+  const std::uint64_t processed = events.events_processed();
+  // "Quiet" tick: nothing but the pump itself ran since the last one. A
+  // single quiet tick is normal while a long task computes, so the pump
+  // parks only after a few in a row — enough to ride out task-length gaps,
+  // few enough that a wedged run hands control back to the engine's
+  // deadlock detection instead of spinning on pump ticks forever.
+  constexpr std::uint32_t kParkAfterQuietTicks = 3;
+  const bool quiet = processed - last_pump_events_ <= 1;
+  last_pump_events_ = processed;
+  quiet_ticks_ = quiet ? quiet_ticks_ + 1 : 0;
+
+  const cluster::Autoscaler::Sample sample{
+      events.now(), admission_.queue_depth(), admission_.jobs_in_flight(),
+      engine_.active_node_count()};
+  switch (autoscaler_->sample(sample)) {
+    case cluster::Autoscaler::Decision::kScaleOut: {
+      // Lowest inactive node first: joins retrace the drain order, so a
+      // burst of out/in cycles keeps touching the same nodes.
+      const std::uint32_t nodes = engine_.platform().num_nodes;
+      for (core::NodeId node = 0; node < nodes; ++node) {
+        if (engine_.node_status(node) ==
+            sim::RuntimeEngine::NodeStatus::kInactive) {
+          engine_.begin_node_join(node);
+          ++scale_out_applied_;
+          break;
+        }
+      }
+      break;
+    }
+    case cluster::Autoscaler::Decision::kScaleIn: {
+      // Highest active node first, mirroring the join order.
+      const std::uint32_t nodes = engine_.platform().num_nodes;
+      for (core::NodeId node = nodes; node-- > 0;) {
+        if (engine_.node_status(node) ==
+                sim::RuntimeEngine::NodeStatus::kActive &&
+            engine_.active_node_count() > 1) {
+          engine_.begin_node_drain(node);
+          ++scale_in_applied_;
+          break;
+        }
+      }
+      break;
+    }
+    case cluster::Autoscaler::Decision::kHold:
+      break;
+  }
+
+  // Reschedule unless the stream is over or the simulation stayed quiet (a
+  // parked pump must not mask a deadlock or spin past the last retirement);
+  // the next submit() revives it.
+  if (jobs_finished_ < union_.num_jobs && quiet_ticks_ < kParkAfterQuietTicks) {
+    schedule_autoscale_pump();
+  }
 }
 
 void ServeEngine::submit(std::uint32_t job) {
   const double now = engine_.event_queue().now();
+  if (autoscaler_.has_value() && !pump_scheduled_ &&
+      jobs_finished_ < union_.num_jobs) {
+    // Traffic is back: revive the parked sampling pump.
+    quiet_ticks_ = 0;
+    schedule_autoscale_pump();
+  }
   tracker_.note_submitted(job, now, jobs_[job].deadline_us);
   switch (admission_.submit(job, jobs_[job].priority)) {
     case AdmissionController::Decision::kAdmit:
@@ -89,6 +177,7 @@ void ServeEngine::submit(std::uint32_t job) {
       tracker_.note_queue_depth(now, admission_.queue_depth());
       break;
     case AdmissionController::Decision::kShed:
+      ++jobs_finished_;
       engine_.shed_job(job);
       // A closed-loop client whose job was rejected moves on to its next
       // one; without this, every shed would shrink the effective
@@ -99,6 +188,14 @@ void ServeEngine::submit(std::uint32_t job) {
 }
 
 void ServeEngine::on_job_retired(std::uint32_t job) {
+  ++jobs_finished_;
+  if (autoscaler_.has_value() && !pump_scheduled_ &&
+      jobs_finished_ < union_.num_jobs) {
+    // Keep sampling through the retirement tail (arrivals may be over, but
+    // scale-in pressure only builds as the last jobs wind down).
+    quiet_ticks_ = 0;
+    schedule_autoscale_pump();
+  }
   admission_.on_job_retired(job);
   const double now = engine_.event_queue().now();
   bool drained = false;

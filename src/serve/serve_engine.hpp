@@ -18,9 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "cluster/autoscaler.hpp"
 #include "core/platform.hpp"
 #include "core/scheduler.hpp"
 #include "core/task_graph.hpp"
@@ -48,11 +50,27 @@ struct ServeConfig {
   /// Forwarded to the underlying RuntimeEngine (seed, pipeline depth,
   /// watchdog budgets, ...).
   sim::EngineConfig engine;
+
+  /// Elastic autoscaling policy (multi-node platforms). When enabled the
+  /// serving loop samples the admission state every check_interval_us and
+  /// executes the policy's decisions as graceful node joins (lowest
+  /// inactive node first) and drains (highest active node first).
+  /// Typically paired with engine.initial_active_nodes so the run starts
+  /// small and grows into the spike. Disabled (the default), no sampling
+  /// pump is ever scheduled and reports stay byte-identical to a build
+  /// without the autoscaler.
+  cluster::AutoscalerConfig autoscale;
 };
 
 struct ServeResult {
   core::RunMetrics metrics;
   sim::RunReport::Serving serving;
+
+  /// Autoscaler decisions applied this run (mirrors the run report's
+  /// autoscaling.scale_out_events / scale_in_events; callers writing a
+  /// report patch them in, like the serving section).
+  std::uint32_t scale_out_events = 0;
+  std::uint32_t scale_in_events = 0;
 };
 
 class ServeEngine {
@@ -86,6 +104,14 @@ class ServeEngine {
   void on_job_retired(std::uint32_t job);
   void maybe_refill_closed_loop();
 
+  /// One autoscaler sampling tick: feed the admission state to the policy,
+  /// apply its decision, reschedule. The pump parks itself when the
+  /// simulation went quiet since the last tick (nothing but the pump ran —
+  /// between traffic bursts, or every job done) so it never keeps the event
+  /// loop alive on its own; submit() reawakens it with the next arrival.
+  void autoscale_pump();
+  void schedule_autoscale_pump();
+
   ServeConfig config_;
   std::vector<JobSpec> jobs_;
   UnionGraph union_;
@@ -93,6 +119,13 @@ class ServeEngine {
   JobTracker tracker_;
   sim::RuntimeEngine engine_;
   std::uint32_t next_job_ = 0;  ///< next closed-loop submission
+  std::optional<cluster::Autoscaler> autoscaler_;
+  std::uint32_t scale_out_applied_ = 0;  ///< joins actually started
+  std::uint32_t scale_in_applied_ = 0;   ///< drains actually started
+  std::uint32_t jobs_finished_ = 0;  ///< retired + shed (pump stop condition)
+  bool pump_scheduled_ = false;
+  std::uint64_t last_pump_events_ = 0;  ///< engine events at the last tick
+  std::uint32_t quiet_ticks_ = 0;       ///< consecutive pump-only ticks
 };
 
 }  // namespace mg::serve

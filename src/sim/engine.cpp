@@ -82,6 +82,10 @@ RuntimeEngine::RuntimeEngine(const core::TaskGraph& graph,
     // on a peer in the meantime.
     auto reroute = [this](GpuId dst, DataId data, std::uint64_t bytes,
                           Bus::OnComplete& on_complete) {
+      // Drain migrations and join warm-fills address an inactive GPU as a
+      // stand-in for its node's host: those are host-to-host legs, never
+      // device fetches, so they must not be turned into peer copies.
+      if (topology_active_ && !gpus_[dst].active) return false;
       const GpuId source = find_peer_holding(dst, data);
       if (source == core::kInvalidGpu) return false;
       start_peer_copy(source, dst, data, bytes, std::move(on_complete));
@@ -313,7 +317,7 @@ void RuntimeEngine::request_cluster_transfer(GpuId dst, DataId data,
                                              TransferPriority priority) {
   const core::NodeId node_id = platform_.node_of(dst);
   NodeState& node = nodes_[node_id];
-  if (platform_.home_node_of(data) == node_id || node.cached[data] != 0) {
+  if (home_node(data) == node_id || node.cached[data] != 0) {
     // Available from this node's host memory: one PCI-in leg.
     if (node.cached[data] != 0) node.last_use[data] = ++node.use_clock;
     node.pci->request(dst, data, bytes, std::move(on_complete), priority);
@@ -324,7 +328,7 @@ void RuntimeEngine::request_cluster_transfer(GpuId dst, DataId data,
   node.net_fetching[data] = 1;
   publish(InspectorEventKind::kHostFetchStart, dst, data, bytes, kNoChannel,
           node_id);
-  const core::NodeId home = platform_.home_node_of(data);
+  const core::NodeId home = home_node(data);
   // PCI out of the home node's host memory, one network hop, then the fill
   // fans the data out to every waiting GPU over this node's PCI bus.
   nodes_[home].pci->request(
@@ -397,7 +401,7 @@ Bus* RuntimeEngine::writeback_bus_for(GpuId gpu) {
 void RuntimeEngine::promote(GpuId dst, DataId data) {
   if (cluster_active_) {
     const core::NodeId node_id = platform_.node_of(dst);
-    const core::NodeId home = platform_.home_node_of(data);
+    const core::NodeId home = home_node(data);
     nodes_[node_id].pci->promote(dst, data);
     nodes_[home].pci->promote(dst, data);
     nodes_[home].net->promote(dst, data);
@@ -415,7 +419,8 @@ core::RunMetrics RuntimeEngine::run() {
 
   const bool faults_active = injector_ != nullptr && !injector_->plan().empty();
   if (faults_active) {
-    const std::string problem = injector_->plan().validate(platform_.num_gpus);
+    const std::string problem =
+        injector_->plan().validate(platform_.num_gpus, platform_.num_nodes);
     if (!problem.empty()) throw EngineError("invalid fault plan: " + problem);
   }
   watchdog_log_ = config_.max_events > 0 || config_.max_sim_time_us > 0.0;
@@ -428,7 +433,8 @@ core::RunMetrics RuntimeEngine::run() {
   if (checkpointing_enabled()) {
     checkpoint_progress_.assign(graph_.num_tasks(), 0.0);
   }
-  if (faults_active && !injector_->plan().gpu_losses.empty()) {
+  if (faults_active && (!injector_->plan().gpu_losses.empty() ||
+                        !injector_->plan().node_losses.empty())) {
     orphan_lost_at_us_.assign(graph_.num_tasks(), -1.0);
     if (config_.replicate_hot && platform_.num_gpus >= 2) {
       replication_active_ = true;
@@ -460,9 +466,53 @@ core::RunMetrics RuntimeEngine::run() {
     }
   }
 
+  // Elastic start: only the first initial_active_nodes nodes serve from t=0;
+  // the rest idle (GPUs intact but inactive) until begin_node_join, and the
+  // shards homed on them are re-homed round-robin onto the serving set
+  // (modeling a cluster-wide durable store behind the host memories).
+  MG_CHECK_MSG(config_.initial_active_nodes <= platform_.num_nodes,
+               "initial_active_nodes exceeds the platform's node count");
+  if (config_.initial_active_nodes > 0 &&
+      config_.initial_active_nodes < platform_.num_nodes) {
+    MG_CHECK_MSG(cluster_active_,
+                 "initial_active_nodes needs a multi-node platform");
+    ensure_topology_state();
+    home_override_.resize(graph_.num_data());
+    for (DataId data = 0; data < graph_.num_data(); ++data) {
+      const core::NodeId home = platform_.home_node_of(data);
+      home_override_[data] = home < config_.initial_active_nodes
+                                 ? home
+                                 : data % config_.initial_active_nodes;
+    }
+    for (core::NodeId node = config_.initial_active_nodes;
+         node < platform_.num_nodes; ++node) {
+      node_status_[node] = NodeStatus::kInactive;
+      --active_node_count_;
+      for (GpuId gpu = platform_.node_gpu_begin(node);
+           gpu < platform_.node_gpu_end(node); ++gpu) {
+        gpus_[gpu].active = false;
+      }
+    }
+  }
+
   util::Stopwatch prepare_watch;
   scheduler_.prepare(graph_, platform_, config_.seed);
   prepare_wall_us_ = prepare_watch.elapsed_us();
+
+  if (topology_active_) {
+    // Nodes outside the initial serving set are announced as draining with
+    // no orphans: the scheduler must not target their GPUs until a
+    // notify_node_added brings them in.
+    for (core::NodeId node = 0; node < platform_.num_nodes; ++node) {
+      if (node_status_[node] != NodeStatus::kInactive) continue;
+      std::vector<GpuId> node_gpus;
+      for (GpuId gpu = platform_.node_gpu_begin(node);
+           gpu < platform_.node_gpu_end(node); ++gpu) {
+        node_gpus.push_back(gpu);
+      }
+      (void)scheduler_.notify_node_draining(node, node_gpus, {});
+    }
+  }
 
   // Wire eviction policies (scheduler-provided, or shared LRU default).
   bool need_default = false;
@@ -590,7 +640,7 @@ core::RunMetrics RuntimeEngine::run() {
 
 void RuntimeEngine::fill_buffer(GpuId gpu) {
   GpuState& state = gpus_[gpu];
-  if (!state.alive) return;
+  if (!state.alive || !state.active) return;
   while (state.buffer.size() < config_.pipeline_depth) {
     TaskId task = kInvalidTask;
     if (!reclaimed_.empty()) {
@@ -669,7 +719,7 @@ void RuntimeEngine::begin_assembly(GpuId gpu) {
 
 void RuntimeEngine::try_start(GpuId gpu) {
   GpuState& state = gpus_[gpu];
-  if (!state.alive) return;
+  if (!state.alive || !state.active) return;
   if (state.running != kInvalidTask || !state.assembly_active) return;
   const TaskId head = state.buffer.front();
   if (deps_active_ && !dep_enabled_[head]) {
@@ -825,6 +875,11 @@ void RuntimeEngine::finish_task(GpuId gpu, TaskId task) {
       }
       wb_state.memory->release_scratch(output_bytes);
       publish(InspectorEventKind::kScratchRelease, gpu, task, output_bytes);
+      if (topology_active_ && !wb_state.active) {
+        // The last write-back of a draining node may complete its drain.
+        maybe_finish_drain(platform_.node_of(gpu));
+        return;
+      }
       // Freed scratch may unblock this GPU's next task or admit a hint.
       try_start(gpu);
       pump_hints(gpu);
@@ -872,6 +927,11 @@ void RuntimeEngine::finish_task(GpuId gpu, TaskId task) {
   fill_buffer(gpu);
   try_start(gpu);
   retry_starved();
+  if (topology_active_ && !state.active) {
+    // The drain fence let this running task finish; it may have been the
+    // node's last outstanding work.
+    maybe_finish_drain(platform_.node_of(gpu));
+  }
 }
 
 void RuntimeEngine::retire_task(GpuId gpu, TaskId task) {
@@ -1063,6 +1123,11 @@ void RuntimeEngine::on_data_loaded(GpuId gpu, DataId data) {
   }
   try_start(gpu);
   retry_starved();
+  if (topology_active_ && !state.active) {
+    // A fetch that was on the wire at the drain fence just landed; the
+    // manager may be quiescent now.
+    maybe_finish_drain(platform_.node_of(gpu));
+  }
 }
 
 void RuntimeEngine::on_data_evicted(GpuId gpu, DataId data) {
@@ -1146,7 +1211,7 @@ std::string RuntimeEngine::format_engine_state() const {
         line, sizeof line,
         "  gpu%u:%s running=%d buffered=%zu starved=%d stalled=%zu "
         "used=%llu/%llu assembly=%d\n",
-        gpu, state.alive ? "" : " DEAD",
+        gpu, state.alive ? (state.active ? "" : " INACTIVE") : " DEAD",
         state.running == kInvalidTask ? -1 : static_cast<int>(state.running),
         state.buffer.size(), state.starved ? 1 : 0,
         state.memory->stalled_fetches(),
@@ -1213,6 +1278,10 @@ void RuntimeEngine::schedule_faults() {
   for (const FaultPlan::GpuLoss& loss : plan.gpu_losses) {
     events_.schedule_at(loss.time_us,
                         [this, gpu = loss.gpu] { fail_gpu(gpu); });
+  }
+  for (const FaultPlan::NodeLoss& loss : plan.node_losses) {
+    events_.schedule_at(loss.time_us,
+                        [this, node = loss.node] { fail_node(node); });
   }
   for (const FaultPlan::CapacityShock& shock : plan.capacity_shocks) {
     events_.schedule_at(shock.time_us,
@@ -1361,6 +1430,10 @@ void RuntimeEngine::fail_gpu(GpuId gpu) {
     pump_hints(other);
     try_start(other);
   }
+  if (topology_active_) {
+    // A loss on a draining node may have removed its last obstacle.
+    maybe_finish_drain(platform_.node_of(gpu));
+  }
 }
 
 void RuntimeEngine::apply_capacity_shock(GpuId gpu,
@@ -1376,6 +1449,408 @@ void RuntimeEngine::apply_capacity_shock(GpuId gpu,
            static_cast<unsigned long long>(effective), events_.now());
   state.memory->set_capacity(effective);
   fault_metrics_.emergency_evictions += state.memory->emergency_evict();
+}
+
+void RuntimeEngine::ensure_topology_state() {
+  if (topology_active_) return;
+  MG_CHECK_MSG(cluster_active_,
+               "topology changes need a multi-node platform");
+  topology_active_ = true;
+  node_status_.assign(platform_.num_nodes, NodeStatus::kActive);
+  active_node_count_ = platform_.num_nodes;
+  drain_migrations_left_.assign(platform_.num_nodes, 0);
+  drain_start_us_.assign(platform_.num_nodes, 0.0);
+  warm_fills_left_.assign(platform_.num_nodes, 0);
+}
+
+void RuntimeEngine::begin_node_drain(core::NodeId node) {
+  MG_CHECK_MSG(node < platform_.num_nodes, "bad node id");
+  ensure_topology_state();
+  MG_CHECK_MSG(node_status_[node] == NodeStatus::kActive,
+               "only an active node can drain");
+  MG_CHECK_MSG(active_node_count_ > 1, "cannot drain the last serving node");
+  node_status_[node] = NodeStatus::kDraining;
+  --active_node_count_;
+  drain_start_us_[node] = events_.now();
+
+  // Drain fence: pull every popped-but-unstarted task back out of the node's
+  // pipelines. Running tasks keep running to completion (the devices are
+  // intact — this is planned, nothing re-runs) and their write-backs drain
+  // on the node's own channels before it retires.
+  std::vector<std::pair<GpuId, TaskId>> pulled;
+  std::vector<GpuId> node_gpus;
+  const GpuId begin = platform_.node_gpu_begin(node);
+  const GpuId end = platform_.node_gpu_end(node);
+  for (GpuId gpu = begin; gpu < end; ++gpu) {
+    node_gpus.push_back(gpu);
+    GpuState& state = gpus_[gpu];
+    state.active = false;
+    if (!state.alive) continue;  // an earlier GPU loss already emptied it
+    if (state.assembly_active) {
+      // Unwind the in-flight assembly: its pins and scratch belong to a
+      // start that can no longer happen here.
+      for (DataId data : state.assembly_pins) state.memory->unpin(data);
+      state.assembly_pins.clear();
+      state.assembly_active = false;
+      if (state.scratch_reserved) {
+        const std::uint64_t output_bytes =
+            graph_.task_output_bytes(state.buffer.front());
+        state.memory->release_scratch(output_bytes);
+        state.scratch_reserved = false;
+        publish(InspectorEventKind::kScratchRelease, gpu, state.buffer.front(),
+                output_bytes);
+      }
+    }
+    for (TaskId task : state.buffer) pulled.emplace_back(gpu, task);
+    state.buffer.clear();
+    state.hint_queue.clear();
+    state.starved = false;
+    // Parked fetches served the pulled tasks; in-flight ones deliver and sit
+    // resident until the retirement wipe.
+    state.memory->cancel_stalled();
+  }
+  publish(InspectorEventKind::kNodeDrainStart, begin, node, 0, kNoChannel,
+          static_cast<std::uint32_t>(pulled.size()));
+  MG_TRACE("node%u drain fence at t=%.1fus, %zu tasks pulled", node,
+           events_.now(), pulled.size());
+  std::vector<TaskId> orphans;
+  orphans.reserve(pulled.size());
+  for (const auto& [gpu, task] : pulled) {
+    MG_DCHECK(popped_[task]);
+    popped_[task] = false;  // the task will legitimately be served again
+    publish(InspectorEventKind::kTaskDrained, gpu, task, 0, kNoChannel, node);
+    orphans.push_back(task);
+  }
+  const bool adopted =
+      scheduler_.notify_node_draining(node, node_gpus, orphans);
+  if (!adopted) {
+    for (TaskId task : orphans) reclaimed_.push_back(task);
+  }
+
+  start_data_migrations(node);
+
+  // Wake the survivors: the pulled tasks may be startable right now.
+  for (GpuId other = 0; other < platform_.num_gpus; ++other) {
+    if (!gpus_[other].alive || !gpus_[other].active) continue;
+    fill_buffer(other);
+    pump_hints(other);
+    try_start(other);
+  }
+  // An idle node with nothing homed on it retires immediately.
+  maybe_finish_drain(node);
+}
+
+void RuntimeEngine::start_data_migrations(core::NodeId node) {
+  if (home_override_.empty()) {
+    home_override_.resize(graph_.num_data());
+    for (DataId data = 0; data < graph_.num_data(); ++data) {
+      home_override_[data] = platform_.home_node_of(data);
+    }
+  }
+  // New homes round-robin over the serving set.
+  std::vector<core::NodeId> targets;
+  for (core::NodeId other = 0; other < platform_.num_nodes; ++other) {
+    if (node_status_[other] == NodeStatus::kActive) targets.push_back(other);
+  }
+  MG_CHECK_MSG(!targets.empty(), "no serving node left to migrate to");
+  const GpuId port = platform_.node_gpu_begin(node);  // stand-in for the host
+  std::size_t next = 0;
+  for (DataId data = 0; data < graph_.num_data(); ++data) {
+    if (home_override_[data] != node) continue;
+    const core::NodeId dst = targets[next++ % targets.size()];
+    const std::uint64_t bytes = graph_.data_size(data);
+    ++drain_migrations_left_[node];
+    publish(InspectorEventKind::kDataMigrateStart, port, data, bytes,
+            kNoChannel, dst);
+    // The shard leaves over the draining node's PCI bus and network egress —
+    // the remote-fetch chain in reverse; landing on the new home re-homes it.
+    nodes_[node].pci->request(
+        port, data, bytes, [this, node, dst, port, data, bytes] {
+          nodes_[node].net->request(
+              port, data, bytes, [this, node, dst, port, data, bytes] {
+                home_override_[data] = dst;
+                publish(InspectorEventKind::kDataMigrated, port, data, bytes,
+                        kNoChannel, dst);
+                MG_DCHECK(drain_migrations_left_[node] > 0);
+                --drain_migrations_left_[node];
+                maybe_finish_drain(node);
+              });
+        });
+  }
+}
+
+void RuntimeEngine::maybe_finish_drain(core::NodeId node) {
+  if (!topology_active_ || node_status_[node] != NodeStatus::kDraining) return;
+  if (drain_migrations_left_[node] != 0) return;
+  for (GpuId gpu = platform_.node_gpu_begin(node);
+       gpu < platform_.node_gpu_end(node); ++gpu) {
+    const GpuState& state = gpus_[gpu];
+    if (!state.alive) continue;  // already inert
+    if (state.running != kInvalidTask) return;
+    if (!state.undurable.empty()) return;  // a write-back is still draining
+    // Quiescent = no in-flight fetch, no parked fetch, no scratch (which
+    // also covers non-dependency write-backs: scratch releases only when
+    // the drain completes).
+    if (!state.memory->quiescent()) return;
+  }
+  const NodeState& host = nodes_[node];
+  for (DataId data = 0; data < graph_.num_data(); ++data) {
+    if (host.net_fetching[data] != 0) return;  // a fill still owes waiters
+  }
+  finish_node_drain(node);
+}
+
+void RuntimeEngine::finish_node_drain(core::NodeId node) {
+  NodeState& host = nodes_[node];
+  // The node powers off: device residency and the host cache of remote data
+  // go away silently (the drain event marks the wipe for inspectors; no
+  // eviction fires). The GPUs stay alive so the node can rejoin later.
+  for (GpuId gpu = platform_.node_gpu_begin(node);
+       gpu < platform_.node_gpu_end(node); ++gpu) {
+    if (!gpus_[gpu].alive) continue;
+    gpus_[gpu].memory->wipe_resident();
+  }
+  std::fill(host.cached.begin(), host.cached.end(), std::uint8_t{0});
+  host.cached_bytes = 0;
+  node_status_[node] = NodeStatus::kInactive;
+  const double latency_us = events_.now() - drain_start_us_[node];
+  publish(InspectorEventKind::kNodeDrained, platform_.node_gpu_begin(node),
+          node, 0, kNoChannel, static_cast<std::uint32_t>(latency_us));
+  MG_TRACE("node%u drained at t=%.1fus (%.1fus after the fence)", node,
+           events_.now(), latency_us);
+}
+
+void RuntimeEngine::begin_node_join(core::NodeId node) {
+  MG_CHECK_MSG(node < platform_.num_nodes, "bad node id");
+  ensure_topology_state();
+  MG_CHECK_MSG(node_status_[node] == NodeStatus::kInactive,
+               "only an inactive node can join");
+  node_status_[node] = NodeStatus::kWarming;
+
+  // Warm-up: pull the hottest shared data (static consumer count — the same
+  // look-ahead signal replication uses) into the joining node's host cache
+  // before its GPUs take traffic, so the first tasks placed there do not all
+  // stall on cold remote fetches.
+  constexpr std::size_t kWarmSetSize = 8;
+  std::vector<std::uint32_t> consumers(graph_.num_data(), 0);
+  for (TaskId task = 0; task < graph_.num_tasks(); ++task) {
+    for (DataId data : graph_.inputs(task)) ++consumers[data];
+  }
+  std::vector<std::pair<std::uint32_t, DataId>> hot;
+  for (DataId data = 0; data < graph_.num_data(); ++data) {
+    if (consumers[data] < 2) continue;       // not shared: fetch on demand
+    if (home_node(data) == node) continue;   // home shards are already local
+    hot.emplace_back(consumers[data], data);
+  }
+  std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  const std::uint64_t budget = platform_.host_memory_bytes;
+  std::uint64_t planned_bytes = 0;
+  std::vector<DataId> warm_set;
+  for (const auto& [uses, data] : hot) {
+    if (warm_set.size() >= kWarmSetSize) break;
+    const std::uint64_t bytes = graph_.data_size(data);
+    if (budget > 0 && planned_bytes + bytes > budget) continue;
+    planned_bytes += bytes;
+    warm_set.push_back(data);
+  }
+  const std::uint32_t fills = static_cast<std::uint32_t>(warm_set.size());
+  publish(InspectorEventKind::kNodeJoinStart, platform_.node_gpu_begin(node),
+          node, planned_bytes, kNoChannel, fills);
+  MG_TRACE("node%u joining at t=%.1fus, %u warm fills (%llu bytes)", node,
+           events_.now(), fills,
+           static_cast<unsigned long long>(planned_bytes));
+  if (warm_set.empty()) {
+    activate_node(node, 0);
+    return;
+  }
+  warm_fills_left_[node] = fills;
+  const GpuId port = platform_.node_gpu_begin(node);  // stand-in for the host
+  for (DataId data : warm_set) {
+    const std::uint64_t bytes = graph_.data_size(data);
+    const core::NodeId home = home_node(data);
+    // Same wire shape as a remote fetch — home PCI out, home network egress —
+    // but it lands as a warm fill, not a demand-driven host-cache fill.
+    nodes_[home].pci->request(
+        port, data, bytes, [this, node, home, port, data, bytes] {
+          nodes_[home].net->request(
+              port, data, bytes, [this, node, data, bytes] {
+                finish_warm_fill(node, data, bytes);
+              });
+        });
+  }
+}
+
+void RuntimeEngine::finish_warm_fill(core::NodeId node, DataId data,
+                                     std::uint64_t bytes) {
+  MG_DCHECK(node_status_[node] == NodeStatus::kWarming);
+  NodeState& host = nodes_[node];
+  MG_DCHECK(host.cached[data] == 0);
+  host.cached[data] = 1;
+  host.cached_bytes += bytes;
+  host.last_use[data] = ++host.use_clock;
+  publish(InspectorEventKind::kNodeWarmFill, platform_.node_gpu_begin(node),
+          data, bytes, kNoChannel, node);
+  MG_DCHECK(warm_fills_left_[node] > 0);
+  const std::uint32_t fills = warm_fills_left_[node];
+  if (--warm_fills_left_[node] == 0) {
+    activate_node(node, fills);
+  }
+}
+
+void RuntimeEngine::activate_node(core::NodeId node, std::uint32_t fills) {
+  node_status_[node] = NodeStatus::kActive;
+  ++active_node_count_;
+  std::vector<GpuId> node_gpus;
+  for (GpuId gpu = platform_.node_gpu_begin(node);
+       gpu < platform_.node_gpu_end(node); ++gpu) {
+    if (!gpus_[gpu].alive) continue;
+    gpus_[gpu].active = true;
+    node_gpus.push_back(gpu);
+  }
+  publish(InspectorEventKind::kNodeJoined, platform_.node_gpu_begin(node),
+          node, 0, kNoChannel, fills);
+  MG_TRACE("node%u joined at t=%.1fus (%zu gpus serving)", node, events_.now(),
+           node_gpus.size());
+  scheduler_.notify_node_added(node, node_gpus);
+  for (GpuId gpu : node_gpus) {
+    fill_buffer(gpu);
+    pump_hints(gpu);
+    try_start(gpu);
+  }
+}
+
+void RuntimeEngine::fail_node(core::NodeId node) {
+  ensure_topology_state();
+  if (node_status_[node] == NodeStatus::kLost) return;
+  // At least one serving GPU must survive outside the node.
+  bool survivor_serving = false;
+  for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+    if (platform_.node_of(gpu) == node) continue;
+    if (gpus_[gpu].alive && gpus_[gpu].active) {
+      survivor_serving = true;
+      break;
+    }
+  }
+  if (!survivor_serving) {
+    throw EngineError(
+        "fault plan lost the last serving node; no active GPU left to finish "
+        "the workload");
+  }
+  if (node_status_[node] == NodeStatus::kActive) --active_node_count_;
+  node_status_[node] = NodeStatus::kLost;
+
+  // Tear every GPU of the node down at once — fail_gpu's reclaim, compressed
+  // into one recovery pass with a single node-level announcement.
+  std::vector<GpuId> node_gpus;
+  std::vector<std::pair<GpuId, TaskId>> orphan_sites;
+  std::vector<GpuId> undurable_gpus;
+  std::uint64_t used_bytes = 0;
+  std::uint32_t undurable_count = 0;
+  for (GpuId gpu = platform_.node_gpu_begin(node);
+       gpu < platform_.node_gpu_end(node); ++gpu) {
+    node_gpus.push_back(gpu);
+    GpuState& state = gpus_[gpu];
+    if (!state.alive) continue;  // an earlier GPU loss already took it
+    state.alive = false;
+    state.active = false;
+    --alive_gpus_;
+    ++fault_metrics_.gpu_losses;
+    if (state.running != kInvalidTask) {
+      state.busy_us -= std::max(0.0, state.running_until_us - events_.now());
+      orphan_sites.emplace_back(gpu, state.running);
+      state.running = kInvalidTask;
+    }
+    for (TaskId task : state.buffer) orphan_sites.emplace_back(gpu, task);
+    state.buffer.clear();
+    state.assembly_active = false;
+    state.scratch_reserved = false;
+    state.assembly_pins.clear();
+    state.hint_queue.clear();
+    state.starved = false;
+    used_bytes += state.memory->used_bytes();
+    if (deps_active_) {
+      undurable_count += static_cast<std::uint32_t>(state.undurable.size());
+      if (!state.undurable.empty()) undurable_gpus.push_back(gpu);
+    }
+    state.memory->deactivate();
+    if (platform_.nvlink_enabled) fetch_from_peer_[gpu].assign(graph_.num_data(), 0);
+  }
+  // The host cache dies with the node. In-flight network fetches towards it
+  // stay queued: each chain hop carries a continuation and runs to
+  // completion; the late fill lands in a dead cache and its PCI-in fan-out
+  // delivers into deactivated managers — all no-ops.
+  NodeState& host = nodes_[node];
+  std::fill(host.cached.begin(), host.cached.end(), std::uint8_t{0});
+  host.cached_bytes = 0;
+
+  const std::uint32_t lost_tasks =
+      static_cast<std::uint32_t>(orphan_sites.size()) + undurable_count;
+  publish(InspectorEventKind::kNodeLost, platform_.node_gpu_begin(node), node,
+          used_bytes, kNoChannel, lost_tasks);
+  MG_TRACE("node%u lost at t=%.1fus, %zu orphans", node, events_.now(),
+           orphan_sites.size());
+
+  std::vector<TaskId> orphans;
+  orphans.reserve(orphan_sites.size());
+  for (const auto& [gpu, task] : orphan_sites) {
+    MG_DCHECK(popped_[task]);
+    popped_[task] = false;
+    ++fault_metrics_.tasks_reclaimed;
+    if (!orphan_lost_at_us_.empty()) orphan_lost_at_us_[task] = events_.now();
+    publish(InspectorEventKind::kTaskReclaimed, gpu, task);
+    orphans.push_back(task);
+  }
+  for (GpuId gpu : undurable_gpus) {
+    // Completions whose write-back never drained died with the node (see
+    // fail_gpu): they un-retire and re-run ahead of orphaned successors.
+    const std::vector<TaskId> undurable = std::move(gpus_[gpu].undurable);
+    gpus_[gpu].undurable.clear();
+    for (TaskId task : undurable) unretire_task(gpu, task);
+  }
+  if (replication_active_) {
+    for (DataId data = 0; data < graph_.num_data(); ++data) {
+      if (protected_on_[data] != core::kInvalidGpu &&
+          platform_.node_of(protected_on_[data]) == node) {
+        protected_on_[data] = core::kInvalidGpu;
+      }
+    }
+    protect_sole_survivors(platform_.node_gpu_begin(node));
+  }
+
+  // Shards homed on the lost node re-home instantly: host memory is modeled
+  // as durably backed (the same cluster store drains and joins ride), so
+  // only device-side progress is lost. No migration events — no bytes move.
+  if (home_override_.empty()) {
+    home_override_.resize(graph_.num_data());
+    for (DataId data = 0; data < graph_.num_data(); ++data) {
+      home_override_[data] = platform_.home_node_of(data);
+    }
+  }
+  std::vector<core::NodeId> targets;
+  for (core::NodeId other = 0; other < platform_.num_nodes; ++other) {
+    if (node_status_[other] == NodeStatus::kActive) targets.push_back(other);
+  }
+  MG_CHECK_MSG(!targets.empty(), "no serving node left to re-home onto");
+  std::size_t next = 0;
+  for (DataId data = 0; data < graph_.num_data(); ++data) {
+    if (home_override_[data] == node) {
+      home_override_[data] = targets[next++ % targets.size()];
+    }
+  }
+
+  const bool adopted = scheduler_.notify_node_lost(node, node_gpus, orphans);
+  if (!adopted) {
+    for (TaskId task : orphans) reclaimed_.push_back(task);
+  }
+
+  for (GpuId other = 0; other < platform_.num_gpus; ++other) {
+    if (!gpus_[other].alive || !gpus_[other].active) continue;
+    fill_buffer(other);
+    pump_hints(other);
+    try_start(other);
+  }
 }
 
 std::uint64_t RuntimeEngine::checkpoint_payload_bytes(TaskId task) const {

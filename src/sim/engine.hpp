@@ -90,6 +90,13 @@ struct EngineConfig {
   /// become eviction-protected while they are the sole surviving copy after
   /// a loss. A no-op without a fault plan that loses GPUs.
   bool replicate_hot = false;
+
+  /// Elastic autoscaling (multi-node platforms): number of nodes that serve
+  /// from t=0; the remaining nodes start inactive (GPUs idle, data homed on
+  /// them re-homed onto the serving set) and can be brought in later with
+  /// begin_node_join. 0 (the default) activates every node — the fixed-
+  /// topology behaviour, bit-identical to an engine without this knob.
+  std::uint32_t initial_active_nodes = 0;
 };
 
 class RuntimeEngine final : private MemoryManager::Observer,
@@ -154,12 +161,53 @@ class RuntimeEngine final : private MemoryManager::Observer,
 
   [[nodiscard]] const core::Platform& platform() const { return platform_; }
 
+  // ---- Elastic autoscaling (planned topology change) -----------------------
+  //
+  // On a multi-node platform whole nodes can leave and join the serving set
+  // while the run streams. A *drain* is planned, not reactive: the node
+  // stops accepting work, its buffered-but-unstarted tasks are pulled back
+  // and requeued on survivors, running tasks and write-backs finish, data
+  // homed on the node migrates to surviving hosts over the network model,
+  // and only then does the node retire — zero task progress is lost. A
+  // *join* warms the incoming node's host cache with the hottest shared
+  // data before its GPUs take traffic. Single-node platforms reject both.
+
+  /// Lifecycle of a node in the serving set.
+  enum class NodeStatus : std::uint8_t {
+    kActive,    ///< serving
+    kDraining,  ///< drain fence passed; finishing and migrating
+    kInactive,  ///< retired (or never started); may rejoin
+    kWarming,   ///< joining; host cache warming up
+    kLost,      ///< killed by a fault plan's node loss
+  };
+
+  /// Starts a graceful drain of `node` (must be kActive, and not the last
+  /// serving node). Safe to call from an event callback; the node retires
+  /// asynchronously once quiescent.
+  void begin_node_drain(core::NodeId node);
+
+  /// Starts bringing `node` (kInactive) into the serving set; its GPUs take
+  /// traffic once the warm-up fills land.
+  void begin_node_join(core::NodeId node);
+
+  [[nodiscard]] NodeStatus node_status(core::NodeId node) const {
+    return node_status_.empty() ? NodeStatus::kActive : node_status_[node];
+  }
+
+  /// Nodes currently serving (kActive).
+  [[nodiscard]] std::uint32_t active_node_count() const {
+    return active_node_count_;
+  }
+
  private:
   struct GpuState {
     std::deque<core::TaskId> buffer;             ///< popped, not yet started
     std::deque<core::DataId> hint_queue;         ///< push-time prefetch hints
     core::TaskId running = core::kInvalidTask;
     bool alive = true;           ///< false after a scripted GPU loss
+    /// False while the GPU's node is outside the serving set (draining,
+    /// drained, warming): the device is intact but takes no new work.
+    bool active = true;
     bool starved = false;        ///< scheduler had nothing for us last time
     bool assembly_active = false;
     bool scratch_reserved = false;  ///< output buffer of the head task
@@ -224,7 +272,34 @@ class RuntimeEngine final : private MemoryManager::Observer,
   void schedule_faults();
   void attach_fault_hooks();
   void fail_gpu(core::GpuId gpu);
+  /// Unplanned whole-node loss (fault plan `node_losses`): kills every GPU of
+  /// the node in one recovery pass (single kNodeLost event, one
+  /// notify_node_lost) and instantly re-homes its host shards — host data is
+  /// modeled as durably backed, so only device-side progress is lost.
+  void fail_node(core::NodeId node);
   void apply_capacity_shock(core::GpuId gpu, std::uint64_t capacity_bytes);
+
+  // Elastic autoscaling internals (topology_active_ only).
+  /// Home node of `data` after drain migrations / node losses re-homed it.
+  [[nodiscard]] core::NodeId home_node(core::DataId data) const {
+    return home_override_.empty() ? platform_.home_node_of(data)
+                                  : home_override_[data];
+  }
+  /// Starts migrating every shard homed on draining `node` to active homes
+  /// (round-robin), riding the node's PCI-out + net egress like a remote
+  /// fetch in reverse. Completion re-homes the shard.
+  void start_data_migrations(core::NodeId node);
+  /// Retires `node` if its drain is complete: every GPU idle and quiescent,
+  /// no in-flight node fetch, all migrations landed. Called from every
+  /// drain-progress site (task finish, write-back drain, data landed,
+  /// migration done).
+  void maybe_finish_drain(core::NodeId node);
+  void finish_node_drain(core::NodeId node);
+  /// Lands one warm-up fill on a joining node; activates it when the last
+  /// fill (or none were needed) is in.
+  void finish_warm_fill(core::NodeId node, core::DataId data,
+                        std::uint64_t bytes);
+  void activate_node(core::NodeId node, std::uint32_t fills);
   /// Smallest capacity at which every task can still assemble (inputs +
   /// output scratch); capacity shocks are clamped to it. Computed lazily.
   [[nodiscard]] std::uint64_t min_safe_capacity();
@@ -380,6 +455,24 @@ class RuntimeEngine final : private MemoryManager::Observer,
   std::uint32_t alive_gpus_ = 0;
   std::uint64_t min_safe_capacity_ = 0;  ///< 0 = not yet computed
   core::FaultMetrics fault_metrics_;
+
+  // Elastic autoscaling state. Allocated only when the topology actually
+  // changes (initial_active_nodes, a drain/join call, or a node-loss fault);
+  // fixed-topology runs never touch it and stay bit-identical.
+  bool topology_active_ = false;
+  std::vector<NodeStatus> node_status_;
+  std::uint32_t active_node_count_ = 0;
+  /// Per-data home override (migrations / node losses re-home shards);
+  /// empty until the first re-homing.
+  std::vector<core::NodeId> home_override_;
+  /// Per-node count of in-flight drain migrations.
+  std::vector<std::uint32_t> drain_migrations_left_;
+  /// Per-node drain fence time (kNodeDrained latency aux).
+  std::vector<double> drain_start_us_;
+  /// Per-node count of in-flight join warm-up fills.
+  std::vector<std::uint32_t> warm_fills_left_;
+  /// Lazily sizes the autoscaling vectors on first topology change.
+  void ensure_topology_state();
 
   // Checkpointing state (allocated only when the policy is on).
   /// Last committed progress fraction per task, in [0,1).

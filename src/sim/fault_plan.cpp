@@ -80,9 +80,9 @@ void append_double(std::string* out, double value) {
 
 }  // namespace
 
-std::string FaultPlan::validate(std::uint32_t num_gpus) const {
+std::string FaultPlan::validate(std::uint32_t num_gpus,
+                                std::uint32_t num_nodes) const {
   char buffer[160];
-  std::uint32_t losses = 0;
   for (const GpuLoss& loss : gpu_losses) {
     if (loss.gpu >= num_gpus) {
       std::snprintf(buffer, sizeof buffer,
@@ -93,7 +93,6 @@ std::string FaultPlan::validate(std::uint32_t num_gpus) const {
     if (!std::isfinite(loss.time_us) || loss.time_us < 0.0) {
       return "gpu_losses: time_us must be finite and >= 0";
     }
-    ++losses;
   }
   // Each GPU can die at most once; duplicate losses of one GPU are a plan bug.
   for (std::size_t i = 0; i < gpu_losses.size(); ++i) {
@@ -105,8 +104,48 @@ std::string FaultPlan::validate(std::uint32_t num_gpus) const {
       }
     }
   }
-  if (losses >= num_gpus) {
-    return "gpu_losses: the plan kills every GPU; at least one must survive";
+  for (const NodeLoss& loss : node_losses) {
+    if (num_nodes < 2) {
+      return "node_losses: need a multi-node platform (num_nodes >= 2)";
+    }
+    if (loss.node >= num_nodes) {
+      std::snprintf(buffer, sizeof buffer,
+                    "node_losses: node %u out of range (platform has %u "
+                    "nodes)",
+                    loss.node, num_nodes);
+      return buffer;
+    }
+    if (!std::isfinite(loss.time_us) || loss.time_us < 0.0) {
+      return "node_losses: time_us must be finite and >= 0";
+    }
+  }
+  for (std::size_t i = 0; i < node_losses.size(); ++i) {
+    for (std::size_t j = i + 1; j < node_losses.size(); ++j) {
+      if (node_losses[i].node == node_losses[j].node) {
+        std::snprintf(buffer, sizeof buffer,
+                      "node_losses: node %u listed twice",
+                      node_losses[i].node);
+        return buffer;
+      }
+    }
+  }
+  // Combined survivor check: a node loss kills its whole contiguous GPU
+  // block; together with the individual losses at least one GPU must live.
+  {
+    std::vector<std::uint8_t> killed(num_gpus, 0);
+    for (const GpuLoss& loss : gpu_losses) killed[loss.gpu] = 1;
+    const std::uint32_t per_node = num_nodes > 0 ? num_gpus / num_nodes : 0;
+    for (const NodeLoss& loss : node_losses) {
+      for (std::uint32_t g = loss.node * per_node;
+           g < (loss.node + 1) * per_node && g < num_gpus; ++g) {
+        killed[g] = 1;
+      }
+    }
+    std::uint32_t dead = 0;
+    for (std::uint8_t flag : killed) dead += flag;
+    if (dead >= num_gpus) {
+      return "losses: the plan kills every GPU; at least one must survive";
+    }
   }
   for (const TransferFault& fault : transfer_faults) {
     if (std::isnan(fault.start_us) || fault.start_us < 0.0 ||
@@ -167,8 +206,10 @@ std::optional<FaultPlan> parse_fault_plan(std::string_view json_text,
 
   FaultPlan plan;
   if (const util::json::Value* version = root->find("schema_version")) {
-    if (!version->is_number() ||
-        static_cast<int>(version->as_number()) != FaultPlan::kSchemaVersion) {
+    const int parsed =
+        version->is_number() ? static_cast<int>(version->as_number()) : -1;
+    if (parsed < FaultPlan::kMinSchemaVersion ||
+        parsed > FaultPlan::kSchemaVersion) {
       fail(error, "unsupported fault plan schema_version");
       return std::nullopt;
     }
@@ -196,6 +237,27 @@ std::optional<FaultPlan> parse_fault_plan(std::string_view json_text,
       }
       loss.gpu = static_cast<core::GpuId>(gpu);
       plan.gpu_losses.push_back(loss);
+    }
+  }
+
+  if (const util::json::Value* losses = root->find("node_losses")) {
+    if (!losses->is_array()) {
+      fail(error, "node_losses must be an array");
+      return std::nullopt;
+    }
+    for (const util::json::Value& entry : losses->as_array()) {
+      if (!entry.is_object()) {
+        fail(error, "node_losses entries must be objects");
+        return std::nullopt;
+      }
+      FaultPlan::NodeLoss loss;
+      std::uint64_t node = 0;
+      if (!read_number(entry, "time_us", &loss.time_us, error) ||
+          !read_u64(entry, "node", &node, error)) {
+        return std::nullopt;
+      }
+      loss.node = static_cast<core::NodeId>(node);
+      plan.node_losses.push_back(loss);
     }
   }
 
@@ -287,6 +349,16 @@ std::string fault_plan_to_json(const FaultPlan& plan) {
     append_double(&out, loss.time_us);
     out += ",\"gpu\":";
     out += std::to_string(loss.gpu);
+    out += '}';
+  }
+  out += "],\"node_losses\":[";
+  for (std::size_t i = 0; i < plan.node_losses.size(); ++i) {
+    const FaultPlan::NodeLoss& loss = plan.node_losses[i];
+    if (i != 0) out += ',';
+    out += "{\"time_us\":";
+    append_double(&out, loss.time_us);
+    out += ",\"node\":";
+    out += std::to_string(loss.node);
     out += '}';
   }
   out += "],\"transfer_faults\":[";

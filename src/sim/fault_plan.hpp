@@ -19,11 +19,15 @@
 #include <vector>
 
 #include "core/ids.hpp"
+#include "core/platform.hpp"
 
 namespace mg::sim {
 
 struct FaultPlan {
-  static constexpr int kSchemaVersion = 1;
+  /// v2 adds node_losses (whole-node failures on multi-node platforms);
+  /// v1 plans parse unchanged.
+  static constexpr int kSchemaVersion = 2;
+  static constexpr int kMinSchemaVersion = 1;
 
   /// Permanent device failure: at time_us the GPU stops executing, its
   /// residency is invalidated and its popped-but-unfinished tasks are
@@ -31,6 +35,16 @@ struct FaultPlan {
   struct GpuLoss {
     double time_us = 0.0;
     core::GpuId gpu = 0;
+  };
+
+  /// Whole-node failure (multi-node platforms only): at time_us every GPU of
+  /// the node dies at once and its host memory disappears. The engine
+  /// recovers in a single pass — one node-level announcement to the
+  /// scheduler, one combined orphan re-dispatch — and instantly re-homes the
+  /// shards homed there (host data is modeled as durably backed).
+  struct NodeLoss {
+    double time_us = 0.0;
+    core::NodeId node = 0;
   };
 
   /// Which wire channels a transfer-failure window covers. Write-backs are
@@ -63,19 +77,22 @@ struct FaultPlan {
   std::uint64_t seed = 0;
 
   std::vector<GpuLoss> gpu_losses;
+  std::vector<NodeLoss> node_losses;
   std::vector<TransferFault> transfer_faults;
   std::vector<CapacityShock> capacity_shocks;
 
   [[nodiscard]] bool empty() const {
-    return gpu_losses.empty() && transfer_faults.empty() &&
-           capacity_shocks.empty();
+    return gpu_losses.empty() && node_losses.empty() &&
+           transfer_faults.empty() && capacity_shocks.empty();
   }
 
-  /// Checks the plan against a platform of `num_gpus` devices: every GPU id
-  /// in range, times finite and non-negative, probabilities in [0, 1], and
-  /// at least one GPU surviving all losses. Returns the first problem, or
-  /// an empty string when the plan is applicable.
-  [[nodiscard]] std::string validate(std::uint32_t num_gpus) const;
+  /// Checks the plan against a platform of `num_gpus` devices spread over
+  /// `num_nodes` nodes: every GPU/node id in range, times finite and
+  /// non-negative, probabilities in [0, 1], and at least one GPU surviving
+  /// the combined losses. Returns the first problem, or an empty string when
+  /// the plan is applicable.
+  [[nodiscard]] std::string validate(std::uint32_t num_gpus,
+                                     std::uint32_t num_nodes = 1) const;
 };
 
 /// Parses a FaultPlan from its JSON form. On failure returns nullopt and,

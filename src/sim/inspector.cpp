@@ -44,6 +44,15 @@ std::string_view inspector_event_kind_name(InspectorEventKind kind) {
     case InspectorEventKind::kEdgeReleased: return "edge-released";
     case InspectorEventKind::kTaskEnabled: return "task-enabled";
     case InspectorEventKind::kTaskUnretired: return "task-unretired";
+    case InspectorEventKind::kNodeDrainStart: return "node-drain-start";
+    case InspectorEventKind::kTaskDrained: return "task-drained";
+    case InspectorEventKind::kDataMigrateStart: return "data-migrate-start";
+    case InspectorEventKind::kDataMigrated: return "data-migrated";
+    case InspectorEventKind::kNodeDrained: return "node-drained";
+    case InspectorEventKind::kNodeJoinStart: return "node-join-start";
+    case InspectorEventKind::kNodeWarmFill: return "node-warm-fill";
+    case InspectorEventKind::kNodeJoined: return "node-joined";
+    case InspectorEventKind::kNodeLost: return "node-lost";
   }
   return "?";
 }
@@ -87,16 +96,32 @@ std::string format_inspector_event(const InspectorEvent& event) {
                        event.kind == InspectorEventKind::kProgressRestored ||
                        event.kind == InspectorEventKind::kEdgeReleased ||
                        event.kind == InspectorEventKind::kTaskEnabled ||
-                       event.kind == InspectorEventKind::kTaskUnretired;
+                       event.kind == InspectorEventKind::kTaskUnretired ||
+                       event.kind == InspectorEventKind::kTaskDrained;
   const bool is_job = event.kind == InspectorEventKind::kJobArrival ||
                       event.kind == InspectorEventKind::kJobComplete ||
                       event.kind == InspectorEventKind::kJobShed;
+  // Node-lifecycle kinds carry the node in `id` rather than a task/data.
+  const bool is_node = event.kind == InspectorEventKind::kNodeDrainStart ||
+                       event.kind == InspectorEventKind::kNodeDrained ||
+                       event.kind == InspectorEventKind::kNodeJoinStart ||
+                       event.kind == InspectorEventKind::kNodeJoined ||
+                       event.kind == InspectorEventKind::kNodeLost;
   char buffer[192];
-  std::snprintf(buffer, sizeof buffer, "t=%.3fus gpu%u %.*s %c%u", event.time_us,
-                event.gpu,
-                static_cast<int>(inspector_event_kind_name(event.kind).size()),
-                inspector_event_kind_name(event.kind).data(),
-                is_job ? 'J' : (is_task ? 'T' : 'd'), event.id);
+  if (is_node) {
+    std::snprintf(buffer, sizeof buffer, "t=%.3fus %.*s node%u",
+                  event.time_us,
+                  static_cast<int>(
+                      inspector_event_kind_name(event.kind).size()),
+                  inspector_event_kind_name(event.kind).data(), event.id);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "t=%.3fus gpu%u %.*s %c%u",
+                  event.time_us, event.gpu,
+                  static_cast<int>(
+                      inspector_event_kind_name(event.kind).size()),
+                  inspector_event_kind_name(event.kind).data(),
+                  is_job ? 'J' : (is_task ? 'T' : 'd'), event.id);
+  }
   std::string line = buffer;
   if (event.bytes > 0) {
     std::snprintf(buffer, sizeof buffer, " bytes=%llu",
@@ -156,6 +181,27 @@ std::string format_inspector_event(const InspectorEvent& event) {
   } else if (event.kind == InspectorEventKind::kTaskEnabled &&
              event.aux != 0) {
     line += " (at-load)";
+  } else if (event.kind == InspectorEventKind::kDataMigrateStart ||
+             event.kind == InspectorEventKind::kDataMigrated) {
+    std::snprintf(buffer, sizeof buffer, " -> node%u", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kTaskDrained ||
+             event.kind == InspectorEventKind::kNodeWarmFill) {
+    std::snprintf(buffer, sizeof buffer, " node=%u", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kNodeDrainStart) {
+    std::snprintf(buffer, sizeof buffer, " pulled=%u", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kNodeDrained) {
+    std::snprintf(buffer, sizeof buffer, " latency=%uus", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kNodeJoinStart ||
+             event.kind == InspectorEventKind::kNodeJoined) {
+    std::snprintf(buffer, sizeof buffer, " fills=%u", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kNodeLost) {
+    std::snprintf(buffer, sizeof buffer, " orphans=%u", event.aux);
+    line += buffer;
   }
   return line;
 }

@@ -100,6 +100,27 @@ enum class InspectorEventKind : std::uint8_t {
   kTaskUnretired,  ///< retirement of task `id` rolled back: its effects died
                    ///< with `gpu` before becoming durable; it will re-run and
                    ///< its released edges are re-armed
+
+  // Elastic autoscaling / planned topology change (src/cluster/autoscaler).
+  // `id` carries the node for the node-lifecycle kinds; `gpu` is the GPU the
+  // per-task/per-data kinds concern.
+  kNodeDrainStart, ///< node `id` fenced: no new dispatch, begin evacuating
+                   ///< (aux: buffered tasks pulled back for re-dispatch)
+  kTaskDrained,    ///< task `id` pulled from draining `gpu`'s pipeline before
+                   ///< starting; re-served to the survivors (aux: node)
+  kDataMigrateStart, ///< sole-copy data `id` homed on a draining node started
+                     ///< migrating (bytes: size, aux: destination node)
+  kDataMigrated,   ///< data `id` finished migrating; its home is now node
+                   ///< `aux` (bytes: size)
+  kNodeDrained,    ///< node `id` fully evacuated and retired (bytes: migrated
+                   ///< bytes, aux: drain latency in whole µs)
+  kNodeJoinStart,  ///< node `id` began warming up (aux: planned warm fills)
+  kNodeWarmFill,   ///< data `id` pre-staged into warming node `aux`'s host
+                   ///< cache (bytes: size)
+  kNodeJoined,     ///< node `id` finished warm-up and serves traffic
+                   ///< (aux: warm fills completed)
+  kNodeLost,       ///< node `id` failed unplanned: all its GPUs + host cache
+                   ///< died at once (aux: tasks to re-run across the node)
 };
 
 [[nodiscard]] std::string_view inspector_event_kind_name(

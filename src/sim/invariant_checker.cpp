@@ -62,6 +62,11 @@ void InvariantChecker::on_run_begin(const core::TaskGraph& graph,
                       std::vector<std::uint8_t>(graph.num_data(), 0));
   net_bytes_delivered_ = 0;
   host_fill_bytes_ = 0;
+  node_status_.assign(platform.is_cluster() ? platform.num_nodes : 0,
+                      NodeStatus::kActive);
+  migrate_start_bytes_ = 0;
+  migrate_done_bytes_ = 0;
+  warm_fill_bytes_ = 0;
   last_time_us_ = 0.0;
   events_ = 0;
   recent_.clear();
@@ -150,6 +155,18 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
     case InspectorEventKind::kEdgeReleased:
     case InspectorEventKind::kTaskEnabled:
     case InspectorEventKind::kTaskUnretired:
+    // Topology-change events are engine-level: a node loss is published
+    // *about* the GPUs it kills, and the drain/join lifecycle carries a
+    // representative GPU that stays alive (inactive, not dead) throughout.
+    case InspectorEventKind::kNodeDrainStart:
+    case InspectorEventKind::kTaskDrained:
+    case InspectorEventKind::kDataMigrateStart:
+    case InspectorEventKind::kDataMigrated:
+    case InspectorEventKind::kNodeDrained:
+    case InspectorEventKind::kNodeJoinStart:
+    case InspectorEventKind::kNodeWarmFill:
+    case InspectorEventKind::kNodeJoined:
+    case InspectorEventKind::kNodeLost:
       break;
     default:
       if (!gpu.alive) return fail(event, "activity on a dead gpu");
@@ -279,6 +296,10 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       }
       if (gpu.running != -1) {
         return fail(event, "two tasks running on one gpu");
+      }
+      if (!node_status_.empty() &&
+          node_status_[platform_.node_of(event.gpu)] != NodeStatus::kActive) {
+        return fail(event, "task started on a non-serving node");
       }
       for (core::DataId data : graph_->inputs(event.id)) {
         if (gpu.resident[data] == 0) {
@@ -627,6 +648,174 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       ended_[event.id] = 0;
       break;
     }
+    case InspectorEventKind::kNodeDrainStart: {
+      if (node_status_.empty() || event.id >= node_status_.size()) {
+        return fail(event, "drain fence on unknown node");
+      }
+      if (node_status_[event.id] != NodeStatus::kActive) {
+        return fail(event, "drain fence on a non-active node");
+      }
+      node_status_[event.id] = NodeStatus::kDraining;
+      break;
+    }
+    case InspectorEventKind::kTaskDrained: {
+      if (event.id >= num_tasks) return fail(event, "drain of unknown task");
+      if (!gpu.alive) return fail(event, "task drained from a dead gpu");
+      if (node_status_.empty() ||
+          node_status_[platform_.node_of(event.gpu)] !=
+              NodeStatus::kDraining) {
+        return fail(event, "task drained from a node that is not draining");
+      }
+      if (started_[event.id] != 0 || ended_[event.id] != 0) {
+        return fail(event, "drain of a task that already ran");
+      }
+      if (cancelled_[event.id] != 0) {
+        return fail(event, "drain of a cancelled task (shed job)");
+      }
+      break;
+    }
+    case InspectorEventKind::kDataMigrateStart: {
+      if (event.id >= num_data) {
+        return fail(event, "migration of unknown data");
+      }
+      if (node_status_.empty() || event.aux >= node_status_.size()) {
+        return fail(event, "migration to unknown node");
+      }
+      if (node_status_[event.aux] != NodeStatus::kActive) {
+        return fail(event, "migration to a non-serving node");
+      }
+      if (event.bytes != graph_->data_size(event.id)) {
+        return fail(event, "migration size disagrees with data size");
+      }
+      migrate_start_bytes_ += event.bytes;
+      break;
+    }
+    case InspectorEventKind::kDataMigrated: {
+      if (event.id >= num_data) {
+        return fail(event, "migration of unknown data");
+      }
+      if (node_status_.empty() || event.aux >= node_status_.size()) {
+        return fail(event, "migration to unknown node");
+      }
+      if (event.bytes != graph_->data_size(event.id)) {
+        return fail(event, "migration size disagrees with data size");
+      }
+      migrate_done_bytes_ += event.bytes;
+      if (migrate_done_bytes_ > migrate_start_bytes_) {
+        return fail(event, "migration completed without a start");
+      }
+      break;
+    }
+    case InspectorEventKind::kNodeDrained: {
+      if (node_status_.empty() || event.id >= node_status_.size()) {
+        return fail(event, "drain completion on unknown node");
+      }
+      if (node_status_[event.id] != NodeStatus::kDraining) {
+        return fail(event, "drain completed on a node that is not draining");
+      }
+      for (core::GpuId g = platform_.node_gpu_begin(event.id);
+           g < platform_.node_gpu_end(event.id); ++g) {
+        GpuState& state = gpus_[g];
+        if (state.running != -1) {
+          return fail(event, "node retired with a task still running");
+        }
+        for (std::uint8_t flag : state.in_flight) {
+          if (flag != 0) {
+            return fail(event, "node retired with an in-flight fetch");
+          }
+        }
+        // The node powers off: its GPU memory goes away without evictions,
+        // like a loss — but the GPUs stay alive for a later re-join.
+        std::fill(state.resident.begin(), state.resident.end(), 0);
+        std::fill(state.prot.begin(), state.prot.end(), 0);
+        state.resident_bytes = 0;
+        state.committed_bytes = 0;
+        state.scratch_bytes = 0;
+      }
+      for (std::uint32_t pending : node_fetching_[event.id]) {
+        if (pending != 0) {
+          return fail(event, "node retired with an outstanding host fetch");
+        }
+      }
+      std::fill(node_cached_[event.id].begin(), node_cached_[event.id].end(),
+                0);
+      node_status_[event.id] = NodeStatus::kInactive;
+      break;
+    }
+    case InspectorEventKind::kNodeJoinStart: {
+      if (node_status_.empty() || event.id >= node_status_.size()) {
+        return fail(event, "join of unknown node");
+      }
+      // An initially-inactive node is never announced, so "active" (the
+      // initial assumption) is accepted alongside a drained node.
+      if (node_status_[event.id] == NodeStatus::kDraining ||
+          node_status_[event.id] == NodeStatus::kWarming ||
+          node_status_[event.id] == NodeStatus::kLost) {
+        return fail(event, "join of a draining, warming or lost node");
+      }
+      node_status_[event.id] = NodeStatus::kWarming;
+      break;
+    }
+    case InspectorEventKind::kNodeWarmFill: {
+      if (node_status_.empty() || event.aux >= node_status_.size()) {
+        return fail(event, "warm fill on unknown node");
+      }
+      if (node_status_[event.aux] != NodeStatus::kWarming) {
+        return fail(event, "warm fill on a node that is not warming");
+      }
+      if (event.id >= num_data) {
+        return fail(event, "warm fill of unknown data");
+      }
+      if (event.bytes != graph_->data_size(event.id)) {
+        return fail(event, "warm fill size disagrees with data size");
+      }
+      if (node_cached_[event.aux][event.id] != 0) {
+        return fail(event, "warm fill of data already cached on the node");
+      }
+      node_cached_[event.aux][event.id] = 1;
+      warm_fill_bytes_ += event.bytes;
+      break;
+    }
+    case InspectorEventKind::kNodeJoined: {
+      if (node_status_.empty() || event.id >= node_status_.size()) {
+        return fail(event, "join completion on unknown node");
+      }
+      if (node_status_[event.id] != NodeStatus::kWarming) {
+        return fail(event, "join completed without a warm-up");
+      }
+      node_status_[event.id] = NodeStatus::kActive;
+      break;
+    }
+    case InspectorEventKind::kNodeLost: {
+      if (node_status_.empty() || event.id >= node_status_.size()) {
+        return fail(event, "loss of unknown node");
+      }
+      if (node_status_[event.id] == NodeStatus::kLost) {
+        return fail(event, "node lost twice");
+      }
+      node_status_[event.id] = NodeStatus::kLost;
+      for (core::GpuId g = platform_.node_gpu_begin(event.id);
+           g < platform_.node_gpu_end(event.id); ++g) {
+        GpuState& state = gpus_[g];
+        if (!state.alive) continue;  // an earlier GPU loss already took it
+        state.alive = false;
+        if (state.running >= 0) {
+          started_[static_cast<std::size_t>(state.running)] = 0;
+          state.running = -1;
+        }
+        std::fill(state.resident.begin(), state.resident.end(), 0);
+        std::fill(state.in_flight.begin(), state.in_flight.end(), 0);
+        std::fill(state.prot.begin(), state.prot.end(), 0);
+        state.resident_bytes = 0;
+        state.committed_bytes = 0;
+        state.scratch_bytes = 0;
+      }
+      // The host cache dies with the node; in-flight network fetches stay
+      // accounted so their fills still balance the wire deliveries.
+      std::fill(node_cached_[event.id].begin(), node_cached_[event.id].end(),
+                0);
+      break;
+    }
   }
 }
 
@@ -692,13 +881,28 @@ void InvariantChecker::finish() {
   // is exact: a host-cache fill follows its network delivery within the
   // same simulation event, so at run end every byte delivered on a network
   // channel must have landed in exactly one fill.
-  if (!node_fetching_.empty() && net_bytes_delivered_ != host_fill_bytes_) {
-    char buffer[128];
+  if (!node_fetching_.empty() &&
+      net_bytes_delivered_ !=
+          host_fill_bytes_ + migrate_done_bytes_ + warm_fill_bytes_) {
+    char buffer[160];
     std::snprintf(buffer, sizeof buffer,
                   "network bytes not conserved: %llu delivered vs %llu "
-                  "filled into host caches",
+                  "filled into host caches + %llu migrated + %llu warm-filled",
                   static_cast<unsigned long long>(net_bytes_delivered_),
-                  static_cast<unsigned long long>(host_fill_bytes_));
+                  static_cast<unsigned long long>(host_fill_bytes_),
+                  static_cast<unsigned long long>(migrate_done_bytes_),
+                  static_cast<unsigned long long>(warm_fill_bytes_));
+    return fail_text(buffer);
+  }
+  // Migration byte conservation: every migration a drain started must have
+  // landed on its destination node by run end.
+  if (migrate_start_bytes_ != migrate_done_bytes_) {
+    char buffer[128];
+    std::snprintf(buffer, sizeof buffer,
+                  "migration bytes not conserved: %llu started vs %llu "
+                  "delivered",
+                  static_cast<unsigned long long>(migrate_start_bytes_),
+                  static_cast<unsigned long long>(migrate_done_bytes_));
     return fail_text(buffer);
   }
 }

@@ -41,6 +41,16 @@
 //     at run end every edge was released exactly once more than it was
 //     re-armed (released-edge conservation); acyclicity is enforced at
 //     load by TaskGraph::Builder::build;
+//   * planned topology change (elastic autoscaling): a drain fence starts
+//     on an active node and no task starts on its GPUs until the node is
+//     drained and later rejoined, drained tasks were buffered-but-unstarted
+//     on a live GPU of a draining node and re-run elsewhere, a node retires
+//     only with idle GPUs, no in-flight fetches and no outstanding host
+//     fetch, a join warms only a non-serving node and warm fills land only
+//     while warming, a whole-node loss kills all the node's GPUs at once,
+//     and migration bytes are conserved (every migration started completes,
+//     and network deliveries equal host-cache fills plus migration and
+//     warm-fill payloads);
 //   * proactive fault tolerance: checkpoint progress per task is
 //     non-decreasing and committed only while the task runs, restored
 //     progress never exceeds the last checkpointed progress, a protected
@@ -163,6 +173,22 @@ class InvariantChecker final : public Inspector {
   std::vector<std::vector<std::uint8_t>> node_cached_;
   std::uint64_t net_bytes_delivered_ = 0;
   std::uint64_t host_fill_bytes_ = 0;
+  /// Topology-change state per node (sized with node_fetching_):
+  /// kActive until a drain fence / join / loss moves it.
+  enum class NodeStatus : std::uint8_t {
+    kActive,
+    kDraining,
+    kInactive,
+    kWarming,
+    kLost,
+  };
+  std::vector<NodeStatus> node_status_;
+  /// Migration byte conservation: every kDataMigrateStart must complete in
+  /// a kDataMigrated of the same size; migration and warm-fill payloads
+  /// ride the network channels alongside host-cache fills.
+  std::uint64_t migrate_start_bytes_ = 0;
+  std::uint64_t migrate_done_bytes_ = 0;
+  std::uint64_t warm_fill_bytes_ = 0;
   double last_time_us_ = 0.0;
   std::uint64_t events_ = 0;
 

@@ -265,6 +265,31 @@ void MemoryManager::deactivate() {
   committed_ = 0;
 }
 
+bool MemoryManager::quiescent() const {
+  if (!stalled_.empty()) return false;
+  std::uint64_t resident_bytes = 0;
+  for (DataId data : resident_) resident_bytes += graph_.data_size(data);
+  // committed_ = resident + in-flight + scratch, so equality means neither
+  // a fetch nor a scratch reservation is outstanding.
+  return committed_ == resident_bytes;
+}
+
+void MemoryManager::wipe_resident() {
+  if (!active_) return;
+  MG_DCHECK(quiescent());
+  for (DataId data : resident_) {
+    MG_DCHECK(pins_[data] == 0);
+    residency_[data] = Residency::kAbsent;
+    resident_pos_[data] = kNoPos;
+    replica_[data] = 0;
+    protected_[data] = 0;
+    committed_ -= graph_.data_size(data);
+    policy_->on_evict(gpu_, data);
+  }
+  resident_.clear();
+  MG_DCHECK(committed_ == 0);
+}
+
 void MemoryManager::retry_stalled() {
   if (in_retry_ || stalled_.empty()) return;
   in_retry_ = true;

@@ -162,6 +162,23 @@ class MemoryManager final : public core::MemoryView {
 
   [[nodiscard]] bool active() const { return active_; }
 
+  /// Drops parked (stalled) fetches whose tasks were pulled back out of the
+  /// pipeline (planned node drain); unlike deactivate() the manager stays
+  /// fully usable.
+  void cancel_stalled() { stalled_.clear(); }
+
+  /// True when nothing is outstanding: no in-flight fetch, no parked fetch
+  /// and no scratch reservation — every committed byte is resident data.
+  /// The quiescence gate of a planned node drain.
+  [[nodiscard]] bool quiescent() const;
+
+  /// Silently drops every resident copy (planned node drain): residency,
+  /// pins, replica/protection tags all clear, the eviction policy is told,
+  /// but no observer eviction fires — the drain event itself marks the wipe
+  /// for inspectors. Requires quiescent(); the manager stays active so the
+  /// node can later rejoin.
+  void wipe_resident();
+
   [[nodiscard]] std::size_t stalled_fetches() const { return stalled_.size(); }
   [[nodiscard]] core::GpuId gpu() const { return gpu_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }

@@ -299,6 +299,30 @@ std::string run_report_to_json(const RunReport& report) {
   append_u64(json, deps.edges_released);
   json += ",\"tasks_unretired\":";
   append_u64(json, deps.tasks_unretired);
+  json += "}";
+
+  const RunReport::Autoscaling& scaling = report.autoscaling;
+  json += ",\"autoscaling\":{\"enabled\":";
+  json += scaling.enabled ? "true" : "false";
+  json += ",\"scale_out_events\":" + std::to_string(scaling.scale_out_events);
+  json += ",\"scale_in_events\":" + std::to_string(scaling.scale_in_events);
+  json += ",\"nodes_drained\":" + std::to_string(scaling.nodes_drained);
+  json += ",\"nodes_joined\":" + std::to_string(scaling.nodes_joined);
+  json += ",\"node_losses\":" + std::to_string(scaling.node_losses);
+  json += ",\"tasks_drained\":";
+  append_u64(json, scaling.tasks_drained);
+  json += ",\"migrations\":";
+  append_u64(json, scaling.migrations);
+  json += ",\"migrated_bytes\":";
+  append_u64(json, scaling.migrated_bytes);
+  json += ",\"warm_fills\":";
+  append_u64(json, scaling.warm_fills);
+  json += ",\"warm_fill_bytes\":";
+  append_u64(json, scaling.warm_fill_bytes);
+  json += ",\"drain_latency_total_us\":";
+  append_double(json, scaling.drain_latency_total_us);
+  json += ",\"drain_latency_max_us\":";
+  append_double(json, scaling.drain_latency_max_us);
   json += "}}";
   return json;
 }
@@ -376,6 +400,7 @@ void RunReportCollector::on_run_begin(const core::TaskGraph& graph,
   gpu_scratch_.assign(platform.num_gpus, GpuScratch{});
   pending_recoveries_.clear();
   pending_adoptions_.clear();
+  drain_open_us_.clear();
   trace_.events.clear();
 }
 
@@ -637,6 +662,54 @@ void RunReportCollector::on_event(const InspectorEvent& event) {
             --ready_width_;
           }
         }
+      }
+      break;
+    case InspectorEventKind::kNodeDrainStart:
+      report_.autoscaling.enabled = true;
+      drain_open_us_[event.id] = event.time_us;
+      break;
+    case InspectorEventKind::kTaskDrained:
+      ++report_.autoscaling.tasks_drained;
+      break;
+    case InspectorEventKind::kDataMigrateStart:
+      break;
+    case InspectorEventKind::kDataMigrated:
+      ++report_.autoscaling.migrations;
+      report_.autoscaling.migrated_bytes += event.bytes;
+      break;
+    case InspectorEventKind::kNodeDrained: {
+      ++report_.autoscaling.nodes_drained;
+      auto open = drain_open_us_.find(event.id);
+      const double latency =
+          open != drain_open_us_.end() ? event.time_us - open->second : 0.0;
+      if (open != drain_open_us_.end()) drain_open_us_.erase(open);
+      report_.autoscaling.drain_latency_total_us += latency;
+      report_.autoscaling.drain_latency_max_us =
+          std::max(report_.autoscaling.drain_latency_max_us, latency);
+      break;
+    }
+    case InspectorEventKind::kNodeJoinStart:
+      report_.autoscaling.enabled = true;
+      break;
+    case InspectorEventKind::kNodeWarmFill:
+      ++report_.autoscaling.warm_fills;
+      report_.autoscaling.warm_fill_bytes += event.bytes;
+      break;
+    case InspectorEventKind::kNodeJoined:
+      ++report_.autoscaling.nodes_joined;
+      break;
+    case InspectorEventKind::kNodeLost:
+      report_.autoscaling.enabled = true;
+      ++report_.autoscaling.node_losses;
+      // The node's GPUs all died, but the loss recovers in one pass: the
+      // per-GPU loss tally grows by the node's span while a single
+      // recovery-latency entry tracks the combined orphan re-run.
+      report_.faults.gpu_losses += platform_.node_gpu_end(event.id) -
+                                   platform_.node_gpu_begin(event.id);
+      if (event.aux == 0) {
+        report_.faults.recovery_latency_us.push_back(0.0);
+      } else {
+        pending_recoveries_.push_back({event.time_us, {}});
       }
       break;
   }

@@ -30,6 +30,11 @@
 // maximum ready-frontier width observed during the run, and release/enable
 // event totals. The section stays zeroed — and the rest of the report
 // byte-identical to a schema-5 run — when the graph carries no edges.
+// Schema 7 adds the "autoscaling" section for elastic topology change
+// (src/cluster/autoscaler): scale events, node drains/joins/losses, tasks
+// drained, migration and warm-fill traffic, and drain latency. The section
+// stays zeroed — and the rest of the report byte-identical to a schema-6
+// run — when the topology never changes.
 #pragma once
 
 #include <cstdint>
@@ -44,7 +49,7 @@
 namespace mg::sim {
 
 struct RunReport {
-  static constexpr int kSchemaVersion = 6;
+  static constexpr int kSchemaVersion = 7;
 
   std::string scheduler;
   std::string context;  ///< free-form label (figure id, workload, ...)
@@ -247,12 +252,34 @@ struct RunReport {
     std::uint64_t tasks_unretired = 0; ///< retirements rolled back by a loss
   };
   Dependencies dependencies;
+
+  /// Elastic autoscaling (schema 7): planned node drains/joins and
+  /// unplanned whole-node losses. `enabled` stays false — and every field
+  /// zeroed — when the topology never changes. scale_out/scale_in count
+  /// the autoscaler policy's decisions (patched in by serve::ServeEngine);
+  /// the remaining fields aggregate the engine's topology events.
+  struct Autoscaling {
+    bool enabled = false;
+    std::uint32_t scale_out_events = 0;  ///< policy decisions to add a node
+    std::uint32_t scale_in_events = 0;   ///< policy decisions to drain one
+    std::uint32_t nodes_drained = 0;     ///< planned drains completed
+    std::uint32_t nodes_joined = 0;      ///< warm-ups completed
+    std::uint32_t node_losses = 0;       ///< unplanned whole-node failures
+    std::uint64_t tasks_drained = 0;     ///< buffered tasks pulled back
+    std::uint64_t migrations = 0;        ///< sole-copy datas re-homed
+    std::uint64_t migrated_bytes = 0;
+    std::uint64_t warm_fills = 0;        ///< host-cache pre-stages on join
+    std::uint64_t warm_fill_bytes = 0;
+    double drain_latency_total_us = 0.0; ///< fence-to-retire, summed
+    double drain_latency_max_us = 0.0;
+  };
+  Autoscaling autoscaling;
 };
 
 /// Serializes one report as a JSON object.
 [[nodiscard]] std::string run_report_to_json(const RunReport& report);
 
-/// Writes `{"schema_version":6,"context":...,"runs":[...]}` to `path`.
+/// Writes `{"schema_version":7,"context":...,"runs":[...]}` to `path`.
 /// Returns false on I/O error.
 bool write_run_reports(const std::vector<RunReport>& reports,
                        const std::string& context, const std::string& path);
@@ -326,6 +353,10 @@ class RunReportCollector final : public Inspector {
   std::vector<bool> dep_counted_ready_;
   std::vector<bool> dep_started_;
   std::int64_t ready_width_ = 0;
+
+  /// Drain fences still open (schema 7): node -> kNodeDrainStart time, so
+  /// the matching kNodeDrained can report the fence-to-retire latency.
+  std::map<std::uint32_t, double> drain_open_us_;
 };
 
 }  // namespace mg::sim

@@ -1,0 +1,489 @@
+// Elastic-autoscaling tests: the Autoscaler policy's hysteresis / cooldown
+// / bound behaviour, graceful node drains (shard-migration byte
+// conservation, zero lost progress, no deadlock under dependency-gated and
+// checkpointed runs), join warm-up gating (a joining node serves no task
+// before kNodeJoined), the ServeEngine scale-out/scale-in loop end to end,
+// the disabled-autoscaler byte-identity guarantee of the schema-7 report,
+// and node-loss fault-plan parsing/validation/recovery.
+#include "cluster/autoscaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "sched/eager.hpp"
+#include "sched/hfp.hpp"
+#include "serve/serve_engine.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/invariant_checker.hpp"
+#include "sim/run_report.hpp"
+
+namespace mg {
+namespace {
+
+using cluster::Autoscaler;
+using cluster::AutoscalerConfig;
+using core::DataId;
+using core::TaskId;
+using sim::InspectorEvent;
+using sim::InspectorEventKind;
+
+/// Trivial arithmetic (1 byte transfers in 1 us, 1 flop computes in 1 us)
+/// spread over a multi-node cluster.
+core::Platform cluster_platform(std::uint32_t gpus, std::uint32_t nodes,
+                                std::uint64_t memory = 1000,
+                                std::uint64_t host_memory = 4000) {
+  core::Platform platform;
+  platform.num_gpus = gpus;
+  platform.num_nodes = nodes;
+  platform.gpu_memory_bytes = memory;
+  platform.host_memory_bytes = host_memory;
+  platform.gpu_gflops = 1e-3;
+  platform.bus_bandwidth_bytes_per_s = 1e6;
+  platform.bus_latency_us = 0.0;
+  return platform;
+}
+
+/// Wide independent graph: `tasks` tasks of `flops` us each over `datas`
+/// distinct 10-byte inputs (round-robin), so every node holds home shards.
+core::TaskGraph wide_graph(std::uint32_t tasks, std::uint32_t datas,
+                           double flops = 20.0) {
+  core::TaskGraphBuilder builder;
+  std::vector<DataId> data;
+  for (std::uint32_t i = 0; i < datas; ++i) {
+    data.push_back(builder.add_data(10));
+  }
+  for (std::uint32_t t = 0; t < tasks; ++t) {
+    builder.add_task(flops, {data[t % datas]});
+  }
+  return builder.build();
+}
+
+/// Captures the raw event stream for kind-level assertions.
+class RecordingInspector final : public sim::Inspector {
+ public:
+  void on_event(const InspectorEvent& event) override {
+    events_.push_back(event);
+  }
+  [[nodiscard]] const std::vector<InspectorEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t count(InspectorEventKind kind) const {
+    std::size_t n = 0;
+    for (const InspectorEvent& event : events_) {
+      if (event.kind == kind) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::vector<InspectorEvent> events_;
+};
+
+AutoscalerConfig policy_config() {
+  AutoscalerConfig config;
+  config.enabled = true;
+  config.min_nodes = 1;
+  config.max_nodes = 4;
+  config.scale_out_queue = 4;
+  config.scale_in_queue = 0;
+  config.check_interval_us = 10.0;
+  config.cooldown_us = 100.0;
+  config.hysteresis_checks = 2;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Autoscaler policy unit tests.
+
+TEST(AutoscalerPolicy, DisabledAlwaysHolds) {
+  AutoscalerConfig config = policy_config();
+  config.enabled = false;
+  Autoscaler scaler(config);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(scaler.sample({i * 10.0, 100, 100, 1}),
+              Autoscaler::Decision::kHold);
+  }
+  EXPECT_EQ(scaler.scale_out_decisions(), 0u);
+}
+
+TEST(AutoscalerPolicy, HysteresisNeedsConsecutivePressure) {
+  Autoscaler scaler(policy_config());
+  // One pressured sample is not enough (hysteresis_checks = 2)...
+  EXPECT_EQ(scaler.sample({0.0, 8, 2, 1}), Autoscaler::Decision::kHold);
+  // ...and a calm sample in between resets the streak.
+  EXPECT_EQ(scaler.sample({10.0, 2, 2, 1}), Autoscaler::Decision::kHold);
+  EXPECT_EQ(scaler.sample({20.0, 8, 2, 1}), Autoscaler::Decision::kHold);
+  // Two in a row fire.
+  EXPECT_EQ(scaler.sample({30.0, 8, 2, 1}), Autoscaler::Decision::kScaleOut);
+  EXPECT_EQ(scaler.scale_out_decisions(), 1u);
+}
+
+TEST(AutoscalerPolicy, CooldownBlocksBackToBackDecisions) {
+  Autoscaler scaler(policy_config());
+  EXPECT_EQ(scaler.sample({0.0, 8, 2, 1}), Autoscaler::Decision::kHold);
+  EXPECT_EQ(scaler.sample({10.0, 8, 2, 1}), Autoscaler::Decision::kScaleOut);
+  // Pressure persists but the cooldown (100 us) gates further decisions...
+  EXPECT_EQ(scaler.sample({20.0, 8, 2, 2}), Autoscaler::Decision::kHold);
+  EXPECT_EQ(scaler.sample({60.0, 8, 2, 2}), Autoscaler::Decision::kHold);
+  // ...until it expires (streak kept building through the cooldown).
+  EXPECT_EQ(scaler.sample({110.0, 8, 2, 2}), Autoscaler::Decision::kScaleOut);
+  EXPECT_EQ(scaler.scale_out_decisions(), 2u);
+}
+
+TEST(AutoscalerPolicy, RespectsMinAndMaxBounds) {
+  Autoscaler scaler(policy_config());
+  // At max_nodes = 4 the out pressure never converts into a decision...
+  EXPECT_EQ(scaler.sample({0.0, 8, 4, 4}), Autoscaler::Decision::kHold);
+  EXPECT_EQ(scaler.sample({10.0, 8, 4, 4}), Autoscaler::Decision::kHold);
+  EXPECT_EQ(scaler.scale_out_decisions(), 0u);
+  // ...and an unconverted decision must NOT restamp the cooldown: genuine
+  // scale-in pressure right after still fires (the regression that
+  // originally pinned fleets at full scale).
+  EXPECT_EQ(scaler.sample({20.0, 0, 1, 4}), Autoscaler::Decision::kHold);
+  EXPECT_EQ(scaler.sample({30.0, 0, 1, 4}), Autoscaler::Decision::kScaleIn);
+  // At min_nodes = 1 the in pressure is ignored.
+  Autoscaler floor(policy_config());
+  EXPECT_EQ(floor.sample({0.0, 0, 0, 1}), Autoscaler::Decision::kHold);
+  EXPECT_EQ(floor.sample({10.0, 0, 0, 1}), Autoscaler::Decision::kHold);
+  EXPECT_EQ(floor.scale_in_decisions(), 0u);
+}
+
+TEST(AutoscalerPolicy, ScaleInNeedsIdleCapacityNotJustAnEmptyQueue) {
+  Autoscaler scaler(policy_config());
+  // Queue empty but every node busy (in_flight >= active): hold forever.
+  EXPECT_EQ(scaler.sample({0.0, 0, 3, 3}), Autoscaler::Decision::kHold);
+  EXPECT_EQ(scaler.sample({10.0, 0, 3, 3}), Autoscaler::Decision::kHold);
+  EXPECT_EQ(scaler.scale_in_decisions(), 0u);
+  // Idle capacity appears: two samples later the drain fires.
+  EXPECT_EQ(scaler.sample({20.0, 0, 1, 3}), Autoscaler::Decision::kHold);
+  EXPECT_EQ(scaler.sample({30.0, 0, 1, 3}), Autoscaler::Decision::kScaleIn);
+}
+
+TEST(AutoscalerPolicyDeathTest, RejectsOverlappingThresholds) {
+  AutoscalerConfig config = policy_config();
+  config.scale_in_queue = config.scale_out_queue;
+  EXPECT_DEATH(Autoscaler{config}, "scale_in_queue");
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level drains and joins.
+
+TEST(NodeDrain, MigratesHomeShardsWithByteConservation) {
+  const core::TaskGraph graph = wide_graph(24, 8);
+  sched::HfpScheduler scheduler;
+  sim::RuntimeEngine engine(graph, cluster_platform(4, 2), scheduler);
+  sim::InvariantChecker checker({.fail_fast = false});
+  RecordingInspector recorder;
+  engine.add_inspector(&checker);
+  engine.add_inspector(&recorder);
+
+  engine.event_queue().schedule_at(30.0,
+                                   [&engine] { engine.begin_node_drain(1); });
+  const core::RunMetrics metrics = engine.run();
+  EXPECT_TRUE(checker.ok()) << checker.report().error;
+  EXPECT_GT(metrics.makespan_us, 0.0);
+
+  // The drain retired node 1 and the survivors finished every task exactly
+  // once — zero lost progress, nothing reclaimed or rolled back.
+  EXPECT_EQ(engine.node_status(1), sim::RuntimeEngine::NodeStatus::kInactive);
+  EXPECT_EQ(engine.active_node_count(), 1u);
+  EXPECT_EQ(recorder.count(InspectorEventKind::kTaskEnd), graph.num_tasks());
+  EXPECT_EQ(recorder.count(InspectorEventKind::kTaskReclaimed), 0u);
+  EXPECT_EQ(recorder.count(InspectorEventKind::kTaskUnretired), 0u);
+  EXPECT_EQ(recorder.count(InspectorEventKind::kNodeDrainStart), 1u);
+  EXPECT_EQ(recorder.count(InspectorEventKind::kNodeDrained), 1u);
+
+  // Byte conservation: every migration that started also finished, with the
+  // same payload, and every migrated shard left the draining node (odd
+  // DataIds are homed on node 1 of a 2-node platform).
+  std::map<std::uint32_t, std::uint64_t> started;
+  std::uint64_t migrated_bytes = 0;
+  for (const InspectorEvent& event : recorder.events()) {
+    if (event.kind == InspectorEventKind::kDataMigrateStart) {
+      EXPECT_TRUE(started.emplace(event.id, event.bytes).second)
+          << "data " << event.id << " migrated twice";
+      EXPECT_EQ(event.id % 2, 1u) << "migrated a shard homed on a survivor";
+    } else if (event.kind == InspectorEventKind::kDataMigrated) {
+      const auto it = started.find(event.id);
+      ASSERT_NE(it, started.end()) << "migration finished without starting";
+      EXPECT_EQ(it->second, event.bytes) << "migration payload changed";
+      EXPECT_NE(event.aux, 1u) << "migrated onto the draining node";
+      migrated_bytes += event.bytes;
+      started.erase(it);
+    }
+  }
+  EXPECT_TRUE(started.empty()) << started.size() << " migration(s) in flight";
+  EXPECT_GT(migrated_bytes, 0u);
+}
+
+TEST(NodeDrain, DuringDependencyGatedRunDoesNotDeadlock) {
+  // Three independent 8-deep chains: at drain time most successors are
+  // still release-gated, so the drain must not strand a gated task on the
+  // retiring node.
+  core::TaskGraphBuilder builder;
+  for (int chain = 0; chain < 3; ++chain) {
+    const DataId d = builder.add_data(10);
+    TaskId prev = core::kInvalidTask;
+    for (int i = 0; i < 8; ++i) {
+      const TaskId task = builder.add_task(10.0, {d});
+      if (prev != core::kInvalidTask) builder.add_dependency(prev, task);
+      prev = task;
+    }
+  }
+  const core::TaskGraph graph = builder.build();
+
+  sched::HfpScheduler scheduler;
+  sim::RuntimeEngine engine(graph, cluster_platform(4, 2), scheduler);
+  sim::InvariantChecker checker({.fail_fast = false});
+  RecordingInspector recorder;
+  engine.add_inspector(&checker);
+  engine.add_inspector(&recorder);
+  engine.event_queue().schedule_at(25.0,
+                                   [&engine] { engine.begin_node_drain(1); });
+
+  EXPECT_NO_THROW(engine.run());
+  EXPECT_TRUE(checker.ok()) << checker.report().error;
+  EXPECT_EQ(recorder.count(InspectorEventKind::kTaskEnd), graph.num_tasks());
+  EXPECT_EQ(recorder.count(InspectorEventKind::kNodeDrained), 1u);
+}
+
+TEST(NodeDrain, DuringCheckpointedRunDoesNotDeadlock) {
+  const core::TaskGraph graph = wide_graph(16, 4, 50.0);
+  sched::HfpScheduler scheduler;
+  sim::EngineConfig config;
+  config.checkpoint_interval_us = 20.0;
+  sim::RuntimeEngine engine(graph, cluster_platform(4, 2), scheduler, config);
+  sim::InvariantChecker checker({.fail_fast = false});
+  RecordingInspector recorder;
+  engine.add_inspector(&checker);
+  engine.add_inspector(&recorder);
+  engine.event_queue().schedule_at(60.0,
+                                   [&engine] { engine.begin_node_drain(1); });
+
+  EXPECT_NO_THROW(engine.run());
+  EXPECT_TRUE(checker.ok()) << checker.report().error;
+  EXPECT_EQ(recorder.count(InspectorEventKind::kTaskEnd), graph.num_tasks());
+  EXPECT_EQ(recorder.count(InspectorEventKind::kNodeDrained), 1u);
+  // The checkpoint channel was actually exercised alongside the drain.
+  EXPECT_GT(recorder.count(InspectorEventKind::kCheckpoint), 0u);
+}
+
+TEST(NodeJoin, WarmFillsCompleteBeforeTheNodeServes) {
+  const core::TaskGraph graph = wide_graph(32, 8);
+  sched::HfpScheduler scheduler;
+  sim::EngineConfig config;
+  config.initial_active_nodes = 1;
+  const core::Platform platform = cluster_platform(4, 2);
+  sim::RuntimeEngine engine(graph, platform, scheduler, config);
+  sim::InvariantChecker checker({.fail_fast = false});
+  RecordingInspector recorder;
+  engine.add_inspector(&checker);
+  engine.add_inspector(&recorder);
+  engine.event_queue().schedule_at(40.0,
+                                   [&engine] { engine.begin_node_join(1); });
+
+  EXPECT_NO_THROW(engine.run());
+  EXPECT_TRUE(checker.ok()) << checker.report().error;
+  EXPECT_EQ(engine.node_status(1), sim::RuntimeEngine::NodeStatus::kActive);
+  EXPECT_EQ(engine.active_node_count(), 2u);
+  EXPECT_EQ(recorder.count(InspectorEventKind::kTaskEnd), graph.num_tasks());
+  EXPECT_EQ(recorder.count(InspectorEventKind::kNodeJoinStart), 1u);
+  EXPECT_EQ(recorder.count(InspectorEventKind::kNodeJoined), 1u);
+
+  // Warm-up gating: every warm fill lands before kNodeJoined, and no task
+  // computes on a node-1 GPU before the join completed.
+  double joined_at = -1.0;
+  for (const InspectorEvent& event : recorder.events()) {
+    if (event.kind == InspectorEventKind::kNodeJoined) joined_at = event.time_us;
+  }
+  ASSERT_GE(joined_at, 40.0);
+  for (const InspectorEvent& event : recorder.events()) {
+    if (event.kind == InspectorEventKind::kNodeWarmFill) {
+      EXPECT_LE(event.time_us, joined_at);
+    }
+    if (event.kind == InspectorEventKind::kTaskStart &&
+        platform.node_of(event.gpu) == 1) {
+      EXPECT_GE(event.time_us, joined_at)
+          << "task " << event.id << " ran on the warming node";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ServeEngine end to end.
+
+core::TaskGraph serve_template() {
+  // 6 tasks of 100 us: one job is ~300 us of work for a 2-GPU node, so a
+  // 5000 jobs/s arrival stream (200 us spacing) overloads one node but not
+  // two — the gap the scale-out closes.
+  core::TaskGraphBuilder builder;
+  std::vector<DataId> data;
+  for (int i = 0; i < 4; ++i) data.push_back(builder.add_data(10));
+  for (int t = 0; t < 6; ++t) {
+    builder.add_task(100.0, {data[t % 4], data[(t + 1) % 4]});
+  }
+  return builder.build();
+}
+
+TEST(ServeAutoscale, ScaleOutEndToEndShedsLessThanFixedSmall) {
+  const std::vector<core::TaskGraph> templates = {serve_template()};
+  std::vector<serve::JobSpec> jobs(60);
+  for (serve::JobSpec& job : jobs) job.deadline_us = 5000.0;
+  const core::Platform platform = cluster_platform(4, 2);
+
+  const auto run = [&](bool autoscale) {
+    serve::ServeConfig config;
+    config.arrival.mode = serve::ArrivalMode::kPoisson;
+    config.arrival.rate_jobs_per_s = 5000.0;
+    config.arrival.seed = 7;
+    config.admission.max_jobs_in_flight = 2;
+    config.admission.max_queue_depth = 2;
+    config.engine.initial_active_nodes = 1;
+    if (autoscale) {
+      config.autoscale.enabled = true;
+      config.autoscale.scale_out_queue = 2;
+      config.autoscale.check_interval_us = 20.0;
+      config.autoscale.cooldown_us = 100.0;
+      config.autoscale.hysteresis_checks = 1;
+    }
+    sched::HfpScheduler scheduler;
+    serve::ServeEngine engine(templates, jobs, platform, scheduler, config);
+    sim::InvariantChecker checker({.fail_fast = false});
+    sim::RunReportCollector collector(
+        {.context = "test", .collect_trace = false});
+    engine.add_inspector(&checker);
+    engine.add_inspector(&collector);
+    serve::ServeResult result = engine.run();
+    EXPECT_TRUE(checker.ok()) << checker.report().error;
+    return std::pair(result, collector.report().autoscaling);
+  };
+
+  const auto [fixed, fixed_scaling] = run(false);
+  const auto [scaled, scaled_scaling] = run(true);
+
+  EXPECT_EQ(fixed.scale_out_events, 0u);
+  EXPECT_EQ(fixed_scaling.nodes_joined, 0u);
+  EXPECT_GE(scaled.scale_out_events, 1u);
+  EXPECT_GE(scaled_scaling.nodes_joined, 1u);
+  EXPECT_GT(scaled_scaling.warm_fills, 0u);
+  // The grown fleet absorbs load the fixed-small one had to shed.
+  EXPECT_LT(scaled.serving.jobs_shed, fixed.serving.jobs_shed);
+}
+
+TEST(ServeAutoscale, DisabledIsByteIdenticalWithZeroedSection) {
+  const std::vector<core::TaskGraph> templates = {serve_template()};
+  std::vector<serve::JobSpec> jobs(10);
+  for (serve::JobSpec& job : jobs) job.deadline_us = 2000.0;
+  const core::Platform platform = cluster_platform(4, 2);
+
+  const auto report_json = [&](const serve::ServeConfig& config) {
+    sched::HfpScheduler scheduler;
+    serve::ServeEngine engine(templates, jobs, platform, scheduler, config);
+    sim::RunReportCollector collector(
+        {.context = "identity", .collect_trace = false});
+    engine.add_inspector(&collector);
+    serve::ServeResult result = engine.run();
+    sim::RunReport report = collector.report();
+    report.serving = result.serving;
+    report.autoscaling.scale_out_events = result.scale_out_events;
+    report.autoscaling.scale_in_events = result.scale_in_events;
+    return run_report_to_json(report);
+  };
+
+  serve::ServeConfig plain;
+  plain.arrival.mode = serve::ArrivalMode::kPoisson;
+  plain.arrival.rate_jobs_per_s = 5000.0;
+  plain.arrival.seed = 3;
+
+  // A config that never mentions the autoscaler and one that spells out
+  // enabled = false with exotic knobs produce byte-identical reports: the
+  // disabled policy leaves no trace in the run.
+  serve::ServeConfig spelled = plain;
+  spelled.autoscale.enabled = false;
+  spelled.autoscale.scale_out_queue = 17;
+  spelled.autoscale.check_interval_us = 1.0;
+
+  const std::string a = report_json(plain);
+  const std::string b = report_json(spelled);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"autoscaling\":{\"enabled\":false"), std::string::npos);
+  EXPECT_NE(a.find("\"scale_out_events\":0"), std::string::npos);
+  EXPECT_EQ(sim::RunReport::kSchemaVersion, 7);
+}
+
+// ---------------------------------------------------------------------------
+// Node-loss fault plans (the unplanned twin of a drain).
+
+TEST(NodeLossPlan, ParsesRoundTripsAndValidates) {
+  const std::string json = R"({
+    "schema_version": 2,
+    "seed": 9,
+    "node_losses": [{"time_us": 50.0, "node": 1}]
+  })";
+  std::string error;
+  const auto plan = sim::parse_fault_plan(json, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  ASSERT_EQ(plan->node_losses.size(), 1u);
+  EXPECT_EQ(plan->node_losses[0].node, 1u);
+  EXPECT_DOUBLE_EQ(plan->node_losses[0].time_us, 50.0);
+
+  // Round-trip through the serializer.
+  const auto again = sim::parse_fault_plan(sim::fault_plan_to_json(*plan));
+  ASSERT_TRUE(again.has_value());
+  ASSERT_EQ(again->node_losses.size(), 1u);
+  EXPECT_EQ(again->node_losses[0].node, 1u);
+
+  // Validation: single-node platforms reject node plans; ids must be in
+  // range and unique; at least one node must survive.
+  EXPECT_NE(plan->validate(4, 1).find("multi-node"), std::string::npos);
+  EXPECT_TRUE(plan->validate(4, 2).empty()) << plan->validate(4, 2);
+  sim::FaultPlan out_of_range = *plan;
+  out_of_range.node_losses[0].node = 5;
+  EXPECT_NE(out_of_range.validate(4, 2).find("out of range"),
+            std::string::npos);
+  sim::FaultPlan duplicate = *plan;
+  duplicate.node_losses.push_back({60.0, 1});
+  EXPECT_NE(duplicate.validate(4, 2).find("twice"), std::string::npos);
+}
+
+TEST(NodeLossPlan, SyntaxErrorNamesTheLine) {
+  std::string error;
+  const auto plan =
+      sim::parse_fault_plan("{\n  \"node_losses\": [{\"node\": }]\n}", &error);
+  EXPECT_FALSE(plan.has_value());
+  EXPECT_NE(error.find("line"), std::string::npos) << error;
+}
+
+TEST(NodeLoss, RecoveryPassCompletesTheRun) {
+  const core::TaskGraph graph = wide_graph(24, 8);
+  sched::HfpScheduler scheduler;
+  sim::FaultPlan plan;
+  plan.node_losses.push_back({40.0, 1});
+  sim::FaultInjector injector(plan);
+  sim::RuntimeEngine engine(graph, cluster_platform(4, 2), scheduler);
+  engine.set_fault_injector(&injector);
+  sim::InvariantChecker checker({.fail_fast = false});
+  RecordingInspector recorder;
+  engine.add_inspector(&checker);
+  engine.add_inspector(&recorder);
+
+  sim::RunReportCollector collector(
+      {.context = "node-loss", .collect_trace = false});
+  engine.add_inspector(&collector);
+  EXPECT_NO_THROW(engine.run());
+  EXPECT_TRUE(checker.ok()) << checker.report().error;
+  EXPECT_EQ(engine.node_status(1), sim::RuntimeEngine::NodeStatus::kLost);
+  EXPECT_EQ(recorder.count(InspectorEventKind::kNodeLost), 1u);
+  EXPECT_EQ(collector.report().autoscaling.node_losses, 1u);
+  // Every task still completed (re-runs allowed, loss is not a drain).
+  EXPECT_GE(recorder.count(InspectorEventKind::kTaskEnd), graph.num_tasks());
+}
+
+}  // namespace
+}  // namespace mg
