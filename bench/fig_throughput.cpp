@@ -80,7 +80,14 @@ int main(int argc, char** argv) {
                    "ablation: give every job private data (no cross-job "
                    "reuse possible)")
       .define_bool("check", false,
-                   "run the online InvariantChecker over every streamed run");
+                   "run the online InvariantChecker over every streamed run")
+      .define_double("occupancy-threshold", 0.0,
+                     "GPU-sharing admission threshold (fraction of the warp "
+                     "budget; 0 = exclusive ownership, byte-identical "
+                     "legacy behaviour)")
+      .define_int("occupancy-warps", 0,
+                  "explicit warp footprint per job task (0 = derive from "
+                  "the matmul tile geometry)");
   serve::add_autoscale_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
 
@@ -100,14 +107,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const double occupancy_threshold = flags.get_double("occupancy-threshold");
   std::vector<core::TaskGraph> templates;
   templates.push_back(work::make_matmul_2d(
-      {.n = static_cast<std::uint32_t>(flags.get_int("n"))}));
+      {.n = static_cast<std::uint32_t>(flags.get_int("n")),
+       .derive_warps = occupancy_threshold > 0.0}));
   const std::uint32_t num_jobs =
       static_cast<std::uint32_t>(flags.get_int("num-jobs"));
   std::vector<serve::JobSpec> jobs(num_jobs);
   for (serve::JobSpec& job : jobs) {
     job.deadline_us = flags.get_double("deadline-ms") * 1e3;
+    job.warps = static_cast<std::uint32_t>(flags.get_int("occupancy-warps"));
   }
 
   struct Spec {
@@ -124,7 +134,8 @@ int main(int argc, char** argv) {
   util::CsvWriter csv(
       {"rate_jobs_per_s", "scheduler", "throughput_jobs_per_s", "p50_ms",
        "p95_ms", "p99_ms", "deadline_miss_rate", "jobs_shed", "loads",
-       "transfers_mb", "reuse_mb", "peak_in_flight"},
+       "transfers_mb", "reuse_mb", "peak_in_flight", "mean_occupancy",
+       "peak_warps", "co_run_pairs", "occ_rejections"},
       config.output_path);
   csv.comment("fig_throughput: " + std::string(config.title));
   char line[160];
@@ -154,6 +165,7 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(flags.get_int("max-queue"));
       serve_config.share_data = !flags.get_bool("no-share");
       serve_config.engine.seed = config.seed;
+      serve_config.engine.occupancy_threshold = occupancy_threshold;
       serve_config.autoscale = serve::autoscale_from_flags(flags);
       serve_config.engine.initial_active_nodes =
           serve::autoscale_initial_nodes(flags);
@@ -173,7 +185,9 @@ int main(int argc, char** argv) {
       sim::InvariantChecker checker;
       if (flags.get_bool("check")) engine.add_inspector(&checker);
       std::unique_ptr<sim::RunReportCollector> collector;
-      if (!config.run_report_path.empty()) {
+      // The occupancy columns need the collector even when no run report is
+      // written to disk.
+      if (!config.run_report_path.empty() || occupancy_threshold > 0.0) {
         sim::RunReportCollector::Options options;
         char context[96];
         std::snprintf(context, sizeof context, "fig_throughput rate=%g",
@@ -193,12 +207,25 @@ int main(int argc, char** argv) {
                                      util::format_double(rate),
                                  error);
       }
+      sim::RunReport::Occupancy occupancy;
       if (collector != nullptr) {
         sim::RunReport report = collector->report();
         report.serving = result.serving;
         report.autoscaling.scale_out_events = result.scale_out_events;
         report.autoscaling.scale_in_events = result.scale_in_events;
-        reports.push_back(std::move(report));
+        occupancy = report.occupancy;
+        if (!config.run_report_path.empty()) {
+          reports.push_back(std::move(report));
+        }
+      }
+      double mean_occupancy = 0.0;
+      std::uint32_t peak_warps = 0;
+      for (const sim::RunReport::Occupancy::Gpu& g : occupancy.per_gpu) {
+        mean_occupancy += g.mean_occupancy;
+        peak_warps = std::max(peak_warps, g.peak_warps);
+      }
+      if (!occupancy.per_gpu.empty()) {
+        mean_occupancy /= static_cast<double>(occupancy.per_gpu.size());
       }
 
       const sim::RunReport::Serving& serving = result.serving;
@@ -209,7 +236,10 @@ int main(int argc, char** argv) {
                static_cast<std::int64_t>(result.metrics.total_loads()),
                result.metrics.transfers_mb(),
                static_cast<double>(serving.cross_job_reuse_bytes) / 1e6,
-               static_cast<std::int64_t>(serving.peak_jobs_in_flight)});
+               static_cast<std::int64_t>(serving.peak_jobs_in_flight),
+               mean_occupancy, static_cast<std::int64_t>(peak_warps),
+               static_cast<std::int64_t>(occupancy.co_run_pairs),
+               static_cast<std::int64_t>(occupancy.rejections)});
     }
   }
 

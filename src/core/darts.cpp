@@ -119,7 +119,17 @@ void DartsScheduler::prepare(const TaskGraph& graph, const Platform& platform,
       }
     }
   }
+  occ_hinted_ = false;
+  occ_active_warps_.assign(platform.num_gpus, 0);
+  occ_free_warps_.assign(platform.num_gpus, 0);
   use_clock_ = 0;
+}
+
+void DartsScheduler::notify_occupancy(GpuId gpu, std::uint32_t active_warps,
+                                      std::uint32_t free_warps) {
+  occ_hinted_ = true;
+  occ_active_warps_[gpu] = active_warps;
+  occ_free_warps_[gpu] = free_warps;
 }
 
 void DartsScheduler::notify_job_arrived(std::uint32_t job,
@@ -456,6 +466,24 @@ TaskId DartsScheduler::plan_and_pop(GpuId gpu, const MemoryView& memory,
 TaskId DartsScheduler::pop_planned(GpuId gpu) {
   PerGpu& gpu_state = per_gpu_[gpu];
   MG_DCHECK(!gpu_state.planned.empty());
+  // Sharing mode, GPU partially busy: prefer a planned task that fits the
+  // free warps so it co-runs instead of blocking at admission. The plan's
+  // data locality is preserved — only the pop order within the front of the
+  // planned deque shifts.
+  if (occ_hinted_ && occ_active_warps_[gpu] > 0) {
+    const std::uint32_t free = occ_free_warps_[gpu];
+    const std::size_t window = std::min<std::size_t>(8, gpu_state.planned.size());
+    for (std::size_t i = 0; i < window; ++i) {
+      const TaskId candidate = gpu_state.planned[i];
+      const std::uint32_t warps = graph_->task_warps(candidate);
+      if (warps != 0 && warps <= free) {
+        gpu_state.planned.erase(gpu_state.planned.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+        mark_buffered(gpu, candidate);
+        return candidate;
+      }
+    }
+  }
   const TaskId task = gpu_state.planned.front();
   gpu_state.planned.pop_front();
   mark_buffered(gpu, task);

@@ -109,6 +109,11 @@ class DartsScheduler final : public Scheduler, public EvictionPolicy {
   }
   void notify_task_retired(TaskId task,
                            std::span<const TaskId> enabled_successors) override;
+  /// Occupancy hint (GPU sharing): pop_planned then prefers, near the front
+  /// of the planned deque, a task whose warp footprint fits the remaining
+  /// budget of a partially-busy GPU.
+  void notify_occupancy(GpuId gpu, std::uint32_t active_warps,
+                        std::uint32_t free_warps) override;
   [[nodiscard]] EvictionPolicy* eviction_policy(GpuId gpu) override {
     (void)gpu;
     return options_.use_luf ? this : nullptr;
@@ -250,6 +255,12 @@ class DartsScheduler final : public Scheduler, public EvictionPolicy {
   std::vector<std::uint32_t> available_pos_; ///< task -> index, or npos
   std::vector<PerGpu> per_gpu_;
   std::uint64_t use_clock_ = 0;
+
+  /// Occupancy-sharing hints (armed by the first notify_occupancy; sharing
+  /// off leaves pop order untouched).
+  bool occ_hinted_ = false;
+  std::vector<std::uint32_t> occ_active_warps_;
+  std::vector<std::uint32_t> occ_free_warps_;
 
   // Scratch buffers reused across pops to avoid per-call allocation.
   std::vector<DataId> candidates_;

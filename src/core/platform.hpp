@@ -73,6 +73,14 @@ struct Platform {
   /// Fixed per-transfer latency on a peer link, microseconds.
   double nvlink_latency_us = 5.0;
 
+  /// Streaming multiprocessors per GPU and resident warps per SM. The
+  /// defaults are the Tesla V100 entry of the BEMPS GPU tables (80 SMs x
+  /// 64 warps), matching the paper's testbed; together they bound the warp
+  /// budget occupancy-aware co-scheduling admits against. Existing configs
+  /// never read these unless sharing is enabled.
+  std::uint32_t sm_count = 80;
+  std::uint32_t warps_per_sm = 64;
+
   /// Single source of truth for the serial-link cost model: a transfer of
   /// `bytes` over a link of `bandwidth_bytes_per_s` pays `latency_us` of
   /// fixed setup plus the bandwidth term. Every link in the system — host
@@ -108,6 +116,11 @@ struct Platform {
   /// destination GPU.
   [[nodiscard]] double internode_transfer_time_us(std::uint64_t bytes) const {
     return 2.0 * transfer_time_us(bytes) + net_transfer_time_us(bytes);
+  }
+
+  /// Warp budget of one GPU — the denominator of the occupancy threshold.
+  [[nodiscard]] std::uint32_t total_warps() const {
+    return sm_count * warps_per_sm;
   }
 
   /// True when the platform spans more than one node.

@@ -107,6 +107,19 @@ class Scheduler {
     (void)gpu;
     (void)task;
   }
+
+  /// Occupancy-aware GPU sharing: the warp load of `gpu` changed (a task was
+  /// admitted onto or finished on it). `active_warps` is the load after the
+  /// change and `free_warps` the remaining budget under the admission
+  /// threshold, so a packing-aware scheduler can prefer small tasks for
+  /// partially-busy GPUs. Only invoked while sharing is enabled
+  /// (EngineConfig::occupancy_threshold > 0); exclusive runs never see it.
+  virtual void notify_occupancy(GpuId gpu, std::uint32_t active_warps,
+                                std::uint32_t free_warps) {
+    (void)gpu;
+    (void)active_warps;
+    (void)free_warps;
+  }
   virtual void notify_data_loaded(GpuId gpu, DataId data) {
     (void)gpu;
     (void)data;

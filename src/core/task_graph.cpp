@@ -56,6 +56,7 @@ TaskId TaskGraphBuilder::add_task(double flops, std::span<const DataId> inputs,
   task_offsets_.push_back(static_cast<std::uint32_t>(task_inputs_.size()));
   task_flops_.push_back(flops);
   task_outputs_.push_back(0);
+  task_warps_.push_back(0);
   task_labels_.push_back(std::move(label));
   return static_cast<TaskId>(task_flops_.size() - 1);
 }
@@ -63,6 +64,11 @@ TaskId TaskGraphBuilder::add_task(double flops, std::span<const DataId> inputs,
 void TaskGraphBuilder::set_task_output(TaskId task, std::uint64_t bytes) {
   MG_CHECK_MSG(task < task_flops_.size(), "unknown task");
   task_outputs_[task] = bytes;
+}
+
+void TaskGraphBuilder::set_task_warps(TaskId task, std::uint32_t warps) {
+  MG_CHECK_MSG(task < task_flops_.size(), "unknown task");
+  task_warps_[task] = warps;
 }
 
 void TaskGraphBuilder::add_dependency(TaskId pred, TaskId succ) {
@@ -102,6 +108,12 @@ TaskGraph TaskGraphBuilder::build() const {
   if (std::any_of(task_outputs_.begin(), task_outputs_.end(),
                   [](std::uint64_t bytes) { return bytes > 0; })) {
     graph.task_outputs_ = task_outputs_;
+  }
+  // Same treatment for warp footprints: stored only when some task declares
+  // one, so exclusive-model graphs carry no occupancy state at all.
+  if (std::any_of(task_warps_.begin(), task_warps_.end(),
+                  [](std::uint32_t warps) { return warps > 0; })) {
+    graph.task_warps_ = task_warps_;
   }
 
   // Drop labels entirely when none were provided, to keep big graphs lean.
@@ -314,6 +326,7 @@ void TaskGraphBuilder::clear() {
   data_sizes_.clear();
   task_flops_.clear();
   task_outputs_.clear();
+  task_warps_.clear();
   task_labels_.clear();
   data_labels_.clear();
   explicit_edges_.clear();

@@ -88,6 +88,17 @@ class TaskGraph {
   /// True if any task declares output bytes.
   [[nodiscard]] bool has_outputs() const { return !task_outputs_.empty(); }
 
+  /// Warp footprint of a task — the resident warps its kernel occupies while
+  /// running (occupancy-aware GPU sharing). 0 = unspecified: the task claims
+  /// the whole device, which is exactly the paper's exclusive-ownership
+  /// model.
+  [[nodiscard]] std::uint32_t task_warps(TaskId task) const {
+    return task_warps_.empty() ? 0 : task_warps_[task];
+  }
+
+  /// True if any task declares a warp footprint.
+  [[nodiscard]] bool has_warps() const { return !task_warps_.empty(); }
+
   /// Total bytes of the inputs of `task` (duplicates impossible: builder
   /// rejects repeated inputs).
   [[nodiscard]] std::uint64_t input_bytes(TaskId task) const;
@@ -185,6 +196,7 @@ class TaskGraph {
   std::vector<std::uint64_t> data_sizes_;     // bytes
   std::vector<double> task_flops_;
   std::vector<std::uint64_t> task_outputs_;   // empty when no outputs
+  std::vector<std::uint32_t> task_warps_;     // empty when no warp footprints
   std::vector<std::string> task_labels_;      // may be empty (no labels)
   std::vector<std::string> data_labels_;
   double total_flops_ = 0.0;
@@ -220,6 +232,11 @@ class TaskGraphBuilder {
   /// (held in GPU memory from start until write-back completes).
   void set_task_output(TaskId task, std::uint64_t bytes);
 
+  /// Declares the task's warp footprint for occupancy-aware GPU sharing.
+  /// 0 (the default for every task) means "whole device" — exclusive
+  /// ownership, the paper's model.
+  void set_task_warps(TaskId task, std::uint32_t warps);
+
   /// Declares an explicit dependency: `succ` may not start before `pred`
   /// retires. Both tasks must already be added; self-edges are rejected and
   /// the final edge set must be acyclic (checked at build).
@@ -251,6 +268,7 @@ class TaskGraphBuilder {
   std::vector<std::uint64_t> data_sizes_;
   std::vector<double> task_flops_;
   std::vector<std::uint64_t> task_outputs_;
+  std::vector<std::uint32_t> task_warps_;
   std::vector<std::string> task_labels_;
   std::vector<std::string> data_labels_;
   std::vector<std::pair<TaskId, TaskId>> explicit_edges_;

@@ -1,0 +1,104 @@
+#include "occupancy/governor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mg::occupancy {
+
+OccupancyGovernor::OccupancyGovernor(std::uint32_t num_gpus,
+                                     std::uint32_t total_warps,
+                                     double threshold)
+    : total_warps_(total_warps), threshold_(threshold) {
+  MG_CHECK_MSG(num_gpus > 0, "occupancy governor needs at least one GPU");
+  MG_CHECK_MSG(total_warps > 0, "GPU warp budget must be positive");
+  MG_CHECK_MSG(threshold > 0.0, "occupancy threshold must be positive");
+  // The admission rule is strict — active + new < threshold * total — so the
+  // budget (the largest admissible load, what free_warps counts down from)
+  // sits one warp below an integral limit.
+  const double limit = threshold * static_cast<double>(total_warps);
+  double floor = std::floor(limit);
+  if (floor == limit) floor -= 1.0;
+  budget_warps_ = static_cast<std::uint32_t>(std::max(floor, 0.0));
+  gpus_.assign(num_gpus, GpuLoad{});
+}
+
+std::uint32_t OccupancyGovernor::clamp_warps(std::uint32_t task_warps) const {
+  if (task_warps == 0) return total_warps_;  // unspecified = whole device
+  return std::min(task_warps, total_warps_);
+}
+
+void OccupancyGovernor::accrue(GpuLoad& gpu, double now_us) {
+  if (now_us > gpu.last_change_us) {
+    gpu.occupancy_integral += static_cast<double>(gpu.active_warps) *
+                              (now_us - gpu.last_change_us);
+    gpu.last_change_us = now_us;
+  }
+}
+
+bool OccupancyGovernor::try_admit(core::GpuId gpu, std::uint32_t task_warps,
+                                  double now_us) {
+  GpuLoad& load = gpus_[gpu];
+  const std::uint32_t warps = clamp_warps(task_warps);
+  // An idle GPU always admits: forward progress (a whole-device task, or a
+  // threshold below any single footprint) must not depend on the knob.
+  if (load.running_tasks != 0 &&
+      static_cast<double>(load.active_warps) + static_cast<double>(warps) >=
+          threshold_ * static_cast<double>(total_warps_)) {
+    ++rejections_;
+    return false;
+  }
+  accrue(load, now_us);
+  co_run_pairs_ += load.running_tasks;  // one new pair per co-runner
+  load.active_warps += warps;
+  ++load.running_tasks;
+  load.peak_warps = std::max(load.peak_warps, load.active_warps);
+  ++admissions_;
+  return true;
+}
+
+void OccupancyGovernor::release(core::GpuId gpu, std::uint32_t task_warps,
+                                double now_us) {
+  GpuLoad& load = gpus_[gpu];
+  const std::uint32_t warps = clamp_warps(task_warps);
+  MG_DCHECK(load.running_tasks > 0);
+  MG_DCHECK(load.active_warps >= warps);
+  accrue(load, now_us);
+  load.active_warps -= warps;
+  --load.running_tasks;
+}
+
+void OccupancyGovernor::reset_gpu(core::GpuId gpu, double now_us) {
+  GpuLoad& load = gpus_[gpu];
+  accrue(load, now_us);
+  load.active_warps = 0;
+  load.running_tasks = 0;
+}
+
+std::uint32_t OccupancyGovernor::free_warps(core::GpuId gpu) const {
+  const std::uint32_t active = gpus_[gpu].active_warps;
+  return active >= budget_warps_ ? 0 : budget_warps_ - active;
+}
+
+OccupancyGovernor::Stats OccupancyGovernor::finalize(double makespan_us) {
+  Stats stats;
+  stats.per_gpu.reserve(gpus_.size());
+  for (GpuLoad& load : gpus_) {
+    accrue(load, makespan_us);
+    GpuStats gpu;
+    gpu.peak_warps = load.peak_warps;
+    gpu.mean_occupancy =
+        makespan_us > 0.0
+            ? load.occupancy_integral /
+                  (makespan_us * static_cast<double>(total_warps_))
+            : 0.0;
+    stats.per_gpu.push_back(gpu);
+  }
+  stats.co_run_pairs = co_run_pairs_;
+  stats.admissions = admissions_;
+  stats.rejections = rejections_;
+  return stats;
+}
+
+}  // namespace mg::occupancy

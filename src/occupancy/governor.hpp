@@ -1,0 +1,107 @@
+// Occupancy governor — the admission-control half of GPU sharing.
+//
+// CASE/BEMPS-style occupancy scheduling: each GPU has a warp budget
+// (Platform::total_warps, SMs x resident warps per SM) and a task is
+// admitted onto a GPU only while
+//
+//     active_warps + task_warps < threshold * total_warps
+//
+// holds. A task with no declared footprint (task_warps == 0) claims the
+// whole device — the paper's exclusive-ownership model — so mixed graphs
+// degrade gracefully. An idle GPU always admits its first task regardless
+// of footprint: forward progress must never depend on the threshold.
+//
+// The governor owns per-GPU warp accounting and the occupancy statistics
+// the schema-v8 run-report section publishes (peak and time-weighted mean
+// occupancy, co-run pairs, admission rejections). The contention slowdown
+// applied to co-running kernels lives in sim::RuntimeEngine — the governor
+// decides *whether* a kernel may start, the engine decides *how fast* the
+// sharing set runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace mg::occupancy {
+
+class OccupancyGovernor {
+ public:
+  /// `threshold` > 0 (0 would be exclusive mode — callers gate on that
+  /// before constructing a governor). Values at or below 1.0 forbid warp
+  /// oversubscription entirely; above 1.0 co-running kernels may exceed the
+  /// device budget and pay the engine's contention slowdown.
+  OccupancyGovernor(std::uint32_t num_gpus, std::uint32_t total_warps,
+                    double threshold);
+
+  /// A task footprint as the governor accounts it: 0 (unspecified) claims
+  /// the whole device, anything larger is clamped to the device budget.
+  [[nodiscard]] std::uint32_t clamp_warps(std::uint32_t task_warps) const;
+
+  /// Admits `task_warps` (pre-clamp footprint) onto `gpu` when the
+  /// threshold holds — or unconditionally when the GPU is idle. On success
+  /// the warp load and co-run statistics update; on failure the rejection
+  /// is counted. `now_us` timestamps the time-weighted occupancy integral.
+  [[nodiscard]] bool try_admit(core::GpuId gpu, std::uint32_t task_warps,
+                               double now_us);
+
+  /// Releases a previously admitted footprint (task finished).
+  void release(core::GpuId gpu, std::uint32_t task_warps, double now_us);
+
+  /// Drops every admission on `gpu` (GPU/node loss — the running set died).
+  void reset_gpu(core::GpuId gpu, double now_us);
+
+  [[nodiscard]] std::uint32_t active_warps(core::GpuId gpu) const {
+    return gpus_[gpu].active_warps;
+  }
+  [[nodiscard]] std::uint32_t running_tasks(core::GpuId gpu) const {
+    return gpus_[gpu].running_tasks;
+  }
+
+  /// Remaining admissible warps under the threshold (saturating at 0).
+  [[nodiscard]] std::uint32_t free_warps(core::GpuId gpu) const;
+
+  /// The admission ceiling in warps: largest load the threshold admits.
+  [[nodiscard]] std::uint32_t budget_warps() const { return budget_warps_; }
+  [[nodiscard]] std::uint32_t total_warps() const { return total_warps_; }
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+  // ---- Run statistics (schema-v8 `occupancy` report section) ---------------
+
+  struct GpuStats {
+    std::uint32_t peak_warps = 0;     ///< high-water active-warp mark
+    double mean_occupancy = 0.0;      ///< time-weighted active/total in [0,..]
+  };
+  struct Stats {
+    std::vector<GpuStats> per_gpu;
+    std::uint64_t co_run_pairs = 0;   ///< concurrent (running, admitted) pairs
+    std::uint64_t admissions = 0;
+    std::uint64_t rejections = 0;
+  };
+
+  /// Closes the occupancy integrals at `makespan_us` and returns the run's
+  /// statistics. Call once, after the simulation ends.
+  [[nodiscard]] Stats finalize(double makespan_us);
+
+ private:
+  struct GpuLoad {
+    std::uint32_t active_warps = 0;
+    std::uint32_t running_tasks = 0;
+    std::uint32_t peak_warps = 0;
+    double occupancy_integral = 0.0;  ///< sum of active_warps * dt
+    double last_change_us = 0.0;
+  };
+
+  void accrue(GpuLoad& gpu, double now_us);
+
+  std::uint32_t total_warps_;
+  std::uint32_t budget_warps_;
+  double threshold_;
+  std::vector<GpuLoad> gpus_;
+  std::uint64_t co_run_pairs_ = 0;
+  std::uint64_t admissions_ = 0;
+  std::uint64_t rejections_ = 0;
+};
+
+}  // namespace mg::occupancy

@@ -1,0 +1,41 @@
+// BEMPS-style GPU occupancy tables: streaming-multiprocessor counts and
+// resident warps per SM for the devices the co-scheduling literature
+// benchmarks against. core::Platform defaults to the V100 entry (the
+// paper's testbed); the table exists so configs can switch the warp budget
+// to another device by name without hand-copying datasheet numbers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mg::occupancy {
+
+struct GpuSpec {
+  std::string_view name;
+  std::uint32_t sm_count = 0;
+  std::uint32_t warps_per_sm = 0;
+
+  [[nodiscard]] constexpr std::uint32_t total_warps() const {
+    return sm_count * warps_per_sm;
+  }
+};
+
+/// Known devices, V100 first (the default). Warps-per-SM is the maximum
+/// resident-warp occupancy of the architecture, not the issue width.
+inline constexpr GpuSpec kGpuSpecs[] = {
+    {"v100", 80, 64},   // Volta: the paper's testbed — 5120 warps
+    {"a100", 108, 64},  // Ampere datacenter
+    {"p100", 56, 64},   // Pascal
+    {"k80", 13, 64},    // Kepler (one GK210 die)
+    {"rtx3090", 82, 48},  // Ampere consumer: 48 resident warps/SM
+};
+
+/// Case-sensitive lookup; nullptr when the device is unknown.
+[[nodiscard]] constexpr const GpuSpec* find_gpu_spec(std::string_view name) {
+  for (const GpuSpec& spec : kGpuSpecs) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace mg::occupancy

@@ -13,6 +13,9 @@ void DmdaScheduler::prepare(const core::TaskGraph& graph,
   const std::uint32_t num_gpus = platform.num_gpus;
   queues_.assign(num_gpus, {});
   dead_.assign(num_gpus, 0);
+  occ_hinted_ = false;
+  occ_active_warps_.assign(num_gpus, 0);
+  occ_free_warps_.assign(num_gpus, 0);
 
   // Predicted memory content and predicted finish time per GPU. In streaming
   // mode the model persists across arrivals; in batch mode it only lives for
@@ -143,10 +146,33 @@ bool DmdaScheduler::notify_gpu_lost(core::GpuId gpu,
   return true;
 }
 
+void DmdaScheduler::notify_occupancy(core::GpuId gpu,
+                                     std::uint32_t active_warps,
+                                     std::uint32_t free_warps) {
+  occ_hinted_ = true;
+  occ_active_warps_[gpu] = active_warps;
+  occ_free_warps_[gpu] = free_warps;
+}
+
 core::TaskId DmdaScheduler::pop_task(core::GpuId gpu,
                                      const core::MemoryView& memory) {
   std::deque<core::TaskId>& queue = queues_[gpu];
   if (queue.empty()) return core::kInvalidTask;
+  // Sharing mode, GPU partially busy: prefer a queued task that fits the
+  // free warps so it co-runs instead of blocking at admission.
+  if (occ_hinted_ && occ_active_warps_[gpu] > 0) {
+    const std::uint32_t free = occ_free_warps_[gpu];
+    const std::size_t window = std::min(queue.size(), ready_window_);
+    for (std::size_t i = 0; i < window; ++i) {
+      const core::TaskId task = queue[i];
+      if (deps_ && enabled_[task] == 0) continue;
+      const std::uint32_t warps = graph_->task_warps(task);
+      if (warps != 0 && warps <= free) {
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+        return task;
+      }
+    }
+  }
   if (!ready_) {
     if (deps_) return pop_first_enabled(queue, enabled_);
     const core::TaskId task = queue.front();

@@ -76,6 +76,12 @@ class DmdaScheduler : public core::Scheduler {
   [[nodiscard]] bool notify_gpu_lost(
       core::GpuId gpu, std::span<const core::TaskId> orphaned) override;
 
+  /// Occupancy hint (GPU sharing): pop_task then prefers, within the ready
+  /// window, a task whose warp footprint fits the remaining budget of a
+  /// partially-busy GPU.
+  void notify_occupancy(core::GpuId gpu, std::uint32_t active_warps,
+                        std::uint32_t free_warps) override;
+
   /// Algorithm 1 lines 7-9: the inputs of every task allocated to `gpu`,
   /// in first-need order (deduplicated).
   [[nodiscard]] std::vector<core::DataId> prefetch_hints(
@@ -109,6 +115,11 @@ class DmdaScheduler : public core::Scheduler {
   /// Push-phase model state, persistent across streaming arrivals.
   std::vector<std::vector<bool>> in_mem_;
   std::vector<double> finish_us_;
+  /// Occupancy-sharing hints (armed by the first notify_occupancy; sharing
+  /// off leaves pop order untouched).
+  bool occ_hinted_ = false;
+  std::vector<std::uint32_t> occ_active_warps_;
+  std::vector<std::uint32_t> occ_free_warps_;
 };
 
 }  // namespace mg::sched

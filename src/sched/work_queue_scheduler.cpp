@@ -15,6 +15,9 @@ void WorkQueueScheduler::prepare(const core::TaskGraph& graph,
   dead_.assign(platform.num_gpus, 0);
   inactive_.assign(platform.num_gpus, 0);
   unavailable_.assign(platform.num_gpus, 0);
+  occ_hinted_ = false;
+  occ_active_warps_.assign(platform.num_gpus, 0);
+  occ_free_warps_.assign(platform.num_gpus, 0);
   steal_events_ = 0;
   if (deps_) {
     enabled_.assign(graph.num_tasks(), 0);
@@ -76,6 +79,14 @@ void WorkQueueScheduler::notify_task_retired(
   }
 }
 
+void WorkQueueScheduler::notify_occupancy(core::GpuId gpu,
+                                          std::uint32_t active_warps,
+                                          std::uint32_t free_warps) {
+  occ_hinted_ = true;
+  occ_active_warps_[gpu] = active_warps;
+  occ_free_warps_[gpu] = free_warps;
+}
+
 void WorkQueueScheduler::notify_job_priority(std::uint32_t job,
                                              std::uint32_t priority) {
   if (job >= job_priority_.size()) job_priority_.resize(job + 1, 0);
@@ -109,6 +120,13 @@ core::TaskId WorkQueueScheduler::pop_task(core::GpuId gpu,
   std::deque<core::TaskId>& queue = queues_[gpu];
   if (queue.empty() && stealing_) steal(gpu);
   if (queue.empty()) return core::kInvalidTask;
+  // Sharing mode, GPU partially busy: prefer a task that fits the free
+  // warps so it co-runs instead of blocking at admission. Strict job
+  // priority outranks packing.
+  if (occ_hinted_ && !has_priorities_ && occ_active_warps_[gpu] > 0) {
+    const core::TaskId fit = pop_occupancy_fit(gpu);
+    if (fit != core::kInvalidTask) return fit;
+  }
   if (deps_) return pop_task_deps(gpu, memory);
   std::size_t window = ready_window_;
   if (has_priorities_) {
@@ -153,6 +171,23 @@ core::TaskId WorkQueueScheduler::pop_task_deps(core::GpuId gpu,
   for (core::TaskId task : queue) eligible_[task] = 0;
   if (popped != core::kInvalidTask) eligible_[popped] = 0;
   return popped;
+}
+
+core::TaskId WorkQueueScheduler::pop_occupancy_fit(core::GpuId gpu) {
+  std::deque<core::TaskId>& queue = queues_[gpu];
+  const std::uint32_t free = occ_free_warps_[gpu];
+  const std::size_t window = std::min(queue.size(), ready_window_);
+  for (std::size_t i = 0; i < window; ++i) {
+    const core::TaskId task = queue[i];
+    if (deps_ && enabled_[task] == 0) continue;
+    // A zero footprint means "whole device" — it never fits a busy GPU.
+    const std::uint32_t warps = graph_->task_warps(task);
+    if (warps != 0 && warps <= free) {
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+      return task;
+    }
+  }
+  return core::kInvalidTask;
 }
 
 std::size_t WorkQueueScheduler::promote_priority_front(

@@ -74,6 +74,13 @@ class WorkQueueScheduler : public core::Scheduler {
       core::TaskId task,
       std::span<const core::TaskId> enabled_successors) final;
 
+  /// Occupancy hint (GPU sharing): remembers each GPU's active/free warp
+  /// load. pop_task then prefers, within the ready window, a task whose
+  /// footprint fits the remaining budget of a partially-busy GPU — small
+  /// tasks pack alongside running work instead of stalling at admission.
+  void notify_occupancy(core::GpuId gpu, std::uint32_t active_warps,
+                        std::uint32_t free_warps) final;
+
   /// Streaming dispatch priority (serve::JobSpec::priority): tasks of a
   /// higher-priority job pop before any lower-priority task still queued on
   /// the same GPU. All-zero priorities (the default, and every batch run)
@@ -128,6 +135,10 @@ class WorkQueueScheduler : public core::Scheduler {
   [[nodiscard]] core::TaskId pop_task_deps(core::GpuId gpu,
                                            const core::MemoryView& memory);
 
+  /// Sharing-mode pop preference: first queued task (within the ready
+  /// window) whose warp footprint fits the GPU's free warps, or invalid.
+  [[nodiscard]] core::TaskId pop_occupancy_fit(core::GpuId gpu);
+
   /// Priority of a queued task (its job's announced priority, 0 otherwise).
   [[nodiscard]] std::uint32_t task_priority(core::TaskId task) const {
     return task < task_priority_.size() ? task_priority_[task] : 0;
@@ -165,6 +176,11 @@ class WorkQueueScheduler : public core::Scheduler {
   std::vector<std::uint8_t> enabled_;
   std::vector<std::uint8_t> placed_;
   std::vector<std::uint8_t> eligible_;
+  /// Occupancy-sharing hints (armed by the first notify_occupancy; sharing
+  /// off leaves pop order untouched).
+  bool occ_hinted_ = false;
+  std::vector<std::uint32_t> occ_active_warps_;
+  std::vector<std::uint32_t> occ_free_warps_;
 };
 
 }  // namespace mg::sched

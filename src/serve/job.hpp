@@ -27,6 +27,11 @@ struct JobSpec {
   /// work-queue family — dispatch a higher-priority job's tasks before
   /// lower-priority tasks queued on the same GPU.
   std::uint32_t priority = 0;
+
+  /// Explicit warp footprint for every task of this job (GPU sharing).
+  /// 0 inherits the template graph's per-task footprints; with neither
+  /// set, a task occupies the whole device under the occupancy governor.
+  std::uint32_t warps = 0;
 };
 
 }  // namespace mg::serve

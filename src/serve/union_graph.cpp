@@ -68,6 +68,9 @@ UnionGraph build_union_graph(std::span<const core::TaskGraph> templates,
         builder.set_task_output(id, tpl.task_output_bytes(task));
         max_scratch = std::max(max_scratch, tpl.task_output_bytes(task));
       }
+      const std::uint32_t warps =
+          jobs[job].warps != 0 ? jobs[job].warps : tpl.task_warps(task);
+      if (warps != 0) builder.set_task_warps(id, warps);
       out.task_job.push_back(job);
       out.job_tasks[job].push_back(id);
     }

@@ -433,6 +433,18 @@ core::RunMetrics RuntimeEngine::run() {
   if (checkpointing_enabled()) {
     checkpoint_progress_.assign(graph_.num_tasks(), 0.0);
   }
+  MG_CHECK_MSG(config_.occupancy_threshold >= 0.0,
+               "occupancy threshold must be >= 0");
+  if (config_.occupancy_threshold > 0.0) {
+    // Checkpoint boundaries are scheduled at absolute compute offsets under
+    // a constant rate; a sharing set's rate changes with every admission.
+    MG_CHECK_MSG(!checkpointing_enabled(),
+                 "checkpointing cannot be combined with GPU sharing");
+    occupancy_active_ = true;
+    governor_ = std::make_unique<occupancy::OccupancyGovernor>(
+        platform_.num_gpus, platform_.total_warps(),
+        config_.occupancy_threshold);
+  }
   if (faults_active && (!injector_->plan().gpu_losses.empty() ||
                         !injector_->plan().node_losses.empty())) {
     orphan_lost_at_us_.assign(graph_.num_tasks(), -1.0);
@@ -543,6 +555,15 @@ core::RunMetrics RuntimeEngine::run() {
         inspector->on_eviction_policy(gpu, policy_name);
       }
     }
+  }
+
+  if (occupancy_active_) {
+    // Announces the warp budget to the observability spine (the invariant
+    // checker arms its sharing rules on this event; the report collector
+    // opens its schema-v8 occupancy section).
+    publish(InspectorEventKind::kOccupancyConfig, 0, platform_.total_warps(),
+            governor_->budget_warps(), kNoChannel,
+            static_cast<std::uint32_t>(config_.occupancy_threshold * 1e6));
   }
 
   if (faults_active) {
@@ -720,8 +741,14 @@ void RuntimeEngine::begin_assembly(GpuId gpu) {
 void RuntimeEngine::try_start(GpuId gpu) {
   GpuState& state = gpus_[gpu];
   if (!state.alive || !state.active) return;
-  if (state.running != kInvalidTask || !state.assembly_active) return;
+  if (!state.assembly_active) return;
+  // Sharing off: the device is exclusive — one running task at a time.
+  // Sharing on: the governor decides below, once the head is ready.
+  if (!occupancy_active_ && state.running != kInvalidTask) return;
   const TaskId head = state.buffer.front();
+  if (occupancy_active_ && state.occ_blocked_head == head) {
+    return;  // rejected already; a warp release will retry
+  }
   if (deps_active_ && !dep_enabled_[head]) {
     // An un-retirement revoked the head's enablement while it sat in the
     // pipeline: stall until the predecessor's re-run retires (retire_task
@@ -754,6 +781,19 @@ void RuntimeEngine::try_start(GpuId gpu) {
                         [this, gpu] { try_start(gpu); });
     return;
   }
+  if (occupancy_active_) {
+    const std::uint32_t warps = governor_->clamp_warps(graph_.task_warps(head));
+    if (!governor_->try_admit(gpu, graph_.task_warps(head), events_.now())) {
+      state.occ_blocked_head = head;
+      publish(InspectorEventKind::kAdmissionRejected, gpu, head, warps,
+              kNoChannel, governor_->active_warps(gpu));
+      return;
+    }
+    publish(InspectorEventKind::kTaskAdmitted, gpu, head, warps, kNoChannel,
+            governor_->active_warps(gpu));
+    scheduler_.notify_occupancy(gpu, governor_->active_warps(gpu),
+                                governor_->free_warps(gpu));
+  }
   start_task(gpu, head);
 }
 
@@ -769,14 +809,30 @@ void RuntimeEngine::start_task(GpuId gpu, TaskId task) {
   state.assembly_pins.clear();
   for (DataId data : graph_.inputs(task)) state.memory->touch(data);
 
+  const double base_duration =
+      platform_.compute_time_us(graph_.task_flops(task), gpu);
+  if (occupancy_active_) {
+    // Join the sharing set: co-runners progress at the old rate up to now,
+    // then every member's finish is rescheduled under the new membership.
+    occ_accrue(gpu);
+    state.running_set.push_back(
+        {task, base_duration, governor_->clamp_warps(graph_.task_warps(task))});
+    publish(InspectorEventKind::kTaskStart, gpu, task);
+    if (config_.record_trace) {
+      trace_.events.push_back(
+          {events_.now(), TraceKind::kTaskStart, gpu, task});
+    }
+    occ_reschedule(gpu);
+    if (!state.buffer.empty()) begin_assembly(gpu);
+    fill_buffer(gpu);
+    return;
+  }
   state.running = task;
   publish(InspectorEventKind::kTaskStart, gpu, task);
   if (config_.record_trace) {
     trace_.events.push_back(
         {events_.now(), TraceKind::kTaskStart, gpu, task});
   }
-  const double base_duration =
-      platform_.compute_time_us(graph_.task_flops(task), gpu);
   double duration = base_duration;
   if (checkpointing_enabled() && base_duration > 0.0) {
     // Resume from checkpointed progress: only the compute beyond the last
@@ -821,6 +877,94 @@ void RuntimeEngine::finish_task(GpuId gpu, TaskId task) {
   if (!state.alive) return;
   MG_DCHECK(state.running == task);
   state.running = kInvalidTask;
+  complete_task(gpu, task);
+}
+
+bool RuntimeEngine::is_running_here(const GpuState& state,
+                                    TaskId task) const {
+  if (!occupancy_active_) return state.running == task;
+  for (const RunningTask& entry : state.running_set) {
+    if (entry.task == task) return true;
+  }
+  return false;
+}
+
+double RuntimeEngine::occ_slowdown(const GpuState& state) const {
+  std::uint64_t active = 0;
+  for (const RunningTask& entry : state.running_set) active += entry.warps;
+  const double ratio = static_cast<double>(active) /
+                       static_cast<double>(platform_.total_warps());
+  return std::max(1.0, ratio);
+}
+
+void RuntimeEngine::occ_accrue(GpuId gpu) {
+  GpuState& state = gpus_[gpu];
+  const double now = events_.now();
+  const double elapsed = now - state.occ_last_update_us;
+  state.occ_last_update_us = now;
+  if (elapsed <= 0.0 || state.running_set.empty()) return;
+  const double rate = 1.0 / occ_slowdown(state);
+  for (RunningTask& entry : state.running_set) {
+    entry.remaining_solo_us =
+        std::max(0.0, entry.remaining_solo_us - elapsed * rate);
+  }
+  // Busy while anything runs — the wall-clock generalization of the
+  // exclusive model's sum of task durations.
+  state.busy_us += elapsed;
+}
+
+void RuntimeEngine::occ_reschedule(GpuId gpu) {
+  GpuState& state = gpus_[gpu];
+  const std::uint64_t epoch = ++state.occ_epoch;
+  if (state.running_set.empty()) return;
+  const double slowdown = occ_slowdown(state);
+  for (const RunningTask& entry : state.running_set) {
+    events_.schedule_after(entry.remaining_solo_us * slowdown,
+                           [this, gpu, task = entry.task, epoch] {
+                             occ_finish_task(gpu, task, epoch);
+                           });
+  }
+}
+
+void RuntimeEngine::occ_finish_task(GpuId gpu, TaskId task,
+                                    std::uint64_t epoch) {
+  GpuState& state = gpus_[gpu];
+  // Stale under a membership change (someone joined or left since this
+  // finish was scheduled — the task's real finish was rescheduled), or the
+  // GPU died and the set was reclaimed.
+  if (!state.alive || epoch != state.occ_epoch) return;
+  occ_accrue(gpu);
+  auto it = state.running_set.begin();
+  while (it != state.running_set.end() && it->task != task) ++it;
+  MG_DCHECK(it != state.running_set.end());
+  governor_->release(gpu, it->warps, events_.now());
+  state.running_set.erase(it);
+  state.occ_blocked_head = kInvalidTask;  // freed warps may admit the head
+  // Survivors speed up (or keep the solo rate): reschedule their finishes
+  // before the completion fan-out can admit new work.
+  occ_reschedule(gpu);
+  scheduler_.notify_occupancy(gpu, governor_->active_warps(gpu),
+                              governor_->free_warps(gpu));
+  complete_task(gpu, task);
+}
+
+void RuntimeEngine::occ_reclaim_running(GpuId gpu,
+                                        std::vector<TaskId>& orphans) {
+  GpuState& state = gpus_[gpu];
+  // Wall time until the loss is already in busy_us (incremental accrual);
+  // unlike the exclusive path there is nothing to unwind.
+  occ_accrue(gpu);
+  for (const RunningTask& entry : state.running_set) {
+    orphans.push_back(entry.task);
+  }
+  state.running_set.clear();
+  ++state.occ_epoch;  // in-flight finish events turn stale
+  state.occ_blocked_head = kInvalidTask;
+  governor_->reset_gpu(gpu, events_.now());
+}
+
+void RuntimeEngine::complete_task(GpuId gpu, TaskId task) {
+  GpuState& state = gpus_[gpu];
   ++state.tasks_executed;
   ++completed_;
   last_completion_us_ = events_.now();
@@ -1029,7 +1173,7 @@ void RuntimeEngine::eject_revoked(GpuId lost_gpu, TaskId task) {
     GpuState& state = gpus_[gpu];
     // A running revocation victim is left alone: it started legally before
     // the rollback, and a finished successor keeps its completion anyway.
-    if (!state.alive || state.running == task) continue;
+    if (!state.alive || is_running_here(state, task)) continue;
     const auto it = std::find(state.buffer.begin(), state.buffer.end(), task);
     if (it == state.buffer.end()) continue;
     const bool was_head = it == state.buffer.begin();
@@ -1187,8 +1331,7 @@ std::string RuntimeEngine::format_engine_state() const {
     double oldest_us = 0.0;
     for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
       const GpuState& state = gpus_[gpu];
-      if (!state.alive || !state.assembly_active ||
-          state.running != kInvalidTask) {
+      if (!state.alive || !state.assembly_active || has_running_work(state)) {
         continue;
       }
       if (blocked_gpu == core::kInvalidGpu ||
@@ -1219,6 +1362,17 @@ std::string RuntimeEngine::format_engine_state() const {
         static_cast<unsigned long long>(state.memory->capacity_bytes()),
         state.assembly_active ? 1 : 0);
     out += line;
+    if (occupancy_active_ && !state.running_set.empty()) {
+      std::snprintf(line, sizeof line, "    co-running (%u/%u warps):",
+                    governor_->active_warps(gpu), governor_->total_warps());
+      out += line;
+      for (const RunningTask& entry : state.running_set) {
+        std::snprintf(line, sizeof line, " T%u(w=%u rem=%.1fus)", entry.task,
+                      entry.warps, entry.remaining_solo_us);
+        out += line;
+      }
+      out += '\n';
+    }
     if (!state.buffer.empty()) {
       const TaskId head = state.buffer.front();
       std::snprintf(line, sizeof line, "    head task %u inputs:", head);
@@ -1333,9 +1487,12 @@ void RuntimeEngine::fail_gpu(GpuId gpu) {
   ++fault_metrics_.gpu_losses;
 
   // Reclaim the interrupted running task (its finish event turns stale and
-  // is ignored) and every buffered task, in pop order.
+  // is ignored) and every buffered task, in pop order. In occupancy mode
+  // the whole co-running set is interrupted at once.
   std::vector<TaskId> orphans;
-  if (state.running != kInvalidTask) {
+  if (occupancy_active_) {
+    occ_reclaim_running(gpu, orphans);
+  } else if (state.running != kInvalidTask) {
     state.busy_us -= std::max(0.0, state.running_until_us - events_.now());
     orphans.push_back(state.running);
     state.running = kInvalidTask;
@@ -1586,7 +1743,7 @@ void RuntimeEngine::maybe_finish_drain(core::NodeId node) {
        gpu < platform_.node_gpu_end(node); ++gpu) {
     const GpuState& state = gpus_[gpu];
     if (!state.alive) continue;  // already inert
-    if (state.running != kInvalidTask) return;
+    if (has_running_work(state)) return;
     if (!state.undurable.empty()) return;  // a write-back is still draining
     // Quiescent = no in-flight fetch, no parked fetch, no scratch (which
     // also covers non-dependency write-backs: scratch releases only when
@@ -1757,7 +1914,11 @@ void RuntimeEngine::fail_node(core::NodeId node) {
     state.active = false;
     --alive_gpus_;
     ++fault_metrics_.gpu_losses;
-    if (state.running != kInvalidTask) {
+    if (occupancy_active_) {
+      std::vector<TaskId> running_orphans;
+      occ_reclaim_running(gpu, running_orphans);
+      for (TaskId task : running_orphans) orphan_sites.emplace_back(gpu, task);
+    } else if (state.running != kInvalidTask) {
       state.busy_us -= std::max(0.0, state.running_until_us - events_.now());
       orphan_sites.emplace_back(gpu, state.running);
       state.running = kInvalidTask;

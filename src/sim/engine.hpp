@@ -29,6 +29,7 @@
 #include "core/platform.hpp"
 #include "core/scheduler.hpp"
 #include "core/task_graph.hpp"
+#include "occupancy/governor.hpp"
 #include "sim/bus.hpp"
 #include "sim/errors.hpp"
 #include "sim/event_queue.hpp"
@@ -97,6 +98,16 @@ struct EngineConfig {
   /// begin_node_join. 0 (the default) activates every node — the fixed-
   /// topology behaviour, bit-identical to an engine without this knob.
   std::uint32_t initial_active_nodes = 0;
+
+  /// Occupancy-aware GPU sharing: with a positive threshold each GPU runs a
+  /// *set* of concurrent kernels, admitted by the occupancy governor while
+  /// active_warps + task_warps < threshold * Platform::total_warps (an idle
+  /// GPU always admits its first task). Co-running kernels share the device
+  /// processor-style: compute rates scale by the warp oversubscription
+  /// factor. 0 (the default) keeps the exclusive one-task-per-GPU model,
+  /// bit-identical to an engine without this knob. Incompatible with
+  /// checkpointing (snapshot boundaries assume a constant compute rate).
+  double occupancy_threshold = 0.0;
 };
 
 class RuntimeEngine final : private MemoryManager::Observer,
@@ -200,10 +211,29 @@ class RuntimeEngine final : private MemoryManager::Observer,
   }
 
  private:
+  /// One member of a GPU's co-running kernel set (occupancy mode only).
+  struct RunningTask {
+    core::TaskId task;
+    /// Solo-rate compute time still owed. Accrued at every membership
+    /// change: elapsed wall time is divided by the sharing slowdown in
+    /// force since the last change.
+    double remaining_solo_us;
+    std::uint32_t warps;  ///< governor-clamped footprint
+  };
+
   struct GpuState {
     std::deque<core::TaskId> buffer;             ///< popped, not yet started
     std::deque<core::DataId> hint_queue;         ///< push-time prefetch hints
     core::TaskId running = core::kInvalidTask;
+    /// Concurrent kernels on this device (occupancy mode; `running` stays
+    /// kInvalidTask then). Membership changes bump occ_epoch so finish
+    /// events scheduled under an older rate turn stale and are ignored.
+    std::vector<RunningTask> running_set;
+    std::uint64_t occ_epoch = 0;
+    double occ_last_update_us = 0.0;
+    /// Head task the governor last rejected; suppresses repeated rejection
+    /// events until a release frees warps (or the head changes).
+    core::TaskId occ_blocked_head = core::kInvalidTask;
     bool alive = true;           ///< false after a scripted GPU loss
     /// False while the GPU's node is outside the serving set (draining,
     /// drained, warming): the device is intact but takes no new work.
@@ -264,6 +294,41 @@ class RuntimeEngine final : private MemoryManager::Observer,
   void try_start(core::GpuId gpu);
   void start_task(core::GpuId gpu, core::TaskId task);
   void finish_task(core::GpuId gpu, core::TaskId task);
+  /// Everything that happens when `task` completes on `gpu` — counters,
+  /// write-back, scheduler/streaming/dependency notifications, worker
+  /// wake-ups. Shared by the exclusive and occupancy completion paths.
+  void complete_task(core::GpuId gpu, core::TaskId task);
+
+  // ---- Occupancy-aware sharing (config_.occupancy_threshold > 0) ----------
+  //
+  // Co-running kernels progress processor-sharing style: each owes
+  // remaining solo-rate compute time, and wall time is charged at
+  // slowdown = max(1, active_warps / total_warps) — warp oversubscription
+  // slows every resident kernel uniformly; under-subscription runs at the
+  // solo rate (SMs are not magically faster with company). Every
+  // membership change accrues progress at the old rate, bumps the epoch
+  // (invalidating in-flight finish events) and reschedules completions at
+  // the new rate.
+
+  [[nodiscard]] bool has_running_work(const GpuState& state) const {
+    return occupancy_active_ ? !state.running_set.empty()
+                             : state.running != core::kInvalidTask;
+  }
+  [[nodiscard]] bool is_running_here(const GpuState& state,
+                                     core::TaskId task) const;
+  [[nodiscard]] double occ_slowdown(const GpuState& state) const;
+  /// Charges wall time since the last membership change into every
+  /// co-runner's remaining work (and the GPU's busy_us).
+  void occ_accrue(core::GpuId gpu);
+  /// Bumps the epoch and schedules a finish event per co-runner at the
+  /// current sharing rate.
+  void occ_reschedule(core::GpuId gpu);
+  void occ_finish_task(core::GpuId gpu, core::TaskId task,
+                       std::uint64_t epoch);
+  /// Orphans the whole running set of a dead GPU (fault paths) and resets
+  /// the governor's load; progress was already accrued incrementally.
+  void occ_reclaim_running(core::GpuId gpu, std::vector<core::TaskId>& orphans);
+
   void retry_starved();
   [[noreturn]] void throw_deadlock() const;
   [[nodiscard]] std::string format_engine_state() const;
@@ -488,6 +553,11 @@ class RuntimeEngine final : private MemoryManager::Observer,
   /// GPU whose copy of the data is currently eviction-protected as the
   /// sole survivor, or kInvalidGpu.
   std::vector<core::GpuId> protected_on_;
+
+  // Occupancy-sharing state. Dormant — and cost-free on the hot paths —
+  // with the default threshold of 0.
+  bool occupancy_active_ = false;
+  std::unique_ptr<occupancy::OccupancyGovernor> governor_;
 
   /// Watchdog: when a budget is set, keep a short tail of formatted events
   /// for the BudgetExceededError excerpt.

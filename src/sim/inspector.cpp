@@ -53,6 +53,9 @@ std::string_view inspector_event_kind_name(InspectorEventKind kind) {
     case InspectorEventKind::kNodeWarmFill: return "node-warm-fill";
     case InspectorEventKind::kNodeJoined: return "node-joined";
     case InspectorEventKind::kNodeLost: return "node-lost";
+    case InspectorEventKind::kOccupancyConfig: return "occupancy-config";
+    case InspectorEventKind::kTaskAdmitted: return "task-admitted";
+    case InspectorEventKind::kAdmissionRejected: return "admission-rejected";
   }
   return "?";
 }
@@ -97,7 +100,9 @@ std::string format_inspector_event(const InspectorEvent& event) {
                        event.kind == InspectorEventKind::kEdgeReleased ||
                        event.kind == InspectorEventKind::kTaskEnabled ||
                        event.kind == InspectorEventKind::kTaskUnretired ||
-                       event.kind == InspectorEventKind::kTaskDrained;
+                       event.kind == InspectorEventKind::kTaskDrained ||
+                       event.kind == InspectorEventKind::kTaskAdmitted ||
+                       event.kind == InspectorEventKind::kAdmissionRejected;
   const bool is_job = event.kind == InspectorEventKind::kJobArrival ||
                       event.kind == InspectorEventKind::kJobComplete ||
                       event.kind == InspectorEventKind::kJobShed;
@@ -201,6 +206,14 @@ std::string format_inspector_event(const InspectorEvent& event) {
     line += buffer;
   } else if (event.kind == InspectorEventKind::kNodeLost) {
     std::snprintf(buffer, sizeof buffer, " orphans=%u", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kOccupancyConfig) {
+    std::snprintf(buffer, sizeof buffer, " threshold=%.2f",
+                  static_cast<double>(event.aux) / 1e6);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kTaskAdmitted ||
+             event.kind == InspectorEventKind::kAdmissionRejected) {
+    std::snprintf(buffer, sizeof buffer, " active-warps=%u", event.aux);
     line += buffer;
   }
   return line;

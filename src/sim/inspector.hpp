@@ -121,6 +121,17 @@ enum class InspectorEventKind : std::uint8_t {
                    ///< (aux: warm fills completed)
   kNodeLost,       ///< node `id` failed unplanned: all its GPUs + host cache
                    ///< died at once (aux: tasks to re-run across the node)
+
+  // Occupancy-aware GPU sharing (src/occupancy; engine sharing mode).
+  kOccupancyConfig,   ///< sharing armed for the run (id: total warps per
+                      ///< GPU, bytes: admission budget in warps, aux:
+                      ///< threshold in parts-per-million)
+  kTaskAdmitted,      ///< task `id` admitted onto `gpu`'s sharing set
+                      ///< (bytes: clamped warp footprint, aux: active warps
+                      ///< after the admission)
+  kAdmissionRejected, ///< head task `id` held back on `gpu`: admitting its
+                      ///< footprint would cross the threshold (bytes:
+                      ///< clamped warp footprint, aux: current active warps)
 };
 
 [[nodiscard]] std::string_view inspector_event_kind_name(

@@ -67,6 +67,10 @@ void InvariantChecker::on_run_begin(const core::TaskGraph& graph,
   migrate_start_bytes_ = 0;
   migrate_done_bytes_ = 0;
   warm_fill_bytes_ = 0;
+  occ_armed_ = false;
+  occ_budget_warps_ = 0;
+  occ_task_warps_.clear();
+  occ_admitted_.clear();
   last_time_us_ = 0.0;
   events_ = 0;
   recent_.clear();
@@ -167,6 +171,8 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
     case InspectorEventKind::kNodeWarmFill:
     case InspectorEventKind::kNodeJoined:
     case InspectorEventKind::kNodeLost:
+    // The occupancy config is engine-level, published once with gpu=0.
+    case InspectorEventKind::kOccupancyConfig:
       break;
     default:
       if (!gpu.alive) return fail(event, "activity on a dead gpu");
@@ -234,6 +240,12 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
           return fail(event, "evict of data in use by the running task");
         }
       }
+      for (std::uint32_t co_runner : gpu.occ_running) {
+        const auto inputs = graph_->inputs(co_runner);
+        if (std::find(inputs.begin(), inputs.end(), event.id) != inputs.end()) {
+          return fail(event, "evict of data in use by a co-running task");
+        }
+      }
       gpu.resident[event.id] = 0;
       gpu.resident_bytes -= graph_->data_size(event.id);
       gpu.committed_bytes -= graph_->data_size(event.id);
@@ -294,7 +306,11 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       if (streaming_seen_ && released_[event.id] == 0) {
         return fail(event, "start of a task before its job arrived");
       }
-      if (gpu.running != -1) {
+      if (occ_armed_) {
+        if (occ_admitted_[event.id] == 0) {
+          return fail(event, "task started without an admission");
+        }
+      } else if (gpu.running != -1) {
         return fail(event, "two tasks running on one gpu");
       }
       if (!node_status_.empty() &&
@@ -324,15 +340,33 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
         }
       }
       started_[event.id] = 1;
-      gpu.running = static_cast<std::int64_t>(event.id);
+      if (occ_armed_) {
+        occ_admitted_[event.id] = 0;
+        gpu.occ_running.push_back(event.id);
+      } else {
+        gpu.running = static_cast<std::int64_t>(event.id);
+      }
       break;
     }
     case InspectorEventKind::kTaskEnd: {
-      if (event.id >= num_tasks ||
-          gpu.running != static_cast<std::int64_t>(event.id)) {
-        return fail(event, "end of task that was not running");
+      if (occ_armed_) {
+        auto it = event.id < num_tasks
+                      ? std::find(gpu.occ_running.begin(),
+                                  gpu.occ_running.end(), event.id)
+                      : gpu.occ_running.end();
+        if (it == gpu.occ_running.end()) {
+          return fail(event, "end of task that was not running");
+        }
+        gpu.occ_running.erase(it);
+        gpu.occ_active_warps -=
+            std::min(gpu.occ_active_warps, occ_task_warps_[event.id]);
+      } else {
+        if (event.id >= num_tasks ||
+            gpu.running != static_cast<std::int64_t>(event.id)) {
+          return fail(event, "end of task that was not running");
+        }
+        gpu.running = -1;
       }
-      gpu.running = -1;
       ended_[event.id] = 1;
       ran_on_[event.id] = event.gpu;
       break;
@@ -372,6 +406,11 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
         started_[static_cast<std::size_t>(gpu.running)] = 0;
         gpu.running = -1;
       }
+      for (std::uint32_t co_runner : gpu.occ_running) {
+        started_[co_runner] = 0;
+      }
+      gpu.occ_running.clear();
+      gpu.occ_active_warps = 0;
       std::fill(gpu.resident.begin(), gpu.resident.end(), 0);
       std::fill(gpu.in_flight.begin(), gpu.in_flight.end(), 0);
       // Protection held on this GPU died with its residency (the engine
@@ -716,7 +755,7 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       for (core::GpuId g = platform_.node_gpu_begin(event.id);
            g < platform_.node_gpu_end(event.id); ++g) {
         GpuState& state = gpus_[g];
-        if (state.running != -1) {
+        if (state.running != -1 || !state.occ_running.empty()) {
           return fail(event, "node retired with a task still running");
         }
         for (std::uint8_t flag : state.in_flight) {
@@ -803,6 +842,11 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
           started_[static_cast<std::size_t>(state.running)] = 0;
           state.running = -1;
         }
+        for (std::uint32_t co_runner : state.occ_running) {
+          started_[co_runner] = 0;
+        }
+        state.occ_running.clear();
+        state.occ_active_warps = 0;
         std::fill(state.resident.begin(), state.resident.end(), 0);
         std::fill(state.in_flight.begin(), state.in_flight.end(), 0);
         std::fill(state.prot.begin(), state.prot.end(), 0);
@@ -814,6 +858,64 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       // accounted so their fills still balance the wire deliveries.
       std::fill(node_cached_[event.id].begin(), node_cached_[event.id].end(),
                 0);
+      break;
+    }
+    case InspectorEventKind::kOccupancyConfig: {
+      if (occ_armed_) return fail(event, "occupancy configured twice");
+      if (event.id == 0) {
+        return fail(event, "occupancy config with zero device warps");
+      }
+      occ_armed_ = true;
+      occ_budget_warps_ = static_cast<std::uint32_t>(event.bytes);
+      occ_task_warps_.assign(num_tasks, 0);
+      occ_admitted_.assign(num_tasks, 0);
+      break;
+    }
+    case InspectorEventKind::kTaskAdmitted: {
+      if (!occ_armed_) {
+        return fail(event, "admission without an occupancy config");
+      }
+      if (event.id >= num_tasks) {
+        return fail(event, "admission of unknown task");
+      }
+      if (occ_admitted_[event.id] != 0 ||
+          std::find(gpu.occ_running.begin(), gpu.occ_running.end(),
+                    event.id) != gpu.occ_running.end()) {
+        return fail(event, "task admitted twice");
+      }
+      const std::uint32_t warps = static_cast<std::uint32_t>(event.bytes);
+      // The budget rule: a busy GPU only takes work that keeps the active
+      // load within the admission budget; an idle GPU always admits
+      // (forward progress for tasks wider than the budget).
+      if (!gpu.occ_running.empty() &&
+          gpu.occ_active_warps + warps > occ_budget_warps_) {
+        return fail(event, "admission exceeds the warp budget");
+      }
+      gpu.occ_active_warps += warps;
+      if (event.aux != gpu.occ_active_warps) {
+        return fail(event, "admission warp tally disagrees with the checker");
+      }
+      occ_task_warps_[event.id] = warps;
+      occ_admitted_[event.id] = 1;
+      break;
+    }
+    case InspectorEventKind::kAdmissionRejected: {
+      if (!occ_armed_) {
+        return fail(event, "rejection without an occupancy config");
+      }
+      if (event.id >= num_tasks) {
+        return fail(event, "rejection of unknown task");
+      }
+      if (gpu.occ_running.empty()) {
+        return fail(event, "admission rejected on an idle gpu");
+      }
+      const std::uint32_t warps = static_cast<std::uint32_t>(event.bytes);
+      if (gpu.occ_active_warps + warps <= occ_budget_warps_) {
+        return fail(event, "rejection of an admissible task");
+      }
+      if (event.aux != gpu.occ_active_warps) {
+        return fail(event, "rejection warp tally disagrees with the checker");
+      }
       break;
     }
   }
@@ -848,6 +950,13 @@ void InvariantChecker::finish() {
       std::snprintf(buffer, sizeof buffer,
                     "task %lld still running at run end",
                     static_cast<long long>(gpu.running));
+      return fail_text(buffer);
+    }
+    if (!gpu.occ_running.empty()) {
+      char buffer[96];
+      std::snprintf(buffer, sizeof buffer,
+                    "%zu tasks still co-running at run end",
+                    gpu.occ_running.size());
       return fail_text(buffer);
     }
   }

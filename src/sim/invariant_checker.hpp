@@ -51,6 +51,13 @@
 //     and migration bytes are conserved (every migration started completes,
 //     and network deliveries equal host-cache fills plus migration and
 //     warm-fill payloads);
+//   * occupancy-aware GPU sharing (src/occupancy): every task start on a
+//     shared GPU is preceded by its admission, an admission onto a busy GPU
+//     never lifts the active warp load above the configured budget (an idle
+//     GPU always admits), a rejection only holds back a task that would
+//     actually cross the budget, the engine's active-warp tally agrees with
+//     the checker's at every admission and rejection, and at run end no
+//     sharing set still holds a task;
 //   * proactive fault tolerance: checkpoint progress per task is
 //     non-decreasing and committed only while the task runs, restored
 //     progress never exceeds the last checkpointed progress, a protected
@@ -131,6 +138,10 @@ class InvariantChecker final : public Inspector {
     bool alive = true;  ///< false after kGpuLost
     /// Protected sole-surviving replicas (kReplicaProtect .. kReplicaRelease).
     std::vector<std::uint8_t> prot;
+    /// Sharing-mode running set (occupancy armed): `running` stays -1 and
+    /// co-runners are tracked here with their summed warp load.
+    std::vector<std::uint32_t> occ_running;
+    std::uint32_t occ_active_warps = 0;
   };
 
   void fail(const InspectorEvent& event, const char* what);
@@ -189,6 +200,13 @@ class InvariantChecker final : public Inspector {
   std::uint64_t migrate_start_bytes_ = 0;
   std::uint64_t migrate_done_bytes_ = 0;
   std::uint64_t warm_fill_bytes_ = 0;
+  /// Occupancy-sharing state, armed by kOccupancyConfig: the warp budget,
+  /// each task's clamped footprint recorded at admission, and the
+  /// admitted-but-not-yet-started flag consumed by the matching kTaskStart.
+  bool occ_armed_ = false;
+  std::uint32_t occ_budget_warps_ = 0;
+  std::vector<std::uint32_t> occ_task_warps_;
+  std::vector<std::uint8_t> occ_admitted_;
   double last_time_us_ = 0.0;
   std::uint64_t events_ = 0;
 

@@ -323,6 +323,31 @@ std::string run_report_to_json(const RunReport& report) {
   append_double(json, scaling.drain_latency_total_us);
   json += ",\"drain_latency_max_us\":";
   append_double(json, scaling.drain_latency_max_us);
+  json += "}";
+
+  const RunReport::Occupancy& occupancy = report.occupancy;
+  json += ",\"occupancy\":{\"enabled\":";
+  json += occupancy.enabled ? "true" : "false";
+  json += ",\"threshold\":";
+  append_double(json, occupancy.threshold);
+  json += ",\"total_warps\":" + std::to_string(occupancy.total_warps);
+  json += ",\"budget_warps\":" + std::to_string(occupancy.budget_warps);
+  json += ",\"per_gpu\":[";
+  for (std::size_t gpu = 0; gpu < occupancy.per_gpu.size(); ++gpu) {
+    const RunReport::Occupancy::Gpu& g = occupancy.per_gpu[gpu];
+    if (gpu > 0) json += ',';
+    json += "{\"gpu\":" + std::to_string(gpu);
+    json += ",\"peak_warps\":" + std::to_string(g.peak_warps);
+    json += ",\"mean_occupancy\":";
+    append_double(json, g.mean_occupancy);
+    json += "}";
+  }
+  json += "],\"admissions\":";
+  append_u64(json, occupancy.admissions);
+  json += ",\"rejections\":";
+  append_u64(json, occupancy.rejections);
+  json += ",\"co_run_pairs\":";
+  append_u64(json, occupancy.co_run_pairs);
   json += "}}";
   return json;
 }
@@ -401,7 +426,31 @@ void RunReportCollector::on_run_begin(const core::TaskGraph& graph,
   pending_recoveries_.clear();
   pending_adoptions_.clear();
   drain_open_us_.clear();
+  occ_armed_ = false;
+  occ_.clear();
+  occ_task_warps_.clear();
   trace_.events.clear();
+}
+
+void RunReportCollector::occ_accrue(OccLoad& load, double now_us) {
+  if (now_us > load.last_change_us) {
+    load.integral += static_cast<double>(load.active_warps) *
+                     (now_us - load.last_change_us);
+    load.last_change_us = now_us;
+  }
+}
+
+// Drops every co-runner of `gpu` at once (GPU/node loss): the engine
+// reclaims the whole running set, so the busy window and active warps
+// close here rather than at per-task kTaskEnd events that never come.
+void RunReportCollector::occ_close_gpu(std::uint32_t gpu, double now_us) {
+  OccLoad& load = occ_[gpu];
+  occ_accrue(load, now_us);
+  load.active_warps = 0;
+  if (load.running > 0) {
+    load.running = 0;
+    report_.per_gpu[gpu].busy_us += now_us - load.busy_open_us;
+  }
 }
 
 void RunReportCollector::on_eviction_policy(core::GpuId gpu,
@@ -507,7 +556,20 @@ void RunReportCollector::on_event(const InspectorEvent& event) {
     }
     case InspectorEventKind::kTaskEnd:
       ++gpu.tasks_executed;
-      gpu.busy_us += event.time_us - scratch.task_open_us;
+      if (occ_armed_) {
+        // Sharing mode: busy time is the wall time the running set stays
+        // non-empty, not summed task spans (co-runners would double-count).
+        OccLoad& load = occ_[event.gpu];
+        occ_accrue(load, event.time_us);
+        const std::uint32_t warps =
+            event.id < occ_task_warps_.size() ? occ_task_warps_[event.id] : 0;
+        load.active_warps -= std::min(load.active_warps, warps);
+        if (load.running > 0 && --load.running == 0) {
+          gpu.busy_us += event.time_us - load.busy_open_us;
+        }
+      } else {
+        gpu.busy_us += event.time_us - scratch.task_open_us;
+      }
       if (options_.collect_trace) {
         trace_.events.push_back(
             {event.time_us, TraceKind::kTaskEnd, event.gpu, event.id});
@@ -530,6 +592,7 @@ void RunReportCollector::on_event(const InspectorEvent& event) {
       break;
     case InspectorEventKind::kGpuLost:
       ++report_.faults.gpu_losses;
+      if (occ_armed_) occ_close_gpu(event.gpu, event.time_us);
       if (event.aux == 0) {
         // Nothing was orphaned: recovery is instantaneous.
         report_.faults.recovery_latency_us.push_back(0.0);
@@ -706,11 +769,46 @@ void RunReportCollector::on_event(const InspectorEvent& event) {
       // recovery-latency entry tracks the combined orphan re-run.
       report_.faults.gpu_losses += platform_.node_gpu_end(event.id) -
                                    platform_.node_gpu_begin(event.id);
+      if (occ_armed_) {
+        for (std::uint32_t g = platform_.node_gpu_begin(event.id);
+             g < platform_.node_gpu_end(event.id); ++g) {
+          occ_close_gpu(g, event.time_us);
+        }
+      }
       if (event.aux == 0) {
         report_.faults.recovery_latency_us.push_back(0.0);
       } else {
         pending_recoveries_.push_back({event.time_us, {}});
       }
+      break;
+    case InspectorEventKind::kOccupancyConfig:
+      report_.occupancy.enabled = true;
+      report_.occupancy.threshold = static_cast<double>(event.aux) / 1e6;
+      report_.occupancy.total_warps = event.id;
+      report_.occupancy.budget_warps = static_cast<std::uint32_t>(event.bytes);
+      report_.occupancy.per_gpu.assign(report_.per_gpu.size(),
+                                       RunReport::Occupancy::Gpu{});
+      occ_armed_ = true;
+      occ_.assign(report_.per_gpu.size(), OccLoad{});
+      occ_task_warps_.assign(graph_->num_tasks(), 0);
+      break;
+    case InspectorEventKind::kTaskAdmitted: {
+      OccLoad& load = occ_[event.gpu];
+      occ_accrue(load, event.time_us);
+      report_.occupancy.co_run_pairs += load.running;
+      if (load.running == 0) load.busy_open_us = event.time_us;
+      ++load.running;
+      load.active_warps += static_cast<std::uint32_t>(event.bytes);
+      if (event.id < occ_task_warps_.size()) {
+        occ_task_warps_[event.id] = static_cast<std::uint32_t>(event.bytes);
+      }
+      RunReport::Occupancy::Gpu& occ_gpu = report_.occupancy.per_gpu[event.gpu];
+      occ_gpu.peak_warps = std::max(occ_gpu.peak_warps, load.active_warps);
+      ++report_.occupancy.admissions;
+      break;
+    }
+    case InspectorEventKind::kAdmissionRejected:
+      ++report_.occupancy.rejections;
       break;
   }
 }
@@ -807,6 +905,20 @@ void RunReportCollector::on_run_end(double makespan_us) {
       }
     }
     report_.channels.push_back(std::move(channel));
+  }
+
+  // Occupancy: close each GPU's time-weighted integral at the makespan and
+  // normalise to a mean occupancy fraction of the device warp budget.
+  if (occ_armed_) {
+    for (std::size_t gpu = 0; gpu < occ_.size(); ++gpu) {
+      occ_accrue(occ_[gpu], makespan_us);
+      report_.occupancy.per_gpu[gpu].mean_occupancy =
+          makespan_us > 0.0 && report_.occupancy.total_warps > 0
+              ? occ_[gpu].integral /
+                    (makespan_us *
+                     static_cast<double>(report_.occupancy.total_warps))
+              : 0.0;
+    }
   }
 
   // Cluster: fold per-GPU work into the owning node and total the network

@@ -35,6 +35,11 @@
 // drained, migration and warm-fill traffic, and drain latency. The section
 // stays zeroed — and the rest of the report byte-identical to a schema-6
 // run — when the topology never changes.
+// Schema 8 adds the "occupancy" section for occupancy-aware GPU sharing
+// (src/occupancy): the warp budget and admission threshold, per-GPU peak
+// and time-weighted mean warp occupancy, admissions/rejections and co-run
+// pair counts. The section stays zeroed — and the rest of the report
+// byte-identical to a schema-7 run — when sharing is off (threshold 0).
 #pragma once
 
 #include <cstdint>
@@ -49,7 +54,7 @@
 namespace mg::sim {
 
 struct RunReport {
-  static constexpr int kSchemaVersion = 7;
+  static constexpr int kSchemaVersion = 8;
 
   std::string scheduler;
   std::string context;  ///< free-form label (figure id, workload, ...)
@@ -274,12 +279,33 @@ struct RunReport {
     double drain_latency_max_us = 0.0;
   };
   Autoscaling autoscaling;
+
+  /// Occupancy-aware GPU sharing (schema 8): warp-budget admission and
+  /// co-scheduling statistics. `enabled` stays false — and every field
+  /// zeroed — when EngineConfig::occupancy_threshold is 0.
+  struct Occupancy {
+    bool enabled = false;
+    double threshold = 0.0;          ///< admission threshold (fraction)
+    std::uint32_t total_warps = 0;   ///< device warp budget (SMs x warps/SM)
+    std::uint32_t budget_warps = 0;  ///< largest admissible active load
+    struct Gpu {
+      std::uint32_t peak_warps = 0;  ///< high-water active-warp mark
+      double mean_occupancy = 0.0;   ///< time-weighted active/total warps
+    };
+    std::vector<Gpu> per_gpu;
+    std::uint64_t admissions = 0;    ///< tasks admitted into sharing sets
+    std::uint64_t rejections = 0;    ///< head tasks held back at the budget
+    /// Concurrent (already-running, newly-admitted) pairs — each admission
+    /// onto a busy GPU contributes its current co-runner count.
+    std::uint64_t co_run_pairs = 0;
+  };
+  Occupancy occupancy;
 };
 
 /// Serializes one report as a JSON object.
 [[nodiscard]] std::string run_report_to_json(const RunReport& report);
 
-/// Writes `{"schema_version":7,"context":...,"runs":[...]}` to `path`.
+/// Writes `{"schema_version":8,"context":...,"runs":[...]}` to `path`.
 /// Returns false on I/O error.
 bool write_run_reports(const std::vector<RunReport>& reports,
                        const std::string& context, const std::string& path);
@@ -357,6 +383,23 @@ class RunReportCollector final : public Inspector {
   /// Drain fences still open (schema 7): node -> kNodeDrainStart time, so
   /// the matching kNodeDrained can report the fence-to-retire latency.
   std::map<std::uint32_t, double> drain_open_us_;
+
+  // Occupancy-sharing accounting (schema 8), armed by kOccupancyConfig.
+  // With sharing on, per-GPU busy time is the wall time anything co-runs —
+  // tracked by the running counter — instead of summed task spans.
+  struct OccLoad {
+    std::uint32_t active_warps = 0;
+    std::uint32_t running = 0;
+    double integral = 0.0;       ///< sum of active_warps * dt
+    double last_change_us = 0.0;
+    double busy_open_us = 0.0;   ///< opened when the running set became
+                                 ///< non-empty
+  };
+  void occ_accrue(OccLoad& load, double now_us);
+  void occ_close_gpu(std::uint32_t gpu, double now_us);
+  bool occ_armed_ = false;
+  std::vector<OccLoad> occ_;
+  std::vector<std::uint32_t> occ_task_warps_;  ///< clamped footprint at admit
 };
 
 }  // namespace mg::sim

@@ -42,6 +42,9 @@ core::TaskGraph make_matmul_2d(const Matmul2DParams& params) {
     if (params.output_bytes > 0) {
       builder.set_task_output(task, params.output_bytes);
     }
+    if (params.derive_warps) {
+      builder.set_task_warps(task, matmul_2d_task_warps(params.tile_dim));
+    }
   }
   return builder.build();
 }

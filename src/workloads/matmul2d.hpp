@@ -33,7 +33,26 @@ struct Matmul2DParams {
   /// the paper's input-only model. A 960x960 single-precision tile is
   /// 3.6864 MB.
   std::uint64_t output_bytes = 0;
+
+  /// GPU sharing: when true every task carries the warp footprint derived
+  /// from its tile geometry (matmul_2d_task_warps), so the occupancy
+  /// governor can co-schedule tasks under the per-GPU warp budget. False
+  /// (the default) leaves footprints unset — exclusive-mode runs stay
+  /// byte-identical.
+  bool derive_warps = false;
+
+  /// Output-tile dimension the warp derivation assumes (the paper's 960).
+  std::uint32_t tile_dim = 960;
 };
+
+/// Warp footprint of one 2D-GEMM task: one warp per 32x32 sub-tile of its
+/// tile_dim x tile_dim output tile (900 warps for the paper's 960 tiles —
+/// under a fifth of a V100's 5120, so several tasks co-run per GPU).
+[[nodiscard]] constexpr std::uint32_t matmul_2d_task_warps(
+    std::uint32_t tile_dim = 960) {
+  const std::uint32_t side = (tile_dim + 31) / 32;
+  return side * side;
+}
 
 core::TaskGraph make_matmul_2d(const Matmul2DParams& params);
 

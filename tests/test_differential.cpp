@@ -296,6 +296,84 @@ TEST(Differential, DagWorkloadsAcrossSchedulersStayInvariantFree) {
   EXPECT_EQ(runs_checked, static_cast<std::uint64_t>(kRounds) * 4);
 }
 
+TEST(Differential, OccupancyConfigsAcrossSchedulersStayInvariantFree) {
+  // GPU-sharing differential sweep: the random-bipartite draw, re-annotated
+  // with mixed warp footprints (including some whole-device tasks), run
+  // across every scheduler while rounds rotate the occupancy config —
+  // threshold below/at/above 1.0, tiny and roomy warp budgets, and a
+  // sharing-off control round. Every run must be violation-free (the
+  // checker enforces the admission gate and the warp budget) and complete
+  // the identical task set.
+  constexpr int kRounds = 20;
+  util::Rng rng(0x0ccc0feedULL);
+  std::uint64_t runs_checked = 0;
+  // Rotation: exclusive control, conservative, exactly-full, oversubscribed.
+  const double thresholds[] = {0.0, 0.6, 1.0, 1.5};
+
+  for (int round = 0; round < kRounds; ++round) {
+    const work::RandomBipartiteParams params =
+        draw_params(rng, 9000 + static_cast<std::uint64_t>(round));
+    const core::TaskGraph plain = work::make_random_bipartite(params);
+    const std::uint32_t num_gpus =
+        1 + static_cast<std::uint32_t>(rng.below(4));
+    const std::uint32_t warps_per_gpu =
+        4 + static_cast<std::uint32_t>(rng.below(13));
+
+    // Re-build the draw with warp annotations: mixed small footprints and
+    // ~1 in 5 unspecified (whole device), so admission, clamping and the
+    // idle-GPU escape hatch are all exercised.
+    core::TaskGraphBuilder builder;
+    for (core::DataId data = 0; data < plain.num_data(); ++data) {
+      builder.add_data(plain.data_size(data), plain.data_label(data));
+    }
+    for (TaskId task = 0; task < plain.num_tasks(); ++task) {
+      const std::vector<core::DataId> inputs(plain.inputs(task).begin(),
+                                             plain.inputs(task).end());
+      const TaskId id = builder.add_task(plain.task_flops(task), inputs,
+                                         plain.task_label(task));
+      if (rng.below(5) != 0) {
+        builder.set_task_warps(
+            id, 1 + static_cast<std::uint32_t>(rng.below(2 * warps_per_gpu)));
+      }
+    }
+    const core::TaskGraph graph = builder.build();
+
+    core::Platform platform;
+    platform.num_gpus = num_gpus;
+    platform.gpu_memory_bytes = draw_memory(rng, graph, params);
+    platform.sm_count = 1;
+    platform.warps_per_sm = warps_per_gpu;
+    platform.nvlink_enabled = (round % 5 == 0) && num_gpus > 1;
+
+    for (SchedulerCase& entry : make_schedulers()) {
+      SCOPED_TRACE("round " + std::to_string(round) + " scheduler " +
+                   entry.label + " gpus " + std::to_string(num_gpus) +
+                   " warps " + std::to_string(warps_per_gpu) + " threshold " +
+                   std::to_string(thresholds[round % 4]) + " mem " +
+                   std::to_string(platform.gpu_memory_bytes));
+
+      sim::EngineConfig config;
+      config.seed = 13 + static_cast<std::uint64_t>(round);
+      config.occupancy_threshold = thresholds[round % 4];
+      sim::RuntimeEngine engine(graph, platform, *entry.scheduler, config);
+      sim::InvariantChecker checker({.fail_fast = false});
+      engine.add_inspector(&checker);
+      const core::RunMetrics metrics = engine.run();
+      ++runs_checked;
+
+      ASSERT_TRUE(checker.ok())
+          << checker.report().error << "\nlast events:\n"
+          << checker.report().excerpt;
+      EXPECT_GT(checker.events_checked(), 0u);
+
+      std::uint64_t executed = 0;
+      for (const auto& gpu : metrics.per_gpu) executed += gpu.tasks_executed;
+      EXPECT_EQ(executed, graph.num_tasks());
+    }
+  }
+  EXPECT_EQ(runs_checked, static_cast<std::uint64_t>(kRounds) * 4);
+}
+
 TEST(Differential, DartsLoadsApproachTheEvictionFreeLowerBound) {
   // With memory ample enough that no eviction is ever needed, DARTS's
   // data-centric planning should keep total loads within a small factor of

@@ -1,0 +1,398 @@
+// Occupancy-aware GPU sharing tests: the governor's budget arithmetic and
+// admission/statistics contract, the engine's co-scheduling speedup on
+// small-warp tasks and processor-sharing conservation under
+// oversubscription, the sharing-off byte-identity guarantee of the schema-8
+// report, a randomized warp-budget property sweep replayed against the
+// admission event stream, co-running sets under GPU loss and planned node
+// drains, and the serving-path composition (explicit JobSpec footprints
+// through the union graph).
+#include "occupancy/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "sched/dmda.hpp"
+#include "sched/eager.hpp"
+#include "serve/serve_engine.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/invariant_checker.hpp"
+#include "sim/run_report.hpp"
+
+namespace mg {
+namespace {
+
+using core::DataId;
+using core::TaskId;
+using occupancy::OccupancyGovernor;
+using sim::InspectorEvent;
+using sim::InspectorEventKind;
+
+/// Trivial arithmetic (1 byte transfers in 1 us, 1 flop computes in 1 us)
+/// with a tiny warp budget so a handful of warps saturates a device.
+core::Platform tiny_platform(std::uint32_t gpus, std::uint32_t warps_per_gpu,
+                             std::uint32_t nodes = 1) {
+  core::Platform platform;
+  platform.num_gpus = gpus;
+  platform.num_nodes = nodes;
+  platform.gpu_memory_bytes = 1000;
+  platform.host_memory_bytes = 4000;
+  platform.gpu_gflops = 1e-3;
+  platform.bus_bandwidth_bytes_per_s = 1e6;
+  platform.bus_latency_us = 0.0;
+  platform.sm_count = 1;
+  platform.warps_per_sm = warps_per_gpu;
+  return platform;
+}
+
+/// `tasks` independent tasks of `flops` us each, all reading one shared
+/// 10-byte input, each declaring a `warps` footprint.
+core::TaskGraph warp_graph(std::uint32_t tasks, std::uint32_t warps,
+                           double flops = 100.0) {
+  core::TaskGraphBuilder builder;
+  const DataId data = builder.add_data(10);
+  for (std::uint32_t t = 0; t < tasks; ++t) {
+    const TaskId id = builder.add_task(flops, {data});
+    builder.set_task_warps(id, warps);
+  }
+  return builder.build();
+}
+
+class RecordingInspector final : public sim::Inspector {
+ public:
+  void on_event(const InspectorEvent& event) override {
+    events_.push_back(event);
+  }
+  [[nodiscard]] const std::vector<InspectorEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t count(InspectorEventKind kind) const {
+    std::size_t n = 0;
+    for (const InspectorEvent& event : events_) {
+      if (event.kind == kind) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::vector<InspectorEvent> events_;
+};
+
+// ---------------------------------------------------------------------------
+// Governor unit tests.
+
+TEST(OccupancyGovernor, BudgetSitsStrictlyBelowTheLimit) {
+  // Integral limits back off one warp (the rule is strict), fractional
+  // limits floor.
+  EXPECT_EQ(OccupancyGovernor(1, 5120, 1.0).budget_warps(), 5119u);
+  EXPECT_EQ(OccupancyGovernor(1, 5120, 0.5).budget_warps(), 2559u);
+  EXPECT_EQ(OccupancyGovernor(1, 10, 0.55).budget_warps(), 5u);
+  EXPECT_EQ(OccupancyGovernor(1, 8, 2.1).budget_warps(), 16u);
+}
+
+TEST(OccupancyGovernor, ClampsUnspecifiedAndOversizedFootprints) {
+  const OccupancyGovernor governor(1, 64, 1.0);
+  EXPECT_EQ(governor.clamp_warps(0), 64u);    // unspecified = whole device
+  EXPECT_EQ(governor.clamp_warps(500), 64u);  // clamped to the device
+  EXPECT_EQ(governor.clamp_warps(10), 10u);
+}
+
+TEST(OccupancyGovernor, IdleGpuAlwaysAdmits) {
+  // threshold 0.1 of 100 warps admits nothing larger than 9 warps onto a
+  // busy GPU — but the idle device must still take a whole-device task.
+  OccupancyGovernor governor(1, 100, 0.1);
+  EXPECT_TRUE(governor.try_admit(0, 0, 0.0));  // whole device, idle: admitted
+  EXPECT_EQ(governor.active_warps(0), 100u);
+  EXPECT_FALSE(governor.try_admit(0, 1, 1.0));  // busy: even 1 warp crosses
+  governor.release(0, 0, 2.0);
+  EXPECT_EQ(governor.active_warps(0), 0u);
+  EXPECT_TRUE(governor.try_admit(0, 5, 3.0));  // idle again
+}
+
+TEST(OccupancyGovernor, TalliesAdmissionsPairsAndOccupancy) {
+  OccupancyGovernor governor(2, 10, 1.0);  // budget 9
+  EXPECT_TRUE(governor.try_admit(0, 4, 0.0));
+  EXPECT_TRUE(governor.try_admit(0, 4, 0.0));   // 1 co-run pair
+  EXPECT_FALSE(governor.try_admit(0, 4, 0.0));  // 12 > 9: rejected
+  EXPECT_TRUE(governor.try_admit(0, 1, 0.0));   // 2 more pairs
+  EXPECT_EQ(governor.free_warps(0), 0u);
+  EXPECT_EQ(governor.running_tasks(0), 3u);
+
+  governor.release(0, 4, 10.0);
+  governor.release(0, 4, 10.0);
+  governor.release(0, 1, 10.0);
+  // GPU 0 carried 9 active warps for 10 us; finalize at 20 us over a
+  // 10-warp device: 90 / (20 * 10) = 0.45. GPU 1 stayed idle.
+  const OccupancyGovernor::Stats stats = governor.finalize(20.0);
+  ASSERT_EQ(stats.per_gpu.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.per_gpu[0].mean_occupancy, 0.45);
+  EXPECT_EQ(stats.per_gpu[0].peak_warps, 9u);
+  EXPECT_DOUBLE_EQ(stats.per_gpu[1].mean_occupancy, 0.0);
+  EXPECT_EQ(stats.admissions, 3u);
+  EXPECT_EQ(stats.rejections, 1u);
+  EXPECT_EQ(stats.co_run_pairs, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine sharing mode.
+
+TEST(OccupancySharing, CoSchedulingBeatsExclusiveOnSmallTasks) {
+  // Four 2-warp tasks on an 8-warp device (budget 7): three co-run at the
+  // solo rate, so sharing roughly halves the serial makespan.
+  const core::TaskGraph graph = warp_graph(4, 2);
+  const core::Platform platform = tiny_platform(1, 8);
+
+  const auto makespan = [&](double threshold) {
+    sched::EagerScheduler scheduler;
+    sim::RuntimeEngine engine(graph, platform, scheduler,
+                              {.occupancy_threshold = threshold});
+    sim::InvariantChecker checker({.fail_fast = false});
+    engine.add_inspector(&checker);
+    const core::RunMetrics metrics = engine.run();
+    EXPECT_TRUE(checker.ok()) << checker.report().error;
+    return metrics.makespan_us;
+  };
+
+  const double exclusive = makespan(0.0);
+  const double shared = makespan(1.0);
+  EXPECT_LT(shared, exclusive * 0.6)
+      << "sharing " << shared << " vs exclusive " << exclusive;
+}
+
+TEST(OccupancySharing, OversubscriptionConservesThroughput) {
+  // Two whole-device tasks co-run at threshold 2.1: slowdown 2 makes both
+  // finish together exactly when exclusive ownership would finish the
+  // second — processor sharing conserves total compute.
+  const core::TaskGraph graph = warp_graph(2, 8, 100.0);
+  const core::Platform platform = tiny_platform(1, 8);
+
+  const auto run = [&](double threshold) {
+    sched::EagerScheduler scheduler;
+    sim::RuntimeEngine engine(graph, platform, scheduler,
+                              {.occupancy_threshold = threshold});
+    sim::InvariantChecker checker({.fail_fast = false});
+    RecordingInspector recorder;
+    engine.add_inspector(&checker);
+    engine.add_inspector(&recorder);
+    const core::RunMetrics metrics = engine.run();
+    EXPECT_TRUE(checker.ok()) << checker.report().error;
+    return std::pair(metrics.makespan_us, recorder.count(
+                         InspectorEventKind::kTaskAdmitted));
+  };
+
+  const auto [exclusive, exclusive_admissions] = run(0.0);
+  const auto [shared, shared_admissions] = run(2.1);
+  EXPECT_EQ(exclusive_admissions, 0u);  // sharing off: no admission events
+  EXPECT_EQ(shared_admissions, 2u);
+  EXPECT_NEAR(shared, exclusive, 1.0);
+}
+
+TEST(OccupancySharing, SharingOffIsByteIdenticalDespiteFootprints) {
+  // The same workload with and without warp annotations produces
+  // byte-identical schema-8 reports at threshold 0: footprints are inert
+  // until the governor is armed, and the occupancy section stays zeroed.
+  const core::Platform platform = tiny_platform(2, 8);
+  core::TaskGraphBuilder plain_builder;
+  const DataId plain_data = plain_builder.add_data(10);
+  for (std::uint32_t t = 0; t < 6; ++t) {
+    plain_builder.add_task(50.0, {plain_data});
+  }
+  const core::TaskGraph plain = plain_builder.build();
+  const core::TaskGraph annotated = warp_graph(6, 2, 50.0);
+
+  const auto report_json = [&](const core::TaskGraph& graph,
+                               sim::EngineConfig config) {
+    sched::EagerScheduler scheduler;
+    sim::RuntimeEngine engine(graph, platform, scheduler, config);
+    sim::RunReportCollector collector(
+        {.context = "identity", .collect_trace = false});
+    engine.add_inspector(&collector);
+    (void)engine.run();
+    return run_report_to_json(collector.report());
+  };
+
+  const std::string a = report_json(plain, {});
+  const std::string b = report_json(annotated, {.occupancy_threshold = 0.0});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"occupancy\":{\"enabled\":false"), std::string::npos);
+  EXPECT_NE(a.find("\"co_run_pairs\":0"), std::string::npos);
+}
+
+TEST(OccupancySharing, WarpBudgetPropertyNeverExceeded) {
+  // Randomized graphs (mixed footprints, some whole-device) under random
+  // thresholds: replaying the admission stream must show every admission
+  // onto a busy GPU staying within the advertised budget, and the checker
+  // must agree event by event.
+  std::mt19937 rng(20260809);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint32_t gpus = 1 + rng() % 3;
+    const std::uint32_t warps_per_gpu = 4 + rng() % 13;
+    const std::uint32_t tasks = 8 + rng() % 17;
+    const double threshold = 0.3 + 0.1 * static_cast<double>(rng() % 18);
+
+    core::TaskGraphBuilder builder;
+    const DataId data = builder.add_data(10);
+    for (std::uint32_t t = 0; t < tasks; ++t) {
+      const TaskId id =
+          builder.add_task(20.0 + static_cast<double>(rng() % 100), {data});
+      // ~1 in 5 tasks keeps the unspecified (whole device) footprint.
+      if (rng() % 5 != 0) {
+        builder.set_task_warps(id, 1 + rng() % (2 * warps_per_gpu));
+      }
+    }
+    const core::TaskGraph graph = builder.build();
+    const core::Platform platform = tiny_platform(gpus, warps_per_gpu);
+
+    sched::EagerScheduler scheduler;
+    sim::RuntimeEngine engine(graph, platform, scheduler,
+                              {.occupancy_threshold = threshold});
+    sim::InvariantChecker checker({.fail_fast = false});
+    RecordingInspector recorder;
+    engine.add_inspector(&checker);
+    engine.add_inspector(&recorder);
+    ASSERT_NO_THROW(engine.run()) << "trial " << trial;
+    EXPECT_TRUE(checker.ok()) << "trial " << trial << ": "
+                              << checker.report().error;
+
+    std::uint32_t budget = 0;
+    std::vector<std::uint32_t> active(gpus, 0);
+    std::vector<std::uint32_t> running(gpus, 0);
+    std::vector<std::uint32_t> warps(graph.num_tasks(), 0);
+    for (const InspectorEvent& event : recorder.events()) {
+      switch (event.kind) {
+        case InspectorEventKind::kOccupancyConfig:
+          budget = static_cast<std::uint32_t>(event.bytes);
+          break;
+        case InspectorEventKind::kTaskAdmitted:
+          if (running[event.gpu] > 0) {
+            EXPECT_LE(active[event.gpu] + event.bytes, budget)
+                << "trial " << trial << ": busy admission crossed the budget";
+          }
+          active[event.gpu] += static_cast<std::uint32_t>(event.bytes);
+          warps[event.id] = static_cast<std::uint32_t>(event.bytes);
+          ++running[event.gpu];
+          EXPECT_EQ(event.aux, active[event.gpu]);
+          break;
+        case InspectorEventKind::kTaskEnd:
+          if (running[event.gpu] > 0) {
+            active[event.gpu] -= warps[event.id];
+            --running[event.gpu];
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    EXPECT_EQ(recorder.count(InspectorEventKind::kOccupancyConfig), 1u);
+    EXPECT_EQ(recorder.count(InspectorEventKind::kTaskEnd),
+              graph.num_tasks());
+  }
+}
+
+TEST(OccupancySharing, CoRunningSetSurvivesGpuLoss) {
+  // GPU 0 dies while several kernels co-run on it: the whole running set is
+  // orphaned, re-runs on the survivor, and the warp accounting unwinds
+  // cleanly (the checker re-proves the exactly-once budget hand-back).
+  const core::TaskGraph graph = warp_graph(8, 2, 100.0);
+  sim::FaultPlan plan;
+  plan.gpu_losses.push_back({50.0, 0});
+  sim::FaultInjector injector(plan);
+
+  sched::EagerScheduler scheduler;
+  sim::RuntimeEngine engine(graph, tiny_platform(2, 8), scheduler,
+                            {.occupancy_threshold = 1.0});
+  engine.set_fault_injector(&injector);
+  sim::InvariantChecker checker({.fail_fast = false});
+  RecordingInspector recorder;
+  engine.add_inspector(&checker);
+  engine.add_inspector(&recorder);
+
+  core::RunMetrics metrics;
+  ASSERT_NO_THROW(metrics = engine.run());
+  EXPECT_TRUE(checker.ok()) << checker.report().error;
+  EXPECT_GE(metrics.faults.tasks_reclaimed, 2u)
+      << "the loss should orphan a whole co-running set, not one task";
+  EXPECT_EQ(recorder.count(InspectorEventKind::kTaskEnd), graph.num_tasks());
+}
+
+TEST(OccupancySharing, CoRunningUnderPlannedDrainLosesNoProgress) {
+  // A node drain while its GPUs co-run kernels: the drain fences new work,
+  // lets every co-runner finish, and retires with zero reclaims.
+  const core::TaskGraph graph = warp_graph(16, 2, 40.0);
+  sched::EagerScheduler scheduler;
+  sim::RuntimeEngine engine(graph, tiny_platform(4, 8, 2), scheduler,
+                            {.occupancy_threshold = 1.0});
+  sim::InvariantChecker checker({.fail_fast = false});
+  RecordingInspector recorder;
+  engine.add_inspector(&checker);
+  engine.add_inspector(&recorder);
+  engine.event_queue().schedule_at(30.0,
+                                   [&engine] { engine.begin_node_drain(1); });
+
+  core::RunMetrics metrics;
+  ASSERT_NO_THROW(metrics = engine.run());
+  EXPECT_TRUE(checker.ok()) << checker.report().error;
+  EXPECT_EQ(recorder.count(InspectorEventKind::kNodeDrained), 1u);
+  EXPECT_EQ(recorder.count(InspectorEventKind::kTaskEnd), graph.num_tasks());
+  EXPECT_EQ(metrics.faults.tasks_reclaimed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Serving composition.
+
+TEST(OccupancyServe, ExplicitJobFootprintsComposeWithAdmission) {
+  // Jobs override the template footprint through JobSpec::warps; the
+  // governor co-schedules across job boundaries and the schema-8 section
+  // reports it.
+  core::TaskGraphBuilder builder;
+  const DataId data = builder.add_data(10);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    builder.add_task(50.0, {data});  // template leaves footprints unset
+  }
+  const std::vector<core::TaskGraph> templates = {builder.build()};
+  std::vector<serve::JobSpec> jobs(8);
+  for (serve::JobSpec& job : jobs) job.warps = 2;
+
+  serve::ServeConfig config;
+  config.arrival.mode = serve::ArrivalMode::kPoisson;
+  config.arrival.rate_jobs_per_s = 5000.0;
+  config.arrival.seed = 7;
+  config.admission.max_jobs_in_flight = 8;
+  config.engine.occupancy_threshold = 1.0;
+
+  sched::DmdaScheduler scheduler;
+  serve::ServeEngine engine(templates, jobs, tiny_platform(2, 8), scheduler,
+                            config);
+  sim::InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  sim::RunReportCollector collector(
+      {.context = "occupancy-serve", .collect_trace = false});
+  engine.add_inspector(&collector);
+
+  serve::ServeResult result;
+  ASSERT_NO_THROW(result = engine.run());
+  EXPECT_TRUE(checker.ok()) << checker.report().error;
+  EXPECT_EQ(result.serving.jobs_completed, 8u);
+
+  const sim::RunReport::Occupancy& occ = collector.report().occupancy;
+  EXPECT_TRUE(occ.enabled);
+  EXPECT_EQ(occ.total_warps, 8u);
+  EXPECT_EQ(occ.budget_warps, 7u);
+  EXPECT_GT(occ.co_run_pairs, 0u) << "explicit 2-warp footprints should "
+                                     "co-run across job boundaries";
+  EXPECT_EQ(occ.admissions, 32u);  // every task admitted exactly once
+  std::uint32_t peak = 0;
+  for (const sim::RunReport::Occupancy::Gpu& gpu : occ.per_gpu) {
+    peak = std::max(peak, gpu.peak_warps);
+  }
+  EXPECT_GT(peak, 2u);  // more than one 2-warp kernel resident at once
+  EXPECT_LE(peak, 7u);  // never past the budget (no whole-device tasks here)
+}
+
+}  // namespace
+}  // namespace mg
