@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Tracked-perf guard: compare a fresh bench JSON against the committed
+baseline and fail on an events/sec regression beyond the tolerance.
+
+Usage:
+    check_bench.py FRESH.json BASELINE.json [--tolerance 0.20]
+
+Both files are the single-object JSON emitted by bench_autoscale /
+bench_occupancy ({"bench": ..., "events": ..., "events_per_sec": ...}).
+The guard is deliberately loose (20% by default): CI boxes are not the
+machine that recorded the baseline, so only a substantial drop — the kind
+a quadratic event loop or an accidental O(n) scan in a hot path causes —
+should trip it. Event-count drift is reported but does not gate; the
+simulator's own differential tests pin behavior.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when FRESH regresses events/sec vs. BASELINE")
+    parser.add_argument("fresh", help="bench JSON from this run")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional events/sec drop (default: 0.20)")
+    args = parser.parse_args()
+
+    with open(args.fresh, encoding="utf-8") as handle:
+        fresh = json.load(handle)
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    if fresh.get("bench") != baseline.get("bench"):
+        print(
+            f"check_bench: bench mismatch: fresh is {fresh.get('bench')!r}, "
+            f"baseline is {baseline.get('bench')!r}",
+            file=sys.stderr)
+        return 1
+
+    fresh_rate = float(fresh["events_per_sec"])
+    base_rate = float(baseline["events_per_sec"])
+    if base_rate <= 0:
+        print("check_bench: baseline events_per_sec is not positive",
+              file=sys.stderr)
+        return 1
+
+    floor = base_rate * (1.0 - args.tolerance)
+    ratio = fresh_rate / base_rate
+    print(f"check_bench[{fresh.get('bench')}]: fresh {fresh_rate:.0f} ev/s "
+          f"vs baseline {base_rate:.0f} ev/s "
+          f"({ratio:.2%}, floor {floor:.0f})")
+    if fresh.get("events") != baseline.get("events"):
+        print(f"check_bench: note: event count moved "
+              f"{baseline.get('events')} -> {fresh.get('events')} "
+              f"(behavior change; not gating)")
+
+    if fresh_rate < floor:
+        print(
+            f"check_bench: FAIL: events/sec regressed more than "
+            f"{args.tolerance:.0%} ({ratio:.2%} of baseline)",
+            file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

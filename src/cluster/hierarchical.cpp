@@ -145,6 +145,7 @@ void HierarchicalScheduler::prepare(const core::TaskGraph& graph,
   const std::uint32_t num_nodes =
       platform.is_cluster() ? platform.num_nodes : 1;
   identity_ = num_nodes == 1;
+  node_suspected_.assign(num_nodes, 0);
 
   // Single node: no partition, no translation — delegate everything.
   if (identity_) {
@@ -265,6 +266,7 @@ core::TaskId HierarchicalScheduler::steal_for(core::GpuId gpu,
   std::size_t most = 0;
   for (std::uint32_t candidate = 0; candidate < nodes_.size(); ++candidate) {
     if (candidate == platform_.node_of(gpu)) continue;
+    if (node_suspected_[candidate] != 0) continue;
     if (nodes_[candidate]->unpopped > most) {
       most = nodes_[candidate]->unpopped;
       victim_id = candidate;
@@ -355,6 +357,14 @@ std::vector<core::DataId> HierarchicalScheduler::prefetch_hints(
       node.inner->prefetch_hints(gpu - node.gpu_begin);
   for (core::DataId& data : hints) data = node.local_to_global_data[data];
   return hints;
+}
+
+void HierarchicalScheduler::notify_node_suspected(core::NodeId node) {
+  if (node < node_suspected_.size()) node_suspected_[node] = 1;
+}
+
+void HierarchicalScheduler::notify_node_suspicion_cleared(core::NodeId node) {
+  if (node < node_suspected_.size()) node_suspected_[node] = 0;
 }
 
 core::EvictionPolicy* HierarchicalScheduler::eviction_policy(core::GpuId gpu) {

@@ -87,6 +87,12 @@ class HierarchicalScheduler final : public core::Scheduler {
 
   [[nodiscard]] core::EvictionPolicy* eviction_policy(core::GpuId gpu) override;
 
+  /// Suspicion (network faults): a suspected node is skipped as a steal
+  /// victim — loot would drag its inputs across the bad link. Its own inner
+  /// scheduler keeps serving local pops; clearing restores it as a victim.
+  void notify_node_suspected(core::NodeId node) override;
+  void notify_node_suspicion_cleared(core::NodeId node) override;
+
   /// Cross-node steals so far (tasks popped from a remote node's inner
   /// scheduler); patched into RunReport::Cluster::steals by the bench
   /// driver.
@@ -124,6 +130,8 @@ class HierarchicalScheduler final : public core::Scheduler {
   };
   std::vector<Issued> issued_;
   std::uint64_t steals_ = 0;
+  /// Nodes currently suspected by the failure detector (network faults).
+  std::vector<std::uint8_t> node_suspected_;
   /// Dependency gating (multi-node only; identity mode delegates): global
   /// enabled bitmap plus the wrapper-side hold queue for tasks an inner
   /// scheduler popped before their remote predecessors retired.

@@ -4,6 +4,13 @@
 
 namespace mg::cluster {
 
+namespace {
+/// Weight applied to the internode leg of an input no healthy node can
+/// serve: crossing a link to a suspected holder is likely to time out and
+/// hedge, so such tasks should lose ties against healthy-servable work.
+constexpr double kSuspectedCostFactor = 8.0;
+}  // namespace
+
 LocalityScheduler::LocalityScheduler(LocalityOptions options)
     : options_(options) {}
 
@@ -27,6 +34,8 @@ void LocalityScheduler::prepare(const core::TaskGraph& graph,
       platform.is_cluster() ? platform.num_nodes : 1;
   node_local_.assign(static_cast<std::size_t>(num_nodes) * graph.num_data(),
                      0);
+  node_suspected_.assign(num_nodes, 0);
+  suspicion_armed_ = false;
   for (core::DataId data = 0; data < graph.num_data(); ++data) {
     const core::NodeId home =
         platform.is_cluster() ? platform.home_node_of(data) : 0;
@@ -81,6 +90,26 @@ bool LocalityScheduler::notify_node_lost(core::NodeId node,
   return true;
 }
 
+void LocalityScheduler::notify_node_suspected(core::NodeId node) {
+  if (node >= node_suspected_.size()) return;
+  suspicion_armed_ = true;
+  node_suspected_[node] = 1;
+}
+
+void LocalityScheduler::notify_node_suspicion_cleared(core::NodeId node) {
+  if (node >= node_suspected_.size()) return;
+  node_suspected_[node] = 0;
+}
+
+bool LocalityScheduler::served_by_healthy_node(core::DataId data) const {
+  const std::size_t num_data = graph_->num_data();
+  for (std::size_t node = 0; node < node_suspected_.size(); ++node) {
+    if (node_suspected_[node] != 0) continue;
+    if (node_local_[node * num_data + data] != 0) return true;
+  }
+  return false;
+}
+
 double LocalityScheduler::fetch_cost_us(core::GpuId gpu, core::TaskId task,
                                         const core::MemoryView& memory,
                                         std::uint64_t* present_bytes) const {
@@ -97,7 +126,10 @@ double LocalityScheduler::fetch_cost_us(core::GpuId gpu, core::TaskId task,
     } else if (node_local_[row + data] != 0) {
       cost += platform_.transfer_time_us(size);
     } else {
-      cost += platform_.internode_transfer_time_us(size);
+      double remote = platform_.internode_transfer_time_us(size);
+      if (suspicion_armed_ && !served_by_healthy_node(data))
+        remote *= kSuspectedCostFactor;
+      cost += remote;
     }
   }
   *present_bytes = present;

@@ -82,6 +82,14 @@ class LocalityScheduler final : public core::Scheduler {
       core::NodeId node, std::span<const core::GpuId> gpus,
       std::span<const core::TaskId> orphaned) override;
 
+  /// Suspicion (network faults): inputs whose every known holder is
+  /// suspected get their internode cost weighted up by a fixed factor, so
+  /// pops steer towards tasks whose data healthy nodes can serve — the
+  /// locality analogue of "raise the suspected node's distance". Cleared
+  /// suspicion restores the plain cost.
+  void notify_node_suspected(core::NodeId node) override;
+  void notify_node_suspicion_cleared(core::NodeId node) override;
+
  private:
   /// Clears the node's node_local_ row (stale after a drain or loss).
   void forget_node(core::NodeId node);
@@ -91,6 +99,9 @@ class LocalityScheduler final : public core::Scheduler {
   [[nodiscard]] double fetch_cost_us(core::GpuId gpu, core::TaskId task,
                                      const core::MemoryView& memory,
                                      std::uint64_t* present_bytes) const;
+
+  /// True when some unsuspected node can serve `data` locally.
+  [[nodiscard]] bool served_by_healthy_node(core::DataId data) const;
 
   LocalityOptions options_;
   bool streaming_ = false;
@@ -103,6 +114,10 @@ class LocalityScheduler final : public core::Scheduler {
   /// one of its GPUs (so it sits in the node's host cache). Single row on a
   /// single-node platform.
   std::vector<std::uint8_t> node_local_;
+  /// Suspicion state (network faults); armed by the first
+  /// notify_node_suspected so unsuspicious runs pay nothing extra.
+  bool suspicion_armed_ = false;
+  std::vector<std::uint8_t> node_suspected_;
 };
 
 }  // namespace mg::cluster

@@ -198,6 +198,19 @@ class Scheduler {
     return adopted;
   }
 
+  /// Suspicion-based failure detection (network faults): remote fetches from
+  /// `node` timed out past the detector threshold, so the node is *suspected*
+  /// — possibly partitioned, possibly lost. Unlike notify_node_lost nothing
+  /// destructive happened: the node's GPUs keep serving their own queues, but
+  /// placement should steer away (stop stealing from it, raise its distance)
+  /// until notify_node_suspicion_cleared re-integrates it, or the engine
+  /// escalates to the notify_node_lost path. Default: ignore.
+  virtual void notify_node_suspected(NodeId node) { (void)node; }
+
+  /// A delivery from `node` landed (the partition healed or the timeouts
+  /// were transient): placement may treat it as healthy again.
+  virtual void notify_node_suspicion_cleared(NodeId node) { (void)node; }
+
   /// Replay divergence report. A scheduler replaying a recorded order that
   /// rewired work after losing `gpu` (see notify_gpu_lost) describes the
   /// break here: at which index of the dead GPU's recorded order the replay

@@ -15,6 +15,9 @@ void WorkQueueScheduler::prepare(const core::TaskGraph& graph,
   dead_.assign(platform.num_gpus, 0);
   inactive_.assign(platform.num_gpus, 0);
   unavailable_.assign(platform.num_gpus, 0);
+  suspected_.assign(platform.num_gpus, 0);
+  placement_scratch_.assign(platform.num_gpus, 0);
+  suspicion_armed_ = false;
   occ_hinted_ = false;
   occ_active_warps_.assign(platform.num_gpus, 0);
   occ_free_warps_.assign(platform.num_gpus, 0);
@@ -60,7 +63,8 @@ void WorkQueueScheduler::notify_job_arrived(
       placed_[task] = 1;
     }
   }
-  partition_arrival(*graph_, *platform_, job, tasks, unavailable_, queues_);
+  partition_arrival(*graph_, *platform_, job, tasks, placement_mask(),
+                    queues_);
 }
 
 void WorkQueueScheduler::notify_task_retired(
@@ -74,7 +78,8 @@ void WorkQueueScheduler::notify_task_retired(
       // least-loaded placement of a one-task block.
       placed_[succ] = 1;
       const core::TaskId block[1] = {succ};
-      partition_arrival(*graph_, *platform_, 0, block, unavailable_, queues_);
+      partition_arrival(*graph_, *platform_, 0, block, placement_mask(),
+                        queues_);
     }
   }
 }
@@ -273,12 +278,40 @@ bool WorkQueueScheduler::notify_node_lost(
   return evacuate(gpus, orphaned);
 }
 
+void WorkQueueScheduler::notify_node_suspected(core::NodeId node) {
+  suspicion_armed_ = true;
+  for (core::GpuId gpu = platform_->node_gpu_begin(node);
+       gpu < platform_->node_gpu_end(node); ++gpu) {
+    suspected_[gpu] = 1;
+  }
+}
+
+void WorkQueueScheduler::notify_node_suspicion_cleared(core::NodeId node) {
+  for (core::GpuId gpu = platform_->node_gpu_begin(node);
+       gpu < platform_->node_gpu_end(node); ++gpu) {
+    suspected_[gpu] = 0;
+  }
+}
+
+std::span<const std::uint8_t> WorkQueueScheduler::placement_mask() {
+  if (!suspicion_armed_) return unavailable_;
+  bool any_clear = false;
+  for (std::size_t gpu = 0; gpu < unavailable_.size(); ++gpu) {
+    placement_scratch_[gpu] =
+        static_cast<std::uint8_t>(unavailable_[gpu] | suspected_[gpu]);
+    if (placement_scratch_[gpu] == 0) any_clear = true;
+  }
+  if (!any_clear) return unavailable_;  // everything suspected: place anyway
+  return placement_scratch_;
+}
+
 void WorkQueueScheduler::steal(core::GpuId thief) {
   // Victim: the GPU with the most unprocessed tasks.
   core::GpuId victim = core::kInvalidGpu;
   std::size_t most = 0;
   for (core::GpuId gpu = 0; gpu < queues_.size(); ++gpu) {
     if (gpu == thief || !serving(gpu)) continue;
+    if (suspected_[gpu] != 0) continue;  // loot would cross the bad link
     if (queues_[gpu].size() > most) {
       most = queues_[gpu].size();
       victim = gpu;

@@ -49,6 +49,14 @@ class WorkQueueScheduler : public core::Scheduler {
       core::NodeId node, std::span<const core::GpuId> gpus,
       std::span<const core::TaskId> orphaned) final;
 
+  /// Suspicion (network faults): a suspected node's GPUs stop being steal
+  /// victims (loot would drag its inputs over the bad link) and arrivals
+  /// avoid them while an unsuspected serving GPU exists. The GPUs keep
+  /// serving their own queues — nothing is evacuated; clearing restores
+  /// them fully.
+  void notify_node_suspected(core::NodeId node) final;
+  void notify_node_suspicion_cleared(core::NodeId node) final;
+
   /// Streaming: the static partition is skipped; each arriving job is placed
   /// by partition_arrival (default: block-append to the least loaded
   /// surviving queue) and stealing rebalances from there.
@@ -130,6 +138,11 @@ class WorkQueueScheduler : public core::Scheduler {
     return unavailable_[gpu] == 0;
   }
 
+  /// Placement mask for partition_arrival: unavailable_ widened by the
+  /// suspected GPUs — unless that would mask every serving GPU, in which
+  /// case availability alone decides (an arrival must land somewhere).
+  [[nodiscard]] std::span<const std::uint8_t> placement_mask();
+
   /// Dependency-gated pop: restricts the FIFO/Ready/priority choice to
   /// enabled tasks (blocked tasks keep their queue positions).
   [[nodiscard]] core::TaskId pop_task_deps(core::GpuId gpu,
@@ -161,6 +174,11 @@ class WorkQueueScheduler : public core::Scheduler {
   std::vector<std::uint8_t> inactive_;  ///< GPUs on a drained/inactive node
   /// dead_|inactive_ merged — the placement mask partition_arrival sees.
   std::vector<std::uint8_t> unavailable_;
+  /// GPUs on a suspected node (network faults); armed by the first
+  /// notify_node_suspected so unsuspicious runs pay nothing extra.
+  std::vector<std::uint8_t> suspected_;
+  std::vector<std::uint8_t> placement_scratch_;
+  bool suspicion_armed_ = false;
   std::uint64_t steal_events_ = 0;
   /// Job priorities announced via notify_job_priority and their per-task
   /// projection (filled as jobs arrive). `has_priorities_` arms the

@@ -60,6 +60,13 @@ class Bus : public TransferRouter {
                                          std::uint64_t bytes,
                                          std::uint32_t attempt)>;
 
+  /// Duration adjustment, consulted as a transfer enters the wire with the
+  /// modeled duration `base_us`. Returns the effective wire time — a
+  /// degraded link multiplies and a straggler adds latency; returning
+  /// `base_us` unchanged models a healthy link.
+  using CostHook = std::function<double(core::GpuId dst, std::uint64_t bytes,
+                                        double base_us)>;
+
   /// A queued transfer. Public so that GPU-loss recovery can drain and
   /// inspect pending requests.
   struct Request {
@@ -108,6 +115,7 @@ class Bus : public TransferRouter {
     wire_observer_ = std::move(observer);
   }
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  void set_cost_hook(CostHook hook) { cost_hook_ = std::move(hook); }
 
   /// Removes and returns every still-queued request towards `dst` (GPU-loss
   /// recovery). A request already on the wire, or waiting out a retry
@@ -170,8 +178,11 @@ class Bus : public TransferRouter {
       busy_ = true;
       Request request = std::move(front);
       queue->pop_front();
-      const double duration =
+      double duration =
           core::Platform::link_time_us(request.bytes, bandwidth_, latency_us_);
+      if (cost_hook_) {
+        duration = cost_hook_(request.gpu, request.bytes, duration);
+      }
       busy_time_us_ += duration;
       if (wire_observer_) {
         wire_observer_(true, request.gpu, request.data, request.bytes);
@@ -210,6 +221,7 @@ class Bus : public TransferRouter {
   StartFilter filter_;
   WireObserver wire_observer_;
   FaultHook fault_hook_;
+  CostHook cost_hook_;
   bool busy_ = false;
   double busy_time_us_ = 0.0;
 };

@@ -16,6 +16,9 @@ using core::GpuId;
 using core::kInvalidTask;
 using core::TaskId;
 
+/// "No reachable holder" answer of pick_hedge_source.
+constexpr core::NodeId kNoNode = 0xffffffffu;
+
 RuntimeEngine::RuntimeEngine(const core::TaskGraph& graph,
                              const core::Platform& platform,
                              core::Scheduler& scheduler, EngineConfig config)
@@ -329,6 +332,19 @@ void RuntimeEngine::request_cluster_transfer(GpuId dst, DataId data,
   publish(InspectorEventKind::kHostFetchStart, dst, data, bytes, kNoChannel,
           node_id);
   const core::NodeId home = home_node(data);
+  if (netfault_active_ && config_.fetch_timeout_factor > 0.0) {
+    // Timed fetch: the delivery routes through the dedup gate (a hedge may
+    // win the race) and a deadline event hedges or re-arms on expiry.
+    NetFetchState& fetch = net_fetch_[node_id][data];
+    fetch.source = home;
+    ++fetch.generation;
+    fetch.hedges = 0;
+    fetch.retries = 0;
+    fetch.timed_out = 0;
+    issue_net_fetch(node_id, home, dst, data, bytes, priority);
+    arm_fetch_deadline(node_id, data, bytes, fetch_deadline_us(bytes));
+    return;
+  }
   // PCI out of the home node's host memory, one network hop, then the fill
   // fans the data out to every waiting GPU over this node's PCI bus.
   nodes_[home].pci->request(
@@ -435,6 +451,10 @@ core::RunMetrics RuntimeEngine::run() {
   }
   MG_CHECK_MSG(config_.occupancy_threshold >= 0.0,
                "occupancy threshold must be >= 0");
+  MG_CHECK_MSG(config_.retry_jitter >= 0.0, "retry jitter must be >= 0");
+  MG_CHECK_MSG(config_.fetch_timeout_factor >= 0.0 &&
+                   config_.suspicion_confirm_window_us >= 0.0,
+               "fetch timeout factor and confirm window must be >= 0");
   if (config_.occupancy_threshold > 0.0) {
     // Checkpoint boundaries are scheduled at absolute compute offsets under
     // a constant rate; a sharing set's rate changes with every admission.
@@ -569,6 +589,14 @@ core::RunMetrics RuntimeEngine::run() {
   if (faults_active) {
     schedule_faults();
     if (injector_->has_transfer_faults()) attach_fault_hooks();
+  }
+  // Network-fault layer: armed by planned link faults, or by the fetch
+  // timeout knob on a cluster. Everything else leaves it dormant, keeping
+  // the run byte-identical to an engine without the layer.
+  if ((faults_active && !injector_->plan().link_faults.empty()) ||
+      (cluster_active_ && config_.fetch_timeout_factor > 0.0)) {
+    MG_CHECK_MSG(cluster_active_, "link faults need a multi-node platform");
+    arm_netfaults();
   }
 
   if (deps_active_) {
@@ -1447,6 +1475,9 @@ void RuntimeEngine::schedule_faults() {
 }
 
 void RuntimeEngine::attach_fault_hooks() {
+  if (config_.retry_jitter > 0.0) {
+    jitter_state_ = config_.seed != 0 ? config_.seed : 0x9e3779b97f4a7c15ull;
+  }
   auto hook = [this](std::uint32_t channel) {
     return [this, channel](GpuId dst, DataId data, std::uint64_t bytes,
                            std::uint32_t attempt) -> double {
@@ -1463,8 +1494,20 @@ void RuntimeEngine::attach_fault_hooks() {
               attempt);
       const double exponent =
           static_cast<double>(std::min<std::uint32_t>(attempt - 1, 30));
-      return std::min(config_.retry_backoff_cap_us,
-                      config_.retry_backoff_base_us * std::exp2(exponent));
+      double backoff = std::min(config_.retry_backoff_cap_us,
+                                config_.retry_backoff_base_us *
+                                    std::exp2(exponent));
+      if (config_.retry_jitter > 0.0) {
+        // One xorshift64 draw per failed attempt de-synchronizes concurrent
+        // retries; with the knob at its default of 0 no draw happens and the
+        // schedule stays byte-identical.
+        jitter_state_ ^= jitter_state_ << 13;
+        jitter_state_ ^= jitter_state_ >> 7;
+        jitter_state_ ^= jitter_state_ << 17;
+        const double u = static_cast<double>(jitter_state_ >> 11) * 0x1.0p-53;
+        backoff *= 1.0 + config_.retry_jitter * u;
+      }
+      return backoff;
     };
   };
   bus_.set_fault_hook(hook(kChannelHostBus));
@@ -1721,10 +1764,15 @@ void RuntimeEngine::start_data_migrations(core::NodeId node) {
             kNoChannel, dst);
     // The shard leaves over the draining node's PCI bus and network egress —
     // the remote-fetch chain in reverse; landing on the new home re-homes it.
+    // With the netfault layer armed the net leg is addressed to the
+    // *destination* node's port so link faults on the (node, dst) pair
+    // degrade or park it; dormant runs keep the historical self-addressing.
+    const GpuId net_port =
+        netfault_active_ ? platform_.node_gpu_begin(dst) : port;
     nodes_[node].pci->request(
-        port, data, bytes, [this, node, dst, port, data, bytes] {
+        port, data, bytes, [this, node, dst, net_port, port, data, bytes] {
           nodes_[node].net->request(
-              port, data, bytes, [this, node, dst, port, data, bytes] {
+              net_port, data, bytes, [this, node, dst, port, data, bytes] {
                 home_override_[data] = dst;
                 publish(InspectorEventKind::kDataMigrated, port, data, bytes,
                         kNoChannel, dst);
@@ -2001,6 +2049,32 @@ void RuntimeEngine::fail_node(core::NodeId node) {
     }
   }
 
+  // A timed fetch sourced at the lost node may sit parked behind a
+  // partition that never heals (that is exactly what the detector's
+  // escalation to this node loss concluded): re-issue each one from the
+  // shard's new home so its waiters are not stranded. When the re-home
+  // landed on the waiting node itself the re-issue rides the node's own
+  // egress — one artificial hop, but the recovery stays on the audited
+  // fetch path (delivery, dedup gate, byte conservation all unchanged).
+  if (netfault_active_ && config_.fetch_timeout_factor > 0.0) {
+    for (core::NodeId dest = 0; dest < platform_.num_nodes; ++dest) {
+      if (dest == node || node_status_[dest] == NodeStatus::kLost) continue;
+      for (DataId data = 0; data < graph_.num_data(); ++data) {
+        if (nodes_[dest].net_fetching[data] == 0) continue;
+        NetFetchState& fetch = net_fetch_[dest][data];
+        if (fetch.source != node) continue;
+        ++fetch.generation;  // retire the stranded issue and its deadline
+        fetch.source = home_node(data);
+        const std::uint64_t bytes = graph_.data_size(data);
+        const std::vector<NodeWaiter>& waiters = nodes_[dest].waiters[data];
+        const GpuId dst = waiters.empty() ? platform_.node_gpu_begin(dest)
+                                          : waiters.front().gpu;
+        issue_net_fetch(dest, fetch.source, dst, data, bytes);
+        arm_fetch_deadline(dest, data, bytes, fetch_deadline_us(bytes));
+      }
+    }
+  }
+
   const bool adopted = scheduler_.notify_node_lost(node, node_gpus, orphans);
   if (!adopted) {
     for (TaskId task : orphans) reclaimed_.push_back(task);
@@ -2012,6 +2086,290 @@ void RuntimeEngine::fail_node(core::NodeId node) {
     pump_hints(other);
     try_start(other);
   }
+}
+
+// ---- Network faults: link windows, hedged fetches, suspicion ---------------
+
+void RuntimeEngine::arm_netfaults() {
+  netfault_active_ = true;
+  node_suspected_.assign(platform_.num_nodes, 0);
+  node_timeout_count_.assign(platform_.num_nodes, 0);
+  suspicion_epoch_.assign(platform_.num_nodes, 0);
+  net_fetch_.assign(platform_.num_nodes,
+                    std::vector<NetFetchState>(graph_.num_data()));
+  if (injector_ != nullptr) {
+    for (const FaultPlan::LinkFault& fault : injector_->plan().link_faults) {
+      LinkWindow window;
+      window.src = fault.src;
+      window.dst = fault.dst;
+      window.start_us = fault.start_us;
+      window.end_us = fault.end_us;
+      window.factor = fault.bandwidth_factor;
+      window.straggler_us = fault.straggler_us;
+      window.partition = fault.partition;
+      link_windows_.push_back(window);
+    }
+  }
+  for (std::size_t i = 0; i < link_windows_.size(); ++i) {
+    const LinkWindow& window = link_windows_[i];
+    events_.schedule_at(window.start_us,
+                        [this, i] { apply_link_boundary(i, /*start=*/true); });
+    if (std::isfinite(window.end_us)) {
+      events_.schedule_at(window.end_us, [this, i] {
+        apply_link_boundary(i, /*start=*/false);
+      });
+    }
+  }
+  // Every node's network egress gets a cost hook (degradation stretches the
+  // wire time, stragglers add latency) and a start filter that parks
+  // requests whose link is partitioned until the window closes.
+  for (core::NodeId node = 0; node < platform_.num_nodes; ++node) {
+    nodes_[node].net->set_cost_hook(
+        [this, node](GpuId dst, std::uint64_t bytes, double base_us) {
+          (void)bytes;
+          const LinkWindow* window =
+              active_link_fault(node, platform_.node_of(dst));
+          if (window == nullptr || window->partition) return base_us;
+          return base_us * window->factor + window->straggler_us;
+        });
+    nodes_[node].net->set_start_filter(
+        [this, node](GpuId dst, DataId data, std::uint64_t bytes,
+                     Bus::OnComplete& on_complete) {
+          if (!link_partitioned(node, platform_.node_of(dst))) return false;
+          parked_net_.push_back(
+              {node, dst, data, bytes, std::move(on_complete)});
+          return true;
+        });
+  }
+}
+
+const RuntimeEngine::LinkWindow* RuntimeEngine::active_link_fault(
+    core::NodeId a, core::NodeId b) const {
+  if (a == b) return nullptr;
+  for (const LinkWindow& window : link_windows_) {
+    if (!window.active) continue;
+    if ((window.src == a && window.dst == b) ||
+        (window.src == b && window.dst == a)) {
+      return &window;
+    }
+  }
+  return nullptr;
+}
+
+void RuntimeEngine::apply_link_boundary(std::size_t index, bool start) {
+  LinkWindow& window = link_windows_[index];
+  if (start) {
+    window.active = true;
+    if (window.partition) {
+      const std::uint64_t heal_us =
+          std::isfinite(window.end_us)
+              ? static_cast<std::uint64_t>(window.end_us)
+              : 0;
+      publish(InspectorEventKind::kLinkPartitioned, window.src, window.dst,
+              heal_us);
+    } else {
+      publish(InspectorEventKind::kLinkDegraded, window.src, window.dst,
+              static_cast<std::uint64_t>(window.factor * 1e6), kNoChannel,
+              static_cast<std::uint32_t>(window.straggler_us));
+    }
+    MG_TRACE("link node%u-node%u %s at t=%.1fus", window.src, window.dst,
+             window.partition ? "partitioned" : "degraded", events_.now());
+    return;
+  }
+  window.active = false;
+  publish(InspectorEventKind::kLinkRestored, window.src, window.dst, 0,
+          kNoChannel, window.partition ? 1 : 0);
+  MG_TRACE("link node%u-node%u restored at t=%.1fus", window.src, window.dst,
+           events_.now());
+  if (!window.partition) return;
+  // Re-submit the requests the partition parked on this pair. The egress may
+  // be partitioned against a *different* node by a still-open window — the
+  // start filter parks such a request right back.
+  std::vector<ParkedNetRequest> resumed;
+  for (auto it = parked_net_.begin(); it != parked_net_.end();) {
+    const core::NodeId other = platform_.node_of(it->dst);
+    if ((it->src_node == window.src && other == window.dst) ||
+        (it->src_node == window.dst && other == window.src)) {
+      resumed.push_back(std::move(*it));
+      it = parked_net_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (ParkedNetRequest& request : resumed) {
+    nodes_[request.src_node].net->request(request.dst, request.data,
+                                          request.bytes,
+                                          std::move(request.on_complete));
+  }
+}
+
+void RuntimeEngine::issue_net_fetch(core::NodeId dest, core::NodeId source,
+                                    GpuId dst, DataId data,
+                                    std::uint64_t bytes,
+                                    TransferPriority priority) {
+  // The same two-leg chain as an untimed fetch, but the delivery routes
+  // through the dedup gate so a losing duplicate cannot double-fill.
+  nodes_[source].pci->request(
+      dst, data, bytes,
+      [this, dest, source, dst, data, bytes, priority] {
+        nodes_[source].net->request(
+            dst, data, bytes,
+            [this, dest, source, dst, data, bytes] {
+              net_fetch_delivered(dest, source, dst, data, bytes);
+            },
+            priority);
+      },
+      priority);
+}
+
+void RuntimeEngine::net_fetch_delivered(core::NodeId dest, core::NodeId source,
+                                        GpuId dst, DataId data,
+                                        std::uint64_t bytes) {
+  // Any delivery that crossed the network from `source` is proof of life.
+  if (node_suspected_[source] != 0) clear_suspicion(source);
+  if (nodes_[dest].net_fetching[data] == 0) {
+    // A hedge (or the original issue) already served this fetch.
+    publish(InspectorEventKind::kHedgeWasted, platform_.node_gpu_begin(dest),
+            data, bytes, kNoChannel, dest);
+    return;
+  }
+  ++net_fetch_[dest][data].generation;  // retire any pending deadline
+  host_cache_fill(dest, dst, data, bytes);
+}
+
+double RuntimeEngine::fetch_deadline_us(std::uint64_t bytes) const {
+  return config_.fetch_timeout_factor *
+         platform_.internode_transfer_time_us(bytes);
+}
+
+void RuntimeEngine::arm_fetch_deadline(core::NodeId dest, DataId data,
+                                       std::uint64_t bytes, double delay_us) {
+  const std::uint32_t generation = net_fetch_[dest][data].generation;
+  events_.schedule_after(delay_us, [this, dest, data, bytes, generation] {
+    on_fetch_deadline(dest, data, bytes, generation);
+  });
+}
+
+void RuntimeEngine::on_fetch_deadline(core::NodeId dest, DataId data,
+                                      std::uint64_t bytes,
+                                      std::uint32_t generation) {
+  NetFetchState& fetch = net_fetch_[dest][data];
+  if (fetch.generation != generation) return;  // delivered or re-issued
+  if (nodes_[dest].net_fetching[data] == 0) return;  // already served
+  if (topology_active_ && node_status_[dest] == NodeStatus::kLost) {
+    return;  // the waiters died with their node; nothing left to serve
+  }
+  fetch.timed_out = 1;
+  const core::NodeId source = fetch.source;
+  publish(InspectorEventKind::kFetchTimeout, platform_.node_gpu_begin(dest),
+          data, bytes, kNoChannel, source);
+  MG_TRACE("fetch of data%u into node%u from node%u timed out at t=%.1fus",
+           data, dest, source, events_.now());
+  suspect_node(source);
+  if (fetch.hedges < config_.max_fetch_hedges) {
+    const core::NodeId alternate = pick_hedge_source(dest, data, source);
+    if (alternate != kNoNode) {
+      ++fetch.hedges;
+      ++fetch.generation;  // retire the deadline of the losing issue
+      fetch.source = alternate;
+      publish(InspectorEventKind::kFetchHedged, platform_.node_gpu_begin(dest),
+              data, bytes, kNoChannel, alternate);
+      const std::vector<NodeWaiter>& waiters = nodes_[dest].waiters[data];
+      const GpuId dst = waiters.empty() ? platform_.node_gpu_begin(dest)
+                                        : waiters.front().gpu;
+      issue_net_fetch(dest, alternate, dst, data, bytes);
+      arm_fetch_deadline(dest, data, bytes, fetch_deadline_us(bytes));
+      return;
+    }
+  }
+  // Hedge cap hit, or no holder reachable right now (every copy behind a
+  // partition): keep the deadline armed with the transfer-retry exponential
+  // backoff. A heal re-submits the parked legs, an escalation re-homes the
+  // shard — either way a later deadline finds a way forward.
+  const double exponent =
+      static_cast<double>(std::min<std::uint32_t>(fetch.retries, 30));
+  ++fetch.retries;
+  const double backoff = std::min(
+      config_.retry_backoff_cap_us,
+      config_.retry_backoff_base_us * std::exp2(exponent));
+  arm_fetch_deadline(dest, data, bytes, fetch_deadline_us(bytes) + backoff);
+}
+
+core::NodeId RuntimeEngine::pick_hedge_source(core::NodeId dest, DataId data,
+                                              core::NodeId prefer_not) const {
+  // Deterministic scan: the first unsuspected holder with a healthy link
+  // wins; a suspected holder is kept as last resort (lowest id on ties).
+  core::NodeId fallback = kNoNode;
+  for (core::NodeId node = 0; node < platform_.num_nodes; ++node) {
+    if (node == dest || node == prefer_not) continue;
+    if (node_status(node) != NodeStatus::kActive) continue;
+    if (home_node(data) != node && nodes_[node].cached[data] == 0) continue;
+    if (link_partitioned(node, dest)) continue;
+    if (node_suspected_[node] != 0) {
+      if (fallback == kNoNode) fallback = node;
+      continue;
+    }
+    return node;
+  }
+  // The shard's (possibly re-homed) home itself, as the very last resort —
+  // a healed link makes re-fetching from home viable again.
+  if (fallback == kNoNode && prefer_not != home_node(data) &&
+      home_node(data) != dest && !link_partitioned(home_node(data), dest) &&
+      node_status(home_node(data)) == NodeStatus::kActive) {
+    fallback = home_node(data);
+  }
+  return fallback;
+}
+
+void RuntimeEngine::suspect_node(core::NodeId node) {
+  ++node_timeout_count_[node];
+  if (node_suspected_[node] != 0) return;
+  if (topology_active_ && node_status_[node] == NodeStatus::kLost) return;
+  node_suspected_[node] = 1;
+  publish(InspectorEventKind::kNodeSuspected, platform_.node_gpu_begin(node),
+          node, 0, kNoChannel, node_timeout_count_[node]);
+  MG_TRACE("node%u suspected at t=%.1fus (%u timeouts)", node, events_.now(),
+           node_timeout_count_[node]);
+  scheduler_.notify_node_suspected(node);
+  if (config_.suspicion_confirm_window_us > 0.0) {
+    const std::uint32_t epoch = suspicion_epoch_[node];
+    events_.schedule_after(
+        config_.suspicion_confirm_window_us,
+        [this, node, epoch] { escalate_suspicion(node, epoch); });
+  }
+}
+
+void RuntimeEngine::clear_suspicion(core::NodeId node) {
+  if (node_suspected_[node] == 0) return;
+  if (topology_active_ && node_status_[node] == NodeStatus::kLost) return;
+  node_suspected_[node] = 0;
+  ++suspicion_epoch_[node];  // a pending confirm window must not escalate
+  publish(InspectorEventKind::kNodeSuspicionCleared,
+          platform_.node_gpu_begin(node), node);
+  MG_TRACE("node%u suspicion cleared at t=%.1fus", node, events_.now());
+  scheduler_.notify_node_suspicion_cleared(node);
+}
+
+void RuntimeEngine::escalate_suspicion(core::NodeId node, std::uint32_t epoch) {
+  if (suspicion_epoch_[node] != epoch || node_suspected_[node] == 0) return;
+  if (topology_active_ && node_status_[node] == NodeStatus::kLost) return;
+  // Never escalate the last serving capacity away — fail_node would throw.
+  // The node stays suspected; a heal can still clear it.
+  bool survivor_serving = false;
+  for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+    if (platform_.node_of(gpu) == node) continue;
+    if (gpus_[gpu].alive && gpus_[gpu].active) {
+      survivor_serving = true;
+      break;
+    }
+  }
+  if (!survivor_serving) return;
+  publish(InspectorEventKind::kNodeSuspicionEscalated,
+          platform_.node_gpu_begin(node), node, 0, kNoChannel,
+          static_cast<std::uint32_t>(config_.suspicion_confirm_window_us));
+  MG_TRACE("node%u suspicion escalated to node loss at t=%.1fus", node,
+           events_.now());
+  fail_node(node);
 }
 
 std::uint64_t RuntimeEngine::checkpoint_payload_bytes(TaskId task) const {

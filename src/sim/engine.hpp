@@ -73,6 +73,34 @@ struct EngineConfig {
   double retry_backoff_base_us = 20.0;
   double retry_backoff_cap_us = 2000.0;
 
+  /// Seeded jitter on the retry backoff: each backoff is multiplied by
+  /// (1 + retry_jitter * u) with u drawn uniformly from [0, 1) by a
+  /// dedicated RNG (seeded from `seed`), so concurrent failed fetches stop
+  /// retrying in lockstep. 0 (the default) draws nothing and keeps runs
+  /// byte-identical to the deterministic schedule.
+  double retry_jitter = 0.0;
+
+  /// Remote-fetch timeout (multi-node platforms): a network fetch that has
+  /// not landed after `fetch_timeout_factor` x its modeled end-to-end
+  /// transfer time misses its deadline — the source node accrues suspicion
+  /// and the fetch is hedged to an alternate holder (a cached copy on
+  /// another node, or the home node again once its link heals). 0 (the
+  /// default) disables timeouts, hedging and the suspicion detector; link
+  /// faults in the plan then degrade/park transfers but nothing reroutes.
+  double fetch_timeout_factor = 0.0;
+
+  /// Cap on hedge re-issues per fetch; past it the fetch falls back to
+  /// deadline re-arming with the transfer-retry exponential backoff until
+  /// the original delivery lands or the source node is declared lost.
+  /// 0 detects timeouts (suspicion) but never hedges.
+  std::uint32_t max_fetch_hedges = 2;
+
+  /// Suspicion confirm window: a node that stays suspected this long
+  /// without a single successful delivery escalates to the destructive
+  /// node-loss recovery (fail_node). 0 (the default) never escalates —
+  /// suspicion then only steers placement until the partition heals.
+  double suspicion_confirm_window_us = 0.0;
+
   /// Task-progress checkpointing: every `checkpoint_interval_us` of a task's
   /// compute time (or, with `checkpoint_fraction` in (0,1), at that fraction
   /// of each task's duration) the worker starts a progress snapshot, so a
@@ -558,6 +586,89 @@ class RuntimeEngine final : private MemoryManager::Observer,
   // with the default threshold of 0.
   bool occupancy_active_ = false;
   std::unique_ptr<occupancy::OccupancyGovernor> governor_;
+
+  // ---- Network-fault state (link faults, hedged fetches, suspicion) -------
+  //
+  // Armed only when the fault plan carries link_faults or
+  // fetch_timeout_factor is set on a cluster; dormant runs never allocate
+  // any of it and stay byte-identical.
+  bool netfault_active_ = false;
+  struct LinkWindow {
+    core::NodeId src = 0;
+    core::NodeId dst = 0;
+    double start_us = 0.0;
+    double end_us = 0.0;
+    double factor = 1.0;
+    double straggler_us = 0.0;
+    bool partition = false;
+    bool active = false;  ///< inside [start_us, end_us) right now
+  };
+  std::vector<LinkWindow> link_windows_;
+  /// Net requests a partition filter took off the wire; re-submitted on the
+  /// owning node's egress when the window closes.
+  struct ParkedNetRequest {
+    core::NodeId src_node = 0;
+    core::GpuId dst = 0;
+    core::DataId data = 0;
+    std::uint64_t bytes = 0;
+    Bus::OnComplete on_complete;
+  };
+  std::vector<ParkedNetRequest> parked_net_;
+  /// In-flight network fetch bookkeeping per (destination node, data).
+  /// `generation` invalidates stale deadline events; `hedges` counts
+  /// re-issues against max_fetch_hedges.
+  struct NetFetchState {
+    core::NodeId source = 0;
+    std::uint32_t generation = 0;
+    std::uint32_t hedges = 0;
+    std::uint32_t retries = 0;  ///< deadline re-arms past the hedge cap
+    std::uint8_t timed_out = 0;
+  };
+  std::vector<std::vector<NetFetchState>> net_fetch_;  ///< [node][data]
+  std::vector<std::uint8_t> node_suspected_;
+  std::vector<std::uint32_t> node_timeout_count_;
+  /// Seeded jitter draws for the retry backoff (only consulted when
+  /// config_.retry_jitter > 0).
+  std::uint64_t jitter_state_ = 0;
+
+  /// Allocates the netfault state, installs net-bus cost hooks and
+  /// partition filters, and schedules the link-fault boundary events.
+  void arm_netfaults();
+  [[nodiscard]] const LinkWindow* active_link_fault(core::NodeId a,
+                                                    core::NodeId b) const;
+  [[nodiscard]] bool link_partitioned(core::NodeId a, core::NodeId b) const {
+    const LinkWindow* window = active_link_fault(a, b);
+    return window != nullptr && window->partition;
+  }
+  void apply_link_boundary(std::size_t index, bool start);
+  /// Issues the PCI-out + net chain of a network fetch of `data` from
+  /// `source` towards `dst` (on node `dest`); shared by the original fetch
+  /// and hedge re-issues.
+  void issue_net_fetch(core::NodeId dest, core::NodeId source, core::GpuId dst,
+                       core::DataId data, std::uint64_t bytes,
+                       TransferPriority priority = TransferPriority::kHigh);
+  /// Delivery-side gate: the winning delivery fills the host cache, a
+  /// losing duplicate publishes kHedgeWasted instead.
+  void net_fetch_delivered(core::NodeId dest, core::NodeId source,
+                           core::GpuId dst, core::DataId data,
+                           std::uint64_t bytes);
+  [[nodiscard]] double fetch_deadline_us(std::uint64_t bytes) const;
+  void arm_fetch_deadline(core::NodeId dest, core::DataId data,
+                          std::uint64_t bytes, double delay_us);
+  void on_fetch_deadline(core::NodeId dest, core::DataId data,
+                         std::uint64_t bytes, std::uint32_t generation);
+  /// Best alternate holder for a hedge: an active, unpartitioned node with
+  /// the data in host reach (home or cached); NodeId max (no reachable
+  /// holder) when every holder is unreachable right now.
+  [[nodiscard]] core::NodeId pick_hedge_source(core::NodeId dest,
+                                               core::DataId data,
+                                               core::NodeId prefer_not) const;
+  void suspect_node(core::NodeId node);
+  void clear_suspicion(core::NodeId node);
+  void escalate_suspicion(core::NodeId node, std::uint32_t epoch);
+  /// Suspicion epoch per node: bumped on clear so a pending confirm-window
+  /// event from an earlier suspicion cannot escalate a healed node.
+  std::vector<std::uint32_t> suspicion_epoch_;
 
   /// Watchdog: when a budget is set, keep a short tail of formatted events
   /// for the BudgetExceededError excerpt.

@@ -156,6 +156,52 @@ std::string FaultPlan::validate(std::uint32_t num_gpus,
       return "transfer_faults: probability must be in [0, 1]";
     }
   }
+  for (const LinkFault& fault : link_faults) {
+    if (num_nodes < 2) {
+      return "link_faults: need a multi-node platform (num_nodes >= 2)";
+    }
+    if (fault.src >= num_nodes || fault.dst >= num_nodes) {
+      std::snprintf(buffer, sizeof buffer,
+                    "link_faults: node pair %u-%u out of range (platform has "
+                    "%u nodes)",
+                    fault.src, fault.dst, num_nodes);
+      return buffer;
+    }
+    if (fault.src == fault.dst) {
+      std::snprintf(buffer, sizeof buffer,
+                    "link_faults: src and dst must differ (both are %u)",
+                    fault.src);
+      return buffer;
+    }
+    if (std::isnan(fault.start_us) || fault.start_us < 0.0 ||
+        std::isnan(fault.end_us) || fault.end_us < fault.start_us) {
+      return "link_faults: need 0 <= start_us <= end_us";
+    }
+    if (!(fault.bandwidth_factor >= 1.0) ||
+        !std::isfinite(fault.bandwidth_factor)) {
+      return "link_faults: bandwidth_factor must be finite and >= 1";
+    }
+    if (!(fault.straggler_us >= 0.0) || !std::isfinite(fault.straggler_us)) {
+      return "link_faults: straggler_us must be finite and >= 0";
+    }
+  }
+  // At most one fault window per (unordered) node pair at any instant: the
+  // engine keys the live link state by pair, so overlapping windows would
+  // silently shadow each other.
+  for (std::size_t i = 0; i < link_faults.size(); ++i) {
+    for (std::size_t j = i + 1; j < link_faults.size(); ++j) {
+      const LinkFault& a = link_faults[i];
+      const LinkFault& b = link_faults[j];
+      const bool same_pair = (a.src == b.src && a.dst == b.dst) ||
+                             (a.src == b.dst && a.dst == b.src);
+      if (same_pair && a.start_us < b.end_us && b.start_us < a.end_us) {
+        std::snprintf(buffer, sizeof buffer,
+                      "link_faults: overlapping windows for node pair %u-%u",
+                      a.src, a.dst);
+        return buffer;
+      }
+    }
+  }
   for (const CapacityShock& shock : capacity_shocks) {
     if (shock.gpu >= num_gpus) {
       std::snprintf(buffer, sizeof buffer,
@@ -316,6 +362,41 @@ std::optional<FaultPlan> parse_fault_plan(std::string_view json_text,
       plan.capacity_shocks.push_back(shock);
     }
   }
+
+  if (const util::json::Value* faults = root->find("link_faults")) {
+    if (!faults->is_array()) {
+      fail(error, "link_faults must be an array");
+      return std::nullopt;
+    }
+    for (const util::json::Value& entry : faults->as_array()) {
+      if (!entry.is_object()) {
+        fail(error, "link_faults entries must be objects");
+        return std::nullopt;
+      }
+      FaultPlan::LinkFault fault;
+      std::uint64_t src = 0;
+      std::uint64_t dst = 0;
+      if (!read_u64(entry, "src", &src, error) ||
+          !read_u64(entry, "dst", &dst, error) ||
+          !read_number(entry, "start_us", &fault.start_us, error) ||
+          !read_number(entry, "end_us", &fault.end_us, error) ||
+          !read_number(entry, "bandwidth_factor", &fault.bandwidth_factor,
+                       error) ||
+          !read_number(entry, "straggler_us", &fault.straggler_us, error)) {
+        return std::nullopt;
+      }
+      if (const util::json::Value* partition = entry.find("partition")) {
+        if (!partition->is_bool()) {
+          fail(error, "link_faults: partition must be a boolean");
+          return std::nullopt;
+        }
+        fault.partition = partition->as_bool();
+      }
+      fault.src = static_cast<core::NodeId>(src);
+      fault.dst = static_cast<core::NodeId>(dst);
+      plan.link_faults.push_back(fault);
+    }
+  }
   return plan;
 }
 
@@ -391,6 +472,28 @@ std::string fault_plan_to_json(const FaultPlan& plan) {
     out += std::to_string(shock.capacity_bytes);
     out += '}';
   }
+  out += "],\"link_faults\":[";
+  for (std::size_t i = 0; i < plan.link_faults.size(); ++i) {
+    const FaultPlan::LinkFault& fault = plan.link_faults[i];
+    if (i != 0) out += ',';
+    out += "{\"src\":";
+    out += std::to_string(fault.src);
+    out += ",\"dst\":";
+    out += std::to_string(fault.dst);
+    out += ",\"start_us\":";
+    append_double(&out, fault.start_us);
+    if (std::isfinite(fault.end_us)) {
+      out += ",\"end_us\":";
+      append_double(&out, fault.end_us);
+    }
+    out += ",\"bandwidth_factor\":";
+    append_double(&out, fault.bandwidth_factor);
+    out += ",\"straggler_us\":";
+    append_double(&out, fault.straggler_us);
+    out += ",\"partition\":";
+    out += fault.partition ? "true" : "false";
+    out += '}';
+  }
   out += "]}";
   return out;
 }
@@ -443,6 +546,25 @@ FaultPlan make_random_fault_plan(std::uint64_t seed,
         static_cast<double>(options.gpu_memory_bytes) * fraction);
     if (shock.capacity_bytes == 0) shock.capacity_bytes = 1;
     plan.capacity_shocks.push_back(shock);
+  }
+
+  if (options.allow_link_faults && options.num_nodes >= 2) {
+    FaultPlan::LinkFault fault;
+    fault.src = static_cast<core::NodeId>(rng.below(options.num_nodes));
+    fault.dst = static_cast<core::NodeId>(rng.below(options.num_nodes - 1));
+    if (fault.dst >= fault.src) ++fault.dst;
+    fault.start_us = rng.uniform() * options.horizon_us * 0.4;
+    // The window always closes inside the horizon: random plans must
+    // terminate without relying on detector escalation.
+    fault.end_us = fault.start_us +
+                   (0.1 + rng.uniform() * 0.4) * options.horizon_us;
+    if (rng.chance(0.5)) {
+      fault.partition = true;
+    } else {
+      fault.bandwidth_factor = 2.0 + rng.uniform() * 6.0;
+      fault.straggler_us = rng.uniform() * options.horizon_us * 0.01;
+    }
+    plan.link_faults.push_back(fault);
   }
   return plan;
 }

@@ -3,8 +3,9 @@
 // A FaultPlan is a schema-versioned description of the faults one run must
 // absorb: permanent GPU losses at fixed times, transient transfer-failure
 // windows (seeded Bernoulli per delivery attempt, bounded per transfer so
-// every fetch eventually lands), and mid-run capacity shocks that shrink a
-// GPU's usable memory. Plans are either scripted (JSON, see
+// every fetch eventually lands), mid-run capacity shocks that shrink a
+// GPU's usable memory, and network link faults (degraded bandwidth,
+// stragglers, partitions) between nodes. Plans are either scripted (JSON, see
 // docs/ROBUSTNESS.md for the schema) or drawn from a seed by
 // make_random_fault_plan for the differential harness.
 //
@@ -24,9 +25,10 @@
 namespace mg::sim {
 
 struct FaultPlan {
-  /// v2 adds node_losses (whole-node failures on multi-node platforms);
-  /// v1 plans parse unchanged.
-  static constexpr int kSchemaVersion = 2;
+  /// v3 adds link_faults (degraded/partitioned inter-node links); v2 added
+  /// node_losses (whole-node failures on multi-node platforms); v1 and v2
+  /// plans parse unchanged.
+  static constexpr int kSchemaVersion = 3;
   static constexpr int kMinSchemaVersion = 1;
 
   /// Permanent device failure: at time_us the GPU stops executing, its
@@ -64,6 +66,25 @@ struct FaultPlan {
     std::uint32_t max_failures_per_transfer = 3;
   };
 
+  /// Network link fault (multi-node platforms only): between nodes `src` and
+  /// `dst` (symmetric — traffic in both directions is affected) during
+  /// [start_us, end_us). A degradation multiplies every transfer's modeled
+  /// duration by `bandwidth_factor` (>= 1) and adds `straggler_us` of fixed
+  /// latency. A partition delivers nothing at all: transfers reaching the
+  /// wire are parked and re-submitted when the window closes (end_us is the
+  /// heal time; an omitted/infinite end_us never heals, so only the
+  /// suspicion detector's escalation to a node loss can unblock the pair).
+  /// Windows for the same pair must not overlap.
+  struct LinkFault {
+    core::NodeId src = 0;
+    core::NodeId dst = 0;
+    double start_us = 0.0;
+    double end_us = std::numeric_limits<double>::infinity();
+    double bandwidth_factor = 1.0;
+    double straggler_us = 0.0;
+    bool partition = false;
+  };
+
   /// Memory-pressure shock: the GPU's capacity drops to capacity_bytes
   /// (clamped by the engine to the largest single-task footprint so a
   /// schedule still exists), emergency-evicting unpinned data.
@@ -80,10 +101,12 @@ struct FaultPlan {
   std::vector<NodeLoss> node_losses;
   std::vector<TransferFault> transfer_faults;
   std::vector<CapacityShock> capacity_shocks;
+  std::vector<LinkFault> link_faults;
 
   [[nodiscard]] bool empty() const {
     return gpu_losses.empty() && node_losses.empty() &&
-           transfer_faults.empty() && capacity_shocks.empty();
+           transfer_faults.empty() && capacity_shocks.empty() &&
+           link_faults.empty();
   }
 
   /// Checks the plan against a platform of `num_gpus` devices spread over
@@ -115,6 +138,9 @@ struct FaultPlan {
 struct RandomFaultOptions {
   std::uint32_t num_gpus = 2;
 
+  /// Nodes of the target platform; >= 2 enables link faults.
+  std::uint32_t num_nodes = 1;
+
   /// Time window the faults are drawn from (losses and shocks land in the
   /// first 60% so recovery is actually exercised).
   double horizon_us = 1000.0;
@@ -125,10 +151,16 @@ struct RandomFaultOptions {
   bool allow_gpu_loss = true;
   bool allow_transfer_faults = true;
   bool allow_capacity_shock = true;
+
+  /// Draw one link fault (degradation or healing partition) per plan.
+  /// Random partitions always heal within the horizon so runs terminate
+  /// without relying on detector escalation.
+  bool allow_link_faults = false;
 };
 
 /// Draws a plan from `seed`: at most num_gpus-1 losses (never the whole
-/// platform), one transfer-flakiness window, one capacity shock.
+/// platform), one transfer-flakiness window, one capacity shock, and (when
+/// enabled on a multi-node platform) one link fault.
 [[nodiscard]] FaultPlan make_random_fault_plan(std::uint64_t seed,
                                                const RandomFaultOptions& options);
 

@@ -56,6 +56,17 @@ std::string_view inspector_event_kind_name(InspectorEventKind kind) {
     case InspectorEventKind::kOccupancyConfig: return "occupancy-config";
     case InspectorEventKind::kTaskAdmitted: return "task-admitted";
     case InspectorEventKind::kAdmissionRejected: return "admission-rejected";
+    case InspectorEventKind::kLinkDegraded: return "link-degraded";
+    case InspectorEventKind::kLinkPartitioned: return "link-partitioned";
+    case InspectorEventKind::kLinkRestored: return "link-restored";
+    case InspectorEventKind::kFetchTimeout: return "fetch-timeout";
+    case InspectorEventKind::kFetchHedged: return "fetch-hedged";
+    case InspectorEventKind::kHedgeWasted: return "hedge-wasted";
+    case InspectorEventKind::kNodeSuspected: return "node-suspected";
+    case InspectorEventKind::kNodeSuspicionCleared:
+      return "node-suspicion-cleared";
+    case InspectorEventKind::kNodeSuspicionEscalated:
+      return "node-suspicion-escalated";
   }
   return "?";
 }
@@ -107,13 +118,28 @@ std::string format_inspector_event(const InspectorEvent& event) {
                       event.kind == InspectorEventKind::kJobComplete ||
                       event.kind == InspectorEventKind::kJobShed;
   // Node-lifecycle kinds carry the node in `id` rather than a task/data.
-  const bool is_node = event.kind == InspectorEventKind::kNodeDrainStart ||
-                       event.kind == InspectorEventKind::kNodeDrained ||
-                       event.kind == InspectorEventKind::kNodeJoinStart ||
-                       event.kind == InspectorEventKind::kNodeJoined ||
-                       event.kind == InspectorEventKind::kNodeLost;
+  const bool is_node =
+      event.kind == InspectorEventKind::kNodeDrainStart ||
+      event.kind == InspectorEventKind::kNodeDrained ||
+      event.kind == InspectorEventKind::kNodeJoinStart ||
+      event.kind == InspectorEventKind::kNodeJoined ||
+      event.kind == InspectorEventKind::kNodeLost ||
+      event.kind == InspectorEventKind::kNodeSuspected ||
+      event.kind == InspectorEventKind::kNodeSuspicionCleared ||
+      event.kind == InspectorEventKind::kNodeSuspicionEscalated;
+  // Link kinds carry the node pair in `gpu` (src) and `id` (dst).
+  const bool is_link = event.kind == InspectorEventKind::kLinkDegraded ||
+                       event.kind == InspectorEventKind::kLinkPartitioned ||
+                       event.kind == InspectorEventKind::kLinkRestored;
   char buffer[192];
-  if (is_node) {
+  if (is_link) {
+    std::snprintf(buffer, sizeof buffer, "t=%.3fus %.*s node%u-node%u",
+                  event.time_us,
+                  static_cast<int>(
+                      inspector_event_kind_name(event.kind).size()),
+                  inspector_event_kind_name(event.kind).data(), event.gpu,
+                  event.id);
+  } else if (is_node) {
     std::snprintf(buffer, sizeof buffer, "t=%.3fus %.*s node%u",
                   event.time_us,
                   static_cast<int>(
@@ -128,7 +154,7 @@ std::string format_inspector_event(const InspectorEvent& event) {
                   is_job ? 'J' : (is_task ? 'T' : 'd'), event.id);
   }
   std::string line = buffer;
-  if (event.bytes > 0) {
+  if (event.bytes > 0 && !is_link) {
     std::snprintf(buffer, sizeof buffer, " bytes=%llu",
                   static_cast<unsigned long long>(event.bytes));
     line += buffer;
@@ -214,6 +240,35 @@ std::string format_inspector_event(const InspectorEvent& event) {
   } else if (event.kind == InspectorEventKind::kTaskAdmitted ||
              event.kind == InspectorEventKind::kAdmissionRejected) {
     std::snprintf(buffer, sizeof buffer, " active-warps=%u", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kLinkDegraded) {
+    std::snprintf(buffer, sizeof buffer, " factor=%.2f straggler=%uus",
+                  static_cast<double>(event.bytes) / 1e6, event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kLinkPartitioned) {
+    if (event.bytes > 0) {
+      std::snprintf(buffer, sizeof buffer, " heal=%lluus",
+                    static_cast<unsigned long long>(event.bytes));
+      line += buffer;
+    } else {
+      line += " (no heal)";
+    }
+  } else if (event.kind == InspectorEventKind::kLinkRestored) {
+    line += event.aux != 0 ? " (partition healed)" : " (degradation over)";
+  } else if (event.kind == InspectorEventKind::kFetchTimeout) {
+    std::snprintf(buffer, sizeof buffer, " source=node%u", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kFetchHedged) {
+    std::snprintf(buffer, sizeof buffer, " -> node%u", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kHedgeWasted) {
+    std::snprintf(buffer, sizeof buffer, " node=%u", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kNodeSuspected) {
+    std::snprintf(buffer, sizeof buffer, " timeouts=%u", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kNodeSuspicionEscalated) {
+    std::snprintf(buffer, sizeof buffer, " after=%uus", event.aux);
     line += buffer;
   }
   return line;

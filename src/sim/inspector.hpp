@@ -132,6 +132,31 @@ enum class InspectorEventKind : std::uint8_t {
   kAdmissionRejected, ///< head task `id` held back on `gpu`: admitting its
                       ///< footprint would cross the threshold (bytes:
                       ///< clamped warp footprint, aux: current active warps)
+
+  // Network faults (fault-plan link_faults; engine netfault layer). Link
+  // kinds carry the node pair as `gpu` (src) and `id` (dst); fetch kinds
+  // carry the destination node's first GPU in `gpu` and the data in `id`.
+  kLinkDegraded,    ///< link gpu(src)–id(dst) degraded (bytes: bandwidth
+                    ///< factor in ppm, aux: straggler latency in whole µs)
+  kLinkPartitioned, ///< link gpu(src)–id(dst) partitioned: nothing crosses
+                    ///< (bytes: heal time in whole µs, 0 = never heals)
+  kLinkRestored,    ///< link gpu(src)–id(dst) healthy again (aux: 1 = the
+                    ///< window was a partition)
+  kFetchTimeout,    ///< network fetch of data `id` towards the node of `gpu`
+                    ///< missed its deadline (bytes: size, aux: source node)
+  kFetchHedged,     ///< the timed-out fetch of data `id` was re-issued from
+                    ///< an alternate holder (bytes: size, aux: reroute
+                    ///< target node)
+  kHedgeWasted,     ///< a losing duplicate delivery of data `id` arrived
+                    ///< after the fetch was already served (bytes: size,
+                    ///< aux: destination node)
+  kNodeSuspected,   ///< node `id` suspected unreachable: fetches from it
+                    ///< time out; placement steers away (aux: timeouts seen)
+  kNodeSuspicionCleared,   ///< a delivery from node `id` landed: suspicion
+                           ///< lifted, the node re-integrates
+  kNodeSuspicionEscalated, ///< node `id` stayed suspected past the confirm
+                           ///< window: escalating to the node-loss recovery
+                           ///< (aux: confirm window in whole µs)
 };
 
 [[nodiscard]] std::string_view inspector_event_kind_name(

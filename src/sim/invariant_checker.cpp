@@ -67,6 +67,12 @@ void InvariantChecker::on_run_begin(const core::TaskGraph& graph,
   migrate_start_bytes_ = 0;
   migrate_done_bytes_ = 0;
   warm_fill_bytes_ = 0;
+  const std::uint32_t nodes = platform.is_cluster() ? platform.num_nodes : 0;
+  link_state_.assign(static_cast<std::size_t>(nodes) * nodes, 0);
+  timeout_outstanding_.assign(nodes,
+                              std::vector<std::uint8_t>(graph.num_data(), 0));
+  suspected_.assign(nodes, 0);
+  hedge_wasted_bytes_ = 0;
   occ_armed_ = false;
   occ_budget_warps_ = 0;
   occ_task_warps_.clear();
@@ -173,6 +179,18 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
     case InspectorEventKind::kNodeLost:
     // The occupancy config is engine-level, published once with gpu=0.
     case InspectorEventKind::kOccupancyConfig:
+    // Network-fault events are node-level: link windows carry node ids in
+    // the gpu field, and the fetch/suspicion events name a representative
+    // GPU of a node that may well hold dead GPUs.
+    case InspectorEventKind::kLinkDegraded:
+    case InspectorEventKind::kLinkPartitioned:
+    case InspectorEventKind::kLinkRestored:
+    case InspectorEventKind::kFetchTimeout:
+    case InspectorEventKind::kFetchHedged:
+    case InspectorEventKind::kHedgeWasted:
+    case InspectorEventKind::kNodeSuspected:
+    case InspectorEventKind::kNodeSuspicionCleared:
+    case InspectorEventKind::kNodeSuspicionEscalated:
       break;
     default:
       if (!gpu.alive) return fail(event, "activity on a dead gpu");
@@ -273,6 +291,18 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       }
       if (++wire_active_[event.channel] > 1) {
         return fail(event, "overlapping transfers on one channel");
+      }
+      // Partition rule: no new transfer starts on a network channel while
+      // the (src, dst) link is partitioned. Transfers already on the wire
+      // when the window opened drain normally, so only starts are gated.
+      if (!link_state_.empty() && event.channel >= kChannelNetBase &&
+          event.channel < kChannelNetBase + platform_.num_nodes) {
+        const std::uint32_t src = event.channel - kChannelNetBase;
+        const std::uint32_t dst = platform_.node_of(event.gpu);
+        if (link_state_[static_cast<std::size_t>(src) * platform_.num_nodes +
+                        dst] == 2) {
+          return fail(event, "transfer started across a partitioned link");
+        }
       }
       break;
     }
@@ -609,6 +639,11 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       --node_fetching_[event.aux][event.id];
       node_cached_[event.aux][event.id] = 1;
       host_fill_bytes_ += event.bytes;
+      // A delivery answers any outstanding fetch timeout on this (node,
+      // data): the timed-out fetch got served after all.
+      if (event.aux < timeout_outstanding_.size()) {
+        timeout_outstanding_[event.aux][event.id] = 0;
+      }
       break;
     }
     case InspectorEventKind::kHostCacheEvict: {
@@ -858,6 +893,14 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       // accounted so their fills still balance the wire deliveries.
       std::fill(node_cached_[event.id].begin(), node_cached_[event.id].end(),
                 0);
+      // The loss terminates the node's suspicion episode and answers any
+      // fetch timeout still waiting on this node's behalf (its waiters died
+      // with it).
+      if (event.id < suspected_.size()) suspected_[event.id] = 0;
+      if (event.id < timeout_outstanding_.size()) {
+        std::fill(timeout_outstanding_[event.id].begin(),
+                  timeout_outstanding_[event.id].end(), 0);
+      }
       break;
     }
     case InspectorEventKind::kOccupancyConfig: {
@@ -916,6 +959,122 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       if (event.aux != gpu.occ_active_warps) {
         return fail(event, "rejection warp tally disagrees with the checker");
       }
+      break;
+    }
+    case InspectorEventKind::kLinkDegraded:
+    case InspectorEventKind::kLinkPartitioned: {
+      const bool partition =
+          event.kind == InspectorEventKind::kLinkPartitioned;
+      if (link_state_.empty() || event.gpu >= platform_.num_nodes ||
+          event.id >= platform_.num_nodes || event.gpu == event.id) {
+        return fail(event, "link fault names an invalid node pair");
+      }
+      const std::size_t nodes = platform_.num_nodes;
+      if (link_state_[event.gpu * nodes + event.id] != 0) {
+        return fail(event, "link fault opened on an already-faulted pair");
+      }
+      const std::uint8_t kind = partition ? 2 : 1;
+      link_state_[event.gpu * nodes + event.id] = kind;
+      link_state_[static_cast<std::size_t>(event.id) * nodes + event.gpu] =
+          kind;
+      break;
+    }
+    case InspectorEventKind::kLinkRestored: {
+      if (link_state_.empty() || event.gpu >= platform_.num_nodes ||
+          event.id >= platform_.num_nodes) {
+        return fail(event, "link restore names an invalid node pair");
+      }
+      const std::size_t nodes = platform_.num_nodes;
+      const std::uint8_t expected = event.aux != 0 ? 2 : 1;
+      if (link_state_[event.gpu * nodes + event.id] != expected) {
+        return fail(event, "link restored without a matching open window");
+      }
+      link_state_[event.gpu * nodes + event.id] = 0;
+      link_state_[static_cast<std::size_t>(event.id) * nodes + event.gpu] = 0;
+      break;
+    }
+    case InspectorEventKind::kFetchTimeout: {
+      if (timeout_outstanding_.empty()) {
+        return fail(event, "fetch timeout on a single-node platform");
+      }
+      if (event.id >= num_data) {
+        return fail(event, "fetch timeout of unknown data");
+      }
+      const std::uint32_t dest = platform_.node_of(event.gpu);
+      if (event.aux >= platform_.num_nodes) {
+        return fail(event, "fetch timeout names an unknown source node");
+      }
+      if (node_fetching_[dest][event.id] == 0) {
+        return fail(event, "fetch timeout without an in-flight host fetch");
+      }
+      timeout_outstanding_[dest][event.id] = 1;
+      break;
+    }
+    case InspectorEventKind::kFetchHedged: {
+      if (timeout_outstanding_.empty()) {
+        return fail(event, "hedge on a single-node platform");
+      }
+      if (event.id >= num_data) return fail(event, "hedge of unknown data");
+      const std::uint32_t dest = platform_.node_of(event.gpu);
+      if (event.aux >= platform_.num_nodes || event.aux == dest) {
+        return fail(event, "hedge towards an invalid source node");
+      }
+      if (timeout_outstanding_[dest][event.id] == 0) {
+        return fail(event, "hedge without a preceding fetch timeout");
+      }
+      // The timed-out fetch is rerouted; a later timeout of the hedged
+      // issue re-raises the flag.
+      timeout_outstanding_[dest][event.id] = 0;
+      break;
+    }
+    case InspectorEventKind::kHedgeWasted: {
+      if (node_fetching_.empty() || event.aux >= node_fetching_.size()) {
+        return fail(event, "wasted hedge on unknown node");
+      }
+      if (event.id >= num_data) {
+        return fail(event, "wasted hedge of unknown data");
+      }
+      // A duplicate delivery is discarded only when the fetch was already
+      // served — an in-flight fetch must take the delivery as its fill.
+      if (node_fetching_[event.aux][event.id] != 0) {
+        return fail(event, "duplicate delivery discarded while the fetch "
+                           "was still in flight");
+      }
+      hedge_wasted_bytes_ += event.bytes;
+      break;
+    }
+    case InspectorEventKind::kNodeSuspected: {
+      if (suspected_.empty() || event.id >= suspected_.size()) {
+        return fail(event, "suspicion of unknown node");
+      }
+      if (suspected_[event.id] != 0) {
+        return fail(event, "node suspected twice without a clear");
+      }
+      if (!node_status_.empty() &&
+          node_status_[event.id] == NodeStatus::kLost) {
+        return fail(event, "suspicion of a lost node");
+      }
+      suspected_[event.id] = 1;
+      break;
+    }
+    case InspectorEventKind::kNodeSuspicionCleared: {
+      if (suspected_.empty() || event.id >= suspected_.size() ||
+          suspected_[event.id] == 0) {
+        return fail(event, "suspicion cleared without being raised");
+      }
+      suspected_[event.id] = 0;
+      break;
+    }
+    case InspectorEventKind::kNodeSuspicionEscalated: {
+      if (suspected_.empty() || event.id >= suspected_.size() ||
+          suspected_[event.id] == 0) {
+        return fail(event, "escalation of an unsuspected node");
+      }
+      if (!node_status_.empty() &&
+          node_status_[event.id] == NodeStatus::kLost) {
+        return fail(event, "escalation of an already-lost node");
+      }
+      // The node loss that follows clears the suspicion episode.
       break;
     }
   }
@@ -991,17 +1150,34 @@ void InvariantChecker::finish() {
   // same simulation event, so at run end every byte delivered on a network
   // channel must have landed in exactly one fill.
   if (!node_fetching_.empty() &&
-      net_bytes_delivered_ !=
-          host_fill_bytes_ + migrate_done_bytes_ + warm_fill_bytes_) {
-    char buffer[160];
+      net_bytes_delivered_ != host_fill_bytes_ + migrate_done_bytes_ +
+                                  warm_fill_bytes_ + hedge_wasted_bytes_) {
+    char buffer[224];
     std::snprintf(buffer, sizeof buffer,
                   "network bytes not conserved: %llu delivered vs %llu "
-                  "filled into host caches + %llu migrated + %llu warm-filled",
+                  "filled into host caches + %llu migrated + %llu "
+                  "warm-filled + %llu wasted hedge duplicates",
                   static_cast<unsigned long long>(net_bytes_delivered_),
                   static_cast<unsigned long long>(host_fill_bytes_),
                   static_cast<unsigned long long>(migrate_done_bytes_),
-                  static_cast<unsigned long long>(warm_fill_bytes_));
+                  static_cast<unsigned long long>(warm_fill_bytes_),
+                  static_cast<unsigned long long>(hedge_wasted_bytes_));
     return fail_text(buffer);
+  }
+  // Every fetch timeout must have been answered by a hedge, a delivery or
+  // the destination node's loss before the run ended.
+  for (std::uint32_t node = 0; node < timeout_outstanding_.size(); ++node) {
+    for (std::uint32_t data = 0; data < timeout_outstanding_[node].size();
+         ++data) {
+      if (timeout_outstanding_[node][data] != 0) {
+        char buffer[128];
+        std::snprintf(buffer, sizeof buffer,
+                      "fetch of data %u into node %u timed out and was never "
+                      "rerouted or served",
+                      data, node);
+        return fail_text(buffer);
+      }
+    }
   }
   // Migration byte conservation: every migration a drain started must have
   // landed on its destination node by run end.

@@ -58,6 +58,17 @@
 //     actually cross the budget, the engine's active-warp tally agrees with
 //     the checker's at every admission and rejection, and at run end no
 //     sharing set still holds a task;
+//   * network faults (link windows, hedged fetches, suspicion): no new
+//     transfer starts on a network channel while the (src, dst) link is
+//     partitioned (transfers already on the wire drain), link windows open
+//     and close in matched pairs of the same kind, a fetch timeout names an
+//     in-flight host fetch and is eventually answered by a hedge, a
+//     delivery or the destination node's loss (none outstanding at run
+//     end), wasted duplicate deliveries only follow a fetch that was
+//     already served, suspicion is raised at most once per episode and
+//     cleared/escalated only while raised (a node loss terminates the
+//     episode), and the network byte conservation above extends by the
+//     wasted duplicate payloads;
 //   * proactive fault tolerance: checkpoint progress per task is
 //     non-decreasing and committed only while the task runs, restored
 //     progress never exceeds the last checkpointed progress, a protected
@@ -200,6 +211,15 @@ class InvariantChecker final : public Inspector {
   std::uint64_t migrate_start_bytes_ = 0;
   std::uint64_t migrate_done_bytes_ = 0;
   std::uint64_t warm_fill_bytes_ = 0;
+  /// Network-fault state (sized with node_fetching_): per-pair link window
+  /// kind (0 = none, 1 = degraded, 2 = partitioned) indexed src*nodes+dst
+  /// (both orders set), outstanding fetch timeouts per (dest node, data)
+  /// awaiting a hedge/delivery/node loss, the suspicion flag per node, and
+  /// the wasted duplicate-delivery payload for byte conservation.
+  std::vector<std::uint8_t> link_state_;
+  std::vector<std::vector<std::uint8_t>> timeout_outstanding_;
+  std::vector<std::uint8_t> suspected_;
+  std::uint64_t hedge_wasted_bytes_ = 0;
   /// Occupancy-sharing state, armed by kOccupancyConfig: the warp budget,
   /// each task's clamped footprint recorded at admission, and the
   /// admitted-but-not-yet-started flag consumed by the matching kTaskStart.

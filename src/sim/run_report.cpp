@@ -348,6 +348,26 @@ std::string run_report_to_json(const RunReport& report) {
   append_u64(json, occupancy.rejections);
   json += ",\"co_run_pairs\":";
   append_u64(json, occupancy.co_run_pairs);
+  json += "}";
+
+  const RunReport::NetworkFaults& net = report.network_faults;
+  json += ",\"network_faults\":{\"enabled\":";
+  json += net.enabled ? "true" : "false";
+  json += ",\"link_degradations\":" + std::to_string(net.link_degradations);
+  json += ",\"link_partitions\":" + std::to_string(net.link_partitions);
+  json += ",\"link_heals\":" + std::to_string(net.link_heals);
+  json += ",\"fetch_timeouts\":";
+  append_u64(json, net.fetch_timeouts);
+  json += ",\"hedged_fetches\":";
+  append_u64(json, net.hedged_fetches);
+  json += ",\"hedges_wasted\":";
+  append_u64(json, net.hedges_wasted);
+  json += ",\"hedge_wasted_bytes\":";
+  append_u64(json, net.hedge_wasted_bytes);
+  json += ",\"nodes_suspected\":" + std::to_string(net.nodes_suspected);
+  json += ",\"suspicions_cleared\":" + std::to_string(net.suspicions_cleared);
+  json += ",\"suspicions_escalated\":" +
+          std::to_string(net.suspicions_escalated);
   json += "}}";
   return json;
 }
@@ -809,6 +829,38 @@ void RunReportCollector::on_event(const InspectorEvent& event) {
     }
     case InspectorEventKind::kAdmissionRejected:
       ++report_.occupancy.rejections;
+      break;
+    case InspectorEventKind::kLinkDegraded:
+      report_.network_faults.enabled = true;
+      ++report_.network_faults.link_degradations;
+      break;
+    case InspectorEventKind::kLinkPartitioned:
+      report_.network_faults.enabled = true;
+      ++report_.network_faults.link_partitions;
+      break;
+    case InspectorEventKind::kLinkRestored:
+      ++report_.network_faults.link_heals;
+      break;
+    case InspectorEventKind::kFetchTimeout:
+      report_.network_faults.enabled = true;
+      ++report_.network_faults.fetch_timeouts;
+      break;
+    case InspectorEventKind::kFetchHedged:
+      ++report_.network_faults.hedged_fetches;
+      break;
+    case InspectorEventKind::kHedgeWasted:
+      ++report_.network_faults.hedges_wasted;
+      report_.network_faults.hedge_wasted_bytes += event.bytes;
+      break;
+    case InspectorEventKind::kNodeSuspected:
+      report_.network_faults.enabled = true;
+      ++report_.network_faults.nodes_suspected;
+      break;
+    case InspectorEventKind::kNodeSuspicionCleared:
+      ++report_.network_faults.suspicions_cleared;
+      break;
+    case InspectorEventKind::kNodeSuspicionEscalated:
+      ++report_.network_faults.suspicions_escalated;
       break;
   }
 }

@@ -40,6 +40,13 @@
 // and time-weighted mean warp occupancy, admissions/rejections and co-run
 // pair counts. The section stays zeroed — and the rest of the report
 // byte-identical to a schema-7 run — when sharing is off (threshold 0).
+// Schema 9 adds the "network_faults" section for link fault injection and
+// the hedged-fetch / suspicion machinery (sim/fault_plan link_faults,
+// EngineConfig::fetch_timeout_factor): degradation/partition/heal counts,
+// remote-fetch timeouts and hedges (with the wasted duplicate-delivery
+// bytes), and the failure detector's suspect/clear/escalate totals. The
+// section stays zeroed — and the rest of the report byte-identical to a
+// schema-8 run — when no link fault fires and fetch timeouts are off.
 #pragma once
 
 #include <cstdint>
@@ -54,7 +61,7 @@
 namespace mg::sim {
 
 struct RunReport {
-  static constexpr int kSchemaVersion = 8;
+  static constexpr int kSchemaVersion = 9;
 
   std::string scheduler;
   std::string context;  ///< free-form label (figure id, workload, ...)
@@ -300,12 +307,32 @@ struct RunReport {
     std::uint64_t co_run_pairs = 0;
   };
   Occupancy occupancy;
+
+  /// Network fault injection and recovery (schema 9): link windows applied
+  /// by the injector, remote-fetch timeouts and the hedges they triggered,
+  /// and the suspicion-based failure detector's verdicts. `enabled` stays
+  /// false — and every field zeroed — when the run saw no link fault and no
+  /// fetch timeout was armed.
+  struct NetworkFaults {
+    bool enabled = false;
+    std::uint32_t link_degradations = 0;  ///< bandwidth/straggler windows
+    std::uint32_t link_partitions = 0;    ///< full-partition windows opened
+    std::uint32_t link_heals = 0;         ///< windows that closed (restored)
+    std::uint64_t fetch_timeouts = 0;     ///< remote-fetch deadlines expired
+    std::uint64_t hedged_fetches = 0;     ///< alternate-source fetches issued
+    std::uint64_t hedges_wasted = 0;      ///< duplicate deliveries discarded
+    std::uint64_t hedge_wasted_bytes = 0; ///< bytes those duplicates carried
+    std::uint32_t nodes_suspected = 0;    ///< suspicion raised
+    std::uint32_t suspicions_cleared = 0; ///< recovered by a later delivery
+    std::uint32_t suspicions_escalated = 0;  ///< confirmed -> node loss
+  };
+  NetworkFaults network_faults;
 };
 
 /// Serializes one report as a JSON object.
 [[nodiscard]] std::string run_report_to_json(const RunReport& report);
 
-/// Writes `{"schema_version":8,"context":...,"runs":[...]}` to `path`.
+/// Writes `{"schema_version":9,"context":...,"runs":[...]}` to `path`.
 /// Returns false on I/O error.
 bool write_run_reports(const std::vector<RunReport>& reports,
                        const std::string& context, const std::string& path);

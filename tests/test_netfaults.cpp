@@ -1,0 +1,492 @@
+// Network-fault subsystem tests: schema-v3 link faults in the fault plan
+// (round-trip, fuzzed rejection with line/column diagnostics, overlap
+// validation), the engine's link windows (degradation stretches transfers,
+// partitions park-and-heal), hedged remote fetches routing around a
+// partition, the suspicion detector (raise, clear on proof of life,
+// escalation to node loss after the confirm window), the knobs-off
+// byte-identity guarantee, and the seeded retry-backoff jitter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "cluster/locality.hpp"
+#include "core/task_graph.hpp"
+#include "sched/eager.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/invariant_checker.hpp"
+#include "sim/run_report.hpp"
+#include "workloads/matmul2d.hpp"
+
+namespace mg {
+namespace {
+
+using core::DataId;
+using core::TaskId;
+
+core::Platform cluster_platform(std::uint32_t gpus, std::uint32_t nodes,
+                                std::uint64_t memory = 1000) {
+  core::Platform platform;
+  platform.num_gpus = gpus;
+  platform.num_nodes = nodes;
+  platform.gpu_memory_bytes = memory;
+  platform.gpu_gflops = 1e-3;
+  platform.bus_bandwidth_bytes_per_s = 1e6;
+  platform.bus_latency_us = 0.0;
+  return platform;
+}
+
+/// A valid v3 plan exercising every LinkFault field.
+sim::FaultPlan link_fault_plan() {
+  sim::FaultPlan plan;
+  plan.seed = 7;
+  sim::FaultPlan::LinkFault degraded;
+  degraded.src = 0;
+  degraded.dst = 1;
+  degraded.start_us = 100.0;
+  degraded.end_us = 900.0;
+  degraded.bandwidth_factor = 4.0;
+  degraded.straggler_us = 50.0;
+  plan.link_faults.push_back(degraded);
+  sim::FaultPlan::LinkFault partition;
+  partition.src = 1;
+  partition.dst = 2;
+  partition.start_us = 1000.0;
+  partition.end_us = 2000.0;
+  partition.partition = true;
+  plan.link_faults.push_back(partition);
+  return plan;
+}
+
+// ---- Schema v3: parsing, round-trip, fuzzed rejection ----------------------
+
+TEST(FaultPlanV3, LinkFaultRoundTrip) {
+  const sim::FaultPlan plan = link_fault_plan();
+  const std::string json = sim::fault_plan_to_json(plan);
+  std::string error;
+  const auto parsed = sim::parse_fault_plan(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->link_faults.size(), 2u);
+  const sim::FaultPlan::LinkFault& degraded = parsed->link_faults[0];
+  EXPECT_EQ(degraded.src, 0u);
+  EXPECT_EQ(degraded.dst, 1u);
+  EXPECT_DOUBLE_EQ(degraded.start_us, 100.0);
+  EXPECT_DOUBLE_EQ(degraded.end_us, 900.0);
+  EXPECT_DOUBLE_EQ(degraded.bandwidth_factor, 4.0);
+  EXPECT_DOUBLE_EQ(degraded.straggler_us, 50.0);
+  EXPECT_FALSE(degraded.partition);
+  const sim::FaultPlan::LinkFault& partition = parsed->link_faults[1];
+  EXPECT_TRUE(partition.partition);
+  EXPECT_DOUBLE_EQ(partition.start_us, 1000.0);
+  EXPECT_DOUBLE_EQ(partition.end_us, 2000.0);
+}
+
+TEST(FaultPlanV3, NeverHealingPartitionRoundTripsAsInfinity) {
+  sim::FaultPlan plan;
+  sim::FaultPlan::LinkFault fault;
+  fault.src = 0;
+  fault.dst = 1;
+  fault.partition = true;  // default end_us = infinity: never heals
+  plan.link_faults.push_back(fault);
+  const auto parsed = sim::parse_fault_plan(sim::fault_plan_to_json(plan));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->link_faults.size(), 1u);
+  EXPECT_TRUE(std::isinf(parsed->link_faults[0].end_us));
+  EXPECT_TRUE(parsed->link_faults[0].partition);
+}
+
+TEST(FaultPlanV3, TruncatedJsonIsRejectedWithLineAndColumn) {
+  const std::string json = sim::fault_plan_to_json(link_fault_plan());
+  // Chop the plan at several byte offsets: every prefix must be rejected
+  // (never crash, never mis-parse) and syntax diagnostics must name the
+  // line/column where parsing stopped.
+  for (std::size_t cut : {1ul, json.size() / 4, json.size() / 2,
+                          json.size() - 2, json.size() - 1}) {
+    std::string error;
+    const auto parsed = sim::parse_fault_plan(json.substr(0, cut), &error);
+    EXPECT_FALSE(parsed.has_value()) << "cut at " << cut;
+    EXPECT_NE(error.find("line"), std::string::npos)
+        << "cut at " << cut << ": " << error;
+    EXPECT_NE(error.find("column"), std::string::npos)
+        << "cut at " << cut << ": " << error;
+  }
+}
+
+TEST(FaultPlanV3, WrongTypesAreRejected) {
+  const char* bad_plans[] = {
+      // link_faults must be an array.
+      R"({"schema_version":3,"link_faults":{}})",
+      // src must be a number.
+      R"({"schema_version":3,"link_faults":[{"src":"zero","dst":1}]})",
+      // start_us must be a number.
+      R"({"schema_version":3,"link_faults":[{"src":0,"dst":1,"start_us":[]}]})",
+      // partition must be a boolean.
+      R"({"schema_version":3,"link_faults":[{"src":0,"dst":1,"partition":3}]})",
+      // schema_version must be a number.
+      R"({"schema_version":"three","link_faults":[]})",
+  };
+  for (const char* json : bad_plans) {
+    std::string error;
+    EXPECT_FALSE(sim::parse_fault_plan(json, &error).has_value()) << json;
+    EXPECT_FALSE(error.empty()) << json;
+  }
+}
+
+TEST(FaultPlanV3, UnknownSchemaVersionsAreRejected) {
+  std::string error;
+  EXPECT_FALSE(
+      sim::parse_fault_plan(R"({"schema_version":99})", &error).has_value());
+  EXPECT_FALSE(
+      sim::parse_fault_plan(R"({"schema_version":0})", &error).has_value());
+  // v1 and v2 plans parse unchanged; v3 is current.
+  EXPECT_TRUE(sim::parse_fault_plan(R"({"schema_version":1})").has_value());
+  EXPECT_TRUE(sim::parse_fault_plan(R"({"schema_version":2})").has_value());
+  EXPECT_TRUE(sim::parse_fault_plan(R"({"schema_version":3})").has_value());
+}
+
+TEST(FaultPlanV3, ValidateRejectsOverlappingWindowsOnOnePair) {
+  sim::FaultPlan plan;
+  sim::FaultPlan::LinkFault first;
+  first.src = 0;
+  first.dst = 1;
+  first.start_us = 0.0;
+  first.end_us = 500.0;
+  first.bandwidth_factor = 2.0;
+  plan.link_faults.push_back(first);
+  // Overlap declared with the pair's ids swapped — links are symmetric, so
+  // (1, 0) is the same pair.
+  sim::FaultPlan::LinkFault second;
+  second.src = 1;
+  second.dst = 0;
+  second.start_us = 400.0;
+  second.end_us = 600.0;
+  second.partition = true;
+  plan.link_faults.push_back(second);
+  EXPECT_FALSE(plan.validate(4, 2).empty());
+
+  // Back-to-back windows ([0, 500) then [500, 600)) are fine.
+  plan.link_faults[1].start_us = 500.0;
+  EXPECT_TRUE(plan.validate(4, 2).empty())
+      << plan.validate(4, 2);
+}
+
+TEST(FaultPlanV3, ValidateCatchesBadLinkFaults) {
+  const auto single = [](sim::FaultPlan::LinkFault fault) {
+    sim::FaultPlan plan;
+    plan.link_faults.push_back(fault);
+    return plan;
+  };
+  sim::FaultPlan::LinkFault fault;
+  fault.src = 0;
+  fault.dst = 0;
+  EXPECT_FALSE(single(fault).validate(4, 2).empty()) << "src == dst";
+  fault.dst = 7;
+  EXPECT_FALSE(single(fault).validate(4, 2).empty()) << "node out of range";
+  fault.dst = 1;
+  fault.bandwidth_factor = 0.5;
+  EXPECT_FALSE(single(fault).validate(4, 2).empty()) << "factor < 1";
+  fault.bandwidth_factor = 1.0;
+  fault.straggler_us = -5.0;
+  EXPECT_FALSE(single(fault).validate(4, 2).empty()) << "negative straggler";
+  fault.straggler_us = 0.0;
+  fault.bandwidth_factor = 2.0;
+  EXPECT_FALSE(single(fault).validate(4, 1).empty())
+      << "link fault on a single-node platform";
+  EXPECT_TRUE(single(fault).validate(4, 2).empty())
+      << single(fault).validate(4, 2);
+}
+
+TEST(FaultPlanV3, RandomLinkFaultPlansAreValidAndHeal) {
+  std::uint32_t with_link_fault = 0;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    sim::RandomFaultOptions options;
+    options.num_gpus = 4;
+    options.num_nodes = 2 + static_cast<std::uint32_t>(seed % 2);
+    options.allow_link_faults = true;
+    const sim::FaultPlan plan = sim::make_random_fault_plan(seed, options);
+    EXPECT_TRUE(plan.validate(options.num_gpus, options.num_nodes).empty())
+        << plan.validate(options.num_gpus, options.num_nodes) << " (seed "
+        << seed << ")";
+    for (const sim::FaultPlan::LinkFault& fault : plan.link_faults) {
+      ++with_link_fault;
+      if (fault.partition) {
+        // Random partitions always heal inside the horizon so differential
+        // runs terminate without relying on detector escalation.
+        EXPECT_TRUE(std::isfinite(fault.end_us)) << "seed " << seed;
+        EXPECT_LE(fault.end_us, options.horizon_us) << "seed " << seed;
+      }
+    }
+  }
+  EXPECT_GT(with_link_fault, 0u) << "the generator never drew a link fault";
+}
+
+// ---- Engine: link windows --------------------------------------------------
+
+/// Six tasks all reading d1 (homed on node 1), so node 0 fetches it over
+/// the network once; `faults` shapes that fetch.
+struct LinkRun {
+  core::RunMetrics metrics;
+  sim::RunReport report;
+};
+LinkRun run_shared_read(const sim::FaultPlan& plan,
+                        sim::EngineConfig config = {},
+                        std::uint32_t nodes = 2) {
+  core::TaskGraphBuilder builder;
+  builder.add_data(10);  // d0 keeps d1's id odd
+  const DataId d1 = builder.add_data(10);
+  for (int i = 0; i < 6; ++i) builder.add_task(1.0, {d1});
+  const core::TaskGraph graph = builder.build();
+
+  sched::EagerScheduler scheduler;
+  sim::RuntimeEngine engine(graph, cluster_platform(nodes, nodes), scheduler,
+                            config);
+  sim::FaultInjector injector(plan);
+  if (!plan.empty()) engine.set_fault_injector(&injector);
+  sim::InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  sim::RunReportCollector collector;
+  engine.add_inspector(&collector);
+  LinkRun run;
+  run.metrics = engine.run();
+  EXPECT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+  run.report = collector.report();
+  return run;
+}
+
+TEST(LinkFaults, DegradationStretchesRemoteTransfers) {
+  const LinkRun clean = run_shared_read({});
+  sim::FaultPlan plan;
+  sim::FaultPlan::LinkFault fault;
+  fault.src = 0;
+  fault.dst = 1;
+  fault.start_us = 0.0;
+  fault.end_us = 1e6;
+  fault.bandwidth_factor = 8.0;
+  fault.straggler_us = 100.0;
+  plan.link_faults.push_back(fault);
+  const LinkRun degraded = run_shared_read(plan);
+
+  EXPECT_GT(degraded.metrics.makespan_us, clean.metrics.makespan_us);
+  EXPECT_FALSE(clean.report.network_faults.enabled);
+  EXPECT_TRUE(degraded.report.network_faults.enabled);
+  EXPECT_EQ(degraded.report.network_faults.link_degradations, 1u);
+  EXPECT_EQ(degraded.report.network_faults.link_partitions, 0u);
+}
+
+TEST(LinkFaults, PartitionParksTransfersUntilTheHeal) {
+  sim::FaultPlan plan;
+  sim::FaultPlan::LinkFault fault;
+  fault.src = 0;
+  fault.dst = 1;
+  fault.start_us = 0.0;
+  fault.end_us = 5000.0;
+  fault.partition = true;
+  plan.link_faults.push_back(fault);
+  const LinkRun run = run_shared_read(plan);
+
+  // The remote fetch reached the wire inside the window, parked, and was
+  // delivered only after the heal — the whole run waits for it.
+  EXPECT_GE(run.metrics.makespan_us, 5000.0);
+  EXPECT_EQ(run.report.network_faults.link_partitions, 1u);
+  EXPECT_EQ(run.report.network_faults.link_heals, 1u);
+  EXPECT_EQ(run.report.network_faults.fetch_timeouts, 0u)
+      << "timeouts are off by default";
+}
+
+// ---- Engine: hedged fetches and suspicion ----------------------------------
+
+TEST(NetFaultDetector, HedgedFetchRoutesAroundAPartition) {
+  // 3 nodes, d2 homed on node 2, partition 0-2 for (effectively) the whole
+  // run. Node 1 fetches d2 unhindered and fills its host cache; node 0's
+  // fetch parks, times out, suspects node 2, and hedges to node 1 instead
+  // of waiting ~1e9 us for the heal.
+  core::TaskGraphBuilder builder;
+  builder.add_data(10);
+  builder.add_data(10);
+  const DataId d2 = builder.add_data(10);  // id 2 -> homed on node 2
+  for (int i = 0; i < 6; ++i) builder.add_task(1.0, {d2});
+  const core::TaskGraph graph = builder.build();
+
+  sim::FaultPlan plan;
+  sim::FaultPlan::LinkFault fault;
+  fault.src = 0;
+  fault.dst = 2;
+  fault.start_us = 0.0;
+  fault.end_us = 1e9;
+  fault.partition = true;
+  plan.link_faults.push_back(fault);
+
+  sim::EngineConfig config;
+  config.fetch_timeout_factor = 2.0;
+  config.max_fetch_hedges = 4;
+  sched::EagerScheduler scheduler;
+  sim::RuntimeEngine engine(graph, cluster_platform(3, 3), scheduler, config);
+  sim::FaultInjector injector(plan);
+  engine.set_fault_injector(&injector);
+  sim::InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  sim::RunReportCollector collector;
+  engine.add_inspector(&collector);
+  const core::RunMetrics metrics = engine.run();
+  ASSERT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+
+  const sim::RunReport::NetworkFaults& net =
+      collector.report().network_faults;
+  EXPECT_LT(metrics.makespan_us, 1e6) << "the hedge never landed";
+  EXPECT_GE(net.fetch_timeouts, 1u);
+  EXPECT_GE(net.hedged_fetches, 1u);
+  EXPECT_GE(net.nodes_suspected, 1u);
+}
+
+TEST(NetFaultDetector, SuspicionClearsOnDeliveryFromTheSuspect) {
+  // 2 nodes: no alternate holder exists, so the timed-out fetch can only
+  // back off until the partition heals. The healed delivery is proof of
+  // life and must clear the suspicion it raised.
+  sim::FaultPlan plan;
+  sim::FaultPlan::LinkFault fault;
+  fault.src = 0;
+  fault.dst = 1;
+  fault.start_us = 0.0;
+  fault.end_us = 2000.0;
+  fault.partition = true;
+  plan.link_faults.push_back(fault);
+
+  core::TaskGraphBuilder builder;
+  builder.add_data(10);
+  const DataId d1 = builder.add_data(10);
+  for (int i = 0; i < 6; ++i) builder.add_task(1.0, {d1});
+  const core::TaskGraph graph = builder.build();
+
+  sim::EngineConfig config;
+  config.fetch_timeout_factor = 2.0;
+  // The locality scheduler consumes the suspected/cleared notifications
+  // (remote-cost weighting) — exercise that path end to end.
+  cluster::LocalityScheduler scheduler;
+  sim::RuntimeEngine engine(graph, cluster_platform(2, 2), scheduler, config);
+  sim::FaultInjector injector(plan);
+  engine.set_fault_injector(&injector);
+  sim::InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  sim::RunReportCollector collector;
+  engine.add_inspector(&collector);
+  const core::RunMetrics metrics = engine.run();
+  ASSERT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+
+  EXPECT_GE(metrics.makespan_us, 2000.0);
+  const sim::RunReport::NetworkFaults& net =
+      collector.report().network_faults;
+  EXPECT_GE(net.fetch_timeouts, 1u);
+  EXPECT_EQ(net.nodes_suspected, 1u);
+  EXPECT_EQ(net.suspicions_cleared, 1u);
+  EXPECT_EQ(net.suspicions_escalated, 0u);
+}
+
+TEST(NetFaultDetector, SuspicionEscalatesToNodeLossAfterTheConfirmWindow) {
+  // A never-healing partition against the only holder: after the confirm
+  // window the detector escalates to a node loss. Node 1's GPU dies, its
+  // tasks re-run on node 0, d1 re-homes, and the stranded fetch is
+  // re-issued so the run still terminates.
+  sim::FaultPlan plan;
+  sim::FaultPlan::LinkFault fault;
+  fault.src = 0;
+  fault.dst = 1;
+  fault.start_us = 0.0;  // default end_us = infinity: never heals
+  fault.partition = true;
+  plan.link_faults.push_back(fault);
+
+  sim::EngineConfig config;
+  config.fetch_timeout_factor = 2.0;
+  config.suspicion_confirm_window_us = 500.0;
+  const LinkRun run = run_shared_read(plan, config);
+
+  const sim::RunReport::NetworkFaults& net = run.report.network_faults;
+  EXPECT_GE(net.fetch_timeouts, 1u);
+  EXPECT_EQ(net.nodes_suspected, 1u);
+  EXPECT_EQ(net.suspicions_escalated, 1u);
+  EXPECT_GE(run.metrics.faults.gpu_losses, 1u) << "node 1 must be torn down";
+  EXPECT_LT(run.metrics.makespan_us, 1e6)
+      << "the re-homed shard never reached the waiting node";
+}
+
+// ---- Byte-identity guarantees ----------------------------------------------
+
+std::string report_json_for(const core::TaskGraph& graph,
+                            const core::Platform& platform,
+                            sim::EngineConfig config,
+                            const sim::FaultPlan* plan = nullptr) {
+  sched::EagerScheduler scheduler;
+  sim::RuntimeEngine engine(graph, platform, scheduler, config);
+  sim::FaultInjector injector(plan != nullptr ? *plan : sim::FaultPlan{});
+  if (plan != nullptr) engine.set_fault_injector(&injector);
+  sim::RunReportCollector collector;
+  engine.add_inspector(&collector);
+  (void)engine.run();
+  return sim::run_report_to_json(collector.report());
+}
+
+TEST(NetFaultDormancy, FaultFreeRunsAreByteIdenticalWithTheKnobsOn) {
+  // Arming the detector must not move a single byte of the report while no
+  // fault fires: the deadline events ride along but never act.
+  const core::TaskGraph graph = work::make_matmul_2d({.n = 4});
+  core::Platform platform = core::make_v100_platform(4, 200 * core::kMB);
+  platform.num_nodes = 2;
+  sim::EngineConfig armed;
+  armed.fetch_timeout_factor = 1000.0;  // far above any congestion
+  armed.max_fetch_hedges = 2;
+  armed.suspicion_confirm_window_us = 1e7;
+  EXPECT_EQ(report_json_for(graph, platform, {}),
+            report_json_for(graph, platform, armed));
+}
+
+TEST(NetFaultDormancy, ReportCarriesSchemaV9AndADormantSection) {
+  const core::TaskGraph graph = work::make_matmul_2d({.n = 4});
+  core::Platform platform = core::make_v100_platform(2, 200 * core::kMB);
+  platform.num_nodes = 2;
+  const std::string json = report_json_for(graph, platform, {});
+  EXPECT_NE(json.find("\"network_faults\":{\"enabled\":false"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(sim::RunReport::kSchemaVersion, 9);
+}
+
+TEST(RetryJitter, ZeroJitterIsByteIdenticalAndJitterDiverges) {
+  // Flaky transfers force retries; the seeded jitter must be a pure no-op
+  // at 0 (string-equal reports) and actually move the schedule at 0.9.
+  sim::FaultPlan plan;
+  sim::FaultPlan::TransferFault fault;
+  fault.start_us = 0.0;
+  fault.end_us = 1e6;
+  fault.probability = 1.0;
+  fault.max_failures_per_transfer = 3;
+  plan.transfer_faults.push_back(fault);
+
+  core::TaskGraphBuilder builder;
+  const DataId d0 = builder.add_data(100);
+  const DataId d1 = builder.add_data(100);
+  for (int i = 0; i < 4; ++i) builder.add_task(1.0, {i % 2 == 0 ? d0 : d1});
+  const core::TaskGraph graph = builder.build();
+
+  core::Platform platform;
+  platform.num_gpus = 2;
+  platform.gpu_memory_bytes = 1000;
+  platform.gpu_gflops = 1e-3;
+  platform.bus_bandwidth_bytes_per_s = 1e6;
+  platform.bus_latency_us = 0.0;
+
+  sim::EngineConfig zero;
+  zero.retry_jitter = 0.0;
+  sim::EngineConfig jittered;
+  jittered.retry_jitter = 0.9;
+  const std::string baseline = report_json_for(graph, platform, {}, &plan);
+  EXPECT_EQ(baseline, report_json_for(graph, platform, zero, &plan));
+  EXPECT_NE(baseline, report_json_for(graph, platform, jittered, &plan));
+}
+
+}  // namespace
+}  // namespace mg
