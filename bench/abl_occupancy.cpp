@@ -215,10 +215,10 @@ int main(int argc, char** argv) {
           best_sharing_threshold = threshold;
         }
         sharing_co_run_pairs += arm.report.occupancy.co_run_pairs;
-        // Schema-v8 asserts: the occupancy section must be armed, hold the
+        // Schema asserts (occupancy is v8+): the occupancy section must be armed, hold the
         // platform's warp budget and serialize into the report JSON.
         const sim::RunReport::Occupancy& occ = arm.report.occupancy;
-        if (sim::RunReport::kSchemaVersion != 8 || !occ.enabled ||
+        if (sim::RunReport::kSchemaVersion < 8 || !occ.enabled ||
             occ.total_warps != config.platform.total_warps() ||
             occ.budget_warps == 0 || occ.threshold != threshold ||
             occ.per_gpu.size() != config.platform.num_gpus ||

@@ -1,0 +1,150 @@
+// bench_serve — tracked perf baseline for the SLO-tiered serving path.
+//
+// Runs one fixed, deterministic serving scenario with the whole SLO layer
+// armed (two tiers with admission weights and a high-tier deadline,
+// eviction protection for the high tier, cross-job super-task batching
+// under a tight in-flight bound) and emits BENCH_serve.json: simulation
+// events processed, wall seconds, events/sec, peak RSS and the fusion
+// count. CI runs it every push and gates events/sec against the committed
+// baseline via scripts/check_bench.py, so a slowdown in the fusion
+// bookkeeping, the veto-threaded eviction scans or the tier-aware
+// admission queue shows as a step in the series. The scenario is pinned —
+// flags exist for local experiments, but the tracked numbers come from
+// the defaults.
+//
+//   ./bench_serve --out=BENCH_serve.json
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sched/dmda.hpp"
+#include "serve/serve_engine.hpp"
+#include "sim/engine_guard.hpp"
+#include "sim/errors.hpp"
+#include "sim/run_report.hpp"
+#include "util/flags.hpp"
+#include "workloads/matmul2d.hpp"
+
+namespace {
+
+/// Peak resident set in MB from /proc/self/status (VmHWM); 0.0 where the
+/// proc filesystem is unavailable (non-Linux).
+double peak_rss_mb() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0.0;
+  char line[256];
+  double kb = 0.0;
+  while (std::fgets(line, sizeof line, status) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%lf", &kb);
+      break;
+    }
+  }
+  std::fclose(status);
+  return kb / 1024.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mg;
+  util::Flags flags(
+      "bench_serve: tracked perf baseline — one pinned SLO-tiered serving "
+      "run with batching and eviction protection, emitting events/sec and "
+      "peak RSS as JSON");
+  flags.define_string("out", "BENCH_serve.json", "output JSON path")
+      .define_int("jobs", 120, "jobs in the burst")
+      .define_int("n", 8, "matmul template dimension (N)")
+      .define_int("gpus", 4, "GPUs")
+      .define_int("repeat", 3, "timed repetitions; fastest wall time wins");
+  if (!flags.parse(argc, argv)) return 0;
+
+  std::vector<core::TaskGraph> templates;
+  templates.push_back(work::make_matmul_2d(
+      {.n = static_cast<std::uint32_t>(flags.get_int("n"))}));
+  const std::uint32_t num_jobs =
+      static_cast<std::uint32_t>(flags.get_int("jobs"));
+  std::vector<serve::JobSpec> jobs(num_jobs);
+  for (std::uint32_t j = 0; j < num_jobs; ++j) jobs[j].priority = j % 2;
+
+  core::Platform platform = core::make_v100_platform(
+      static_cast<std::uint32_t>(flags.get_int("gpus")), 200 * core::kMB);
+
+  std::uint64_t events = 0;
+  std::uint64_t jobs_fused = 0;
+  double best_wall_s = 0.0;
+  const int repeat = static_cast<int>(flags.get_int("repeat"));
+  for (int rep = 0; rep < repeat; ++rep) {
+    serve::ServeConfig config;
+    config.arrival.mode = serve::ArrivalMode::kPoisson;
+    config.arrival.rate_jobs_per_s = 500.0;
+    config.arrival.seed = 42;
+    config.admission.max_jobs_in_flight = 6;
+    config.engine.seed = 42;
+    config.slo.enabled = true;
+    config.slo.tiers = slo::TierPolicy{
+        {{.min_priority = 0, .deadline_us = 0.0, .admission_weight = 0},
+         {.min_priority = 1, .deadline_us = 80e3, .admission_weight = 4}}};
+    config.slo.protect_min_priority = 1;
+    config.slo.batching = true;
+    config.slo.max_batch = 4;
+    config.slo.marginal_compute = 0.4;
+
+    sched::DmdaScheduler scheduler;
+    serve::ServeEngine engine(templates, jobs, platform, scheduler, config);
+    sim::RunReportCollector collector(
+        {.context = "bench_serve", .collect_trace = false});
+    engine.add_inspector(&collector);
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      (void)engine.run();
+    } catch (const sim::EngineError& error) {
+      sim::exit_engine_failure("bench_serve", error);
+    }
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const std::uint64_t run_events =
+        engine.engine().event_queue().events_processed();
+    if (rep == 0) {
+      events = run_events;
+      jobs_fused = collector.report().slo.jobs_fused;
+    } else if (events != run_events) {
+      std::fprintf(stderr,
+                   "bench_serve: nondeterministic event count (%llu vs "
+                   "%llu)\n",
+                   static_cast<unsigned long long>(events),
+                   static_cast<unsigned long long>(run_events));
+      return 1;
+    }
+    if (rep == 0 || wall_s < best_wall_s) best_wall_s = wall_s;
+  }
+
+  const double events_per_sec =
+      best_wall_s > 0.0 ? static_cast<double>(events) / best_wall_s : 0.0;
+  const double rss_mb = peak_rss_mb();
+
+  const std::string path = flags.get_string("out");
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"bench\":\"serve\",\"events\":%llu,"
+               "\"wall_s\":%.6f,\"events_per_sec\":%.0f,"
+               "\"peak_rss_mb\":%.1f,\"jobs_fused\":%llu}\n",
+               static_cast<unsigned long long>(events), best_wall_s,
+               events_per_sec, rss_mb,
+               static_cast<unsigned long long>(jobs_fused));
+  std::fclose(out);
+  std::printf("bench_serve: %llu events in %.3f s (%.0f events/s), "
+              "%llu jobs fused, peak RSS %.1f MB -> %s\n",
+              static_cast<unsigned long long>(events), best_wall_s,
+              events_per_sec,
+              static_cast<unsigned long long>(jobs_fused), rss_mb,
+              path.c_str());
+  return 0;
+}

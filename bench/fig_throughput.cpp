@@ -87,7 +87,11 @@ int main(int argc, char** argv) {
                      "legacy behaviour)")
       .define_int("occupancy-warps", 0,
                   "explicit warp footprint per job task (0 = derive from "
-                  "the matmul tile geometry)");
+                  "the matmul tile geometry)")
+      .define_int("tiers", 0,
+                  "SLO tiers (0 = no tiering, byte-identical legacy "
+                  "behaviour). With N > 0 jobs cycle through priorities "
+                  "0..N-1 and the CSV grows per-tier p50/p95/p99 columns");
   serve::add_autoscale_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
 
@@ -114,10 +118,13 @@ int main(int argc, char** argv) {
        .derive_warps = occupancy_threshold > 0.0}));
   const std::uint32_t num_jobs =
       static_cast<std::uint32_t>(flags.get_int("num-jobs"));
+  const std::uint32_t num_tiers =
+      static_cast<std::uint32_t>(flags.get_int("tiers"));
   std::vector<serve::JobSpec> jobs(num_jobs);
-  for (serve::JobSpec& job : jobs) {
-    job.deadline_us = flags.get_double("deadline-ms") * 1e3;
-    job.warps = static_cast<std::uint32_t>(flags.get_int("occupancy-warps"));
+  for (std::uint32_t j = 0; j < num_jobs; ++j) {
+    jobs[j].deadline_us = flags.get_double("deadline-ms") * 1e3;
+    jobs[j].warps = static_cast<std::uint32_t>(flags.get_int("occupancy-warps"));
+    if (num_tiers > 0) jobs[j].priority = j % num_tiers;
   }
 
   struct Spec {
@@ -131,12 +138,18 @@ int main(int argc, char** argv) {
       {"mHFP", [] { return std::make_unique<sched::HfpScheduler>(); }},
   };
 
-  util::CsvWriter csv(
-      {"rate_jobs_per_s", "scheduler", "throughput_jobs_per_s", "p50_ms",
-       "p95_ms", "p99_ms", "deadline_miss_rate", "jobs_shed", "loads",
-       "transfers_mb", "reuse_mb", "peak_in_flight", "mean_occupancy",
-       "peak_warps", "co_run_pairs", "occ_rejections"},
-      config.output_path);
+  std::vector<std::string> columns = {
+      "rate_jobs_per_s", "scheduler", "throughput_jobs_per_s", "p50_ms",
+      "p95_ms", "p99_ms", "deadline_miss_rate", "jobs_shed", "loads",
+      "transfers_mb", "reuse_mb", "peak_in_flight", "mean_occupancy",
+      "peak_warps", "co_run_pairs", "occ_rejections"};
+  for (std::uint32_t t = 0; t < num_tiers; ++t) {
+    const std::string prefix = "t" + std::to_string(t) + "_";
+    columns.push_back(prefix + "p50_ms");
+    columns.push_back(prefix + "p95_ms");
+    columns.push_back(prefix + "p99_ms");
+  }
+  util::CsvWriter csv(columns, config.output_path);
   csv.comment("fig_throughput: " + std::string(config.title));
   char line[160];
   std::snprintf(line, sizeof line,
@@ -166,6 +179,10 @@ int main(int argc, char** argv) {
       serve_config.share_data = !flags.get_bool("no-share");
       serve_config.engine.seed = config.seed;
       serve_config.engine.occupancy_threshold = occupancy_threshold;
+      if (num_tiers > 0) {
+        serve_config.slo.enabled = true;
+        serve_config.slo.tiers = slo::TierPolicy::even(num_tiers);
+      }
       serve_config.autoscale = serve::autoscale_from_flags(flags);
       serve_config.engine.initial_active_nodes =
           serve::autoscale_initial_nodes(flags);
@@ -213,6 +230,13 @@ int main(int argc, char** argv) {
         report.serving = result.serving;
         report.autoscaling.scale_out_events = result.scale_out_events;
         report.autoscaling.scale_in_events = result.scale_in_events;
+        // Event counters (fusions, vetoes) come from the collector; the
+        // per-tier latency table only the serving layer can fill.
+        if (result.slo.enabled) {
+          report.slo.enabled = true;
+          report.slo.tiers = result.slo.tiers;
+          report.slo.per_tier = result.slo.per_tier;
+        }
         occupancy = report.occupancy;
         if (!config.run_report_path.empty()) {
           reports.push_back(std::move(report));
@@ -229,17 +253,25 @@ int main(int argc, char** argv) {
       }
 
       const sim::RunReport::Serving& serving = result.serving;
-      csv.row({rate, spec.label, serving.throughput_jobs_per_s,
-               serving.latency_p50_us / 1e3, serving.latency_p95_us / 1e3,
-               serving.latency_p99_us / 1e3, serving.deadline_miss_rate,
-               static_cast<std::int64_t>(serving.jobs_shed),
-               static_cast<std::int64_t>(result.metrics.total_loads()),
-               result.metrics.transfers_mb(),
-               static_cast<double>(serving.cross_job_reuse_bytes) / 1e6,
-               static_cast<std::int64_t>(serving.peak_jobs_in_flight),
-               mean_occupancy, static_cast<std::int64_t>(peak_warps),
-               static_cast<std::int64_t>(occupancy.co_run_pairs),
-               static_cast<std::int64_t>(occupancy.rejections)});
+      std::vector<util::CsvCell> cells = {
+          rate, spec.label, serving.throughput_jobs_per_s,
+          serving.latency_p50_us / 1e3, serving.latency_p95_us / 1e3,
+          serving.latency_p99_us / 1e3, serving.deadline_miss_rate,
+          static_cast<std::int64_t>(serving.jobs_shed),
+          static_cast<std::int64_t>(result.metrics.total_loads()),
+          result.metrics.transfers_mb(),
+          static_cast<double>(serving.cross_job_reuse_bytes) / 1e6,
+          static_cast<std::int64_t>(serving.peak_jobs_in_flight),
+          mean_occupancy, static_cast<std::int64_t>(peak_warps),
+          static_cast<std::int64_t>(occupancy.co_run_pairs),
+          static_cast<std::int64_t>(occupancy.rejections)};
+      for (std::uint32_t t = 0; t < num_tiers; ++t) {
+        const sim::RunReport::Slo::Tier& tier = result.slo.per_tier[t];
+        cells.push_back(tier.p50_us / 1e3);
+        cells.push_back(tier.p95_us / 1e3);
+        cells.push_back(tier.p99_us / 1e3);
+      }
+      csv.row(cells);
     }
   }
 

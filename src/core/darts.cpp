@@ -13,6 +13,7 @@ std::string darts_variant_name(const DartsOptions& options) {
   if (options.scan_threshold > 0) name += "+threshold";
   if (options.three_inputs) name += "-3inputs";
   if (options.incremental) name += "+incr";
+  if (options.tier_boost > 0.0) name += "+tier";
   return name;
 }
 
@@ -122,6 +123,9 @@ void DartsScheduler::prepare(const TaskGraph& graph, const Platform& platform,
   occ_hinted_ = false;
   occ_active_warps_.assign(platform.num_gpus, 0);
   occ_free_warps_.assign(platform.num_gpus, 0);
+  // Priority announcements may precede prepare (the serving layer announces
+  // at construction), so only the per-task projection resets here.
+  task_priority_.assign(num_tasks, 0);
   use_clock_ = 0;
 }
 
@@ -134,13 +138,34 @@ void DartsScheduler::notify_occupancy(GpuId gpu, std::uint32_t active_warps,
 
 void DartsScheduler::notify_job_arrived(std::uint32_t job,
                                         std::span<const TaskId> tasks) {
-  (void)job;
+  if (has_priorities_) {
+    const std::uint32_t priority =
+        job < job_priority_.size() ? job_priority_[job] : 0;
+    for (TaskId task : tasks) task_priority_[task] = priority;
+  }
   for (TaskId task : tasks) {
     MG_DCHECK(state_[task] == TaskState::kUnsubmitted);
     state_[task] = TaskState::kAvailable;
     push_to_available(task);
     incremental_availability_change(task, +1);
   }
+}
+
+void DartsScheduler::notify_job_priority(std::uint32_t job,
+                                         std::uint32_t priority) {
+  if (job >= job_priority_.size()) job_priority_.resize(job + 1, 0);
+  job_priority_[job] = priority;
+  if (priority > 0) has_priorities_ = true;
+}
+
+std::uint32_t DartsScheduler::data_priority(DataId data) const {
+  std::uint32_t best = 0;
+  for (TaskId task : graph_->consumers(data)) {
+    if (state_[task] == TaskState::kAvailable) {
+      best = std::max(best, task_priority(task));
+    }
+  }
+  return best;
 }
 
 void DartsScheduler::notify_task_retired(
@@ -173,6 +198,12 @@ std::uint64_t DartsScheduler::unlock_weight(TaskId task) const {
       }
     }
     weight += 1 + shared;
+  }
+  // Tier boost: high-priority tasks score as if they unlocked extra
+  // successors, so every successor-aware choice leans their way.
+  if (tier_active()) {
+    weight += static_cast<std::uint64_t>(
+        options_.tier_boost * static_cast<double>(task_priority(task)));
   }
   return weight;
 }
@@ -325,6 +356,29 @@ TaskId DartsScheduler::pop_task(GpuId gpu, const MemoryView& memory) {
     // whose freed tasks unlock the most successors.
     if (deps_) {
       return plan_and_pop(gpu, memory, choose_candidate_successor_aware());
+    }
+    // Tier boost: each candidate's consumer score is lifted by its best
+    // available consumer's priority, so data serving high-tier jobs is
+    // planned first. Dormant runs never enter this branch (identical
+    // decisions and RNG draws).
+    if (tier_active()) {
+      double best_score = -1.0;
+      std::size_t tie_count = 0;
+      DataId chosen = kInvalidData;
+      for (DataId candidate : candidates_) {
+        const double score =
+            static_cast<double>(count_unprocessed_consumers(candidate)) +
+            options_.tier_boost * static_cast<double>(data_priority(candidate));
+        if (score > best_score) {
+          best_score = score;
+          chosen = candidate;
+          tie_count = 1;
+        } else if (score == best_score) {
+          ++tie_count;
+          if (rng_.below(tie_count) == 0) chosen = candidate;
+        }
+      }
+      return plan_and_pop(gpu, memory, chosen);
     }
     // Lines 8-9: among data freeing n_max tasks, prefer the one useful to
     // the most unprocessed tasks overall; break remaining ties at random.
@@ -496,7 +550,25 @@ TaskId DartsScheduler::take_random_available(GpuId gpu,
   // Dependency-gated runs replace the blind uniform pick with a
   // locality-then-unlock-weight choice over the ready frontier.
   if (deps_) return take_available_successor_aware(gpu, memory);
-  const TaskId task = available_[rng_.pick_index(available_)];
+  TaskId task = kInvalidTask;
+  if (tier_active()) {
+    // Restrict the uniform pick to the highest-priority available tasks.
+    std::uint32_t best_priority = 0;
+    std::size_t tie_count = 0;
+    for (TaskId candidate : available_) {
+      const std::uint32_t priority = task_priority(candidate);
+      if (task == kInvalidTask || priority > best_priority) {
+        best_priority = priority;
+        task = candidate;
+        tie_count = 1;
+      } else if (priority == best_priority) {
+        ++tie_count;
+        if (rng_.below(tie_count) == 0) task = candidate;
+      }
+    }
+  } else {
+    task = available_[rng_.pick_index(available_)];
+  }
   for (DataId data : graph_->inputs(task)) remove_data_from_scan(gpu, data);
   incremental_availability_change(task, -1);
   remove_from_available(task);

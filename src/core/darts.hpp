@@ -72,6 +72,15 @@ struct DartsOptions {
   /// diverge from the scan variant while remaining DARTS-shaped.
   /// Incompatible with three_inputs / opti / scan_threshold.
   bool incremental = false;
+
+  /// SLO tier boost (streamed serving): folds announced job priorities into
+  /// planning — deps runs add tier_boost × priority to the unlock weight,
+  /// scan runs boost each candidate data's consumer score by its best
+  /// available consumer's priority and restrict the no-free-task fallback
+  /// to the highest-priority tasks. 0 (the default) leaves every decision
+  /// and RNG draw untouched; the boost also stays dormant until some job
+  /// announces a nonzero priority.
+  double tier_boost = 0.0;
 };
 
 class DartsScheduler final : public Scheduler, public EvictionPolicy {
@@ -101,6 +110,10 @@ class DartsScheduler final : public Scheduler, public EvictionPolicy {
   }
   void notify_job_arrived(std::uint32_t job,
                           std::span<const TaskId> tasks) override;
+  /// Streaming dispatch priority (serve::JobSpec::priority, plus any tier
+  /// admission weight the serving layer folds in). Only read when
+  /// options().tier_boost > 0.
+  void notify_job_priority(std::uint32_t job, std::uint32_t priority) override;
   /// Dependencies: the shared pool becomes the ready frontier and planning
   /// turns successor-aware (see the header comment).
   [[nodiscard]] bool begin_dependencies() override {
@@ -210,6 +223,17 @@ class DartsScheduler final : public Scheduler, public EvictionPolicy {
   TaskId plan_and_pop(GpuId gpu, const MemoryView& memory, DataId data);
 
   TaskId pop_planned(GpuId gpu);
+
+  // SLO tier boost (armed only with options_.tier_boost > 0 and a nonzero
+  // announced priority, so default runs take the exact untiered paths).
+  [[nodiscard]] bool tier_active() const {
+    return options_.tier_boost > 0.0 && has_priorities_;
+  }
+  [[nodiscard]] std::uint32_t task_priority(TaskId task) const {
+    return task < task_priority_.size() ? task_priority_[task] : 0;
+  }
+  /// Highest announced priority among the available consumers of `data`.
+  [[nodiscard]] std::uint32_t data_priority(DataId data) const;
   /// `memory` feeds the dependency-gated fallback's locality ranking; pass
   /// nullptr from incremental mode (which tracks missing counts itself).
   TaskId take_random_available(GpuId gpu, const MemoryView* memory = nullptr);
@@ -261,6 +285,13 @@ class DartsScheduler final : public Scheduler, public EvictionPolicy {
   bool occ_hinted_ = false;
   std::vector<std::uint32_t> occ_active_warps_;
   std::vector<std::uint32_t> occ_free_warps_;
+
+  /// Job priorities announced via notify_job_priority and their per-task
+  /// projection (filled as jobs arrive); `has_priorities_` arms the tier
+  /// boost only once some job's priority is nonzero.
+  std::vector<std::uint32_t> job_priority_;
+  std::vector<std::uint32_t> task_priority_;
+  bool has_priorities_ = false;
 
   // Scratch buffers reused across pops to avoid per-call allocation.
   std::vector<DataId> candidates_;

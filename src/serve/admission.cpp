@@ -29,7 +29,7 @@ void AdmissionController::account(std::uint32_t job) {
 }
 
 AdmissionController::Decision AdmissionController::submit(
-    std::uint32_t job, std::uint32_t priority) {
+    std::uint32_t job, std::uint32_t priority, double now_us) {
   MG_DCHECK(job < footprint_.size());
   // Queued jobs keep their ordering: a new submission may only jump the
   // queue via priority, which try_admit_queued resolves — so an admissible
@@ -42,7 +42,7 @@ AdmissionController::Decision AdmissionController::submit(
       queue_.size() >= config_.max_queue_depth) {
     return Decision::kShed;
   }
-  queue_.push_back(Waiting{job, priority, next_seq_++});
+  queue_.push_back(Waiting{job, priority, next_seq_++, now_us});
   return Decision::kQueue;
 }
 
@@ -54,11 +54,23 @@ void AdmissionController::on_job_retired(std::uint32_t job) {
   bytes_ -= footprint_[job];
 }
 
-std::optional<std::uint32_t> AdmissionController::try_admit_queued() {
+std::optional<std::uint32_t> AdmissionController::try_admit_queued(
+    double now_us) {
   if (queue_.empty()) return std::nullopt;
+  // Effective priority ages with queue wait so a saturating high-tier
+  // stream cannot starve the low tiers forever. With the default rate of 0
+  // the comparison degenerates to the exact (priority desc, FIFO) order.
+  const double rate = config_.aging_rate_per_s;
+  const auto effective = [&](const Waiting& w) {
+    return static_cast<double>(w.priority) +
+           rate * (now_us - w.enqueue_us) / 1e6;
+  };
   const auto best = std::min_element(
-      queue_.begin(), queue_.end(), [](const Waiting& a, const Waiting& b) {
-        if (a.priority != b.priority) return a.priority > b.priority;
+      queue_.begin(), queue_.end(),
+      [&](const Waiting& a, const Waiting& b) {
+        const double ea = effective(a);
+        const double eb = effective(b);
+        if (ea != eb) return ea > eb;
         return a.seq < b.seq;
       });
   if (!fits(best->job)) return std::nullopt;
@@ -66,6 +78,27 @@ std::optional<std::uint32_t> AdmissionController::try_admit_queued() {
   queue_.erase(best);
   account(job);
   return job;
+}
+
+bool AdmissionController::take(std::uint32_t job) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->job != job) continue;
+    queue_.erase(it);
+    account(job);
+    return true;
+  }
+  return false;
+}
+
+std::vector<AdmissionController::QueueEntry> AdmissionController::queued()
+    const {
+  std::vector<QueueEntry> entries;
+  entries.reserve(queue_.size());
+  for (const Waiting& waiting : queue_) {
+    entries.push_back(
+        QueueEntry{waiting.job, waiting.priority, waiting.enqueue_us});
+  }
+  return entries;
 }
 
 }  // namespace mg::serve

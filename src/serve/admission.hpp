@@ -31,6 +31,13 @@ struct AdmissionConfig {
   /// Max jobs waiting in the admission queue; a submission past it is shed.
   /// 0 = unbounded queue (nothing is ever shed).
   std::uint32_t max_queue_depth = 0;
+
+  /// Anti-starvation aging: a queued job's effective priority is
+  /// priority + aging_rate_per_s × (seconds waited), so a low-priority job
+  /// eventually outranks a saturating high-tier stream. 0 (the default)
+  /// keeps the exact (priority desc, FIFO) order — byte-identical to a
+  /// controller without this knob.
+  double aging_rate_per_s = 0.0;
 };
 
 class AdmissionController {
@@ -40,17 +47,33 @@ class AdmissionController {
   AdmissionController(AdmissionConfig config,
                       std::vector<std::uint64_t> job_footprint_bytes);
 
+  /// One queued job as exposed to batching (BatchPlanner scans this).
+  struct QueueEntry {
+    std::uint32_t job = 0;
+    std::uint32_t priority = 0;
+    double enqueue_us = 0.0;
+  };
+
   /// Decides the fate of `job` now. kAdmit already accounts the job as in
-  /// flight; kQueue parks it; kShed drops it (the caller cancels it in the
-  /// engine).
-  Decision submit(std::uint32_t job, std::uint32_t priority);
+  /// flight; kQueue parks it (stamped with `now_us` for aging and the
+  /// fusion window); kShed drops it (the caller cancels it in the engine).
+  Decision submit(std::uint32_t job, std::uint32_t priority,
+                  double now_us = 0.0);
 
   /// Releases the capacity of a retired in-flight job.
   void on_job_retired(std::uint32_t job);
 
-  /// Pops the best queued job that fits now (priority desc, FIFO within),
-  /// accounting it as in flight. Call in a loop after every retirement.
-  std::optional<std::uint32_t> try_admit_queued();
+  /// Pops the best queued job that fits now — highest effective priority
+  /// (priority + aging) first, FIFO within — accounting it as in flight.
+  /// Call in a loop after every retirement.
+  std::optional<std::uint32_t> try_admit_queued(double now_us = 0.0);
+
+  /// Removes a specific queued job (batch fusion member), accounting it as
+  /// in flight. False if the job is not queued.
+  bool take(std::uint32_t job);
+
+  /// The waiting queue in submission order (fusion-candidate scan).
+  [[nodiscard]] std::vector<QueueEntry> queued() const;
 
   [[nodiscard]] std::uint32_t queue_depth() const {
     return static_cast<std::uint32_t>(queue_.size());
@@ -66,6 +89,7 @@ class AdmissionController {
     std::uint32_t job = 0;
     std::uint32_t priority = 0;
     std::uint64_t seq = 0;
+    double enqueue_us = 0.0;
   };
 
   AdmissionConfig config_;

@@ -1,6 +1,7 @@
 #include "serve/serve_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.hpp"
 
@@ -16,6 +17,30 @@ AdmissionConfig effective_admission(AdmissionConfig config,
         platform.gpu_memory_bytes;
   }
   return config;
+}
+
+/// The occupancy governor's admission budget, recomputed from the engine
+/// config (the governor itself is engine-private): the largest load the
+/// strict active + new < threshold * total rule admits. 0 = governor off,
+/// which the BatchPlanner reads as "no warp constraint on fusion".
+std::uint32_t planner_budget_warps(const sim::EngineConfig& config,
+                                   const core::Platform& platform) {
+  if (config.occupancy_threshold <= 0.0) return 0;
+  const double limit = config.occupancy_threshold *
+                       static_cast<double>(platform.total_warps());
+  double floor = std::floor(limit);
+  if (floor == limit) floor -= 1.0;
+  return static_cast<std::uint32_t>(std::max(floor, 0.0));
+}
+
+/// Nearest-rank percentile of an already-sorted sample (the JobTracker's
+/// convention, so per-tier and overall percentiles agree).
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t index = static_cast<std::size_t>(
+      std::max(1.0, std::min(rank, static_cast<double>(sorted.size()))));
+  return sorted[index - 1];
 }
 
 }  // namespace
@@ -45,10 +70,36 @@ ServeEngine::ServeEngine(std::span<const core::TaskGraph> templates,
     autoscaler_.emplace(config_.autoscale);
   }
   engine_.enable_streaming(union_.task_job, union_.num_jobs);
+  if (config_.slo.enabled) {
+    if (config_.slo.batching) {
+      MG_CHECK_MSG(config_.share_data,
+                   "cross-job batching needs share_data: fused members must "
+                   "read the same DataIds as their leader");
+      planner_.emplace(union_, std::span<const JobSpec>(jobs_), config_.slo,
+                       planner_budget_warps(config_.engine, platform));
+    }
+    if (config_.slo.protect_min_priority > 0) {
+      // Distinct inputs per job, resolved once: the veto add/remove pairs
+      // walk these at release and retirement.
+      job_inputs_.resize(union_.num_jobs);
+      for (std::uint32_t job = 0; job < union_.num_jobs; ++job) {
+        std::vector<core::DataId>& inputs = job_inputs_[job];
+        for (const core::TaskId task : union_.job_tasks[job]) {
+          const auto span = union_.graph.inputs(task);
+          inputs.insert(inputs.end(), span.begin(), span.end());
+        }
+        std::sort(inputs.begin(), inputs.end());
+        inputs.erase(std::unique(inputs.begin(), inputs.end()), inputs.end());
+      }
+      protected_jobs_.assign(union_.num_jobs, 0);
+    }
+  }
   // Announce every job's dispatch priority up front — before any arrival —
   // so priority-aware schedulers can order their pops from the first job on.
+  // Tier admission weights fold in, so a whole tier outranks another at
+  // dispatch exactly as it does in the admission queue.
   for (std::uint32_t job = 0; job < jobs_.size(); ++job) {
-    scheduler.notify_job_priority(job, jobs_[job].priority);
+    scheduler.notify_job_priority(job, effective_priority(job));
   }
   tracker_.bind(union_.task_job, union_.num_jobs);
   engine_.add_inspector(&tracker_);
@@ -93,7 +144,107 @@ ServeResult ServeEngine::run() {
       result.metrics.makespan_us, arrival_mode_name(config_.arrival.mode));
   result.scale_out_events = scale_out_applied_;
   result.scale_in_events = scale_in_applied_;
+
+  if (config_.slo.enabled) {
+    const slo::TierPolicy& tiers = config_.slo.tiers;
+    result.slo.enabled = true;
+    result.slo.tiers = tiers.num_tiers();
+    result.slo.per_tier.resize(tiers.num_tiers());
+    std::vector<std::vector<double>> latencies(tiers.num_tiers());
+    for (std::uint32_t tier = 0; tier < tiers.num_tiers(); ++tier) {
+      result.slo.per_tier[tier].tier = tier;
+    }
+    for (std::uint32_t job = 0; job < union_.num_jobs; ++job) {
+      if (tracker_.shed(job) || tracker_.finish_us(job) < 0.0) continue;
+      const std::uint32_t tier = tiers.tier_of(jobs_[job].priority);
+      const double submit = tracker_.submit_us(job) >= 0.0
+                                ? tracker_.submit_us(job)
+                                : tracker_.arrival_us(job);
+      const double latency = tracker_.finish_us(job) - submit;
+      latencies[tier].push_back(latency);
+      const double deadline = effective_deadline(job);
+      if (deadline > 0.0 && latency > deadline) {
+        ++result.slo.per_tier[tier].deadline_misses;
+      }
+    }
+    for (std::uint32_t tier = 0; tier < tiers.num_tiers(); ++tier) {
+      std::vector<double>& sample = latencies[tier];
+      std::sort(sample.begin(), sample.end());
+      sim::RunReport::Slo::Tier& out = result.slo.per_tier[tier];
+      out.jobs = static_cast<std::uint32_t>(sample.size());
+      out.p50_us = percentile(sample, 50.0);
+      out.p95_us = percentile(sample, 95.0);
+      out.p99_us = percentile(sample, 99.0);
+    }
+  }
   return result;
+}
+
+std::uint32_t ServeEngine::effective_priority(std::uint32_t job) const {
+  const std::uint32_t priority = jobs_[job].priority;
+  if (!config_.slo.enabled) return priority;
+  const slo::TierPolicy& tiers = config_.slo.tiers;
+  return priority + tiers.spec(tiers.tier_of(priority)).admission_weight;
+}
+
+double ServeEngine::effective_deadline(std::uint32_t job) const {
+  const double declared = jobs_[job].deadline_us;
+  if (declared > 0.0 || !config_.slo.enabled) return declared;
+  const slo::TierPolicy& tiers = config_.slo.tiers;
+  return tiers.spec(tiers.tier_of(jobs_[job].priority)).deadline_us;
+}
+
+void ServeEngine::try_fuse(std::uint32_t leader, double now_us) {
+  if (!planner_.has_value()) return;
+  const std::vector<AdmissionController::QueueEntry> queued =
+      admission_.queued();
+  if (queued.empty()) return;
+  std::vector<slo::BatchPlanner::QueuedJob> candidates;
+  candidates.reserve(queued.size());
+  for (const AdmissionController::QueueEntry& entry : queued) {
+    candidates.push_back(
+        slo::BatchPlanner::QueuedJob{entry.job, entry.enqueue_us});
+  }
+  // Fusion consumes the queue in admission order — tier weight first, FIFO
+  // within a level — so a high-tier leader batches its own tier's waiters
+  // instead of whichever low-tier job happens to sit at the queue's front.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [this](const slo::BatchPlanner::QueuedJob& a,
+                          const slo::BatchPlanner::QueuedJob& b) {
+                     const std::uint32_t pa = effective_priority(a.job);
+                     const std::uint32_t pb = effective_priority(b.job);
+                     if (pa != pb) return pa > pb;
+                     return a.enqueue_us < b.enqueue_us;
+                   });
+  const slo::BatchPlanner::Plan plan =
+      planner_->plan(leader, now_us, candidates);
+  if (plan.members.empty()) return;
+  for (const std::uint32_t member : plan.members) {
+    const bool taken = admission_.take(member);
+    MG_CHECK_MSG(taken, "fusion member vanished from the admission queue");
+  }
+  engine_.fuse_jobs(leader, plan.members, plan.duration_scale);
+  for (const std::uint32_t member : plan.members) protect_job(member);
+  tracker_.note_queue_depth(now_us, admission_.queue_depth());
+}
+
+void ServeEngine::protect_job(std::uint32_t job) {
+  if (protected_jobs_.empty()) return;  // protection not armed
+  if (jobs_[job].priority < config_.slo.protect_min_priority) return;
+  if (protected_jobs_[job] != 0) return;
+  protected_jobs_[job] = 1;
+  const std::uint32_t tier = config_.slo.tiers.tier_of(jobs_[job].priority);
+  for (const core::DataId data : job_inputs_[job]) {
+    engine_.add_eviction_veto(data, tier);
+  }
+}
+
+void ServeEngine::unprotect_job(std::uint32_t job) {
+  if (protected_jobs_.empty() || protected_jobs_[job] == 0) return;
+  protected_jobs_[job] = 0;
+  for (const core::DataId data : job_inputs_[job]) {
+    engine_.remove_eviction_veto(data);
+  }
 }
 
 void ServeEngine::schedule_autoscale_pump() {
@@ -168,9 +319,13 @@ void ServeEngine::submit(std::uint32_t job) {
     quiet_ticks_ = 0;
     schedule_autoscale_pump();
   }
-  tracker_.note_submitted(job, now, jobs_[job].deadline_us);
-  switch (admission_.submit(job, jobs_[job].priority)) {
+  tracker_.note_submitted(job, now, effective_deadline(job));
+  switch (admission_.submit(job, effective_priority(job), now)) {
     case AdmissionController::Decision::kAdmit:
+      // Fuse before releasing: release_job starts tasks immediately, and a
+      // fused leader must carry its duration scale from the first launch.
+      try_fuse(job, now);
+      protect_job(job);
       engine_.release_job(job);
       break;
     case AdmissionController::Decision::kQueue:
@@ -196,10 +351,13 @@ void ServeEngine::on_job_retired(std::uint32_t job) {
     quiet_ticks_ = 0;
     schedule_autoscale_pump();
   }
+  unprotect_job(job);
   admission_.on_job_retired(job);
   const double now = engine_.event_queue().now();
   bool drained = false;
-  while (const auto next = admission_.try_admit_queued()) {
+  while (const auto next = admission_.try_admit_queued(now)) {
+    try_fuse(*next, now);
+    protect_job(*next);
     engine_.release_job(*next);
     drained = true;
   }

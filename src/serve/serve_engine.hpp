@@ -32,6 +32,9 @@
 #include "serve/job_tracker.hpp"
 #include "serve/union_graph.hpp"
 #include "sim/engine.hpp"
+#include "sim/run_report.hpp"
+#include "slo/batch_planner.hpp"
+#include "slo/tier_policy.hpp"
 
 namespace mg::serve {
 
@@ -60,6 +63,16 @@ struct ServeConfig {
   /// pump is ever scheduled and reports stay byte-identical to a build
   /// without the autoscaler.
   cluster::AutoscalerConfig autoscale;
+
+  /// SLO tiers and cross-job super-task batching. When enabled, tier
+  /// admission weights fold into queue ordering and the priorities
+  /// announced to the scheduler, tier deadlines back jobs that declare
+  /// none, in-flight jobs at or above slo.protect_min_priority veto the
+  /// eviction of their inputs, and — with slo.batching — the admission of
+  /// a job scans the queue for compatible waiters to fuse into one
+  /// super-task launch. Disabled (the default) the run stays byte-identical
+  /// to a build without src/slo.
+  slo::SloConfig slo;
 };
 
 struct ServeResult {
@@ -71,6 +84,12 @@ struct ServeResult {
   /// report patch them in, like the serving section).
   std::uint32_t scale_out_events = 0;
   std::uint32_t scale_in_events = 0;
+
+  /// Per-tier latency outcomes (enabled/tiers/per_tier only — the event
+  /// counters come from a RunReportCollector riding the run; callers
+  /// writing a report patch tiers and per_tier in, like the serving
+  /// section). Zeroed when the SLO layer is off.
+  sim::RunReport::Slo slo;
 };
 
 class ServeEngine {
@@ -104,6 +123,25 @@ class ServeEngine {
   void on_job_retired(std::uint32_t job);
   void maybe_refill_closed_loop();
 
+  /// Priority the admission queue and the scheduler see: the job's own
+  /// priority plus its tier's admission weight (the raw priority when the
+  /// SLO layer is off).
+  [[nodiscard]] std::uint32_t effective_priority(std::uint32_t job) const;
+
+  /// The job's declared deadline, else its tier's default (0 = none).
+  [[nodiscard]] double effective_deadline(std::uint32_t job) const;
+
+  /// Scans the admission queue for jobs to fuse into `leader` (about to be
+  /// released), takes them out of the queue and fuses them in the engine.
+  /// No-op without batching.
+  void try_fuse(std::uint32_t leader, double now_us);
+
+  /// Eviction protection for a job entering / leaving flight: vetoes (or
+  /// releases) eviction of the job's distinct input data when its priority
+  /// clears slo.protect_min_priority.
+  void protect_job(std::uint32_t job);
+  void unprotect_job(std::uint32_t job);
+
   /// One autoscaler sampling tick: feed the admission state to the policy,
   /// apply its decision, reschedule. The pump parks itself when the
   /// simulation went quiet since the last tick (nothing but the pump ran —
@@ -119,6 +157,10 @@ class ServeEngine {
   JobTracker tracker_;
   sim::RuntimeEngine engine_;
   std::uint32_t next_job_ = 0;  ///< next closed-loop submission
+  std::optional<slo::BatchPlanner> planner_;  ///< armed iff slo batching on
+  /// Distinct input DataIds per job (filled only when protection is armed).
+  std::vector<std::vector<core::DataId>> job_inputs_;
+  std::vector<std::uint8_t> protected_jobs_;  ///< veto currently held
   std::optional<cluster::Autoscaler> autoscaler_;
   std::uint32_t scale_out_applied_ = 0;  ///< joins actually started
   std::uint32_t scale_in_applied_ = 0;   ///< drains actually started

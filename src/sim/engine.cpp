@@ -213,6 +213,179 @@ void RuntimeEngine::set_job_retired_callback(
   job_retired_cb_ = std::move(callback);
 }
 
+void RuntimeEngine::ensure_slo_state() {
+  if (slo_active_) return;
+  slo_active_ = true;
+  fused_riders_.assign(graph_.num_tasks(), {});
+  fused_scale_.assign(graph_.num_tasks(), 0.0);
+  veto_count_.assign(graph_.num_data(), 0);
+  veto_reported_.assign(graph_.num_data(), 0);
+  for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+    gpus_[gpu].memory->set_eviction_veto(
+        [this](DataId data) { return veto_count_[data] != 0; });
+  }
+}
+
+void RuntimeEngine::fuse_jobs(std::uint32_t leader,
+                              std::span<const std::uint32_t> members,
+                              double duration_scale) {
+  MG_CHECK_MSG(streaming_, "fuse_jobs requires streaming mode");
+  MG_CHECK_MSG(!deps_active_,
+               "cross-job batching requires a dependency-free graph");
+  MG_CHECK_MSG(leader < num_jobs_, "bad leader job id");
+  MG_CHECK_MSG(job_state_[leader] == JobState::kPending,
+               "fuse_jobs must run before the leader is released");
+  MG_CHECK_MSG(duration_scale >= 1.0, "duration_scale below 1");
+  if (members.empty()) return;
+  ensure_slo_state();
+  const std::vector<TaskId>& leader_tasks = job_tasks_[leader];
+  FusionGroup group;
+  group.leader = leader;
+  for (const std::uint32_t member : members) {
+    MG_CHECK_MSG(member < num_jobs_ && member != leader, "bad member job id");
+    MG_CHECK_MSG(job_state_[member] == JobState::kPending,
+                 "fusion member must still be pending");
+    const std::vector<TaskId>& member_tasks = job_tasks_[member];
+    MG_CHECK_MSG(member_tasks.size() == leader_tasks.size(),
+                 "fusion member does not match the leader's template");
+    job_state_[member] = JobState::kReleased;
+    ++jobs_released_;
+    publish(InspectorEventKind::kJobsFused, 0, member, 0, kNoChannel, leader);
+    publish(InspectorEventKind::kJobArrival, 0, member, 0, kNoChannel,
+            static_cast<std::uint32_t>(member_tasks.size()));
+    for (std::size_t i = 0; i < member_tasks.size(); ++i) {
+      const TaskId rider = member_tasks[i];
+      const TaskId leader_task = leader_tasks[i];
+      // The fused launch loads the batch's inputs once: every rider must
+      // read exactly the leader task's data (share_data unions).
+      const std::span<const DataId> leader_in = graph_.inputs(leader_task);
+      const std::span<const DataId> rider_in = graph_.inputs(rider);
+      MG_CHECK_MSG(rider_in.size() == leader_in.size() &&
+                       std::equal(rider_in.begin(), rider_in.end(),
+                                  leader_in.begin()),
+                   "fusion member does not share the leader's inputs");
+      MG_DCHECK(!popped_[rider]);
+      released_[rider] = true;
+      popped_[rider] = true;  // the scheduler never sees riders
+      publish(InspectorEventKind::kTaskReleased, 0, rider, 0, kNoChannel,
+              member);
+      fused_riders_[leader_task].push_back(rider);
+    }
+    group.members.push_back(member);
+  }
+  for (const TaskId leader_task : leader_tasks) {
+    fused_scale_[leader_task] = duration_scale;
+  }
+  fusion_groups_.push_back(std::move(group));
+}
+
+void RuntimeEngine::unfuse_all() {
+  if (!slo_active_ || fusion_groups_.empty()) return;
+  for (const FusionGroup& group : fusion_groups_) {
+    for (const std::uint32_t member : group.members) {
+      // Fully retired members stay retired; only still-running batches
+      // fall back to member granularity.
+      if (job_state_[member] != JobState::kReleased) continue;
+      publish(InspectorEventKind::kBatchUnfused, 0, member, 0, kNoChannel,
+              group.leader);
+    }
+    for (const TaskId leader_task : job_tasks_[group.leader]) {
+      for (const TaskId rider : fused_riders_[leader_task]) {
+        // Uncompleted riders re-enter dispatch as ordinary singleton
+        // tasks through the reclaim queue (served ahead of pops).
+        popped_[rider] = false;
+        reclaimed_.push_back(rider);
+      }
+      fused_riders_[leader_task].clear();
+      fused_scale_[leader_task] = 0.0;
+    }
+  }
+  fusion_groups_.clear();
+}
+
+std::uint32_t RuntimeEngine::effective_task_warps(TaskId task) const {
+  std::uint32_t warps = graph_.task_warps(task);
+  if (slo_active_ && !fused_riders_[task].empty()) {
+    for (const TaskId rider : fused_riders_[task]) {
+      warps += graph_.task_warps(rider);
+    }
+  }
+  return warps;
+}
+
+void RuntimeEngine::complete_rider(GpuId gpu, TaskId rider) {
+  GpuState& state = gpus_[gpu];
+  ++state.tasks_executed;
+  ++completed_;
+  // Synthetic lifecycle: the rider computed inside the leader's fused
+  // launch, so its start/end collapse onto the leader's completion instant.
+  if (occupancy_active_) {
+    // Zero-warp admission: the batch's summed footprint was charged to the
+    // leader at its own admission.
+    publish(InspectorEventKind::kTaskAdmitted, gpu, rider, 0, kNoChannel,
+            governor_->active_warps(gpu));
+  }
+  publish(InspectorEventKind::kTaskStart, gpu, rider);
+  publish(InspectorEventKind::kTaskEnd, gpu, rider);
+  if (config_.record_trace) {
+    trace_.events.push_back({events_.now(), TraceKind::kTaskStart, gpu, rider});
+    trace_.events.push_back({events_.now(), TraceKind::kTaskEnd, gpu, rider});
+  }
+  if (replication_active_) {
+    for (DataId data : graph_.inputs(rider)) {
+      MG_DCHECK(remaining_uses_[data] > 0);
+      if (--remaining_uses_[data] == 0 &&
+          protected_on_[data] != core::kInvalidGpu) {
+        release_protection(data, /*uses_exhausted=*/true);
+      }
+    }
+  }
+  // The scheduler never learned of the rider, so it gets no
+  // notify_task_complete call — but inspectors still see the closure.
+  publish(InspectorEventKind::kNotifyTaskComplete, gpu, rider);
+  const std::uint32_t job = task_job_[rider];
+  MG_DCHECK(job_remaining_[job] > 0);
+  if (--job_remaining_[job] == 0) {
+    job_state_[job] = JobState::kRetired;
+    ++jobs_retired_;
+    publish(InspectorEventKind::kJobComplete, 0, job, 0, kNoChannel,
+            static_cast<std::uint32_t>(job_tasks_[job].size()));
+    scheduler_.notify_job_retired(job);
+    if (job_retired_cb_) {
+      events_.schedule_after(0.0, [this, job] { job_retired_cb_(job); });
+    }
+  }
+}
+
+void RuntimeEngine::add_eviction_veto(DataId data, std::uint32_t tier) {
+  MG_CHECK_MSG(data < graph_.num_data(), "bad data id");
+  ensure_slo_state();
+  if (veto_count_[data]++ == 0) {
+    publish(InspectorEventKind::kTierProtect, 0, data, 0, kNoChannel, tier);
+  }
+}
+
+void RuntimeEngine::remove_eviction_veto(DataId data) {
+  MG_CHECK_MSG(slo_active_ && data < graph_.num_data() &&
+                   veto_count_[data] > 0,
+               "unbalanced eviction veto");
+  if (--veto_count_[data] == 0) {
+    veto_reported_[data] = 0;  // a later protection may report again
+    publish(InspectorEventKind::kTierUnprotect, 0, data);
+    for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {
+      if (gpus_[gpu].alive) gpus_[gpu].memory->veto_lifted();
+    }
+  }
+}
+
+void RuntimeEngine::on_eviction_vetoed(GpuId gpu, DataId data) {
+  // Debounced: at most one event per data per protection window, or make
+  // room under pressure would flood the stream on every scan.
+  if (veto_reported_[data] != 0) return;
+  veto_reported_[data] = 1;
+  publish(InspectorEventKind::kEvictionVetoed, gpu, data);
+}
+
 void RuntimeEngine::publish_slow(InspectorEventKind kind, GpuId gpu,
                                  std::uint32_t id, std::uint64_t bytes,
                                  std::uint32_t channel, std::uint32_t aux) {
@@ -810,8 +983,11 @@ void RuntimeEngine::try_start(GpuId gpu) {
     return;
   }
   if (occupancy_active_) {
-    const std::uint32_t warps = governor_->clamp_warps(graph_.task_warps(head));
-    if (!governor_->try_admit(gpu, graph_.task_warps(head), events_.now())) {
+    // A fused leader is admitted with the batch's summed footprint; its
+    // riders later admit at zero warps.
+    const std::uint32_t task_warps = effective_task_warps(head);
+    const std::uint32_t warps = governor_->clamp_warps(task_warps);
+    if (!governor_->try_admit(gpu, task_warps, events_.now())) {
       state.occ_blocked_head = head;
       publish(InspectorEventKind::kAdmissionRejected, gpu, head, warps,
               kNoChannel, governor_->active_warps(gpu));
@@ -837,15 +1013,26 @@ void RuntimeEngine::start_task(GpuId gpu, TaskId task) {
   state.assembly_pins.clear();
   for (DataId data : graph_.inputs(task)) state.memory->touch(data);
 
-  const double base_duration =
+  double base_duration =
       platform_.compute_time_us(graph_.task_flops(task), gpu);
+  // A fused super-task launches the whole batch at once: one kernel at
+  // base × (1 + riders × marginal_compute), shared loads already counted
+  // once by residency.
+  const bool fused = slo_active_ && !fused_riders_[task].empty();
+  if (fused) base_duration *= fused_scale_[task];
   if (occupancy_active_) {
     // Join the sharing set: co-runners progress at the old rate up to now,
     // then every member's finish is rescheduled under the new membership.
     occ_accrue(gpu);
     state.running_set.push_back(
-        {task, base_duration, governor_->clamp_warps(graph_.task_warps(task))});
+        {task, base_duration,
+         governor_->clamp_warps(effective_task_warps(task))});
     publish(InspectorEventKind::kTaskStart, gpu, task);
+    if (fused) {
+      publish(InspectorEventKind::kSuperTaskLaunched, gpu, task,
+              static_cast<std::uint64_t>(base_duration), kNoChannel,
+              static_cast<std::uint32_t>(fused_riders_[task].size()));
+    }
     if (config_.record_trace) {
       trace_.events.push_back(
           {events_.now(), TraceKind::kTaskStart, gpu, task});
@@ -857,6 +1044,11 @@ void RuntimeEngine::start_task(GpuId gpu, TaskId task) {
   }
   state.running = task;
   publish(InspectorEventKind::kTaskStart, gpu, task);
+  if (fused) {
+    publish(InspectorEventKind::kSuperTaskLaunched, gpu, task,
+            static_cast<std::uint64_t>(base_duration), kNoChannel,
+            static_cast<std::uint32_t>(fused_riders_[task].size()));
+  }
   if (config_.record_trace) {
     trace_.events.push_back(
         {events_.now(), TraceKind::kTaskStart, gpu, task});
@@ -1006,6 +1198,15 @@ void RuntimeEngine::complete_task(GpuId gpu, TaskId task) {
     fault_metrics_.recovery_latency_us.push_back(events_.now() -
                                                  orphan_lost_at_us_[task]);
     orphan_lost_at_us_[task] = -1.0;
+  }
+  if (slo_active_ && !fused_riders_[task].empty()) {
+    // Super-task fan-out: every rider computed inside this launch — retire
+    // them (and their member jobs) before the leader's inputs are unpinned
+    // and before the completion notification, whose push-prefetch may evict
+    // the shared inputs the riders' synthetic starts must still see.
+    for (const TaskId rider : fused_riders_[task]) complete_rider(gpu, rider);
+    fused_riders_[task].clear();
+    fused_scale_[task] = 0.0;
   }
   for (DataId data : graph_.inputs(task)) state.memory->unpin(data);
   if (replication_active_) {
@@ -1525,6 +1726,10 @@ void RuntimeEngine::fail_gpu(GpuId gpu) {
         "fault plan failed the last surviving GPU; no device left to finish "
         "the workload");
   }
+  // Recovery reasons about member granularity: break every super-task batch
+  // before orphans are collected, so uncompleted riders re-dispatch as
+  // ordinary tasks on the survivors.
+  unfuse_all();
   state.alive = false;
   --alive_gpus_;
   ++fault_metrics_.gpu_losses;
@@ -1669,6 +1874,10 @@ void RuntimeEngine::begin_node_drain(core::NodeId node) {
   MG_CHECK_MSG(node_status_[node] == NodeStatus::kActive,
                "only an active node can drain");
   MG_CHECK_MSG(active_node_count_ > 1, "cannot drain the last serving node");
+  // A rider would otherwise "start" on the draining node when its leader
+  // (already running past the fence) completes there: break every batch
+  // first so riders re-dispatch at member granularity.
+  unfuse_all();
   node_status_[node] = NodeStatus::kDraining;
   --active_node_count_;
   drain_start_us_[node] = events_.now();
@@ -1929,6 +2138,7 @@ void RuntimeEngine::activate_node(core::NodeId node, std::uint32_t fills) {
 void RuntimeEngine::fail_node(core::NodeId node) {
   ensure_topology_state();
   if (node_status_[node] == NodeStatus::kLost) return;
+  unfuse_all();  // recovery sees member granularity, never fused batches
   // At least one serving GPU must survive outside the node.
   bool survivor_serving = false;
   for (GpuId gpu = 0; gpu < platform_.num_gpus; ++gpu) {

@@ -22,6 +22,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/ids.hpp"
@@ -187,6 +188,30 @@ class RuntimeEngine final : private MemoryManager::Observer,
   /// `callback(job)` fires through a zero-delay event after the last task of
   /// `job` completes (admission re-check, closed-loop refill, ...).
   void set_job_retired_callback(std::function<void(std::uint32_t)> callback);
+
+  // ---- SLO tiers & cross-job batching (src/slo) ---------------------------
+  //
+  // Fusion merges still-queued member jobs into a just-admitted leader of
+  // the same template: member task i rides leader task i (template order) —
+  // one launch per pair at base × duration_scale (shared loads counted
+  // once), with per-member completion and retirement published when the
+  // leader task finishes. Riders never reach the scheduler. Any fault or
+  // topology change unfuses every active batch first, so recovery and
+  // replay see member granularity. Dormant (and byte-identical) until the
+  // first fuse_jobs / add_eviction_veto call.
+
+  /// Fuses `members` (pending jobs of the leader's template) into released
+  /// job `leader`. Requires streaming mode, no dependency edges, and that
+  /// no leader task has started yet (call at admission). Leader tasks run
+  /// at base × `duration_scale`.
+  void fuse_jobs(std::uint32_t leader, std::span<const std::uint32_t> members,
+                 double duration_scale);
+
+  /// SLO eviction protection: while the refcount of `data` is positive, no
+  /// GPU evicts (or replica-sheds) it. `tier` only annotates the
+  /// kTierProtect event.
+  void add_eviction_veto(core::DataId data, std::uint32_t tier);
+  void remove_eviction_veto(core::DataId data);
 
   /// The simulation clock/queue; the serve layer schedules arrival and
   /// admission callbacks here.
@@ -425,6 +450,7 @@ class RuntimeEngine final : private MemoryManager::Observer,
   void on_fetch_started(core::GpuId gpu, core::DataId data,
                         bool demand) override;
   void on_replica_shed(core::GpuId gpu, core::DataId data) override;
+  void on_eviction_vetoed(core::GpuId gpu, core::DataId data) override;
 
   /// Publishes one event to every attached inspector. `publish` is the
   /// guarded entry point (no-op without inspectors); `publish_slow` builds
@@ -704,6 +730,36 @@ class RuntimeEngine final : private MemoryManager::Observer,
   std::uint32_t jobs_released_ = 0;
   std::uint32_t jobs_retired_ = 0;
   std::function<void(std::uint32_t)> job_retired_cb_;
+
+  // SLO state (src/slo). Dormant — and cost-free on the hot paths — until
+  // the first fuse_jobs or add_eviction_veto call.
+  bool slo_active_ = false;
+  /// Active batches: leader job + fused member jobs (cleared by
+  /// unfuse_all; retired groups are skipped there via job_state_).
+  struct FusionGroup {
+    std::uint32_t leader;
+    std::vector<std::uint32_t> members;
+  };
+  std::vector<FusionGroup> fusion_groups_;
+  /// Rider tasks carried by each fused leader task (empty = unfused).
+  std::vector<std::vector<core::TaskId>> fused_riders_;
+  /// Duration multiplier of each fused leader task (0 = unfused).
+  std::vector<double> fused_scale_;
+  /// Per-data SLO protection refcount (one per protecting in-flight job).
+  std::vector<std::uint32_t> veto_count_;
+  /// kEvictionVetoed debounce: at most one event per data per protection
+  /// window.
+  std::vector<std::uint8_t> veto_reported_;
+  void ensure_slo_state();
+  /// Breaks every active batch (fault/drain paths): unstarted rider tasks
+  /// re-enter dispatch through the reclaim queue at member granularity.
+  void unfuse_all();
+  /// Warp footprint the occupancy governor should charge for `task`:
+  /// summed over the batch for a fused leader.
+  [[nodiscard]] std::uint32_t effective_task_warps(core::TaskId task) const;
+  /// Publishes one rider's synthetic admit/start/end/complete sequence and
+  /// retires its member job if it was the last task.
+  void complete_rider(core::GpuId gpu, core::TaskId rider);
 };
 
 }  // namespace mg::sim

@@ -67,6 +67,12 @@ std::string_view inspector_event_kind_name(InspectorEventKind kind) {
       return "node-suspicion-cleared";
     case InspectorEventKind::kNodeSuspicionEscalated:
       return "node-suspicion-escalated";
+    case InspectorEventKind::kJobsFused: return "jobs-fused";
+    case InspectorEventKind::kSuperTaskLaunched: return "super-task-launched";
+    case InspectorEventKind::kBatchUnfused: return "batch-unfused";
+    case InspectorEventKind::kEvictionVetoed: return "eviction-vetoed";
+    case InspectorEventKind::kTierProtect: return "tier-protect";
+    case InspectorEventKind::kTierUnprotect: return "tier-unprotect";
   }
   return "?";
 }
@@ -113,10 +119,13 @@ std::string format_inspector_event(const InspectorEvent& event) {
                        event.kind == InspectorEventKind::kTaskUnretired ||
                        event.kind == InspectorEventKind::kTaskDrained ||
                        event.kind == InspectorEventKind::kTaskAdmitted ||
-                       event.kind == InspectorEventKind::kAdmissionRejected;
+                       event.kind == InspectorEventKind::kAdmissionRejected ||
+                       event.kind == InspectorEventKind::kSuperTaskLaunched;
   const bool is_job = event.kind == InspectorEventKind::kJobArrival ||
                       event.kind == InspectorEventKind::kJobComplete ||
-                      event.kind == InspectorEventKind::kJobShed;
+                      event.kind == InspectorEventKind::kJobShed ||
+                      event.kind == InspectorEventKind::kJobsFused ||
+                      event.kind == InspectorEventKind::kBatchUnfused;
   // Node-lifecycle kinds carry the node in `id` rather than a task/data.
   const bool is_node =
       event.kind == InspectorEventKind::kNodeDrainStart ||
@@ -184,6 +193,16 @@ std::string format_inspector_event(const InspectorEvent& event) {
   } else if (event.kind == InspectorEventKind::kCapacityShock &&
              event.aux != 0) {
     line += " (clamped)";
+  } else if (event.kind == InspectorEventKind::kJobsFused ||
+             event.kind == InspectorEventKind::kBatchUnfused) {
+    std::snprintf(buffer, sizeof buffer, " leader=J%u", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kSuperTaskLaunched) {
+    std::snprintf(buffer, sizeof buffer, " riders=%u", event.aux);
+    line += buffer;
+  } else if (event.kind == InspectorEventKind::kTierProtect) {
+    std::snprintf(buffer, sizeof buffer, " tier=%u", event.aux);
+    line += buffer;
   } else if (is_job) {
     std::snprintf(buffer, sizeof buffer, " tasks=%u", event.aux);
     line += buffer;

@@ -157,6 +157,24 @@ enum class InspectorEventKind : std::uint8_t {
   kNodeSuspicionEscalated, ///< node `id` stayed suspected past the confirm
                            ///< window: escalating to the node-loss recovery
                            ///< (aux: confirm window in whole µs)
+
+  // SLO tiers and cross-job batching (src/slo; engine streaming mode).
+  kJobsFused,         ///< queued job `id` fused into leader job `aux`'s
+                      ///< super-tasks (one launch per task pair); its own
+                      ///< kJobArrival follows immediately. `gpu` is 0.
+  kSuperTaskLaunched, ///< fused leader task `id` started on `gpu` carrying
+                      ///< `aux` rider tasks (bytes: scaled duration in
+                      ///< whole µs)
+  kBatchUnfused,      ///< fault/drain broke the batch: member job `id`
+                      ///< detached from leader job `aux`; its unfinished
+                      ///< tasks re-enter dispatch at member granularity.
+                      ///< `gpu` is 0.
+  kEvictionVetoed,    ///< eviction of data `id` on `gpu` blocked: an SLO
+                      ///< protection (kTierProtect) covers it
+  kTierProtect,       ///< data `id` became eviction-protected on behalf of a
+                      ///< high-tier in-flight job (aux: tier). `gpu` is 0.
+  kTierUnprotect,     ///< last protecting job of data `id` retired: the
+                      ///< eviction veto lifts. `gpu` is 0.
 };
 
 [[nodiscard]] std::string_view inspector_event_kind_name(

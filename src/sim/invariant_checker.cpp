@@ -42,6 +42,7 @@ void InvariantChecker::on_run_begin(const core::TaskGraph& graph,
   released_.assign(graph.num_tasks(), 0);
   cancelled_.assign(graph.num_tasks(), 0);
   job_state_.clear();
+  slo_protected_.assign(graph.num_data(), 0);
   if (graph.has_dependencies()) {
     dep_pending_.assign(graph.num_tasks(), 0);
     dep_release_count_.assign(graph.num_tasks(), 0);
@@ -191,6 +192,13 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
     case InspectorEventKind::kNodeSuspected:
     case InspectorEventKind::kNodeSuspicionCleared:
     case InspectorEventKind::kNodeSuspicionEscalated:
+    // SLO batching and tier protection are engine-level (published with
+    // gpu=0, which may well be dead); super-task launches and veto reports
+    // happen on the executing/fetching GPU and keep the default rule.
+    case InspectorEventKind::kJobsFused:
+    case InspectorEventKind::kBatchUnfused:
+    case InspectorEventKind::kTierProtect:
+    case InspectorEventKind::kTierUnprotect:
       break;
     default:
       if (!gpu.alive) return fail(event, "activity on a dead gpu");
@@ -251,6 +259,9 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       if (event.aux != 0) return fail(event, "evict of pinned data");
       if (gpu.prot[event.id] != 0) {
         return fail(event, "evict of a protected sole-surviving replica");
+      }
+      if (slo_protected_[event.id] != 0) {
+        return fail(event, "evict of slo-protected (vetoed) data");
       }
       if (gpu.running >= 0) {
         const auto inputs = graph_->inputs(static_cast<core::TaskId>(gpu.running));
@@ -594,6 +605,9 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
       }
       if (gpu.prot[event.id] != 0) {
         return fail(event, "shed of a protected sole-surviving replica");
+      }
+      if (slo_protected_[event.id] != 0) {
+        return fail(event, "shed of slo-protected (vetoed) data");
       }
       break;
     }
@@ -1075,6 +1089,52 @@ void InvariantChecker::on_event(const InspectorEvent& event) {
         return fail(event, "escalation of an already-lost node");
       }
       // The node loss that follows clears the suspicion episode.
+      break;
+    }
+    case InspectorEventKind::kJobsFused: {
+      streaming_seen_ = true;
+      // Published before the member's kJobArrival: the member must still be
+      // unseen (pending) — fusing a released, shed or retired job would
+      // double-run its tasks.
+      if (event.id < job_state_.size() && job_state_[event.id] != 0) {
+        return fail(event, "fusion of a job that already arrived");
+      }
+      break;
+    }
+    case InspectorEventKind::kSuperTaskLaunched: {
+      if (event.id >= num_tasks) {
+        return fail(event, "super-task launch of unknown task");
+      }
+      if (started_[event.id] == 0) {
+        return fail(event, "super-task launch before the leader's start");
+      }
+      if (event.aux == 0) {
+        return fail(event, "super-task launch without riders");
+      }
+      break;
+    }
+    case InspectorEventKind::kBatchUnfused: {
+      if (event.id >= job_state_.size() || job_state_[event.id] != 1) {
+        return fail(event, "unfuse of a job not in flight");
+      }
+      break;
+    }
+    case InspectorEventKind::kTierProtect: {
+      if (event.id >= num_data) return fail(event, "protect of unknown data");
+      ++slo_protected_[event.id];
+      break;
+    }
+    case InspectorEventKind::kTierUnprotect: {
+      if (event.id >= num_data || slo_protected_[event.id] == 0) {
+        return fail(event, "unprotect without a protection window");
+      }
+      --slo_protected_[event.id];
+      break;
+    }
+    case InspectorEventKind::kEvictionVetoed: {
+      if (event.id >= num_data || slo_protected_[event.id] == 0) {
+        return fail(event, "eviction veto reported for unprotected data");
+      }
       break;
     }
   }

@@ -176,6 +176,10 @@ class InvariantChecker final : public Inspector {
   std::vector<std::uint8_t> released_;
   std::vector<std::uint8_t> cancelled_;
   std::vector<std::uint8_t> job_state_;
+  /// SLO eviction-protection refcount per data (kTierProtect/kTierUnprotect
+  /// are engine-global, so one counter vector covers every GPU): protected
+  /// data must never be evicted or replica-shed anywhere.
+  std::vector<std::uint32_t> slo_protected_;
   /// Dependency model state (sized only when the graph carries edges):
   /// per-task unreleased-predecessor counts and per-task released-out-edge
   /// counts (reset by kTaskUnretired, which re-arms the edges).

@@ -131,7 +131,8 @@ bool MemoryManager::make_room(std::uint64_t bytes) {
     // policy gets a say: they are insurance, not working-set data.
     DataId replica_victim = kInvalidData;
     for (DataId data : resident_) {
-      if (replica_[data] != 0 && pins_[data] == 0 && protected_[data] == 0) {
+      if (replica_[data] != 0 && pins_[data] == 0 && protected_[data] == 0 &&
+          !vetoed(data)) {
         replica_victim = data;
         break;
       }
@@ -142,12 +143,18 @@ bool MemoryManager::make_room(std::uint64_t bytes) {
       evict(replica_victim);
       continue;
     }
-    // Candidates: resident, unpinned and unprotected. In-flight data are
-    // absent from resident_ by construction.
+    // Candidates: resident, unpinned, unprotected and not under an SLO
+    // eviction veto. In-flight data are absent from resident_ by
+    // construction.
     std::vector<DataId> candidates;
     candidates.reserve(resident_.size());
     for (DataId data : resident_) {
-      if (pins_[data] == 0 && protected_[data] == 0) candidates.push_back(data);
+      if (pins_[data] != 0 || protected_[data] != 0) continue;
+      if (vetoed(data)) {
+        observer_->on_eviction_vetoed(gpu_, data);
+        continue;
+      }
+      candidates.push_back(data);
     }
     if (candidates.empty()) return false;
     const DataId victim = policy_->choose_victim(gpu_, candidates);
@@ -225,7 +232,8 @@ std::uint32_t MemoryManager::emergency_evict() {
   while (committed_ > capacity_) {
     DataId replica_victim = kInvalidData;
     for (DataId data : resident_) {
-      if (replica_[data] != 0 && pins_[data] == 0 && protected_[data] == 0) {
+      if (replica_[data] != 0 && pins_[data] == 0 && protected_[data] == 0 &&
+          !vetoed(data)) {
         replica_victim = data;
         break;
       }
@@ -240,7 +248,12 @@ std::uint32_t MemoryManager::emergency_evict() {
     std::vector<DataId> candidates;
     candidates.reserve(resident_.size());
     for (DataId data : resident_) {
-      if (pins_[data] == 0 && protected_[data] == 0) candidates.push_back(data);
+      if (pins_[data] != 0 || protected_[data] != 0) continue;
+      if (vetoed(data)) {
+        observer_->on_eviction_vetoed(gpu_, data);
+        continue;
+      }
+      candidates.push_back(data);
     }
     if (candidates.empty()) break;  // pinned/in-flight overhang drains later
     DataId victim = policy_->choose_victim(gpu_, candidates);

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "core/eviction.hpp"
@@ -47,6 +48,13 @@ class MemoryManager final : public core::MemoryView {
       (void)gpu;
       (void)data;
     }
+    /// Fired when `data` was an eviction candidate (unpinned, unprotected)
+    /// but the SLO eviction veto excluded it. The engine debounces this
+    /// into at most one kEvictionVetoed event per protection window.
+    virtual void on_eviction_vetoed(core::GpuId gpu, core::DataId data) {
+      (void)gpu;
+      (void)data;
+    }
   };
 
   enum class Residency : std::uint8_t { kAbsent, kFetching, kPresent };
@@ -60,6 +68,21 @@ class MemoryManager final : public core::MemoryView {
   /// Both must be set before the first fetch; not owned.
   void set_eviction_policy(core::EvictionPolicy* policy) { policy_ = policy; }
   void set_observer(Observer* observer) { observer_ = observer; }
+
+  /// SLO eviction veto: data for which the predicate returns true is
+  /// excluded from every eviction-candidate scan (make_room and
+  /// emergency_evict, replica shedding included) exactly like pinned or
+  /// protected data. The engine installs one engine-global predicate over
+  /// the in-flight high-tier jobs' inputs.
+  void set_eviction_veto(std::function<bool(core::DataId)> veto) {
+    eviction_veto_ = std::move(veto);
+  }
+
+  /// Call when a veto lifts (a protected job retired): parked fetches that
+  /// previously found no victim may succeed now.
+  void veto_lifted() {
+    if (active_ && !stalled_.empty()) retry_stalled();
+  }
 
   // MemoryView
   [[nodiscard]] bool is_present(core::DataId data) const override {
@@ -189,6 +212,10 @@ class MemoryManager final : public core::MemoryView {
     bool demand;
   };
 
+  [[nodiscard]] bool vetoed(core::DataId data) const {
+    return eviction_veto_ && eviction_veto_(data);
+  }
+
   /// Evicts until `bytes` fit; false if no victim can be found now.
   bool make_room(std::uint64_t bytes);
   void evict(core::DataId victim);
@@ -204,6 +231,7 @@ class MemoryManager final : public core::MemoryView {
   TransferRouter& router_;
   core::EvictionPolicy* policy_ = nullptr;
   Observer* observer_ = nullptr;
+  std::function<bool(core::DataId)> eviction_veto_;
 
   std::vector<Residency> residency_;
   std::vector<std::uint32_t> pins_;

@@ -368,7 +368,38 @@ std::string run_report_to_json(const RunReport& report) {
   json += ",\"suspicions_cleared\":" + std::to_string(net.suspicions_cleared);
   json += ",\"suspicions_escalated\":" +
           std::to_string(net.suspicions_escalated);
-  json += "}}";
+  json += "}";
+
+  const RunReport::Slo& slo = report.slo;
+  json += ",\"slo\":{\"enabled\":";
+  json += slo.enabled ? "true" : "false";
+  json += ",\"tiers\":" + std::to_string(slo.tiers);
+  json += ",\"jobs_fused\":";
+  append_u64(json, slo.jobs_fused);
+  json += ",\"super_tasks\":";
+  append_u64(json, slo.super_tasks);
+  json += ",\"batches_unfused\":";
+  append_u64(json, slo.batches_unfused);
+  json += ",\"evictions_vetoed\":";
+  append_u64(json, slo.evictions_vetoed);
+  json += ",\"protections\":";
+  append_u64(json, slo.protections);
+  json += ",\"per_tier\":[";
+  for (std::size_t i = 0; i < slo.per_tier.size(); ++i) {
+    const RunReport::Slo::Tier& tier = slo.per_tier[i];
+    if (i > 0) json += ',';
+    json += "{\"tier\":" + std::to_string(tier.tier);
+    json += ",\"jobs\":" + std::to_string(tier.jobs);
+    json += ",\"p50_us\":";
+    append_double(json, tier.p50_us);
+    json += ",\"p95_us\":";
+    append_double(json, tier.p95_us);
+    json += ",\"p99_us\":";
+    append_double(json, tier.p99_us);
+    json += ",\"deadline_misses\":" + std::to_string(tier.deadline_misses);
+    json += "}";
+  }
+  json += "]}}";
   return json;
 }
 
@@ -861,6 +892,27 @@ void RunReportCollector::on_event(const InspectorEvent& event) {
       break;
     case InspectorEventKind::kNodeSuspicionEscalated:
       ++report_.network_faults.suspicions_escalated;
+      break;
+    case InspectorEventKind::kJobsFused:
+      report_.slo.enabled = true;
+      ++report_.slo.jobs_fused;
+      break;
+    case InspectorEventKind::kSuperTaskLaunched:
+      report_.slo.enabled = true;
+      ++report_.slo.super_tasks;
+      break;
+    case InspectorEventKind::kBatchUnfused:
+      ++report_.slo.batches_unfused;
+      break;
+    case InspectorEventKind::kEvictionVetoed:
+      report_.slo.enabled = true;
+      ++report_.slo.evictions_vetoed;
+      break;
+    case InspectorEventKind::kTierProtect:
+      report_.slo.enabled = true;
+      ++report_.slo.protections;
+      break;
+    case InspectorEventKind::kTierUnprotect:
       break;
   }
 }

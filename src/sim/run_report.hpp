@@ -47,6 +47,12 @@
 // bytes), and the failure detector's suspect/clear/escalate totals. The
 // section stays zeroed — and the rest of the report byte-identical to a
 // schema-8 run — when no link fault fires and fetch timeouts are off.
+// Schema 10 adds the "slo" section for SLO-tiered serving and cross-job
+// super-task batching (slo::SloConfig via serve::ServeConfig): fused-job /
+// super-task-launch / unfuse counts, eviction-veto statistics, and per-tier
+// latency percentiles patched in by the serving layer. The section stays
+// zeroed — and the rest of the report byte-identical to a schema-9 run —
+// when the SLO layer is disabled.
 #pragma once
 
 #include <cstdint>
@@ -61,7 +67,7 @@
 namespace mg::sim {
 
 struct RunReport {
-  static constexpr int kSchemaVersion = 9;
+  static constexpr int kSchemaVersion = 10;
 
   std::string scheduler;
   std::string context;  ///< free-form label (figure id, workload, ...)
@@ -327,12 +333,37 @@ struct RunReport {
     std::uint32_t suspicions_escalated = 0;  ///< confirmed -> node loss
   };
   NetworkFaults network_faults;
+
+  /// SLO tiers and cross-job batching (schema 10): super-task fusion and
+  /// eviction-protection statistics, plus per-tier latency percentiles the
+  /// serving layer patches in after the run (like the serving section).
+  /// `enabled` stays false — and every field zeroed — when the SLO layer
+  /// is off.
+  struct Slo {
+    bool enabled = false;
+    std::uint32_t tiers = 0;              ///< tier count (0 = untiered)
+    std::uint64_t jobs_fused = 0;         ///< member jobs fused into leaders
+    std::uint64_t super_tasks = 0;        ///< fused launches (>= 1 rider)
+    std::uint64_t batches_unfused = 0;    ///< members split back on a fault
+    std::uint64_t evictions_vetoed = 0;   ///< candidate scans that hit a veto
+    std::uint64_t protections = 0;        ///< data protection windows opened
+    struct Tier {
+      std::uint32_t tier = 0;
+      std::uint32_t jobs = 0;             ///< jobs retired in this tier
+      double p50_us = 0.0;                ///< end-to-end latency percentiles
+      double p95_us = 0.0;
+      double p99_us = 0.0;
+      std::uint32_t deadline_misses = 0;
+    };
+    std::vector<Tier> per_tier;
+  };
+  Slo slo;
 };
 
 /// Serializes one report as a JSON object.
 [[nodiscard]] std::string run_report_to_json(const RunReport& report);
 
-/// Writes `{"schema_version":9,"context":...,"runs":[...]}` to `path`.
+/// Writes `{"schema_version":10,"context":...,"runs":[...]}` to `path`.
 /// Returns false on I/O error.
 bool write_run_reports(const std::vector<RunReport>& reports,
                        const std::string& context, const std::string& path);

@@ -1,0 +1,66 @@
+#include "slo/batch_planner.hpp"
+
+#include "util/check.hpp"
+
+namespace mg::slo {
+
+BatchPlanner::BatchPlanner(const serve::UnionGraph& union_graph,
+                           std::span<const serve::JobSpec> jobs,
+                           const SloConfig& config, std::uint32_t budget_warps)
+    : union_(union_graph),
+      jobs_(jobs),
+      config_(config),
+      budget_warps_(budget_warps) {
+  MG_CHECK_MSG(config_.max_batch >= 1, "max_batch counts the leader");
+}
+
+BatchPlanner::Plan BatchPlanner::plan(
+    std::uint32_t leader, double now_us,
+    std::span<const QueuedJob> queue) const {
+  Plan plan;
+  if (!config_.batching || config_.max_batch <= 1) return plan;
+  MG_DCHECK(leader < union_.num_jobs);
+  const auto& leader_tasks = union_.job_tasks[leader];
+
+  // Summed warp footprint of the batch so far, per template task slot.
+  std::vector<std::uint32_t> fused_warps(leader_tasks.size(), 0);
+  for (std::size_t i = 0; i < leader_tasks.size(); ++i) {
+    fused_warps[i] = union_.graph.task_warps(leader_tasks[i]);
+  }
+
+  for (const QueuedJob& waiting : queue) {
+    if (plan.members.size() + 1 >= config_.max_batch) break;
+    const std::uint32_t job = waiting.job;
+    MG_DCHECK(job < union_.num_jobs);
+    if (jobs_[job].graph != jobs_[leader].graph) continue;
+    if (config_.fusion_window_us > 0.0 &&
+        now_us - waiting.enqueue_us > config_.fusion_window_us) {
+      continue;
+    }
+    const auto& member_tasks = union_.job_tasks[job];
+    MG_DCHECK(member_tasks.size() == leader_tasks.size());
+    if (budget_warps_ > 0) {
+      bool fits = true;
+      for (std::size_t i = 0; i < member_tasks.size(); ++i) {
+        const std::uint32_t warps = union_.graph.task_warps(member_tasks[i]);
+        // A zero footprint claims the whole device; fusing it on top of a
+        // bounded batch would blow the budget.
+        if (fused_warps[i] + warps > budget_warps_ ||
+            (warps == 0 && fused_warps[i] > 0)) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) continue;
+    }
+    for (std::size_t i = 0; i < member_tasks.size(); ++i) {
+      fused_warps[i] += union_.graph.task_warps(member_tasks[i]);
+    }
+    plan.members.push_back(job);
+  }
+  plan.duration_scale =
+      1.0 + static_cast<double>(plan.members.size()) * config_.marginal_compute;
+  return plan;
+}
+
+}  // namespace mg::slo

@@ -1,0 +1,60 @@
+// BatchPlanner — picks the admission-queue jobs to fuse into a super-task.
+//
+// Called by the ServeEngine at the moment a job (the "leader") is admitted
+// with an empty pipeline of its own: the planner scans the still-waiting
+// queue for compatible jobs and returns the members to fuse. Compatibility
+// means the same template (so, with shared data, the same DataIds — the
+// fused launch loads each input once), a queue age within the fusion
+// window, and — when the occupancy governor is armed — summed per-task
+// warp footprints that still fit under the warp budget.
+//
+// The planner is pure bookkeeping over the union graph; the engine applies
+// the plan (RuntimeEngine::fuse_jobs) and owns the unfuse-on-fault path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/union_graph.hpp"
+#include "slo/tier_policy.hpp"
+
+namespace mg::slo {
+
+class BatchPlanner {
+ public:
+  /// One still-queued admission candidate.
+  struct QueuedJob {
+    std::uint32_t job = 0;
+    double enqueue_us = 0.0;
+  };
+
+  struct Plan {
+    /// Queued jobs to fuse into the leader (possibly empty = no batch).
+    std::vector<std::uint32_t> members;
+    /// Duration multiplier for the leader's fused tasks:
+    /// 1 + members × marginal_compute.
+    double duration_scale = 1.0;
+  };
+
+  /// `budget_warps` is the per-GPU occupancy admission budget (0 = governor
+  /// off / no warp constraint on fusion).
+  BatchPlanner(const serve::UnionGraph& union_graph,
+               std::span<const serve::JobSpec> jobs, const SloConfig& config,
+               std::uint32_t budget_warps);
+
+  /// Scans `queue` in order and greedily takes compatible members for
+  /// `leader` until max_batch. `now_us` ages entries against the fusion
+  /// window.
+  [[nodiscard]] Plan plan(std::uint32_t leader, double now_us,
+                          std::span<const QueuedJob> queue) const;
+
+ private:
+  const serve::UnionGraph& union_;
+  std::span<const serve::JobSpec> jobs_;
+  const SloConfig& config_;
+  std::uint32_t budget_warps_ = 0;
+};
+
+}  // namespace mg::slo

@@ -1,0 +1,121 @@
+// SLO tiers — maps JobSpec::priority onto service tiers.
+//
+// A tier bundles the serving policy knobs that differentiate one class of
+// traffic from another: a default latency deadline (applied to jobs that
+// did not declare their own), an admission weight (added to the job's
+// priority when the admission queue orders waiting jobs, so a whole tier
+// can outrank another even when individual priorities interleave) and —
+// via SloConfig::protect_min_priority — eviction protection for the input
+// data of in-flight high-tier jobs.
+//
+// The policy is a sorted list of {min_priority, ...} entries; a job lands
+// in the highest tier whose min_priority does not exceed its priority.
+// Tier indices are therefore ordered: tier 0 is the lowest class.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mg::slo {
+
+struct TierSpec {
+  /// Smallest JobSpec::priority that lands in this tier.
+  std::uint32_t min_priority = 0;
+
+  /// Default latency SLO for jobs of this tier that declare none
+  /// (JobSpec::deadline_us == 0); 0 = no tier deadline either.
+  double deadline_us = 0.0;
+
+  /// Added to the job's priority when the admission queue orders waiting
+  /// jobs (and when it is announced to priority-aware schedulers).
+  std::uint32_t admission_weight = 0;
+};
+
+class TierPolicy {
+ public:
+  /// Single catch-all tier: every priority maps to tier 0, no deadline,
+  /// no weight.
+  TierPolicy() : tiers_{TierSpec{}} {}
+
+  /// Tiers sorted by ascending min_priority; the first entry must cover
+  /// priority 0 so every job has a tier.
+  explicit TierPolicy(std::vector<TierSpec> tiers) : tiers_(std::move(tiers)) {
+    MG_CHECK_MSG(!tiers_.empty(), "TierPolicy needs at least one tier");
+    MG_CHECK_MSG(tiers_.front().min_priority == 0,
+                 "lowest tier must cover priority 0");
+    for (std::size_t i = 1; i < tiers_.size(); ++i) {
+      MG_CHECK_MSG(tiers_[i - 1].min_priority < tiers_[i].min_priority,
+                   "tiers must be sorted by ascending min_priority");
+    }
+  }
+
+  /// `n` evenly spaced tiers: tier t covers priority t (and above for the
+  /// last). Weights are 0 — differentiation comes from priority itself.
+  [[nodiscard]] static TierPolicy even(std::uint32_t n) {
+    MG_CHECK(n > 0);
+    std::vector<TierSpec> tiers(n);
+    for (std::uint32_t t = 0; t < n; ++t) tiers[t].min_priority = t;
+    return TierPolicy(std::move(tiers));
+  }
+
+  /// Highest tier whose min_priority <= priority.
+  [[nodiscard]] std::uint32_t tier_of(std::uint32_t priority) const {
+    std::uint32_t tier = 0;
+    while (tier + 1 < tiers_.size() &&
+           tiers_[tier + 1].min_priority <= priority) {
+      ++tier;
+    }
+    return tier;
+  }
+
+  [[nodiscard]] std::uint32_t num_tiers() const {
+    return static_cast<std::uint32_t>(tiers_.size());
+  }
+  [[nodiscard]] const TierSpec& spec(std::uint32_t tier) const {
+    MG_DCHECK(tier < tiers_.size());
+    return tiers_[tier];
+  }
+
+ private:
+  std::vector<TierSpec> tiers_;
+};
+
+/// Master configuration of the SLO subsystem, carried by ServeConfig. The
+/// default (enabled = false) leaves every serving run byte-identical to a
+/// build without src/slo.
+struct SloConfig {
+  /// Master switch. Off = no tiering, no protection, no batching, and the
+  /// run report's `slo` section stays zeroed.
+  bool enabled = false;
+
+  /// Priority → tier mapping (deadlines, admission weights).
+  TierPolicy tiers;
+
+  /// When > 0, the distinct input data of every in-flight job with
+  /// priority >= this value is vetoed from eviction (and replica shedding)
+  /// until the job retires. 0 = no protection.
+  std::uint32_t protect_min_priority = 0;
+
+  /// Cross-job super-task batching: fuse compatible queued jobs into the
+  /// job being admitted (one launch per task pair, shared loads counted
+  /// once, per-member outputs and retirements). Requires shared data and a
+  /// dependency-free template.
+  bool batching = false;
+
+  /// Only jobs that have waited at most this long in the admission queue
+  /// are eligible to fuse; 0 = any queue age.
+  double fusion_window_us = 0.0;
+
+  /// Max jobs per super-task batch, leader included.
+  std::uint32_t max_batch = 4;
+
+  /// Marginal compute cost of each fused rider: the fused leader task runs
+  /// for base × (1 + riders × marginal_compute). Below 1.0 models the
+  /// batched-kernel efficiency that makes fusion worthwhile.
+  double marginal_compute = 0.6;
+};
+
+}  // namespace mg::slo

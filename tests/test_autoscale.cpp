@@ -414,7 +414,7 @@ TEST(ServeAutoscale, DisabledIsByteIdenticalWithZeroedSection) {
   EXPECT_EQ(a, b);
   EXPECT_NE(a.find("\"autoscaling\":{\"enabled\":false"), std::string::npos);
   EXPECT_NE(a.find("\"scale_out_events\":0"), std::string::npos);
-  EXPECT_EQ(sim::RunReport::kSchemaVersion, 9);
+  EXPECT_EQ(sim::RunReport::kSchemaVersion, 10);
 }
 
 // ---------------------------------------------------------------------------

@@ -19,11 +19,14 @@
 #include "sched/dmda.hpp"
 #include "sched/eager.hpp"
 #include "sched/hfp.hpp"
+#include "serve/serve_engine.hpp"
 #include "sim/engine.hpp"
 #include "sim/errors.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/invariant_checker.hpp"
+#include "sim/run_report.hpp"
+#include "slo/tier_policy.hpp"
 #include "util/rng.hpp"
 #include "workloads/cholesky.hpp"
 #include "workloads/layered_dag.hpp"
@@ -387,6 +390,119 @@ TEST(Differential, OccupancyConfigsAcrossSchedulersStayInvariantFree) {
       for (const auto& gpu : metrics.per_gpu) executed += gpu.tasks_executed;
       EXPECT_EQ(executed, graph.num_tasks());
     }
+  }
+  EXPECT_EQ(runs_checked, static_cast<std::uint64_t>(kRounds) * 4);
+}
+
+/// Serving template for the SLO sweep: 4 data of 10 bytes, 6 tasks of 5 us
+/// reading two neighbouring data each (the test_serve idiom on the
+/// 1 byte/us, 1e-3 gflops test platform).
+core::TaskGraph make_serving_template() {
+  core::TaskGraphBuilder builder;
+  std::vector<core::DataId> data;
+  for (int i = 0; i < 4; ++i) {
+    data.push_back(builder.add_data(10, "d" + std::to_string(i)));
+  }
+  for (TaskId t = 0; t < 6; ++t) {
+    builder.add_task(5.0, {data[t % 4], data[(t + 1) % 4]},
+                     "t" + std::to_string(t));
+  }
+  return builder.build();
+}
+
+TEST(Differential, SloServingConfigsAcrossSchedulersStayInvariantFree) {
+  // SLO/batching differential sweep: randomized tier counts, batching
+  // knobs (fusion window, batch cap, marginal compute), eviction
+  // protection, anti-starvation aging and admission limits, streamed
+  // across every scheduler under the online invariant checker. Every run
+  // must be violation-free and retire every job exactly once, and each
+  // round's batching-off control — the identical config with the master
+  // switch off but every knob still set — must serialize byte-identically
+  // to a config that never heard of SLO.
+  constexpr int kRounds = 12;
+  util::Rng rng(0x510ba7cedULL);
+  std::uint64_t runs_checked = 0;
+  const std::vector<core::TaskGraph> templates = {make_serving_template()};
+
+  for (int round = 0; round < kRounds; ++round) {
+    const std::uint32_t num_jobs = 16 + static_cast<std::uint32_t>(
+                                            rng.below(17));  // 16..32
+    const std::uint32_t num_gpus =
+        2 + static_cast<std::uint32_t>(rng.below(3));
+    const std::uint32_t num_tiers =
+        1 + static_cast<std::uint32_t>(rng.below(4));
+
+    core::Platform platform;
+    platform.num_gpus = num_gpus;
+    // Between "one job's footprint" and "roomy": eviction (and on
+    // protected rounds, the veto scan) fires on the tight draws.
+    platform.gpu_memory_bytes = 45 + rng.below(76);
+    platform.gpu_gflops = 1e-3;
+    platform.bus_bandwidth_bytes_per_s = 1e6;
+    platform.bus_latency_us = 0.0;
+
+    serve::ServeConfig config;
+    config.arrival.mode = serve::ArrivalMode::kPoisson;
+    config.arrival.rate_jobs_per_s = 5e4 + 1e4 * rng.below(16);
+    config.arrival.seed = 100 + static_cast<std::uint64_t>(round);
+    config.admission.max_jobs_in_flight =
+        2 + static_cast<std::uint32_t>(rng.below(3));
+    if (round % 3 == 1) config.admission.aging_rate_per_s = 2.0;
+    config.engine.seed = 17 + static_cast<std::uint64_t>(round);
+    config.slo.enabled = true;
+    config.slo.tiers = slo::TierPolicy::even(num_tiers);
+    if (round % 2 == 1) config.slo.protect_min_priority = num_tiers - 1;
+    config.slo.batching = (round % 4 != 3);  // a no-batching control round
+    config.slo.fusion_window_us = (round % 2 == 0) ? 0.0 : 200.0;
+    config.slo.max_batch = 2 + static_cast<std::uint32_t>(rng.below(4));
+    config.slo.marginal_compute = 0.2 + 0.1 * rng.below(7);
+
+    std::vector<serve::JobSpec> jobs(num_jobs);
+    for (std::uint32_t j = 0; j < num_jobs; ++j) {
+      jobs[j].priority = j % num_tiers;
+    }
+
+    for (SchedulerCase& entry : make_schedulers()) {
+      SCOPED_TRACE("round " + std::to_string(round) + " scheduler " +
+                   entry.label + " gpus " + std::to_string(num_gpus) +
+                   " tiers " + std::to_string(num_tiers) + " batch " +
+                   std::to_string(config.slo.max_batch) + " mem " +
+                   std::to_string(platform.gpu_memory_bytes));
+
+      serve::ServeEngine engine(templates, jobs, platform, *entry.scheduler,
+                                config);
+      sim::InvariantChecker checker({.fail_fast = false});
+      engine.add_inspector(&checker);
+      const serve::ServeResult result = engine.run();
+      ++runs_checked;
+
+      ASSERT_TRUE(checker.ok())
+          << checker.report().error << "\nlast events:\n"
+          << checker.report().excerpt;
+      EXPECT_GT(checker.events_checked(), 0u);
+      EXPECT_EQ(result.serving.jobs_completed, num_jobs);
+    }
+
+    // Batching-off control: the master switch rules every knob, down to
+    // the serialized byte.
+    const auto run_json = [&](const slo::SloConfig& slo) {
+      serve::ServeConfig off = config;
+      off.slo = slo;
+      sched::DmdaScheduler scheduler;
+      serve::ServeEngine engine(templates, jobs, platform, scheduler, off);
+      sim::RunReportCollector collector(
+          {.context = "slo-diff-round-" + std::to_string(round),
+           .collect_trace = true});
+      engine.add_inspector(&collector);
+      serve::ServeResult result = engine.run();
+      sim::RunReport report = collector.report();
+      report.serving = result.serving;
+      return sim::run_report_to_json(report);
+    };
+    slo::SloConfig armed_but_off = config.slo;
+    armed_but_off.enabled = false;
+    EXPECT_EQ(run_json(slo::SloConfig{}), run_json(armed_but_off))
+        << "round " << round << ": a disabled SLO config leaked into the run";
   }
   EXPECT_EQ(runs_checked, static_cast<std::uint64_t>(kRounds) * 4);
 }

@@ -452,7 +452,7 @@ TEST(NetFaultDormancy, ReportCarriesSchemaV9AndADormantSection) {
   EXPECT_NE(json.find("\"network_faults\":{\"enabled\":false"),
             std::string::npos)
       << json;
-  EXPECT_EQ(sim::RunReport::kSchemaVersion, 9);
+  EXPECT_EQ(sim::RunReport::kSchemaVersion, 10);
 }
 
 TEST(RetryJitter, ZeroJitterIsByteIdenticalAndJitterDiverges) {

@@ -1,0 +1,546 @@
+// SLO subsystem tests: tier policy mapping, the batch planner's
+// compatibility rules (template, fusion window, warp budget, batch cap),
+// admission-queue tie-breaking / targeted take / anti-starvation aging,
+// and the serving-loop integration — fused members retiring exactly once
+// under every scheduler with the online InvariantChecker, unfuse-on-fault,
+// eviction vetoes under memory pressure, per-tier report sections, DARTS
+// tier boost, priority announcements surviving a mid-stream node drain,
+// and byte-identity of a disabled SLO config with every knob set.
+#include "slo/tier_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/darts.hpp"
+#include "core/task_graph.hpp"
+#include "sched/dmda.hpp"
+#include "sched/eager.hpp"
+#include "sched/hfp.hpp"
+#include "serve/admission.hpp"
+#include "serve/serve_engine.hpp"
+#include "serve/union_graph.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/invariant_checker.hpp"
+#include "sim/run_report.hpp"
+#include "slo/batch_planner.hpp"
+
+namespace mg::slo {
+namespace {
+
+using core::DataId;
+using core::TaskId;
+
+core::Platform test_platform(std::uint32_t gpus, std::uint64_t memory) {
+  core::Platform platform;
+  platform.num_gpus = gpus;
+  platform.gpu_memory_bytes = memory;
+  platform.gpu_gflops = 1e-3;
+  platform.bus_bandwidth_bytes_per_s = 1e6;
+  platform.bus_latency_us = 0.0;
+  return platform;
+}
+
+core::Platform cluster_platform(std::uint32_t gpus, std::uint32_t nodes) {
+  core::Platform platform = test_platform(gpus, 1000);
+  platform.num_nodes = nodes;
+  platform.host_memory_bytes = 4000;
+  return platform;
+}
+
+/// Job template: 4 data of 10 bytes, 6 tasks of 5 us each reading two
+/// neighbouring data (the test_serve template, so timings stay
+/// hand-checkable).
+core::TaskGraph make_template(std::uint32_t warps = 0) {
+  core::TaskGraphBuilder builder;
+  std::vector<DataId> data;
+  for (int i = 0; i < 4; ++i) {
+    data.push_back(builder.add_data(10, "d" + std::to_string(i)));
+  }
+  for (int t = 0; t < 6; ++t) {
+    const TaskId task = builder.add_task(
+        5.0, {data[t % 4], data[(t + 1) % 4]}, "t" + std::to_string(t));
+    if (warps > 0) builder.set_task_warps(task, warps);
+  }
+  return builder.build();
+}
+
+/// Event recorder for fusion/veto assertions.
+class Recorder final : public sim::Inspector {
+ public:
+  void on_event(const sim::InspectorEvent& event) override {
+    events_.push_back(event);
+  }
+  [[nodiscard]] std::uint64_t count(sim::InspectorEventKind kind) const {
+    std::uint64_t n = 0;
+    for (const sim::InspectorEvent& event : events_) {
+      if (event.kind == kind) ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] const std::vector<sim::InspectorEvent>& events() const {
+    return events_;
+  }
+
+ private:
+  std::vector<sim::InspectorEvent> events_;
+};
+
+TierPolicy two_tiers(std::uint32_t hi_weight = 4, double hi_deadline = 0.0) {
+  return TierPolicy{
+      {{.min_priority = 0, .deadline_us = 0.0, .admission_weight = 0},
+       {.min_priority = 2,
+        .deadline_us = hi_deadline,
+        .admission_weight = hi_weight}}};
+}
+
+// ---------------------------------------------------------------------------
+// TierPolicy.
+
+TEST(TierPolicy, MapsPriorityToTheHighestClearedTier) {
+  const TierPolicy policy{{{.min_priority = 0},
+                           {.min_priority = 2},
+                           {.min_priority = 5}}};
+  EXPECT_EQ(policy.num_tiers(), 3u);
+  EXPECT_EQ(policy.tier_of(0), 0u);
+  EXPECT_EQ(policy.tier_of(1), 0u);
+  EXPECT_EQ(policy.tier_of(2), 1u);
+  EXPECT_EQ(policy.tier_of(4), 1u);
+  EXPECT_EQ(policy.tier_of(5), 2u);
+  EXPECT_EQ(policy.tier_of(1000), 2u);
+}
+
+TEST(TierPolicy, EvenSpacingAndTheDefaultCatchAll) {
+  const TierPolicy catch_all;
+  EXPECT_EQ(catch_all.num_tiers(), 1u);
+  EXPECT_EQ(catch_all.tier_of(7), 0u);
+
+  const TierPolicy even = TierPolicy::even(3);
+  EXPECT_EQ(even.num_tiers(), 3u);
+  EXPECT_EQ(even.tier_of(0), 0u);
+  EXPECT_EQ(even.tier_of(1), 1u);
+  EXPECT_EQ(even.tier_of(2), 2u);
+  EXPECT_EQ(even.tier_of(9), 2u);
+}
+
+TEST(TierPolicyDeathTest, RejectsMalformedTierLists) {
+  EXPECT_DEATH(TierPolicy{std::vector<TierSpec>{}}, "at least one tier");
+  EXPECT_DEATH(TierPolicy{{{.min_priority = 1}}}, "priority 0");
+  EXPECT_DEATH((TierPolicy{{{.min_priority = 0}, {.min_priority = 0}}}),
+               "ascending");
+}
+
+// ---------------------------------------------------------------------------
+// BatchPlanner.
+
+TEST(BatchPlanner, FusesOnlyCompatibleQueuedJobs) {
+  const std::vector<core::TaskGraph> templates = {make_template(),
+                                                  make_template()};
+  std::vector<serve::JobSpec> jobs(5);
+  jobs[3].graph = 1;  // different template: never fusable with job 0
+  const serve::UnionGraph u = build_union_graph(templates, jobs, true);
+
+  SloConfig config;
+  config.enabled = true;
+  config.batching = true;
+  config.max_batch = 3;
+  config.fusion_window_us = 100.0;
+  config.marginal_compute = 0.5;
+  const BatchPlanner planner(u, jobs, config, /*budget_warps=*/0);
+
+  // Job 2 aged out of the window, job 3 is the wrong template; jobs 1 and 4
+  // fill the batch up to the cap (leader + 2).
+  const std::vector<BatchPlanner::QueuedJob> queue = {
+      {.job = 2, .enqueue_us = 0.0},
+      {.job = 1, .enqueue_us = 150.0},
+      {.job = 3, .enqueue_us = 160.0},
+      {.job = 4, .enqueue_us = 170.0},
+  };
+  const BatchPlanner::Plan plan = planner.plan(0, 200.0, queue);
+  EXPECT_EQ(plan.members, (std::vector<std::uint32_t>{1, 4}));
+  EXPECT_DOUBLE_EQ(plan.duration_scale, 2.0);  // 1 + 2 x 0.5
+
+  // Batching off: the planner never proposes anything.
+  SloConfig off = config;
+  off.batching = false;
+  const BatchPlanner idle(u, jobs, off, 0);
+  EXPECT_TRUE(idle.plan(0, 200.0, queue).members.empty());
+}
+
+TEST(BatchPlanner, WarpBudgetBoundsTheBatch) {
+  const std::vector<core::TaskGraph> templates = {make_template(600)};
+  const std::vector<serve::JobSpec> jobs(4);
+  const serve::UnionGraph u = build_union_graph(templates, jobs, true);
+
+  SloConfig config;
+  config.enabled = true;
+  config.batching = true;
+  config.max_batch = 4;
+  const std::vector<BatchPlanner::QueuedJob> queue = {
+      {.job = 1, .enqueue_us = 0.0},
+      {.job = 2, .enqueue_us = 0.0},
+      {.job = 3, .enqueue_us = 0.0},
+  };
+
+  // 600 warps per task slot: a 1300-warp budget fits the leader plus one.
+  const BatchPlanner tight(u, jobs, config, /*budget_warps=*/1300);
+  EXPECT_EQ(tight.plan(0, 0.0, queue).members,
+            (std::vector<std::uint32_t>{1}));
+  // No budget (governor off): the cap is the only bound.
+  const BatchPlanner loose(u, jobs, config, 0);
+  EXPECT_EQ(loose.plan(0, 0.0, queue).members.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission queue: tie-breaking, targeted take, aging.
+
+TEST(Admission, EqualPrioritiesPopFifoAndHigherPriorityJumps) {
+  serve::AdmissionController admission({.max_jobs_in_flight = 1},
+                                       {10, 10, 10, 10});
+  using Decision = serve::AdmissionController::Decision;
+  EXPECT_EQ(admission.submit(0, 0), Decision::kAdmit);
+  EXPECT_EQ(admission.submit(1, 1), Decision::kQueue);
+  EXPECT_EQ(admission.submit(2, 1), Decision::kQueue);
+  EXPECT_EQ(admission.submit(3, 2), Decision::kQueue);
+  // Pop order: priority desc, FIFO within a level.
+  admission.on_job_retired(0);
+  EXPECT_EQ(admission.try_admit_queued(), 3u);
+  admission.on_job_retired(3);
+  EXPECT_EQ(admission.try_admit_queued(), 1u);
+  admission.on_job_retired(1);
+  EXPECT_EQ(admission.try_admit_queued(), 2u);
+}
+
+TEST(Admission, TakeRemovesASpecificQueuedJobAndAccountsIt) {
+  serve::AdmissionController admission({.max_jobs_in_flight = 1},
+                                       {10, 10, 10});
+  using Decision = serve::AdmissionController::Decision;
+  EXPECT_EQ(admission.submit(0, 0), Decision::kAdmit);
+  EXPECT_EQ(admission.submit(1, 0, 5.0), Decision::kQueue);
+  EXPECT_EQ(admission.submit(2, 1, 7.0), Decision::kQueue);
+
+  // queued() exposes the waiting set in submission order, with stamps.
+  const auto queued = admission.queued();
+  ASSERT_EQ(queued.size(), 2u);
+  EXPECT_EQ(queued[0].job, 1u);
+  EXPECT_DOUBLE_EQ(queued[0].enqueue_us, 5.0);
+  EXPECT_EQ(queued[1].job, 2u);
+  EXPECT_EQ(queued[1].priority, 1u);
+
+  // A fusion member leaves the queue and is accounted in flight.
+  EXPECT_TRUE(admission.take(2));
+  EXPECT_FALSE(admission.take(2));  // already gone
+  EXPECT_EQ(admission.jobs_in_flight(), 2u);
+  EXPECT_EQ(admission.queue_depth(), 1u);
+  admission.on_job_retired(0);
+  admission.on_job_retired(2);
+  EXPECT_EQ(admission.try_admit_queued(), 1u);
+}
+
+TEST(Admission, AgingLetsALowJobOutwaitASaturatingHighTierStream) {
+  // Without aging the priority-2 stream starves job 0 forever.
+  serve::AdmissionController strict({.max_jobs_in_flight = 1},
+                                    std::vector<std::uint64_t>(8, 10));
+  using Decision = serve::AdmissionController::Decision;
+  EXPECT_EQ(strict.submit(1, 2, 0.0), Decision::kAdmit);
+  EXPECT_EQ(strict.submit(0, 0, 0.0), Decision::kQueue);
+  for (std::uint32_t job = 2; job < 8; ++job) {
+    EXPECT_EQ(strict.submit(job, 2, 0.0), Decision::kQueue);
+  }
+  double now = 0.0;
+  std::uint32_t in_flight = 1;
+  std::vector<std::uint32_t> strict_order;
+  while (strict.queue_depth() > 0) {
+    now += 1e6;
+    strict.on_job_retired(in_flight);
+    const auto next = strict.try_admit_queued(now);
+    ASSERT_TRUE(next.has_value());
+    strict_order.push_back(*next);
+    in_flight = *next;
+  }
+  // FIFO within the high tier, the low job dead last.
+  EXPECT_EQ(strict_order,
+            (std::vector<std::uint32_t>{2, 3, 4, 5, 6, 7, 0}));
+
+  // With aging at 3 levels per second, job 0's one-second head start in the
+  // queue is worth 3 levels — more than the 2-level tier gap.
+  serve::AdmissionController aging(
+      {.max_jobs_in_flight = 1, .aging_rate_per_s = 3.0},
+      std::vector<std::uint64_t>(8, 10));
+  EXPECT_EQ(aging.submit(1, 2, 0.0), Decision::kAdmit);
+  EXPECT_EQ(aging.submit(0, 0, 0.0), Decision::kQueue);
+  for (std::uint32_t job = 2; job < 8; ++job) {
+    EXPECT_EQ(aging.submit(job, 2, 1e6), Decision::kQueue);
+  }
+  aging.on_job_retired(1);
+  // At t=2s: job 0 at 0 + 3x2 = 6 beats the high tier at 2 + 3x1 = 5.
+  EXPECT_EQ(aging.try_admit_queued(2e6), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Serving-loop integration.
+
+using SchedulerFactory = std::function<std::unique_ptr<core::Scheduler>()>;
+
+const std::vector<std::pair<std::string, SchedulerFactory>>& schedulers() {
+  static const std::vector<std::pair<std::string, SchedulerFactory>> specs = {
+      {"EAGER", [] { return std::make_unique<sched::EagerScheduler>(); }},
+      {"DMDAR", [] { return std::make_unique<sched::DmdaScheduler>(); }},
+      {"DARTS+LUF", [] { return std::make_unique<core::DartsScheduler>(); }},
+      {"mHFP", [] { return std::make_unique<sched::HfpScheduler>(); }},
+  };
+  return specs;
+}
+
+serve::ServeConfig batching_config(std::uint32_t max_in_flight = 2) {
+  serve::ServeConfig config;
+  config.arrival.mode = serve::ArrivalMode::kPoisson;
+  // Mean gap 10 us against ~15 us/job of service: the run oversaturates,
+  // the queue deepens, and every retirement admits a leader with fusable
+  // waiters behind it.
+  config.arrival.rate_jobs_per_s = 1e5;
+  config.arrival.seed = 7;
+  config.admission.max_jobs_in_flight = max_in_flight;
+  config.engine.seed = 7;
+  config.slo.enabled = true;
+  config.slo.tiers = two_tiers();
+  config.slo.batching = true;
+  config.slo.max_batch = 3;
+  config.slo.marginal_compute = 0.5;
+  return config;
+}
+
+std::vector<serve::JobSpec> tiered_jobs(std::uint32_t n) {
+  std::vector<serve::JobSpec> jobs(n);
+  for (std::uint32_t j = 0; j < n; ++j) jobs[j].priority = (j % 2) * 2;
+  return jobs;
+}
+
+TEST(SloServe, FusedMembersRetireExactlyOnceUnderEveryScheduler) {
+  const std::vector<core::TaskGraph> templates = {make_template()};
+  for (const auto& [name, factory] : schedulers()) {
+    const std::vector<serve::JobSpec> jobs = tiered_jobs(24);
+    auto scheduler = factory();
+    serve::ServeEngine engine(templates, jobs, test_platform(2, 100),
+                              *scheduler, batching_config());
+    sim::InvariantChecker checker({.fail_fast = false});
+    Recorder recorder;
+    engine.add_inspector(&checker);
+    engine.add_inspector(&recorder);
+    const serve::ServeResult result = engine.run();
+    EXPECT_TRUE(checker.ok())
+        << name << ": " << checker.report().error << "\n"
+        << checker.report().excerpt;
+    EXPECT_EQ(result.serving.jobs_completed, 24u) << name;
+    EXPECT_GT(recorder.count(sim::InspectorEventKind::kJobsFused), 0u)
+        << name;
+    EXPECT_GT(recorder.count(sim::InspectorEventKind::kSuperTaskLaunched),
+              0u)
+        << name;
+    // The one-retirement-per-job rule, counted straight off the stream:
+    // fused members synthesize their completions through the leader.
+    std::map<std::uint32_t, std::uint32_t> completions;
+    for (const sim::InspectorEvent& event : recorder.events()) {
+      if (event.kind == sim::InspectorEventKind::kJobComplete) {
+        ++completions[event.id];
+      }
+    }
+    EXPECT_EQ(completions.size(), 24u) << name;
+    for (const auto& [job, times] : completions) {
+      EXPECT_EQ(times, 1u) << name << " job " << job;
+    }
+  }
+}
+
+TEST(SloServe, UnfuseOnGpuLossReRunsRidersToCompletion) {
+  const std::vector<core::TaskGraph> templates = {make_template()};
+  const std::vector<serve::JobSpec> jobs = tiered_jobs(24);
+  sim::FaultPlan plan;
+  plan.gpu_losses.push_back({120.0, 1});
+  sim::FaultInjector injector(plan);
+  sched::DmdaScheduler scheduler;
+  serve::ServeEngine engine(templates, jobs, test_platform(2, 100), scheduler,
+                            batching_config());
+  engine.set_fault_injector(&injector);
+  sim::InvariantChecker checker({.fail_fast = false});
+  Recorder recorder;
+  engine.add_inspector(&checker);
+  engine.add_inspector(&recorder);
+  const serve::ServeResult result = engine.run();
+  EXPECT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+  // Fusion happened, the loss split at least one in-flight batch, and every
+  // job — rider or not — still retired exactly once on the survivor.
+  EXPECT_GT(recorder.count(sim::InspectorEventKind::kJobsFused), 0u);
+  EXPECT_GT(recorder.count(sim::InspectorEventKind::kBatchUnfused), 0u);
+  EXPECT_EQ(result.serving.jobs_completed, 24u);
+  EXPECT_EQ(result.metrics.faults.gpu_losses, 1u);
+}
+
+TEST(SloServe, EvictionVetoProtectsHighTierInputsUnderPressure) {
+  // 45 bytes of GPU memory against 40-byte working sets: every second job
+  // evicts. Protection pins the high tier's inputs; the checker enforces
+  // that no vetoed data is ever evicted inside a protection window.
+  const std::vector<core::TaskGraph> templates = {make_template()};
+  const std::vector<serve::JobSpec> jobs = tiered_jobs(16);
+  serve::ServeConfig config;
+  config.arrival.mode = serve::ArrivalMode::kPoisson;
+  config.arrival.rate_jobs_per_s = 1e5;
+  config.arrival.seed = 7;
+  config.admission.max_jobs_in_flight = 2;
+  config.engine.seed = 7;
+  config.share_data = false;  // private copies: real eviction pressure
+  config.slo.enabled = true;
+  config.slo.tiers = two_tiers();
+  config.slo.protect_min_priority = 2;
+  sched::DmdaScheduler scheduler;
+  serve::ServeEngine engine(templates, jobs, test_platform(2, 45), scheduler,
+                            config);
+  sim::InvariantChecker checker({.fail_fast = false});
+  Recorder recorder;
+  engine.add_inspector(&checker);
+  engine.add_inspector(&recorder);
+  const serve::ServeResult result = engine.run();
+  EXPECT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+  EXPECT_EQ(result.serving.jobs_completed, 16u);
+  // Every protection window opened also closed (job retirement lifts the
+  // veto), and the pressure actually routed around protected data.
+  const std::uint64_t protects =
+      recorder.count(sim::InspectorEventKind::kTierProtect);
+  EXPECT_GT(protects, 0u);
+  EXPECT_EQ(protects, recorder.count(sim::InspectorEventKind::kTierUnprotect));
+  EXPECT_GT(recorder.count(sim::InspectorEventKind::kEvict), 0u);
+}
+
+TEST(SloServe, TierDeadlinesAndPerTierPercentilesFillTheReport) {
+  const std::vector<core::TaskGraph> templates = {make_template()};
+  const std::vector<serve::JobSpec> jobs = tiered_jobs(20);
+  serve::ServeConfig config;
+  config.arrival.mode = serve::ArrivalMode::kClosedLoop;
+  config.arrival.concurrency = 2;
+  config.engine.seed = 7;
+  config.slo.enabled = true;
+  // The high tier's default deadline is impossible (1 us): all 10 high-tier
+  // jobs miss; the low tier has no deadline and cannot miss.
+  config.slo.tiers = two_tiers(/*hi_weight=*/4, /*hi_deadline=*/1.0);
+  sched::DmdaScheduler scheduler;
+  serve::ServeEngine engine(templates, jobs, test_platform(2, 100), scheduler,
+                            config);
+  const serve::ServeResult result = engine.run();
+  ASSERT_TRUE(result.slo.enabled);
+  ASSERT_EQ(result.slo.tiers, 2u);
+  ASSERT_EQ(result.slo.per_tier.size(), 2u);
+  const sim::RunReport::Slo::Tier& lo = result.slo.per_tier[0];
+  const sim::RunReport::Slo::Tier& hi = result.slo.per_tier[1];
+  EXPECT_EQ(lo.jobs + hi.jobs, 20u);
+  EXPECT_EQ(lo.jobs, 10u);
+  EXPECT_EQ(hi.jobs, 10u);
+  EXPECT_EQ(lo.deadline_misses, 0u);
+  EXPECT_EQ(hi.deadline_misses, 10u);
+  EXPECT_EQ(result.serving.deadline_misses, 10u);  // tier default applied
+  for (const sim::RunReport::Slo::Tier& tier : result.slo.per_tier) {
+    EXPECT_GT(tier.p50_us, 0.0);
+    EXPECT_LE(tier.p50_us, tier.p95_us);
+    EXPECT_LE(tier.p95_us, tier.p99_us);
+  }
+}
+
+TEST(SloServe, DartsTierBoostStreamsCleanlyAndNamesTheVariant) {
+  core::DartsOptions options;
+  options.tier_boost = 2.0;
+  core::DartsScheduler boosted(options);
+  EXPECT_NE(boosted.name().find("+tier"), std::string_view::npos);
+  EXPECT_EQ(core::DartsScheduler().name().find("+tier"),
+            std::string_view::npos);
+
+  const std::vector<core::TaskGraph> templates = {make_template()};
+  const std::vector<serve::JobSpec> jobs = tiered_jobs(20);
+  serve::ServeConfig config = batching_config();
+  serve::ServeEngine engine(templates, jobs, test_platform(2, 100), boosted,
+                            config);
+  sim::InvariantChecker checker({.fail_fast = false});
+  engine.add_inspector(&checker);
+  const serve::ServeResult result = engine.run();
+  EXPECT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+  EXPECT_EQ(result.serving.jobs_completed, 20u);
+}
+
+TEST(SloServe, PriorityAnnouncementsSurviveNodeDrainMidStream) {
+  // mHFP (work-queue family) pops strictly by the announced effective
+  // priorities; a node drain mid-stream must not strand a fused batch or a
+  // protected job on the retiring node.
+  const std::vector<core::TaskGraph> templates = {make_template()};
+  const std::vector<serve::JobSpec> jobs = tiered_jobs(40);
+  serve::ServeConfig config = batching_config();
+  // A 5 us mean gap keeps the admission queue deep enough that batches form
+  // back to back once the initial loads land (first fusion near t=200 us).
+  config.arrival.rate_jobs_per_s = 2e5;
+  config.slo.protect_min_priority = 2;
+  sched::HfpScheduler scheduler;
+  serve::ServeEngine engine(templates, jobs, cluster_platform(4, 2),
+                            scheduler, config);
+  sim::InvariantChecker checker({.fail_fast = false});
+  Recorder recorder;
+  engine.add_inspector(&checker);
+  engine.add_inspector(&recorder);
+  // t=270 us sits inside the steady-state cadence of ~50 us batch waves, so
+  // the fence always catches a fused super-task mid-flight.
+  engine.engine().event_queue().schedule_at(
+      270.0, [&engine] { engine.engine().begin_node_drain(1); });
+  const serve::ServeResult result = engine.run();
+  EXPECT_TRUE(checker.ok()) << checker.report().error << "\n"
+                            << checker.report().excerpt;
+  EXPECT_EQ(result.serving.jobs_completed, 40u);
+  EXPECT_GT(recorder.count(sim::InspectorEventKind::kJobsFused), 0u);
+  EXPECT_EQ(recorder.count(sim::InspectorEventKind::kNodeDrained), 1u);
+  // Drains split in-flight batches like losses do.
+  EXPECT_GT(recorder.count(sim::InspectorEventKind::kBatchUnfused), 0u);
+}
+
+TEST(SloServe, DisabledSloWithEveryKnobSetIsByteIdentical) {
+  const std::vector<core::TaskGraph> templates = {make_template()};
+  const std::vector<serve::JobSpec> jobs = tiered_jobs(16);
+
+  const auto run_json = [&](const slo::SloConfig& slo) {
+    serve::ServeConfig config;
+    config.arrival.mode = serve::ArrivalMode::kPoisson;
+    config.arrival.rate_jobs_per_s = 2e4;
+    config.arrival.seed = 7;
+    config.admission.max_jobs_in_flight = 2;
+    config.engine.seed = 7;
+    config.slo = slo;
+    sched::DmdaScheduler scheduler;
+    serve::ServeEngine engine(templates, jobs, test_platform(2, 100),
+                              scheduler, config);
+    sim::RunReportCollector collector(
+        {.context = "slo-identity", .collect_trace = true});
+    engine.add_inspector(&collector);
+    serve::ServeResult result = engine.run();
+    sim::RunReport report = collector.report();
+    report.serving = result.serving;
+    return sim::run_report_to_json(report);
+  };
+
+  slo::SloConfig armed_but_off;
+  armed_but_off.enabled = false;  // the master switch rules them all
+  armed_but_off.tiers = two_tiers(4, 1.0);
+  armed_but_off.protect_min_priority = 2;
+  armed_but_off.batching = true;
+  armed_but_off.fusion_window_us = 50.0;
+  armed_but_off.max_batch = 8;
+  armed_but_off.marginal_compute = 0.1;
+
+  const std::string plain = run_json(slo::SloConfig{});
+  EXPECT_EQ(plain, run_json(armed_but_off));
+  // And the section stays dormant in the serialized report.
+  EXPECT_NE(plain.find("\"slo\":{\"enabled\":false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mg::slo
